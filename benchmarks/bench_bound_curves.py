@@ -1,0 +1,70 @@
+"""Bound-curve artifacts — the paper's results as figure-like series.
+
+The paper has no figures; these artifacts chart its bounds so the
+reproduction records the full quantitative landscape: the filter
+sample-complexity curves over ε and m (upper bounds vs both lower bounds,
+including the open gap at constant confidence) and the sketch size against
+its bit lower bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tradeoffs import (
+    filter_bounds_vs_epsilon,
+    filter_bounds_vs_m,
+    open_gap_ratio,
+    series_to_rows,
+    sketch_bounds_vs_epsilon,
+)
+from repro.experiments.reporting import format_table
+
+
+def test_filter_bounds_vs_epsilon_report(benchmark, record_result):
+    curves = benchmark.pedantic(
+        filter_bounds_vs_epsilon, args=(64,), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["epsilon"] + [curve.label for curve in curves],
+        series_to_rows(curves),
+    )
+    record_result("F1_filter_bounds_vs_epsilon", text)
+    mx, thm1, lemma4, lemma3 = curves
+    assert all(a >= b for a, b in zip(mx.y, thm1.y))
+    assert all(a >= b for a, b in zip(thm1.y, lemma4.y))
+
+
+def test_filter_bounds_vs_m_report(benchmark, record_result):
+    curves = benchmark.pedantic(
+        filter_bounds_vs_m, args=(0.001,), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["m"] + [curve.label for curve in curves],
+        series_to_rows(curves),
+    )
+    record_result("F2_filter_bounds_vs_m", text)
+    # Theorem 1 and Lemma 4 stay within the 4x universal constant.
+    thm1 = curves[1]
+    lemma4 = curves[2]
+    for upper, lower in zip(thm1.y, lemma4.y):
+        assert 1 <= upper / lower <= 4.5
+
+
+def test_sketch_bounds_report(benchmark, record_result):
+    curves = benchmark.pedantic(
+        sketch_bounds_vs_epsilon,
+        args=(100, 3, 0.1),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["epsilon"] + [curve.label for curve in curves],
+        series_to_rows(curves),
+    )
+    gaps = [
+        f"open-question gap (m/sqrt(log m)) at m={m}: "
+        f"{open_gap_ratio(m, 0.001):.1f}x"
+        for m in (16, 64, 256)
+    ]
+    record_result("F3_sketch_bounds", text + "\n" + "\n".join(gaps))
+    upper, lower = curves
+    assert all(u >= l for u, l in zip(upper.y, lower.y))

@@ -1,0 +1,111 @@
+"""E7 — the Section 3.2 encoding argument, run end to end.
+
+Validates Lemma 6's closed-form ``Γ_A`` against direct counting on the
+structured data set ``M``, then plays the Alice→Bob game: Bob reconstructs
+Alice's bit matrix through non-separation queries (with the exact oracle
+and with a real sampled sketch) and his Hamming error is scored against the
+Lemma 5 budget ``|C|/(10t)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.communication.encoding import (
+    bits_matrix_dataset,
+    gamma_closed_form,
+    query_attributes,
+    random_bit_matrix,
+    reconstruct_bit_matrix,
+)
+from repro.core.separation import unseparated_pairs
+from repro.experiments.reporting import format_table
+
+_K, _T, _M = 2, 4, 5
+
+
+def test_gamma_closed_form_benchmark(benchmark):
+    benchmark(gamma_closed_form, _T, _K, 1)
+
+
+def test_reconstruction_benchmark(benchmark):
+    bits = random_bit_matrix(_K, _T, _M, seed=0)
+    benchmark.pedantic(
+        reconstruct_bit_matrix,
+        args=(bits, 0.05),
+        kwargs={"exact_oracle": True},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_lemma6_closed_form_report(benchmark, record_result):
+    """Closed form vs direct count for every u."""
+    bits = random_bit_matrix(_K, _T, _M, seed=1)
+    data = bits_matrix_dataset(bits)
+    n = _K * _T
+    column = 0
+    truth = set(np.flatnonzero(bits[:, column]).tolist())
+
+    def check_all_u():
+        import itertools
+
+        rows = []
+        seen_u = set()
+        for guess in itertools.combinations(range(n), _K):
+            u = len(truth & set(guess))
+            if u in seen_u:
+                continue
+            seen_u.add(u)
+            attrs = query_attributes(column, guess, _M)
+            direct = unseparated_pairs(data, attrs)
+            closed = gamma_closed_form(_T, _K, u)
+            rows.append([u, direct, closed, str(direct == closed)])
+        return sorted(rows)
+
+    rows = benchmark.pedantic(check_all_u, rounds=1, iterations=1)
+    text = format_table(
+        ["u (correct guesses)", "direct Gamma_A", "closed form", "equal"], rows
+    )
+    record_result("E7_encoding_argument", text)
+    assert all(row[1] == row[2] for row in rows)
+    assert len(rows) == _K + 1  # u = 0 .. k all realized
+
+
+def test_reconstruction_report(benchmark, record_result):
+    """Bob's Hamming error with the exact oracle and a sampled sketch."""
+
+    def run_both():
+        bits = random_bit_matrix(_K, _T, _M, seed=2)
+        exact = reconstruct_bit_matrix(bits, epsilon=0.05, exact_oracle=True)
+        sampled = reconstruct_bit_matrix(
+            bits, epsilon=0.02, sample_size=200_000, seed=3
+        )
+        return bits, exact, sampled
+
+    bits, exact, sampled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    text = format_table(
+        ["oracle", "hamming error", "budget |C|/(10t)", "within", "queries"],
+        [
+            [
+                "exact Gamma",
+                exact.hamming_distance,
+                f"{exact.allowed_distance:.2f}",
+                str(exact.within_budget),
+                exact.queries_used,
+            ],
+            [
+                "sampled sketch",
+                sampled.hamming_distance,
+                f"{sampled.allowed_distance:.2f}",
+                str(sampled.within_budget),
+                sampled.queries_used,
+            ],
+        ],
+    )
+    record_result("E7_encoding_argument", text)
+    assert exact.hamming_distance == 0
+    # The sampled sketch may miss a bit or two at this scale, but must
+    # recover the overwhelming majority of C.
+    assert sampled.hamming_distance <= bits.size * 0.2

@@ -1,0 +1,122 @@
+"""E5 + E10 — the constrained balls-into-bins analysis, executable.
+
+E5 (Appendix C.3): reproduce the exact counter-example numbers
+``f(s1) ≈ 76 370 239.25 < f(s2) = 173 116 515`` showing the uniform profile
+does not maximize non-collision once constraint (1) binds.
+
+E10 (Lemma 1): run the multi-start KKT/SLSQP maximizer over the constraint
+set ``P`` and verify its optimizer has ≤ 2 distinct non-zero values, and
+that the direct two-value family search matches its optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.extremal import worst_case_two_value
+from repro.analysis.kkt import (
+    distinct_nonzero_values,
+    kkt_diagnostics,
+    maximize_noncollision,
+)
+from repro.analysis.symmetric import (
+    elementary_symmetric,
+    elementary_symmetric_exact,
+    example_c3_vectors,
+)
+from repro.experiments.reporting import format_table
+
+_N, _R, _EPS = 16, 4, 0.3
+
+
+def test_elementary_symmetric_benchmark(benchmark):
+    s1, _, r = example_c3_vectors()
+    benchmark(elementary_symmetric, s1, r)
+
+
+def test_example_c3_report(benchmark, record_result):
+    """E5: the paper's exact Appendix C.3 values."""
+
+    def compute():
+        s1, s2, r = example_c3_vectors()
+        f_s1 = elementary_symmetric(s1, r)
+        f_s2 = elementary_symmetric_exact([10] + [1] * 30, r)
+        return f_s1, int(f_s2), r
+
+    f_s1, f_s2, r = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_table(
+        ["vector", f"f_{r}(s)"],
+        [
+            ["s1 = (2.5 x16, 0 x24)", f"{f_s1:.2f}"],
+            ["s2 = (10, 1 x30, 0 x9)", f_s2],
+        ],
+    )
+    record_result("E5_example_c3", text)
+    assert f_s2 == 173_116_515
+    assert f_s1 == pytest.approx(76_370_239.2578125, rel=1e-9)
+    assert f_s1 < f_s2
+
+
+def test_kkt_maximization_benchmark(benchmark):
+    benchmark.pedantic(
+        maximize_noncollision,
+        args=(_N, _R, _EPS),
+        kwargs={"n_starts": 4, "seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_two_value_search_benchmark(benchmark):
+    benchmark.pedantic(
+        worst_case_two_value, args=(_N, _R, _EPS), rounds=3, iterations=1
+    )
+
+
+def test_lemma1_structure_report(benchmark, record_result):
+    """E10: SLSQP optimum structure + agreement with the two-value family."""
+
+    def analyze():
+        rows = []
+        for n, r, epsilon, seed in (
+            (12, 3, 0.4, 0),
+            (16, 4, 0.3, 1),
+            (20, 5, 0.3, 2),
+        ):
+            s_opt, value = maximize_noncollision(
+                n, r, epsilon, n_starts=6, seed=seed
+            )
+            clusters = distinct_nonzero_values(s_opt, tol=5e-2)
+            diagnostics = kkt_diagnostics(s_opt, r, n, epsilon)
+            family = worst_case_two_value(n, r, epsilon)
+            family_value = elementary_symmetric(family.vector(n) / n, r)
+            rows.append(
+                [
+                    f"n={n},r={r},eps={epsilon}",
+                    len(clusters),
+                    f"{diagnostics.stationarity_residual:.2e}",
+                    str(diagnostics.constraint1_active),
+                    f"{value:.6e}",
+                    f"{family_value:.6e}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "instance",
+            "distinct values",
+            "KKT residual",
+            "constraint (1) active",
+            "SLSQP value",
+            "two-value family value",
+        ],
+        rows,
+    )
+    record_result("E10_lemma1_kkt", text)
+    for row in rows:
+        assert row[1] <= 2  # Lemma 1's structure theorem
+        assert float(row[2]) < 5e-2  # stationarity holds
+        relative_gap = abs(float(row[4]) - float(row[5])) / float(row[4])
+        assert relative_gap < 0.05

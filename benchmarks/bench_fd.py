@@ -1,0 +1,124 @@
+"""E14 — approximate FD discovery and sampled validation.
+
+Two experiments extending the paper's machinery to its AFD superclass:
+
+* **discovery scaling** — levelwise minimal-AFD discovery cost vs ``n``
+  (partition work is linear per candidate, so time tracks ``n``);
+* **sampled validation** — the ``Γ_X − Γ_{X∪Y}`` identity lets the
+  Theorem 2 pair sample validate dependencies; accuracy vs stored pairs,
+  wall clock vs the exact partition computation, independent of ``n``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.experiments.reporting import format_table
+from repro.fd.discovery import discover_afds
+from repro.fd.measures import g1_error
+from repro.fd.sampled import SampledFDValidator
+
+
+def _fd_workload(n_rows: int, seed: int = 0) -> Dataset:
+    """A table with planted exact and 2%-noisy dependencies."""
+    rng = np.random.default_rng(seed)
+    zips = rng.integers(0, 300, size=n_rows)
+    cities = zips // 10
+    noisy_cities = cities.copy()
+    broken = rng.choice(n_rows, size=max(1, n_rows // 50), replace=False)
+    noisy_cities[broken] = 1000 + rng.integers(0, 7, size=broken.size)
+    return Dataset(
+        np.column_stack(
+            [
+                zips,
+                noisy_cities,
+                zips // 100,
+                rng.integers(0, 12, size=n_rows),
+                rng.integers(0, 5, size=n_rows),
+            ]
+        ),
+        column_names=["zip", "city", "region", "month", "grade"],
+    )
+
+
+@pytest.mark.parametrize("n_rows", [2_000, 8_000])
+def test_discovery_benchmark(benchmark, n_rows):
+    data = _fd_workload(n_rows)
+    found = benchmark.pedantic(
+        discover_afds,
+        args=(data, 0.03),
+        kwargs={"max_lhs_size": 2},
+        rounds=2,
+        iterations=1,
+    )
+    lhs_sets = {(fd.lhs, fd.rhs) for fd in found}
+    zip_idx, city_idx = 0, 1
+    assert ((zip_idx,), city_idx) in lhs_sets  # the planted noisy FD
+
+
+@pytest.mark.parametrize("sample_pairs", [2_000, 20_000])
+def test_sampled_validation_benchmark(benchmark, sample_pairs):
+    data = _fd_workload(30_000, seed=1)
+    validator = SampledFDValidator.fit(
+        data, k=3, alpha=0.001, epsilon=0.2,
+        sample_size=sample_pairs, seed=2,
+    )
+    estimate = benchmark.pedantic(
+        validator.validate, args=("zip", "city"), rounds=5, iterations=2
+    )
+    assert estimate.g1_estimate >= 0.0
+
+
+def test_fd_report(benchmark, record_result):
+    """Accuracy/cost table: exact measures vs sampled validation."""
+
+    def run_all():
+        rows = []
+        data = _fd_workload(40_000, seed=3)
+        exact_start = time.perf_counter()
+        exact = g1_error(data, "zip", "city")
+        exact_seconds = time.perf_counter() - exact_start
+        for sample_pairs in (1_000, 5_000, 25_000, 100_000):
+            validator = SampledFDValidator.fit(
+                data, k=3, alpha=0.001, epsilon=0.2,
+                sample_size=sample_pairs, seed=4,
+            )
+            start = time.perf_counter()
+            estimate = validator.validate("zip", "city")
+            query_seconds = time.perf_counter() - start
+            error = (
+                abs(estimate.g1_estimate - exact) / exact
+                if exact > 0
+                else 0.0
+            )
+            rows.append(
+                [
+                    sample_pairs,
+                    f"{estimate.g1_estimate:.2e}",
+                    f"{exact:.2e}",
+                    f"{error:.2f}",
+                    f"{query_seconds * 1e3:.2f}ms",
+                    f"{exact_seconds * 1e3:.1f}ms",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "stored pairs",
+            "g1 estimate",
+            "g1 exact",
+            "rel err",
+            "query time",
+            "exact time",
+        ],
+        rows,
+    )
+    record_result("E14_fd_validation", text)
+    # More pairs -> smaller relative error (compare the extremes).
+    assert float(rows[-1][3]) <= float(rows[0][3]) + 0.05

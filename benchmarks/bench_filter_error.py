@@ -1,0 +1,98 @@
+"""E2 — Theorem 1 upper bound: empirical false-accept rate vs sample size.
+
+Builds a data set whose first coordinate realizes the *worst-case* clique
+profile from the two-value family (Lemma 1's structure theorem), then
+charts how often Algorithm 1 wrongly accepts the bad coordinate as the
+sample size sweeps through fractions and multiples of ``m/√ε``.
+
+Expected shape: failure ≈ the analytic non-collision probability, dropping
+through ``e^{−m}``-scale once ``r = Θ(m/√ε)`` — the Theorem 1 transition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.extremal import clique_vector_to_dataset, lemma1_candidate
+from repro.analysis.symmetric import noncollision_without_replacement
+from repro.core.filters import TupleSampleFilter
+from repro.data.dataset import Dataset
+from repro.experiments.reporting import format_table
+
+_N_ROWS = 40_000
+_EPSILON = 0.01
+_M = 6
+
+
+@pytest.fixture(scope="module")
+def worst_case_data() -> Dataset:
+    """Coordinate 0 realizes the Lemma 1 worst-case profile at ε, n."""
+    profile = lemma1_candidate(_N_ROWS, _EPSILON)
+    codes = clique_vector_to_dataset(profile, _M)
+    return Dataset(codes)
+
+
+def _false_accept_rate(data: Dataset, sample_size: int, trials: int) -> float:
+    accepts = 0
+    for trial in range(trials):
+        filt = TupleSampleFilter.fit(
+            data, _EPSILON, sample_size=sample_size, seed=trial
+        )
+        if filt.accepts([0]):
+            accepts += 1
+    return accepts / trials
+
+
+@pytest.mark.parametrize("multiple", [0.25, 1.0, 4.0])
+def test_filter_error_benchmark(benchmark, worst_case_data, multiple):
+    """Time one filter build+query at each sample-size multiple."""
+    import math
+
+    sample_size = max(2, int(multiple * _M / math.sqrt(_EPSILON)))
+
+    def build_and_query():
+        filt = TupleSampleFilter.fit(
+            worst_case_data, _EPSILON, sample_size=sample_size, seed=0
+        )
+        return filt.accepts([0])
+
+    benchmark(build_and_query)
+
+
+def test_filter_error_report(benchmark, worst_case_data, record_result):
+    """Empirical vs analytic failure probability across the r sweep."""
+    import math
+
+    base = _M / math.sqrt(_EPSILON)
+    profile = lemma1_candidate(_N_ROWS, _EPSILON)
+
+    def sweep():
+        rows = []
+        for multiple in (0.125, 0.25, 0.5, 1.0, 2.0, 4.0):
+            sample_size = max(2, int(multiple * base))
+            empirical = _false_accept_rate(worst_case_data, sample_size, trials=60)
+            analytic = noncollision_without_replacement(profile, sample_size)
+            rows.append(
+                [
+                    f"{multiple:g}",
+                    sample_size,
+                    f"{empirical:.3f}",
+                    f"{analytic:.3f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["r / (m/sqrt(eps))", "r", "empirical false-accept", "analytic non-collision"],
+        rows,
+    )
+    record_result("E2_filter_error", text)
+    empirical = np.array([float(row[2]) for row in rows])
+    analytic = np.array([float(row[3]) for row in rows])
+    # Monotone decreasing failure; empirical tracks analytic within noise.
+    assert empirical[0] >= empirical[-1]
+    assert np.all(np.abs(empirical - analytic) <= 0.2)
+    # At 4x the Theorem 1 sample size the filter essentially never fails.
+    assert empirical[-1] <= 0.05

@@ -1,0 +1,144 @@
+"""E3 + E4 — the Lemma 3 and Lemma 4 lower-bound experiments.
+
+E3 (Lemma 3): on the grid ``[q]^m``, the probability of rejecting *all* bad
+singletons stays bounded away from 1 until ``r ≈ √(q·log m)`` — the
+``Ω(√(log m/ε))`` lower bound for constant failure probability.
+
+E4 (Lemma 4): on the planted-clique data set, rejecting the bad coordinate
+with ``e^{−m}``-level confidence needs ``r = Θ(m/√ε)`` samples — matching
+the Theorem 1 upper bound and proving it tight in that regime.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.lower_bounds import (
+    grid_detection_probability,
+    planted_clique_rejection_probability,
+    required_samples_for_rejection,
+    simulate_grid_detection,
+    simulate_planted_clique_detection,
+)
+from repro.experiments.reporting import format_table
+
+_GRID_Q = 400  # 1/ε ≈ 400.5
+_GRID_M = 30
+
+
+def test_grid_simulation_benchmark(benchmark):
+    r = int(math.sqrt(_GRID_Q * math.log(_GRID_M)))
+    benchmark.pedantic(
+        simulate_grid_detection,
+        args=(_GRID_Q, _GRID_M, r, 200),
+        kwargs={"seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_lemma3_report(benchmark, record_result):
+    """Detection probability around the √(q·log m) threshold."""
+    threshold = math.sqrt(_GRID_Q * math.log(_GRID_M))
+
+    def sweep():
+        rows = []
+        for multiple in (0.25, 0.5, 1.0, 2.0, 4.0):
+            r = max(2, int(multiple * threshold))
+            analytic = grid_detection_probability(_GRID_Q, _GRID_M, r)
+            simulated = simulate_grid_detection(
+                _GRID_Q, _GRID_M, r, trials=300, seed=0
+            )
+            rows.append(
+                [f"{multiple:g}", r, f"{analytic:.4f}", f"{simulated:.4f}"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["r / sqrt(q log m)", "r", "analytic detect-all", "simulated"], rows
+    )
+    record_result("E3_lemma3_grid", text)
+    # Shape: at the threshold detection is far from certain; at 4x it is
+    # essentially certain.
+    analytic_at_1 = float(rows[2][2])
+    analytic_at_4 = float(rows[4][2])
+    assert analytic_at_1 < 0.9
+    assert analytic_at_4 > 0.99
+
+
+def test_planted_clique_simulation_benchmark(benchmark):
+    benchmark.pedantic(
+        simulate_planted_clique_detection,
+        args=(100_000, 0.0001, 2_000, 2_000),
+        kwargs={"seed": 0},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_lemma4_report(benchmark, record_result):
+    """Samples required for 1 − e^{−m} rejection scale like m/√ε."""
+    n, epsilon = 2_000_000, 0.0001
+
+    def sweep():
+        rows = []
+        for m in (2, 4, 8, 16):
+            target = 1 - math.exp(-m)
+            required = required_samples_for_rejection(n, epsilon, target)
+            predicted = m / math.sqrt(epsilon)
+            analytic = planted_clique_rejection_probability(n, epsilon, required)
+            rows.append(
+                [
+                    m,
+                    required,
+                    f"{predicted:.0f}",
+                    f"{required / predicted:.2f}",
+                    f"{analytic:.6f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["m", "required r", "m/sqrt(eps)", "ratio", "P(reject)"], rows
+    )
+    record_result("E4_lemma4_planted_clique", text)
+    ratios = [float(row[3]) for row in rows]
+    # Θ(m/√ε): the required/predicted ratio is bounded above and below by
+    # universal constants across the whole m sweep.
+    assert max(ratios) / min(ratios) < 4
+    assert all(0.05 < ratio < 4 for ratio in ratios)
+
+
+def test_lemma4_end_to_end_filter(benchmark, record_result):
+    """Run Algorithm 1 itself on the Lemma 4 data set at r below/above the
+    bound and record its empirical rejection rate."""
+    from repro.core.filters import TupleSampleFilter
+    from repro.data.synthetic import planted_clique_dataset
+
+    n, epsilon, m = 60_000, 0.0001, 8
+    data = planted_clique_dataset(n, m, epsilon, seed=0)
+    bound = int(m / math.sqrt(epsilon))
+
+    def sweep():
+        rows = []
+        for multiple in (0.25, 1.0, 3.0):
+            r = max(2, int(multiple * bound))
+            rejections = 0
+            trials = 30
+            for trial in range(trials):
+                filt = TupleSampleFilter.fit(
+                    data, epsilon, sample_size=r, seed=trial
+                )
+                rejections += int(not filt.accepts([0]))
+            rows.append([f"{multiple:g}", r, f"{rejections / trials:.3f}"])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(["r / (m/sqrt(eps))", "r", "empirical P(reject)"], rows)
+    record_result("E4_lemma4_planted_clique", text)
+    assert float(rows[0][2]) <= float(rows[-1][2]) + 0.05
+    assert float(rows[-1][2]) >= 0.9

@@ -1,0 +1,179 @@
+"""E15 — privacy layer: linking attacks and adversary economics.
+
+* **attack curve** — re-identification rate vs quasi-identifier size and
+  adversary knowledge noise on the Adult stand-in (the quantitative form
+  of the paper's "small quasi-identifiers are crucial ... for linking
+  attacks");
+* **adversary economics** — cheapest ε-key cost under a price model, vs
+  the unweighted smallest key (weighted vs plain greedy on the Algorithm
+  1 sample);
+* **anonymization utility** — Mondrian's privacy/utility frontier:
+  information loss (NCP) and residual attack recall as ``k`` grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.minkey import TupleSampleMinKey
+from repro.data.synthetic import adult_like
+from repro.experiments.reporting import format_table
+from repro.privacy.anonymize import mondrian_anonymize
+from repro.privacy.cost import cheapest_quasi_identifier, uniform_costs
+from repro.privacy.linkage import simulate_linking_attack
+from repro.privacy.risk import assess_risk
+
+_QI_LADDER = [
+    ["age"],
+    ["age", "sex"],
+    ["age", "sex", "education"],
+    ["age", "sex", "education", "occupation"],
+    ["age", "sex", "education", "occupation", "hours_per_week"],
+]
+
+
+@pytest.mark.parametrize("n_attributes", [1, 3, 5])
+def test_linking_attack_benchmark(benchmark, n_attributes):
+    data = adult_like(8_000, seed=0)
+    attributes = _QI_LADDER[n_attributes - 1]
+    result = benchmark.pedantic(
+        simulate_linking_attack,
+        args=(data, attributes),
+        kwargs={"seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 <= result.recall <= 1.0
+
+
+def test_attack_curve_report(benchmark, record_result):
+    """Re-identification vs QI size x noise — the privacy-harm surface."""
+
+    def run_all():
+        data = adult_like(8_000, seed=0)
+        rows = []
+        for attributes in _QI_LADDER:
+            report = assess_risk(data, attributes)
+            entries = [
+                ",".join(attributes),
+                report.k_anonymity,
+                f"{report.uniqueness:.3f}",
+            ]
+            for noise in (0.0, 0.05, 0.2):
+                attack = simulate_linking_attack(
+                    data, attributes, noise=noise, seed=2
+                )
+                entries.append(f"{attack.recall:.3f}")
+            rows.append(entries)
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "quasi-identifier",
+            "k-anon",
+            "uniqueness",
+            "recall @0%",
+            "recall @5%",
+            "recall @20%",
+        ],
+        rows,
+    )
+    record_result("E15_linking_attack", text)
+    clean_recalls = [float(row[3]) for row in rows]
+    # Wider quasi-identifiers re-identify more people (monotone up).
+    assert clean_recalls == sorted(clean_recalls)
+    # Noise hurts the attack on the widest QI.
+    assert float(rows[-1][5]) <= float(rows[-1][3])
+
+
+def test_adversary_economics_report(benchmark, record_result):
+    """Cheapest vs smallest key under a heterogeneous price model."""
+
+    def run_all():
+        data = adult_like(8_000, seed=3)
+        costs = uniform_costs(data)
+        # Price the near-unique financial columns out of casual reach.
+        costs.update(
+            {"fnlwgt": 40.0, "capital_gain": 25.0, "capital_loss": 25.0}
+        )
+        cheapest = cheapest_quasi_identifier(
+            data, costs, epsilon=0.001, seed=4
+        )
+        smallest = TupleSampleMinKey(0.001, seed=4).solve(data)
+        smallest_cost = sum(
+            costs[data.column_names[a]] for a in smallest.attributes
+        )
+        return [
+            [
+                "weighted greedy",
+                len(cheapest.attributes),
+                f"{cheapest.total_cost:.0f}",
+                ",".join(cheapest.attribute_names),
+            ],
+            [
+                "unweighted greedy",
+                smallest.key_size,
+                f"{smallest_cost:.0f}",
+                ",".join(
+                    data.column_names[a] for a in smallest.attributes
+                ),
+            ],
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(["miner", "key size", "cost", "attributes"], rows)
+    record_result("E15_adversary_economics", text)
+    # The cost-aware miner never pays more than the size-only miner.
+    assert float(rows[0][2]) <= float(rows[1][2])
+
+
+@pytest.mark.parametrize("k", [5, 50])
+def test_mondrian_benchmark(benchmark, k):
+    data = adult_like(6_000, seed=5)
+    qi = ["age", "education_num", "hours_per_week"]
+    result = benchmark.pedantic(
+        mondrian_anonymize, args=(data, qi, k), rounds=1, iterations=1
+    )
+    assert result.smallest_class >= k
+
+
+def test_anonymization_utility_report(benchmark, record_result):
+    """The privacy/utility frontier: NCP and attack recall vs k."""
+
+    def run_all():
+        data = adult_like(6_000, seed=6)
+        qi = ["age", "education_num", "hours_per_week"]
+        baseline = simulate_linking_attack(data, qi, seed=7)
+        rows = [
+            [
+                "1 (raw)",
+                "0.000",
+                f"{baseline.recall:.3f}",
+                simulate_linking_attack(data, qi, seed=7).n_ambiguous,
+            ]
+        ]
+        for k in (2, 10, 50, 250):
+            result = mondrian_anonymize(data, qi, k)
+            attack = simulate_linking_attack(result.data, qi, seed=7)
+            rows.append(
+                [
+                    str(k),
+                    f"{result.ncp:.3f}",
+                    f"{attack.recall:.3f}",
+                    attack.n_ambiguous,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["k", "NCP (info loss)", "attack recall", "ambiguous targets"], rows
+    )
+    record_result("E15_anonymization_utility", text)
+    ncps = [float(row[1]) for row in rows]
+    recalls = [float(row[2]) for row in rows]
+    # Stronger anonymity costs more information and kills more of the
+    # attack (both monotone along the k ladder).
+    assert ncps == sorted(ncps)
+    assert recalls == sorted(recalls, reverse=True)

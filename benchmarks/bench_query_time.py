@@ -1,0 +1,85 @@
+"""E9 — query-time scaling of the two filters (Theorem 1's query bounds).
+
+The paper's query bounds: ``O(s·|A|)`` with ``s = Θ(m/ε)`` for the pair
+filter versus ``O(r·|A|·log r)`` with ``r = Θ(m/√ε)`` for the tuple filter
+— a ``≈ √ε·log`` advantage that this benchmark charts against ``|A|`` and
+``ε``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.data.registry import build_dataset
+
+_EPSILONS = [0.01, 0.001]
+_QUERY_SIZES = [2, 8, 20]
+
+
+@pytest.fixture(scope="module")
+def data():
+    return build_dataset("covtype", n_rows=60_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def filters(data):
+    built = {}
+    for epsilon in _EPSILONS:
+        built[("pairs", epsilon)] = MotwaniXuFilter.fit(data, epsilon, seed=1)
+        built[("tuples", epsilon)] = TupleSampleFilter.fit(data, epsilon, seed=1)
+    return built
+
+
+@pytest.mark.parametrize("epsilon", _EPSILONS)
+@pytest.mark.parametrize("query_size", _QUERY_SIZES)
+@pytest.mark.parametrize("method", ["pairs", "tuples"])
+def test_query_latency(benchmark, filters, method, query_size, epsilon):
+    """One filter query at the given |A| and ε."""
+    filt = filters[(method, epsilon)]
+    attributes = list(range(query_size))
+    benchmark(filt.accepts, attributes)
+
+
+def test_query_time_report(benchmark, filters, record_result):
+    """Record the measured latency table (series over |A| and ε)."""
+    import time
+
+    from repro.experiments.reporting import format_table
+
+    def measure():
+        rows = []
+        for epsilon in _EPSILONS:
+            for query_size in _QUERY_SIZES:
+                attributes = list(range(query_size))
+                timings = {}
+                for method in ("pairs", "tuples"):
+                    filt = filters[(method, epsilon)]
+                    start = time.perf_counter()
+                    for _ in range(20):
+                        filt.accepts(attributes)
+                    timings[method] = (time.perf_counter() - start) / 20
+                rows.append(
+                    [
+                        epsilon,
+                        query_size,
+                        f"{timings['pairs'] * 1e6:.0f}",
+                        f"{timings['tuples'] * 1e6:.0f}",
+                        f"{timings['pairs'] / max(timings['tuples'], 1e-12):.1f}x",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        ["epsilon", "|A|", "pair-filter (us)", "tuple-filter (us)", "speedup"],
+        rows,
+    )
+    record_result("E9_query_time", text)
+    # The √ε sample-size gap dominates the sort's log factor at small ε:
+    # at the paper's ε = 0.001 the tuple filter must win clearly (the paper
+    # reports ~9x on Covtype).  At the milder ε = 0.01 the constant-factor
+    # advantage of the pair filter's vectorized scan may win — the theory
+    # only promises O((m/√ε)·|A|·log) vs O((m/ε)·|A|).
+    small_eps = [row for row in rows if row[0] == min(_EPSILONS)]
+    assert all(float(row[2]) > 2 * float(row[3]) for row in small_eps)

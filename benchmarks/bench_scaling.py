@@ -1,0 +1,99 @@
+"""Scaling with the data-set size n — the paper's core motivation.
+
+"For massive data sets (i.e., large n), this approach is, however, costly
+... [the sampling approach's] running time is more manageable as it does
+not depend on the size of the data set n."
+
+This bench builds both filters on the same workload at growing n and
+records (a) the one-off build cost (a sampling pass, necessarily touching
+n) and (b) the query cost and memory, which must stay *flat* in n — the
+whole point of replacing the `O(m² n²)`-style exact reduction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.data.synthetic import zipf_dataset
+from repro.experiments.reporting import format_table
+
+_EPSILON = 0.001
+_M = 12
+_SIZES = (10_000, 40_000, 160_000)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {n: zipf_dataset(n, _M, 64, seed=0) for n in _SIZES}
+
+
+@pytest.mark.parametrize("n_rows", _SIZES)
+def test_tuple_filter_build(benchmark, datasets, n_rows):
+    data = datasets[n_rows]
+    benchmark.pedantic(
+        TupleSampleFilter.fit,
+        args=(data, _EPSILON),
+        kwargs={"seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n_rows", _SIZES)
+def test_tuple_filter_query(benchmark, datasets, n_rows):
+    filt = TupleSampleFilter.fit(datasets[n_rows], _EPSILON, seed=1)
+    benchmark(filt.accepts, [0, 1, 2])
+
+
+def test_scaling_report(benchmark, datasets, record_result):
+    """Query time and memory vs n for both filters: flat curves."""
+
+    def measure():
+        rows = []
+        for n in _SIZES:
+            data = datasets[n]
+            tuple_filter = TupleSampleFilter.fit(data, _EPSILON, seed=1)
+            pair_filter = MotwaniXuFilter.fit(data, _EPSILON, seed=1)
+            timings = {}
+            for label, filt in (
+                ("tuples", tuple_filter),
+                ("pairs", pair_filter),
+            ):
+                start = time.perf_counter()
+                for _ in range(30):
+                    filt.accepts([0, 1, 2])
+                timings[label] = (time.perf_counter() - start) / 30
+            rows.append(
+                [
+                    n,
+                    f"{timings['tuples'] * 1e6:.0f}",
+                    f"{timings['pairs'] * 1e6:.0f}",
+                    tuple_filter.memory_cells(),
+                    pair_filter.memory_cells(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "n",
+            "tuple query (us)",
+            "pair query (us)",
+            "tuple memory (cells)",
+            "pair memory (cells)",
+        ],
+        rows,
+    )
+    record_result("E11_scaling_in_n", text)
+    # Memory is exactly n-independent (sample sizes depend on m, ε only).
+    assert len({row[3] for row in rows}) == 1
+    assert len({row[4] for row in rows}) == 1
+    # Query time is n-independent up to noise: the largest n is within 4x
+    # of the smallest.
+    smallest = float(rows[0][1])
+    largest = float(rows[-1][1])
+    assert largest <= 4 * smallest + 50

@@ -1,0 +1,113 @@
+"""E6 — Theorem 2 upper bound: non-separation sketch accuracy and cost.
+
+Charts the sketch's relative estimation error against the true mass
+``Γ_A / C(n, 2)``: the ``(1 ± ε)`` band must hold above ``α`` and the
+"small" answer is allowed below.  Also records the sketch's bit footprint
+against the Section 3.2 ``Ω(m·k·log 1/ε)`` lower bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.separation import unseparated_pairs
+from repro.core.sketch import NonSeparationSketch
+from repro.data.synthetic import zipf_dataset
+from repro.experiments.reporting import format_table
+from repro.types import pairs_count
+
+_ALPHA = 0.05
+_EPSILON = 0.1
+_K = 2
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_dataset(40_000, n_columns=10, cardinality=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sketch(data):
+    return NonSeparationSketch.fit(
+        data, k=_K, alpha=_ALPHA, epsilon=_EPSILON, seed=1
+    )
+
+
+def test_sketch_build_benchmark(benchmark, data):
+    benchmark.pedantic(
+        NonSeparationSketch.fit,
+        args=(data,),
+        kwargs={"k": _K, "alpha": _ALPHA, "epsilon": _EPSILON, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_sketch_query_benchmark(benchmark, sketch):
+    benchmark(sketch.query, [0, 1])
+
+
+def test_sketch_accuracy_report(benchmark, data, sketch, record_result):
+    """Relative error per query across the whole ≤k query space."""
+    total = pairs_count(data.n_rows)
+    m = data.n_columns
+
+    def evaluate():
+        rows = []
+        violations = 0
+        queries = [(c,) for c in range(m)] + list(
+            itertools.combinations(range(m), 2)
+        )
+        for attrs in queries:
+            gamma = unseparated_pairs(data, attrs)
+            mass = gamma / total
+            answer = sketch.query(list(attrs))
+            if answer.is_small:
+                status = "small"
+                error = ""
+                if mass >= _ALPHA:
+                    violations += 1
+            else:
+                error_value = abs(answer.estimate - gamma) / max(gamma, 1)
+                status = f"{answer.estimate:.3e}"
+                error = f"{error_value:.4f}"
+                if mass >= _ALPHA and error_value > _EPSILON:
+                    violations += 1
+            rows.append([str(attrs), f"{mass:.4f}", status, error])
+        return rows, violations
+
+    (rows, violations) = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    shown = rows[:12] + [["...", "", "", ""]]
+    text = format_table(["A", "Gamma/C(n,2)", "estimate", "rel err"], shown)
+    footer = (
+        f"queries: {len(rows)}  violations: {violations}  "
+        f"sketch pairs: {sketch.sample_size}  "
+        f"bits: {sketch.memory_bits():,}  "
+        f"lower bound bits: {sketch.lower_bound_bits():,}"
+    )
+    record_result("E6_sketch_accuracy", text + "\n" + footer)
+    # Theorem 2's "for all queries" guarantee.
+    assert violations == 0
+
+
+def test_sketch_size_scaling_report(benchmark, record_result):
+    """Sample size vs k and ε — the Θ(k·log m/(α ε²)) law."""
+    from repro.core.sample_sizes import sketch_pair_sample_size
+
+    def table():
+        rows = []
+        for k in (1, 2, 4):
+            for epsilon in (0.2, 0.1, 0.05):
+                size = sketch_pair_sample_size(k, 100, _ALPHA, epsilon)
+                rows.append([k, epsilon, size])
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    text = format_table(["k", "epsilon", "pairs sampled"], rows)
+    record_result("E6_sketch_accuracy", text)
+    # Doubling k doubles the size; halving ε quadruples it.
+    size = {(row[0], row[1]): row[2] for row in rows}
+    assert size[(2, 0.1)] == pytest.approx(2 * size[(1, 0.1)], rel=0.01)
+    assert size[(1, 0.05)] == pytest.approx(4 * size[(1, 0.2)] * 4, rel=0.01)

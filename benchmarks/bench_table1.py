@@ -1,0 +1,69 @@
+"""E1 — Table 1: sample size, running time, agreement (paper Section 4).
+
+Regenerates the paper's only table: the Motwani–Xu pair filter (★) versus
+the tuple filter (★★) on Adult-like / Covtype-like / CPS-like data at
+``ε = 0.001``, ``δ = 0.01``, ~100 random subsets, 10 trials.
+
+The benchmark timings measure one full trial (build both filters + answer
+the workload); the recorded artifact is the paper-shaped table.  Default
+sizes are scaled for CI; ``REPRO_BENCH_SCALE=paper`` runs full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.registry import build_dataset
+from repro.experiments.config import FilterExperimentConfig, Table1Config
+from repro.experiments.harness import run_filter_comparison
+from repro.experiments.table1 import run_table1, table1_rows_to_text
+
+from conftest import paper_scale
+
+#: (dataset, CI rows) — paper rows are the registry defaults.
+_DATASETS = [("adult", 8_000), ("covtype", 30_000), ("cps", 12_000)]
+
+
+def _config(trials: int = 10, queries: int = 100) -> FilterExperimentConfig:
+    return FilterExperimentConfig(
+        epsilon=0.001, delta=0.01, n_queries=queries, n_trials=trials, seed=0
+    )
+
+
+@pytest.mark.parametrize("name,ci_rows", _DATASETS)
+def test_table1_trial_benchmark(benchmark, name, ci_rows):
+    """Time one comparison trial per data set (both filters, full workload)."""
+    rows = None if paper_scale() else ci_rows
+    data = build_dataset(name, n_rows=rows, seed=0)
+    config = _config(trials=1, queries=50)
+
+    def one_trial():
+        return run_filter_comparison(data, config, dataset_name=name)
+
+    result = benchmark.pedantic(one_trial, rounds=3, iterations=1)
+    assert result.mean_agreement >= 0.75
+
+
+def test_table1_full_report(benchmark, record_result):
+    """Regenerate the full Table 1 artifact (all rows, 10 trials)."""
+    if paper_scale():
+        config = Table1Config(filter_config=_config())
+    else:
+        config = Table1Config(
+            datasets=tuple((name, rows) for name, rows in _DATASETS),
+            filter_config=_config(trials=3, queries=60),
+        )
+    rows = benchmark.pedantic(lambda: run_table1(config), rounds=1, iterations=1)
+    text = table1_rows_to_text(rows)
+    ratios = "\n".join(
+        f"{row.dataset}: sample ratio {row.pair_sample_size / row.tuple_sample_size:.1f}x, "
+        f"speedup {row.pair_seconds / max(row.tuple_seconds, 1e-9):.1f}x"
+        for row in rows
+    )
+    record_result("E1_table1", text + "\n" + ratios)
+    # Reproduction checks: the paper's shape.
+    for row in rows:
+        assert row.agreement >= 0.75  # paper: 95-100 %
+        if row.result.n_rows > row.pair_sample_size:
+            assert row.pair_sample_size / row.tuple_sample_size > 10
+        assert row.tuple_seconds < row.pair_seconds  # ★★ is faster

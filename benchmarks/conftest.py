@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure-shaped artifact from the paper
+(see DESIGN.md §4).  Numbers are printed to stdout *and* appended to
+``benchmarks/results/<experiment>.txt`` so the regenerated rows survive
+output capture and can be pasted into EXPERIMENTS.md.
+
+Scale: benchmarks default to laptop-friendly sizes (minutes, not hours).
+Set ``REPRO_BENCH_SCALE=paper`` in the environment to run the Table 1
+experiment at the paper's full row counts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def paper_scale() -> bool:
+    """Whether to run at full paper scale (env toggle)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Append a rendered experiment artifact to its results file."""
+
+    def _record(experiment: str, text: str) -> None:
+        path = results_dir / f"{experiment}.txt"
+        with path.open("a") as handle:
+            handle.write(text.rstrip() + "\n\n")
+        print(f"\n[{experiment}]\n{text}")
+
+    return _record

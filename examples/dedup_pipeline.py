@@ -1,0 +1,89 @@
+"""Fuzzy-duplicate cleaning driven by a mined quasi-identifier.
+
+The pipeline the paper's data-cleaning application sketches:
+
+1. plant fuzzy duplicates (typos, convention drift) into a clean table;
+2. mine a small ε-separation key with the paper's Algorithm 1 sampler —
+   its attributes are exactly the columns that discriminate records;
+3. use those attributes as multi-pass blocking keys, so candidate
+   generation stays far below the quadratic all-pairs comparison;
+4. match, cluster, and score against the planted ground truth.
+
+Run with:  python examples/dedup_pipeline.py
+"""
+
+from repro import approximate_min_key
+from repro.cleaning import (
+    CorruptionConfig,
+    evaluate_against_truth,
+    find_fuzzy_duplicates,
+    inject_fuzzy_duplicates,
+    make_clean_people_table,
+)
+from repro.types import pairs_count
+
+
+def main() -> None:
+    # --- 1. A dirty table with known ground truth ----------------------
+    clean = make_clean_people_table(600, seed=11)
+    config = CorruptionConfig(
+        duplicate_fraction=0.08,
+        typo_rate=0.45,
+        convention_rate=0.3,
+        numeric_jitter_rate=0.15,
+    )
+    dirty = inject_fuzzy_duplicates(clean, config, seed=12)
+    print(
+        f"dirty table: {dirty.data.n_rows} rows, "
+        f"{len(dirty.true_pairs)} planted duplicates"
+    )
+
+    # --- 2. Mine a small quasi-identifier ------------------------------
+    # Duplicates make the table key-less in the strict sense, so mine an
+    # ε-key: it separates everything except (mostly) the planted clones.
+    key = approximate_min_key(dirty.data, epsilon=0.01, seed=13)
+    key_names = [dirty.data.column_names[a] for a in key.attributes]
+    print(f"mined epsilon-key: {key_names} (sample {key.sample_size} tuples)")
+
+    # --- 3 + 4. Block, compare, score -----------------------------------
+    # Down-weight numeric identifiers: relative closeness makes any two
+    # ZIPs near 92000 look alike (see cleaning.similarity docs).
+    weights = [3.0, 3.0, 1.0, 0.5, 0.5]
+    naive = pairs_count(dirty.data.n_rows)
+
+    # First attempt: block only on the mined key's attributes.  A typo in
+    # the key column hides that duplicate from its (only) blocking pass.
+    key_only = find_fuzzy_duplicates(
+        dirty.data, [[name] for name in key_names],
+        threshold=0.8, weights=weights,
+    )
+    key_score = evaluate_against_truth(
+        key_only.matched_pairs, dirty.true_pairs
+    )
+    print(
+        f"\nkey-only blocking: {key_only.n_comparisons:,} comparisons, "
+        f"precision {key_score.precision:.3f}, recall {key_score.recall:.3f}"
+    )
+    print("  -> typos in the key column hide those duplicates entirely.")
+
+    # Robust version: add passes on stable low-corruption columns; a
+    # duplicate escapes only if *every* pass's column was corrupted.
+    passes = [[name] for name in key_names] + [["zip"], ["birth_year"]]
+    result = find_fuzzy_duplicates(
+        dirty.data, passes, threshold=0.8, weights=weights
+    )
+    score = evaluate_against_truth(result.matched_pairs, dirty.true_pairs)
+    print(
+        f"\nmulti-pass blocking: {result.n_comparisons:,} comparisons "
+        f"instead of {naive:,} "
+        f"({result.blocking.reduction_ratio:.1%} reduction)"
+    )
+    print(f"matched pairs: {len(result.matched_pairs)} "
+          f"in {len(result.groups)} duplicate group(s)")
+    print(f"precision: {score.precision:.3f}")
+    print(f"recall:    {score.recall:.3f}")
+    print(f"f1:        {score.f1:.3f}")
+
+
+if __name__ == "__main__":
+    main()

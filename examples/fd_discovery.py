@@ -1,0 +1,100 @@
+"""Approximate functional dependency discovery on a noisy address table.
+
+The paper notes that quasi-identifiers are a special case of approximate
+functional dependencies; this example walks the other direction: mine the
+AFDs of a table whose zip -> city dependency is polluted by typos,
+validate one dependency from a tiny uniform sample using the paper's
+``Γ_X − Γ_{X∪Y}`` identity, then push the exact dependencies through the
+Armstrong machinery — candidate keys and a verified lossless BCNF
+decomposition (the paper's query-optimization application).
+
+Run with:  python examples/fd_discovery.py
+"""
+
+import numpy as np
+
+from repro import Dataset
+from repro.fd import (
+    SampledFDValidator,
+    candidate_keys,
+    decompose_bcnf,
+    discover_afds,
+    exact_fds,
+    g1_error,
+    g3_error,
+    tau,
+    verify_lossless_join,
+)
+
+
+def build_address_table(n_rows: int = 4000, seed: int = 7) -> Dataset:
+    """zip determines city/state except for a 2% typo slice."""
+    rng = np.random.default_rng(seed)
+    zips = rng.integers(0, 200, size=n_rows)
+    cities = zips // 10  # 20 cities, 10 zips each
+    states = zips // 50  # 4 states
+    # Pollute 2% of city entries with a bogus value (a typo'd spelling).
+    broken = rng.choice(n_rows, size=n_rows // 50, replace=False)
+    cities = cities.copy()
+    cities[broken] = 100 + rng.integers(0, 5, size=broken.size)
+    return Dataset(
+        np.column_stack([zips, cities, states, rng.integers(0, 9, n_rows)]),
+        column_names=["zip", "city", "state", "household_size"],
+    )
+
+
+def main() -> None:
+    data = build_address_table()
+    print(f"data: {data.n_rows} rows x {data.n_columns} attributes")
+
+    # --- Exact violation measures --------------------------------------
+    print("\nviolation measures of zip -> city (2% planted typos):")
+    print(f"  g1 (pair fraction):   {g1_error(data, 'zip', 'city'):.6f}")
+    print(f"  g3 (min row removal): {g3_error(data, 'zip', 'city'):.4f}")
+    print(f"  tau (association):    {tau(data, 'zip', 'city'):.4f}")
+
+    # --- Levelwise discovery -------------------------------------------
+    # g3 threshold 3% admits the polluted zip -> city; exact discovery
+    # (max_error=0) would reject it.
+    found = discover_afds(data, max_error=0.03, max_lhs_size=2)
+    print(f"\nminimal AFDs with g3 <= 0.03 and |lhs| <= 2: {len(found)}")
+    for dependency in found:
+        print(f"  {dependency}")
+
+    # --- Sampling-based validation (the paper's machinery) -------------
+    validator = SampledFDValidator.fit(
+        data, k=3, alpha=0.0005, epsilon=0.25, seed=1
+    )
+    estimate = validator.validate("zip", "city")
+    exact = g1_error(data, "zip", "city")
+    print(
+        f"\nsampled validation of zip -> city: "
+        f"{validator.sample_size} pairs stored "
+        f"(vs {data.n_pairs:,} pairs in the data)"
+    )
+    print(f"  estimated g1: {estimate.g1_estimate:.6f}   exact: {exact:.6f}")
+    print(f"  holds at 1% pair error: {estimate.holds(0.01)}")
+
+    # --- Downstream: keys and normalization ----------------------------
+    # Clean the typo column away to make the FDs exact, then push them
+    # through the Armstrong machinery: candidate keys and a lossless
+    # BCNF decomposition (the "query optimization" application).
+    clean = data.select_columns(["zip", "state", "household_size"])
+    fds = exact_fds(clean)
+    keys = candidate_keys(fds, clean.n_columns)
+    print(f"\nexact FDs of the cleaned table: "
+          f"{[str(fd) for fd in fds]}")
+    print(f"candidate keys (from FD closure): {keys}")
+    fragments = decompose_bcnf(fds, clean.n_columns)
+    names = clean.column_names
+    for fragment in fragments:
+        inside = ", ".join(names[a] for a in fragment.attributes)
+        key = ", ".join(names[a] for a in fragment.key)
+        print(f"  BCNF fragment: R({inside}) key={{{key}}}")
+    small = clean.sample_rows(500, seed=0)
+    print(f"lossless join on a 500-row sample: "
+          f"{verify_lossless_join(small, fragments)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Linking attacks, adversary economics, and masking — the privacy story.
+
+The paper's privacy motivation, end to end:
+
+1. profile a census-like table and assess disclosure risk for a small
+   quasi-identifier (k-anonymity, uniqueness, prosecutor risk);
+2. simulate the linking attack an adversary with external knowledge of
+   those attributes would run, with and without noisy knowledge;
+3. price the attack: give every attribute an acquisition cost and let the
+   adversary mine the *cheapest* ε-separation key (weighted set cover on
+   the paper's tuple sample);
+4. defend by suppression: mask columns until no *single-column*
+   ε-separation key remains — and see why that is not enough;
+5. defend by generalization: Mondrian k-anonymization, which actually
+   collapses the attack at single-digit information loss.
+
+Run with:  python examples/linking_attack.py
+"""
+
+from repro import (
+    assess_risk,
+    cheapest_quasi_identifier,
+    mask_small_quasi_identifiers,
+    simulate_linking_attack,
+)
+from repro.data.registry import build_dataset
+from repro.privacy import (
+    AdversaryBudget,
+    attack_success_by_noise,
+    mondrian_anonymize,
+)
+
+
+def main() -> None:
+    data = build_dataset("adult", n_rows=5000, seed=0)
+    quasi_identifier = ["age", "education", "occupation", "hours_per_week"]
+
+    # --- 1. Risk assessment --------------------------------------------
+    report = assess_risk(data, quasi_identifier, sensitive="capital_gain")
+    print(f"released table: {data.shape}")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    # --- 2. The linking attack ------------------------------------------
+    print("\nlinking attack vs adversary knowledge noise:")
+    for result in attack_success_by_noise(
+        data, quasi_identifier, noise_levels=(0.0, 0.05, 0.2), seed=1
+    ):
+        print(
+            f"  noise={result.noise:4.0%}: "
+            f"re-identified {result.recall:6.1%}   "
+            f"precision {result.precision:5.1%}   "
+            f"ambiguous {result.ambiguous_rate:6.1%}"
+        )
+
+    # --- 3. Adversary economics ------------------------------------------
+    # Public attributes are cheap; financial ones cost real effort.
+    costs = {name: 1.0 for name in data.column_names}
+    costs.update(
+        {
+            "fnlwgt": 40.0,
+            "capital_gain": 25.0,
+            "capital_loss": 25.0,
+        }
+    )
+    cheapest = cheapest_quasi_identifier(data, costs, epsilon=0.001, seed=2)
+    print(
+        f"\ncheapest epsilon-key: {list(cheapest.attribute_names)} "
+        f"(cost {cheapest.total_cost:.0f}, "
+        f"sampled {cheapest.sample_size} tuples)"
+    )
+    for budget in (5.0, 50.0):
+        affordable = AdversaryBudget(budget).can_afford(cheapest)
+        print(f"  adversary with budget {budget:3.0f}: "
+              f"{'attack affordable' if affordable else 'priced out'}")
+
+    # --- 4. The defender's move ------------------------------------------
+    masking = mask_small_quasi_identifiers(data, 0.001, 1, seed=3)
+    suppressed = [data.column_names[c] for c in masking.suppressed]
+    remaining = [data.column_names[c] for c in masking.remaining]
+    print(f"\nmasking (no single-column epsilon-key may survive):")
+    print(f"  suppress: {suppressed or 'nothing'}")
+    released = data.select_columns(remaining) if remaining else data
+    attack_after = simulate_linking_attack(
+        released,
+        [c for c in quasi_identifier if c in remaining],
+        seed=4,
+    )
+    print(
+        f"  attack on the masked release (same QI minus suppressed): "
+        f"re-identified {attack_after.recall:.1%}"
+    )
+    if attack_after.recall > 0.5:
+        print(
+            "  -> masking with k=1 only removes single-column keys; an "
+            "adversary bundling several attributes still links.  Raise "
+            "max_key_size (at exponential masking cost) to close that too."
+        )
+
+    # --- 5. The stronger defence: generalize instead of suppress ---------
+    anonymized = mondrian_anonymize(data, quasi_identifier, k=10)
+    attack_final = simulate_linking_attack(
+        anonymized.data, quasi_identifier, seed=5
+    )
+    print(
+        f"\nMondrian k-anonymization (k=10): "
+        f"NCP {anonymized.ncp:.1%} information loss, "
+        f"{anonymized.n_classes} classes"
+    )
+    print(
+        f"  attack on the generalized release: "
+        f"re-identified {attack_final.recall:.1%} "
+        f"(was {report.uniqueness:.1%} on raw data)"
+    )
+
+
+if __name__ == "__main__":
+    main()

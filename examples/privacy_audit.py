@@ -1,0 +1,95 @@
+"""Privacy audit: measure re-identification risk before releasing a table.
+
+The paper's motivating application: "small quasi-identifiers are crucial
+information to consider from a privacy perspective because they can be
+utilized by adversaries to conduct linking attacks.  The collection of
+attribute values may come with a cost for adversaries, leading them to seek
+a small set of attributes that form a key."
+
+This example plays the adversary on a census-style table:
+
+1. discover the smallest cheap-to-collect attribute set that is an
+   ε-separation key (re-identifies all but an ε fraction of record pairs);
+2. price alternative attribute bundles with the non-separation sketch;
+3. quantify how much suppressing a column shrinks the attack surface.
+
+Run with:  python examples/privacy_audit.py
+"""
+
+from repro import (
+    NonSeparationSketch,
+    approximate_min_key,
+    mask_small_quasi_identifiers,
+    separation_ratio,
+    verify_masking,
+)
+from repro.data.synthetic import adult_like
+
+
+def main() -> None:
+    data = adult_like(30_000, seed=7)
+    epsilon = 0.001
+    total_pairs = data.n_pairs
+    print(f"releasing: {data.n_rows} rows x {data.n_columns} attributes")
+
+    # --- 1. The adversary's cheapest attack --------------------------
+    result = approximate_min_key(data, epsilon, method="tuples", seed=0)
+    key_names = [data.column_names[a] for a in result.attributes]
+    achieved = separation_ratio(data, result.attributes)
+    print(f"\nsmallest quasi-identifier found: {key_names}")
+    print(f"  separates {achieved:.4%} of record pairs")
+    print(
+        f"  (discovered from a sample of only {result.sample_size} rows — "
+        f"Theorem 1's Θ(m/√ε))"
+    )
+
+    # --- 2. Pricing attribute bundles with a sketch -------------------
+    # An analyst can answer "how identifying is bundle A?" for any small A
+    # from one precomputed sketch, without rescanning the data.
+    sketch = NonSeparationSketch.fit(
+        data, k=3, alpha=0.02, epsilon=0.15, seed=1
+    )
+    print(f"\nsketch: {sketch.sample_size} sampled pairs "
+          f"({sketch.memory_bits() / 8 / 1024:.0f} KiB)")
+    bundles = [
+        ["sex", "race"],
+        ["age", "sex", "race"],
+        ["age", "workclass", "education"],
+    ]
+    for bundle in bundles:
+        attrs = data.resolve_attributes(bundle)
+        answer = sketch.query(attrs)
+        if answer.is_small:
+            verdict = "high risk (nearly all pairs separated)"
+        else:
+            linked = 1.0 - answer.estimate / total_pairs
+            verdict = f"separates ≈ {linked:.2%} of pairs"
+        print(f"  bundle {bundle}: {verdict}")
+
+    # --- 3. Effect of suppressing the most identifying column ---------
+    worst = data.column_names[result.attributes[0]]
+    remaining = [name for name in data.column_names if name != worst]
+    redacted = data.select_columns(remaining)
+    redo = approximate_min_key(redacted, epsilon, method="tuples", seed=2)
+    redo_names = [redacted.column_names[a] for a in redo.attributes]
+    print(f"\nafter suppressing {worst!r}:")
+    print(f"  smallest quasi-identifier becomes {redo_names} "
+          f"(size {result.key_size} -> {redo.key_size})")
+
+    # --- 4. Automatic masking with a verified guarantee ----------------
+    # Suppress the minimum-looking column set so that NO bundle of up to
+    # two attributes re-identifies (exact counter-example-guided loop).
+    budget = 2
+    masking = mask_small_quasi_identifiers(
+        data, epsilon, max_key_size=budget, seed=3
+    )
+    suppressed = [data.column_names[c] for c in masking.suppressed]
+    verified = verify_masking(data, masking, epsilon, budget)
+    print(f"\nmasking against bundles of <= {budget} attributes:")
+    print(f"  suppress {suppressed} "
+          f"({'exact' if masking.exact else 'heuristic'} mode)")
+    print(f"  exhaustive re-check passed: {verified}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed editable on machines without the ``wheel`` package
+(where PEP 517 editable builds fail with "invalid command 'bdist_wheel'"):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,115 @@
+"""repro — reproduction of *Towards Better Bounds for Finding Quasi-Identifiers*.
+
+Hildebrant, Le, Ta, Vu (PODS 2023; arXiv:2211.13882).  The library provides:
+
+* **ε-separation key filters** — decide whether an attribute set separates
+  (almost) all pairs of tuples: the Motwani–Xu pair-sampling baseline
+  (``Θ(m/ε)`` samples) and the paper's Algorithm 1 tuple-sampling filter
+  (``Θ(m/√ε)`` samples, Theorem 1);
+* **approximate minimum ε-separation keys** (quasi-identifier discovery)
+  via greedy set cover, including the ``O(m³/√ε)`` partition-refinement
+  greedy of Proposition 1 / Appendix B;
+* **non-separation sketches** — ``(1 ± ε)`` estimates of the number of
+  unseparated pairs for any small query attribute set (Theorem 2);
+* the full **analysis toolbox** (birthday bounds, Chernoff bounds,
+  elementary symmetric collision probabilities, KKT worst-case machinery,
+  Lemma 3/4 lower-bound constructions) and the **Section 3.2 encoding
+  experiment**;
+* an **experiment harness** that regenerates the paper's Table 1 on
+  shape-matched synthetic stand-ins of Adult / Covtype / CPS;
+* the paper's **application layers** built out in full: approximate
+  functional dependencies (:mod:`repro.fd`), disclosure risk and linking
+  attacks (:mod:`repro.privacy`), fuzzy-duplicate cleaning
+  (:mod:`repro.cleaning`), and classical streaming sketches
+  (:mod:`repro.sketches`).
+
+Quickstart
+----------
+>>> from repro import Dataset, TupleSampleFilter, approximate_min_key
+>>> data = Dataset.from_columns({
+...     "zip": [92101, 92102, 92101, 92103],
+...     "age": [34, 34, 41, 34],
+...     "sex": ["F", "M", "F", "F"],
+... })
+>>> filt = TupleSampleFilter.fit(data, epsilon=0.25, seed=0)
+>>> filt.accepts(["zip", "age"])  # does {zip, age} identify everyone?
+True
+"""
+
+from repro._version import __version__
+from repro.core.filters import (
+    Classification,
+    ExactSeparationOracle,
+    MotwaniXuFilter,
+    TupleSampleFilter,
+    classify,
+)
+from repro.core.masking import (
+    MaskingResult,
+    find_small_epsilon_key,
+    mask_small_quasi_identifiers,
+    verify_masking,
+)
+from repro.core.minkey import (
+    ExactMinKey,
+    MinKeyResult,
+    MotwaniXuMinKey,
+    TupleSampleMinKey,
+    approximate_min_key,
+)
+from repro.core.sample_sizes import (
+    motwani_xu_pair_sample_size,
+    sketch_pair_sample_size,
+    tuple_sample_size,
+)
+from repro.core.separation import (
+    is_epsilon_key,
+    is_key,
+    separation_ratio,
+    unseparated_pairs,
+)
+from repro.core.sketch import NonSeparationSketch, SketchAnswer
+from repro.cleaning.dedup import find_fuzzy_duplicates
+from repro.data.dataset import Dataset
+from repro.data.io import load_csv, save_csv
+from repro.exceptions import ReproError
+from repro.fd.discovery import discover_afds
+from repro.privacy.cost import cheapest_quasi_identifier
+from repro.privacy.linkage import simulate_linking_attack
+from repro.privacy.risk import assess_risk
+
+__all__ = [
+    "Classification",
+    "Dataset",
+    "ExactMinKey",
+    "ExactSeparationOracle",
+    "MaskingResult",
+    "MinKeyResult",
+    "MotwaniXuFilter",
+    "MotwaniXuMinKey",
+    "NonSeparationSketch",
+    "ReproError",
+    "SketchAnswer",
+    "TupleSampleFilter",
+    "TupleSampleMinKey",
+    "__version__",
+    "approximate_min_key",
+    "assess_risk",
+    "cheapest_quasi_identifier",
+    "classify",
+    "discover_afds",
+    "find_fuzzy_duplicates",
+    "find_small_epsilon_key",
+    "is_epsilon_key",
+    "is_key",
+    "load_csv",
+    "mask_small_quasi_identifiers",
+    "motwani_xu_pair_sample_size",
+    "save_csv",
+    "separation_ratio",
+    "simulate_linking_attack",
+    "sketch_pair_sample_size",
+    "tuple_sample_size",
+    "unseparated_pairs",
+    "verify_masking",
+]

@@ -1,0 +1,97 @@
+"""Analysis machinery: the probabilistic toolbox behind Theorem 1.
+
+These modules make the paper's proofs *executable*:
+
+* :mod:`repro.analysis.birthday` — Theorem 4 (the birthday problem) and its
+  sample-size inversion;
+* :mod:`repro.analysis.chernoff` — Theorem 3's Chernoff bounds;
+* :mod:`repro.analysis.symmetric` — elementary symmetric polynomials
+  ``f_r(s) = e_r(s)`` and the exact collision probabilities
+  ``P_{r,D_s}(ξ)`` with and without replacement (plus Claim 1's relation);
+* :mod:`repro.analysis.kkt` — numerical maximization of ``f_r`` over the
+  constraint set ``P`` with KKT/LICQ diagnostics (Lemma 1);
+* :mod:`repro.analysis.extremal` — the two-distinct-value family that
+  Lemma 1 proves contains the maximizer, searched directly;
+* :mod:`repro.analysis.lower_bounds` — Lemma 3/4 constructions with both
+  analytic detection probabilities and Monte-Carlo simulators.
+"""
+
+from repro.analysis.birthday import (
+    collision_probability_lower_bound,
+    exact_uniform_noncollision,
+    samples_for_collision,
+)
+from repro.analysis.chernoff import (
+    chernoff_below_half_mean,
+    chernoff_large_deviation,
+    chernoff_two_sided,
+)
+from repro.analysis.extremal import (
+    TwoValueProfile,
+    lemma1_candidate,
+    two_value_vector,
+    worst_case_two_value,
+)
+from repro.analysis.kkt import (
+    KKTDiagnostics,
+    distinct_nonzero_values,
+    kkt_diagnostics,
+    maximize_noncollision,
+)
+from repro.analysis.lower_bounds import (
+    grid_detection_probability,
+    planted_clique_rejection_probability,
+    simulate_grid_detection,
+    simulate_planted_clique_detection,
+)
+from repro.analysis.tradeoffs import (
+    BoundSeries,
+    filter_bounds_vs_epsilon,
+    filter_bounds_vs_m,
+    open_gap_ratio,
+    series_to_rows,
+    sketch_bounds_vs_epsilon,
+)
+from repro.analysis.symmetric import (
+    elementary_symmetric,
+    elementary_symmetric_exact,
+    example_c3_vectors,
+    feasible_region_contains,
+    noncollision_with_replacement,
+    noncollision_without_replacement,
+    simulate_noncollision,
+)
+
+__all__ = [
+    "BoundSeries",
+    "KKTDiagnostics",
+    "TwoValueProfile",
+    "chernoff_below_half_mean",
+    "chernoff_large_deviation",
+    "chernoff_two_sided",
+    "collision_probability_lower_bound",
+    "distinct_nonzero_values",
+    "elementary_symmetric",
+    "elementary_symmetric_exact",
+    "exact_uniform_noncollision",
+    "example_c3_vectors",
+    "feasible_region_contains",
+    "filter_bounds_vs_epsilon",
+    "filter_bounds_vs_m",
+    "grid_detection_probability",
+    "kkt_diagnostics",
+    "lemma1_candidate",
+    "maximize_noncollision",
+    "noncollision_with_replacement",
+    "noncollision_without_replacement",
+    "open_gap_ratio",
+    "planted_clique_rejection_probability",
+    "samples_for_collision",
+    "series_to_rows",
+    "simulate_grid_detection",
+    "simulate_noncollision",
+    "simulate_planted_clique_detection",
+    "sketch_bounds_vs_epsilon",
+    "two_value_vector",
+    "worst_case_two_value",
+]

@@ -1,0 +1,66 @@
+"""The birthday problem (Theorem 4) and its sample-size inversion.
+
+Throwing ``q`` balls into ``N`` bins uniformly at random, the probability of
+a collision satisfies ``C(N, q) ≥ 1 − exp(−q(q−1)/(2N))``; inverting, a
+non-collision probability below ``δ*`` needs
+``q ≥ (1 + √(8·N·ln(1/δ*) + 1))/2`` balls, and the convenient relaxation
+``q ≥ 4·√(N·ln(1/δ*))`` (the form the Lemma 2 argument plugs in).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.types import validate_positive_int, validate_probability
+
+
+def exact_uniform_noncollision(n_bins: int, q_balls: int) -> float:
+    """Exact non-collision probability for uniform bins: ``Π (1 − i/N)``.
+
+    Returns 0 when ``q > N`` (pigeonhole) and 1 for ``q ≤ 1``.
+    """
+    n_bins = validate_positive_int(n_bins, name="n_bins")
+    if q_balls < 0:
+        raise InvalidParameterError(f"q_balls must be >= 0; got {q_balls}")
+    if q_balls <= 1:
+        return 1.0
+    if q_balls > n_bins:
+        return 0.0
+    log_prob = 0.0
+    for i in range(1, q_balls):
+        log_prob += math.log1p(-i / n_bins)
+    return math.exp(log_prob)
+
+
+def collision_probability_lower_bound(n_bins: int, q_balls: int) -> float:
+    """Theorem 4's bound: ``C(N, q) ≥ 1 − exp(−q(q−1)/(2N))``."""
+    n_bins = validate_positive_int(n_bins, name="n_bins")
+    if q_balls < 0:
+        raise InvalidParameterError(f"q_balls must be >= 0; got {q_balls}")
+    if q_balls <= 1:
+        return 0.0
+    return 1.0 - math.exp(-q_balls * (q_balls - 1) / (2.0 * n_bins))
+
+
+def samples_for_collision(
+    n_bins: int, delta_star: float, *, relaxed: bool = False
+) -> int:
+    """Smallest ``q`` (by Theorem 4) with non-collision probability ``≤ δ*``.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins ``N``.
+    delta_star:
+        Target non-collision probability.
+    relaxed:
+        If ``True``, use the paper's simpler sufficient value
+        ``4·√(N·ln(1/δ*))`` instead of the exact quadratic-root form.
+    """
+    n_bins = validate_positive_int(n_bins, name="n_bins")
+    delta_star = validate_probability(delta_star, name="delta_star")
+    log_term = math.log(1.0 / delta_star)
+    if relaxed:
+        return int(math.ceil(4.0 * math.sqrt(n_bins * log_term)))
+    return int(math.ceil(0.5 * (1.0 + math.sqrt(8.0 * n_bins * log_term + 1.0))))

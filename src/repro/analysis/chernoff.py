@@ -1,0 +1,50 @@
+"""Chernoff tail bounds in the exact forms of the paper's Theorem 3.
+
+For ``X = Σ X_i`` with ``X_i ~ Bernoulli(p)`` i.i.d. and ``μ = p·N``:
+
+* two-sided:     ``P(|X − μ| ≥ ε·μ) ≤ 2·exp(−ε²·μ/(2 + ε))``;
+* below half:    ``P(X ≤ μ/2) ≤ 2·exp(−0.1·μ)``;
+* large ``ε≥2``: ``P(|X − μ| ≥ ε·μ) ≤ 2·exp(−ε·μ/2)``.
+
+These are used (a) to size the Theorem 2 sketch, (b) in Lemma 2's argument
+that a ``Θ(m/√ε)`` sample contains enough group-A balls, and (c) as
+assertable inequalities in the property-based test suite (every bound is
+checked against simulation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.types import validate_positive_int, validate_probability
+
+
+def _validate_mu(p: float, n: int) -> float:
+    p = validate_probability(p, name="p")
+    n = validate_positive_int(n, name="n")
+    return p * n
+
+
+def chernoff_two_sided(p: float, n: int, epsilon: float) -> float:
+    """``P(|X − pN| ≥ ε·pN) ≤ 2·exp(−ε²·μ/(2 + ε))`` (clipped to 1)."""
+    if epsilon <= 0:
+        raise InvalidParameterError(f"epsilon must be positive; got {epsilon}")
+    mu = _validate_mu(p, n)
+    return min(1.0, 2.0 * math.exp(-epsilon * epsilon * mu / (2.0 + epsilon)))
+
+
+def chernoff_below_half_mean(p: float, n: int) -> float:
+    """``P(X ≤ μ/2) ≤ 2·exp(−0.1·μ)`` (clipped to 1)."""
+    mu = _validate_mu(p, n)
+    return min(1.0, 2.0 * math.exp(-0.1 * mu))
+
+
+def chernoff_large_deviation(p: float, n: int, epsilon: float) -> float:
+    """For ``ε ≥ 2``: ``P(|X − pN| ≥ ε·μ) ≤ 2·exp(−ε·μ/2)`` (clipped to 1)."""
+    if epsilon < 2:
+        raise InvalidParameterError(
+            f"large-deviation form needs epsilon >= 2; got {epsilon}"
+        )
+    mu = _validate_mu(p, n)
+    return min(1.0, 2.0 * math.exp(-epsilon * mu / 2.0))

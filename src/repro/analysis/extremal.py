@@ -1,0 +1,222 @@
+"""The two-distinct-value family of Lemma 1, searched directly.
+
+Lemma 1 proves (via KKT + LICQ case analysis) that the maximizer of the
+non-collision probability over the constraint set ``P`` has at most two
+distinct non-zero entry values.  That reduces the worst case of the
+constrained balls-into-bins problem to a two-parameter family:
+
+``s(k_a, k_b) = (a, ..., a, b, ..., b, 0, ..., 0)``  —  ``k_a`` entries of
+``a`` and ``k_b`` of ``b`` with
+
+* ``k_a·a + k_b·b = n``                 (constraint (2)), and
+* ``k_a·a² + k_b·b² = ε·n²/4``          (constraint (1), active).
+
+For fixed ``(k_a, k_b)`` this is a quadratic in ``a``; scanning all count
+pairs and both roots finds the global worst case exactly (up to the
+integrality of ``k_a, k_b``), which is how the E2 benchmark builds its
+hardest inputs and how the test suite validates the KKT optimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.analysis.symmetric import (
+    feasible_region_contains,
+    noncollision_with_replacement,
+)
+from repro.exceptions import InvalidParameterError
+from repro.types import validate_epsilon, validate_positive_int
+
+
+@dataclass(frozen=True)
+class TwoValueProfile:
+    """One member of the two-value family with its non-collision probability.
+
+    Attributes
+    ----------
+    k_a, value_a:
+        Count and value of the first group (``value_a >= value_b``).
+    k_b, value_b:
+        Count and value of the second group (``k_b`` may be 0).
+    noncollision:
+        ``P_{r,D_s}(ξ)`` for the profile's vector at the ``r`` it was
+        searched for.
+    """
+
+    k_a: int
+    value_a: float
+    k_b: int
+    value_b: float
+    noncollision: float
+
+    def vector(self, n: int) -> np.ndarray:
+        """Materialize the padded length-``n`` clique-size vector."""
+        return two_value_vector(n, self.k_a, self.value_a, self.k_b, self.value_b)
+
+
+def two_value_vector(
+    n: int, k_a: int, value_a: float, k_b: int, value_b: float
+) -> np.ndarray:
+    """Build ``(a×k_a, b×k_b, 0, ...)`` of total length ``n``."""
+    n = validate_positive_int(n, name="n")
+    if k_a < 0 or k_b < 0 or k_a + k_b > n:
+        raise InvalidParameterError(
+            f"need 0 <= k_a + k_b <= n; got k_a={k_a}, k_b={k_b}, n={n}"
+        )
+    if value_a < 0 or value_b < 0:
+        raise InvalidParameterError("entry values must be non-negative")
+    vector = np.zeros(n, dtype=np.float64)
+    vector[:k_a] = value_a
+    vector[k_a : k_a + k_b] = value_b
+    return vector
+
+
+def solve_two_value(
+    n: int, epsilon: float, k_a: int, k_b: int
+) -> list[tuple[float, float]]:
+    """Solve for ``(a, b)`` making both constraints *tight*.
+
+    Returns the (possibly empty) list of non-negative solutions of
+
+    ``k_a·a + k_b·b = n``  and  ``k_a·a² + k_b·b² = ε·n²/4``.
+
+    For ``k_b == 0`` the unique candidate is ``a = n/k_a`` (valid iff it
+    meets the quadratic constraint with equality up to 1 ulp — the caller
+    usually prefers the ``>=`` feasibility form, so we return it whenever
+    it satisfies constraint (1) at all).
+    """
+    n = validate_positive_int(n, name="n")
+    epsilon = validate_epsilon(epsilon)
+    if k_a <= 0:
+        raise InvalidParameterError(f"k_a must be positive; got {k_a}")
+    if k_b < 0:
+        raise InvalidParameterError(f"k_b must be >= 0; got {k_b}")
+    energy = epsilon * n * n / 4.0
+    if k_b == 0:
+        a = n / k_a
+        if k_a * a * a >= energy - 1e-9:
+            return [(a, 0.0)]
+        return []
+    # Quadratic in a: k_a(k_a + k_b)·a² − 2·n·k_a·a + (n² − E·k_b) = 0.
+    quad = k_a * (k_a + k_b)
+    lin = -2.0 * n * k_a
+    const = n * n - energy * k_b
+    discriminant = lin * lin - 4.0 * quad * const
+    if discriminant < 0:
+        return []
+    root = math.sqrt(discriminant)
+    solutions: list[tuple[float, float]] = []
+    for numerator in (-lin + root, -lin - root):
+        a = numerator / (2.0 * quad)
+        if a < -1e-12:
+            continue
+        a = max(a, 0.0)
+        b = (n - k_a * a) / k_b
+        if b < -1e-12:
+            continue
+        solutions.append((a, max(b, 0.0)))
+    return solutions
+
+
+def lemma1_candidate(n: int, epsilon: float) -> np.ndarray:
+    """The paper's feasible witness ``s̃ = (√ε·n/2, 1, ..., 1, 0, ...)``.
+
+    One entry of ``√ε·n/2`` plus ``(1 − √ε/2)·n`` unit entries (rounded to
+    keep the total mass exactly ``n``); satisfies constraints (1)–(3) and
+    has ``f(s̃) > 0``, which rules out low-support optima in Lemma 1.
+    """
+    n = validate_positive_int(n, name="n")
+    epsilon = validate_epsilon(epsilon)
+    head = math.sqrt(epsilon) * n / 2.0
+    ones = int(round(n - head))
+    if ones < 0 or 1 + ones > n:
+        raise InvalidParameterError(
+            f"lemma1 candidate infeasible for n={n}, epsilon={epsilon}"
+        )
+    vector = np.zeros(n, dtype=np.float64)
+    vector[0] = n - ones  # keep Σs exactly n after integer rounding
+    vector[1 : 1 + ones] = 1.0
+    return vector
+
+
+def _candidate_profiles(
+    n: int, epsilon: float
+) -> Iterator[tuple[int, float, int, float]]:
+    """Yield ``(k_a, a, k_b, b)`` candidates for the two-value search."""
+    # Interior candidate: uniform unit entries (feasible iff n <= 4/ε).
+    if n * 1.0 >= epsilon * n * n / 4.0:
+        yield (n, 1.0, 0, 0.0)
+    for k_a in range(1, n + 1):
+        for k_b in range(0, n - k_a + 1):
+            for a, b in solve_two_value(n, epsilon, k_a, k_b):
+                yield (k_a, a, k_b, b)
+
+
+def worst_case_two_value(
+    n: int,
+    r: int,
+    epsilon: float,
+    *,
+    max_profiles: int | None = None,
+) -> TwoValueProfile:
+    """Search the two-value family for the non-collision *maximizer*.
+
+    Scans all ``(k_a, k_b)`` count pairs (``O(n²)`` candidates, each costing
+    an ``O(n·r)`` DP — fine for the analysis-scale ``n`` of a few hundred),
+    plus the interior candidate "all entries equal" when it is feasible.
+    Returns the best profile found; by Lemma 1 this is the true worst case
+    for Algorithm 1's failure analysis, up to count integrality.
+    """
+    n = validate_positive_int(n, name="n")
+    r = validate_positive_int(r, name="r")
+    epsilon = validate_epsilon(epsilon)
+    if r > n:
+        raise InvalidParameterError(f"cannot draw r={r} distinct colors from n={n}")
+    best: TwoValueProfile | None = None
+    candidates = _candidate_profiles(n, epsilon)
+    if max_profiles is not None:
+        candidates = itertools.islice(candidates, max_profiles)
+    for k_a, a, k_b, b in candidates:
+        vector = two_value_vector(n, k_a, a, k_b, b)
+        if not feasible_region_contains(vector, n, epsilon, tol=1e-6):
+            continue
+        probability = noncollision_with_replacement(vector, r)
+        if best is None or probability > best.noncollision:
+            if a >= b:
+                best = TwoValueProfile(k_a, a, k_b, b, probability)
+            else:
+                best = TwoValueProfile(k_b, b, k_a, a, probability)
+    if best is None:
+        raise InvalidParameterError(
+            f"no feasible two-value profile for n={n}, epsilon={epsilon}"
+        )
+    return best
+
+
+def clique_vector_to_dataset(sizes: np.ndarray, n_columns: int) -> "np.ndarray":
+    """Code matrix whose coordinate 0 realizes the clique-size vector.
+
+    Rounds ``sizes`` to integers, assigns each clique a distinct code in
+    column 0, gives every other column unique row ids (so a key exists and
+    only coordinate 0 is interesting).  Used by the E2 benchmark to turn a
+    worst-case profile into an actual data set for the filter.
+    """
+    sizes = np.asarray(sizes)
+    integer_sizes = np.round(sizes).astype(np.int64)
+    integer_sizes = integer_sizes[integer_sizes > 0]
+    if integer_sizes.size == 0:
+        raise InvalidParameterError("need at least one positive clique size")
+    if n_columns < 1:
+        raise InvalidParameterError("need at least one column")
+    n_rows = int(integer_sizes.sum())
+    column0 = np.repeat(np.arange(integer_sizes.size), integer_sizes)
+    columns = [column0]
+    for _ in range(1, n_columns):
+        columns.append(np.arange(n_rows, dtype=np.int64))
+    return np.column_stack(columns)

@@ -1,0 +1,276 @@
+"""Numerical KKT machinery for Lemma 1 (Appendix A).
+
+Lemma 1 maximizes ``f(s) = f_r(s) = e_r(s)`` over the constraint set
+
+* (1) ``Σ s_i² ≥ ε·n²/4``   (inequality, gradient ``2s``),
+* (2) ``Σ s_i = n``          (equality,   gradient ``1``),
+* (3) ``s_i ≥ 0``            (inequalities, gradients ``e_i``),
+
+and shows via stationarity + complementary slackness (+ a LICQ failure
+analysis) that every local maximizer has at most two distinct non-zero
+values.  This module makes that argument *checkable*:
+
+* :func:`maximize_noncollision` runs multi-start SLSQP on the problem and
+  returns the best local maximizer found;
+* :func:`kkt_diagnostics` reconstructs the multipliers ``(μ, η, λ)`` by
+  least squares, reports the stationarity residual, dual feasibility,
+  complementary slackness, and whether LICQ holds at the point;
+* :func:`distinct_nonzero_values` clusters the optimizer's non-zero entries
+  so tests can assert the "≤ 2 distinct values" structure numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.analysis.symmetric import elementary_symmetric
+from repro.exceptions import InvalidParameterError, OptimizationError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, validate_epsilon, validate_positive_int
+
+
+def gradient_elementary_symmetric(s: np.ndarray, r: int) -> np.ndarray:
+    """``∂e_r/∂s_i = e_{r−1}(s with entry i removed)`` for every ``i``.
+
+    Computed by re-running the degree-truncated DP with one entry left out —
+    ``O(n²·r)`` float work, fine at analysis scale (``n`` up to a few
+    hundred) and free of the cancellation issues of the divide-out trick.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    n = s.size
+    gradient = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        reduced = np.delete(s, i)
+        gradient[i] = elementary_symmetric(reduced, r - 1)
+    return gradient
+
+
+@dataclass(frozen=True)
+class KKTDiagnostics:
+    """KKT certificate data for a candidate maximizer.
+
+    Attributes
+    ----------
+    stationarity_residual:
+        ``‖∇f − μ·∇c₁ − η·∇c₂ − Σλᵢ·eᵢ‖∞`` relative to ``‖∇f‖∞`` after the
+        least-squares multiplier fit; small means stationarity holds.
+    mu:
+        Multiplier of the quadratic constraint (forced to 0 when inactive).
+        For a *maximizer* of ``f`` subject to ``Σs² − ε·n²/4 ≥ 0``, KKT
+        requires ``μ ≤ 0`` — the constraint pushes against the objective.
+        (The paper writes the multiplier with the opposite sign, which is
+        why its Eq. (12) features ``−2μ``.)
+    eta:
+        Multiplier of the total-mass equality (free sign).
+    lambdas:
+        Multipliers of the active ``s_i ≥ 0`` bounds (``≤ 0`` at a
+        maximizer, same convention as ``mu``).
+    constraint1_active:
+        Whether ``Σ s² = ε·n²/4`` within tolerance.
+    licq_holds:
+        Whether the active-constraint gradients are linearly independent.
+    dual_feasible:
+        ``μ ≤ tol`` and all ``λᵢ ≤ tol`` (maximization sign convention).
+    """
+
+    stationarity_residual: float
+    mu: float
+    eta: float
+    lambdas: dict[int, float]
+    constraint1_active: bool
+    licq_holds: bool
+    dual_feasible: bool
+
+
+def kkt_diagnostics(
+    s: np.ndarray,
+    r: int,
+    n: int,
+    epsilon: float,
+    *,
+    active_tol: float = 1e-6,
+    dual_tol: float = 1e-6,
+) -> KKTDiagnostics:
+    """Fit KKT multipliers at ``s`` and report the certificate quantities."""
+    s = np.asarray(s, dtype=np.float64)
+    if s.ndim != 1 or s.size == 0:
+        raise InvalidParameterError("s must be a non-empty 1-D vector")
+    r = validate_positive_int(r, name="r")
+    n = validate_positive_int(n, name="n")
+    epsilon = validate_epsilon(epsilon)
+
+    grad_f = gradient_elementary_symmetric(s, r)
+    scale = max(1.0, float(np.abs(grad_f).max()))
+
+    energy = float((s**2).sum())
+    target = epsilon * n * n / 4.0
+    constraint1_active = abs(energy - target) <= active_tol * max(1.0, target)
+    zero_indices = [int(i) for i in np.flatnonzero(s <= active_tol * n)]
+
+    # Columns of the constraint-gradient matrix: [2s | 1 | e_i for active i].
+    columns: list[np.ndarray] = []
+    if constraint1_active:
+        columns.append(2.0 * s)
+    columns.append(np.ones_like(s))
+    for i in zero_indices:
+        basis = np.zeros_like(s)
+        basis[i] = 1.0
+        columns.append(basis)
+    matrix = np.column_stack(columns)
+
+    solution, *_ = np.linalg.lstsq(matrix, grad_f, rcond=None)
+    residual_vector = grad_f - matrix @ solution
+    residual = float(np.abs(residual_vector).max()) / scale
+
+    offset = 0
+    if constraint1_active:
+        mu = float(solution[0])
+        offset = 1
+    else:
+        mu = 0.0
+    eta = float(solution[offset])
+    lambdas = {
+        index: float(solution[offset + 1 + position])
+        for position, index in enumerate(zero_indices)
+    }
+
+    rank = int(np.linalg.matrix_rank(matrix))
+    licq_holds = rank == matrix.shape[1]
+    dual_feasible = mu <= dual_tol * scale and all(
+        value <= dual_tol * scale for value in lambdas.values()
+    )
+    return KKTDiagnostics(
+        stationarity_residual=residual,
+        mu=mu,
+        eta=eta,
+        lambdas=lambdas,
+        constraint1_active=constraint1_active,
+        licq_holds=licq_holds,
+        dual_feasible=dual_feasible,
+    )
+
+
+def distinct_nonzero_values(
+    s: np.ndarray, *, tol: float = 1e-4
+) -> list[tuple[float, int]]:
+    """Cluster the non-zero entries of ``s``; return ``(value, count)`` pairs.
+
+    Two entries belong to the same cluster when they differ by at most
+    ``tol`` relatively.  Lemma 1 predicts at most two clusters at any
+    maximizer.
+    """
+    s = np.asarray(s, dtype=np.float64)
+    nonzero = np.sort(s[s > tol * max(1.0, float(np.abs(s).max()))])
+    clusters: list[tuple[float, int]] = []
+    for value in nonzero:
+        if clusters:
+            representative, count = clusters[-1]
+            if abs(value - representative) <= tol * max(1.0, representative):
+                clusters[-1] = (
+                    (representative * count + value) / (count + 1),
+                    count + 1,
+                )
+                continue
+        clusters.append((float(value), 1))
+    return clusters
+
+
+def _random_feasible_start(
+    n: int, epsilon: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A random point satisfying constraints (1)–(3).
+
+    Draw positive dirichlet-ish mass, rescale to total ``n``, then push
+    toward the Lemma 1 witness until the quadratic constraint holds.
+    """
+    weights = rng.gamma(shape=1.0, scale=1.0, size=n)
+    start = weights / weights.sum() * n
+    target = epsilon * n * n / 4.0
+    if float((start**2).sum()) >= target:
+        return start
+    from repro.analysis.extremal import lemma1_candidate
+
+    witness = lemma1_candidate(n, epsilon)
+    # Binary search the mix toward the feasible witness.
+    low, high = 0.0, 1.0
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        blend = (1.0 - mid) * start + mid * witness
+        if float((blend**2).sum()) >= target:
+            high = mid
+        else:
+            low = mid
+    return (1.0 - high) * start + high * witness
+
+
+def maximize_noncollision(
+    n: int,
+    r: int,
+    epsilon: float,
+    *,
+    n_starts: int = 8,
+    seed: SeedLike = None,
+    max_iterations: int = 400,
+) -> tuple[np.ndarray, float]:
+    """Multi-start SLSQP maximization of ``e_r(s/n)`` over ``P``.
+
+    Returns ``(s*, value)`` where ``value = e_r(s*/n)`` (the scaled
+    objective — monotone-equivalent to the non-collision probability).
+    Raises :class:`~repro.exceptions.OptimizationError` when every start
+    fails to converge to a feasible point.
+    """
+    n = validate_positive_int(n, name="n")
+    r = validate_positive_int(r, name="r")
+    epsilon = validate_epsilon(epsilon)
+    if r > n:
+        raise InvalidParameterError(f"r={r} cannot exceed n={n}")
+    rng = ensure_rng(seed)
+    target = epsilon * n * n / 4.0
+
+    def objective(s: np.ndarray) -> float:
+        return -elementary_symmetric(s / n, r)
+
+    constraints = [
+        {"type": "eq", "fun": lambda s: float(s.sum()) - n},
+        {"type": "ineq", "fun": lambda s: float((s**2).sum()) - target},
+    ]
+    bounds = [(0.0, float(n))] * n
+
+    best_vector: np.ndarray | None = None
+    best_value = -np.inf
+    from repro.analysis.extremal import lemma1_candidate
+
+    starts = [lemma1_candidate(n, epsilon)]
+    starts += [_random_feasible_start(n, epsilon, rng) for _ in range(n_starts - 1)]
+    for start in starts:
+        result = optimize.minimize(
+            objective,
+            start,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            options={"maxiter": max_iterations, "ftol": 1e-12},
+        )
+        if not result.success:
+            continue
+        candidate = np.clip(result.x, 0.0, None)
+        # Re-project tiny equality drift.
+        total = candidate.sum()
+        if total <= 0:
+            continue
+        candidate = candidate / total * n
+        if float((candidate**2).sum()) < target * (1 - 1e-6):
+            continue
+        value = elementary_symmetric(candidate / n, r)
+        if value > best_value:
+            best_value = value
+            best_vector = candidate
+    if best_vector is None:
+        raise OptimizationError(
+            f"SLSQP failed to find a feasible maximizer for n={n}, r={r}, "
+            f"epsilon={epsilon}"
+        )
+    return best_vector, float(best_value)

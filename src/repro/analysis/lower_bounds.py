@@ -1,0 +1,177 @@
+"""Executable versions of the Lemma 3 / Lemma 4 lower-bound experiments.
+
+Both lemmas are existence proofs ("there is a data set on which uniform
+sampling needs this many tuples"); the constructions live in
+:mod:`repro.data.synthetic` and this module provides
+
+* closed-form detection/rejection probabilities, and
+* Monte-Carlo simulators that play the actual sampling game,
+
+so the E3/E4 benchmarks can chart empirical curves against the analytic
+ones and exhibit the ``√(log m / ε)`` and ``m/√ε`` thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, validate_epsilon, validate_positive_int
+
+
+def grid_detection_probability(q: int, m: int, r: int) -> float:
+    """P(all ``m`` bad singletons detected) on ``[q]^m`` with replacement.
+
+    Sampling a uniform tuple of the grid makes the ``m`` coordinates i.i.d.
+    uniform on ``[q]``, so detection events are independent across
+    coordinates and
+
+    ``P = (1 − Π_{i=0}^{r−1}(1 − i/q))^m``
+
+    (detecting coordinate ``j`` = seeing a collision among ``r`` uniform
+    balls in ``q`` bins).  This is the quantity Lemma 3 upper-bounds to get
+    the ``Ω(√(log m/ε))`` requirement.
+    """
+    q = validate_positive_int(q, name="q")
+    m = validate_positive_int(m, name="m")
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r > q:
+        return 1.0  # pigeonhole: every coordinate must collide
+    log_noncollision = 0.0
+    for i in range(1, r):
+        log_noncollision += math.log1p(-i / q)
+    noncollision = math.exp(log_noncollision)
+    if noncollision >= 1.0:
+        return 0.0
+    return (1.0 - noncollision) ** m
+
+
+def simulate_grid_detection(
+    q: int,
+    m: int,
+    r: int,
+    trials: int,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo estimate of :func:`grid_detection_probability`.
+
+    Each trial draws ``r`` i.i.d. uniform tuples of ``[q]^m`` and succeeds
+    when *every* coordinate contains a duplicate value (all bad singletons
+    rejected).
+    """
+    q = validate_positive_int(q, name="q")
+    m = validate_positive_int(m, name="m")
+    validate_positive_int(trials, name="trials")
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r < 2:
+        return 0.0
+    rng = ensure_rng(seed)
+    successes = 0
+    for _ in range(trials):
+        sample = rng.integers(0, q, size=(r, m))
+        detected_all = True
+        for column in range(m):
+            if np.unique(sample[:, column]).size == r:
+                detected_all = False
+                break
+        if detected_all:
+            successes += 1
+    return successes / trials
+
+
+def _log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` via lgamma (−inf when the coefficient is zero)."""
+    if k < 0 or k > n:
+        return -math.inf
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def planted_clique_rejection_probability(
+    n: int, epsilon: float, r: int
+) -> float:
+    """P(sampling ``r`` rows w/o replacement hits the hidden clique twice).
+
+    The Lemma 4 data set hides a clique of size ``c = ⌈√(2ε)·n⌉`` on
+    coordinate 0.  The bad set ``{0}`` is rejected iff the sample contains
+    at least two clique rows — a hypergeometric tail:
+
+    ``P = 1 − [C(n−c, r) + c·C(n−c, r−1)] / C(n, r)``.
+    """
+    n = validate_positive_int(n, name="n")
+    epsilon = validate_epsilon(epsilon)
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r < 2:
+        return 0.0
+    clique = int(math.ceil(math.sqrt(2.0 * epsilon) * n))
+    if clique < 2 or clique > n:
+        raise InvalidParameterError(
+            f"clique size {clique} infeasible for n={n}, epsilon={epsilon}"
+        )
+    if r > n:
+        raise InvalidParameterError(f"cannot sample r={r} > n={n} without replacement")
+    rest = n - clique
+    log_total = _log_binomial(n, r)
+    log_zero = _log_binomial(rest, r)
+    log_one = math.log(clique) + _log_binomial(rest, r - 1) if clique > 0 else -math.inf
+    p_zero = math.exp(log_zero - log_total) if log_zero > -math.inf else 0.0
+    p_one = math.exp(log_one - log_total) if log_one > -math.inf else 0.0
+    return max(0.0, min(1.0, 1.0 - p_zero - p_one))
+
+
+def simulate_planted_clique_detection(
+    n: int,
+    epsilon: float,
+    r: int,
+    trials: int,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo counterpart via hypergeometric draws.
+
+    Sampling without replacement makes the number of clique rows in the
+    sample hypergeometric; the bad set is detected iff that count is ≥ 2.
+    """
+    n = validate_positive_int(n, name="n")
+    epsilon = validate_epsilon(epsilon)
+    validate_positive_int(trials, name="trials")
+    if r < 2:
+        return 0.0
+    if r > n:
+        raise InvalidParameterError(f"cannot sample r={r} > n={n} without replacement")
+    clique = int(math.ceil(math.sqrt(2.0 * epsilon) * n))
+    rng = ensure_rng(seed)
+    draws = rng.hypergeometric(clique, n - clique, r, size=trials)
+    return float((draws >= 2).mean())
+
+
+def required_samples_for_rejection(
+    n: int, epsilon: float, target_probability: float
+) -> int:
+    """Smallest ``r`` with planted-clique rejection ≥ ``target_probability``.
+
+    Binary search over the closed form; benchmarks sweep ``m`` (via the
+    ``e^{−m}``-style target) to exhibit the ``Θ(m/√ε)`` scaling of Lemma 4.
+    """
+    n = validate_positive_int(n, name="n")
+    epsilon = validate_epsilon(epsilon)
+    if not 0.0 < target_probability < 1.0:
+        raise InvalidParameterError(
+            f"target probability must be in (0, 1); got {target_probability}"
+        )
+    low, high = 2, n
+    if planted_clique_rejection_probability(n, epsilon, high) < target_probability:
+        return n
+    while low < high:
+        mid = (low + high) // 2
+        if planted_clique_rejection_probability(n, epsilon, mid) >= target_probability:
+            high = mid
+        else:
+            low = mid + 1
+    return low

@@ -1,0 +1,219 @@
+"""Elementary symmetric polynomials and exact collision probabilities.
+
+The heart of the Theorem 1 analysis is the non-collision probability of the
+constrained balls-into-bins process: cliques are colors with size vector
+``s``, a sampled tuple is a ball with color distribution
+``D_s = (s_1/n, ..., s_n/n)``, and
+
+* with replacement:    ``P_{r,D_s}(ξ) = (r!/n^r)·f_r(s)``,
+* without replacement: ``P_{r,D_s,⋄}(ξ) = r!/(n·(n−1)···(n−r+1))·f_r(s)``,
+
+where ``f_r(s) = Σ_{j_1<...<j_r} s_{j_1}···s_{j_r}`` is the ``r``-th
+elementary symmetric polynomial ``e_r(s)``.  Claim 1 relates the two:
+``P_⋄ < e^m · P`` whenever ``n > r(r−1)/m + r − 1``.
+
+``e_r`` is evaluated with the standard coefficient DP (multiply out
+``Π(1 + s_i·x)`` truncated at degree ``r``), in scaled form ``e_r(s/n)`` for
+numerical stability, and exactly over ``fractions.Fraction`` for the test
+oracle and Appendix C.3's integer example.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike
+
+
+def _as_vector(s: Sequence[float] | np.ndarray) -> np.ndarray:
+    vector = np.asarray(s, dtype=np.float64)
+    if vector.ndim != 1 or vector.size == 0:
+        raise InvalidParameterError("s must be a non-empty 1-D vector")
+    if (vector < 0).any():
+        raise InvalidParameterError("clique sizes must be non-negative")
+    return vector
+
+
+def elementary_symmetric(s: Sequence[float] | np.ndarray, r: int) -> float:
+    """``e_r(s)`` by the degree-truncated product DP (``O(n·r)`` float ops).
+
+    Values can be astronomically large for big inputs; prefer
+    :func:`noncollision_with_replacement`, which works with the scaled
+    vector ``s/n`` internally, when a probability is the actual goal.
+    """
+    vector = _as_vector(s)
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r == 0:
+        return 1.0
+    if r > vector.size:
+        return 0.0
+    coefficients = np.zeros(r + 1, dtype=np.float64)
+    coefficients[0] = 1.0
+    for value in vector:
+        if value == 0.0:
+            continue
+        # (c_0, ..., c_r) <- coefficients of Π(1 + s_i x) so far.
+        coefficients[1 : r + 1] += value * coefficients[0:r].copy()
+    return float(coefficients[r])
+
+
+def elementary_symmetric_exact(
+    s: Sequence[int] | Sequence[Fraction], r: int
+) -> Fraction:
+    """Exact ``e_r(s)`` over rationals (test oracle; Appendix C.3 numbers)."""
+    values = [Fraction(value) for value in s]
+    if any(value < 0 for value in values):
+        raise InvalidParameterError("clique sizes must be non-negative")
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r == 0:
+        return Fraction(1)
+    if r > len(values):
+        return Fraction(0)
+    coefficients = [Fraction(0)] * (r + 1)
+    coefficients[0] = Fraction(1)
+    for value in values:
+        if value == 0:
+            continue
+        for degree in range(min(r, len(values)), 0, -1):
+            coefficients[degree] += value * coefficients[degree - 1]
+    return coefficients[r]
+
+
+def noncollision_with_replacement(
+    s: Sequence[float] | np.ndarray, r: int
+) -> float:
+    """``P_{r,D_s}(ξ)``: no two of ``r`` i.i.d. balls share a color.
+
+    Evaluated as ``r! · e_r(s/n)`` with ``n = Σ s_i``; the scaled DP keeps
+    every intermediate quantity in ``[0, 1]``-ish range, so the result is
+    accurate even for thousands of colors.
+    """
+    vector = _as_vector(s)
+    total = float(vector.sum())
+    if total <= 0:
+        raise InvalidParameterError("s must have positive total mass")
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r <= 1:
+        return 1.0
+    scaled = vector / total
+    value = elementary_symmetric(scaled, r)
+    return min(1.0, math.factorial(r) * value) if value > 0 else 0.0
+
+
+def noncollision_without_replacement(
+    s: Sequence[float] | np.ndarray, r: int
+) -> float:
+    """``P_{r,D_s,⋄}(ξ)``: sample ``r`` *distinct* balls, no repeated color.
+
+    Equals ``P_{r,D_s}(ξ) · n^r / (n·(n−1)···(n−r+1))``; requires integer
+    total mass at least ``r`` to be meaningful (there must be ``r`` balls).
+    """
+    vector = _as_vector(s)
+    total = vector.sum()
+    n = int(round(float(total)))
+    if abs(total - n) > 1e-9:
+        raise InvalidParameterError(
+            "without-replacement probability needs an integer total mass"
+        )
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if r <= 1:
+        return 1.0
+    if r > n:
+        return 0.0
+    with_replacement = noncollision_with_replacement(vector, r)
+    log_correction = 0.0
+    for i in range(r):
+        log_correction -= math.log1p(-i / n)
+    return min(1.0, with_replacement * math.exp(log_correction))
+
+
+def claim1_threshold(r: int, m: int) -> float:
+    """Claim 1's data-size condition: need ``n > r(r−1)/m + r − 1``."""
+    if r < 1 or m < 1:
+        raise InvalidParameterError("r and m must be positive")
+    return r * (r - 1) / m + r - 1
+
+
+def feasible_region_contains(
+    s: Sequence[float] | np.ndarray, n: int, epsilon: float, *, tol: float = 1e-9
+) -> bool:
+    """Membership test for the constraint set ``P`` (constraints (1)–(3)).
+
+    ``Σ s_i = n``, ``Σ s_i² ≥ ε·n²/4``, ``s ≥ 0``.
+    """
+    vector = np.asarray(s, dtype=np.float64)
+    if vector.ndim != 1:
+        raise InvalidParameterError("s must be 1-D")
+    if (vector < -tol).any():
+        return False
+    if abs(float(vector.sum()) - n) > tol * max(1.0, n):
+        return False
+    return float((vector**2).sum()) >= epsilon * n * n / 4.0 - tol * n * n
+
+
+def simulate_noncollision(
+    s: Sequence[float] | np.ndarray,
+    r: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    with_replacement: bool = True,
+) -> float:
+    """Monte-Carlo estimate of the non-collision probability (test oracle)."""
+    vector = _as_vector(s)
+    if r < 0:
+        raise InvalidParameterError(f"r must be >= 0; got {r}")
+    if trials <= 0:
+        raise InvalidParameterError(f"trials must be positive; got {trials}")
+    if r <= 1:
+        return 1.0
+    rng = ensure_rng(seed)
+    if with_replacement:
+        probabilities = vector / vector.sum()
+        colors = np.flatnonzero(vector > 0)
+        probabilities = probabilities[colors]
+        hits = 0
+        for _ in range(trials):
+            draw = rng.choice(colors, size=r, p=probabilities)
+            if np.unique(draw).size == r:
+                hits += 1
+        return hits / trials
+    # Without replacement: materialize the balls and sample indices.
+    sizes = vector.astype(np.int64)
+    if not np.allclose(vector, sizes):
+        raise InvalidParameterError(
+            "without-replacement simulation needs integer clique sizes"
+        )
+    balls = np.repeat(np.arange(sizes.size), sizes)
+    if r > balls.size:
+        return 0.0
+    hits = 0
+    for _ in range(trials):
+        draw = rng.choice(balls.size, size=r, replace=False)
+        if np.unique(balls[draw]).size == r:
+            hits += 1
+    return hits / trials
+
+
+def example_c3_vectors() -> tuple[np.ndarray, np.ndarray, int]:
+    """The Appendix C.3 counter-example ``(s1, s2, r)``.
+
+    ``n = 40``, ``ε' = 1/16``, ``r = 10``; ``s1`` spreads the mass over 16
+    equal entries of 2.5, ``s2`` concentrates it as ``(10, 1×30)``.  The
+    paper reports ``f(s1) ≈ 76 370 239.25 < f(s2) = 173 116 515`` — the
+    uniform profile is *not* the non-collision maximizer once constraint (1)
+    binds, which is why Lemma 1's two-value structure theorem is necessary.
+    """
+    s1 = np.array([2.5] * 16 + [0.0] * 24)
+    s2 = np.array([10.0] + [1.0] * 30 + [0.0] * 9)
+    return s1, s2, 10

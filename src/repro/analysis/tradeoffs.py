@@ -1,0 +1,184 @@
+"""Bound curves: the paper's upper/lower bounds as plottable series.
+
+The paper has no figures, but its results are naturally curves; this module
+generates them as data series (lists of points) so the benchmark suite can
+record figure-like artifacts and downstream users can plot them:
+
+* :func:`filter_bounds_vs_epsilon` / :func:`filter_bounds_vs_m` — the four
+  sample-complexity bounds of the ε-separation key filter problem
+  (Motwani–Xu upper ``m/ε``, Theorem 1 upper ``m/√ε``, Lemma 4 lower
+  ``m/(4√ε)`` for ``e^{−m}`` confidence, Lemma 3 lower ``√(log m/ε)`` for
+  constant confidence);
+* :func:`sketch_bounds_vs_epsilon` — the Theorem 2 sketch size against the
+  Section 3.2 bit lower bound;
+* :func:`open_gap_ratio` — the paper's stated open question, quantified:
+  the multiplicative gap between the Theorem 1 upper bound and the Lemma 3
+  lower bound in the constant-confidence regime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.sample_sizes import (
+    lemma3_lower_bound,
+    lemma4_lower_bound,
+    motwani_xu_pair_sample_size,
+    sketch_pair_sample_size,
+    tuple_sample_size,
+)
+from repro.exceptions import InvalidParameterError
+from repro.types import validate_epsilon, validate_positive_int
+
+
+@dataclass(frozen=True)
+class BoundSeries:
+    """One labelled curve: parallel ``x`` and ``y`` value lists."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise InvalidParameterError("x and y must be parallel")
+
+
+def _epsilon_grid(start: float, stop: float, points: int) -> list[float]:
+    if not 0 < start < stop < 1:
+        raise InvalidParameterError(
+            f"need 0 < start < stop < 1; got [{start}, {stop}]"
+        )
+    if points < 2:
+        raise InvalidParameterError("need at least two grid points")
+    log_start, log_stop = math.log(start), math.log(stop)
+    return [
+        math.exp(log_start + (log_stop - log_start) * i / (points - 1))
+        for i in range(points)
+    ]
+
+
+def filter_bounds_vs_epsilon(
+    m: int,
+    *,
+    eps_start: float = 1e-4,
+    eps_stop: float = 0.25,
+    points: int = 9,
+) -> list[BoundSeries]:
+    """The four filter sample bounds swept over ε at fixed ``m``."""
+    m = validate_positive_int(m, name="m")
+    grid = _epsilon_grid(eps_start, eps_stop, points)
+    return [
+        BoundSeries(
+            "Motwani-Xu upper m/eps (pairs)",
+            tuple(grid),
+            tuple(float(motwani_xu_pair_sample_size(m, e)) for e in grid),
+        ),
+        BoundSeries(
+            "Theorem 1 upper m/sqrt(eps) (tuples)",
+            tuple(grid),
+            tuple(float(tuple_sample_size(m, e)) for e in grid),
+        ),
+        BoundSeries(
+            "Lemma 4 lower m/(4 sqrt(eps)) [delta=e^-m]",
+            tuple(grid),
+            tuple(float(lemma4_lower_bound(m, e)) for e in grid),
+        ),
+        BoundSeries(
+            "Lemma 3 lower sqrt(log m/eps) [const delta]",
+            tuple(grid),
+            tuple(float(lemma3_lower_bound(m, e)) for e in grid),
+        ),
+    ]
+
+
+def filter_bounds_vs_m(
+    epsilon: float,
+    *,
+    m_values: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512),
+) -> list[BoundSeries]:
+    """The four filter sample bounds swept over ``m`` at fixed ε."""
+    epsilon = validate_epsilon(epsilon)
+    xs = tuple(float(m) for m in m_values)
+    return [
+        BoundSeries(
+            "Motwani-Xu upper m/eps (pairs)",
+            xs,
+            tuple(float(motwani_xu_pair_sample_size(m, epsilon)) for m in m_values),
+        ),
+        BoundSeries(
+            "Theorem 1 upper m/sqrt(eps) (tuples)",
+            xs,
+            tuple(float(tuple_sample_size(m, epsilon)) for m in m_values),
+        ),
+        BoundSeries(
+            "Lemma 4 lower m/(4 sqrt(eps)) [delta=e^-m]",
+            xs,
+            tuple(float(lemma4_lower_bound(m, epsilon)) for m in m_values),
+        ),
+        BoundSeries(
+            "Lemma 3 lower sqrt(log m/eps) [const delta]",
+            xs,
+            tuple(float(lemma3_lower_bound(m, epsilon)) for m in m_values),
+        ),
+    ]
+
+
+def sketch_bounds_vs_epsilon(
+    m: int,
+    k: int,
+    alpha: float,
+    *,
+    eps_start: float = 0.01,
+    eps_stop: float = 0.5,
+    points: int = 7,
+    universe_bits: int = 32,
+) -> list[BoundSeries]:
+    """Theorem 2's sketch size (in bits) vs the Section 3.2 lower bound.
+
+    The upper curve counts ``2·m·universe_bits`` bits per sampled pair; the
+    lower curve is ``m·k·log2(1/ε)``.  Their ratio is the paper's
+    "tight in m and k, loose in the ε factors" statement, visualized.
+    """
+    m = validate_positive_int(m, name="m")
+    k = validate_positive_int(k, name="k")
+    grid = _epsilon_grid(eps_start, eps_stop, points)
+    upper = []
+    lower = []
+    for e in grid:
+        pairs = sketch_pair_sample_size(k, m, alpha, e)
+        upper.append(float(2 * pairs * m * universe_bits))
+        lower.append(float(m * k * max(1.0, math.log2(1.0 / e))))
+    return [
+        BoundSeries("Theorem 2 sampling sketch (bits)", tuple(grid), tuple(upper)),
+        BoundSeries("Section 3.2 lower bound (bits)", tuple(grid), tuple(lower)),
+    ]
+
+
+def open_gap_ratio(m: int, epsilon: float) -> float:
+    """The open-question gap: Theorem 1 upper / Lemma 3 lower, constant δ.
+
+    The paper: "Closing the gap between the upper and lower bounds in this
+    case is still an open question."  This returns the current
+    multiplicative gap ``(m/√ε) / √(log m/ε) = m/√(log m)``.
+    """
+    upper = tuple_sample_size(m, epsilon)
+    lower = lemma3_lower_bound(m, epsilon)
+    return upper / max(1.0, lower)
+
+
+def series_to_rows(series: list[BoundSeries]) -> list[list[str]]:
+    """Tabulate curves side by side (first column = shared x grid)."""
+    if not series:
+        raise InvalidParameterError("need at least one series")
+    xs = series[0].x
+    for curve in series:
+        if curve.x != xs:
+            raise InvalidParameterError("series must share the same x grid")
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append(
+            [f"{x:g}"] + [f"{curve.y[index]:g}" for curve in series]
+        )
+    return rows

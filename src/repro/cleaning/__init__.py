@@ -1,0 +1,70 @@
+"""Data-cleaning substrate: fuzzy duplicates, the paper's second application.
+
+Section 1 of the paper: *"This problem also has applications in data
+cleaning, such as identifying and removing fuzzy duplicates resulting from
+spelling mistakes or inconsistent conventions."*  This subpackage builds
+the full pipeline around that sentence:
+
+* :mod:`repro.cleaning.similarity` — pure-Python string and record
+  similarity (Levenshtein, q-gram Jaccard, field-weighted record scores);
+* :mod:`repro.cleaning.corrupt` — a *workload generator*: plant fuzzy
+  duplicates into a clean table by injecting typos, case/whitespace
+  convention drift, and numeric perturbation, keeping the ground truth;
+* :mod:`repro.cleaning.blocking` — candidate-pair generation by
+  multi-pass blocking on quasi-identifier attributes (comparing all
+  ``C(n, 2)`` pairs is exactly the quadratic cost the paper avoids);
+* :mod:`repro.cleaning.dedup` — match candidates above a similarity
+  threshold, cluster with union-find, and score precision/recall against
+  planted truth.
+
+The quasi-identifier connection: a good blocking key is a *small* set of
+attributes on which true duplicates still collide — the mined ε-separation
+keys of :mod:`repro.core.minkey` are natural candidates, and the
+``examples/dedup_pipeline.py`` example wires the two together.
+"""
+
+from repro.cleaning.blocking import (
+    BlockingStats,
+    block_candidates,
+    multi_pass_candidates,
+)
+from repro.cleaning.corrupt import (
+    CorruptionConfig,
+    DirtyDataset,
+    inject_fuzzy_duplicates,
+    make_clean_people_table,
+)
+from repro.cleaning.dedup import (
+    DedupEvaluation,
+    DedupResult,
+    cluster_pairs,
+    evaluate_against_truth,
+    find_fuzzy_duplicates,
+)
+from repro.cleaning.similarity import (
+    levenshtein,
+    levenshtein_similarity,
+    qgram_jaccard,
+    record_similarity,
+    value_similarity,
+)
+
+__all__ = [
+    "BlockingStats",
+    "CorruptionConfig",
+    "DedupEvaluation",
+    "DedupResult",
+    "DirtyDataset",
+    "block_candidates",
+    "cluster_pairs",
+    "evaluate_against_truth",
+    "find_fuzzy_duplicates",
+    "inject_fuzzy_duplicates",
+    "levenshtein",
+    "levenshtein_similarity",
+    "make_clean_people_table",
+    "multi_pass_candidates",
+    "qgram_jaccard",
+    "record_similarity",
+    "value_similarity",
+]

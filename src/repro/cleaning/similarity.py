@@ -1,0 +1,193 @@
+"""String and record similarity measures (pure Python, no dependencies).
+
+Fuzzy-duplicate detection needs a notion of "almost equal" per field and a
+way to combine fields into a record score.  The measures here are the
+standard ones from the record-linkage literature:
+
+* :func:`levenshtein` — edit distance with the O(min·max) two-row dynamic
+  program and an optional early-exit band for threshold queries;
+* :func:`qgram_jaccard` — Jaccard overlap of character q-gram sets, a
+  cheaper order-insensitive alternative;
+* :func:`value_similarity` — type dispatch: strings via edit similarity,
+  numbers via relative closeness, everything else via equality;
+* :func:`record_similarity` — weighted mean of per-field similarities.
+
+All similarities are normalized to ``[0, 1]`` with 1 meaning identical.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+def levenshtein(first: str, second: str, *, max_distance: int | None = None) -> int:
+    """Edit distance between two strings (insert / delete / substitute).
+
+    Parameters
+    ----------
+    first, second:
+        The strings to compare.
+    max_distance:
+        Optional early-exit threshold: when the true distance provably
+        exceeds it, ``max_distance + 1`` is returned immediately.  Useful
+        inside blocking loops where only "is it within d?" matters.
+
+    Examples
+    --------
+    >>> levenshtein("smith", "smyth")
+    1
+    >>> levenshtein("jones", "jonse")
+    2
+    >>> levenshtein("abcdef", "zzzzzz", max_distance=2)
+    3
+    """
+    if first == second:
+        return 0
+    # Ensure `first` is the shorter string: the DP keeps O(|first|) state.
+    if len(first) > len(second):
+        first, second = second, first
+    if max_distance is not None:
+        if max_distance < 0:
+            raise InvalidParameterError(
+                f"max_distance must be non-negative; got {max_distance}"
+            )
+        if len(second) - len(first) > max_distance:
+            return max_distance + 1
+    previous = list(range(len(first) + 1))
+    for j, target_char in enumerate(second, start=1):
+        current = [j]
+        best_in_row = j
+        for i, source_char in enumerate(first, start=1):
+            cost = 0 if source_char == target_char else 1
+            value = min(
+                previous[i] + 1,  # delete
+                current[i - 1] + 1,  # insert
+                previous[i - 1] + cost,  # substitute / match
+            )
+            current.append(value)
+            if value < best_in_row:
+                best_in_row = value
+        if max_distance is not None and best_in_row > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(first: str, second: str) -> float:
+    """Normalized edit similarity: ``1 − distance / max(len)``.
+
+    Both strings empty counts as identical (similarity 1).
+    """
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(first, second) / longest
+
+
+def _qgrams(text: str, q: int) -> set[str]:
+    """Character q-grams of ``text``, padded so short strings still count."""
+    padded = f"{'#' * (q - 1)}{text}{'#' * (q - 1)}"
+    return {padded[i : i + q] for i in range(len(padded) - q + 1)}
+
+
+def qgram_jaccard(first: str, second: str, *, q: int = 2) -> float:
+    """Jaccard similarity of the two strings' q-gram sets.
+
+    Insensitive to long-range transpositions (swapped words score high),
+    which complements the strictly sequential edit distance.
+
+    Examples
+    --------
+    >>> qgram_jaccard("smith", "smith")
+    1.0
+    >>> qgram_jaccard("abc", "xyz")
+    0.0
+    """
+    if q < 1:
+        raise InvalidParameterError(f"q must be at least 1; got {q}")
+    if first == second:
+        return 1.0
+    grams_first = _qgrams(first, q)
+    grams_second = _qgrams(second, q)
+    union = grams_first | grams_second
+    if not union:
+        return 1.0
+    return len(grams_first & grams_second) / len(union)
+
+
+def value_similarity(first: object, second: object) -> float:
+    """Similarity of two field values with type dispatch.
+
+    * two strings — :func:`levenshtein_similarity` (case-insensitive,
+      whitespace-stripped, so convention drift is partially forgiven);
+    * two numbers — relative closeness ``1 − |a−b| / max(|a|, |b|)``;
+    * anything else (or mixed types) — exact equality, 0 or 1.
+
+    .. warning::
+       Relative closeness is the right notion for *quantities* (ages,
+       amounts) but misleading for numeric *identifiers*: two different
+       ZIP codes near 92000 score ≈ 0.999.  When a table mixes the two,
+       down-weight identifier columns via ``record_similarity``'s
+       ``weights`` — see ``examples/dedup_pipeline.py``.
+    """
+    if isinstance(first, str) and isinstance(second, str):
+        return levenshtein_similarity(
+            first.strip().lower(), second.strip().lower()
+        )
+    if isinstance(first, (int, float)) and isinstance(second, (int, float)):
+        if first == second:
+            return 1.0
+        scale = max(abs(float(first)), abs(float(second)))
+        if scale == 0.0:
+            return 1.0
+        return max(0.0, 1.0 - abs(float(first) - float(second)) / scale)
+    return 1.0 if first == second else 0.0
+
+
+def record_similarity(
+    first: Sequence[object],
+    second: Sequence[object],
+    *,
+    weights: Sequence[float] | None = None,
+) -> float:
+    """Weighted mean of per-field :func:`value_similarity` scores.
+
+    Parameters
+    ----------
+    first, second:
+        Equal-length value tuples (decoded rows).
+    weights:
+        Optional per-field weights (default: uniform).  Must be
+        non-negative with a positive sum.
+
+    Examples
+    --------
+    >>> record_similarity(("smith", 1970), ("smyth", 1970))
+    0.9
+    """
+    if len(first) != len(second):
+        raise InvalidParameterError(
+            f"records must have equal width; got {len(first)} vs {len(second)}"
+        )
+    if not first:
+        raise InvalidParameterError("records must have at least one field")
+    if weights is None:
+        weight_list = [1.0] * len(first)
+    else:
+        weight_list = [float(w) for w in weights]
+        if len(weight_list) != len(first):
+            raise InvalidParameterError(
+                f"{len(weight_list)} weights for {len(first)} fields"
+            )
+        if any(w < 0 for w in weight_list):
+            raise InvalidParameterError("weights must be non-negative")
+    total_weight = sum(weight_list)
+    if total_weight <= 0:
+        raise InvalidParameterError("weights must not all be zero")
+    score = sum(
+        weight * value_similarity(a, b)
+        for weight, a, b in zip(weight_list, first, second)
+    )
+    return score / total_weight

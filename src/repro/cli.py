@@ -1,0 +1,386 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``repro table1 [--scale 0.05] [--trials 3] [--queries 50]``
+    Run the Table 1 experiment and print the paper-shaped table.
+``repro minkey --dataset adult [--epsilon 0.001] [--method tuples]``
+    Discover an approximate minimum ε-separation key of a registry data set.
+``repro sketch --dataset adult --k 3 [--alpha 0.05] [--epsilon 0.1]``
+    Build a non-separation sketch and print estimates for a few queries.
+``repro fd --dataset adult [--max-error 0.01] [--max-lhs 2]``
+    Discover minimal approximate functional dependencies.
+``repro risk --dataset adult --attributes 0,1,2``
+    Disclosure-risk report (k-anonymity, uniqueness, linking attack).
+``repro anonymize --dataset adult --attributes age,sex --k 10``
+    Mondrian k-anonymization plus before/after attack comparison.
+``repro dedup [--rows 300] [--threshold 0.8]``
+    Plant fuzzy duplicates in a synthetic people table and detect them.
+``repro datasets``
+    List the registered synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Towards Better Bounds for Finding "
+            "Quasi-Identifiers' (PODS 2023)."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="run the Table 1 experiment")
+    table1.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="row-count scale factor in (0, 1] (1.0 = paper scale)",
+    )
+    table1.add_argument("--trials", type=int, default=10, help="trials per dataset")
+    table1.add_argument("--queries", type=int, default=100, help="queries per trial")
+    table1.add_argument("--epsilon", type=float, default=0.001)
+    table1.add_argument("--seed", type=int, default=0)
+
+    minkey = commands.add_parser(
+        "minkey", help="approximate minimum epsilon-separation key"
+    )
+    minkey.add_argument("--dataset", required=True, help="registry dataset name")
+    minkey.add_argument("--rows", type=int, default=None, help="row-count override")
+    minkey.add_argument("--epsilon", type=float, default=0.001)
+    minkey.add_argument(
+        "--method", choices=["tuples", "pairs", "exact"], default="tuples"
+    )
+    minkey.add_argument("--seed", type=int, default=0)
+
+    sketch = commands.add_parser(
+        "sketch", help="non-separation estimation sketch demo"
+    )
+    sketch.add_argument("--dataset", required=True, help="registry dataset name")
+    sketch.add_argument("--rows", type=int, default=None, help="row-count override")
+    sketch.add_argument("--k", type=int, default=3, help="maximum query size")
+    sketch.add_argument("--alpha", type=float, default=0.05)
+    sketch.add_argument("--epsilon", type=float, default=0.1)
+    sketch.add_argument("--queries", type=int, default=8)
+    sketch.add_argument("--seed", type=int, default=0)
+
+    profile = commands.add_parser(
+        "profile", help="per-column identifiability profile of a dataset"
+    )
+    profile.add_argument("--dataset", required=True, help="registry dataset name")
+    profile.add_argument("--rows", type=int, default=None, help="row-count override")
+    profile.add_argument("--seed", type=int, default=0)
+
+    mask = commands.add_parser(
+        "mask", help="suppress columns until no small quasi-identifier remains"
+    )
+    mask.add_argument("--dataset", required=True, help="registry dataset name")
+    mask.add_argument("--rows", type=int, default=None, help="row-count override")
+    mask.add_argument("--epsilon", type=float, default=0.001)
+    mask.add_argument(
+        "--max-key-size",
+        type=int,
+        default=1,
+        help="the adversary's bundle budget k",
+    )
+    mask.add_argument("--seed", type=int, default=0)
+
+    fd = commands.add_parser(
+        "fd", help="discover minimal approximate functional dependencies"
+    )
+    fd.add_argument("--dataset", required=True, help="registry dataset name")
+    fd.add_argument("--rows", type=int, default=None, help="row-count override")
+    fd.add_argument(
+        "--max-error", type=float, default=0.0, help="g3 threshold in [0, 1)"
+    )
+    fd.add_argument(
+        "--max-lhs", type=int, default=2, help="left-hand-side size cap"
+    )
+    fd.add_argument("--limit", type=int, default=25, help="print at most this many")
+    fd.add_argument("--seed", type=int, default=0)
+
+    risk = commands.add_parser(
+        "risk", help="disclosure-risk report for a quasi-identifier"
+    )
+    risk.add_argument("--dataset", required=True, help="registry dataset name")
+    risk.add_argument("--rows", type=int, default=None, help="row-count override")
+    risk.add_argument(
+        "--attributes",
+        required=True,
+        help="comma-separated column indices or names (the quasi-identifier)",
+    )
+    risk.add_argument(
+        "--sensitive", default=None, help="sensitive column for l-diversity"
+    )
+    risk.add_argument(
+        "--noise",
+        type=float,
+        default=0.05,
+        help="adversary knowledge noise for the simulated linking attack",
+    )
+    risk.add_argument("--seed", type=int, default=0)
+
+    anonymize = commands.add_parser(
+        "anonymize", help="Mondrian k-anonymization of a quasi-identifier"
+    )
+    anonymize.add_argument("--dataset", required=True, help="registry dataset name")
+    anonymize.add_argument("--rows", type=int, default=None, help="row-count override")
+    anonymize.add_argument(
+        "--attributes",
+        required=True,
+        help="comma-separated quasi-identifier columns (indices or names)",
+    )
+    anonymize.add_argument("--k", type=int, default=10, help="anonymity parameter")
+    anonymize.add_argument("--seed", type=int, default=0)
+
+    dedup = commands.add_parser(
+        "dedup", help="plant and detect fuzzy duplicates (cleaning demo)"
+    )
+    dedup.add_argument("--rows", type=int, default=300, help="clean rows")
+    dedup.add_argument(
+        "--threshold", type=float, default=0.8, help="record-similarity cut-off"
+    )
+    dedup.add_argument("--seed", type=int, default=0)
+
+    commands.add_parser("datasets", help="list registered synthetic datasets")
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.config import FilterExperimentConfig, Table1Config
+    from repro.experiments.table1 import run_table1, table1_rows_to_text
+
+    config = Table1Config(
+        filter_config=FilterExperimentConfig(
+            epsilon=args.epsilon,
+            n_trials=args.trials,
+            n_queries=args.queries,
+            seed=args.seed,
+        )
+    )
+    if args.scale < 1.0:
+        config = config.scaled(args.scale)
+    rows = run_table1(config)
+    print(table1_rows_to_text(rows))
+    return 0
+
+
+def _cmd_minkey(args: argparse.Namespace) -> int:
+    from repro.core.minkey import approximate_min_key
+    from repro.core.separation import separation_ratio
+    from repro.data.registry import build_dataset
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    result = approximate_min_key(
+        data, args.epsilon, method=args.method, seed=args.seed
+    )
+    names = [data.column_names[a] for a in result.attributes]
+    ratio = separation_ratio(data, result.attributes)
+    print(f"dataset           : {args.dataset} {data.shape}")
+    print(f"method            : {result.method}")
+    print(f"sample size       : {result.sample_size}")
+    print(f"key size          : {result.key_size}")
+    print(f"key attributes    : {names}")
+    print(f"separation ratio  : {ratio:.6f}")
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    from repro.core.separation import unseparated_pairs
+    from repro.core.sketch import NonSeparationSketch
+    from repro.data.registry import build_dataset
+    from repro.experiments.workloads import random_attribute_subsets
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    sketch = NonSeparationSketch.fit(
+        data, k=args.k, alpha=args.alpha, epsilon=args.epsilon, seed=args.seed
+    )
+    print(
+        f"sketch: {sketch.sample_size} pairs "
+        f"({sketch.memory_bits():,} bits; lower bound "
+        f"{sketch.lower_bound_bits():,} bits)"
+    )
+    queries = random_attribute_subsets(
+        data.n_columns, args.queries, seed=args.seed, max_size=args.k
+    )
+    for query in queries:
+        answer = sketch.query(query)
+        exact = unseparated_pairs(data, query)
+        shown = "small" if answer.is_small else f"{answer.estimate:,.0f}"
+        print(f"  A={list(query)}: estimate={shown} exact={exact:,}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.data.profile import profiles_to_rows, rank_by_identifiability
+    from repro.data.registry import build_dataset
+    from repro.experiments.reporting import format_table
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    ranked = rank_by_identifiability(data)
+    print(f"{args.dataset} {data.shape} — most identifying columns first\n")
+    print(
+        format_table(
+            ["column", "cardinality", "separation", "entropy (bits)", "max freq"],
+            profiles_to_rows(ranked),
+        )
+    )
+    return 0
+
+
+def _cmd_mask(args: argparse.Namespace) -> int:
+    from repro.core.masking import mask_small_quasi_identifiers
+    from repro.data.registry import build_dataset
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    result = mask_small_quasi_identifiers(
+        data, args.epsilon, args.max_key_size, seed=args.seed
+    )
+    suppressed = [data.column_names[c] for c in result.suppressed]
+    remaining = [data.column_names[c] for c in result.remaining]
+    mode = "exact" if result.exact else "heuristic"
+    print(f"dataset        : {args.dataset} {data.shape}")
+    print(f"mode           : {mode} ({result.rounds} round(s))")
+    print(f"suppress       : {suppressed or 'nothing'}")
+    print(f"safe to release: {remaining}")
+    if result.certificate_key is not None:
+        names = [data.column_names[c] for c in result.certificate_key]
+        print(f"residual key   : {names} (size > k = {args.max_key_size})")
+    return 0
+
+
+def _cmd_fd(args: argparse.Namespace) -> int:
+    from repro.data.registry import build_dataset
+    from repro.fd.discovery import discover_afds
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    found = discover_afds(
+        data, max_error=args.max_error, max_lhs_size=args.max_lhs
+    )
+    print(
+        f"{args.dataset} {data.shape}: {len(found)} minimal AFD(s) with "
+        f"g3 <= {args.max_error} and |lhs| <= {args.max_lhs}"
+    )
+    for dependency in found[: args.limit]:
+        print(f"  {dependency}")
+    if len(found) > args.limit:
+        print(f"  ... and {len(found) - args.limit} more")
+    return 0
+
+
+def _parse_attributes(spec: str) -> list:
+    return [
+        int(token) if token.lstrip("-").isdigit() else token
+        for token in (piece.strip() for piece in spec.split(","))
+        if token
+    ]
+
+
+def _cmd_risk(args: argparse.Namespace) -> int:
+    from repro.data.registry import build_dataset
+    from repro.privacy.linkage import simulate_linking_attack
+    from repro.privacy.risk import assess_risk
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    attributes = _parse_attributes(args.attributes)
+    report = assess_risk(data, attributes, sensitive=args.sensitive)
+    print(f"dataset: {args.dataset} {data.shape}")
+    for line in report.summary_lines():
+        print(f"  {line}")
+    attack = simulate_linking_attack(
+        data, attributes, noise=args.noise, seed=args.seed
+    )
+    print(
+        f"  linking attack (noise={args.noise}): recall={attack.recall:.3f} "
+        f"precision={attack.precision:.3f} "
+        f"ambiguous={attack.ambiguous_rate:.3f}"
+    )
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    from repro.data.registry import build_dataset
+    from repro.privacy.anonymize import mondrian_anonymize
+    from repro.privacy.linkage import simulate_linking_attack
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    attributes = _parse_attributes(args.attributes)
+    before = simulate_linking_attack(data, attributes, seed=args.seed)
+    result = mondrian_anonymize(data, attributes, args.k)
+    after = simulate_linking_attack(result.data, attributes, seed=args.seed)
+    print(f"dataset           : {args.dataset} {data.shape}")
+    print(f"k                 : {args.k}")
+    print(f"classes           : {result.n_classes} "
+          f"(smallest {result.smallest_class})")
+    print(f"information loss  : NCP={result.ncp:.3f} "
+          f"discernibility={result.discernibility:,}")
+    print(f"attack recall     : {before.recall:.3f} -> {after.recall:.3f}")
+    return 0
+
+
+def _cmd_dedup(args: argparse.Namespace) -> int:
+    from repro.cleaning.corrupt import (
+        inject_fuzzy_duplicates,
+        make_clean_people_table,
+    )
+    from repro.cleaning.dedup import evaluate_against_truth, find_fuzzy_duplicates
+
+    clean = make_clean_people_table(args.rows, seed=args.seed)
+    dirty = inject_fuzzy_duplicates(clean, seed=args.seed + 1)
+    result = find_fuzzy_duplicates(
+        dirty.data,
+        [["zip"], ["birth_year"], ["city"]],
+        threshold=args.threshold,
+        weights=[3.0, 3.0, 1.0, 0.5, 0.5],
+    )
+    score = evaluate_against_truth(result.matched_pairs, dirty.true_pairs)
+    print(f"dirty table    : {dirty.data.shape} "
+          f"({len(dirty.true_pairs)} planted duplicates)")
+    print(f"candidates     : {result.n_comparisons} "
+          f"(reduction {result.blocking.reduction_ratio:.3%})")
+    print(f"matched pairs  : {len(result.matched_pairs)}")
+    print(f"precision      : {score.precision:.3f}")
+    print(f"recall         : {score.recall:.3f}")
+    print(f"f1             : {score.f1:.3f}")
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.data.registry import list_datasets
+
+    for name in list_datasets():
+        print(name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "minkey": _cmd_minkey,
+        "sketch": _cmd_sketch,
+        "profile": _cmd_profile,
+        "mask": _cmd_mask,
+        "fd": _cmd_fd,
+        "risk": _cmd_risk,
+        "anonymize": _cmd_anonymize,
+        "dedup": _cmd_dedup,
+        "datasets": _cmd_datasets,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The encoding-argument experiment behind the Section 3.2 lower bound.
+
+The ``Ω(m·k·log(1/ε))`` sketch-size lower bound is proved by showing that a
+valid non-separation sketch lets Bob reconstruct Alice's ``kt × m`` bit
+matrix ``C`` (``k`` ones per column) to within Hamming distance
+``|C|/(10t)``.  This package *runs* that argument end to end:
+
+* build the structured data set ``M`` from ``C`` (Lemma 5's instance);
+* verify the closed-form unseparated-pair count of Lemma 6;
+* simulate Bob's column-by-column reconstruction through an actual
+  :class:`~repro.core.sketch.NonSeparationSketch` and score the Hamming
+  error.
+"""
+
+from repro.communication.encoding import (
+    ReconstructionReport,
+    bits_matrix_dataset,
+    gamma_closed_form,
+    gamma_closed_form_from_groups,
+    random_bit_matrix,
+    reconstruct_bit_matrix,
+    reconstruct_column,
+)
+
+__all__ = [
+    "ReconstructionReport",
+    "bits_matrix_dataset",
+    "gamma_closed_form",
+    "gamma_closed_form_from_groups",
+    "random_bit_matrix",
+    "reconstruct_bit_matrix",
+    "reconstruct_column",
+]

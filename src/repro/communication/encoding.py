@@ -1,0 +1,257 @@
+"""Lemma 5/6 machinery: the structured instance and Bob's reconstruction.
+
+Construction (Section 3.2, 0-indexed here): Alice holds a bit matrix ``C``
+of shape ``(n, m)`` with ``n = k·t`` rows and exactly ``k`` ones per column.
+She forms the ``(2n, m + n)`` data set
+
+``M = [[C, I_n], [D, 0]]``
+
+where ``D`` is all ones.  For a column ``c`` and a guessed row set
+``R = {r_1, ..., r_k}``, the query attribute set is
+``A = {c} ∪ {m + r : r ∈ R}``.  Writing ``u`` for the number of correct
+guesses (``C[r, c] = 1``), Lemma 6 gives
+
+``Γ_A = (t² − t + 5/2)·k² − (t − 1/2)·k + u² − 3ku``,
+
+equivalently ``C(n + k − u, 2) + C(n − 2k + u, 2)``: the guessed rows become
+singletons, and the rest split into the "value 1" group (size ``n + k − u``)
+and the "value 0" group (size ``n − 2k + u``).  ``Γ_A`` is strictly
+decreasing in ``u`` on ``u ≤ 3k/2``, so a ``(1 ± ε)`` estimate with
+``t = Θ(1/√ε)`` pins down whether ``u = k`` — Bob accepts exactly the good
+guesses and reconstructs ``C`` column by column.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, pairs_count, validate_positive_int
+
+
+def random_bit_matrix(
+    k: int, t: int, m: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Alice's input: ``(k·t, m)`` bits, exactly ``k`` ones per column."""
+    k = validate_positive_int(k, name="k")
+    t = validate_positive_int(t, name="t")
+    m = validate_positive_int(m, name="m")
+    rng = ensure_rng(seed)
+    n = k * t
+    matrix = np.zeros((n, m), dtype=np.int64)
+    for column in range(m):
+        ones = rng.choice(n, size=k, replace=False)
+        matrix[ones, column] = 1
+    return matrix
+
+
+def bits_matrix_dataset(bits: np.ndarray) -> Dataset:
+    """Build the ``(2n, m + n)`` data set ``M`` of Lemma 5 from ``C``."""
+    bits = np.asarray(bits, dtype=np.int64)
+    if bits.ndim != 2:
+        raise InvalidParameterError(f"bits must be 2-D; got shape {bits.shape}")
+    if not np.isin(bits, (0, 1)).all():
+        raise InvalidParameterError("bits must be 0/1")
+    n, m = bits.shape
+    top = np.hstack([bits, np.eye(n, dtype=np.int64)])
+    bottom = np.hstack(
+        [np.ones((n, m), dtype=np.int64), np.zeros((n, n), dtype=np.int64)]
+    )
+    return Dataset(np.vstack([top, bottom]))
+
+
+def gamma_closed_form(t: int, k: int, u: int) -> int:
+    """Lemma 6's polynomial: ``(t²−t+5/2)k² − (t−1/2)k + u² − 3ku``.
+
+    Returned as an exact integer (the polynomial is integer-valued because
+    ``k²·(t² − t) + k·(k² ... )`` — concretely we evaluate via the
+    group-size form, which is manifestly integral and equal).
+    """
+    return gamma_closed_form_from_groups(t * k, k, u)
+
+
+def gamma_closed_form_from_groups(n: int, k: int, u: int) -> int:
+    """Equivalent group-size form: ``C(n+k−u, 2) + C(n−2k+u, 2)``."""
+    if u < 0 or u > k:
+        raise InvalidParameterError(f"u must lie in [0, k]; got u={u}, k={k}")
+    if n < 2 * k:
+        raise InvalidParameterError(f"need n >= 2k; got n={n}, k={k}")
+    return pairs_count(n + k - u) + pairs_count(n - 2 * k + u)
+
+
+def query_attributes(column: int, guessed_rows: tuple[int, ...], m: int) -> list[int]:
+    """The attribute set ``A = {c} ∪ {m + r}`` Bob queries for one guess."""
+    return [column] + [m + row for row in guessed_rows]
+
+
+@dataclass(frozen=True)
+class ReconstructionReport:
+    """Outcome of Bob's reconstruction of one column or the whole matrix.
+
+    Attributes
+    ----------
+    reconstructed:
+        Bob's bit matrix (or column) guess.
+    hamming_distance:
+        Bit errors against Alice's truth.
+    allowed_distance:
+        The Lemma 5 budget ``|C|/(10·t)``.
+    queries_used:
+        How many sketch queries Bob issued.
+    """
+
+    reconstructed: np.ndarray
+    hamming_distance: int
+    allowed_distance: float
+    queries_used: int
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the reconstruction met the Lemma 5 accuracy requirement."""
+        return self.hamming_distance <= self.allowed_distance
+
+
+def _acceptance_threshold(t: int, k: int, epsilon: float) -> float:
+    """Bob accepts a guess iff ``Γ̂_A ≤ (1+ε)·Γ(u=k)``.
+
+    ``Γ`` is strictly decreasing in ``u`` (for ``u ≤ 3k/2``), so accepting
+    at the ``u = k`` level with the ``(1±ε)`` slack distinguishes perfect
+    guesses whenever ``t = Θ(1/√ε)`` is large enough — exactly the
+    separation condition computed in the paper's Section 3.2.
+    """
+    return (1.0 + epsilon) * gamma_closed_form(t, k, k)
+
+
+def reconstruct_column(
+    sketch: NonSeparationSketch,
+    column: int,
+    k: int,
+    t: int,
+    m: int,
+    epsilon: float,
+    *,
+    exhaustive_budget: int = 200_000,
+) -> tuple[np.ndarray, int]:
+    """Bob's reconstruction of one column via sketch queries.
+
+    Enumerates the ``C(n, k)`` row-set guesses (bounded by
+    ``exhaustive_budget`` as a safety valve) and returns the reconstruction
+    of the first accepted guess plus the number of queries used.  If no
+    guess is accepted, the all-zeros column is returned — Lemma 5 charges
+    such failures to the Hamming budget.
+    """
+    n = k * t
+    threshold = _acceptance_threshold(t, k, epsilon)
+    queries = 0
+    for guess in itertools.combinations(range(n), k):
+        queries += 1
+        if queries > exhaustive_budget:
+            break
+        answer = sketch.query(query_attributes(column, guess, m))
+        estimate = answer.estimate
+        if estimate is None:
+            continue
+        if estimate <= threshold:
+            reconstruction = np.zeros(n, dtype=np.int64)
+            reconstruction[list(guess)] = 1
+            return reconstruction, queries
+    return np.zeros(n, dtype=np.int64), queries
+
+
+def reconstruct_bit_matrix(
+    bits: np.ndarray,
+    epsilon: float,
+    *,
+    alpha: float = 1.0 / 16.0,
+    sketch_constant: float = 1.0,
+    sample_size: int | None = None,
+    seed: SeedLike = None,
+    exact_oracle: bool = False,
+) -> ReconstructionReport:
+    """Run the whole Alice→Bob experiment on ``bits``.
+
+    Parameters
+    ----------
+    bits:
+        Alice's ``(k·t, m)`` matrix; ``k`` is inferred from the column sums
+        (which must be constant) and ``t`` from the shape.
+    epsilon:
+        Estimation accuracy of the sketch Bob receives.
+    alpha:
+        The sketch's "small" threshold parameter; the construction
+        guarantees ``Γ_A > C(n, 2) > α·C(2n, 2)`` at ``α = 1/16``.
+    sketch_constant, sample_size, seed:
+        Forwarded to :meth:`NonSeparationSketch.fit`.
+    exact_oracle:
+        When true, bypass sampling and answer queries with the exact
+        ``Γ_A`` — isolates the encoding argument from sampling noise (used
+        to validate Lemma 6 itself).
+    """
+    bits = np.asarray(bits, dtype=np.int64)
+    n, m = bits.shape
+    column_sums = bits.sum(axis=0)
+    k = int(column_sums[0])
+    if not (column_sums == k).all():
+        raise InvalidParameterError("every column must have the same number of ones")
+    if k == 0 or n % k != 0:
+        raise InvalidParameterError(f"rows ({n}) must be k·t with k={k} ones/column")
+    t = n // k
+    data = bits_matrix_dataset(bits)
+
+    if exact_oracle:
+        sketch = _ExactGammaOracle(data, k_limit=k + 1, epsilon=epsilon)
+    else:
+        sketch = NonSeparationSketch.fit(
+            data,
+            k=k + 1,
+            alpha=alpha,
+            epsilon=epsilon,
+            constant=sketch_constant,
+            sample_size=sample_size,
+            seed=seed,
+        )
+
+    reconstruction = np.zeros_like(bits)
+    queries_total = 0
+    for column in range(m):
+        column_guess, queries = reconstruct_column(
+            sketch, column, k, t, m, epsilon
+        )
+        reconstruction[:, column] = column_guess
+        queries_total += queries
+    distance = int((reconstruction != bits).sum())
+    return ReconstructionReport(
+        reconstructed=reconstruction,
+        hamming_distance=distance,
+        allowed_distance=bits.size / (10.0 * t),
+        queries_used=queries_total,
+    )
+
+
+class _ExactGammaOracle:
+    """Drop-in for the sketch that answers queries with exact ``Γ_A``."""
+
+    def __init__(self, data: Dataset, k_limit: int, epsilon: float) -> None:
+        from repro.core.separation import unseparated_pairs
+
+        self._data = data
+        self._k_limit = k_limit
+        self.epsilon = epsilon
+        self._count = unseparated_pairs
+
+    def query(self, attributes: list[int]):
+        from repro.core.sketch import SketchAnswer
+
+        gamma = self._count(self._data, attributes)
+        return SketchAnswer(
+            is_small=False,
+            estimate=float(gamma),
+            unseparated_sample_pairs=gamma,
+            threshold=0.0,
+        )

@@ -1,0 +1,86 @@
+"""Core algorithms: the paper's primary contribution and its baseline.
+
+* :mod:`repro.core.separation` — exact separation counting via the disjoint-
+  clique structure of the auxiliary graph ``G_A``.
+* :mod:`repro.core.filters` — the ε-separation key filters: the Motwani–Xu
+  pair-sampling baseline (``Θ(m/ε)`` samples) and the paper's Algorithm 1
+  tuple-sampling filter (``Θ(m/√ε)`` samples).
+* :mod:`repro.core.minkey` — approximate minimum ε-separation key solvers
+  (Proposition 1 / Appendix B) plus an exact branch-and-bound reference.
+* :mod:`repro.core.sketch` — the non-separation estimation sketch
+  (Theorem 2 upper bound).
+* :mod:`repro.core.sample_sizes` — the sample-size formulas of both methods.
+"""
+
+from repro.core.filters import (
+    Classification,
+    ExactSeparationOracle,
+    MotwaniXuFilter,
+    TupleSampleFilter,
+    classify,
+)
+from repro.core.masking import (
+    MaskingResult,
+    find_small_epsilon_key,
+    mask_small_quasi_identifiers,
+    verify_masking,
+)
+from repro.core.minkey import (
+    ExactMinKey,
+    MinKeyResult,
+    MotwaniXuMinKey,
+    TupleSampleMinKey,
+    approximate_min_key,
+)
+from repro.core.sample_sizes import (
+    motwani_xu_pair_sample_size,
+    sketch_pair_sample_size,
+    tuple_sample_regime_ok,
+    tuple_sample_size,
+)
+from repro.core.separation import (
+    clique_sizes,
+    group_labels,
+    is_epsilon_key,
+    is_key,
+    separated_pairs,
+    separation_ratio,
+    separates_pair,
+    unseparated_pairs,
+    unseparated_pairs_from_cliques,
+    unseparated_pairs_naive,
+)
+from repro.core.sketch import NonSeparationSketch, SketchAnswer
+
+__all__ = [
+    "Classification",
+    "ExactMinKey",
+    "ExactSeparationOracle",
+    "MaskingResult",
+    "MinKeyResult",
+    "MotwaniXuFilter",
+    "MotwaniXuMinKey",
+    "NonSeparationSketch",
+    "SketchAnswer",
+    "TupleSampleFilter",
+    "TupleSampleMinKey",
+    "approximate_min_key",
+    "classify",
+    "clique_sizes",
+    "find_small_epsilon_key",
+    "group_labels",
+    "is_epsilon_key",
+    "is_key",
+    "mask_small_quasi_identifiers",
+    "motwani_xu_pair_sample_size",
+    "separated_pairs",
+    "separates_pair",
+    "separation_ratio",
+    "sketch_pair_sample_size",
+    "tuple_sample_regime_ok",
+    "tuple_sample_size",
+    "unseparated_pairs",
+    "unseparated_pairs_from_cliques",
+    "unseparated_pairs_naive",
+    "verify_masking",
+]

@@ -1,0 +1,353 @@
+"""ε-separation key filters (the paper's decision problem).
+
+The filter problem: given an attribute set ``A``, *reject* if ``A`` is bad
+(separates fewer than ``(1 − ε)·C(n, 2)`` pairs), *accept* if ``A`` is a
+perfect key, answer anything in between — simultaneously correct for all
+``2^m`` subsets with probability ``1 − δ``.
+
+Two uniform-sampling filters are implemented:
+
+* :class:`MotwaniXuFilter` — the baseline of Motwani and Xu (2008): sample
+  ``Θ(m/ε)`` *pairs* of tuples; reject ``A`` iff it fails to separate some
+  sampled pair.  Query time ``O(s·|A|)`` with ``s = Θ(m/ε)``.
+* :class:`TupleSampleFilter` — the paper's Algorithm 1: sample ``Θ(m/√ε)``
+  *tuples* without replacement; reject ``A`` iff two sampled tuples collide
+  on ``A`` (i.e. ``A`` fails to separate some pair of the sample).  Query
+  time ``O((m/√ε)·|A|·log(m/ε))`` via sorting — the ``√ε`` improvement in
+  both sample size and query time is the headline result (Theorem 1).
+
+Both filters can be built offline from a :class:`~repro.data.dataset.Dataset`
+or in one streaming pass via their ``from_stream`` constructors.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.core import sample_sizes as _sizes
+from repro.core.separation import (
+    has_duplicate_projection,
+    is_epsilon_key,
+    is_key,
+    unseparated_pairs,
+)
+from repro.data.dataset import Dataset
+from repro.exceptions import EmptySampleError, InvalidParameterError
+from repro.sampling.pairs import sample_pair_indices
+from repro.sampling.reservoir import PairReservoir, ReservoirSampler
+from repro.types import (
+    AttributeSetLike,
+    SeedLike,
+    pairs_count,
+    resolve_mixed_attributes,
+    validate_epsilon,
+)
+
+
+class Classification(enum.Enum):
+    """Ground-truth status of an attribute set at a given ε.
+
+    ``KEY`` and ``BAD`` are the two poles the filter must get right;
+    ``INTERMEDIATE`` sets (ε-separation keys that are not perfect keys) may
+    be accepted or rejected — either answer is correct.
+    """
+
+    KEY = "key"
+    BAD = "bad"
+    INTERMEDIATE = "intermediate"
+
+
+def classify(
+    data: Dataset, attributes: AttributeSetLike, epsilon: float
+) -> Classification:
+    """Classify ``attributes`` exactly (full scan; used as ground truth)."""
+    epsilon = validate_epsilon(epsilon)
+    gamma = unseparated_pairs(data, attributes)
+    if gamma == 0:
+        return Classification.KEY
+    if gamma > epsilon * pairs_count(data.n_rows):
+        return Classification.BAD
+    return Classification.INTERMEDIATE
+
+
+class ExactSeparationOracle:
+    """A "filter" that answers from the full data set (no sampling).
+
+    Accepts ``A`` iff it is an ε-separation key.  Used as the reference in
+    agreement experiments; it is always correct but costs a full scan per
+    query.
+    """
+
+    def __init__(self, data: Dataset, epsilon: float) -> None:
+        self.data = data
+        self.epsilon = validate_epsilon(epsilon)
+
+    @property
+    def sample_size(self) -> int:
+        """Number of stored rows (the whole data set)."""
+        return self.data.n_rows
+
+    def accepts(self, attributes: AttributeSetLike) -> bool:
+        """``True`` iff ``attributes`` is an ε-separation key of the data."""
+        return is_epsilon_key(self.data, attributes, self.epsilon)
+
+    def is_correct_on(self, attributes: AttributeSetLike, answer: bool) -> bool:
+        """Whether ``answer`` (accept=True) is a correct filter output."""
+        label = classify(self.data, attributes, self.epsilon)
+        if label is Classification.KEY:
+            return answer
+        if label is Classification.BAD:
+            return not answer
+        return True
+
+
+class MotwaniXuFilter:
+    """Pair-sampling filter of Motwani and Xu (2008) — the baseline.
+
+    Parameters
+    ----------
+    left_codes, right_codes:
+        ``(s, m)`` code matrices; row ``p`` of each holds the two tuples of
+        the ``p``-th sampled pair.
+    epsilon:
+        The separation parameter the sample size was chosen for (kept for
+        reporting; the query itself does not use it).
+
+    Notes
+    -----
+    ``accepts(A)`` is *monotone*: adding attributes can only separate more
+    sampled pairs, matching the monotonicity of true separation.
+    """
+
+    def __init__(
+        self,
+        left_codes: np.ndarray,
+        right_codes: np.ndarray,
+        epsilon: float,
+        column_names: tuple[str, ...] | None = None,
+    ) -> None:
+        left = np.ascontiguousarray(left_codes, dtype=np.int64)
+        right = np.ascontiguousarray(right_codes, dtype=np.int64)
+        if left.ndim != 2 or left.shape != right.shape:
+            raise InvalidParameterError(
+                f"pair matrices must share a 2-D shape; got {left.shape} vs {right.shape}"
+            )
+        if left.shape[0] == 0:
+            raise EmptySampleError("pair sample is empty")
+        self._left = left
+        self._right = right
+        self.epsilon = validate_epsilon(epsilon)
+        self.column_names = tuple(column_names) if column_names else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        data: Dataset,
+        epsilon: float,
+        *,
+        sample_size: int | None = None,
+        constant: float = 1.0,
+        seed: SeedLike = None,
+    ) -> "MotwaniXuFilter":
+        """Sample ``Θ(m/ε)`` pairs from ``data`` and build the filter.
+
+        ``sample_size`` overrides the default ``ceil(constant·m/ε)``; it is
+        clipped to the number of available pairs.
+        """
+        epsilon = validate_epsilon(epsilon)
+        if data.n_rows < 2:
+            raise InvalidParameterError("need at least two rows to sample pairs")
+        if sample_size is None:
+            sample_size = _sizes.motwani_xu_pair_sample_size(
+                data.n_columns, epsilon, constant=constant
+            )
+        codes = data.codes
+        universe = pairs_count(data.n_rows)
+        if sample_size >= universe:
+            # The request covers the whole pair universe: store every pair
+            # once and the filter becomes exact (stronger than sampling).
+            upper = np.triu_indices(data.n_rows, k=1)
+            return cls(
+                codes[upper[0]], codes[upper[1]], epsilon, data.column_names
+            )
+        pairs = sample_pair_indices(data.n_rows, sample_size, seed)
+        return cls(
+            codes[pairs[:, 0]], codes[pairs[:, 1]], epsilon, data.column_names
+        )
+
+    @classmethod
+    def from_stream(
+        cls,
+        rows: Iterable[np.ndarray],
+        epsilon: float,
+        sample_size: int,
+        seed: SeedLike = None,
+    ) -> "MotwaniXuFilter":
+        """One-pass construction: ``sample_size`` independent pair reservoirs."""
+        epsilon = validate_epsilon(epsilon)
+        reservoir: PairReservoir[np.ndarray] = PairReservoir(sample_size, seed)
+        for row in rows:
+            reservoir.feed(np.asarray(row))
+        pairs = reservoir.pairs()
+        left = np.vstack([pair[0] for pair in pairs])
+        right = np.vstack([pair[1] for pair in pairs])
+        return cls(left, right, epsilon)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        """Number of sampled pairs ``s``."""
+        return self._left.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m``."""
+        return self._left.shape[1]
+
+    def unseparated_sample_pairs(self, attributes: AttributeSetLike) -> int:
+        """How many sampled pairs ``attributes`` fails to separate.
+
+        Attributes may be given as column indices, names, or a mixture.
+        """
+        attrs = resolve_mixed_attributes(
+            attributes, self.column_names, self.n_columns
+        )
+        if not attrs:
+            raise InvalidParameterError("attribute set must be non-empty")
+        columns = list(attrs)
+        equal = self._left[:, columns] == self._right[:, columns]
+        return int(np.all(equal, axis=1).sum())
+
+    def accepts(self, attributes: AttributeSetLike) -> bool:
+        """Accept iff every sampled pair is separated by ``attributes``."""
+        return self.unseparated_sample_pairs(attributes) == 0
+
+    def memory_cells(self) -> int:
+        """Stored integer cells (two tuples per sampled pair)."""
+        return 2 * self._left.size
+
+
+class TupleSampleFilter:
+    """Algorithm 1 — the paper's tuple-sampling filter (main contribution).
+
+    Stores a uniform sample ``R`` of ``Θ(m/√ε)`` tuples drawn *without
+    replacement* and accepts ``A`` iff ``A`` separates all ``C(|R|, 2)``
+    pairs of the sample, i.e. iff the projection of ``R`` onto ``A`` has no
+    duplicate row.  Theorem 1 shows this is simultaneously correct for all
+    ``2^m`` subsets with probability ``1 − e^{−m}`` whenever ``n ≥ K·m/ε``.
+    """
+
+    def __init__(
+        self,
+        sample_codes: np.ndarray,
+        epsilon: float,
+        column_names: tuple[str, ...] | None = None,
+    ) -> None:
+        codes = np.ascontiguousarray(sample_codes, dtype=np.int64)
+        if codes.ndim != 2:
+            raise InvalidParameterError(
+                f"sample must be a 2-D code matrix; got shape {codes.shape}"
+            )
+        if codes.shape[0] < 2:
+            raise EmptySampleError("tuple sample needs at least two rows")
+        self._sample = Dataset(codes, column_names=column_names)
+        self.epsilon = validate_epsilon(epsilon)
+        self.column_names = tuple(column_names) if column_names else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        data: Dataset,
+        epsilon: float,
+        *,
+        sample_size: int | None = None,
+        constant: float = 1.0,
+        seed: SeedLike = None,
+    ) -> "TupleSampleFilter":
+        """Sample ``Θ(m/√ε)`` tuples without replacement and build the filter."""
+        epsilon = validate_epsilon(epsilon)
+        if sample_size is None:
+            sample_size = _sizes.tuple_sample_size(
+                data.n_columns, epsilon, constant=constant
+            )
+        sample_size = max(2, min(sample_size, data.n_rows))
+        sample = data.sample_rows(sample_size, seed)
+        return cls(sample.codes, epsilon, data.column_names)
+
+    @classmethod
+    def from_stream(
+        cls,
+        rows: Iterable[np.ndarray],
+        epsilon: float,
+        sample_size: int,
+        seed: SeedLike = None,
+    ) -> "TupleSampleFilter":
+        """One-pass construction via a size-``sample_size`` reservoir."""
+        epsilon = validate_epsilon(epsilon)
+        sampler: ReservoirSampler[np.ndarray] = ReservoirSampler(sample_size, seed)
+        for row in rows:
+            sampler.feed(np.asarray(row))
+        sample = sampler.sample
+        if len(sample) < 2:
+            raise EmptySampleError("stream produced fewer than two rows")
+        return cls(np.vstack(sample), epsilon)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        """Number of sampled tuples ``|R|``."""
+        return self._sample.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m``."""
+        return self._sample.n_columns
+
+    @property
+    def sample(self) -> Dataset:
+        """The stored sample as a (read-only) data set."""
+        return self._sample
+
+    def _resolve(self, attributes: AttributeSetLike) -> tuple[int, ...]:
+        return resolve_mixed_attributes(
+            attributes, self.column_names, self.n_columns
+        )
+
+    def accepts(self, attributes: AttributeSetLike) -> bool:
+        """Accept iff no two sampled tuples collide on ``attributes``.
+
+        Attributes may be given as column indices, names, or a mixture.
+        The duplicate check sorts the projected sample (via
+        ``numpy.unique``'s internal lexsort), realizing the
+        ``O(r·|A|·log r)`` query bound of Theorem 1.
+        """
+        return not has_duplicate_projection(self._sample, self._resolve(attributes))
+
+    def unseparated_sample_pairs(self, attributes: AttributeSetLike) -> int:
+        """``Γ_A`` restricted to the sample (pairs of sampled tuples)."""
+        return unseparated_pairs(self._sample, self._resolve(attributes))
+
+    def sample_is_key(self, attributes: AttributeSetLike) -> bool:
+        """Alias of :meth:`accepts` with key-flavoured naming."""
+        return is_key(self._sample, self._resolve(attributes))
+
+    def memory_cells(self) -> int:
+        """Stored integer cells (one row per sampled tuple)."""
+        return self._sample.codes.size

@@ -1,0 +1,260 @@
+"""Masking: suppress attributes until no small quasi-identifier remains.
+
+Motwani and Xu's companion problem (their paper is "Efficient algorithms
+for *masking* and finding quasi-identifiers"): before releasing a table,
+suppress a small set of attributes so that an adversary can no longer
+re-identify records from a *cheap* attribute bundle.  Formally, given a
+size budget ``k`` and separation slack ``ε``, find a small set of columns
+``S`` such that after deleting ``S`` **no** attribute set of size ``≤ k``
+is an ε-separation key.
+
+Finding the minimum such ``S`` is NP-hard (it contains minimum key as a
+special case), so :func:`mask_small_quasi_identifiers` runs a
+counter-example-guided greedy:
+
+1. find an offending ε-separation key of size ≤ ``k`` among the remaining
+   columns — *exactly*, by enumerating the ``C(m, ≤k)`` candidate subsets
+   (ordered most-identifying-first so violators surface early) when that
+   is affordable, else heuristically with the paper's ``Θ(m/√ε)``-sample
+   greedy miner;
+2. if none exists: done — the guarantee holds (exactly, in exact mode);
+3. otherwise suppress the most identifying column of the offender and
+   repeat.
+
+The returned :class:`MaskingResult` carries the suppressed set and the
+last offender examined, and :func:`verify_masking` re-checks the guarantee
+exhaustively.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.separation import is_epsilon_key, separation_ratio
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import SeedLike, validate_epsilon, validate_positive_int
+
+
+@dataclass(frozen=True)
+class MaskingResult:
+    """Outcome of :func:`mask_small_quasi_identifiers`.
+
+    Attributes
+    ----------
+    suppressed:
+        Column indices (into the *original* data set) to delete before
+        release, in suppression order.
+    remaining:
+        The surviving column indices.
+    certificate_key:
+        In heuristic mode, the smallest ε-separation key the miner found
+        among the remaining columns (its size exceeds ``k``); ``None`` in
+        exact mode (where the guarantee is the exhaustive check itself) or
+        when no ε-key remains at all.
+    rounds:
+        Number of find-and-suppress iterations performed.
+    exact:
+        Whether the termination condition was checked by exhaustive
+        enumeration (``True``) or by the greedy heuristic (``False``).
+    """
+
+    suppressed: tuple[int, ...]
+    remaining: tuple[int, ...]
+    certificate_key: tuple[int, ...] | None
+    rounds: int
+    exact: bool
+
+    @property
+    def n_suppressed(self) -> int:
+        """How many columns were masked."""
+        return len(self.suppressed)
+
+
+def _candidate_subsets(
+    ordered_columns: Sequence[int], max_size: int
+) -> Iterator[tuple[int, ...]]:
+    """All subsets of size 1..max_size, most-identifying columns first."""
+    for size in range(1, max_size + 1):
+        yield from itertools.combinations(ordered_columns, size)
+
+
+def _subset_count(n_columns: int, max_size: int) -> int:
+    return sum(
+        math.comb(n_columns, size)
+        for size in range(1, min(max_size, n_columns) + 1)
+    )
+
+
+def find_small_epsilon_key(
+    data: Dataset,
+    columns: Sequence[int],
+    epsilon: float,
+    max_key_size: int,
+) -> tuple[int, ...] | None:
+    """Exact search: the first ε-separation key of size ≤ ``max_key_size``.
+
+    Candidates are enumerated with the most identifying single columns
+    first, so on leaky data the offender is found after a handful of exact
+    ``Γ`` computations.  Returns ``None`` when no candidate qualifies.
+    """
+    epsilon = validate_epsilon(epsilon)
+    ordered = sorted(
+        columns, key=lambda c: -separation_ratio(data, [c])
+    )
+    for subset in _candidate_subsets(ordered, max_key_size):
+        if is_epsilon_key(data, subset, epsilon):
+            return tuple(sorted(subset))
+    return None
+
+
+def _heuristic_small_key(
+    data: Dataset,
+    columns: list[int],
+    epsilon: float,
+    seed: SeedLike,
+    sample_constant: float,
+) -> tuple[int, ...] | None:
+    """Heuristic search via the tuple-sample greedy miner.
+
+    Mines a near-minimal ε-key of the projection onto ``columns`` by
+    running the Appendix B greedy until the *sample* is (1 − ε)-separated.
+    Returns ``None`` when the mined set is not actually an ε-key (no small
+    key likely exists).
+    """
+    from repro.setcover.partition_greedy import greedy_separation_cover
+
+    projected = data.select_columns(columns)
+    sample = projected.sample_rows(
+        max(2, _default_sample(projected, epsilon, sample_constant)), seed
+    )
+    cover = greedy_separation_cover(
+        sample.codes, target_ratio=1.0 - epsilon, allow_duplicates=True
+    )
+    if not cover.attributes:
+        return None
+    candidate = tuple(columns[a] for a in cover.attributes)
+    if not is_epsilon_key(data, candidate, epsilon):
+        return None
+    return candidate
+
+
+def _default_sample(data: Dataset, epsilon: float, constant: float) -> int:
+    from repro.core.sample_sizes import tuple_sample_size
+
+    return min(
+        data.n_rows, tuple_sample_size(data.n_columns, epsilon, constant=constant)
+    )
+
+
+def mask_small_quasi_identifiers(
+    data: Dataset,
+    epsilon: float,
+    max_key_size: int,
+    *,
+    seed: SeedLike = None,
+    sample_constant: float = 2.0,
+    max_rounds: int | None = None,
+    exhaustive_limit: int = 20_000,
+) -> MaskingResult:
+    """Suppress columns until no ε-separation key of size ≤ ``max_key_size``
+    remains.
+
+    Parameters
+    ----------
+    data:
+        The table to be released.
+    epsilon:
+        Separation slack defining "quasi-identifier".
+    max_key_size:
+        The adversary's budget ``k``: bundles of at most this many
+        attributes must not re-identify.
+    seed, sample_constant:
+        Forwarded to the heuristic miner (only used above
+        ``exhaustive_limit``).
+    max_rounds:
+        Safety cap on iterations (defaults to ``n_columns``).
+    exhaustive_limit:
+        Use the exact subset search while ``C(m, ≤k)`` stays below this;
+        beyond it, fall back to the greedy heuristic (documented as such
+        in the result's ``exact`` flag).
+
+    Notes
+    -----
+    The loop always terminates: each round suppresses one column, and with
+    zero columns left there is trivially no key.  If *every* column must be
+    suppressed the data simply cannot be released at this ``(ε, k)``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    max_key_size = validate_positive_int(max_key_size, name="max_key_size")
+    if max_rounds is None:
+        max_rounds = data.n_columns
+    remaining = list(range(data.n_columns))
+    suppressed: list[int] = []
+    rounds = 0
+    certificate: tuple[int, ...] | None = None
+    exact_mode = _subset_count(data.n_columns, max_key_size) <= exhaustive_limit
+    while remaining and rounds < max_rounds:
+        rounds += 1
+        if exact_mode:
+            key = find_small_epsilon_key(data, remaining, epsilon, max_key_size)
+            offender = key
+        else:
+            mined = _heuristic_small_key(
+                data, remaining, epsilon, seed, sample_constant
+            )
+            offender = mined if mined and len(mined) <= max_key_size else None
+            certificate = mined if mined and len(mined) > max_key_size else None
+        if offender is None:
+            break
+        # Suppress the most identifying column of the offending key.
+        victim = max(offender, key=lambda c: separation_ratio(data, [c]))
+        remaining.remove(victim)
+        suppressed.append(victim)
+    return MaskingResult(
+        suppressed=tuple(suppressed),
+        remaining=tuple(remaining),
+        certificate_key=certificate,
+        rounds=rounds,
+        exact=exact_mode,
+    )
+
+
+def verify_masking(
+    data: Dataset,
+    result: MaskingResult,
+    epsilon: float,
+    max_key_size: int,
+    *,
+    exhaustive_limit: int = 50_000,
+) -> bool:
+    """Exhaustively re-check the masking guarantee on the remaining columns.
+
+    Enumerates every attribute set of size ≤ ``max_key_size`` over the
+    remaining columns (bounded by ``exhaustive_limit`` subsets) and tests
+    it exactly.  Returns ``True`` iff none is an ε-separation key.
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        If the enumeration would exceed ``exhaustive_limit`` (use sampling
+        spot-checks instead at that scale).
+    """
+    epsilon = validate_epsilon(epsilon)
+    remaining = list(result.remaining)
+    if not remaining:
+        return True
+    total = _subset_count(len(remaining), max_key_size)
+    if total > exhaustive_limit:
+        raise InvalidParameterError(
+            f"{total} candidate subsets exceed exhaustive_limit="
+            f"{exhaustive_limit}"
+        )
+    for size in range(1, min(max_key_size, len(remaining)) + 1):
+        for subset in itertools.combinations(remaining, size):
+            if is_epsilon_key(data, subset, epsilon):
+                return False
+    return True

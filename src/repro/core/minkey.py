@@ -1,0 +1,295 @@
+"""Approximate minimum ε-separation key solvers (Proposition 1).
+
+Three solvers share the :class:`MinKeyResult` interface:
+
+* :class:`MotwaniXuMinKey` — the baseline: sample ``Θ(m/ε)`` *pairs*, treat
+  them as a set cover ground set (each coordinate covers the pairs it
+  separates), run greedy Algorithm 2.  Running time ``O(m³/ε)`` at the
+  default sample size (one ``O(s)`` column scan per candidate per step).
+* :class:`TupleSampleMinKey` — the paper's improvement: sample ``Θ(m/√ε)``
+  *tuples*, use the implicit ground set ``C(R, 2)``, and run the
+  partition-refinement greedy of Appendix B in ``O(m³/√ε)``.
+* :class:`ExactMinKey` — branch-and-bound exact minimum key of a (small)
+  data set; realizes ``γ = 1`` and grounds the approximation-quality tests.
+
+With high probability any attribute set separating all sampled material is
+an ε-separation key of the full data (Theorem 1 for tuple samples, the
+Motwani–Xu union bound for pair samples), so the returned key has size at
+most ``γ·|K*|`` with ``γ = ln N + 1`` from greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import sample_sizes as _sizes
+from repro.core.separation import group_labels
+from repro.data.dataset import Dataset
+from repro.exceptions import InfeasibleInstanceError, InvalidParameterError
+from repro.sampling.pairs import sample_pair_indices
+from repro.setcover.exact import exact_min_cover
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.partition_greedy import greedy_separation_cover
+from repro.types import SeedLike, pairs_count, validate_epsilon
+
+
+@dataclass(frozen=True)
+class MinKeyResult:
+    """A discovered (approximate) minimum ε-separation key.
+
+    Attributes
+    ----------
+    attributes:
+        The selected coordinates, in pick order for greedy solvers and in
+        sorted order for the exact solver.
+    method:
+        Which solver produced the key.
+    sample_size:
+        Number of sampled pairs / tuples the solver looked at (``n_rows``
+        for the exact solver).
+    ground_set_size:
+        Size of the set cover ground set that was (implicitly) covered.
+    epsilon:
+        The separation parameter the sample size was chosen for.
+    """
+
+    attributes: tuple[int, ...]
+    method: str
+    sample_size: int
+    ground_set_size: int
+    epsilon: float
+
+    @property
+    def key_size(self) -> int:
+        """Number of attributes in the key."""
+        return len(self.attributes)
+
+
+def _pair_difference_matrix(
+    data: Dataset, n_pairs: int, seed: SeedLike
+) -> np.ndarray:
+    """Boolean ``(s, m)`` matrix: sampled pair ``p`` differs in column ``k``.
+
+    When the request covers the whole pair universe, every pair is used
+    exactly once (the reduction becomes exact instead of sampled).
+    """
+    codes = data.codes
+    if n_pairs >= pairs_count(data.n_rows):
+        upper = np.triu_indices(data.n_rows, k=1)
+        return codes[upper[0]] != codes[upper[1]]
+    pairs = sample_pair_indices(data.n_rows, n_pairs, seed)
+    return codes[pairs[:, 0]] != codes[pairs[:, 1]]
+
+
+class MotwaniXuMinKey:
+    """Baseline: greedy set cover over ``Θ(m/ε)`` sampled pairs."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        *,
+        sample_size: int | None = None,
+        constant: float = 1.0,
+        seed: SeedLike = None,
+        drop_duplicate_pairs: bool = True,
+    ) -> None:
+        self.epsilon = validate_epsilon(epsilon)
+        self._sample_size = sample_size
+        self._constant = constant
+        self._seed = seed
+        self._drop_duplicate_pairs = drop_duplicate_pairs
+
+    def solve(self, data: Dataset) -> MinKeyResult:
+        """Sample pairs, build the explicit instance, run greedy."""
+        if data.n_rows < 2:
+            raise InvalidParameterError("need at least two rows")
+        size = self._sample_size
+        if size is None:
+            size = _sizes.motwani_xu_pair_sample_size(
+                data.n_columns, self.epsilon, constant=self._constant
+            )
+        size = min(size, pairs_count(data.n_rows))
+        difference = _pair_difference_matrix(data, size, self._seed)
+        separable = difference.any(axis=1)
+        if not separable.all():
+            if not self._drop_duplicate_pairs:
+                raise InfeasibleInstanceError(
+                    "sampled a pair of identical tuples; no key can separate it"
+                )
+            difference = difference[separable]
+            if difference.shape[0] == 0:
+                raise InfeasibleInstanceError(
+                    "every sampled pair was a duplicate; the data has no key"
+                )
+        instance = SetCoverInstance(difference)
+        selection, _ = greedy_set_cover(instance)
+        return MinKeyResult(
+            attributes=tuple(selection),
+            method="motwani-xu-pairs",
+            sample_size=size,
+            ground_set_size=int(difference.shape[0]),
+            epsilon=self.epsilon,
+        )
+
+
+class TupleSampleMinKey:
+    """The paper's solver: partition-refinement greedy over a tuple sample.
+
+    Parameters
+    ----------
+    epsilon:
+        Separation slack; drives the default sample size ``Θ(m/√ε)``.
+    sample_size, constant, seed:
+        Sampling controls.
+    allow_duplicates:
+        Tolerate duplicate sample rows (stop at best achievable
+        separation) instead of raising.
+    sample_target_ratio:
+        Fraction of *sample* pairs greedy must separate before stopping.
+        The default 1.0 mirrors the paper (cover all of ``C(R, 2)``, so the
+        result is an ε-key w.h.p. by Theorem 1).  Setting it to ``1 − ε``
+        mines a *smaller* attribute set that is still an ε-key in
+        expectation — useful when the minimum ε-key is strictly smaller
+        than the minimum perfect key (e.g. one near-unique column).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        *,
+        sample_size: int | None = None,
+        constant: float = 1.0,
+        seed: SeedLike = None,
+        allow_duplicates: bool = True,
+        sample_target_ratio: float = 1.0,
+    ) -> None:
+        self.epsilon = validate_epsilon(epsilon)
+        if not 0.0 < sample_target_ratio <= 1.0:
+            raise InvalidParameterError(
+                f"sample_target_ratio must be in (0, 1]; got {sample_target_ratio}"
+            )
+        self._sample_size = sample_size
+        self._constant = constant
+        self._seed = seed
+        self._allow_duplicates = allow_duplicates
+        self._sample_target_ratio = sample_target_ratio
+
+    def solve(self, data: Dataset) -> MinKeyResult:
+        """Sample ``Θ(m/√ε)`` tuples and cover ``C(R, 2)`` implicitly."""
+        size = self._sample_size
+        if size is None:
+            size = _sizes.tuple_sample_size(
+                data.n_columns, self.epsilon, constant=self._constant
+            )
+        size = max(2, min(size, data.n_rows))
+        sample = data.sample_rows(size, self._seed)
+        result = greedy_separation_cover(
+            sample.codes,
+            target_ratio=self._sample_target_ratio,
+            allow_duplicates=self._allow_duplicates,
+        )
+        return MinKeyResult(
+            attributes=tuple(result.attributes),
+            method="tuple-sample-cliques",
+            sample_size=sample.n_rows,
+            ground_set_size=result.sample_pairs,
+            epsilon=self.epsilon,
+        )
+
+
+class ExactMinKey:
+    """Exact minimum key of a data set (``γ = 1``, exponential worst case).
+
+    Builds the set cover instance whose ground set is every *distinct-
+    projection class boundary* — concretely, we reduce to pairs of
+    representative rows: two rows in the same clique of ``G_{[m]}`` can
+    never be separated, so duplicates are collapsed first; the remaining
+    rows give ``C(n', 2)`` pair elements.  Branch and bound from
+    :mod:`repro.setcover.exact` then finds the true minimum.
+
+    Intended for small inputs (reference/testing); guard rails refuse
+    instances whose explicit ground set would exceed ``max_pairs``.
+    """
+
+    def __init__(self, *, max_pairs: int = 2_000_000) -> None:
+        self.max_pairs = max_pairs
+
+    def solve(self, data: Dataset) -> MinKeyResult:
+        """Compute the exact minimum key of ``data``."""
+        labels = group_labels(data, tuple(range(data.n_columns)))
+        n_classes = int(labels.max()) + 1
+        if n_classes < data.n_rows:
+            raise InfeasibleInstanceError(
+                f"data set has duplicate rows ({data.n_rows - n_classes} extra); "
+                "no attribute set is a key"
+            )
+        n = data.n_rows
+        total_pairs = pairs_count(n)
+        if total_pairs > self.max_pairs:
+            raise InvalidParameterError(
+                f"exact solver would enumerate {total_pairs} pairs "
+                f"(max_pairs={self.max_pairs}); use a sampling solver"
+            )
+        codes = data.codes
+        upper = np.triu_indices(n, k=1)
+        difference = codes[upper[0]] != codes[upper[1]]
+        instance = SetCoverInstance(difference)
+        selection = exact_min_cover(instance)
+        return MinKeyResult(
+            attributes=tuple(sorted(selection)),
+            method="exact-branch-and-bound",
+            sample_size=n,
+            ground_set_size=total_pairs,
+            epsilon=0.0,
+        )
+
+
+def approximate_min_key(
+    data: Dataset,
+    epsilon: float,
+    *,
+    method: str = "tuples",
+    sample_size: int | None = None,
+    constant: float = 1.0,
+    seed: SeedLike = None,
+) -> MinKeyResult:
+    """One-call façade over the three solvers.
+
+    Parameters
+    ----------
+    data:
+        The data set to mine.
+    epsilon:
+        Separation slack; the result is an ε-separation key w.h.p.
+    method:
+        ``"tuples"`` (paper, default), ``"pairs"`` (Motwani–Xu baseline), or
+        ``"exact"`` (ignores ``epsilon``; small data only).
+    sample_size, constant, seed:
+        Forwarded to the chosen solver.
+
+    Examples
+    --------
+    >>> from repro.data import planted_key_dataset
+    >>> data = planted_key_dataset(2000, key_size=2, n_noise_columns=6, seed=7)
+    >>> result = approximate_min_key(data, epsilon=0.01, seed=7)
+    >>> result.key_size <= 4
+    True
+    """
+    if method == "tuples":
+        solver: MotwaniXuMinKey | TupleSampleMinKey | ExactMinKey = TupleSampleMinKey(
+            epsilon, sample_size=sample_size, constant=constant, seed=seed
+        )
+    elif method == "pairs":
+        solver = MotwaniXuMinKey(
+            epsilon, sample_size=sample_size, constant=constant, seed=seed
+        )
+    elif method == "exact":
+        solver = ExactMinKey()
+    else:
+        raise InvalidParameterError(
+            f"unknown method {method!r}; expected 'tuples', 'pairs', or 'exact'"
+        )
+    return solver.solve(data)

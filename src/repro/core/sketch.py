@@ -1,0 +1,254 @@
+"""Non-separation estimation sketch (Theorem 2, upper bound).
+
+The sketch samples ``Θ(k·log m / (α·ε²))`` pairs of tuples uniformly at
+random.  For a query ``A`` with ``|A| ≤ k`` it counts the sampled pairs that
+``A`` fails to separate (``D_A``) and
+
+* answers ``"small"`` when ``D_A`` falls below the threshold
+  ``s·α/10`` (where ``s`` is the number of sampled pairs) — allowed
+  whenever ``Γ_A < α·C(n, 2)``;
+* otherwise returns the unbiased scale-up ``Γ̂_A = D_A·C(n, 2)/s``,
+  which Chernoff + union bound over the ``≤ m^{k}+1`` queries place within
+  ``(1 ± ε)·Γ_A`` whenever ``Γ_A ≥ α·C(n, 2)``.
+
+Section 3.2's lower bound says any such sketch needs ``Ω(m·k·log(1/ε))``
+bits; :meth:`NonSeparationSketch.memory_bits` exposes this sketch's actual
+footprint so benchmarks can chart the gap (a ``log m/(αε²)`` vs ``log(1/ε)``
+factor — tight in ``m`` and ``k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import math
+
+import numpy as np
+
+from repro.core import sample_sizes as _sizes
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    EmptySampleError,
+    InvalidParameterError,
+    SketchQueryError,
+)
+from repro.sampling.pairs import sample_pair_indices
+from repro.sampling.reservoir import PairReservoir
+from repro.types import (
+    AttributeSetLike,
+    SeedLike,
+    pairs_count,
+    resolve_mixed_attributes,
+    validate_epsilon,
+    validate_probability,
+    validate_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class SketchAnswer:
+    """Result of one sketch query.
+
+    Attributes
+    ----------
+    is_small:
+        ``True`` when the sketch declined to estimate (``Γ_A`` likely below
+        ``α·C(n, 2)``); ``estimate`` is ``None`` in that case.
+    estimate:
+        ``Γ̂_A`` when ``is_small`` is ``False``.
+    unseparated_sample_pairs:
+        The raw count ``D_A``.
+    threshold:
+        The "small" cut-off the count was compared against.
+    """
+
+    is_small: bool
+    estimate: float | None
+    unseparated_sample_pairs: int
+    threshold: float
+
+
+class NonSeparationSketch:
+    """A mergeable-by-concatenation sample sketch for ``Γ_A`` estimation.
+
+    Parameters are validated and remembered so :meth:`query` can enforce the
+    ``|A| ≤ k`` contract and report its accuracy regime.
+
+    Examples
+    --------
+    >>> from repro.data import zipf_dataset
+    >>> data = zipf_dataset(4000, n_columns=8, cardinality=4, seed=1)
+    >>> sketch = NonSeparationSketch.fit(data, k=2, alpha=0.05, epsilon=0.2, seed=1)
+    >>> answer = sketch.query([0])
+    >>> answer.is_small or answer.estimate > 0
+    True
+    """
+
+    def __init__(
+        self,
+        left_codes: np.ndarray,
+        right_codes: np.ndarray,
+        *,
+        n_rows: int,
+        k: int,
+        alpha: float,
+        epsilon: float,
+        column_names: tuple[str, ...] | None = None,
+    ) -> None:
+        left = np.ascontiguousarray(left_codes, dtype=np.int64)
+        right = np.ascontiguousarray(right_codes, dtype=np.int64)
+        if left.ndim != 2 or left.shape != right.shape:
+            raise InvalidParameterError(
+                f"pair matrices must share a 2-D shape; got {left.shape} vs {right.shape}"
+            )
+        if left.shape[0] == 0:
+            raise EmptySampleError("pair sample is empty")
+        self._left = left
+        self._right = right
+        self.n_rows = validate_positive_int(n_rows, name="n_rows")
+        self.k = validate_positive_int(k, name="k")
+        self.alpha = validate_probability(alpha, name="alpha")
+        self.epsilon = validate_epsilon(epsilon)
+        self.column_names = tuple(column_names) if column_names else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        data: Dataset,
+        *,
+        k: int,
+        alpha: float,
+        epsilon: float,
+        constant: float = 1.0,
+        sample_size: int | None = None,
+        seed: SeedLike = None,
+    ) -> "NonSeparationSketch":
+        """Sample ``Θ(k·log m/(α ε²))`` pairs from ``data``."""
+        if data.n_rows < 2:
+            raise InvalidParameterError("need at least two rows to sample pairs")
+        if sample_size is None:
+            sample_size = _sizes.sketch_pair_sample_size(
+                k, data.n_columns, alpha, epsilon, constant=constant
+            )
+        # Pairs are drawn *with replacement*: the sample may legitimately be
+        # larger than C(n, 2) — clipping would cap the estimator's precision.
+        pairs = sample_pair_indices(data.n_rows, sample_size, seed)
+        codes = data.codes
+        return cls(
+            codes[pairs[:, 0]],
+            codes[pairs[:, 1]],
+            n_rows=data.n_rows,
+            k=k,
+            alpha=alpha,
+            epsilon=epsilon,
+            column_names=data.column_names,
+        )
+
+    @classmethod
+    def from_stream(
+        cls,
+        rows: Iterable[np.ndarray],
+        *,
+        k: int,
+        alpha: float,
+        epsilon: float,
+        sample_size: int,
+        seed: SeedLike = None,
+    ) -> "NonSeparationSketch":
+        """One-pass construction with independent pair reservoirs."""
+        reservoir: PairReservoir[np.ndarray] = PairReservoir(sample_size, seed)
+        count = 0
+        for row in rows:
+            reservoir.feed(np.asarray(row))
+            count += 1
+        pairs = reservoir.pairs()
+        left = np.vstack([pair[0] for pair in pairs])
+        right = np.vstack([pair[1] for pair in pairs])
+        return cls(left, right, n_rows=count, k=k, alpha=alpha, epsilon=epsilon)
+
+    # ------------------------------------------------------------------
+    # Queries and accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def sample_size(self) -> int:
+        """Number of stored pairs ``s``."""
+        return self._left.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m``."""
+        return self._left.shape[1]
+
+    @property
+    def threshold(self) -> float:
+        """The "small" cut-off ``s·α/10`` applied to ``D_A``."""
+        return self.sample_size * self.alpha / 10.0
+
+    def unseparated_sample_pairs(self, attributes: AttributeSetLike) -> int:
+        """``D_A``: stored pairs with equal projections onto ``A``.
+
+        Attributes may be given as column indices, names, or a mixture.
+        """
+        attrs = resolve_mixed_attributes(
+            attributes, self.column_names, self.n_columns
+        )
+        if not attrs:
+            raise InvalidParameterError("attribute set must be non-empty")
+        columns = list(attrs)
+        equal = self._left[:, columns] == self._right[:, columns]
+        return int(np.all(equal, axis=1).sum())
+
+    def query(self, attributes: AttributeSetLike) -> SketchAnswer:
+        """Estimate ``Γ_A`` or answer "small" (see module docstring).
+
+        Raises
+        ------
+        repro.exceptions.SketchQueryError
+            If ``|A| > k`` — outside the sketch's accuracy contract.
+        """
+        attrs = resolve_mixed_attributes(
+            attributes, self.column_names, self.n_columns
+        )
+        if len(attrs) > self.k:
+            raise SketchQueryError(
+                f"query has {len(attrs)} attributes but the sketch was built "
+                f"for k={self.k}"
+            )
+        d_a = self.unseparated_sample_pairs(attrs)
+        if d_a < self.threshold:
+            return SketchAnswer(
+                is_small=True,
+                estimate=None,
+                unseparated_sample_pairs=d_a,
+                threshold=self.threshold,
+            )
+        estimate = d_a * pairs_count(self.n_rows) / self.sample_size
+        return SketchAnswer(
+            is_small=False,
+            estimate=estimate,
+            unseparated_sample_pairs=d_a,
+            threshold=self.threshold,
+        )
+
+    def memory_bits(self, *, universe_bits: int | None = None) -> int:
+        """Sketch footprint in bits (for comparison with the lower bound).
+
+        Each stored pair holds ``2·m`` values of ``universe_bits`` bits
+        (default: bits needed for the largest stored code).
+        """
+        if universe_bits is None:
+            largest = max(int(self._left.max()), int(self._right.max()), 1)
+            universe_bits = max(1, math.ceil(math.log2(largest + 1)))
+        return 2 * self.sample_size * self.n_columns * universe_bits
+
+    def lower_bound_bits(self) -> int:
+        """Section 3.2's ``Ω(m·k·log(1/ε))`` bit lower bound for comparison."""
+        return int(
+            self.n_columns * self.k * max(1.0, math.log2(1.0 / self.epsilon))
+        )

@@ -1,0 +1,61 @@
+"""Tabular data substrate: data sets, factorization, I/O, synthetic workloads.
+
+The algorithms in :mod:`repro.core` never look at raw values; they only need
+to know, within each column, which rows carry *equal* values.  This package
+therefore factorizes arbitrary input columns (strings, floats, mixed Python
+objects) into dense integer *codes* and wraps them in the immutable
+:class:`~repro.data.dataset.Dataset` class that the rest of the library
+consumes.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.encoding import factorize_column, factorize_table
+from repro.data.io import load_csv, save_csv
+from repro.data.profile import (
+    ColumnProfile,
+    joint_entropy_bits,
+    k_anonymity,
+    profile_column,
+    profile_dataset,
+    rank_by_identifiability,
+    uniqueness_ratio,
+)
+from repro.data.registry import DATASET_BUILDERS, build_dataset, list_datasets
+from repro.data.synthetic import (
+    adult_like,
+    covtype_like,
+    cps_like,
+    functional_dependency_dataset,
+    grid_dataset,
+    planted_clique_dataset,
+    planted_key_dataset,
+    random_categorical,
+    zipf_dataset,
+)
+
+__all__ = [
+    "ColumnProfile",
+    "DATASET_BUILDERS",
+    "Dataset",
+    "adult_like",
+    "build_dataset",
+    "covtype_like",
+    "cps_like",
+    "factorize_column",
+    "factorize_table",
+    "functional_dependency_dataset",
+    "grid_dataset",
+    "joint_entropy_bits",
+    "k_anonymity",
+    "list_datasets",
+    "load_csv",
+    "planted_clique_dataset",
+    "planted_key_dataset",
+    "profile_column",
+    "profile_dataset",
+    "random_categorical",
+    "rank_by_identifiability",
+    "save_csv",
+    "uniqueness_ratio",
+    "zipf_dataset",
+]

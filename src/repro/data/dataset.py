@@ -1,0 +1,278 @@
+"""The :class:`Dataset` class — the tabular object every algorithm consumes.
+
+A ``Dataset`` is an immutable wrapper around an ``(n, m)`` integer *code
+matrix* plus optional column names and per-column decoding universes.  Codes
+are the factorized representation produced by :mod:`repro.data.encoding`:
+within a column, equal codes mean equal original values, which is all the
+separation machinery ever needs.
+
+Design notes
+------------
+* Column-oriented NumPy storage: the hot loops (projection, group-by,
+  partition refinement) are all vectorized slices over columns.
+* Immutability by convention: the underlying array is flagged read-only so
+  accidental in-place mutation by callers raises instead of corrupting
+  shared state.
+* ``Dataset`` is deliberately free of any algorithm logic; separation
+  counting lives in :mod:`repro.core.separation`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.data.encoding import factorize_table
+from repro.exceptions import DatasetShapeError, InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import AttributeSetLike, SeedLike, as_attribute_set, pairs_count
+
+
+class Dataset:
+    """An immutable factorized table of ``n_rows`` tuples × ``n_columns``.
+
+    Parameters
+    ----------
+    codes:
+        Integer matrix of shape ``(n_rows, n_columns)``.  Any integer dtype
+        is accepted and converted to ``int64``.
+    column_names:
+        Optional column labels; defaults to ``c0, c1, ...``.
+    universes:
+        Optional per-column decoding lists mapping code -> original value;
+        present when the data set was built from raw values.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({
+    ...     "city": ["SD", "SD", "LA"],
+    ...     "zip": [92101, 92102, 90001],
+    ... })
+    >>> data.shape
+    (3, 2)
+    >>> data.column_index("zip")
+    1
+    """
+
+    __slots__ = ("_codes", "_column_names", "_universes")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        column_names: Sequence[str] | None = None,
+        universes: Sequence[list] | None = None,
+    ) -> None:
+        array = np.ascontiguousarray(codes, dtype=np.int64)
+        if array.ndim != 2:
+            raise DatasetShapeError(
+                f"codes must be a 2-D matrix; got shape {array.shape}"
+            )
+        if array.shape[0] == 0 or array.shape[1] == 0:
+            raise DatasetShapeError(f"dataset cannot be empty; got shape {array.shape}")
+        if array.min() < 0:
+            raise DatasetShapeError("codes must be non-negative integers")
+        array.setflags(write=False)
+        self._codes = array
+        n_columns = array.shape[1]
+        if column_names is None:
+            self._column_names = tuple(f"c{i}" for i in range(n_columns))
+        else:
+            names = tuple(str(name) for name in column_names)
+            if len(names) != n_columns:
+                raise DatasetShapeError(
+                    f"{len(names)} column names for {n_columns} columns"
+                )
+            if len(set(names)) != len(names):
+                raise DatasetShapeError("column names must be unique")
+            self._column_names = names
+        if universes is not None and len(universes) != n_columns:
+            raise DatasetShapeError(
+                f"{len(universes)} universes for {n_columns} columns"
+            )
+        self._universes = list(universes) if universes is not None else None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, Iterable[Hashable]]) -> "Dataset":
+        """Build a data set from named columns of arbitrary hashable values."""
+        if not columns:
+            raise DatasetShapeError("need at least one column")
+        names = list(columns.keys())
+        codes, universes = factorize_table([columns[name] for name in names])
+        return cls(codes, column_names=names, universes=universes)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[Hashable]],
+        column_names: Sequence[str] | None = None,
+    ) -> "Dataset":
+        """Build a data set from an iterable of equally long row tuples."""
+        materialized = [tuple(row) for row in rows]
+        if not materialized:
+            raise DatasetShapeError("need at least one row")
+        widths = {len(row) for row in materialized}
+        if len(widths) != 1:
+            raise DatasetShapeError(f"ragged rows with widths {sorted(widths)}")
+        (width,) = widths
+        if width == 0:
+            raise DatasetShapeError("rows must have at least one value")
+        columns = [[row[c] for row in materialized] for c in range(width)]
+        codes, universes = factorize_table(columns)
+        return cls(codes, column_names=column_names, universes=universes)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The read-only ``(n_rows, n_columns)`` code matrix."""
+        return self._codes
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column labels, in column order."""
+        return self._column_names
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples ``n``."""
+        return self._codes.shape[0]
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m``."""
+        return self._codes.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_columns)``."""
+        return self._codes.shape
+
+    @property
+    def n_pairs(self) -> int:
+        """Total number of unordered tuple pairs ``C(n, 2)``."""
+        return pairs_count(self.n_rows)
+
+    def __repr__(self) -> str:
+        return f"Dataset(n_rows={self.n_rows}, n_columns={self.n_columns})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self._column_names == other._column_names
+            and bool(np.array_equal(self._codes, other._codes))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Column access and decoding
+    # ------------------------------------------------------------------
+
+    def column_index(self, name: str) -> int:
+        """Return the index of column ``name``.
+
+        Raises
+        ------
+        repro.exceptions.InvalidParameterError
+            If no column has that name.
+        """
+        try:
+            return self._column_names.index(name)
+        except ValueError:
+            raise InvalidParameterError(
+                f"unknown column {name!r}; known: {list(self._column_names)}"
+            ) from None
+
+    def resolve_attributes(self, attributes: AttributeSetLike | Iterable[str]) -> tuple[int, ...]:
+        """Normalize a mixed list of column names/indices to sorted indices."""
+        indices: list[int] = []
+        for attribute in attributes:
+            if isinstance(attribute, str):
+                indices.append(self.column_index(attribute))
+            else:
+                indices.append(int(attribute))
+        return as_attribute_set(indices, self.n_columns)
+
+    def column_cardinality(self, column: int) -> int:
+        """Number of distinct values in ``column``."""
+        return int(np.unique(self._codes[:, column]).size)
+
+    def cardinalities(self) -> np.ndarray:
+        """Distinct-value counts for every column, as an ``int64`` array."""
+        return np.array(
+            [self.column_cardinality(c) for c in range(self.n_columns)],
+            dtype=np.int64,
+        )
+
+    def decode_row(self, row: int) -> tuple:
+        """Return the original values of ``row`` (codes if no universes)."""
+        if row < 0 or row >= self.n_rows:
+            raise InvalidParameterError(f"row {row} out of range for {self.n_rows}")
+        if self._universes is None:
+            return tuple(int(v) for v in self._codes[row])
+        return tuple(
+            self._universes[c][int(self._codes[row, c])]
+            for c in range(self.n_columns)
+        )
+
+    # ------------------------------------------------------------------
+    # Projection / subsetting
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: AttributeSetLike) -> np.ndarray:
+        """Return the code sub-matrix restricted to ``attributes`` columns."""
+        attrs = as_attribute_set(attributes, self.n_columns)
+        if not attrs:
+            raise InvalidParameterError("cannot project onto an empty attribute set")
+        return self._codes[:, list(attrs)]
+
+    def take_rows(self, indices: np.ndarray | Sequence[int]) -> "Dataset":
+        """Return a new data set containing the given rows (order preserved)."""
+        index_array = np.asarray(indices, dtype=np.int64)
+        if index_array.ndim != 1 or index_array.size == 0:
+            raise DatasetShapeError("row indices must be a non-empty 1-D sequence")
+        if index_array.min() < 0 or index_array.max() >= self.n_rows:
+            raise InvalidParameterError("row index out of range")
+        return Dataset(
+            self._codes[index_array],
+            column_names=self._column_names,
+            universes=self._universes,
+        )
+
+    def sample_rows(self, size: int, seed: SeedLike = None) -> "Dataset":
+        """Uniform random row sample *without replacement* as a new data set.
+
+        This is the sampling step of Algorithm 1.  If ``size >= n_rows`` the
+        whole data set is returned.
+        """
+        if size <= 0:
+            raise InvalidParameterError(f"sample size must be positive; got {size}")
+        if size >= self.n_rows:
+            return self
+        rng = ensure_rng(seed)
+        indices = np.sort(rng.choice(self.n_rows, size=size, replace=False))
+        return self.take_rows(indices)
+
+    def select_columns(self, attributes: AttributeSetLike | Iterable[str]) -> "Dataset":
+        """Return a new data set restricted to the given columns."""
+        attrs = self.resolve_attributes(attributes)
+        if not attrs:
+            raise InvalidParameterError("cannot select an empty column set")
+        universes = None
+        if self._universes is not None:
+            universes = [self._universes[a] for a in attrs]
+        return Dataset(
+            self._codes[:, list(attrs)],
+            column_names=[self._column_names[a] for a in attrs],
+            universes=universes,
+        )

@@ -1,0 +1,107 @@
+"""Column factorization: map arbitrary values to dense integer codes.
+
+Separation structure only depends on the equality relation within each
+column, so any injective per-column recoding preserves it exactly.  We map
+each column to codes ``0..cardinality-1`` (dense, sorted by first
+appearance), which lets the core algorithms run on a single ``int64`` NumPy
+matrix regardless of what the original values were.
+
+The mapping is remembered so data sets can round-trip back to their original
+values (needed for CSV export and for human-readable examples).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetShapeError
+
+
+def factorize_column(values: Iterable[Hashable]) -> tuple[np.ndarray, list]:
+    """Encode one column of hashable values as dense integer codes.
+
+    Returns
+    -------
+    codes:
+        ``int64`` array with ``codes[i] == codes[j]`` iff
+        ``values[i] == values[j]``.
+    universe:
+        List of distinct values in order of first appearance, so that
+        ``universe[codes[i]] == values[i]``.
+
+    Notes
+    -----
+    ``float('nan')`` values are treated as equal to each other (one missing
+    category), which is the interpretation quasi-identifier discovery tools
+    use for missing data.
+    """
+    mapping: dict[Hashable, int] = {}
+    universe: list = []
+    codes: list[int] = []
+    nan_code: int | None = None
+    for value in values:
+        if isinstance(value, float) and value != value:  # NaN
+            if nan_code is None:
+                nan_code = len(universe)
+                universe.append(value)
+            codes.append(nan_code)
+            continue
+        code = mapping.get(value)
+        if code is None:
+            code = len(universe)
+            mapping[value] = code
+            universe.append(value)
+        codes.append(code)
+    return np.asarray(codes, dtype=np.int64), universe
+
+
+def factorize_table(
+    columns: Sequence[Iterable[Hashable]],
+) -> tuple[np.ndarray, list[list]]:
+    """Factorize a table given column-wise; returns ``(codes, universes)``.
+
+    Parameters
+    ----------
+    columns:
+        A sequence of equally long columns.
+
+    Returns
+    -------
+    codes:
+        ``(n_rows, n_columns)`` ``int64`` matrix.
+    universes:
+        Per-column decoding lists (see :func:`factorize_column`).
+    """
+    if not columns:
+        raise DatasetShapeError("a table needs at least one column")
+    encoded: list[np.ndarray] = []
+    universes: list[list] = []
+    for column in columns:
+        codes, universe = factorize_column(column)
+        encoded.append(codes)
+        universes.append(universe)
+    lengths = {len(codes) for codes in encoded}
+    if len(lengths) != 1:
+        raise DatasetShapeError(f"columns have differing lengths: {sorted(lengths)}")
+    (n_rows,) = lengths
+    if n_rows == 0:
+        raise DatasetShapeError("a table needs at least one row")
+    return np.column_stack(encoded), universes
+
+
+def recompact_codes(codes: np.ndarray) -> np.ndarray:
+    """Re-encode an integer matrix so each column uses dense codes from 0.
+
+    Useful after row-subsetting: a sample of a factorized data set may no
+    longer touch every code.  Dense codes keep downstream partition tables
+    small.  Equality structure is preserved column-wise.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2:
+        raise DatasetShapeError(f"expected a 2-D code matrix; got shape {codes.shape}")
+    out = np.empty_like(codes, dtype=np.int64)
+    for col in range(codes.shape[1]):
+        _, out[:, col] = np.unique(codes[:, col], return_inverse=True)
+    return out

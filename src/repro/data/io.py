@@ -1,0 +1,81 @@
+"""CSV import/export for :class:`~repro.data.dataset.Dataset`.
+
+Only the standard library ``csv`` module is used; the loader treats every
+cell as an opaque string token (optionally converting numerals), which is
+exactly right for separation structure — two cells are "equal" iff their
+tokens are equal, matching how Metanome-style profiling tools read tables.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DatasetShapeError
+
+PathLike = Union[str, Path]
+
+
+def _maybe_number(token: str) -> object:
+    """Convert a CSV token to int/float when it cleanly parses, else keep str."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def load_csv(
+    path: PathLike,
+    *,
+    has_header: bool = True,
+    convert_numbers: bool = True,
+    delimiter: str = ",",
+) -> Dataset:
+    """Load a CSV file into a :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    has_header:
+        If true (default), the first row provides column names.
+    convert_numbers:
+        If true, cells that parse as int/float are converted, so ``"07"`` and
+        ``"7"`` become the same value; set to false for strict token
+        equality.
+    delimiter:
+        CSV field delimiter.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        raise DatasetShapeError(f"{path} is empty")
+    column_names = None
+    if has_header:
+        column_names = rows[0]
+        rows = rows[1:]
+    if not rows:
+        raise DatasetShapeError(f"{path} has a header but no data rows")
+    if convert_numbers:
+        converted = [[_maybe_number(token) for token in row] for row in rows]
+    else:
+        converted = [list(row) for row in rows]
+    return Dataset.from_rows(converted, column_names=column_names)
+
+
+def save_csv(dataset: Dataset, path: PathLike, *, delimiter: str = ",") -> None:
+    """Write a data set to CSV, decoding codes back to original values."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.column_names)
+        for row in range(dataset.n_rows):
+            writer.writerow(dataset.decode_row(row))

@@ -1,0 +1,155 @@
+"""Column profiling: the per-attribute statistics behind identifiability.
+
+The filters and key miners treat columns as opaque partitions; profiling
+makes the partition structure inspectable.  For a column ``c`` with value
+frequencies ``f_v``:
+
+* ``cardinality`` — number of distinct values;
+* ``gamma``       — ``Γ_{{c}} = Σ_v C(f_v, 2)``, the pairs the column alone
+  fails to separate (small Γ = near-identifier);
+* ``entropy``     — Shannon entropy of the value distribution in bits;
+* ``max_frequency`` — the heaviest value's share (the biggest clique).
+
+``identifiability`` ranks columns by how close each is to a key on its own:
+``1 − Γ_{{c}} / C(n, 2)``, i.e. the column's separation ratio.  The masking
+module and the privacy example both consume these profiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.separation import clique_sizes, unseparated_pairs_from_cliques
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import pairs_count
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary statistics of one column's partition structure.
+
+    Attributes
+    ----------
+    column:
+        Column index.
+    name:
+        Column name.
+    cardinality:
+        Number of distinct values.
+    gamma:
+        Unseparated pairs ``Γ`` of the singleton attribute set.
+    separation_ratio:
+        ``1 − Γ/C(n, 2)`` — the column's identifiability.
+    entropy_bits:
+        Shannon entropy of the empirical value distribution.
+    max_frequency:
+        Relative frequency of the most common value.
+    """
+
+    column: int
+    name: str
+    cardinality: int
+    gamma: int
+    separation_ratio: float
+    entropy_bits: float
+    max_frequency: float
+
+
+def profile_column(data: Dataset, column: int) -> ColumnProfile:
+    """Profile a single column of ``data``."""
+    if column < 0 or column >= data.n_columns:
+        raise InvalidParameterError(
+            f"column {column} out of range for {data.n_columns}"
+        )
+    sizes = clique_sizes(data, [column])
+    sizes = sizes[sizes > 0]
+    n = data.n_rows
+    gamma = unseparated_pairs_from_cliques(sizes)
+    total = pairs_count(n)
+    frequencies = sizes / n
+    entropy = float(-(frequencies * np.log2(frequencies)).sum())
+    return ColumnProfile(
+        column=column,
+        name=data.column_names[column],
+        cardinality=int(sizes.size),
+        gamma=gamma,
+        separation_ratio=1.0 - gamma / total if total else 1.0,
+        entropy_bits=entropy,
+        max_frequency=float(frequencies.max()),
+    )
+
+
+def profile_dataset(data: Dataset) -> list[ColumnProfile]:
+    """Profile every column, in column order."""
+    return [profile_column(data, column) for column in range(data.n_columns)]
+
+
+def rank_by_identifiability(data: Dataset) -> list[ColumnProfile]:
+    """Columns sorted most-identifying first (highest separation ratio).
+
+    Ties break toward higher entropy, then lower column index, so the
+    ranking is deterministic.
+    """
+    profiles = profile_dataset(data)
+    return sorted(
+        profiles,
+        key=lambda p: (-p.separation_ratio, -p.entropy_bits, p.column),
+    )
+
+
+def joint_entropy_bits(data: Dataset, attributes: list[int]) -> float:
+    """Shannon entropy of the joint distribution over ``attributes``.
+
+    ``log2(n)`` bits means the attribute set is a key; the gap to
+    ``log2(n)`` measures how much identifying information is missing.
+    """
+    from repro.core.separation import clique_sizes as _cliques
+
+    sizes = _cliques(data, attributes)
+    sizes = sizes[sizes > 0]
+    frequencies = sizes / data.n_rows
+    return float(-(frequencies * np.log2(frequencies)).sum())
+
+
+def k_anonymity(data: Dataset, attributes: list[int]) -> int:
+    """The k-anonymity level of ``data`` w.r.t. a quasi-identifier set.
+
+    The smallest equivalence-class (clique) size under ``attributes`` —
+    the standard release-risk metric: every record is indistinguishable
+    from at least ``k − 1`` others on the quasi-identifier.  ``k = 1``
+    means some record is unique (directly re-identifiable).
+    """
+    sizes = clique_sizes(data, attributes)
+    sizes = sizes[sizes > 0]
+    return int(sizes.min())
+
+
+def uniqueness_ratio(data: Dataset, attributes: list[int]) -> float:
+    """Fraction of records that are *unique* under ``attributes``.
+
+    The "population uniques" risk measure: records in singleton cliques
+    are exactly the ones a linking attack re-identifies with certainty.
+    """
+    sizes = clique_sizes(data, attributes)
+    sizes = sizes[sizes > 0]
+    return float((sizes == 1).sum() / data.n_rows)
+
+
+def profiles_to_rows(profiles: list[ColumnProfile]) -> list[list[str]]:
+    """Render profiles as table rows (for reports and the CLI)."""
+    rows = []
+    for profile in profiles:
+        rows.append(
+            [
+                profile.name,
+                str(profile.cardinality),
+                f"{profile.separation_ratio:.6f}",
+                f"{profile.entropy_bits:.2f}",
+                f"{profile.max_frequency:.3f}",
+            ]
+        )
+    return rows

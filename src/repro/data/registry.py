@@ -1,0 +1,94 @@
+"""Named data-set registry used by the benchmark harness and the CLI.
+
+Benchmarks refer to workloads by name (``"adult"``, ``"covtype"``, ``"cps"``,
+...) with an optional row-count override, so the Table 1 experiment can run
+both at paper scale and at a CI-friendly scale without code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import (
+    adult_like,
+    covtype_like,
+    cps_like,
+    grid_sample_dataset,
+    planted_clique_dataset,
+    zipf_dataset,
+)
+from repro.exceptions import InvalidParameterError
+from repro.types import SeedLike
+
+#: Builders take ``(n_rows, seed)`` and return a Dataset.  ``n_rows=None``
+#: means "paper-scale default".
+DATASET_BUILDERS: dict[str, Callable[[int | None, SeedLike], Dataset]] = {}
+
+
+def _register(name: str):
+    def decorator(fn: Callable[[int | None, SeedLike], Dataset]):
+        DATASET_BUILDERS[name] = fn
+        return fn
+
+    return decorator
+
+
+@_register("adult")
+def _build_adult(n_rows: int | None, seed: SeedLike) -> Dataset:
+    return adult_like(n_rows or 32_561, seed)
+
+
+@_register("covtype")
+def _build_covtype(n_rows: int | None, seed: SeedLike) -> Dataset:
+    return covtype_like(n_rows or 581_012, seed)
+
+
+@_register("cps")
+def _build_cps(n_rows: int | None, seed: SeedLike) -> Dataset:
+    return cps_like(n_rows or 200_000, seed=seed)
+
+
+@_register("zipf-small")
+def _build_zipf_small(n_rows: int | None, seed: SeedLike) -> Dataset:
+    return zipf_dataset(n_rows or 5_000, n_columns=12, cardinality=32, seed=seed)
+
+
+@_register("grid")
+def _build_grid(n_rows: int | None, seed: SeedLike) -> Dataset:
+    return grid_sample_dataset(q=50, m=10, n_rows=n_rows or 20_000, seed=seed)
+
+
+@_register("planted-clique")
+def _build_planted(n_rows: int | None, seed: SeedLike) -> Dataset:
+    return planted_clique_dataset(
+        n_rows or 50_000, n_columns=10, epsilon=0.001, seed=seed
+    )
+
+
+def list_datasets() -> list[str]:
+    """Names accepted by :func:`build_dataset`, sorted."""
+    return sorted(DATASET_BUILDERS)
+
+
+def build_dataset(
+    name: str, n_rows: int | None = None, seed: SeedLike = None
+) -> Dataset:
+    """Build a registered data set by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`list_datasets`.
+    n_rows:
+        Optional row-count override (``None`` = paper-scale default).
+    seed:
+        Seed for the generator.
+    """
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; known: {list_datasets()}"
+        ) from None
+    return builder(n_rows, seed)

@@ -1,0 +1,401 @@
+"""Synthetic workload generators.
+
+Two families live here:
+
+1. **Paper constructions** used in the lower-bound proofs:
+   :func:`grid_dataset` / :func:`grid_sample_dataset` (Lemma 3's
+   ``D = [q]^m``) and :func:`planted_clique_dataset` (Lemma 4's data set
+   whose first coordinate hides one clique of size ``√(2ε)·n``).
+
+2. **Evaluation stand-ins** for the paper's Table 1 data sets.  The real
+   UCI Adult / Covtype files and the 2016 Current Population Survey are not
+   available offline, so :func:`adult_like`, :func:`covtype_like`, and
+   :func:`cps_like` generate tables with the same shape and per-column
+   cardinality/skew profile.  The filters only interact with data through
+   within-column equality, so matching the cardinality and skew of each
+   column reproduces the separation structure the experiment exercises (see
+   DESIGN.md §5 for the substitution argument).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, validate_epsilon, validate_positive_int
+
+#: Refuse to materialize full grids larger than this many rows.
+_MAX_GRID_ROWS = 2_000_000
+
+
+def zipf_weights(cardinality: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_k ∝ 1/k^exponent`` over a domain.
+
+    Real categorical attributes (occupation, native country, ...) are
+    heavy-tailed; Zipf weights reproduce that skew and therefore the clique
+    size imbalance that makes some attribute subsets bad.
+    """
+    validate_positive_int(cardinality, name="cardinality")
+    if exponent < 0:
+        raise InvalidParameterError(f"exponent must be >= 0; got {exponent}")
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def zipf_column(
+    n_rows: int,
+    cardinality: int,
+    rng: np.random.Generator,
+    exponent: float = 1.1,
+) -> np.ndarray:
+    """Sample one Zipf-distributed categorical column of codes."""
+    if cardinality == 1:
+        return np.zeros(n_rows, dtype=np.int64)
+    weights = zipf_weights(cardinality, exponent)
+    return rng.choice(cardinality, size=n_rows, p=weights).astype(np.int64)
+
+
+def uniform_column(
+    n_rows: int, cardinality: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample one uniformly distributed categorical column of codes."""
+    return rng.integers(0, cardinality, size=n_rows).astype(np.int64)
+
+
+def random_categorical(
+    n_rows: int,
+    cardinalities: list[int] | np.ndarray,
+    seed: SeedLike = None,
+    *,
+    exponent: float = 0.0,
+) -> Dataset:
+    """A table of independent categorical columns with given cardinalities.
+
+    ``exponent == 0`` gives uniform columns; larger exponents give Zipf skew.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    rng = ensure_rng(seed)
+    columns = []
+    for cardinality in cardinalities:
+        cardinality = validate_positive_int(cardinality, name="cardinality")
+        if exponent > 0:
+            columns.append(zipf_column(n_rows, cardinality, rng, exponent))
+        else:
+            columns.append(uniform_column(n_rows, cardinality, rng))
+    return Dataset(np.column_stack(columns))
+
+
+def zipf_dataset(
+    n_rows: int,
+    n_columns: int,
+    cardinality: int,
+    seed: SeedLike = None,
+    *,
+    exponent: float = 1.1,
+) -> Dataset:
+    """Convenience wrapper: ``n_columns`` i.i.d. Zipf columns of equal domain."""
+    return random_categorical(
+        n_rows, [cardinality] * n_columns, seed, exponent=exponent
+    )
+
+
+# ----------------------------------------------------------------------
+# Lower-bound constructions from the paper
+# ----------------------------------------------------------------------
+
+
+def grid_dataset(q: int, m: int) -> Dataset:
+    """The Lemma 3 data set ``D = {1, ..., q}^m`` (full cross product).
+
+    Every singleton attribute set is *bad* (it separates fewer than
+    ``(1 − ε)·C(n, 2)`` pairs for ``1/ε = q + 1/2``) because each value
+    class is a clique of ``q^{m-1}`` identical projections.
+
+    The full grid has ``q^m`` rows, so this constructor refuses to build
+    more than ``2·10^6`` rows; use :func:`grid_sample_dataset` to draw
+    i.i.d. rows from the same product distribution for larger shapes
+    (Lemma 3 observes the two are equivalent for uniform sampling with
+    replacement).
+    """
+    validate_positive_int(q, name="q")
+    validate_positive_int(m, name="m")
+    n_rows = q**m
+    if n_rows > _MAX_GRID_ROWS:
+        raise InvalidParameterError(
+            f"full grid would have {n_rows} rows; use grid_sample_dataset instead"
+        )
+    # Row r spells out r in base q, one digit per column.
+    rows = np.arange(n_rows, dtype=np.int64)
+    codes = np.empty((n_rows, m), dtype=np.int64)
+    for col in range(m):
+        power = q ** (m - 1 - col)
+        codes[:, col] = (rows // power) % q
+    return Dataset(codes)
+
+
+def grid_sample_dataset(
+    q: int, m: int, n_rows: int, seed: SeedLike = None
+) -> Dataset:
+    """I.i.d. uniform rows from ``{1, ..., q}^m`` (sampled Lemma 3 data)."""
+    validate_positive_int(q, name="q")
+    validate_positive_int(m, name="m")
+    validate_positive_int(n_rows, name="n_rows")
+    rng = ensure_rng(seed)
+    return Dataset(rng.integers(0, q, size=(n_rows, m)).astype(np.int64))
+
+
+def grid_epsilon(q: int) -> float:
+    """The ε for which Lemma 3 uses ``D = [q]^m``, i.e. ``1/ε = q + 1/2``."""
+    validate_positive_int(q, name="q")
+    return 1.0 / (q + 0.5)
+
+
+def planted_clique_dataset(
+    n_rows: int,
+    n_columns: int,
+    epsilon: float,
+    seed: SeedLike = None,
+) -> Dataset:
+    """The Lemma 4 data set: coordinate 0 hides one clique of ``√(2ε)·n``.
+
+    Construction (following Appendix C.2):
+
+    * exactly ``⌈√(2ε)·n⌉`` rows share value ``0`` in coordinate 0, and the
+      remaining rows take pairwise-distinct values — so the auxiliary graph
+      ``G_{{0}}`` is one clique of size ``√(2ε)·n`` plus isolated vertices,
+      making ``{0}`` a *bad* attribute set;
+    * the last coordinate is a unique row id, so a key exists;
+    * middle coordinates are random small-domain categoricals.
+
+    Rejecting ``{0}`` with probability ``1 − e^{−m}`` requires sampling two
+    rows of the hidden clique, hence ``Ω(m/√ε)`` samples.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    if n_columns < 2:
+        raise InvalidParameterError("need at least 2 columns (clique + key)")
+    epsilon = validate_epsilon(epsilon)
+    clique_size = int(math.ceil(math.sqrt(2.0 * epsilon) * n_rows))
+    if clique_size < 2:
+        raise InvalidParameterError(
+            f"√(2ε)·n = {clique_size} < 2; increase n_rows or epsilon"
+        )
+    if clique_size > n_rows:
+        raise InvalidParameterError("√(2ε)·n exceeds n_rows; decrease epsilon")
+    rng = ensure_rng(seed)
+    codes = np.empty((n_rows, n_columns), dtype=np.int64)
+    first = np.empty(n_rows, dtype=np.int64)
+    first[:clique_size] = 0
+    # Remaining rows get distinct values 1, 2, ...
+    first[clique_size:] = np.arange(1, n_rows - clique_size + 1)
+    # Shuffle so the clique is not a positional artifact.
+    rng.shuffle(first)
+    codes[:, 0] = first
+    for col in range(1, n_columns - 1):
+        codes[:, col] = uniform_column(n_rows, 8, rng)
+    codes[:, n_columns - 1] = np.arange(n_rows)
+    return Dataset(codes)
+
+
+# ----------------------------------------------------------------------
+# Structured workloads: planted keys and functional dependencies
+# ----------------------------------------------------------------------
+
+
+def planted_key_dataset(
+    n_rows: int,
+    key_size: int,
+    n_noise_columns: int,
+    seed: SeedLike = None,
+    *,
+    noise_cardinality: int = 4,
+) -> Dataset:
+    """A data set whose first ``key_size`` columns jointly form a key.
+
+    The key columns enumerate distinct combinations (mixed-radix encoding of
+    the row index), so the minimum key has size at most ``key_size``; noise
+    columns are low-cardinality and individually far from keys.  Used to
+    validate the minimum-key solvers against a known upper bound.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    validate_positive_int(key_size, name="key_size")
+    n_noise_columns = int(n_noise_columns)
+    if n_noise_columns < 0:
+        raise InvalidParameterError("n_noise_columns must be >= 0")
+    rng = ensure_rng(seed)
+    base = max(2, int(math.ceil(n_rows ** (1.0 / key_size))))
+    rows = np.arange(n_rows, dtype=np.int64)
+    key_cols = []
+    for position in range(key_size):
+        power = base**position
+        key_cols.append((rows // power) % base)
+    columns = key_cols + [
+        uniform_column(n_rows, noise_cardinality, rng)
+        for _ in range(n_noise_columns)
+    ]
+    codes = np.column_stack(columns)
+    permutation = rng.permutation(n_rows)
+    return Dataset(codes[permutation])
+
+
+def functional_dependency_dataset(
+    n_rows: int,
+    n_determinant_columns: int,
+    n_dependent_columns: int,
+    seed: SeedLike = None,
+    *,
+    determinant_cardinality: int = 32,
+    noise_rate: float = 0.0,
+) -> Dataset:
+    """Columns where each dependent column is a (noisy) function of one
+    determinant column.
+
+    With ``noise_rate == 0`` every dependent column is an exact function of
+    its determinant, so adding it to an attribute set never separates more
+    pairs — a classic trap for greedy key discovery.  A small positive
+    ``noise_rate`` turns the exact dependency into an *approximate*
+    functional dependency, the application highlighted in the paper's
+    introduction.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    validate_positive_int(n_determinant_columns, name="n_determinant_columns")
+    validate_positive_int(n_dependent_columns, name="n_dependent_columns")
+    if not 0.0 <= noise_rate < 1.0:
+        raise InvalidParameterError(f"noise_rate must be in [0, 1); got {noise_rate}")
+    rng = ensure_rng(seed)
+    determinants = [
+        uniform_column(n_rows, determinant_cardinality, rng)
+        for _ in range(n_determinant_columns)
+    ]
+    dependents = []
+    for index in range(n_dependent_columns):
+        source = determinants[index % n_determinant_columns]
+        # A random function of the determinant's codes.
+        table = rng.integers(0, determinant_cardinality, size=determinant_cardinality)
+        column = table[source]
+        if noise_rate > 0:
+            flips = rng.random(n_rows) < noise_rate
+            column = np.where(
+                flips, rng.integers(0, determinant_cardinality, size=n_rows), column
+            )
+        dependents.append(column.astype(np.int64))
+    return Dataset(np.column_stack(determinants + dependents))
+
+
+# ----------------------------------------------------------------------
+# Table 1 stand-ins (shape/skew-matched simulations of the paper's data)
+# ----------------------------------------------------------------------
+
+#: Per-column (name, cardinality, zipf exponent) profile of UCI Adult's 13
+#: non-label attributes as used by Motwani–Xu and the paper (the published
+#: UCI statistics; fnlwgt's huge domain is what makes it a near-key).
+_ADULT_PROFILE: list[tuple[str, int, float]] = [
+    ("age", 73, 0.4),
+    ("workclass", 9, 1.4),
+    ("fnlwgt", 21648, 0.6),
+    ("education", 16, 1.0),
+    ("education_num", 16, 1.0),
+    ("marital_status", 7, 1.1),
+    ("occupation", 15, 0.7),
+    ("relationship", 6, 0.9),
+    ("race", 5, 1.8),
+    ("sex", 2, 0.5),
+    ("capital_gain", 119, 2.5),
+    ("capital_loss", 92, 2.6),
+    ("hours_per_week", 94, 1.6),
+]
+
+
+def adult_like(n_rows: int = 32_561, seed: SeedLike = None) -> Dataset:
+    """A 13-attribute stand-in for the UCI Adult income data set.
+
+    Shape and per-column cardinality/skew follow the published Adult
+    statistics (32 561 rows).  ``education_num`` is generated as an exact
+    function of ``education`` — the real data set's one exact dependency.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    rng = ensure_rng(seed)
+    columns: dict[str, np.ndarray] = {}
+    for name, cardinality, exponent in _ADULT_PROFILE:
+        cardinality = min(cardinality, max(2, n_rows))
+        columns[name] = zipf_column(n_rows, cardinality, rng, exponent)
+    # education_num is a bijection of education in the real data.
+    columns["education_num"] = columns["education"].copy()
+    codes = np.column_stack([columns[name] for name, _, _ in _ADULT_PROFILE])
+    return Dataset(codes, column_names=[name for name, _, _ in _ADULT_PROFILE])
+
+
+def covtype_like(n_rows: int = 581_012, seed: SeedLike = None) -> Dataset:
+    """A 55-attribute stand-in for the UCI Covertype data set.
+
+    10 quantitative columns with the published distinct-value counts, 4
+    wilderness-area one-hot columns, 40 soil-type one-hot columns (exactly
+    one soil indicator set per row), and the 7-valued cover-type label.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    rng = ensure_rng(seed)
+    quantitative: list[tuple[str, int, float]] = [
+        ("elevation", 1978, 0.2),
+        ("aspect", 361, 0.3),
+        ("slope", 67, 0.8),
+        ("horiz_hydro", 551, 0.8),
+        ("vert_hydro", 700, 0.9),
+        ("horiz_road", 5785, 0.5),
+        ("hillshade_9am", 207, 1.2),
+        ("hillshade_noon", 185, 1.2),
+        ("hillshade_3pm", 255, 1.0),
+        ("horiz_fire", 5827, 0.5),
+    ]
+    names: list[str] = []
+    columns: list[np.ndarray] = []
+    for name, cardinality, exponent in quantitative:
+        cardinality = min(cardinality, max(2, n_rows))
+        names.append(name)
+        columns.append(zipf_column(n_rows, cardinality, rng, exponent))
+    # One-hot wilderness area (4 columns, exactly one hot).
+    wilderness = rng.choice(4, size=n_rows, p=np.array([0.45, 0.05, 0.44, 0.06]))
+    for area in range(4):
+        names.append(f"wilderness_{area}")
+        columns.append((wilderness == area).astype(np.int64))
+    # One-hot soil type (40 columns, Zipf-skewed as in the real data).
+    soil = rng.choice(40, size=n_rows, p=zipf_weights(40, 1.0))
+    for soil_type in range(40):
+        names.append(f"soil_{soil_type}")
+        columns.append((soil == soil_type).astype(np.int64))
+    names.append("cover_type")
+    columns.append(zipf_column(n_rows, 7, rng, 0.8))
+    return Dataset(np.column_stack(columns), column_names=names)
+
+
+def cps_like(n_rows: int = 200_000, n_columns: int = 388, seed: SeedLike = None) -> Dataset:
+    """A wide stand-in for the 2016 Current Population Survey extract.
+
+    The CPS public-use file has hundreds of mostly low-cardinality coded
+    survey answers plus a handful of high-cardinality weights/identifiers.
+    We reproduce that mix: 80 % tiny-domain categoricals (2–16 values), 15 %
+    medium (up to 256), 5 % heavy-tailed numeric-like columns.
+
+    The paper ran CPS with millions of rows; the default here is 200 000 to
+    stay laptop-friendly, and ``n_rows`` scales up if desired — the measured
+    quantities (sample size, agreement) depend on ``m`` and ε, not ``n``.
+    """
+    validate_positive_int(n_rows, name="n_rows")
+    validate_positive_int(n_columns, name="n_columns")
+    rng = ensure_rng(seed)
+    columns: list[np.ndarray] = []
+    for col in range(n_columns):
+        bucket = col % 20
+        if bucket < 16:  # 80 %: small coded answers
+            cardinality = int(rng.integers(2, 17))
+            columns.append(zipf_column(n_rows, cardinality, rng, 1.0))
+        elif bucket < 19:  # 15 %: medium domains
+            cardinality = int(rng.integers(17, 257))
+            columns.append(zipf_column(n_rows, cardinality, rng, 0.8))
+        else:  # 5 %: weights / near-identifiers
+            cardinality = min(n_rows, 50_000)
+            columns.append(zipf_column(n_rows, cardinality, rng, 0.3))
+    return Dataset(np.column_stack(columns))

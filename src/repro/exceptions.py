@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its documented domain.
+
+    Raised, for example, when ``epsilon`` is not in ``(0, 1)``, a sample size
+    is non-positive, or a coordinate index is out of range.
+    """
+
+
+class DatasetShapeError(ReproError, ValueError):
+    """A data set has an unusable shape (no rows, no columns, ragged input)."""
+
+
+class EmptySampleError(ReproError, ValueError):
+    """An operation required a non-empty sample but received none."""
+
+
+class SketchQueryError(ReproError, ValueError):
+    """A sketch query violated the sketch's contract.
+
+    The non-separation sketch of Theorem 2 is built for queries of size at
+    most ``k``; querying a larger attribute set raises this error rather than
+    silently returning an estimate with no accuracy guarantee.
+    """
+
+
+class InfeasibleInstanceError(ReproError, ValueError):
+    """A set cover / minimum key instance admits no feasible solution.
+
+    For separation instances this happens when the sample contains duplicate
+    tuples: no attribute set can separate two identical rows.
+    """
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """Numerical optimization (KKT / SLSQP machinery) failed to converge."""

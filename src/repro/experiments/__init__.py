@@ -1,0 +1,33 @@
+"""Experiment harness: workloads, timing, agreement, and Table 1.
+
+The harness reproduces the paper's comparison methodology (Section 4):
+pick ~100 random attribute subsets, run both filters on each, and report
+(i) sample sizes, (ii) build+query wall clock, and (iii) the fraction of
+queries on which the two filters agree.  Ground-truth classification
+against the full data set is optional (exact but slower) and adds
+correctness rates that the paper discusses qualitatively.
+"""
+
+from repro.experiments.config import FilterExperimentConfig, Table1Config
+from repro.experiments.harness import (
+    FilterComparisonResult,
+    TrialMeasurement,
+    run_filter_comparison,
+)
+from repro.experiments.reporting import format_markdown_table, format_table
+from repro.experiments.table1 import Table1Row, run_table1, table1_rows_to_text
+from repro.experiments.workloads import random_attribute_subsets
+
+__all__ = [
+    "FilterComparisonResult",
+    "FilterExperimentConfig",
+    "Table1Config",
+    "Table1Row",
+    "TrialMeasurement",
+    "format_markdown_table",
+    "format_table",
+    "random_attribute_subsets",
+    "run_filter_comparison",
+    "run_table1",
+    "table1_rows_to_text",
+]

@@ -1,0 +1,87 @@
+"""Experiment configuration dataclasses.
+
+Configurations are plain frozen dataclasses so runs are fully described by
+one printable value (and can be embedded in EXPERIMENTS.md verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidParameterError
+from repro.types import validate_epsilon, validate_probability
+
+
+@dataclass(frozen=True)
+class FilterExperimentConfig:
+    """Parameters of one filter-comparison run (the Table 1 methodology).
+
+    Attributes
+    ----------
+    epsilon, delta:
+        The paper's tuning parameters (Section 4 uses 0.001 and 0.01).
+    n_queries:
+        Number of random attribute subsets per trial (paper: ~100).
+    n_trials:
+        Independent repetitions averaged in the report (paper: 10).
+    seed:
+        Master seed; trials use spawned child streams.
+    ground_truth:
+        Whether to also classify each query exactly on the full data
+        (slower; adds correctness columns).
+    """
+
+    epsilon: float = 0.001
+    delta: float = 0.01
+    n_queries: int = 100
+    n_trials: int = 10
+    seed: int | None = 0
+    ground_truth: bool = False
+
+    def __post_init__(self) -> None:
+        validate_epsilon(self.epsilon)
+        validate_probability(self.delta, name="delta")
+        if self.n_queries <= 0:
+            raise InvalidParameterError(
+                f"n_queries must be positive; got {self.n_queries}"
+            )
+        if self.n_trials <= 0:
+            raise InvalidParameterError(
+                f"n_trials must be positive; got {self.n_trials}"
+            )
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Which data sets (with row overrides) the Table 1 run covers.
+
+    ``datasets`` maps registry names to an optional row-count override;
+    ``None`` means paper scale.  The default covers the paper's three data
+    sets at laptop-feasible sizes.
+    """
+
+    datasets: tuple[tuple[str, int | None], ...] = (
+        ("adult", None),
+        ("covtype", None),
+        ("cps", None),
+    )
+    filter_config: FilterExperimentConfig = field(
+        default_factory=FilterExperimentConfig
+    )
+
+    def scaled(self, factor: float) -> "Table1Config":
+        """A copy with every explicit row count scaled down (CI-friendly)."""
+        if factor <= 0 or factor > 1:
+            raise InvalidParameterError(f"factor must be in (0, 1]; got {factor}")
+        from repro.data.registry import build_dataset  # noqa: F401 (validation import)
+
+        scaled_sets = []
+        defaults = {"adult": 32_561, "covtype": 581_012, "cps": 200_000}
+        for name, rows in self.datasets:
+            baseline = rows if rows is not None else defaults.get(name)
+            scaled_sets.append(
+                (name, None if baseline is None else max(100, int(baseline * factor)))
+            )
+        return Table1Config(
+            datasets=tuple(scaled_sets), filter_config=self.filter_config
+        )

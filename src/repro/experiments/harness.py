@@ -1,0 +1,181 @@
+"""The filter-comparison harness (the paper's Section 4 methodology).
+
+For each trial: build both filters on fresh samples, answer every workload
+query with each, time everything, and measure agreement.  Optionally
+classify each query exactly on the full data set to score correctness
+("in some cases, even though the two algorithms' outputs are different,
+both can be correct" — intermediate sets may be answered either way).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.core.filters import (
+    Classification,
+    MotwaniXuFilter,
+    TupleSampleFilter,
+    classify,
+)
+from repro.data.dataset import Dataset
+from repro.experiments.config import FilterExperimentConfig
+from repro.experiments.workloads import random_attribute_subsets
+from repro.sampling.rng import spawn_rngs
+from repro.types import AttributeSet
+
+
+@dataclass(frozen=True)
+class TrialMeasurement:
+    """Timings and answers of one trial.
+
+    Times are seconds.  ``*_answers`` are accept booleans per query, in
+    workload order.
+    """
+
+    pair_build_seconds: float
+    pair_query_seconds: float
+    tuple_build_seconds: float
+    tuple_query_seconds: float
+    pair_answers: tuple[bool, ...]
+    tuple_answers: tuple[bool, ...]
+    agreement: float
+
+
+@dataclass
+class FilterComparisonResult:
+    """Aggregated outcome of a filter-comparison experiment.
+
+    The headline fields mirror the paper's Table 1 columns: sample sizes,
+    average running times (build + all queries), and agreement percentage.
+    """
+
+    dataset_name: str
+    n_rows: int
+    n_columns: int
+    config: FilterExperimentConfig
+    pair_sample_size: int
+    tuple_sample_size: int
+    trials: list[TrialMeasurement] = field(default_factory=list)
+    queries: list[AttributeSet] = field(default_factory=list)
+    truth: list[Classification] | None = None
+    pair_correct_rate: float | None = None
+    tuple_correct_rate: float | None = None
+
+    @property
+    def mean_pair_seconds(self) -> float:
+        """Average (build + query) wall clock of the pair filter."""
+        return mean(t.pair_build_seconds + t.pair_query_seconds for t in self.trials)
+
+    @property
+    def mean_tuple_seconds(self) -> float:
+        """Average (build + query) wall clock of the tuple filter."""
+        return mean(
+            t.tuple_build_seconds + t.tuple_query_seconds for t in self.trials
+        )
+
+    @property
+    def mean_agreement(self) -> float:
+        """Average fraction of queries both filters answered identically."""
+        return mean(t.agreement for t in self.trials)
+
+    @property
+    def speedup(self) -> float:
+        """Pair-filter time divided by tuple-filter time (>1 = paper wins)."""
+        tuple_seconds = self.mean_tuple_seconds
+        if tuple_seconds <= 0:
+            return float("inf")
+        return self.mean_pair_seconds / tuple_seconds
+
+
+def _timed_queries(filter_obj, queries: list[AttributeSet]) -> tuple[float, tuple[bool, ...]]:
+    start = time.perf_counter()
+    answers = tuple(filter_obj.accepts(query) for query in queries)
+    return time.perf_counter() - start, answers
+
+
+def run_filter_comparison(
+    data: Dataset,
+    config: FilterExperimentConfig,
+    *,
+    dataset_name: str = "dataset",
+) -> FilterComparisonResult:
+    """Run the full comparison on one data set.
+
+    Returns a :class:`FilterComparisonResult` whose fields map one-to-one
+    onto the paper's Table 1 columns (S★, S★★, T★, T★★, A%).
+    """
+    rngs = spawn_rngs(config.seed, config.n_trials + 1)
+    workload_rng, *trial_rngs = rngs
+    queries = random_attribute_subsets(
+        data.n_columns, config.n_queries, workload_rng
+    )
+
+    # Sample sizes are deterministic given (m, ε); measure from a probe build.
+    probe_pair = MotwaniXuFilter.fit(data, config.epsilon, seed=trial_rngs[0])
+    probe_tuple = TupleSampleFilter.fit(data, config.epsilon, seed=trial_rngs[0])
+    result = FilterComparisonResult(
+        dataset_name=dataset_name,
+        n_rows=data.n_rows,
+        n_columns=data.n_columns,
+        config=config,
+        pair_sample_size=probe_pair.sample_size,
+        tuple_sample_size=probe_tuple.sample_size,
+        queries=queries,
+    )
+
+    for rng in trial_rngs:
+        start = time.perf_counter()
+        pair_filter = MotwaniXuFilter.fit(data, config.epsilon, seed=rng)
+        pair_build = time.perf_counter() - start
+
+        start = time.perf_counter()
+        tuple_filter = TupleSampleFilter.fit(data, config.epsilon, seed=rng)
+        tuple_build = time.perf_counter() - start
+
+        pair_query_time, pair_answers = _timed_queries(pair_filter, queries)
+        tuple_query_time, tuple_answers = _timed_queries(tuple_filter, queries)
+        agreement = mean(
+            float(a == b) for a, b in zip(pair_answers, tuple_answers)
+        )
+        result.trials.append(
+            TrialMeasurement(
+                pair_build_seconds=pair_build,
+                pair_query_seconds=pair_query_time,
+                tuple_build_seconds=tuple_build,
+                tuple_query_seconds=tuple_query_time,
+                pair_answers=pair_answers,
+                tuple_answers=tuple_answers,
+                agreement=agreement,
+            )
+        )
+
+    if config.ground_truth:
+        truth = [classify(data, query, config.epsilon) for query in queries]
+        result.truth = truth
+        result.pair_correct_rate = _correctness(truth, result.trials, pairs=True)
+        result.tuple_correct_rate = _correctness(truth, result.trials, pairs=False)
+    return result
+
+
+def _correctness(
+    truth: list[Classification],
+    trials: list[TrialMeasurement],
+    *,
+    pairs: bool,
+) -> float:
+    """Fraction of (trial, query) answers consistent with the ground truth."""
+    total = 0
+    correct = 0
+    for trial in trials:
+        answers = trial.pair_answers if pairs else trial.tuple_answers
+        for label, accepted in zip(truth, answers):
+            total += 1
+            if label is Classification.KEY:
+                correct += int(accepted)
+            elif label is Classification.BAD:
+                correct += int(not accepted)
+            else:
+                correct += 1  # intermediate: both answers are correct
+    return correct / total if total else 1.0

@@ -1,0 +1,75 @@
+"""Plain-text and markdown table rendering for experiment reports.
+
+Kept dependency-free (no tabulate) and deterministic so benchmark output can
+be diffed across runs and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import InvalidParameterError
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> list[list[str]]:
+    return [[str(cell) for cell in row] for row in rows]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned fixed-width text table (paper-style)."""
+    if not headers:
+        raise InvalidParameterError("need at least one header")
+    text_rows = _stringify(rows)
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise InvalidParameterError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a GitHub-markdown table (for EXPERIMENTS.md)."""
+    if not headers:
+        raise InvalidParameterError("need at least one header")
+    text_rows = _stringify(rows)
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise InvalidParameterError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in text_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration: ``0.208 sec`` / ``188.02 sec`` style."""
+    if seconds < 0:
+        raise InvalidParameterError(f"seconds must be >= 0; got {seconds}")
+    if seconds < 10:
+        return f"{seconds:.3f} sec"
+    return f"{seconds:.2f} sec"
+
+
+def format_percent(fraction: float) -> str:
+    """``0.95 -> '95%'`` (rounded to the nearest percent, as the paper does)."""
+    return f"{round(fraction * 100)}%"

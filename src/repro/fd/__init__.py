@@ -1,0 +1,101 @@
+"""Approximate functional dependency (AFD) discovery substrate.
+
+The paper notes (Section 1, *Further applications*) that quasi-identifiers
+are a special case of **approximate functional dependencies** [Kivinen &
+Mannila 1992; Pfahringer & Kramer 1995]: an ε-separation key is exactly an
+approximate FD ``A → all attributes`` whose violation measure is bounded by
+ε.  This subpackage builds the classical AFD machinery so the library can
+speak both languages:
+
+* :mod:`repro.fd.partitions` — stripped partitions (TANE's workhorse
+  representation of attribute-induced equivalence classes) with the
+  linear-time stripped-product refinement;
+* :mod:`repro.fd.measures` — the standard violation measures ``g1`` (pair
+  fraction), ``g2`` (row fraction), ``g3`` (minimum row-removal fraction),
+  plus the probabilistic ``pdep`` and ``tau`` association strengths;
+* :mod:`repro.fd.discovery` — levelwise (TANE-style) discovery of all
+  minimal approximate FDs under a ``g3`` threshold;
+* :mod:`repro.fd.sampled` — sampling-based AFD validation built on the
+  paper's machinery: the violating-pair count of ``X → Y`` equals
+  ``Γ_X − Γ_{X∪Y}``, so two non-separation estimates give a ``g1``
+  estimate from a tiny uniform sample.
+
+Quickstart
+----------
+>>> from repro import Dataset
+>>> from repro.fd import discover_afds, g3_error
+>>> data = Dataset.from_columns({
+...     "zip":  [92101, 92101, 92102, 92102],
+...     "city": ["SD", "SD", "SD", "LA"],
+... })
+>>> g3_error(data, ["zip"], "city")  # one row breaks zip -> city
+0.25
+>>> [str(fd) for fd in discover_afds(data, max_error=0.25)]
+['{city} -> zip (g3=0.2500)', '{zip} -> city (g3=0.2500)']
+"""
+
+from repro.fd.closure import (
+    NormalizedFD,
+    attribute_closure,
+    candidate_keys,
+    implies,
+    minimal_cover,
+)
+from repro.fd.decompose import (
+    Fragment,
+    decompose_bcnf,
+    project_fragments,
+    verify_lossless_join,
+)
+from repro.fd.discovery import (
+    FDCandidate,
+    FunctionalDependency,
+    discover_afds,
+    exact_fds,
+)
+from repro.fd.measures import (
+    g1_error,
+    g2_error,
+    g3_error,
+    pdep,
+    pdep_single,
+    tau,
+    violating_pairs,
+)
+from repro.fd.partitions import StrippedPartition
+from repro.fd.sampled import (
+    SampledDiscoveryResult,
+    SampledFDValidator,
+    discover_afds_sampled,
+    fd_pair_sample_size,
+    g1_pair_sample_estimate,
+)
+
+__all__ = [
+    "FDCandidate",
+    "Fragment",
+    "FunctionalDependency",
+    "NormalizedFD",
+    "SampledDiscoveryResult",
+    "SampledFDValidator",
+    "StrippedPartition",
+    "attribute_closure",
+    "candidate_keys",
+    "decompose_bcnf",
+    "discover_afds",
+    "discover_afds_sampled",
+    "exact_fds",
+    "implies",
+    "minimal_cover",
+    "project_fragments",
+    "verify_lossless_join",
+    "fd_pair_sample_size",
+    "g1_pair_sample_estimate",
+    "g1_error",
+    "g2_error",
+    "g3_error",
+    "pdep",
+    "pdep_single",
+    "tau",
+    "violating_pairs",
+]

@@ -1,0 +1,179 @@
+"""Violation measures for approximate functional dependencies.
+
+An FD ``X → Y`` over a data set holds *exactly* when any two rows equal on
+``X`` are also equal on ``Y``.  The classical relaxations quantify "how far"
+a data set is from satisfying the FD:
+
+``g1``
+    Fraction of row *pairs* that violate the FD (equal on ``X``, different
+    on ``Y``) out of all ``C(n, 2)`` pairs [Kivinen & Mannila 1992].  In the
+    paper's vocabulary this is ``(Γ_X − Γ_{X∪Y}) / C(n, 2)`` — the bridge
+    between quasi-identifiers and AFDs, and the measure the sampling
+    machinery of :mod:`repro.fd.sampled` estimates.
+``g2``
+    Fraction of *rows* that participate in at least one violating pair.
+``g3``
+    Minimum fraction of rows whose deletion makes the FD exact — TANE's
+    error measure, the one :func:`repro.fd.discovery.discover_afds`
+    thresholds.
+``pdep`` / ``tau``
+    Probabilistic association strengths (Goodman–Kruskal): ``pdep(X → Y)``
+    is the chance two random rows agreeing on ``X`` agree on ``Y``;
+    ``tau`` normalizes out the baseline ``pdep(Y)``.
+
+All functions accept column names or indices for both sides; ``rhs`` may be
+a single attribute or a set (an FD with a set-valued right-hand side holds
+iff it holds for every member).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.separation import group_labels
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.partitions import StrippedPartition
+from repro.types import AttributeSet, pairs_count
+
+#: Attribute specification accepted on either side of an FD.
+SideLike = Union[int, str, Iterable[Union[int, str]]]
+
+
+def _resolve_side(data: Dataset, side: SideLike, *, name: str) -> AttributeSet:
+    """Normalize one side of an FD to a sorted attribute-index tuple."""
+    if isinstance(side, (int, np.integer, str)):
+        side = [side]
+    attrs = data.resolve_attributes(side)
+    if not attrs:
+        raise InvalidParameterError(f"{name} of an FD must be non-empty")
+    return attrs
+
+
+def _resolve_fd(
+    data: Dataset, lhs: SideLike, rhs: SideLike
+) -> tuple[AttributeSet, AttributeSet]:
+    """Resolve and sanity-check both sides of ``lhs -> rhs``."""
+    lhs_attrs = _resolve_side(data, lhs, name="lhs")
+    rhs_attrs = _resolve_side(data, rhs, name="rhs")
+    overlap = set(lhs_attrs) & set(rhs_attrs)
+    if overlap:
+        raise InvalidParameterError(
+            f"lhs and rhs must be disjoint; both contain columns {sorted(overlap)}"
+        )
+    return lhs_attrs, rhs_attrs
+
+
+def _fd_partitions(
+    data: Dataset, lhs: SideLike, rhs: SideLike
+) -> tuple[StrippedPartition, StrippedPartition]:
+    """Return ``(π_X, π_{X∪Y})`` for the FD ``X → Y``."""
+    lhs_attrs, rhs_attrs = _resolve_fd(data, lhs, rhs)
+    lhs_part = StrippedPartition.from_dataset(data, lhs_attrs)
+    both = tuple(sorted(set(lhs_attrs) | set(rhs_attrs)))
+    both_part = StrippedPartition.from_dataset(data, both)
+    return lhs_part, both_part
+
+
+def violating_pairs(data: Dataset, lhs: SideLike, rhs: SideLike) -> int:
+    """Number of pairs equal on ``lhs`` but different on ``rhs``.
+
+    This is exactly ``Γ_lhs − Γ_{lhs∪rhs}`` — the identity that lets the
+    paper's non-separation sketch validate FDs from a sample.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({"a": [1, 1, 2], "b": ["x", "y", "x"]})
+    >>> violating_pairs(data, "a", "b")
+    1
+    """
+    lhs_part, both_part = _fd_partitions(data, lhs, rhs)
+    return lhs_part.g1_violating_pairs(both_part)
+
+
+def g1_error(data: Dataset, lhs: SideLike, rhs: SideLike) -> float:
+    """``g1``: violating pairs as a fraction of all ``C(n, 2)`` pairs."""
+    total = pairs_count(data.n_rows)
+    if total == 0:
+        return 0.0
+    return violating_pairs(data, lhs, rhs) / total
+
+
+def g2_error(data: Dataset, lhs: SideLike, rhs: SideLike) -> float:
+    """``g2``: fraction of rows involved in at least one violating pair."""
+    lhs_part, both_part = _fd_partitions(data, lhs, rhs)
+    return lhs_part.g2_violating_rows(both_part) / data.n_rows
+
+
+def g3_error(data: Dataset, lhs: SideLike, rhs: SideLike) -> float:
+    """``g3``: minimum fraction of rows to delete so the FD holds exactly.
+
+    The measure used by TANE and by :func:`repro.fd.discovery.discover_afds`.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({"a": [1, 1, 1], "b": ["x", "x", "y"]})
+    >>> round(g3_error(data, "a", "b"), 4)
+    0.3333
+    """
+    lhs_part, both_part = _fd_partitions(data, lhs, rhs)
+    return lhs_part.g3_removed_rows(both_part) / data.n_rows
+
+
+def holds_exactly(data: Dataset, lhs: SideLike, rhs: SideLike) -> bool:
+    """``True`` iff the FD ``lhs → rhs`` has no violating pair at all."""
+    return violating_pairs(data, lhs, rhs) == 0
+
+
+def pdep_single(data: Dataset, rhs: SideLike) -> float:
+    """Baseline ``pdep(Y)``: chance two random rows agree on ``Y``.
+
+    ``pdep(Y) = Σ_y (n_y / n)²`` where ``n_y`` counts rows with ``Y``-value
+    ``y``.  (Drawn *with* replacement, per Goodman–Kruskal convention.)
+    """
+    rhs_attrs = _resolve_side(data, rhs, name="rhs")
+    labels = group_labels(data, rhs_attrs)
+    counts = np.bincount(labels).astype(np.float64)
+    n = float(data.n_rows)
+    return float(np.sum((counts / n) ** 2))
+
+
+def pdep(data: Dataset, lhs: SideLike, rhs: SideLike) -> float:
+    """``pdep(X → Y)``: chance rows agreeing on ``X`` also agree on ``Y``.
+
+    ``pdep(X → Y) = (1/n) · Σ_{classes c of π_X} Σ_{sub d of π_{X∪Y} in c}
+    |d|² / |c|``.  Equals 1 iff the FD holds exactly.
+    """
+    lhs_attrs, rhs_attrs = _resolve_fd(data, lhs, rhs)
+    lhs_labels = group_labels(data, lhs_attrs)
+    both = tuple(sorted(set(lhs_attrs) | set(rhs_attrs)))
+    both_labels = group_labels(data, both)
+    lhs_counts = np.bincount(lhs_labels).astype(np.float64)
+    # |d|^2 / |c| summed over refined classes d, where c = parent class of d.
+    pair_keys = lhs_labels.astype(np.int64) * (int(both_labels.max()) + 1) + both_labels
+    _, inverse, sub_counts = np.unique(
+        pair_keys, return_inverse=True, return_counts=True
+    )
+    # Parent class size for each refined class: take it from any member row.
+    first_member = np.full(sub_counts.size, -1, dtype=np.int64)
+    first_member[inverse] = np.arange(lhs_labels.size, dtype=np.int64)
+    parent_sizes = lhs_counts[lhs_labels[first_member]]
+    n = float(data.n_rows)
+    return float(np.sum(sub_counts.astype(np.float64) ** 2 / parent_sizes) / n)
+
+
+def tau(data: Dataset, lhs: SideLike, rhs: SideLike) -> float:
+    """Goodman–Kruskal ``tau``: ``(pdep(X→Y) − pdep(Y)) / (1 − pdep(Y))``.
+
+    1 means ``X`` determines ``Y`` exactly; 0 means knowing ``X`` does not
+    improve the chance of agreeing on ``Y`` at all.  Undefined (raises) when
+    ``Y`` is constant, since then ``pdep(Y) = 1``.
+    """
+    baseline = pdep_single(data, rhs)
+    if baseline >= 1.0:
+        raise InvalidParameterError(
+            "tau is undefined for a constant rhs (pdep(Y) = 1)"
+        )
+    return (pdep(data, lhs, rhs) - baseline) / (1.0 - baseline)

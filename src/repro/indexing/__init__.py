@@ -1,0 +1,50 @@
+"""Query optimization / indexing — the paper's third application.
+
+Section 1: *"The discovery of such quasi-identifiers can be valuable in
+query optimization and indexing"* (citing Giannella et al.'s
+horizontal-vertical decompositions).  Two concrete uses are built here:
+
+* :mod:`repro.indexing.selectivity` — equality-predicate selectivity from
+  the clique structure: an index on attribute set ``A`` returns, for a
+  random stored key, ``avg clique size`` rows; ``Γ_A`` gives the exact
+  collision mass and the paper's samplers estimate it without scanning;
+* :mod:`repro.indexing.advisor` — an index advisor: rank small attribute
+  sets by selectivity-per-width, pick covering index keys that are
+  (ε-)separation keys, and use FD closures to answer the classic
+  rewrite question "is DISTINCT on this projection a no-op?".
+
+Quickstart
+----------
+>>> from repro import Dataset
+>>> from repro.indexing import suggest_index_keys
+>>> data = Dataset.from_columns({
+...     "order_id": list(range(8)),
+...     "customer": [1, 1, 2, 2, 3, 3, 4, 4],
+...     "status":   ["open", "done"] * 4,
+... })
+>>> suggestions = suggest_index_keys(data, max_size=1)
+>>> suggestions[0].attribute_names  # the unique column wins
+('order_id',)
+"""
+
+from repro.indexing.advisor import (
+    IndexSuggestion,
+    distinct_is_noop,
+    suggest_index_keys,
+)
+from repro.indexing.selectivity import (
+    SelectivityEstimate,
+    equality_selectivity,
+    estimate_equality_selectivity,
+    expected_rows_per_lookup,
+)
+
+__all__ = [
+    "IndexSuggestion",
+    "SelectivityEstimate",
+    "distinct_is_noop",
+    "equality_selectivity",
+    "estimate_equality_selectivity",
+    "expected_rows_per_lookup",
+    "suggest_index_keys",
+]

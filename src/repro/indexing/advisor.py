@@ -1,0 +1,164 @@
+"""Index advisor: rank candidate keys, answer rewrite questions.
+
+Two optimizer services built on the library's machinery:
+
+* :func:`suggest_index_keys` — enumerate small attribute sets, grade
+  each by equality-lookup selectivity (exact or sampled) and width, and
+  return the Pareto-best suggestions.  A perfect key gets selectivity
+  ``1/n``; an ε-separation key is within ``2ε·n`` expected rows of that,
+  which is why the paper's mined quasi-identifiers are natural index
+  keys.
+* :func:`distinct_is_noop` — the classic FD rewrite: ``SELECT DISTINCT
+  proj`` equals plain ``SELECT proj`` iff the projection functionally
+  determines every attribute, i.e. iff ``proj⁺ = [m]`` under the
+  discovered FDs.  Closure inference answers it without touching data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.closure import FDLike, attribute_closure
+from repro.indexing.selectivity import (
+    equality_selectivity,
+    selectivity_from_sample,
+)
+from repro.types import SeedLike, validate_positive_int
+
+AttributesLike = Iterable[Union[int, str]]
+
+
+@dataclass(frozen=True)
+class IndexSuggestion:
+    """One graded index candidate.
+
+    Attributes
+    ----------
+    attributes / attribute_names:
+        The candidate key, as indices and as labels.
+    rows_per_lookup:
+        Expected rows an equality lookup returns (size-biased mean).
+    selectivity:
+        ``rows_per_lookup / n``; lower is better.
+    is_estimate:
+        Whether the grade came from a sample.
+    """
+
+    attributes: tuple[int, ...]
+    attribute_names: tuple[str, ...]
+    rows_per_lookup: float
+    selectivity: float
+    is_estimate: bool
+
+    @property
+    def width(self) -> int:
+        """Number of columns the index would carry."""
+        return len(self.attributes)
+
+
+def suggest_index_keys(
+    data: Dataset,
+    *,
+    max_size: int = 2,
+    max_suggestions: int = 10,
+    sample_size: int | None = None,
+    seed: SeedLike = None,
+) -> list[IndexSuggestion]:
+    """Grade all attribute sets up to ``max_size`` as equality-index keys.
+
+    Candidates are ranked by ``(selectivity, width)`` — fewest rows per
+    lookup first, narrower index wins ties.  Dominated candidates
+    (a superset with no better selectivity than one of its subsets) are
+    dropped: the extra columns buy nothing.
+
+    Parameters
+    ----------
+    data:
+        The table to advise on.
+    max_size:
+        Largest candidate width; the candidate count is ``C(m, ≤size)``.
+    max_suggestions:
+        Cap on the returned list.
+    sample_size:
+        When given, grade from a uniform row sample of this size instead
+        of exact group-bys (the scalable path).
+    seed:
+        Sampling randomness.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({
+    ...     "id":   [1, 2, 3, 4],
+    ...     "half": [0, 0, 1, 1],
+    ... })
+    >>> [s.attribute_names for s in suggest_index_keys(data, max_size=1)]
+    [('id',), ('half',)]
+    """
+    max_size = validate_positive_int(max_size, name="max_size")
+    max_suggestions = validate_positive_int(
+        max_suggestions, name="max_suggestions"
+    )
+    max_size = min(max_size, data.n_columns)
+    graded: list[IndexSuggestion] = []
+    for size in range(1, max_size + 1):
+        for attrs in itertools.combinations(range(data.n_columns), size):
+            if sample_size is None:
+                estimate = equality_selectivity(data, attrs)
+            else:
+                estimate = selectivity_from_sample(
+                    data, attrs, sample_size=sample_size, seed=seed
+                )
+            graded.append(
+                IndexSuggestion(
+                    attributes=estimate.attributes,
+                    attribute_names=tuple(
+                        data.column_names[a] for a in estimate.attributes
+                    ),
+                    rows_per_lookup=estimate.rows_per_row_lookup,
+                    selectivity=estimate.selectivity,
+                    is_estimate=estimate.is_estimate,
+                )
+            )
+    graded.sort(key=lambda s: (s.selectivity, s.width, s.attributes))
+    # Drop dominated supersets: wider and no more selective than a subset.
+    kept: list[IndexSuggestion] = []
+    for suggestion in graded:
+        dominated = any(
+            set(other.attributes) < set(suggestion.attributes)
+            and other.selectivity <= suggestion.selectivity
+            for other in kept
+        )
+        if not dominated:
+            kept.append(suggestion)
+        if len(kept) >= max_suggestions:
+            break
+    return kept
+
+
+def distinct_is_noop(
+    fds: Iterable[FDLike],
+    projection: Sequence[int],
+    n_attributes: int,
+) -> bool:
+    """Is ``SELECT DISTINCT projection`` redundant under these FDs?
+
+    ``True`` iff the projection determines every attribute — then two
+    equal projected rows were equal rows outright, so DISTINCT removes
+    nothing (assuming the base table is duplicate-free).  Feed it the
+    output of :func:`repro.fd.discovery.exact_fds`.
+
+    Examples
+    --------
+    >>> distinct_is_noop([((0,), 1)], [0], 2)
+    True
+    >>> distinct_is_noop([((0,), 1)], [1], 2)
+    False
+    """
+    if not projection:
+        raise InvalidParameterError("projection must be non-empty")
+    closure = attribute_closure(fds, projection, n_attributes)
+    return set(closure) == set(range(n_attributes))

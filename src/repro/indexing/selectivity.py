@@ -1,0 +1,162 @@
+"""Equality-predicate selectivity from the separation structure.
+
+An equality lookup ``WHERE A = v`` on attribute set ``A`` returns one
+clique of the paper's auxiliary graph ``G_A``.  Two query models matter
+to an optimizer:
+
+* **lookup of a random stored row's key** — the expected result size is
+  the *size-biased* mean clique size ``Σ g²/n = (2·Γ_A + n)/n``
+  (big cliques are hit proportionally more often);
+* **lookup of a random distinct key** — the plain mean ``n/#cliques``.
+
+Both derive from ``Γ_A`` and the clique count, so the paper's sampling
+machinery estimates them without a scan: :func:`estimate_equality_selectivity`
+does it from a uniform pair sample (the Theorem 2 estimator), which is
+how an optimizer could grade candidate indexes on a table too large to
+group-by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.core.separation import clique_sizes, unseparated_pairs
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import SeedLike, pairs_count
+
+AttributesLike = Iterable[Union[int, str]]
+
+
+@dataclass(frozen=True)
+class SelectivityEstimate:
+    """Selectivity numbers for one candidate attribute set.
+
+    Attributes
+    ----------
+    attributes:
+        The candidate index key (resolved indices).
+    rows_per_row_lookup:
+        Expected rows returned when the looked-up key is a *random
+        stored row's* key: ``(2·Γ_A + n) / n`` (size-biased mean).
+    selectivity:
+        ``rows_per_row_lookup / n`` — the fraction of the table a lookup
+        touches; 1/n for a perfect key, 1.0 for a constant column.
+    is_estimate:
+        ``True`` when computed from a sample rather than exactly.
+    """
+
+    attributes: tuple[int, ...]
+    rows_per_row_lookup: float
+    selectivity: float
+    is_estimate: bool
+
+
+def expected_rows_per_lookup(gamma: float, n_rows: int) -> float:
+    """Size-biased mean clique size from ``Γ`` and ``n``.
+
+    ``Σ g²/n = (2·Γ + n)/n`` since ``Σ g = n`` and ``Γ = Σ g(g−1)/2``.
+    """
+    if n_rows <= 0:
+        raise InvalidParameterError(f"n_rows must be positive; got {n_rows}")
+    if gamma < 0:
+        raise InvalidParameterError(f"gamma must be non-negative; got {gamma}")
+    return (2.0 * float(gamma) + n_rows) / n_rows
+
+
+def equality_selectivity(
+    data: Dataset, attributes: AttributesLike
+) -> SelectivityEstimate:
+    """Exact selectivity of an equality lookup on ``attributes``.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({"c": [1, 1, 1, 2]})
+    >>> est = equality_selectivity(data, ["c"])
+    >>> est.rows_per_row_lookup  # (9 + 1) / 4
+    2.5
+    """
+    attrs = data.resolve_attributes(attributes)
+    if not attrs:
+        raise InvalidParameterError("attribute set must be non-empty")
+    gamma = unseparated_pairs(data, attrs)
+    rows = expected_rows_per_lookup(gamma, data.n_rows)
+    return SelectivityEstimate(
+        attributes=attrs,
+        rows_per_row_lookup=rows,
+        selectivity=rows / data.n_rows,
+        is_estimate=False,
+    )
+
+
+def estimate_equality_selectivity(
+    sketch: NonSeparationSketch, attributes: AttributesLike
+) -> SelectivityEstimate:
+    """Selectivity from a Theorem 2 pair sketch — no table scan.
+
+    When the sketch answers "small" (``Γ_A`` below its reliable floor),
+    the lookup is graded as highly selective with ``Γ_A`` treated as the
+    sketch's threshold mass — an upper-bound convention an optimizer can
+    act on safely.
+    """
+    answer = sketch.query(attributes)
+    n = sketch.n_rows
+    if answer.is_small:
+        gamma = sketch.alpha * pairs_count(n)
+    else:
+        gamma = float(answer.estimate)
+    rows = expected_rows_per_lookup(gamma, n)
+    attrs = tuple(
+        sketch.column_names.index(a) if isinstance(a, str) else int(a)
+        for a in attributes
+    )
+    return SelectivityEstimate(
+        attributes=tuple(sorted(attrs)),
+        rows_per_row_lookup=rows,
+        selectivity=rows / n,
+        is_estimate=True,
+    )
+
+
+def distinct_key_mean_rows(data: Dataset, attributes: AttributesLike) -> float:
+    """Plain mean clique size ``n / #distinct keys`` (uniform-key model)."""
+    attrs = data.resolve_attributes(attributes)
+    if not attrs:
+        raise InvalidParameterError("attribute set must be non-empty")
+    sizes = clique_sizes(data, attrs)
+    return float(data.n_rows) / float(sizes.size)
+
+
+def selectivity_from_sample(
+    data: Dataset,
+    attributes: AttributesLike,
+    *,
+    sample_size: int,
+    seed: SeedLike = None,
+) -> SelectivityEstimate:
+    """Selectivity from a uniform row sample's clique structure.
+
+    Samples ``s`` rows without replacement; a fixed pair survives with
+    probability ``s(s−1)/(n(n−1))``, so ``Γ_sample`` scaled by the
+    inverse is an unbiased estimate of ``Γ`` and plugs straight into the
+    size-biased mean.  Cheap enough to grade many index candidates on a
+    table too large to group-by.
+    """
+    attrs = data.resolve_attributes(attributes)
+    if not attrs:
+        raise InvalidParameterError("attribute set must be non-empty")
+    sample = data.sample_rows(int(sample_size), seed)
+    sample_gamma = unseparated_pairs(sample, attrs)
+    n, s = data.n_rows, sample.n_rows
+    if s < 2:
+        raise InvalidParameterError("need a sample of at least two rows")
+    gamma = sample_gamma * (n * (n - 1)) / (s * (s - 1))
+    rows = expected_rows_per_lookup(gamma, n)
+    return SelectivityEstimate(
+        attributes=attrs,
+        rows_per_row_lookup=rows,
+        selectivity=rows / n,
+        is_estimate=True,
+    )

@@ -1,0 +1,71 @@
+"""Privacy / re-identification substrate.
+
+The paper motivates ε-separation keys through privacy: *"Small
+quasi-identifiers are crucial information to consider from a privacy
+perspective because they can be utilized by adversaries to conduct linking
+attacks.  The collection of attribute values may come with a cost for
+adversaries, leading them to seek a small set of attributes that form a
+key."*  This subpackage turns that paragraph into runnable machinery:
+
+* :mod:`repro.privacy.risk` — ARX-style disclosure-risk metrics over any
+  candidate quasi-identifier: k-anonymity, uniqueness, prosecutor /
+  journalist / marketer risk, l-diversity, and a one-call
+  :func:`~repro.privacy.risk.assess_risk` report;
+* :mod:`repro.privacy.linkage` — a linking-attack simulator: an adversary
+  holding (possibly noisy) background knowledge of some individuals'
+  quasi-identifier values tries to re-identify them in a released table;
+* :mod:`repro.privacy.cost` — the adversary cost model: attributes have
+  acquisition costs and the adversary mines the *cheapest* ε-separation
+  key via weighted greedy set cover on the paper's tuple sample.
+
+Quickstart
+----------
+>>> from repro import Dataset
+>>> from repro.privacy import assess_risk
+>>> data = Dataset.from_columns({
+...     "zip": [92101, 92101, 92102, 92102],
+...     "age": [34, 41, 34, 34],
+... })
+>>> report = assess_risk(data, ["zip", "age"])
+>>> report.k_anonymity, round(report.uniqueness, 2)
+(1, 0.5)
+"""
+
+from repro.privacy.anonymize import AnonymizationResult, mondrian_anonymize
+from repro.privacy.cost import (
+    AdversaryBudget,
+    CheapestKeyResult,
+    cheapest_quasi_identifier,
+    uniform_costs,
+)
+from repro.privacy.linkage import (
+    LinkageAttackResult,
+    attack_success_by_noise,
+    simulate_linking_attack,
+)
+from repro.privacy.risk import (
+    RiskReport,
+    assess_risk,
+    journalist_risk,
+    l_diversity,
+    marketer_risk,
+    prosecutor_risk,
+)
+
+__all__ = [
+    "AdversaryBudget",
+    "AnonymizationResult",
+    "CheapestKeyResult",
+    "LinkageAttackResult",
+    "RiskReport",
+    "assess_risk",
+    "attack_success_by_noise",
+    "cheapest_quasi_identifier",
+    "journalist_risk",
+    "l_diversity",
+    "marketer_risk",
+    "mondrian_anonymize",
+    "prosecutor_risk",
+    "simulate_linking_attack",
+    "uniform_costs",
+]

@@ -1,0 +1,179 @@
+"""Adversary cost model: the cheapest ε-separation key.
+
+The paper: *"The collection of attribute values may come with a cost for
+adversaries, leading them to seek a small set of attributes that form a
+key."*  When every attribute costs the same, "small" and "cheap" coincide
+and the unweighted machinery of :mod:`repro.core.minkey` applies.  With
+heterogeneous costs (a ZIP code is free on a voter roll; a genome is not),
+the adversary solves *weighted* minimum set cover instead.
+
+:func:`cheapest_quasi_identifier` runs the paper's Algorithm 1 sampling —
+``Θ(m/√ε)`` tuples, ground set ``C(R, 2)`` — and covers it with Chvátal's
+weighted greedy, inheriting both the ``(ln N + 1)``-style approximation
+against the cheapest cover and Theorem 1's guarantee that, with high
+probability, every cover of the sample is an ε-separation key.
+
+From the defender's side the same computation prices attacks: if the
+cheapest ε-key costs more than the adversary's budget, releasing the table
+is safe under this cost model (see :class:`AdversaryBudget`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.core import sample_sizes as _sizes
+from repro.data.dataset import Dataset
+from repro.exceptions import InfeasibleInstanceError, InvalidParameterError
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.weighted import weighted_greedy_set_cover
+from repro.types import SeedLike, validate_epsilon
+
+#: Cost specification: one positive float per column, by name or index.
+CostsLike = Mapping[Union[int, str], float]
+
+
+def uniform_costs(data: Dataset, cost: float = 1.0) -> dict[str, float]:
+    """Equal acquisition cost for every column (reduces to unweighted)."""
+    if cost <= 0:
+        raise InvalidParameterError(f"cost must be positive; got {cost!r}")
+    return {name: float(cost) for name in data.column_names}
+
+
+def _resolve_costs(data: Dataset, costs: CostsLike) -> np.ndarray:
+    """Normalize a name/index-keyed cost mapping to a per-column array."""
+    array = np.full(data.n_columns, np.nan, dtype=np.float64)
+    for key, value in costs.items():
+        if isinstance(key, str):
+            index = data.column_index(key)
+        else:
+            index = int(key)
+            if not 0 <= index < data.n_columns:
+                raise InvalidParameterError(
+                    f"cost key {index} out of range for {data.n_columns} columns"
+                )
+        if value <= 0:
+            raise InvalidParameterError(
+                f"cost for column {key!r} must be positive; got {value!r}"
+            )
+        array[index] = float(value)
+    missing = np.flatnonzero(np.isnan(array))
+    if missing.size:
+        names = [data.column_names[i] for i in missing]
+        raise InvalidParameterError(f"no cost given for columns {names}")
+    return array
+
+
+@dataclass(frozen=True)
+class CheapestKeyResult:
+    """Outcome of a cheapest-quasi-identifier search.
+
+    Attributes
+    ----------
+    attributes:
+        Selected column indices, sorted.
+    attribute_names:
+        The same columns by name.
+    total_cost:
+        Sum of the selected columns' acquisition costs.
+    sample_size:
+        Tuples sampled (Algorithm 1's ``Θ(m/√ε)``).
+    epsilon:
+        The separation slack the key certifies (w.h.p.).
+    """
+
+    attributes: tuple[int, ...]
+    attribute_names: tuple[str, ...]
+    total_cost: float
+    sample_size: int
+    epsilon: float
+
+    @property
+    def key_size(self) -> int:
+        """Number of attributes the adversary must acquire."""
+        return len(self.attributes)
+
+
+@dataclass(frozen=True)
+class AdversaryBudget:
+    """A budget-limited adversary: can the attack be afforded?
+
+    Attributes
+    ----------
+    budget:
+        Maximum total acquisition cost the adversary can pay.
+    """
+
+    budget: float
+
+    def can_afford(self, result: CheapestKeyResult) -> bool:
+        """``True`` when the cheapest found key fits the budget."""
+        return result.total_cost <= self.budget
+
+
+def cheapest_quasi_identifier(
+    data: Dataset,
+    costs: CostsLike,
+    epsilon: float,
+    *,
+    sample_size: int | None = None,
+    constant: float = 1.0,
+    seed: SeedLike = None,
+) -> CheapestKeyResult:
+    """Find a cheap ε-separation key under per-attribute acquisition costs.
+
+    Samples ``Θ(m/√ε)`` tuples without replacement (Algorithm 1), builds
+    the explicit separation set cover instance over the sample's
+    ``C(r, 2)`` pairs, and covers it with the weighted greedy.  By Theorem
+    1, with probability ``1 − e^{−m}`` every bad attribute set fails to
+    cover the sample, so the returned set is an ε-separation key; by
+    Chvátal's bound its cost is within ``ln C(r,2) + 1`` of the cheapest
+    cover of the sample.
+
+    Raises
+    ------
+    repro.exceptions.InfeasibleInstanceError
+        If the sample contains duplicate rows (no attribute set separates
+        them, hence no key exists on the sample).
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({
+    ...     "ssn": list(range(100)),              # unique but expensive
+    ...     "zip": [i // 2 for i in range(100)],  # cheap, near-unique
+    ...     "age": [i % 2 for i in range(100)],   # cheap, coarse
+    ... })
+    >>> result = cheapest_quasi_identifier(
+    ...     data, {"ssn": 100.0, "zip": 1.0, "age": 1.0}, epsilon=0.05,
+    ...     sample_size=100, seed=0)
+    >>> result.attribute_names  # zip+age beats the pricey ssn
+    ('zip', 'age')
+    """
+    epsilon = validate_epsilon(epsilon)
+    cost_array = _resolve_costs(data, costs)
+    if sample_size is None:
+        sample_size = _sizes.tuple_sample_size(
+            data.n_columns, epsilon, constant=constant
+        )
+    sample_size = max(2, min(int(sample_size), data.n_rows))
+    sample = data.sample_rows(sample_size, seed)
+    upper = np.triu_indices(sample.n_rows, k=1)
+    difference = sample.codes[upper[0]] != sample.codes[upper[1]]
+    if not difference.any(axis=1).all():
+        raise InfeasibleInstanceError(
+            "the sample contains duplicate tuples; no attribute set can "
+            "separate them (the data set has no key)"
+        )
+    instance = SetCoverInstance(difference)
+    selection, _ = weighted_greedy_set_cover(instance, cost_array)
+    attributes = tuple(sorted(selection))
+    return CheapestKeyResult(
+        attributes=attributes,
+        attribute_names=tuple(data.column_names[a] for a in attributes),
+        total_cost=float(cost_array[list(attributes)].sum()),
+        sample_size=sample.n_rows,
+        epsilon=epsilon,
+    )

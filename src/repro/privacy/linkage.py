@@ -1,0 +1,230 @@
+"""Linking-attack simulation.
+
+The threat model the paper sketches: an adversary holds *background
+knowledge* — the quasi-identifier values of some target individuals,
+gathered from an external source (a voter roll, a social profile) — and
+joins it against a released table.  A target is **re-identified** when the
+join returns exactly the target's own record.
+
+The simulator draws the adversary's knowledge directly from the released
+table (the individuals really are in it, the prosecutor model) and
+optionally corrupts each known value with probability ``noise`` to model
+stale or mistyped external data.  Reported metrics:
+
+``recall``
+    Fraction of targets correctly and uniquely re-identified.
+``precision``
+    Among targets where the adversary *committed* to a unique match, the
+    fraction matched to the right record (noise can produce confident but
+    wrong matches).
+``ambiguous_rate``
+    Targets whose knowledge matched several records (attack inconclusive).
+
+Uniqueness under the quasi-identifier is exactly what the paper's filters
+certify: if ``Q`` is an ε-separation key, all but an ε fraction of pairs
+are separated, so most targets are unique and ``recall`` approaches 1 —
+the quantitative link between "small quasi-identifier" and "privacy harm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, validate_positive_int
+
+AttributesLike = Iterable[Union[int, str]]
+
+
+@dataclass(frozen=True)
+class LinkageAttackResult:
+    """Outcome of one simulated linking attack.
+
+    Attributes
+    ----------
+    attributes:
+        The quasi-identifier the adversary joined on (resolved indices).
+    n_targets:
+        Number of individuals the adversary attacked.
+    n_reidentified:
+        Targets uniquely and *correctly* matched.
+    n_false_match:
+        Targets uniquely but *incorrectly* matched (noise artifacts).
+    n_ambiguous:
+        Targets matching two or more records.
+    n_unmatched:
+        Targets matching no record at all (only possible with noise).
+    noise:
+        Per-value corruption probability used for the adversary's knowledge.
+    """
+
+    attributes: tuple[int, ...]
+    n_targets: int
+    n_reidentified: int
+    n_false_match: int
+    n_ambiguous: int
+    n_unmatched: int
+    noise: float
+
+    @property
+    def recall(self) -> float:
+        """Correct unique matches over all targets."""
+        return self.n_reidentified / self.n_targets
+
+    @property
+    def precision(self) -> float:
+        """Correct unique matches over all unique matches (1.0 when none)."""
+        committed = self.n_reidentified + self.n_false_match
+        if committed == 0:
+            return 1.0
+        return self.n_reidentified / committed
+
+    @property
+    def ambiguous_rate(self) -> float:
+        """Fraction of targets with an inconclusive (multi-match) join."""
+        return self.n_ambiguous / self.n_targets
+
+
+def simulate_linking_attack(
+    released: Dataset,
+    attributes: AttributesLike,
+    *,
+    n_targets: int | None = None,
+    noise: float = 0.0,
+    seed: SeedLike = None,
+) -> LinkageAttackResult:
+    """Simulate an adversary joining background knowledge against a table.
+
+    Parameters
+    ----------
+    released:
+        The published table under attack.
+    attributes:
+        Quasi-identifier columns the adversary knows (names or indices).
+    n_targets:
+        How many individuals the adversary holds knowledge about
+        (default: every record — a bulk "marketer" attack).
+    noise:
+        Probability, per known value, that the adversary's copy is wrong
+        (replaced by a uniformly random other code of that column).
+    seed:
+        Randomness control for target choice and noise.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({
+    ...     "zip": [1, 2, 3, 4],
+    ...     "age": [30, 30, 40, 40],
+    ... })
+    >>> result = simulate_linking_attack(data, ["zip"], seed=0)
+    >>> result.recall  # every zip is unique: everyone re-identified
+    1.0
+    """
+    attrs = released.resolve_attributes(attributes)
+    if not attrs:
+        raise InvalidParameterError("the adversary must know some attribute")
+    if not 0.0 <= float(noise) < 1.0:
+        raise InvalidParameterError(f"noise must lie in [0, 1); got {noise!r}")
+    rng = ensure_rng(seed)
+    n = released.n_rows
+    if n_targets is None:
+        targets = np.arange(n, dtype=np.int64)
+    else:
+        n_targets = validate_positive_int(n_targets, name="n_targets")
+        if n_targets > n:
+            raise InvalidParameterError(
+                f"n_targets={n_targets} exceeds the table's {n} rows"
+            )
+        targets = rng.choice(n, size=n_targets, replace=False)
+
+    columns = list(attrs)
+    table = released.codes[:, columns]
+    knowledge = table[targets].copy()
+    if noise > 0.0:
+        _corrupt_knowledge(knowledge, table, float(noise), rng)
+
+    # Join: for each target, count matching released rows.
+    reidentified = false_match = ambiguous = unmatched = 0
+    # Hash released projections for O(1) lookups.
+    buckets: dict[tuple[int, ...], list[int]] = {}
+    for row_index, row in enumerate(table):
+        buckets.setdefault(tuple(int(v) for v in row), []).append(row_index)
+    for target, known in zip(targets.tolist(), knowledge):
+        matches = buckets.get(tuple(int(v) for v in known), [])
+        if not matches:
+            unmatched += 1
+        elif len(matches) > 1:
+            ambiguous += 1
+        elif matches[0] == target:
+            reidentified += 1
+        else:
+            false_match += 1
+    return LinkageAttackResult(
+        attributes=attrs,
+        n_targets=int(targets.size),
+        n_reidentified=reidentified,
+        n_false_match=false_match,
+        n_ambiguous=ambiguous,
+        n_unmatched=unmatched,
+        noise=float(noise),
+    )
+
+
+def _corrupt_knowledge(
+    knowledge: np.ndarray,
+    table: np.ndarray,
+    noise: float,
+    rng: np.random.Generator,
+) -> None:
+    """Flip each knowledge cell with probability ``noise`` (in place).
+
+    A corrupted cell is replaced by a uniformly random *different* code
+    drawn from the column's observed values; a column with a single
+    observed value cannot be corrupted and is left alone.
+    """
+    n_rows, n_cols = knowledge.shape
+    flip = rng.random(size=knowledge.shape) < noise
+    for col in range(n_cols):
+        values = np.unique(table[:, col])
+        if values.size < 2:
+            continue
+        rows = np.flatnonzero(flip[:, col])
+        for row in rows:
+            current = knowledge[row, col]
+            replacement = current
+            while replacement == current:
+                replacement = values[rng.integers(0, values.size)]
+            knowledge[row, col] = replacement
+
+
+def attack_success_by_noise(
+    released: Dataset,
+    attributes: AttributesLike,
+    *,
+    noise_levels: Sequence[float] = (0.0, 0.01, 0.05, 0.1, 0.2),
+    n_targets: int | None = None,
+    seed: SeedLike = None,
+) -> list[LinkageAttackResult]:
+    """Sweep the attack over increasing knowledge-noise levels.
+
+    Returns one :class:`LinkageAttackResult` per level, with decorrelated
+    randomness per level but full reproducibility from ``seed``.
+    """
+    from repro.sampling.rng import spawn_rngs
+
+    rngs = spawn_rngs(seed, len(list(noise_levels)))
+    return [
+        simulate_linking_attack(
+            released,
+            attributes,
+            n_targets=n_targets,
+            noise=level,
+            seed=rng,
+        )
+        for level, rng in zip(noise_levels, rngs)
+    ]

@@ -1,0 +1,226 @@
+"""Disclosure-risk metrics over candidate quasi-identifiers.
+
+All metrics derive from the equivalence classes a quasi-identifier ``Q``
+induces on the released table — the cliques of the paper's auxiliary graph
+``G_Q``.  Conventions follow the ARX anonymization toolkit and the classic
+disclosure-risk literature:
+
+* **prosecutor model** — the adversary knows the target *is* in the table;
+  the risk of a record is ``1/|class|``, the table-level risk reported here
+  is the maximum (``1/k`` for a k-anonymous table);
+* **journalist model** — the adversary matches against a larger population
+  table; a record's risk is ``1/|population class|``;
+* **marketer model** — the adversary wants to re-identify *many* records,
+  not one: expected fraction of successful matches, ``(#classes)/n``.
+
+``l``-diversity adds a sensitive attribute: every class should contain at
+least ``l`` distinct sensitive values, otherwise membership alone leaks the
+value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.core.separation import clique_sizes, group_labels
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+
+#: Attribute specification: indices, names, or a mixture.
+AttributesLike = Iterable[Union[int, str]]
+
+
+def _class_sizes(data: Dataset, quasi_identifier: AttributesLike) -> np.ndarray:
+    attrs = data.resolve_attributes(quasi_identifier)
+    if not attrs:
+        raise InvalidParameterError("quasi-identifier must be non-empty")
+    return clique_sizes(data, attrs)
+
+
+def prosecutor_risk(data: Dataset, quasi_identifier: AttributesLike) -> float:
+    """Maximum per-record re-identification probability, ``1/min class size``.
+
+    Equals ``1/k`` where ``k`` is the table's k-anonymity under the
+    quasi-identifier; 1.0 means some record is unique and fully exposed.
+    """
+    sizes = _class_sizes(data, quasi_identifier)
+    return 1.0 / float(sizes.min())
+
+
+def marketer_risk(data: Dataset, quasi_identifier: AttributesLike) -> float:
+    """Expected fraction of records an adversary re-identifies in bulk.
+
+    Matching every external record to a uniformly chosen member of its
+    class succeeds in expectation once per class: risk = ``#classes / n``.
+    """
+    sizes = _class_sizes(data, quasi_identifier)
+    return float(sizes.size) / float(data.n_rows)
+
+
+def journalist_risk(
+    sample: Dataset,
+    population: Dataset,
+    quasi_identifier: AttributesLike,
+) -> float:
+    """Maximum re-identification risk against a population table.
+
+    For each released (sample) record, the adversary's chance is one over
+    the size of the *population* class sharing its quasi-identifier values.
+    Both tables must share column layout (the released table is typically a
+    row subset of the population).
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        If the tables disagree on columns, or some released record has no
+        matching population class (then the sample cannot come from the
+        population).
+    """
+    if sample.column_names != population.column_names:
+        raise InvalidParameterError(
+            "sample and population must share column names"
+        )
+    attrs = sample.resolve_attributes(quasi_identifier)
+    if not attrs:
+        raise InvalidParameterError("quasi-identifier must be non-empty")
+    columns = list(attrs)
+    # Group the population, then look up each sample record's class size.
+    pop_labels = group_labels(population, attrs)
+    pop_sizes = np.bincount(pop_labels)
+    pop_keys = {
+        tuple(int(v) for v in row): int(pop_sizes[label])
+        for row, label in zip(population.codes[:, columns], pop_labels)
+    }
+    worst = 0.0
+    for row in sample.codes[:, columns]:
+        size = pop_keys.get(tuple(int(v) for v in row))
+        if size is None:
+            raise InvalidParameterError(
+                "a released record has no matching population class; "
+                "the sample is not drawn from this population"
+            )
+        worst = max(worst, 1.0 / size)
+    return worst
+
+
+def l_diversity(
+    data: Dataset,
+    quasi_identifier: AttributesLike,
+    sensitive: Union[int, str],
+) -> int:
+    """Minimum number of distinct sensitive values within any class.
+
+    A table is ``l``-diverse when this is at least ``l``; a value of 1
+    means some class is homogeneous and membership discloses the sensitive
+    attribute outright.
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        If the sensitive column is part of the quasi-identifier.
+    """
+    attrs = data.resolve_attributes(quasi_identifier)
+    if not attrs:
+        raise InvalidParameterError("quasi-identifier must be non-empty")
+    (sensitive_idx,) = data.resolve_attributes([sensitive])
+    if sensitive_idx in attrs:
+        raise InvalidParameterError(
+            "the sensitive attribute cannot be part of the quasi-identifier"
+        )
+    labels = group_labels(data, attrs)
+    sensitive_codes = data.codes[:, sensitive_idx]
+    combined = labels.astype(np.int64) * (int(sensitive_codes.max()) + 1) + (
+        sensitive_codes
+    )
+    # Distinct (class, sensitive) combinations, counted per class.
+    unique_pairs = np.unique(combined)
+    classes_of_pairs = unique_pairs // (int(sensitive_codes.max()) + 1)
+    diversity = np.bincount(classes_of_pairs.astype(np.int64))
+    return int(diversity[diversity > 0].min())
+
+
+@dataclass(frozen=True)
+class RiskReport:
+    """One-call summary of disclosure risk for a quasi-identifier.
+
+    Attributes
+    ----------
+    quasi_identifier:
+        Resolved attribute indices the report describes.
+    k_anonymity:
+        Smallest equivalence-class size.
+    uniqueness:
+        Fraction of records that are unique under the quasi-identifier.
+    prosecutor:
+        Maximum per-record risk (``1/k_anonymity``).
+    marketer:
+        Expected bulk re-identification rate (``#classes/n``).
+    l_diversity:
+        Minimum class diversity of the sensitive column, when one was given.
+    n_classes:
+        Number of equivalence classes.
+    """
+
+    quasi_identifier: tuple[int, ...]
+    k_anonymity: int
+    uniqueness: float
+    prosecutor: float
+    marketer: float
+    l_diversity: int | None
+    n_classes: int
+
+    def is_k_anonymous(self, k: int) -> bool:
+        """``True`` iff every class has at least ``k`` members."""
+        return self.k_anonymity >= k
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable rendering, one metric per line."""
+        lines = [
+            f"quasi-identifier: {list(self.quasi_identifier)}",
+            f"k-anonymity:      {self.k_anonymity}",
+            f"uniqueness:       {self.uniqueness:.3f}",
+            f"prosecutor risk:  {self.prosecutor:.3f}",
+            f"marketer risk:    {self.marketer:.3f}",
+            f"classes:          {self.n_classes}",
+        ]
+        if self.l_diversity is not None:
+            lines.append(f"l-diversity:      {self.l_diversity}")
+        return lines
+
+
+def assess_risk(
+    data: Dataset,
+    quasi_identifier: AttributesLike,
+    *,
+    sensitive: Union[int, str, None] = None,
+) -> RiskReport:
+    """Compute every table-level risk metric for one quasi-identifier.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({
+    ...     "zip": [92101, 92101, 92102, 92102],
+    ...     "age": [34, 34, 34, 34],
+    ...     "diagnosis": ["flu", "flu", "cold", "flu"],
+    ... })
+    >>> report = assess_risk(data, ["zip", "age"], sensitive="diagnosis")
+    >>> report.k_anonymity, report.l_diversity
+    (2, 1)
+    """
+    attrs = data.resolve_attributes(quasi_identifier)
+    sizes = _class_sizes(data, attrs)
+    diversity = (
+        l_diversity(data, attrs, sensitive) if sensitive is not None else None
+    )
+    return RiskReport(
+        quasi_identifier=attrs,
+        k_anonymity=int(sizes.min()),
+        uniqueness=float(np.sum(sizes == 1)) / float(data.n_rows),
+        prosecutor=1.0 / float(sizes.min()),
+        marketer=float(sizes.size) / float(data.n_rows),
+        l_diversity=diversity,
+        n_classes=int(sizes.size),
+    )

@@ -1,0 +1,32 @@
+"""Sampling substrate: seeded RNGs, reservoir sampling, and pair sampling.
+
+The paper's algorithms are all *sampling-based sketches*: Algorithm 1 samples
+tuples without replacement, the Motwani–Xu baseline and the non-separation
+sketch of Theorem 2 sample pairs of tuples.  This subpackage provides those
+primitives both in offline form (random indices into an array) and in
+single-pass streaming form (reservoir samplers), so the filters can be built
+over data that only supports one sequential scan.
+"""
+
+from repro.sampling.pairs import (
+    sample_distinct_pairs,
+    sample_pair_indices,
+    unrank_pair,
+    rank_pair,
+)
+from repro.sampling.reservoir import PairReservoir, ReservoirSampler
+from repro.sampling.rng import ensure_rng, spawn_rngs
+from repro.sampling.streams import iterate_rows, sample_rows_without_replacement
+
+__all__ = [
+    "PairReservoir",
+    "ReservoirSampler",
+    "ensure_rng",
+    "iterate_rows",
+    "rank_pair",
+    "sample_distinct_pairs",
+    "sample_pair_indices",
+    "sample_rows_without_replacement",
+    "spawn_rngs",
+    "unrank_pair",
+]

@@ -1,0 +1,117 @@
+"""Uniform sampling of pairs of distinct row indices.
+
+The Motwani–Xu filter and the non-separation sketch both sample *pairs of
+tuples* uniformly at random from the ``C(n, 2)`` unordered pairs.  For large
+``n`` it is essential not to materialize the pair universe; we instead use a
+combinatorial ranking/unranking bijection between ``[0, C(n, 2))`` and the
+pairs ``(i, j)`` with ``0 <= i < j < n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, pairs_count, validate_positive_int
+
+
+def rank_pair(i: int, j: int, n: int) -> int:
+    """Rank of the unordered pair ``{i, j}`` in the colexicographic order.
+
+    Pairs are ordered by their larger element first: ``{0,1}, {0,2}, {1,2},
+    {0,3}, ...`` so that ``rank({i, j}) = C(j, 2) + i`` for ``i < j``.  The
+    inverse is :func:`unrank_pair`.
+    """
+    if i == j:
+        raise InvalidParameterError("a pair must have two distinct elements")
+    if i > j:
+        i, j = j, i
+    if i < 0 or j >= n:
+        raise InvalidParameterError(f"pair ({i}, {j}) out of range for n={n}")
+    return j * (j - 1) // 2 + i
+
+
+def unrank_pair(rank: int, n: int) -> tuple[int, int]:
+    """Inverse of :func:`rank_pair`: map ``rank`` to the pair ``(i, j)``.
+
+    Uses the closed-form inverse of the triangular numbers: the larger
+    element is ``j = floor((1 + sqrt(1 + 8 rank)) / 2)``, corrected for
+    floating-point error, and ``i = rank - C(j, 2)``.
+    """
+    total = pairs_count(n)
+    if rank < 0 or rank >= total:
+        raise InvalidParameterError(f"rank {rank} out of range for n={n}")
+    j = int((1 + math.isqrt(1 + 8 * rank)) // 2)
+    # isqrt-based estimate can be off by one near triangular-number borders.
+    while j * (j - 1) // 2 > rank:
+        j -= 1
+    while (j + 1) * j // 2 <= rank:
+        j += 1
+    i = rank - j * (j - 1) // 2
+    return i, j
+
+
+def sample_pair_indices(
+    n: int, size: int, seed: SeedLike = None, *, with_replacement: bool = True
+) -> np.ndarray:
+    """Sample ``size`` uniform pairs of distinct indices from ``[0, n)``.
+
+    Returns an ``(size, 2)`` integer array whose rows are pairs ``(i, j)``
+    with ``i < j``.  Sampling is uniform over the ``C(n, 2)`` unordered
+    pairs.  With ``with_replacement=False`` the *pairs* are distinct (the
+    indices inside different pairs may still repeat), which requires
+    ``size <= C(n, 2)``.
+    """
+    validate_positive_int(n, name="n")
+    if n < 2:
+        raise InvalidParameterError("need at least two rows to sample a pair")
+    size = validate_positive_int(size, name="size")
+    universe = pairs_count(n)
+    rng = ensure_rng(seed)
+    if with_replacement:
+        ranks = rng.integers(0, universe, size=size)
+    else:
+        if size > universe:
+            raise InvalidParameterError(
+                f"cannot draw {size} distinct pairs from a universe of {universe}"
+            )
+        ranks = _sample_distinct_ranks(universe, size, rng)
+    pairs = np.empty((size, 2), dtype=np.int64)
+    for row, rank in enumerate(ranks):
+        i, j = unrank_pair(int(rank), n)
+        pairs[row, 0] = i
+        pairs[row, 1] = j
+    return pairs
+
+
+def sample_distinct_pairs(n: int, size: int, seed: SeedLike = None) -> np.ndarray:
+    """Convenience wrapper: distinct uniform pairs (no repeated pair)."""
+    return sample_pair_indices(n, size, seed, with_replacement=False)
+
+
+def _sample_distinct_ranks(
+    universe: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``size`` distinct integers from ``[0, universe)``.
+
+    For small universes this defers to a permutation; for huge universes
+    (``C(n, 2)`` can exceed 10^11) it uses rejection sampling with a hash
+    set, which is fast because ``size << universe`` in every intended use.
+    """
+    if universe <= 4 * size or universe <= 1_000_000:
+        return rng.choice(universe, size=size, replace=False)
+    seen: set[int] = set()
+    out = np.empty(size, dtype=np.int64)
+    filled = 0
+    while filled < size:
+        batch = rng.integers(0, universe, size=size - filled)
+        for value in batch:
+            value_int = int(value)
+            if value_int not in seen:
+                seen.add(value_int)
+                out[filled] = value_int
+                filled += 1
+    return out

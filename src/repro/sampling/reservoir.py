@@ -1,0 +1,188 @@
+"""Single-pass reservoir samplers.
+
+The paper notes that "sampling pairs of tuples can easily be implemented in
+the streaming model and the space would be proportional to the number of
+samples".  Two primitives make that concrete:
+
+* :class:`ReservoirSampler` maintains a uniform random ``k``-subset of the
+  stream seen so far (classic Algorithm R with the standard proof that every
+  ``k``-subset is equally likely).  Algorithm 1 needs exactly this: a uniform
+  sample of ``Θ(m/√ε)`` tuples *without replacement*.
+* :class:`PairReservoir` maintains ``s`` independent uniform random *pairs*
+  of distinct stream elements.  A uniformly random 2-subset is exactly a
+  uniformly random unordered pair, so each slot is an independent size-2
+  reservoir.  This is what the Motwani–Xu baseline and the Theorem 2 sketch
+  need in one pass.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Generic, Iterable, Iterator, TypeVar
+
+import numpy as np
+
+from repro.exceptions import EmptySampleError, InvalidParameterError
+from repro.sampling.rng import ensure_rng, spawn_rngs
+from repro.types import SeedLike, validate_positive_int
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Uniform random ``capacity``-subset of a stream (Algorithm R).
+
+    After ``feed``-ing the whole stream, :attr:`sample` is a uniformly random
+    subset of size ``min(capacity, stream length)`` drawn without
+    replacement.
+
+    Examples
+    --------
+    >>> sampler = ReservoirSampler(capacity=3, seed=0)
+    >>> sampler.extend(range(100))
+    >>> sorted(sampler.sample)  # doctest: +SKIP
+    [12, 59, 83]
+    """
+
+    def __init__(self, capacity: int, seed: SeedLike = None) -> None:
+        self.capacity = validate_positive_int(capacity, name="capacity")
+        self._rng = ensure_rng(seed)
+        self._items: list[T] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements observed so far."""
+        return self._seen
+
+    @property
+    def sample(self) -> list[T]:
+        """The current reservoir contents (a copy, in arbitrary order)."""
+        return list(self._items)
+
+    def feed(self, item: T) -> None:
+        """Observe one stream element."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        # Replace a uniformly random reservoir slot with probability k/seen.
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Observe every element of ``items`` in order."""
+        for item in items:
+            self.feed(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.sample)
+
+
+class PairReservoir(Generic[T]):
+    """Maintain ``n_pairs`` independent uniform pairs of distinct elements.
+
+    Each slot runs an independent size-2 reservoir over the same stream; a
+    uniformly random 2-subset of the stream is a uniformly random unordered
+    pair of distinct elements, so after the pass each slot holds one uniform
+    pair, independently across slots (pairs may repeat across slots, matching
+    with-replacement pair sampling).
+
+    Implementation note: naively updating every slot per element costs
+    ``O(n_pairs)`` per element — hopeless for thousands of slots over a
+    million-element stream.  Each slot instead uses Li's "Algorithm L"
+    geometric skipping (each acceptance index is sampled directly), and a
+    min-heap over the slots' next acceptance indices makes the per-element
+    cost ``O(1)`` plus ``O(log n_pairs)`` per actual replacement; total
+    replacements are ``≈ 2·n_pairs·ln(stream length)``.
+    """
+
+    def __init__(self, n_pairs: int, seed: SeedLike = None) -> None:
+        self.n_pairs = validate_positive_int(n_pairs, name="n_pairs")
+        self._rngs = spawn_rngs(seed, n_pairs)
+        self._items: list[list[T]] = [[] for _ in range(n_pairs)]
+        # Algorithm L state per slot: w, and the heap of next-accept indices.
+        self._w = [0.0] * n_pairs
+        self._heap: list[tuple[int, int]] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements observed so far."""
+        return self._seen
+
+    def _advance(self, slot: int) -> int:
+        """Sample the slot's next acceptance index (Algorithm L skip).
+
+        Called with ``self._seen == current_index + 1``, so the next
+        acceptance lands at ``current_index + skip + 1 == _seen + skip``.
+        """
+        rng = self._rngs[slot]
+        # random() can in principle return exactly 0.0; nudge to avoid log(0).
+        skip = math.floor(
+            math.log(rng.random() or 5e-324) / math.log1p(-self._w[slot])
+        )
+        self._w[slot] *= math.exp(math.log(rng.random() or 5e-324) / 2.0)
+        return self._seen + skip
+
+    def feed(self, item: T) -> None:
+        """Observe one stream element (O(1) unless some slot accepts it)."""
+        index = self._seen
+        self._seen += 1
+        if index < 2:
+            # Fill phase: every slot takes the first two elements.
+            for slot in range(self.n_pairs):
+                self._items[slot].append(item)
+            if index == 1:
+                for slot in range(self.n_pairs):
+                    rng = self._rngs[slot]
+                    self._w[slot] = math.exp(
+                        math.log(rng.random() or 5e-324) / 2.0
+                    )
+                    heapq.heappush(self._heap, (self._advance(slot), slot))
+            return
+        while self._heap and self._heap[0][0] == index:
+            _, slot = heapq.heappop(self._heap)
+            rng = self._rngs[slot]
+            self._items[slot][int(rng.integers(0, 2))] = item
+            heapq.heappush(self._heap, (self._advance(slot), slot))
+
+    def extend(self, items: Iterable[T]) -> None:
+        """Observe every element of ``items`` in order."""
+        for item in items:
+            self.feed(item)
+
+    def pairs(self) -> list[tuple[T, T]]:
+        """Return the sampled pairs.
+
+        Raises
+        ------
+        repro.exceptions.EmptySampleError
+            If fewer than two elements have been observed, in which case no
+            pair exists.
+        """
+        if self._seen < 2:
+            raise EmptySampleError(
+                "need at least two stream elements to form a pair"
+            )
+        return [(items[0], items[1]) for items in self._items]
+
+
+def reservoir_sample_indices(
+    n_stream: int, capacity: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Run a reservoir over the index stream ``0..n_stream-1`` (for tests).
+
+    This mirrors what :class:`ReservoirSampler` does but returns a sorted
+    NumPy index array, convenient for slicing code matrices.
+    """
+    if n_stream <= 0:
+        raise InvalidParameterError(f"n_stream must be positive; got {n_stream}")
+    sampler: ReservoirSampler[int] = ReservoirSampler(capacity, seed)
+    sampler.extend(range(n_stream))
+    return np.array(sorted(sampler.sample), dtype=np.int64)

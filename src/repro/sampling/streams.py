@@ -1,0 +1,43 @@
+"""Row-stream helpers bridging array-backed data sets and reservoir samplers.
+
+These utilities keep the offline and streaming code paths behaviourally
+identical: ``sample_rows_without_replacement`` is the offline equivalent of
+feeding :class:`repro.sampling.reservoir.ReservoirSampler` with
+:func:`iterate_rows`, and the test suite checks that both induce the uniform
+distribution over row subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import CodeMatrix, SeedLike
+
+
+def iterate_rows(codes: CodeMatrix) -> Iterator[np.ndarray]:
+    """Yield the rows of a code matrix one at a time (a simulated stream)."""
+    for row in codes:
+        yield row
+
+
+def sample_rows_without_replacement(
+    n_rows: int, size: int, seed: SeedLike = None
+) -> np.ndarray:
+    """Return ``size`` distinct row indices drawn uniformly at random.
+
+    When ``size >= n_rows`` every index is returned (the sample degenerates
+    to the full data set, which only strengthens the filters' guarantees and
+    matches how the paper treats small inputs).
+    """
+    if n_rows <= 0:
+        raise InvalidParameterError(f"n_rows must be positive; got {n_rows}")
+    if size <= 0:
+        raise InvalidParameterError(f"size must be positive; got {size}")
+    rng = ensure_rng(seed)
+    if size >= n_rows:
+        return np.arange(n_rows, dtype=np.int64)
+    return np.sort(rng.choice(n_rows, size=size, replace=False)).astype(np.int64)

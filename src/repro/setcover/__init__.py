@@ -1,0 +1,48 @@
+"""Set cover substrate.
+
+Motwani and Xu reduce minimum-key discovery to minimum set cover: the ground
+set is a collection of tuple pairs and each attribute covers the pairs it
+separates.  This package provides the machinery for that reduction:
+
+* :mod:`repro.setcover.instance` — an explicit boolean-matrix instance model;
+* :mod:`repro.setcover.greedy` — the classic greedy ``(ln N + 1)``
+  approximation (the paper's Algorithm 2);
+* :mod:`repro.setcover.exact` — branch-and-bound exact minimum cover (the
+  ``γ = 1`` brute-force option);
+* :mod:`repro.setcover.partition_greedy` — the Appendix B specialization of
+  greedy to separation instances over ``C(R, 2)``, which never materializes
+  the quadratic ground set: it maintains the disjoint cliques of ``G_A`` and
+  refines them with a per-column lookup table (Algorithm 3), giving the
+  ``O(m³/√ε)`` total running time of Proposition 1;
+* :mod:`repro.setcover.weighted` — Chvátal's cost-aware greedy, used by the
+  adversary cost model of :mod:`repro.privacy.cost`.
+"""
+
+from repro.setcover.exact import exact_min_cover
+from repro.setcover.greedy import GreedyStep, greedy_set_cover
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.partition_greedy import (
+    PartitionGreedyResult,
+    PartitionState,
+    greedy_separation_cover,
+    refinement_gain,
+)
+from repro.setcover.weighted import (
+    WeightedGreedyStep,
+    cover_cost,
+    weighted_greedy_set_cover,
+)
+
+__all__ = [
+    "GreedyStep",
+    "PartitionGreedyResult",
+    "PartitionState",
+    "SetCoverInstance",
+    "WeightedGreedyStep",
+    "cover_cost",
+    "exact_min_cover",
+    "greedy_separation_cover",
+    "greedy_set_cover",
+    "refinement_gain",
+    "weighted_greedy_set_cover",
+]

@@ -1,0 +1,98 @@
+"""Explicit set cover instances as boolean membership matrices.
+
+An instance has ``n_elements`` ground-set elements and ``n_sets`` candidate
+sets; ``membership[e, s]`` says element ``e`` belongs to set ``s``.  This
+dense representation is the right trade-off for the paper's use: the ground
+set is a pair sample of size ``Θ(m/ε)`` and there are exactly ``m`` sets, so
+the matrix is exactly the "which pair differs in which coordinate" table the
+Motwani–Xu reduction builds anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetShapeError, InvalidParameterError
+
+
+class SetCoverInstance:
+    """An immutable set cover instance over a boolean membership matrix."""
+
+    __slots__ = ("_membership",)
+
+    def __init__(self, membership: np.ndarray) -> None:
+        matrix = np.ascontiguousarray(membership, dtype=bool)
+        if matrix.ndim != 2:
+            raise DatasetShapeError(
+                f"membership must be 2-D (elements × sets); got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise DatasetShapeError("instance needs at least one element and one set")
+        matrix.setflags(write=False)
+        self._membership = matrix
+
+    @classmethod
+    def from_sets(
+        cls, n_elements: int, sets: Sequence[Iterable[int]]
+    ) -> "SetCoverInstance":
+        """Build from explicit element lists, one per set."""
+        if n_elements <= 0:
+            raise InvalidParameterError("n_elements must be positive")
+        if not sets:
+            raise InvalidParameterError("need at least one set")
+        matrix = np.zeros((n_elements, len(sets)), dtype=bool)
+        for set_index, elements in enumerate(sets):
+            for element in elements:
+                if element < 0 or element >= n_elements:
+                    raise InvalidParameterError(
+                        f"element {element} out of range for {n_elements}"
+                    )
+                matrix[element, set_index] = True
+        return cls(matrix)
+
+    @property
+    def membership(self) -> np.ndarray:
+        """The read-only ``(n_elements, n_sets)`` membership matrix."""
+        return self._membership
+
+    @property
+    def n_elements(self) -> int:
+        """Ground set size ``N``."""
+        return self._membership.shape[0]
+
+    @property
+    def n_sets(self) -> int:
+        """Number of candidate sets ``M``."""
+        return self._membership.shape[1]
+
+    def set_elements(self, set_index: int) -> np.ndarray:
+        """Indices of the elements contained in set ``set_index``."""
+        if set_index < 0 or set_index >= self.n_sets:
+            raise InvalidParameterError(f"set index {set_index} out of range")
+        return np.flatnonzero(self._membership[:, set_index])
+
+    def is_feasible(self) -> bool:
+        """``True`` iff every element belongs to at least one set."""
+        return bool(self._membership.any(axis=1).all())
+
+    def uncovered_elements(self, selection: Iterable[int]) -> np.ndarray:
+        """Elements not covered by the union of the selected sets."""
+        chosen = sorted(set(int(s) for s in selection))
+        for s in chosen:
+            if s < 0 or s >= self.n_sets:
+                raise InvalidParameterError(f"set index {s} out of range")
+        if not chosen:
+            return np.arange(self.n_elements)
+        covered = self._membership[:, chosen].any(axis=1)
+        return np.flatnonzero(~covered)
+
+    def covers(self, selection: Iterable[int]) -> bool:
+        """``True`` iff the selected sets cover every element."""
+        return self.uncovered_elements(selection).size == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SetCoverInstance(n_elements={self.n_elements}, n_sets={self.n_sets})"
+        )

@@ -1,0 +1,232 @@
+"""Partition-refinement greedy set cover over ``C(R, 2)`` (Appendix B).
+
+The naive greedy on the tuple-sample reduction would materialize the ground
+set ``C(R, 2)`` — quadratic in the sample.  Appendix B avoids that: the
+pairs *not yet separated* by the current attribute set ``A`` are exactly the
+within-clique pairs of the auxiliary graph ``G_A``, so the algorithm only
+maintains the disjoint cliques and, for each candidate coordinate ``k``,
+computes how many new pairs adding ``k`` would separate:
+
+``g_k = ½·Σ_i (|C_i|² − Σ_a |D_a^{(i)}|²)``
+
+where refining clique ``C_i`` by coordinate ``k`` splits it into the
+``D_a^{(i)}``.  With the precomputed lookup table ``P[j, k]`` (the dense
+per-column code of sample row ``j``, Algorithm 3) each refinement is a
+single ``O(|R|)`` bucketing pass, giving ``O(m²·|R|)`` total greedy time —
+``O(m³/√ε)`` at the Theorem 1 sample size, the Proposition 1 bound.
+
+The implementation represents the clique partition as a dense label array
+and performs each bucketing pass with one vectorized ``bincount``; this is
+the NumPy realization of Algorithm 3's array-of-lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.encoding import recompact_codes
+from repro.exceptions import (
+    EmptySampleError,
+    InfeasibleInstanceError,
+    InvalidParameterError,
+)
+from repro.types import pairs_count
+
+
+def _within_pairs(label_counts: np.ndarray) -> int:
+    """Number of unordered pairs inside the groups of a partition."""
+    counts = label_counts.astype(np.int64)
+    return int(((counts * (counts - 1)) // 2).sum())
+
+
+class PartitionState:
+    """The evolving clique partition of the sample during greedy.
+
+    Attributes
+    ----------
+    labels:
+        Dense clique id per sample row; rows share a label iff the current
+        attribute set fails to separate them.
+    n_cliques:
+        Number of cliques (``labels.max() + 1``).
+    """
+
+    def __init__(self, n_rows: int) -> None:
+        if n_rows < 1:
+            raise EmptySampleError("partition needs at least one row")
+        self.labels = np.zeros(n_rows, dtype=np.int64)
+        self.n_cliques = 1
+
+    @property
+    def n_rows(self) -> int:
+        """Number of sample rows being partitioned."""
+        return self.labels.size
+
+    def unseparated_pairs(self) -> int:
+        """Pairs currently unseparated = within-clique pairs."""
+        return _within_pairs(np.bincount(self.labels))
+
+    def refine_labels(self, column_codes: np.ndarray) -> np.ndarray:
+        """Labels after refining by a column (without committing)."""
+        max_code = int(column_codes.max()) + 1
+        combined = self.labels * max_code + column_codes
+        _, new_labels = np.unique(combined, return_inverse=True)
+        return new_labels.astype(np.int64)
+
+    def unseparated_after(self, column_codes: np.ndarray) -> int:
+        """Within-clique pairs left if the column were added (not committed)."""
+        max_code = int(column_codes.max()) + 1
+        combined = self.labels * max_code + column_codes
+        _, counts = np.unique(combined, return_counts=True)
+        return _within_pairs(counts)
+
+    def gain(self, column_codes: np.ndarray) -> int:
+        """``g_k``: newly separated pairs if the column were added.
+
+        Computed as (within-pairs before) − (within-pairs after); the after
+        term comes from one group-by over combined labels, realizing the
+        ``½·Σ(|C_i|² − Σ|D_a|²)`` formula without enumerating pairs.
+        """
+        return self.unseparated_pairs() - self.unseparated_after(column_codes)
+
+    def commit(self, column_codes: np.ndarray) -> None:
+        """Refine the partition by a column in place."""
+        self.labels = self.refine_labels(column_codes)
+        self.n_cliques = int(self.labels.max()) + 1
+
+    def is_fully_separated(self) -> bool:
+        """``True`` iff every clique is a singleton."""
+        return self.n_cliques == self.n_rows
+
+
+@dataclass
+class PartitionGreedyResult:
+    """Outcome of the partition-refinement greedy.
+
+    Attributes
+    ----------
+    attributes:
+        Selected coordinates in pick order.
+    gains:
+        Newly separated sample pairs per pick (parallel to ``attributes``).
+    unseparated_remaining:
+        Sample pairs still unseparated when greedy stopped (0 unless the
+        sample holds duplicate rows or a target ratio was used).
+    sample_pairs:
+        ``C(|R|, 2)``, the ground-set size.
+    """
+
+    attributes: list[int]
+    gains: list[int]
+    unseparated_remaining: int
+    sample_pairs: int
+    trace: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def key_size(self) -> int:
+        """Number of selected attributes ``|A|``."""
+        return len(self.attributes)
+
+    def separation_ratio(self) -> float:
+        """Fraction of sample pairs separated by the selected attributes."""
+        if self.sample_pairs == 0:
+            return 1.0
+        return 1.0 - self.unseparated_remaining / self.sample_pairs
+
+
+def greedy_separation_cover(
+    sample_codes: np.ndarray,
+    *,
+    target_ratio: float = 1.0,
+    allow_duplicates: bool = False,
+) -> PartitionGreedyResult:
+    """Greedy minimum-key over the implicit ground set ``C(R, 2)``.
+
+    Parameters
+    ----------
+    sample_codes:
+        ``(r, m)`` integer matrix — the sampled tuples ``R``.
+    target_ratio:
+        Stop once at least this fraction of the sample pairs is separated
+        (1.0 = full separation, the set cover of Appendix B; values below 1
+        give the relaxed quasi-identifier variant directly on the sample).
+    allow_duplicates:
+        Duplicate sample rows can never be separated.  With the default
+        ``False`` their presence (when ``target_ratio == 1``) raises
+        :class:`~repro.exceptions.InfeasibleInstanceError`; with ``True``
+        greedy stops at the best achievable separation.
+
+    Returns
+    -------
+    PartitionGreedyResult
+        Selected attributes with per-step gains and the residual count.
+    """
+    codes = np.ascontiguousarray(sample_codes, dtype=np.int64)
+    if codes.ndim != 2:
+        raise InvalidParameterError(
+            f"sample must be a 2-D code matrix; got shape {codes.shape}"
+        )
+    n_rows, n_columns = codes.shape
+    if n_rows == 0 or n_columns == 0:
+        raise EmptySampleError("sample must be non-empty")
+    if not 0.0 < target_ratio <= 1.0:
+        raise InvalidParameterError(
+            f"target_ratio must be in (0, 1]; got {target_ratio}"
+        )
+    # Algorithm 3's lookup table P: dense per-column codes of the sample.
+    table = recompact_codes(codes)
+    total_pairs = pairs_count(n_rows)
+    state = PartitionState(n_rows)
+    allowed_unseparated = int((1.0 - target_ratio) * total_pairs)
+
+    attributes: list[int] = []
+    gains: list[int] = []
+    trace: list[tuple[int, int]] = []
+    remaining_columns = set(range(n_columns))
+    current_unseparated = total_pairs
+
+    while current_unseparated > allowed_unseparated:
+        best_column = -1
+        best_gain = 0
+        for column in sorted(remaining_columns):
+            gain = current_unseparated - state.unseparated_after(table[:, column])
+            if gain > best_gain:
+                best_gain = gain
+                best_column = column
+        if best_column < 0:
+            # No column separates anything more: duplicates in the sample.
+            if allow_duplicates or target_ratio < 1.0:
+                break
+            raise InfeasibleInstanceError(
+                f"sample contains duplicate rows; {current_unseparated} pair(s) "
+                "cannot be separated (pass allow_duplicates=True to stop early)"
+            )
+        state.commit(table[:, best_column])
+        remaining_columns.discard(best_column)
+        attributes.append(best_column)
+        gains.append(best_gain)
+        current_unseparated -= best_gain
+        trace.append((best_column, current_unseparated))
+
+    return PartitionGreedyResult(
+        attributes=attributes,
+        gains=gains,
+        unseparated_remaining=current_unseparated,
+        sample_pairs=total_pairs,
+        trace=trace,
+    )
+
+
+def refinement_gain(labels: np.ndarray, column_codes: np.ndarray) -> int:
+    """Stand-alone gain computation (used by tests against a naive count)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    column_codes = np.asarray(column_codes, dtype=np.int64)
+    if labels.shape != column_codes.shape or labels.ndim != 1:
+        raise InvalidParameterError("labels and column codes must be 1-D and aligned")
+    before = _within_pairs(np.bincount(labels))
+    max_code = int(column_codes.max()) + 1
+    combined = labels * max_code + column_codes
+    _, counts = np.unique(combined, return_counts=True)
+    return before - _within_pairs(counts)

@@ -1,0 +1,128 @@
+"""Weighted greedy set cover — cost-aware variant of Algorithm 2.
+
+The classic greedy for weighted set cover picks, at every step, the set
+minimizing *price per newly covered element* (``cost / gain``).  Chvátal's
+analysis gives the same ``H_N ≤ ln N + 1`` approximation factor as the
+unweighted greedy, now against the cheapest cover.
+
+The library uses this for the adversary cost model of
+:mod:`repro.privacy.cost`: attributes have acquisition costs and the
+adversary wants the *cheapest* ε-separation key, which is exactly weighted
+set cover on the paper's sampled ground set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InfeasibleInstanceError, InvalidParameterError
+from repro.setcover.instance import SetCoverInstance
+
+
+@dataclass(frozen=True)
+class WeightedGreedyStep:
+    """One weighted-greedy iteration.
+
+    Attributes
+    ----------
+    set_index:
+        Which set was picked.
+    newly_covered:
+        Elements the pick covered for the first time.
+    price:
+        ``cost / newly_covered`` — the quantity the greedy minimizes.
+    remaining:
+        Uncovered elements left after the pick.
+    """
+
+    set_index: int
+    newly_covered: int
+    price: float
+    remaining: int
+
+
+def weighted_greedy_set_cover(
+    instance: SetCoverInstance,
+    costs: Sequence[float],
+) -> tuple[list[int], list[WeightedGreedyStep]]:
+    """Chvátal's greedy: repeatedly take the cheapest-per-element set.
+
+    Parameters
+    ----------
+    instance:
+        The set cover instance (elements × sets membership matrix).
+    costs:
+        Positive cost per set, aligned with the instance's set indexing.
+
+    Returns
+    -------
+    (selection, trace):
+        Selected set indices in pick order and the per-step accounting.
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        If costs are missing, misaligned, or non-positive.
+    repro.exceptions.InfeasibleInstanceError
+        If some element belongs to no set.
+
+    Examples
+    --------
+    >>> instance = SetCoverInstance.from_sets(4, [[0, 1, 2, 3], [0, 1], [2, 3]])
+    >>> selection, _ = weighted_greedy_set_cover(instance, [10.0, 1.0, 1.0])
+    >>> sorted(selection)  # two cheap halves beat the expensive whole
+    [1, 2]
+    """
+    cost_array = np.asarray(list(costs), dtype=np.float64)
+    if cost_array.ndim != 1 or cost_array.size != instance.n_sets:
+        raise InvalidParameterError(
+            f"need one cost per set ({instance.n_sets}); got shape "
+            f"{cost_array.shape}"
+        )
+    if not np.all(cost_array > 0):
+        raise InvalidParameterError("set costs must all be positive")
+    if not instance.is_feasible():
+        orphans = np.flatnonzero(~instance.membership.any(axis=1))
+        raise InfeasibleInstanceError(
+            f"{orphans.size} element(s) belong to no set "
+            f"(e.g. element {orphans[0]})"
+        )
+    membership = instance.membership
+    uncovered = np.ones(instance.n_elements, dtype=bool)
+    selection: list[int] = []
+    trace: list[WeightedGreedyStep] = []
+    while uncovered.any():
+        gains = membership[uncovered].sum(axis=0).astype(np.float64)
+        with np.errstate(divide="ignore"):
+            prices = np.where(gains > 0, cost_array / gains, np.inf)
+        best = int(np.argmin(prices))
+        if not np.isfinite(prices[best]):  # pragma: no cover - feasibility guard
+            raise InfeasibleInstanceError("no set covers the remaining elements")
+        gain = int(gains[best])
+        uncovered &= ~membership[:, best]
+        selection.append(best)
+        trace.append(
+            WeightedGreedyStep(
+                set_index=best,
+                newly_covered=gain,
+                price=float(prices[best]),
+                remaining=int(uncovered.sum()),
+            )
+        )
+    return selection, trace
+
+
+def cover_cost(selection: Sequence[int], costs: Sequence[float]) -> float:
+    """Total cost of a selection of set indices."""
+    cost_array = np.asarray(list(costs), dtype=np.float64)
+    total = 0.0
+    for index in selection:
+        if not 0 <= index < cost_array.size:
+            raise InvalidParameterError(
+                f"set index {index} out of range for {cost_array.size} sets"
+            )
+        total += float(cost_array[index])
+    return total

@@ -1,0 +1,45 @@
+"""General-purpose streaming sketches complementing the paper's sampler.
+
+The paper's Theorem 2 sketch answers non-separation queries for *every*
+small attribute set from one uniform pair sample.  The classical sketches
+here trade that "for all" power for much smaller space when the attribute
+set is **fixed before the stream**:
+
+* :mod:`repro.sketches.hashing` — seeded, salted value hashing shared by
+  every sketch (uniform floats, signs, bucket indices);
+* :mod:`repro.sketches.kmv` — bottom-k (KMV) distinct-value estimation:
+  per-column cardinalities for profiling without storing columns;
+* :mod:`repro.sketches.ams` — AMS tug-of-war second-moment estimation;
+  the bridge to the paper is the identity ``Γ_A = (F₂ − n) / 2`` where
+  ``F₂`` is the second frequency moment of the projection onto ``A``,
+  so a fixed-``A`` non-separation estimate costs polylog space;
+* :mod:`repro.sketches.countmin` — Count-Min frequency estimation with a
+  heavy-group tracker: find the big cliques of ``G_A`` (the structures
+  behind the paper's Lemma 4 lower-bound construction) in one pass.
+
+All sketches are mergeable (combine shards built with the same seed and
+shape) and deterministic given a seed.
+"""
+
+from repro.sketches.ams import AMSSketch, ams_unseparated_pairs
+from repro.sketches.countmin import (
+    CountMinSketch,
+    HeavyGroupTracker,
+    heavy_cliques,
+)
+from repro.sketches.hashing import HashFamily
+from repro.sketches.kmv import KMVSketch, estimate_column_cardinalities
+from repro.sketches.misra_gries import MisraGries, misra_gries_heavy_cliques
+
+__all__ = [
+    "AMSSketch",
+    "CountMinSketch",
+    "HashFamily",
+    "HeavyGroupTracker",
+    "KMVSketch",
+    "MisraGries",
+    "ams_unseparated_pairs",
+    "estimate_column_cardinalities",
+    "heavy_cliques",
+    "misra_gries_heavy_cliques",
+]

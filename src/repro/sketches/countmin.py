@@ -1,0 +1,228 @@
+"""Count-Min frequency sketch and a heavy-group tracker.
+
+Count-Min keeps ``depth`` rows of ``width`` counters; an item increments
+one counter per row and its frequency estimate is the *minimum* over rows
+— never an underestimate, and at most ``n/width`` too high per row with
+probability ½ (so the over-count shrinks geometrically in ``depth``).
+
+:class:`HeavyGroupTracker` applies it to the paper's structures: stream a
+table's projection onto a fixed attribute set ``A`` and surface the big
+cliques of ``G_A``.  Lemma 4's lower-bound construction is one planted
+clique of size ``√(2ε)·n`` among singletons — exactly the object a heavy
+-hitters pass finds, using ``O(1/φ)`` space instead of a full group-by.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.hashing import HashFamily
+from repro.types import AttributeSetLike, validate_positive_int
+
+
+class CountMinSketch:
+    """The Cormode–Muthukrishnan Count-Min sketch.
+
+    Parameters
+    ----------
+    width:
+        Counters per row (error ``≈ n/width`` additive).
+    depth:
+        Rows; over-count probability decays as ``2^{−depth}``-ish.
+    seed:
+        Hash-family seed.
+
+    Examples
+    --------
+    >>> sketch = CountMinSketch(width=64, depth=4, seed=0)
+    >>> for item in ["a"] * 10 + ["b"] * 3:
+    ...     sketch.update(item)
+    >>> sketch.query("a") >= 10  # never underestimates
+    True
+    >>> sketch.query("missing") <= 13
+    True
+    """
+
+    def __init__(self, *, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        self._width = validate_positive_int(width, name="width")
+        self._depth = validate_positive_int(depth, name="depth")
+        self._family = HashFamily(seed)
+        self._counters = np.zeros((self._depth, self._width), dtype=np.int64)
+        self._n_items = 0
+
+    @property
+    def width(self) -> int:
+        """Counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows."""
+        return self._depth
+
+    @property
+    def seed(self) -> int:
+        """The hash seed."""
+        return self._family.seed
+
+    @property
+    def n_items(self) -> int:
+        """Total stream length fed so far."""
+        return self._n_items
+
+    def _buckets(self, item: object) -> list[int]:
+        return [
+            self._family.bucket(row, item, self._width)
+            for row in range(self._depth)
+        ]
+
+    def update(self, item: object, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``item``."""
+        if count <= 0:
+            raise InvalidParameterError(f"count must be positive; got {count}")
+        for row, bucket in enumerate(self._buckets(item)):
+            self._counters[row, bucket] += count
+        self._n_items += count
+
+    def update_many(self, items: Iterable[object]) -> None:
+        """Feed an iterable of single occurrences."""
+        for item in items:
+            self.update(item)
+
+    def query(self, item: object) -> int:
+        """Frequency estimate: min over rows; never below the truth."""
+        return int(
+            min(
+                self._counters[row, bucket]
+                for row, bucket in enumerate(self._buckets(item))
+            )
+        )
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Add two same-shape, same-seed sketches.
+
+        Raises
+        ------
+        repro.exceptions.InvalidParameterError
+            On mismatched shape or seed.
+        """
+        if (
+            self._width != other._width
+            or self._depth != other._depth
+            or self.seed != other.seed
+        ):
+            raise InvalidParameterError(
+                "can only merge Count-Min sketches with identical shape and seed"
+            )
+        merged = CountMinSketch(
+            width=self._width, depth=self._depth, seed=self.seed
+        )
+        merged._counters = self._counters + other._counters
+        merged._n_items = self._n_items + other._n_items
+        return merged
+
+    def memory_values(self) -> int:
+        """Number of stored counters."""
+        return self._counters.size
+
+
+class HeavyGroupTracker:
+    """One-pass heavy-clique detection for a fixed attribute set.
+
+    Streams items (projections onto ``A``) through a Count-Min sketch and
+    maintains the current candidates whose estimated frequency is at least
+    ``φ·n``.  Because Count-Min never underestimates, every true heavy
+    group is reported (no false negatives); hash collisions may add a few
+    false positives, which callers can re-check exactly.
+
+    Parameters
+    ----------
+    phi:
+        Heaviness threshold as a fraction of the stream length, in (0, 1].
+    width, depth, seed:
+        Passed to the underlying :class:`CountMinSketch`.
+
+    Examples
+    --------
+    >>> tracker = HeavyGroupTracker(phi=0.4, width=256, seed=2)
+    >>> for item in ["big"] * 6 + ["a", "b", "c", "d"]:
+    ...     tracker.update(item)
+    >>> [group for group, _ in tracker.heavy_groups()]
+    ['big']
+    """
+
+    def __init__(
+        self,
+        phi: float,
+        *,
+        width: int = 1024,
+        depth: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 < float(phi) <= 1.0:
+            raise InvalidParameterError(f"phi must lie in (0, 1]; got {phi!r}")
+        self._phi = float(phi)
+        self._sketch = CountMinSketch(width=width, depth=depth, seed=seed)
+        self._candidates: dict[object, int] = {}
+
+    @property
+    def phi(self) -> float:
+        """Heaviness threshold (fraction of stream length)."""
+        return self._phi
+
+    @property
+    def n_items(self) -> int:
+        """Stream length seen so far."""
+        return self._sketch.n_items
+
+    def update(self, item: object) -> None:
+        """Feed one item; promote it to candidate if it became heavy."""
+        self._sketch.update(item)
+        estimate = self._sketch.query(item)
+        if estimate >= self._phi * self._sketch.n_items:
+            self._candidates[item] = estimate
+        # Re-threshold lazily: demote candidates that fell below phi as
+        # the stream grew.
+        threshold = self._phi * self._sketch.n_items
+        self._candidates = {
+            candidate: self._sketch.query(candidate)
+            for candidate in self._candidates
+            if self._sketch.query(candidate) >= threshold
+        }
+
+    def heavy_groups(self) -> list[tuple[object, int]]:
+        """Current heavy candidates as ``(item, estimated_count)``, sorted
+        by decreasing estimate."""
+        return sorted(
+            self._candidates.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
+
+
+def heavy_cliques(
+    data: Dataset,
+    attributes: AttributeSetLike,
+    phi: float,
+    *,
+    width: int = 1024,
+    depth: int = 4,
+    seed: int = 0,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Cliques of ``G_A`` holding at least a ``φ`` fraction of rows.
+
+    One pass over the table with :class:`HeavyGroupTracker`; returns
+    ``(projected_values, estimated_size)`` pairs.  On Lemma 4's
+    construction this surfaces the planted ``√(2ε)·n`` clique.
+    """
+    resolver = getattr(data, "resolve_attributes", None)
+    attrs = resolver(attributes) if resolver is not None else tuple(attributes)
+    if not attrs:
+        raise InvalidParameterError("attribute set must be non-empty")
+    tracker = HeavyGroupTracker(phi, width=width, depth=depth, seed=seed)
+    columns = list(attrs)
+    for row in data.codes[:, columns]:
+        tracker.update(tuple(int(v) for v in row))
+    return tracker.heavy_groups()

@@ -1,0 +1,76 @@
+"""Seeded value hashing shared by the streaming sketches.
+
+Python's builtin ``hash`` is salted per process (strings) and therefore
+useless for reproducible sketches; NumPy generators cannot hash *values*.
+:class:`HashFamily` derives any number of independent, deterministic hash
+functions from one integer seed using BLAKE2b with a per-function salt —
+the standard practical stand-in for the k-wise-independent families the
+sketch analyses assume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from repro.exceptions import InvalidParameterError
+
+_MAX_64 = 2**64
+
+
+class HashFamily:
+    """A family of deterministic hash functions ``h_0, h_1, ...``.
+
+    Parameters
+    ----------
+    seed:
+        Any integer; two families with the same seed are identical, two
+        with different seeds are (practically) independent.
+
+    Examples
+    --------
+    >>> family = HashFamily(seed=7)
+    >>> family.uniform(0, "alice") == family.uniform(0, "alice")
+    True
+    >>> 0.0 <= family.uniform(1, 42) < 1.0
+    True
+    >>> family.sign(0, "x") in (-1, 1)
+    True
+    """
+
+    __slots__ = ("_seed",)
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The family's seed (sketches must match seeds to merge)."""
+        return self._seed
+
+    def _digest(self, index: int, value: object) -> int:
+        """64-bit digest of ``value`` under function ``index``."""
+        if index < 0:
+            raise InvalidParameterError(
+                f"hash function index must be non-negative; got {index}"
+            )
+        payload = repr(value).encode("utf-8", errors="backslashreplace")
+        salt = struct.pack("<qq", self._seed, index)
+        digest = hashlib.blake2b(payload, digest_size=8, salt=salt[:16]).digest()
+        return struct.unpack("<Q", digest)[0]
+
+    def uniform(self, index: int, value: object) -> float:
+        """Hash ``value`` to a float in ``[0, 1)`` under function ``index``."""
+        return self._digest(index, value) / _MAX_64
+
+    def bucket(self, index: int, value: object, n_buckets: int) -> int:
+        """Hash ``value`` to ``{0, ..., n_buckets-1}``."""
+        if n_buckets <= 0:
+            raise InvalidParameterError(
+                f"n_buckets must be positive; got {n_buckets}"
+            )
+        return self._digest(index, value) % n_buckets
+
+    def sign(self, index: int, value: object) -> int:
+        """Hash ``value`` to ``±1`` (used by the AMS tug-of-war)."""
+        return 1 if self._digest(index, value) & 1 else -1

@@ -1,0 +1,151 @@
+"""KMV (bottom-k) distinct-value estimation.
+
+Hash every value to ``[0, 1)`` and keep the ``k`` smallest hashes seen.
+If ``d`` distinct values were hashed, the ``k``-th smallest hash sits near
+``k/d``, so ``d ≈ (k − 1) / h_(k)`` (the unbiased KMV estimator of
+Bar-Yossef et al.).  Standard error is about ``1/√k``.
+
+In this library KMV powers cheap column profiling: per-column
+cardinalities are the first-order signal for which attributes make strong
+quasi-identifier candidates (a column with ``d ≈ n`` distinct values
+separates almost everything by itself), and the sketch gets them in one
+pass over a stream without storing the columns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.hashing import HashFamily
+from repro.types import validate_positive_int
+
+
+class KMVSketch:
+    """Bottom-k distinct counter.
+
+    Parameters
+    ----------
+    k:
+        Number of minimal hashes retained; memory is ``O(k)`` and relative
+        error is about ``1/√k``.
+    seed:
+        Hash-family seed; sketches merge only when seeds match.
+
+    Examples
+    --------
+    >>> sketch = KMVSketch(k=64, seed=1)
+    >>> for value in range(50):
+    ...     sketch.update(value)
+    >>> sketch.estimate()  # fewer than k distinct -> exact
+    50.0
+    """
+
+    __slots__ = ("_k", "_family", "_heap", "_members")
+
+    def __init__(self, k: int, *, seed: int = 0) -> None:
+        self._k = validate_positive_int(k, name="k")
+        if self._k < 2:
+            raise InvalidParameterError("k must be at least 2 for estimation")
+        self._family = HashFamily(seed)
+        # Max-heap of the k smallest hashes (negated), with a set for
+        # O(1) duplicate checks.
+        self._heap: list[float] = []
+        self._members: set[float] = set()
+
+    @property
+    def k(self) -> int:
+        """Retained-minima budget."""
+        return self._k
+
+    @property
+    def seed(self) -> int:
+        """The hash seed (merge partner must match)."""
+        return self._family.seed
+
+    @property
+    def n_retained(self) -> int:
+        """How many hashes are currently held (≤ k)."""
+        return len(self._heap)
+
+    def update(self, value: object) -> None:
+        """Feed one value (duplicates are free by construction)."""
+        self._insert(self._family.uniform(0, value))
+
+    def update_many(self, values: Iterable[object]) -> None:
+        """Feed an iterable of values."""
+        for value in values:
+            self.update(value)
+
+    def _insert(self, hashed: float) -> None:
+        if hashed in self._members:
+            return
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, -hashed)
+            self._members.add(hashed)
+            return
+        largest = -self._heap[0]
+        if hashed < largest:
+            heapq.heapreplace(self._heap, -hashed)
+            self._members.discard(largest)
+            self._members.add(hashed)
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values fed so far.
+
+        Exact while fewer than ``k`` distinct values have been seen;
+        afterwards the ``(k − 1)/h_(k)`` KMV estimator.
+        """
+        if len(self._heap) < self._k:
+            return float(len(self._heap))
+        kth_smallest = -self._heap[0]
+        return (self._k - 1) / kth_smallest
+
+    def merge(self, other: "KMVSketch") -> "KMVSketch":
+        """Union two sketches built with the same ``k`` and seed.
+
+        The bottom-k of a union is computable from the two bottom-k sets,
+        so KMV sketches of shards combine losslessly.
+
+        Raises
+        ------
+        repro.exceptions.InvalidParameterError
+            On mismatched ``k`` or seed.
+        """
+        if self._k != other._k or self.seed != other.seed:
+            raise InvalidParameterError(
+                "can only merge KMV sketches with identical k and seed"
+            )
+        merged = KMVSketch(self._k, seed=self.seed)
+        for hashed in self._members | other._members:
+            merged._insert(hashed)
+        return merged
+
+    def memory_values(self) -> int:
+        """Stored hash count (the sketch's size, in values)."""
+        return len(self._heap)
+
+
+def estimate_column_cardinalities(
+    data: Dataset, *, k: int = 256, seed: int = 0
+) -> list[float]:
+    """One KMV estimate per column, in column order.
+
+    A drop-in approximate replacement for
+    :meth:`repro.data.dataset.Dataset.cardinalities` that streams the
+    table once per column and never materializes distinct-value sets.
+
+    Examples
+    --------
+    >>> data = Dataset.from_columns({"a": [1, 2, 1, 2], "b": [1, 1, 1, 1]})
+    >>> estimate_column_cardinalities(data, k=16)
+    [2.0, 1.0]
+    """
+    estimates: list[float] = []
+    for column in range(data.n_columns):
+        sketch = KMVSketch(k, seed=seed + column)
+        sketch.update_many(int(v) for v in data.codes[:, column])
+        estimates.append(sketch.estimate())
+    return estimates

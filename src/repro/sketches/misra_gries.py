@@ -1,0 +1,175 @@
+"""Misra–Gries deterministic heavy-hitter summary.
+
+The deterministic counterpart of the Count-Min tracker in
+:mod:`repro.sketches.countmin`: with ``capacity`` counters, every item
+whose true frequency exceeds ``n / (capacity + 1)`` is guaranteed to be
+present in the summary, and each reported count underestimates the truth
+by at most ``n / (capacity + 1)`` — no hashing, no failure probability.
+
+Trade-off against Count-Min: Misra–Gries *under*-counts (Count-Min
+over-counts), stores actual item identities (so candidates need no side
+tracking), and is exact on streams with at most ``capacity`` distinct
+items.  Merging two summaries (Agarwal et al.'s combine-and-decrement)
+keeps the same guarantee for the concatenated stream.
+
+Used in the same role as :class:`~repro.sketches.countmin.HeavyGroupTracker`:
+surface the large cliques of ``G_A`` — e.g. Lemma 4's planted clique —
+from one pass over a projection stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import AttributeSetLike, validate_positive_int
+
+
+class MisraGries:
+    """Bounded-memory frequency summary with deterministic guarantees.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of counters kept; the error bound is
+        ``n / (capacity + 1)``.
+
+    Examples
+    --------
+    >>> summary = MisraGries(capacity=2)
+    >>> summary.update_many(["a", "a", "a", "b", "c", "a"])
+    >>> summary.query("a") > 0  # the majority item always survives
+    True
+    >>> summary.guaranteed_heavy(phi=0.5)
+    ['a']
+    """
+
+    __slots__ = ("_capacity", "_counters", "_n_items")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = validate_positive_int(capacity, name="capacity")
+        self._counters: dict[object, int] = {}
+        self._n_items = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum counters retained."""
+        return self._capacity
+
+    @property
+    def n_items(self) -> int:
+        """Stream length seen so far."""
+        return self._n_items
+
+    @property
+    def error_bound(self) -> float:
+        """Maximum undercount of any reported frequency."""
+        return self._n_items / (self._capacity + 1)
+
+    def update(self, item: object) -> None:
+        """Feed one item (the classic increment / insert / decrement-all)."""
+        self._n_items += 1
+        if item in self._counters:
+            self._counters[item] += 1
+        elif len(self._counters) < self._capacity:
+            self._counters[item] = 1
+        else:
+            for key in list(self._counters):
+                self._counters[key] -= 1
+                if self._counters[key] == 0:
+                    del self._counters[key]
+
+    def update_many(self, items: Iterable[object]) -> None:
+        """Feed an iterable of items."""
+        for item in items:
+            self.update(item)
+
+    def query(self, item: object) -> int:
+        """Lower bound on ``item``'s frequency (0 when not tracked).
+
+        The truth lies in ``[query(item), query(item) + error_bound]``.
+        """
+        return self._counters.get(item, 0)
+
+    def candidates(self) -> list[tuple[object, int]]:
+        """All tracked items with their (under-)counts, heaviest first."""
+        return sorted(
+            self._counters.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
+
+    def guaranteed_heavy(self, phi: float) -> list[object]:
+        """Items *certain* to exceed a ``phi`` fraction of the stream.
+
+        Reports ``item`` iff ``query(item) > phi·n − error_bound`` is
+        provably above ``phi·n``... conservatively: iff the lower bound
+        alone already clears the threshold.  Every true ``phi``-heavy
+        item with frequency above ``phi·n + error_bound`` is reported;
+        nothing below ``phi·n`` ever is.
+        """
+        if not 0.0 < float(phi) <= 1.0:
+            raise InvalidParameterError(f"phi must lie in (0, 1]; got {phi!r}")
+        threshold = float(phi) * self._n_items
+        return [
+            item
+            for item, count in self.candidates()
+            if count > threshold - 1e-9 and count > 0
+        ]
+
+    def merge(self, other: "MisraGries") -> "MisraGries":
+        """Combine two summaries of disjoint stream shards.
+
+        Counts are added, then the summary is shrunk back to capacity by
+        subtracting the ``(capacity+1)``-th largest count from everything
+        (the Agarwal–Cormode–Huang mergeable-summaries rule), preserving
+        the ``n / (capacity + 1)`` guarantee for the union stream.
+        """
+        if self._capacity != other._capacity:
+            raise InvalidParameterError(
+                "can only merge Misra-Gries summaries of equal capacity"
+            )
+        merged = MisraGries(self._capacity)
+        merged._n_items = self._n_items + other._n_items
+        combined: dict[object, int] = dict(self._counters)
+        for item, count in other._counters.items():
+            combined[item] = combined.get(item, 0) + count
+        if len(combined) > self._capacity:
+            counts = sorted(combined.values(), reverse=True)
+            offset = counts[self._capacity]
+            combined = {
+                item: count - offset
+                for item, count in combined.items()
+                if count - offset > 0
+            }
+        merged._counters = combined
+        return merged
+
+
+def misra_gries_heavy_cliques(
+    data: Dataset,
+    attributes: AttributeSetLike,
+    phi: float,
+    *,
+    capacity: int | None = None,
+) -> list[object]:
+    """Deterministically find the φ-heavy cliques of ``G_A`` in one pass.
+
+    Uses ``capacity = ⌈2/φ⌉`` by default, which guarantees every clique
+    holding more than a ``φ`` fraction of rows is *tracked*; the reported
+    list applies the conservative certainty filter of
+    :meth:`MisraGries.guaranteed_heavy` with threshold ``φ/2`` (heavy
+    items undercount by at most ``φ·n/2`` at this capacity).
+    """
+    resolver = getattr(data, "resolve_attributes", None)
+    attrs = resolver(attributes) if resolver is not None else tuple(attributes)
+    if not attrs:
+        raise InvalidParameterError("attribute set must be non-empty")
+    if not 0.0 < float(phi) <= 1.0:
+        raise InvalidParameterError(f"phi must lie in (0, 1]; got {phi!r}")
+    if capacity is None:
+        capacity = max(1, int(2.0 / float(phi)))
+    summary = MisraGries(capacity)
+    columns = list(attrs)
+    for row in data.codes[:, columns]:
+        summary.update(tuple(int(v) for v in row))
+    return summary.guaranteed_heavy(float(phi) / 2.0)

@@ -1,0 +1,25 @@
+"""Streaming quasi-identifier monitoring.
+
+The paper points out its sampling algorithms are streaming-friendly (space
+proportional to the sample).  This package turns that observation into an
+operational tool: :class:`~repro.streaming.monitor.QuasiIdentifierMonitor`
+maintains Algorithm 1's tuple reservoir over a live row stream and, on a
+configurable cadence, re-mines the minimum ε-separation key and re-checks a
+watchlist of sensitive attribute bundles — continuous privacy auditing of
+an ingest pipeline in ``O(m²/√ε)`` memory.
+
+:class:`~repro.streaming.profile.StreamingProfile` complements the monitor
+with per-column sketches (KMV distinct counts, AMS ``Γ`` estimates,
+Misra–Gries heavy values) — approximate column profiling in one pass and
+constant memory, mergeable across stream shards.
+"""
+
+from repro.streaming.monitor import MonitorSnapshot, QuasiIdentifierMonitor
+from repro.streaming.profile import StreamingColumnProfile, StreamingProfile
+
+__all__ = [
+    "MonitorSnapshot",
+    "QuasiIdentifierMonitor",
+    "StreamingColumnProfile",
+    "StreamingProfile",
+]

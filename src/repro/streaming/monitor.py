@@ -1,0 +1,186 @@
+"""Continuous quasi-identifier monitoring over a row stream.
+
+:class:`QuasiIdentifierMonitor` consumes rows one at a time, keeps a
+uniform reservoir of ``Θ(m/√ε)`` tuples (Algorithm 1's sample), and every
+``refresh_every`` rows takes a :class:`MonitorSnapshot`:
+
+* the current approximate minimum ε-separation key of the stream so far
+  (partition-refinement greedy on the reservoir), and
+* accept/reject answers for a *watchlist* of attribute bundles (e.g. the
+  combinations a privacy policy forbids from being identifying).
+
+Because the reservoir is a uniform sample of everything seen so far, each
+snapshot carries the same Theorem 1 guarantee as an offline run over the
+stream prefix.
+
+Example
+-------
+>>> import numpy as np
+>>> monitor = QuasiIdentifierMonitor(
+...     n_columns=3, epsilon=0.05, watchlist=[(0, 1)], seed=0)
+>>> rng = np.random.default_rng(0)
+>>> for i in range(5_000):
+...     monitor.observe(np.array([rng.integers(0, 4), rng.integers(0, 4), i]))
+>>> snapshot = monitor.snapshot()
+>>> snapshot.watchlist_accepts[(0, 1)]
+False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.separation import has_duplicate_projection
+from repro.core.sample_sizes import tuple_sample_size
+from repro.data.dataset import Dataset
+from repro.exceptions import EmptySampleError, InvalidParameterError
+from repro.sampling.reservoir import ReservoirSampler
+from repro.setcover.partition_greedy import greedy_separation_cover
+from repro.types import (
+    AttributeSet,
+    SeedLike,
+    as_attribute_set,
+    validate_epsilon,
+    validate_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """One monitoring observation.
+
+    Attributes
+    ----------
+    rows_seen:
+        Stream position when the snapshot was taken.
+    min_key:
+        Approximate minimum ε-separation key of the stream prefix (greedy
+        on the reservoir), or ``None`` when the reservoir holds duplicate
+        rows that no attribute set separates.
+    min_key_size:
+        ``len(min_key)`` (0 when ``min_key`` is ``None``).
+    watchlist_accepts:
+        For each watched attribute set: ``True`` iff Algorithm 1 currently
+        accepts it (it separates the whole reservoir — an identifying
+        bundle the policy may need to react to).
+    reservoir_size:
+        Tuples currently stored.
+    """
+
+    rows_seen: int
+    min_key: tuple[int, ...] | None
+    min_key_size: int
+    watchlist_accepts: dict[AttributeSet, bool] = field(default_factory=dict)
+    reservoir_size: int = 0
+
+
+class QuasiIdentifierMonitor:
+    """Maintain quasi-identifier state over a stream (see module docs)."""
+
+    def __init__(
+        self,
+        n_columns: int,
+        epsilon: float,
+        *,
+        watchlist: list | None = None,
+        sample_size: int | None = None,
+        constant: float = 1.0,
+        refresh_every: int | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_columns = validate_positive_int(n_columns, name="n_columns")
+        self.epsilon = validate_epsilon(epsilon)
+        if sample_size is None:
+            sample_size = tuple_sample_size(n_columns, epsilon, constant=constant)
+        self.sample_size = validate_positive_int(sample_size, name="sample_size")
+        self.watchlist: list[AttributeSet] = [
+            as_attribute_set(entry, n_columns) for entry in (watchlist or [])
+        ]
+        for entry in self.watchlist:
+            if not entry:
+                raise InvalidParameterError("watchlist entries must be non-empty")
+        self.refresh_every = refresh_every
+        self._reservoir: ReservoirSampler[np.ndarray] = ReservoirSampler(
+            self.sample_size, seed
+        )
+        self._history: list[MonitorSnapshot] = []
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+
+    @property
+    def rows_seen(self) -> int:
+        """Stream elements observed so far."""
+        return self._reservoir.seen
+
+    @property
+    def history(self) -> list[MonitorSnapshot]:
+        """Snapshots taken automatically by the refresh cadence."""
+        return list(self._history)
+
+    def observe(self, row: np.ndarray) -> MonitorSnapshot | None:
+        """Consume one row; returns a snapshot when the cadence fires."""
+        array = np.asarray(row)
+        if array.shape != (self.n_columns,):
+            raise InvalidParameterError(
+                f"expected a row of {self.n_columns} values; got shape {array.shape}"
+            )
+        self._reservoir.feed(array)
+        if (
+            self.refresh_every is not None
+            and self.rows_seen % self.refresh_every == 0
+            and self.rows_seen >= 2
+        ):
+            snapshot = self.snapshot()
+            self._history.append(snapshot)
+            return snapshot
+        return None
+
+    def extend(self, rows) -> list[MonitorSnapshot]:
+        """Consume many rows; returns the snapshots the cadence produced."""
+        produced: list[MonitorSnapshot] = []
+        for row in rows:
+            snapshot = self.observe(row)
+            if snapshot is not None:
+                produced.append(snapshot)
+        return produced
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    def _sample_dataset(self) -> Dataset:
+        sample = self._reservoir.sample
+        if len(sample) < 2:
+            raise EmptySampleError("monitor needs at least two observed rows")
+        return Dataset(np.vstack(sample))
+
+    def snapshot(self) -> MonitorSnapshot:
+        """Mine the reservoir and evaluate the watchlist now."""
+        sample = self._sample_dataset()
+        cover = greedy_separation_cover(sample.codes, allow_duplicates=True)
+        if cover.unseparated_remaining == 0:
+            min_key: tuple[int, ...] | None = tuple(cover.attributes)
+        else:
+            min_key = None
+        accepts = {
+            entry: not has_duplicate_projection(sample, entry)
+            for entry in self.watchlist
+        }
+        return MonitorSnapshot(
+            rows_seen=self.rows_seen,
+            min_key=min_key,
+            min_key_size=len(min_key) if min_key else 0,
+            watchlist_accepts=accepts,
+            reservoir_size=sample.n_rows,
+        )
+
+    def accepts(self, attributes) -> bool:
+        """Algorithm 1's filter answer for an ad-hoc attribute set."""
+        attrs = as_attribute_set(attributes, self.n_columns)
+        if not attrs:
+            raise InvalidParameterError("attribute set must be non-empty")
+        return not has_duplicate_projection(self._sample_dataset(), attrs)

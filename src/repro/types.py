@@ -1,0 +1,181 @@
+"""Shared type aliases and protocols used across the :mod:`repro` package.
+
+The library speaks a small common vocabulary:
+
+* an *attribute set* is an immutable, sorted tuple of column indices;
+* a *code matrix* is an ``(n, m)`` NumPy array of non-negative integers in
+  which equal codes within a column mean equal original values (the
+  factorized representation produced by :mod:`repro.data.encoding`);
+* a *clique vector* is a 1-D array of positive integers listing the sizes of
+  the equivalence classes (cliques of the auxiliary graph ``G_A``) induced by
+  an attribute set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, Union, runtime_checkable
+
+import numpy as np
+
+#: An attribute (coordinate) index into the columns of a data set.
+Attribute = int
+
+#: Any iterable of attribute indices accepted at API boundaries.
+AttributeSetLike = Iterable[int]
+
+#: The canonical internal representation of an attribute set.
+AttributeSet = tuple[int, ...]
+
+#: Integer code matrix of shape ``(n_rows, n_columns)``.
+CodeMatrix = np.ndarray
+
+#: Sizes of the cliques (equivalence classes) induced by an attribute set.
+CliqueVector = np.ndarray
+
+#: Seed material accepted anywhere randomness is used.
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_attribute_set(attributes: AttributeSetLike, n_columns: int) -> AttributeSet:
+    """Normalize ``attributes`` to a sorted, duplicate-free tuple.
+
+    Parameters
+    ----------
+    attributes:
+        Any iterable of integer column indices.
+    n_columns:
+        Number of columns of the data set the attributes refer to; indices
+        must lie in ``[0, n_columns)``.
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        If any index is out of range.
+    """
+    from repro.exceptions import InvalidParameterError
+
+    unique = sorted(set(int(a) for a in attributes))
+    for a in unique:
+        if a < 0 or a >= n_columns:
+            raise InvalidParameterError(
+                f"attribute index {a} out of range for {n_columns} columns"
+            )
+    return tuple(unique)
+
+
+def resolve_mixed_attributes(
+    attributes: Iterable,
+    column_names: Sequence[str] | None,
+    n_columns: int,
+) -> AttributeSet:
+    """Normalize attributes given as indices and/or column names.
+
+    String entries are looked up in ``column_names`` (when available);
+    integer entries pass through.  Used by the filters and sketches so
+    queries can say ``["zip", "age"]`` exactly like ``Dataset`` methods do.
+    """
+    from repro.exceptions import InvalidParameterError
+
+    indices: list[int] = []
+    for attribute in attributes:
+        if isinstance(attribute, str):
+            if column_names is None:
+                raise InvalidParameterError(
+                    f"attribute {attribute!r} given by name but no column "
+                    "names are known"
+                )
+            try:
+                indices.append(column_names.index(attribute))
+            except ValueError:
+                raise InvalidParameterError(
+                    f"unknown column {attribute!r}; known: {list(column_names)}"
+                ) from None
+        else:
+            indices.append(int(attribute))
+    return as_attribute_set(indices, n_columns)
+
+
+@runtime_checkable
+class SeparationOracle(Protocol):
+    """Anything that can decide / count separation for attribute sets.
+
+    Both the exact data set (:class:`repro.data.dataset.Dataset` wrapped by
+    :mod:`repro.core.separation`) and the sampling-based filters implement
+    parts of this protocol; it exists so experiment harnesses can treat them
+    uniformly.
+    """
+
+    def is_separating(self, attributes: AttributeSetLike) -> bool:
+        """Return ``True`` if the attribute set separates all known pairs."""
+        ...
+
+
+@runtime_checkable
+class SupportsRows(Protocol):
+    """Minimal tabular interface: row count, column count, code access."""
+
+    @property
+    def n_rows(self) -> int: ...
+
+    @property
+    def n_columns(self) -> int: ...
+
+    @property
+    def codes(self) -> CodeMatrix: ...
+
+
+def validate_epsilon(epsilon: float, *, name: str = "epsilon") -> float:
+    """Validate a separation parameter ``epsilon`` in the open unit interval."""
+    from repro.exceptions import InvalidParameterError
+
+    eps = float(epsilon)
+    if not 0.0 < eps < 1.0:
+        raise InvalidParameterError(f"{name} must lie in (0, 1); got {epsilon!r}")
+    return eps
+
+
+def validate_probability(p: float, *, name: str = "delta") -> float:
+    """Validate a probability parameter in the open unit interval."""
+    from repro.exceptions import InvalidParameterError
+
+    value = float(p)
+    if not 0.0 < value < 1.0:
+        raise InvalidParameterError(f"{name} must lie in (0, 1); got {p!r}")
+    return value
+
+
+def validate_positive_int(value: int, *, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    from repro.exceptions import InvalidParameterError
+
+    result = int(value)
+    if result <= 0:
+        raise InvalidParameterError(f"{name} must be a positive integer; got {value!r}")
+    return result
+
+
+def validate_nonnegative_int(value: int, *, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it as ``int``."""
+    from repro.exceptions import InvalidParameterError
+
+    result = int(value)
+    if result < 0:
+        raise InvalidParameterError(
+            f"{name} must be a non-negative integer; got {value!r}"
+        )
+    return result
+
+
+def pairs_count(n: int) -> int:
+    """Return ``C(n, 2)`` as an exact Python integer (0 for ``n < 2``)."""
+    if n < 2:
+        return 0
+    return n * (n - 1) // 2
+
+
+def attribute_set_to_mask(attributes: Sequence[int], n_columns: int) -> np.ndarray:
+    """Return a boolean mask of length ``n_columns`` selecting ``attributes``."""
+    mask = np.zeros(n_columns, dtype=bool)
+    for a in attributes:
+        mask[a] = True
+    return mask

@@ -1,0 +1,22 @@
+"""Exact minimal unique-column-combination (UCC) discovery.
+
+Quasi-identifier discovery predates the sampling approaches: profiling
+tools (Metanome's DUCC/HyUCC family) enumerate the subset lattice and
+return *all minimal* unique column combinations exactly.  This subpackage
+implements that classic baseline — a levelwise Apriori traversal with
+minimality pruning — both for perfect uniqueness and for the paper's
+relaxed ε-separation notion, so benchmarks can chart exact-lattice cost
+against the paper's sampling bounds on the same inputs.
+"""
+
+from repro.ucc.lattice import (
+    UCCDiscoveryResult,
+    discover_minimal_epsilon_uccs,
+    discover_minimal_uccs,
+)
+
+__all__ = [
+    "UCCDiscoveryResult",
+    "discover_minimal_epsilon_uccs",
+    "discover_minimal_uccs",
+]

@@ -1,0 +1,164 @@
+"""Levelwise (Apriori-style) minimal UCC discovery over the subset lattice.
+
+An attribute set is a *UCC* (unique column combination) iff it is a key;
+the ε-relaxed variant uses ε-separation instead.  Both predicates are
+monotone — supersets of a UCC are UCCs — so the classic levelwise search
+applies:
+
+* level 1 holds all singletons;
+* a level-``ℓ`` candidate is *pruned* if it contains an already-found
+  minimal UCC (any hit at this level is automatically minimal);
+* surviving non-unique sets are joined pairwise (shared ``ℓ−1`` prefix,
+  the Apriori join) to form level ``ℓ+1`` candidates; a candidate is kept
+  only if all of its ``ℓ``-subsets were generated and non-unique.
+
+Every uniqueness check is one exact group-by (``O(n·ℓ log n)``), which is
+precisely the per-candidate cost profile of Metanome-style profilers — and
+why the paper's ``Θ(m/√ε)``-sample miner wins on large ``n``: the lattice
+baseline pays ``n`` again for every candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.separation import is_epsilon_key, is_key
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import AttributeSet, validate_epsilon
+
+
+@dataclass(frozen=True)
+class UCCDiscoveryResult:
+    """Outcome of a lattice discovery run.
+
+    Attributes
+    ----------
+    minimal_uccs:
+        All minimal unique column combinations, sorted by (size, lex).
+    candidates_checked:
+        Number of exact uniqueness checks performed (the cost driver).
+    levels_explored:
+        Depth the levelwise search reached.
+    max_size:
+        The size cap the search ran with (``None`` = unbounded).
+    """
+
+    minimal_uccs: tuple[AttributeSet, ...]
+    candidates_checked: int
+    levels_explored: int
+    max_size: int | None
+
+    @property
+    def minimum_key_size(self) -> int | None:
+        """Size of the smallest UCC found (``None`` when none exists)."""
+        if not self.minimal_uccs:
+            return None
+        return len(self.minimal_uccs[0])
+
+
+def _contains_known_ucc(
+    candidate: AttributeSet, known: list[AttributeSet]
+) -> bool:
+    candidate_set = set(candidate)
+    return any(set(ucc) <= candidate_set for ucc in known)
+
+
+def _apriori_join(level_sets: list[AttributeSet]) -> list[AttributeSet]:
+    """Join sorted ``ℓ``-sets sharing an ``ℓ−1`` prefix into ``ℓ+1``-sets.
+
+    The standard Apriori candidate generation; the subsequent subset check
+    happens in the caller (against the set of surviving non-unique sets).
+    """
+    joined: list[AttributeSet] = []
+    by_prefix: dict[AttributeSet, list[int]] = {}
+    for attrs in level_sets:
+        by_prefix.setdefault(attrs[:-1], []).append(attrs[-1])
+    for prefix, tails in by_prefix.items():
+        tails.sort()
+        for left, right in itertools.combinations(tails, 2):
+            joined.append(prefix + (left, right))
+    return joined
+
+
+def _discover(
+    data: Dataset,
+    unique_predicate,
+    max_size: int | None,
+) -> UCCDiscoveryResult:
+    m = data.n_columns
+    cap = m if max_size is None else min(max_size, m)
+    if cap < 1:
+        raise InvalidParameterError(f"max_size must be >= 1; got {max_size}")
+
+    minimal: list[AttributeSet] = []
+    checks = 0
+    level = 1
+    current_non_unique: list[AttributeSet] = []
+    candidates: list[AttributeSet] = [(c,) for c in range(m)]
+
+    while candidates and level <= cap:
+        current_non_unique = []
+        for candidate in candidates:
+            if _contains_known_ucc(candidate, minimal):
+                continue
+            checks += 1
+            if unique_predicate(candidate):
+                minimal.append(candidate)
+            else:
+                current_non_unique.append(candidate)
+        level += 1
+        if level > cap:
+            break
+        # Apriori join + downward-closure check: every ℓ-subset of a new
+        # candidate must itself be a surviving non-unique set.
+        survivors = set(current_non_unique)
+        candidates = [
+            candidate
+            for candidate in _apriori_join(current_non_unique)
+            if all(
+                tuple(subset) in survivors
+                for subset in itertools.combinations(candidate, level - 1)
+            )
+        ]
+
+    ordered = tuple(sorted(minimal, key=lambda ucc: (len(ucc), ucc)))
+    return UCCDiscoveryResult(
+        minimal_uccs=ordered,
+        candidates_checked=checks,
+        levels_explored=min(level - 1, cap),
+        max_size=max_size,
+    )
+
+
+def discover_minimal_uccs(
+    data: Dataset, *, max_size: int | None = None
+) -> UCCDiscoveryResult:
+    """All minimal perfect UCCs (keys) of ``data`` up to ``max_size``.
+
+    Examples
+    --------
+    >>> from repro.data import Dataset
+    >>> data = Dataset.from_columns({
+    ...     "a": [0, 0, 1, 1], "b": [0, 1, 0, 1], "c": [0, 0, 0, 1]})
+    >>> result = discover_minimal_uccs(data)
+    >>> result.minimal_uccs
+    ((0, 1),)
+    """
+    return _discover(data, lambda attrs: is_key(data, attrs), max_size)
+
+
+def discover_minimal_epsilon_uccs(
+    data: Dataset, epsilon: float, *, max_size: int | None = None
+) -> UCCDiscoveryResult:
+    """All minimal ε-separation keys of ``data`` up to ``max_size``.
+
+    The ε-relaxation keeps monotonicity (adding attributes never decreases
+    separation), so the same levelwise pruning is sound; the result is the
+    exact ground truth the paper's sampling miner approximates.
+    """
+    epsilon = validate_epsilon(epsilon)
+    return _discover(
+        data, lambda attrs: is_epsilon_key(data, attrs, epsilon), max_size
+    )

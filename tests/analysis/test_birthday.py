@@ -1,0 +1,66 @@
+"""Tests for the birthday-problem bounds (Theorem 4)."""
+
+import math
+
+import pytest
+
+from repro.analysis.birthday import (
+    collision_probability_lower_bound,
+    exact_uniform_noncollision,
+    samples_for_collision,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestExactNonCollision:
+    def test_classic_birthday_paradox(self):
+        # 23 people, 365 days: collision probability just over 1/2.
+        p = 1 - exact_uniform_noncollision(365, 23)
+        assert 0.5 < p < 0.51
+
+    def test_edge_cases(self):
+        assert exact_uniform_noncollision(10, 0) == 1.0
+        assert exact_uniform_noncollision(10, 1) == 1.0
+        assert exact_uniform_noncollision(10, 11) == 0.0  # pigeonhole
+
+    def test_monotone_in_balls(self):
+        values = [exact_uniform_noncollision(100, q) for q in range(1, 30)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_negative_balls_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            exact_uniform_noncollision(10, -1)
+
+
+class TestCollisionLowerBound:
+    def test_theorem4_inequality_holds(self):
+        """C(N, q) >= 1 - exp(-q(q-1)/2N) for a spread of (N, q)."""
+        for n_bins in (10, 50, 365, 1000):
+            for q in range(2, min(n_bins, 40)):
+                exact = 1 - exact_uniform_noncollision(n_bins, q)
+                bound = collision_probability_lower_bound(n_bins, q)
+                assert exact >= bound - 1e-12
+
+    def test_zero_for_single_ball(self):
+        assert collision_probability_lower_bound(10, 1) == 0.0
+
+
+class TestSamplesForCollision:
+    def test_inversion_achieves_target(self):
+        for n_bins in (50, 365, 2_000):
+            for delta in (0.5, 0.1, 0.01):
+                q = samples_for_collision(n_bins, delta)
+                # Theorem 4 guarantees the bound form reaches the target.
+                assert math.exp(-q * (q - 1) / (2 * n_bins)) <= delta + 1e-12
+
+    def test_relaxed_form_is_larger(self):
+        for n_bins in (100, 1_000):
+            strict = samples_for_collision(n_bins, 0.01)
+            relaxed = samples_for_collision(n_bins, 0.01, relaxed=True)
+            assert relaxed >= strict
+
+    def test_sqrt_scaling(self):
+        # q grows like sqrt(N): quadrupling N doubles q (within rounding).
+        q1 = samples_for_collision(1_000, 0.01)
+        q2 = samples_for_collision(4_000, 0.01)
+        assert q2 == pytest.approx(2 * q1, rel=0.05)

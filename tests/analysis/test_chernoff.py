@@ -1,0 +1,65 @@
+"""Tests for the Chernoff bounds (Theorem 3) — validated against simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    chernoff_below_half_mean,
+    chernoff_large_deviation,
+    chernoff_two_sided,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestBoundsAreValid:
+    """Each bound must dominate the simulated tail probability."""
+
+    def test_two_sided_dominates_simulation(self):
+        rng = np.random.default_rng(0)
+        p, n, eps = 0.3, 500, 0.3
+        draws = rng.binomial(n, p, size=20_000)
+        empirical = float((np.abs(draws - p * n) >= eps * p * n).mean())
+        assert empirical <= chernoff_two_sided(p, n, eps) + 0.01
+
+    def test_below_half_dominates_simulation(self):
+        rng = np.random.default_rng(1)
+        p, n = 0.2, 300
+        draws = rng.binomial(n, p, size=20_000)
+        empirical = float((draws <= p * n / 2).mean())
+        assert empirical <= chernoff_below_half_mean(p, n) + 0.01
+
+    def test_large_deviation_dominates_simulation(self):
+        rng = np.random.default_rng(2)
+        p, n, eps = 0.01, 400, 2.5
+        draws = rng.binomial(n, p, size=50_000)
+        empirical = float((np.abs(draws - p * n) >= eps * p * n).mean())
+        assert empirical <= chernoff_large_deviation(p, n, eps) + 0.01
+
+
+class TestShapes:
+    def test_clipped_to_one(self):
+        assert chernoff_two_sided(0.5, 1, 0.001) == 1.0
+
+    def test_decreasing_in_n(self):
+        values = [chernoff_two_sided(0.3, n, 0.5) for n in (10, 100, 1_000)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_decreasing_in_epsilon(self):
+        values = [chernoff_two_sided(0.3, 500, e) for e in (0.1, 0.5, 1.0)]
+        assert values[0] >= values[1] >= values[2]
+
+
+class TestValidation:
+    def test_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            chernoff_two_sided(0.3, 10, 0.0)
+        with pytest.raises(InvalidParameterError):
+            chernoff_large_deviation(0.3, 10, 1.5)
+
+    def test_bad_probability(self):
+        with pytest.raises(InvalidParameterError):
+            chernoff_below_half_mean(0.0, 10)
+
+    def test_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            chernoff_below_half_mean(0.3, 0)

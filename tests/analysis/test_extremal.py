@@ -1,0 +1,116 @@
+"""Tests for the two-value family search (Lemma 1's reduced problem)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.extremal import (
+    clique_vector_to_dataset,
+    lemma1_candidate,
+    solve_two_value,
+    two_value_vector,
+    worst_case_two_value,
+)
+from repro.analysis.symmetric import (
+    feasible_region_contains,
+    noncollision_with_replacement,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestTwoValueVector:
+    def test_layout(self):
+        v = two_value_vector(6, 2, 3.0, 3, 1.0)
+        assert v.tolist() == [3.0, 3.0, 1.0, 1.0, 1.0, 0.0]
+
+    def test_invalid_counts(self):
+        with pytest.raises(InvalidParameterError):
+            two_value_vector(4, 3, 1.0, 2, 1.0)
+        with pytest.raises(InvalidParameterError):
+            two_value_vector(4, 1, -1.0, 0, 0.0)
+
+
+class TestSolveTwoValue:
+    def test_solutions_satisfy_constraints(self):
+        n, epsilon = 40, 0.25
+        energy = epsilon * n * n / 4
+        for k_a in (1, 2, 5):
+            for k_b in (0, 10, 30):
+                if k_a + k_b > n:
+                    continue
+                for a, b in solve_two_value(n, epsilon, k_a, k_b):
+                    assert k_a * a + k_b * b == pytest.approx(n, rel=1e-9)
+                    if k_b > 0:
+                        assert k_a * a * a + k_b * b * b == pytest.approx(
+                            energy, rel=1e-9
+                        )
+
+    def test_no_solution_when_infeasible(self):
+        # k_a = k_b = n/2 forces near-uniform, incompatible with large ε.
+        assert solve_two_value(10, 0.99, 5, 5) == []
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            solve_two_value(10, 0.5, 0, 3)
+
+
+class TestLemma1Candidate:
+    def test_feasibility(self):
+        for n, epsilon in ((40, 0.25), (100, 0.04), (64, 0.0625)):
+            witness = lemma1_candidate(n, epsilon)
+            assert feasible_region_contains(witness, n, epsilon, tol=1e-6)
+
+    def test_structure(self):
+        witness = lemma1_candidate(100, 0.04)
+        nonzero = witness[witness > 0]
+        # One head entry ≈ √ε·n/2 = 10, the rest ones.
+        assert (nonzero == 1.0).sum() == nonzero.size - 1
+        assert nonzero.max() == pytest.approx(10.0, abs=1.0)
+
+
+class TestWorstCaseSearch:
+    def test_beats_specific_candidates(self):
+        """The search result dominates both C.3 vectors."""
+        from repro.analysis.symmetric import example_c3_vectors
+
+        s1, s2, r = example_c3_vectors()
+        # C.3 uses ε' = ε/4 = 1/16, i.e. ε = 1/4, n = 40.
+        best = worst_case_two_value(40, r, 0.25)
+        assert best.noncollision >= noncollision_with_replacement(s1, r) - 1e-9
+        assert best.noncollision >= noncollision_with_replacement(s2, r) - 1e-9
+
+    def test_profile_vector_is_feasible(self):
+        best = worst_case_two_value(24, 5, 0.3)
+        vector = best.vector(24)
+        assert feasible_region_contains(vector, 24, 0.3, tol=1e-6)
+
+    def test_matches_kkt_optimizer(self):
+        """Lemma 1 end-to-end: the two-value family search and the general
+        SLSQP maximizer agree on the optimum value."""
+        from repro.analysis.kkt import maximize_noncollision
+        from repro.analysis.symmetric import elementary_symmetric
+
+        n, r, epsilon = 16, 4, 0.3
+        family_best = worst_case_two_value(n, r, epsilon)
+        _, slsqp_value = maximize_noncollision(n, r, epsilon, n_starts=6, seed=0)
+        family_value = elementary_symmetric(family_best.vector(n) / n, r)
+        assert family_value == pytest.approx(slsqp_value, rel=5e-2)
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            worst_case_two_value(5, 6, 0.3)
+
+
+class TestCliqueVectorToDataset:
+    def test_realizes_clique_structure(self):
+        codes = clique_vector_to_dataset(np.array([3.0, 2.0, 1.0]), 3)
+        assert codes.shape == (6, 3)
+        counts = np.bincount(codes[:, 0])
+        assert sorted(counts.tolist()) == [1, 2, 3]
+        # Other columns are unique ids.
+        assert np.unique(codes[:, 1]).size == 6
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            clique_vector_to_dataset(np.array([0.2, 0.3]), 2)  # rounds to zero
+        with pytest.raises(InvalidParameterError):
+            clique_vector_to_dataset(np.array([2.0]), 0)

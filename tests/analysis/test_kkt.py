@@ -1,0 +1,111 @@
+"""Tests for the KKT machinery and the Lemma 1 structure theorem."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.extremal import lemma1_candidate
+from repro.analysis.kkt import (
+    distinct_nonzero_values,
+    gradient_elementary_symmetric,
+    kkt_diagnostics,
+    maximize_noncollision,
+)
+from repro.analysis.symmetric import elementary_symmetric, feasible_region_contains
+from repro.exceptions import InvalidParameterError
+
+
+class TestGradient:
+    def test_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        s = rng.uniform(0.5, 3.0, size=8)
+        r = 4
+        gradient = gradient_elementary_symmetric(s, r)
+        h = 1e-6
+        for i in range(s.size):
+            bumped = s.copy()
+            bumped[i] += h
+            numeric = (
+                elementary_symmetric(bumped, r) - elementary_symmetric(s, r)
+            ) / h
+            assert gradient[i] == pytest.approx(numeric, rel=1e-4)
+
+    def test_gradient_of_e1_is_ones(self):
+        s = np.array([2.0, 5.0, 9.0])
+        assert np.allclose(gradient_elementary_symmetric(s, 1), 1.0)
+
+
+class TestDistinctNonzeroValues:
+    def test_two_groups(self):
+        s = np.array([3.0, 3.0, 1.0, 1.0, 1.0, 0.0])
+        clusters = distinct_nonzero_values(s)
+        assert len(clusters) == 2
+        assert clusters[0][1] == 3  # three 1's (sorted ascending)
+        assert clusters[1][1] == 2
+
+    def test_tolerance_merges_near_values(self):
+        s = np.array([1.0, 1.0 + 1e-6, 5.0])
+        assert len(distinct_nonzero_values(s, tol=1e-4)) == 2
+
+    def test_all_zero(self):
+        assert distinct_nonzero_values(np.zeros(4)) == []
+
+
+class TestMaximizeNonCollision:
+    def test_result_is_feasible(self):
+        n, r, epsilon = 16, 4, 0.3
+        s_opt, value = maximize_noncollision(n, r, epsilon, n_starts=4, seed=0)
+        assert feasible_region_contains(s_opt, n, epsilon, tol=1e-4)
+        assert value > 0
+
+    def test_beats_lemma1_witness(self):
+        """The optimizer must do at least as well as the feasible witness."""
+        n, r, epsilon = 16, 4, 0.3
+        _, value = maximize_noncollision(n, r, epsilon, n_starts=4, seed=0)
+        witness_value = elementary_symmetric(lemma1_candidate(n, epsilon) / n, r)
+        assert value >= witness_value - 1e-12
+
+    def test_lemma1_structure_at_optimum(self):
+        """Lemma 1: the maximizer has at most two distinct non-zero values."""
+        for n, r, epsilon, seed in ((14, 4, 0.35, 0), (20, 5, 0.3, 1)):
+            s_opt, _ = maximize_noncollision(n, r, epsilon, n_starts=6, seed=seed)
+            clusters = distinct_nonzero_values(s_opt, tol=5e-2)
+            assert len(clusters) <= 2
+
+    def test_invalid_r(self):
+        with pytest.raises(InvalidParameterError):
+            maximize_noncollision(5, 6, 0.3)
+
+
+class TestKKTDiagnostics:
+    def test_stationarity_at_optimum(self):
+        n, r, epsilon = 16, 4, 0.3
+        s_opt, _ = maximize_noncollision(n, r, epsilon, n_starts=4, seed=0)
+        diagnostics = kkt_diagnostics(s_opt, r, n, epsilon)
+        assert diagnostics.stationarity_residual < 1e-2
+        assert diagnostics.dual_feasible
+
+    def test_constraint1_active_at_optimum(self):
+        """For small ε the unconstrained optimum (uniform) is infeasible, so
+        the quadratic constraint must bind at the maximizer."""
+        n, r, epsilon = 16, 4, 0.3
+        s_opt, _ = maximize_noncollision(n, r, epsilon, n_starts=4, seed=0)
+        diagnostics = kkt_diagnostics(s_opt, r, n, epsilon)
+        assert diagnostics.constraint1_active
+        # Maximization sign convention: μ ≤ 0 when the constraint binds.
+        assert diagnostics.mu <= 1e-6
+
+    def test_interior_point_not_stationary(self):
+        """A random feasible non-optimal point should fail stationarity."""
+        n, r, epsilon = 12, 3, 0.4
+        rng = np.random.default_rng(3)
+        s = rng.uniform(0.1, 2.0, size=n)
+        s = s / s.sum() * n
+        s[0] = s[0] + 0  # arbitrary
+        diagnostics = kkt_diagnostics(s, r, n, epsilon)
+        # Either truly not stationary, or the point accidentally satisfies
+        # KKT — overwhelmingly unlikely for a random draw.
+        assert diagnostics.stationarity_residual > 1e-6
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            kkt_diagnostics(np.array([]), 2, 4, 0.3)

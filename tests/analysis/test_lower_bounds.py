@@ -1,0 +1,89 @@
+"""Tests for the Lemma 3 / Lemma 4 lower-bound experiments."""
+
+import math
+
+import pytest
+
+from repro.analysis.lower_bounds import (
+    grid_detection_probability,
+    planted_clique_rejection_probability,
+    required_samples_for_rejection,
+    simulate_grid_detection,
+    simulate_planted_clique_detection,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestGridDetection:
+    def test_monotone_in_samples(self):
+        values = [grid_detection_probability(100, 10, r) for r in (5, 15, 40, 80)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_pigeonhole(self):
+        assert grid_detection_probability(10, 5, 11) == 1.0
+
+    def test_lemma3_failure_at_the_lower_bound(self):
+        """At r = √(q·log m) the failure probability is at least ~1/e."""
+        q = 1_000
+        m = 50  # m ≤ 2^(1/ε) easily
+        r = int(math.sqrt(q * math.log(m)))
+        detection = grid_detection_probability(q, m, r)
+        assert detection <= 1 - 1 / math.e + 0.25  # success far from certain
+
+    def test_detection_near_one_for_large_samples(self):
+        q, m = 100, 10
+        assert grid_detection_probability(q, m, 90) > 0.999
+
+    def test_matches_simulation(self):
+        q, m, r = 30, 5, 15
+        analytic = grid_detection_probability(q, m, r)
+        simulated = simulate_grid_detection(q, m, r, trials=2_000, seed=0)
+        assert simulated == pytest.approx(analytic, abs=0.05)
+
+    def test_tiny_samples_detect_nothing(self):
+        assert grid_detection_probability(10, 3, 1) == 0.0
+        assert simulate_grid_detection(10, 3, 1, trials=10, seed=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            grid_detection_probability(0, 3, 2)
+        with pytest.raises(InvalidParameterError):
+            grid_detection_probability(5, 3, -1)
+
+
+class TestPlantedCliqueRejection:
+    def test_monotone_in_samples(self):
+        n, epsilon = 100_000, 0.0001
+        values = [
+            planted_clique_rejection_probability(n, epsilon, r)
+            for r in (10, 100, 1_000, 10_000)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_matches_simulation(self):
+        n, epsilon, r = 10_000, 0.001, 400
+        analytic = planted_clique_rejection_probability(n, epsilon, r)
+        simulated = simulate_planted_clique_detection(
+            n, epsilon, r, trials=4_000, seed=0
+        )
+        assert simulated == pytest.approx(analytic, abs=0.03)
+
+    def test_lemma4_scaling(self):
+        """The samples needed for e^{-m}-level confidence scale like m/√ε."""
+        n = 4_000_000
+        epsilon = 0.0001
+        for m in (5, 10):
+            target = 1 - math.exp(-m)
+            required = required_samples_for_rejection(n, epsilon, target)
+            # Θ(m/√ε) with a modest constant.
+            predicted = m / math.sqrt(epsilon)
+            assert 0.1 * predicted <= required <= 4 * predicted
+
+    def test_tiny_samples(self):
+        assert planted_clique_rejection_probability(1_000, 0.01, 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            planted_clique_rejection_probability(100, 0.01, 200)
+        with pytest.raises(InvalidParameterError):
+            required_samples_for_rejection(100, 0.01, 1.5)

@@ -1,0 +1,182 @@
+"""Tests for elementary symmetric polynomials and collision probabilities."""
+
+import itertools
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.symmetric import (
+    claim1_threshold,
+    elementary_symmetric,
+    elementary_symmetric_exact,
+    example_c3_vectors,
+    feasible_region_contains,
+    noncollision_with_replacement,
+    noncollision_without_replacement,
+    simulate_noncollision,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def brute_force_e_r(values, r):
+    """Reference: sum over all r-subsets."""
+    return sum(
+        math.prod(combo) for combo in itertools.combinations(values, r)
+    )
+
+
+class TestElementarySymmetric:
+    def test_base_cases(self):
+        assert elementary_symmetric([1, 2, 3], 0) == 1.0
+        assert elementary_symmetric([1, 2, 3], 4) == 0.0
+        assert elementary_symmetric([1, 2, 3], 1) == 6.0
+        assert elementary_symmetric([1, 2, 3], 3) == 6.0
+
+    def test_matches_brute_force(self):
+        values = [2.0, 3.0, 5.0, 7.0, 11.0]
+        for r in range(6):
+            assert elementary_symmetric(values, r) == pytest.approx(
+                brute_force_e_r(values, r)
+            )
+
+    def test_zeros_are_ignored(self):
+        assert elementary_symmetric([2, 0, 3, 0], 2) == pytest.approx(6.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            elementary_symmetric([-1, 2], 1)
+        with pytest.raises(InvalidParameterError):
+            elementary_symmetric([1, 2], -1)
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=1, max_size=10),
+        st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=80)
+    def test_property_float_matches_exact(self, values, r):
+        float_value = elementary_symmetric([float(v) for v in values], r)
+        exact_value = elementary_symmetric_exact(values, r)
+        assert float_value == pytest.approx(float(exact_value), rel=1e-9)
+
+    def test_exact_brute_force(self):
+        values = [1, 4, 2, 2, 5]
+        for r in range(6):
+            assert elementary_symmetric_exact(values, r) == Fraction(
+                brute_force_e_r(values, r)
+            )
+
+
+class TestExampleC3:
+    def test_paper_numbers_reproduced(self):
+        """f(s1) ≈ 76 370 239.25 < f(s2) = 173 116 515 (Appendix C.3)."""
+        s1, s2, r = example_c3_vectors()
+        f_s1 = elementary_symmetric(s1, r)
+        f_s2 = elementary_symmetric_exact([10] + [1] * 30, r)
+        assert f_s2 == 173_116_515
+        assert f_s1 == pytest.approx(76_370_239.25, rel=1e-6)
+        assert f_s1 < float(f_s2)
+
+    def test_both_vectors_feasible(self):
+        """Both satisfy Σs = 40 and Σs² ≥ ε'·n² with ε' = 1/16."""
+        s1, s2, _ = example_c3_vectors()
+        n, eps_prime = 40, 1.0 / 16.0
+        # Note: constraint (1) in the paper's normalization is Σs² ≥ ε'n²
+        # with ε' = ε/4; feasible_region_contains uses ε so pass 4ε'.
+        assert feasible_region_contains(s1, n, 4 * eps_prime)
+        assert feasible_region_contains(s2, n, 4 * eps_prime)
+        assert (s1.sum(), s2.sum()) == (40.0, 40.0)
+
+    def test_uniform_is_not_always_optimal(self):
+        """The headline of C.3: concentrating mass can beat uniform."""
+        s1, s2, r = example_c3_vectors()
+        assert noncollision_with_replacement(
+            s1, r
+        ) < noncollision_with_replacement(s2, r)
+
+
+class TestNonCollisionProbabilities:
+    def test_uniform_case_closed_form(self):
+        # All cliques singleton: never a collision.
+        assert noncollision_with_replacement(np.ones(10), 5) == pytest.approx(
+            math.prod(1 - i / 10 for i in range(5))
+        )
+
+    def test_single_clique_always_collides(self):
+        assert noncollision_with_replacement([7.0], 2) == 0.0
+
+    def test_without_replacement_exceeds_with(self):
+        """Sampling w/o replacement avoids re-drawing the same ball, so its
+        non-collision probability is at least the with-replacement one."""
+        s = [4, 4, 2, 2, 1, 1]
+        for r in (2, 3, 4):
+            assert noncollision_without_replacement(
+                s, r
+            ) >= noncollision_with_replacement(s, r)
+
+    def test_without_replacement_exact_small_case(self):
+        # s = (2, 2), r = 2: P(different cliques) = 2·2·... ordered pairs:
+        # first ball any, second from other clique: 2/3.
+        assert noncollision_without_replacement([2, 2], 2) == pytest.approx(2 / 3)
+
+    def test_with_replacement_exact_small_case(self):
+        # s = (2, 2): second i.i.d. ball differs with probability 1/2.
+        assert noncollision_with_replacement([2, 2], 2) == pytest.approx(0.5)
+
+    def test_claim1_relation(self):
+        """P_⋄ < e^m · P whenever n > r(r−1)/m + r − 1 (Claim 1)."""
+        s = np.array([10.0] + [1.0] * 90)  # n = 100
+        n = 100
+        for r, m in ((5, 3), (8, 2), (12, 5)):
+            assert n > claim1_threshold(r, m)
+            without = noncollision_without_replacement(s, r)
+            with_repl = noncollision_with_replacement(s, r)
+            assert without < math.exp(m) * with_repl + 1e-12
+
+    def test_matches_simulation_with_replacement(self):
+        s = [5, 3, 2]
+        analytic = noncollision_with_replacement(s, 3)
+        simulated = simulate_noncollision(s, 3, trials=30_000, seed=0)
+        assert simulated == pytest.approx(analytic, abs=0.02)
+
+    def test_matches_simulation_without_replacement(self):
+        s = [5, 3, 2]
+        analytic = noncollision_without_replacement(s, 3)
+        simulated = simulate_noncollision(
+            s, 3, trials=30_000, seed=1, with_replacement=False
+        )
+        assert simulated == pytest.approx(analytic, abs=0.02)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_probability_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        sizes = rng.integers(1, 10, size=int(rng.integers(2, 12)))
+        r = int(rng.integers(0, sizes.size + 1))
+        p_with = noncollision_with_replacement(sizes.astype(float), r)
+        p_without = noncollision_without_replacement(sizes.astype(float), r)
+        assert 0.0 <= p_with <= 1.0
+        assert 0.0 <= p_without <= 1.0
+        assert p_without >= p_with - 1e-12
+
+    def test_non_integer_mass_rejected_without_replacement(self):
+        with pytest.raises(InvalidParameterError):
+            noncollision_without_replacement([1.5, 1.2], 2)
+
+
+class TestFeasibleRegion:
+    def test_membership(self):
+        assert feasible_region_contains([5.0, 5.0], 10, 0.5)
+        # Sum wrong:
+        assert not feasible_region_contains([5.0, 4.0], 10, 0.5)
+        # Negative entry:
+        assert not feasible_region_contains([11.0, -1.0], 10, 0.5)
+
+    def test_quadratic_constraint(self):
+        # n=10, eps=0.9 -> need Σs² ≥ 22.5; uniform (1,...,1) has 10.
+        assert not feasible_region_contains(np.ones(10), 10, 0.9)
+        concentrated = np.array([10.0] + [0.0] * 9)
+        assert feasible_region_contains(concentrated, 10, 0.9)

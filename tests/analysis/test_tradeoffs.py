@@ -1,0 +1,82 @@
+"""Tests for the bound-curve generators."""
+
+import pytest
+
+from repro.analysis.tradeoffs import (
+    BoundSeries,
+    filter_bounds_vs_epsilon,
+    filter_bounds_vs_m,
+    open_gap_ratio,
+    series_to_rows,
+    sketch_bounds_vs_epsilon,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestFilterBounds:
+    def test_ordering_upper_above_lower(self):
+        """At every grid point: MX upper ≥ Thm1 upper ≥ Lemma4 lower ≥
+        Lemma3 lower (for reasonable m)."""
+        curves = {c.label: c for c in filter_bounds_vs_epsilon(64)}
+        mx = curves["Motwani-Xu upper m/eps (pairs)"]
+        thm1 = curves["Theorem 1 upper m/sqrt(eps) (tuples)"]
+        lemma4 = curves["Lemma 4 lower m/(4 sqrt(eps)) [delta=e^-m]"]
+        lemma3 = curves["Lemma 3 lower sqrt(log m/eps) [const delta]"]
+        for i in range(len(mx.x)):
+            assert mx.y[i] >= thm1.y[i] >= lemma4.y[i] >= lemma3.y[i]
+
+    def test_curves_decreasing_in_epsilon(self):
+        for curve in filter_bounds_vs_epsilon(32):
+            assert all(a >= b for a, b in zip(curve.y, curve.y[1:]))
+
+    def test_vs_m_increasing(self):
+        for curve in filter_bounds_vs_m(0.01):
+            assert all(a <= b for a, b in zip(curve.y, curve.y[1:]))
+
+    def test_grid_validation(self):
+        with pytest.raises(InvalidParameterError):
+            filter_bounds_vs_epsilon(10, eps_start=0.5, eps_stop=0.1)
+        with pytest.raises(InvalidParameterError):
+            filter_bounds_vs_epsilon(10, points=1)
+
+
+class TestSketchBounds:
+    def test_upper_dominates_lower(self):
+        upper, lower = sketch_bounds_vs_epsilon(100, 3, 0.1)
+        for i in range(len(upper.x)):
+            assert upper.y[i] >= lower.y[i]
+
+    def test_both_curves_share_grid(self):
+        upper, lower = sketch_bounds_vs_epsilon(50, 2, 0.2)
+        assert upper.x == lower.x
+
+
+class TestOpenGap:
+    def test_gap_is_m_over_sqrt_log_m(self):
+        import math
+
+        m, epsilon = 256, 0.01
+        ratio = open_gap_ratio(m, epsilon)
+        predicted = m / math.sqrt(math.log(m))
+        assert ratio == pytest.approx(predicted, rel=0.1)
+
+    def test_gap_grows_with_m(self):
+        assert open_gap_ratio(512, 0.01) > open_gap_ratio(32, 0.01)
+
+
+class TestSeriesToRows:
+    def test_tabulation(self):
+        a = BoundSeries("a", (1.0, 2.0), (10.0, 20.0))
+        b = BoundSeries("b", (1.0, 2.0), (30.0, 40.0))
+        rows = series_to_rows([a, b])
+        assert rows == [["1", "10", "30"], ["2", "20", "40"]]
+
+    def test_mismatched_grids_rejected(self):
+        a = BoundSeries("a", (1.0,), (10.0,))
+        b = BoundSeries("b", (2.0,), (30.0,))
+        with pytest.raises(InvalidParameterError):
+            series_to_rows([a, b])
+
+    def test_parallel_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BoundSeries("bad", (1.0, 2.0), (1.0,))

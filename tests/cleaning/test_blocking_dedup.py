@@ -1,0 +1,171 @@
+"""Tests for blocking and the end-to-end dedup pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning.blocking import block_candidates, multi_pass_candidates
+from repro.cleaning.corrupt import (
+    CorruptionConfig,
+    inject_fuzzy_duplicates,
+    make_clean_people_table,
+)
+from repro.cleaning.dedup import (
+    cluster_pairs,
+    evaluate_against_truth,
+    find_fuzzy_duplicates,
+)
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import pairs_count
+
+
+class TestBlocking:
+    def test_candidates_are_within_bucket_pairs(self):
+        data = Dataset.from_columns(
+            {"zip": [1, 1, 1, 2, 2, 3], "x": list(range(6))}
+        )
+        pairs, stats = block_candidates(data, ["zip"])
+        assert pairs == {(0, 1), (0, 2), (1, 2), (3, 4)}
+        assert stats.n_candidates == 4
+        assert stats.n_blocks == 2
+        assert stats.largest_block == 3
+
+    def test_reduction_ratio(self):
+        data = Dataset.from_columns(
+            {"zip": [1, 1, 2, 2, 3, 3], "x": list(range(6))}
+        )
+        _, stats = block_candidates(data, ["zip"])
+        assert stats.reduction_ratio == pytest.approx(
+            1 - 3 / pairs_count(6)
+        )
+
+    def test_oversized_buckets_skipped(self):
+        data = Dataset.from_columns({"c": [0] * 30, "x": list(range(30))})
+        pairs, stats = block_candidates(data, ["c"], max_block_size=10)
+        assert pairs == set()
+        assert stats.largest_block == 30
+        assert stats.n_blocks == 0
+
+    def test_empty_key_rejected(self):
+        data = Dataset.from_columns({"a": [1, 2]})
+        with pytest.raises(InvalidParameterError):
+            block_candidates(data, [])
+
+    def test_multi_pass_is_union(self):
+        data = Dataset.from_columns(
+            {"zip": [1, 1, 2, 2], "year": [70, 71, 70, 70]}
+        )
+        by_zip, _ = block_candidates(data, ["zip"])
+        by_year, _ = block_candidates(data, ["year"])
+        union, stats = multi_pass_candidates(data, [["zip"], ["year"]])
+        assert union == by_zip | by_year
+        assert stats.n_candidates == len(union)
+
+    def test_multi_pass_requires_passes(self):
+        data = Dataset.from_columns({"a": [1, 2]})
+        with pytest.raises(InvalidParameterError):
+            multi_pass_candidates(data, [])
+
+
+class TestClusterPairs:
+    def test_transitive_closure(self):
+        groups = cluster_pairs([(0, 1), (1, 2), (4, 5)], n_rows=6)
+        assert groups == [[0, 1, 2], [4, 5]]
+
+    def test_no_pairs_no_groups(self):
+        assert cluster_pairs([], n_rows=5) == []
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cluster_pairs([(0, 99)], n_rows=5)
+
+    def test_large_chain(self):
+        chain = [(i, i + 1) for i in range(99)]
+        groups = cluster_pairs(chain, n_rows=100)
+        assert groups == [list(range(100))]
+
+
+class TestEvaluation:
+    def test_perfect_prediction(self):
+        result = evaluate_against_truth([(0, 1)], [(0, 1)])
+        assert result.precision == result.recall == result.f1 == 1.0
+
+    def test_order_insensitive(self):
+        result = evaluate_against_truth([(1, 0)], [(0, 1)])
+        assert result.true_positives == 1
+
+    def test_empty_prediction(self):
+        result = evaluate_against_truth([], [(0, 1)])
+        assert result.precision == 1.0  # vacuous
+        assert result.recall == 0.0
+        assert result.f1 == 0.0
+
+    def test_empty_truth(self):
+        result = evaluate_against_truth([(0, 1)], [])
+        assert result.recall == 1.0  # vacuous
+        assert result.precision == 0.0
+
+
+class TestEndToEndPipeline:
+    @pytest.fixture
+    def dirty(self):
+        clean = make_clean_people_table(150, seed=30)
+        config = CorruptionConfig(
+            duplicate_fraction=0.1,
+            typo_rate=0.4,
+            convention_rate=0.3,
+            numeric_jitter_rate=0.15,
+        )
+        return inject_fuzzy_duplicates(clean, config, seed=31)
+
+    def test_recovers_planted_duplicates(self, dirty):
+        # Down-weight the numeric identifier columns: relative closeness
+        # makes any two ZIPs near 92000 look alike (see value_similarity).
+        result = find_fuzzy_duplicates(
+            dirty.data,
+            [["zip"], ["birth_year"], ["city"]],
+            threshold=0.8,
+            weights=[3.0, 3.0, 1.0, 0.5, 0.5],
+        )
+        score = evaluate_against_truth(result.matched_pairs, dirty.true_pairs)
+        assert score.recall >= 0.8
+        assert score.precision >= 0.8
+
+    def test_blocking_skips_most_comparisons(self, dirty):
+        result = find_fuzzy_duplicates(
+            dirty.data, [["zip"]], threshold=0.8
+        )
+        assert result.n_comparisons < pairs_count(dirty.data.n_rows) / 2
+
+    def test_higher_threshold_is_stricter(self, dirty):
+        loose = find_fuzzy_duplicates(
+            dirty.data, [["zip"], ["birth_year"]], threshold=0.7
+        )
+        strict = find_fuzzy_duplicates(
+            dirty.data, [["zip"], ["birth_year"]], threshold=0.99
+        )
+        assert len(strict.matched_pairs) <= len(loose.matched_pairs)
+
+    def test_groups_cover_matched_pairs(self, dirty):
+        result = find_fuzzy_duplicates(
+            dirty.data, [["zip"], ["birth_year"]], threshold=0.8
+        )
+        grouped_rows = {row for group in result.groups for row in group}
+        for first, second in result.matched_pairs:
+            assert first in grouped_rows
+            assert second in grouped_rows
+
+    def test_bad_threshold_rejected(self, dirty):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(InvalidParameterError):
+                find_fuzzy_duplicates(dirty.data, [["zip"]], threshold=bad)
+
+    def test_weights_accepted(self, dirty):
+        result = find_fuzzy_duplicates(
+            dirty.data,
+            [["zip"]],
+            threshold=0.8,
+            weights=[2.0, 2.0, 1.0, 1.0, 1.0],
+        )
+        assert result.threshold == 0.8

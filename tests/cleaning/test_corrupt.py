@@ -1,0 +1,131 @@
+"""Tests for the fuzzy-duplicate workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning.corrupt import (
+    CorruptionConfig,
+    inject_fuzzy_duplicates,
+    make_clean_people_table,
+)
+from repro.cleaning.similarity import record_similarity
+from repro.core.separation import unseparated_pairs
+from repro.exceptions import InvalidParameterError
+
+
+class TestCleanTable:
+    def test_shape_and_columns(self):
+        data = make_clean_people_table(80, seed=0)
+        assert data.shape == (80, 5)
+        assert data.column_names == (
+            "first", "last", "city", "zip", "birth_year",
+        )
+
+    def test_rows_are_globally_unique(self):
+        data = make_clean_people_table(200, seed=1)
+        assert unseparated_pairs(data, list(range(data.n_columns))) == 0
+
+    def test_last_names_unique(self):
+        data = make_clean_people_table(150, seed=2)
+        assert data.column_cardinality(data.column_index("last")) == 150
+
+    def test_reproducible(self):
+        first = make_clean_people_table(30, seed=7)
+        second = make_clean_people_table(30, seed=7)
+        assert first == second
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            make_clean_people_table(0)
+
+
+class TestCorruptionConfig:
+    def test_defaults_valid(self):
+        config = CorruptionConfig()
+        assert 0 < config.duplicate_fraction <= 1
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_fraction_rejected(self, fraction):
+        with pytest.raises(InvalidParameterError):
+            CorruptionConfig(duplicate_fraction=fraction)
+
+    @pytest.mark.parametrize(
+        "field", ["typo_rate", "convention_rate", "numeric_jitter_rate"]
+    )
+    def test_bad_rates_rejected(self, field):
+        with pytest.raises(InvalidParameterError):
+            CorruptionConfig(**{field: 1.5})
+
+
+class TestInjection:
+    def test_row_count_and_truth_size(self):
+        clean = make_clean_people_table(100, seed=3)
+        dirty = inject_fuzzy_duplicates(clean, seed=4)
+        assert dirty.data.n_rows == 110
+        assert len(dirty.true_pairs) == 10
+        assert dirty.n_clean_rows == 100
+
+    def test_truth_pairs_point_original_to_clone(self):
+        clean = make_clean_people_table(50, seed=5)
+        dirty = inject_fuzzy_duplicates(clean, seed=6)
+        for original, clone in dirty.true_pairs:
+            assert 0 <= original < 50
+            assert 50 <= clone < dirty.data.n_rows
+            assert original < clone
+
+    def test_clones_resemble_originals(self):
+        clean = make_clean_people_table(60, seed=8)
+        dirty = inject_fuzzy_duplicates(clean, seed=9)
+        for original, clone in dirty.true_pairs:
+            similarity = record_similarity(
+                dirty.data.decode_row(original),
+                dirty.data.decode_row(clone),
+            )
+            assert similarity > 0.6
+
+    def test_clean_rows_preserved_verbatim(self):
+        clean = make_clean_people_table(40, seed=10)
+        dirty = inject_fuzzy_duplicates(clean, seed=11)
+        for row in range(40):
+            assert dirty.data.decode_row(row) == clean.decode_row(row)
+
+    def test_aggressive_config_changes_values(self):
+        clean = make_clean_people_table(40, seed=12)
+        config = CorruptionConfig(
+            duplicate_fraction=0.5,
+            typo_rate=1.0,
+            convention_rate=1.0,
+            numeric_jitter_rate=1.0,
+        )
+        dirty = inject_fuzzy_duplicates(clean, config, seed=13)
+        changed = sum(
+            dirty.data.decode_row(orig) != dirty.data.decode_row(dup)
+            for orig, dup in dirty.true_pairs
+        )
+        assert changed == len(dirty.true_pairs)
+
+    def test_zero_rates_clone_verbatim(self):
+        clean = make_clean_people_table(30, seed=14)
+        config = CorruptionConfig(
+            duplicate_fraction=0.2,
+            typo_rate=0.0,
+            convention_rate=0.0,
+            numeric_jitter_rate=0.0,
+        )
+        dirty = inject_fuzzy_duplicates(clean, config, seed=15)
+        for orig, dup in dirty.true_pairs:
+            assert dirty.data.decode_row(orig) == dirty.data.decode_row(dup)
+
+    def test_reproducible(self):
+        clean = make_clean_people_table(50, seed=16)
+        first = inject_fuzzy_duplicates(clean, seed=17)
+        second = inject_fuzzy_duplicates(clean, seed=17)
+        assert first.true_pairs == second.true_pairs
+        assert first.data == second.data
+
+    def test_at_least_one_duplicate_planted(self):
+        clean = make_clean_people_table(3, seed=18)
+        config = CorruptionConfig(duplicate_fraction=0.01)
+        dirty = inject_fuzzy_duplicates(clean, config, seed=19)
+        assert len(dirty.true_pairs) == 1

@@ -1,0 +1,154 @@
+"""Tests for string and record similarity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning.similarity import (
+    levenshtein,
+    levenshtein_similarity,
+    qgram_jaccard,
+    record_similarity,
+    value_similarity,
+)
+from repro.exceptions import InvalidParameterError
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        ("first", "second", "expected"),
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("smith", "smyth", 1),
+            ("abc", "abc", 0),
+            ("abc", "acb", 2),
+        ],
+    )
+    def test_known_distances(self, first, second, expected):
+        assert levenshtein(first, second) == expected
+
+    def test_early_exit_returns_threshold_plus_one(self):
+        assert levenshtein("aaaaaa", "zzzzzz", max_distance=2) == 3
+
+    def test_early_exit_on_length_gap(self):
+        assert levenshtein("a", "abcdefgh", max_distance=3) == 4
+
+    def test_early_exit_does_not_truncate_small_distances(self):
+        assert levenshtein("smith", "smyth", max_distance=3) == 1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            levenshtein("a", "b", max_distance=-1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(first=words, second=words)
+    def test_metric_properties(self, first, second):
+        distance = levenshtein(first, second)
+        assert distance == levenshtein(second, first)  # symmetry
+        assert (distance == 0) == (first == second)  # identity
+        assert distance <= max(len(first), len(second))  # upper bound
+        assert distance >= abs(len(first) - len(second))  # lower bound
+
+    @settings(max_examples=30, deadline=None)
+    @given(first=words, second=words, third=words)
+    def test_triangle_inequality(self, first, second, third):
+        assert levenshtein(first, third) <= (
+            levenshtein(first, second) + levenshtein(second, third)
+        )
+
+
+class TestLevenshteinSimilarity:
+    def test_identical_is_one(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert levenshtein_similarity("aaa", "zzz") == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(first=words, second=words)
+    def test_normalized_range(self, first, second):
+        assert 0.0 <= levenshtein_similarity(first, second) <= 1.0
+
+
+class TestQgramJaccard:
+    def test_identical(self):
+        assert qgram_jaccard("smith", "smith") == 1.0
+
+    def test_disjoint(self):
+        assert qgram_jaccard("abc", "xyz") == 0.0
+
+    def test_transposed_words_score_high(self):
+        # Edit distance hates word swaps; q-grams mostly survive them.
+        swapped = qgram_jaccard("john smith", "smith john")
+        sequential = levenshtein_similarity("john smith", "smith john")
+        assert swapped > sequential
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            qgram_jaccard("a", "b", q=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(first=words, second=words, q=st.integers(1, 3))
+    def test_range_and_symmetry(self, first, second, q):
+        value = qgram_jaccard(first, second, q=q)
+        assert 0.0 <= value <= 1.0
+        assert value == qgram_jaccard(second, first, q=q)
+
+
+class TestValueSimilarity:
+    def test_strings_case_insensitive(self):
+        assert value_similarity("Smith", "smith") == 1.0
+        assert value_similarity(" smith ", "smith") == 1.0
+
+    def test_numbers_relative(self):
+        assert value_similarity(100, 100) == 1.0
+        assert value_similarity(100, 99) == pytest.approx(0.99)
+        assert value_similarity(1, -1) == 0.0
+
+    def test_zero_numbers(self):
+        assert value_similarity(0, 0) == 1.0
+        assert value_similarity(0.0, 0) == 1.0
+
+    def test_mixed_types_exact_equality(self):
+        assert value_similarity("1", 1) == 0.0
+        assert value_similarity(None, None) == 1.0
+        assert value_similarity((1, 2), (1, 2)) == 1.0
+
+
+class TestRecordSimilarity:
+    def test_identical_records(self):
+        assert record_similarity(("a", 1), ("a", 1)) == 1.0
+
+    def test_weighted_mean(self):
+        # First field perfect, second disjoint, weight 3:1.
+        score = record_similarity(
+            ("abc", "xxx"), ("abc", "yyy"), weights=(3.0, 1.0)
+        )
+        assert score == pytest.approx(0.75)
+
+    def test_zero_weight_ignores_field(self):
+        score = record_similarity(
+            ("abc", "xxx"), ("abc", "yyy"), weights=(1.0, 0.0)
+        )
+        assert score == 1.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            record_similarity(("a",), ("a", "b"))
+        with pytest.raises(InvalidParameterError):
+            record_similarity((), ())
+        with pytest.raises(InvalidParameterError):
+            record_similarity(("a",), ("a",), weights=(1.0, 2.0))
+        with pytest.raises(InvalidParameterError):
+            record_similarity(("a",), ("a",), weights=(-1.0,))
+        with pytest.raises(InvalidParameterError):
+            record_similarity(("a",), ("a",), weights=(0.0,))

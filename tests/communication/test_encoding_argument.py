@@ -1,0 +1,157 @@
+"""Tests for the Section 3.2 encoding argument (Lemmas 5–6)."""
+
+import numpy as np
+import pytest
+
+from repro.communication.encoding import (
+    bits_matrix_dataset,
+    gamma_closed_form,
+    gamma_closed_form_from_groups,
+    query_attributes,
+    random_bit_matrix,
+    reconstruct_bit_matrix,
+)
+from repro.core.separation import unseparated_pairs
+from repro.exceptions import InvalidParameterError
+
+
+class TestRandomBitMatrix:
+    def test_column_sums(self):
+        bits = random_bit_matrix(k=3, t=5, m=7, seed=0)
+        assert bits.shape == (15, 7)
+        assert (bits.sum(axis=0) == 3).all()
+
+    def test_deterministic(self):
+        a = random_bit_matrix(2, 4, 3, seed=1)
+        b = random_bit_matrix(2, 4, 3, seed=1)
+        assert np.array_equal(a, b)
+
+
+class TestBitsMatrixDataset:
+    def test_shape(self):
+        bits = random_bit_matrix(2, 3, 4, seed=0)  # n = 6
+        data = bits_matrix_dataset(bits)
+        assert data.shape == (12, 10)  # (2n, m + n)
+
+    def test_identity_block(self):
+        bits = random_bit_matrix(2, 3, 2, seed=0)
+        data = bits_matrix_dataset(bits)
+        n, m = 6, 2
+        top_right = data.codes[:n, m:]
+        assert np.array_equal(top_right, np.eye(n, dtype=np.int64))
+        assert (data.codes[n:, m:] == 0).all()
+
+    def test_bottom_block_all_ones(self):
+        bits = random_bit_matrix(2, 3, 2, seed=0)
+        data = bits_matrix_dataset(bits)
+        assert (data.codes[6:, :2] == 1).all()
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(InvalidParameterError):
+            bits_matrix_dataset(np.array([[0, 2]]))
+
+
+class TestLemma6ClosedForm:
+    """The closed form must equal the directly counted Γ_A."""
+
+    @pytest.mark.parametrize("k,t", [(2, 3), (2, 4), (3, 3)])
+    def test_closed_form_equals_direct_count(self, k, t):
+        rng = np.random.default_rng(0)
+        m = 4
+        bits = random_bit_matrix(k, t, m, seed=1)
+        data = bits_matrix_dataset(bits)
+        n = k * t
+        column = 1
+        truth_rows = set(np.flatnonzero(bits[:, column]).tolist())
+        for trial in range(10):
+            guess = tuple(
+                sorted(rng.choice(n, size=k, replace=False).tolist())
+            )
+            u = len(truth_rows & set(guess))
+            attrs = query_attributes(column, guess, m)
+            direct = unseparated_pairs(data, attrs)
+            assert direct == gamma_closed_form(t, k, u)
+
+    def test_polynomial_and_group_forms_agree(self):
+        for t in (2, 3, 7):
+            for k in (1, 2, 5):
+                n = k * t
+                if n < 2 * k:
+                    continue
+                for u in range(k + 1):
+                    polynomial = (
+                        (t * t - t + 2.5) * k * k - (t - 0.5) * k + u * u - 3 * k * u
+                    )
+                    assert gamma_closed_form_from_groups(n, k, u) == polynomial
+
+    def test_gamma_decreasing_in_u(self):
+        """More correct guesses -> fewer unseparated pairs (u ≤ 3k/2)."""
+        t, k = 5, 4
+        values = [gamma_closed_form(t, k, u) for u in range(k + 1)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            gamma_closed_form_from_groups(10, 3, 4)  # u > k
+        with pytest.raises(InvalidParameterError):
+            gamma_closed_form_from_groups(3, 2, 1)  # n < 2k
+
+
+class TestLemma6Property:
+    """Hypothesis sweep: closed form == direct count for random instances."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.integers(min_value=1, max_value=3),  # k
+        st.integers(min_value=2, max_value=5),  # t
+        st.integers(min_value=1, max_value=4),  # m
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_closed_form_equals_direct_count_random(self, k, t, m, seed):
+        rng = np.random.default_rng(seed)
+        bits = random_bit_matrix(k, t, m, seed=seed)
+        data = bits_matrix_dataset(bits)
+        n = k * t
+        column = int(rng.integers(0, m))
+        truth = set(np.flatnonzero(bits[:, column]).tolist())
+        guess = tuple(sorted(rng.choice(n, size=k, replace=False).tolist()))
+        u = len(truth & set(guess))
+        attrs = query_attributes(column, guess, m)
+        assert unseparated_pairs(data, attrs) == gamma_closed_form(t, k, u)
+
+
+class TestReconstruction:
+    def test_exact_oracle_reconstructs_perfectly(self):
+        """With exact Γ answers, Bob recovers C bit-for-bit — the heart of
+        the Lemma 5 reduction."""
+        bits = random_bit_matrix(k=2, t=4, m=5, seed=3)
+        report = reconstruct_bit_matrix(bits, epsilon=0.05, exact_oracle=True)
+        assert report.hamming_distance == 0
+        assert report.within_budget
+        assert np.array_equal(report.reconstructed, bits)
+
+    def test_sampled_sketch_reconstruction_mostly_works(self):
+        """A real (sampled) sketch with a generous sample reconstructs
+        within the Lemma 5 Hamming budget."""
+        bits = random_bit_matrix(k=2, t=4, m=4, seed=4)
+        report = reconstruct_bit_matrix(
+            bits, epsilon=0.02, sample_size=60_000, seed=5
+        )
+        assert report.hamming_distance <= max(2.0, 2 * report.allowed_distance)
+
+    def test_uneven_columns_rejected(self):
+        bits = np.array([[1, 1], [1, 0], [0, 0], [0, 1]])
+        bits[0, 1] = 1  # column sums 2 and 2 -> fix to make uneven
+        bad = bits.copy()
+        bad[0, 0] = 0  # now column 0 has one 1, column 1 has two
+        with pytest.raises(InvalidParameterError):
+            reconstruct_bit_matrix(bad, epsilon=0.05, exact_oracle=True)
+
+    def test_query_budget_is_respected(self):
+        bits = random_bit_matrix(k=2, t=3, m=2, seed=0)
+        report = reconstruct_bit_matrix(bits, epsilon=0.05, exact_oracle=True)
+        # At most C(6, 2) = 15 queries per column.
+        assert report.queries_used <= 15 * 2

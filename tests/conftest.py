@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """Four rows, three columns, with known separation structure.
+
+    Column 0 (zip):  92101, 92102, 92101, 92103 -> cliques {0,2},{1},{3}
+    Column 1 (age):  34, 34, 41, 34             -> cliques {0,1,3},{2}
+    Column 2 (sex):  F, M, F, F                 -> cliques {0,2,3},{1}
+    {0,1} is a key; {0} leaves one unseparated pair; {1} leaves three.
+    """
+    return Dataset.from_columns(
+        {
+            "zip": [92101, 92102, 92101, 92103],
+            "age": [34, 34, 41, 34],
+            "sex": ["F", "M", "F", "F"],
+        }
+    )
+
+
+@pytest.fixture
+def duplicate_rows_dataset() -> Dataset:
+    """A data set with two identical rows (no key exists)."""
+    return Dataset(
+        np.array(
+            [
+                [0, 1, 2],
+                [0, 1, 2],
+                [1, 0, 2],
+                [2, 2, 0],
+            ]
+        )
+    )
+
+
+@pytest.fixture
+def medium_dataset() -> Dataset:
+    """A reproducible 500×6 categorical table for statistical tests."""
+    rng = np.random.default_rng(42)
+    codes = np.column_stack(
+        [
+            rng.integers(0, 3, size=500),
+            rng.integers(0, 5, size=500),
+            rng.integers(0, 8, size=500),
+            rng.integers(0, 50, size=500),
+            rng.integers(0, 200, size=500),
+            np.arange(500),  # unique id column -> a key on its own
+        ]
+    )
+    return Dataset(codes)

@@ -1,0 +1,210 @@
+"""Tests for the ε-separation key filters (Algorithm 1 + baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import (
+    Classification,
+    ExactSeparationOracle,
+    MotwaniXuFilter,
+    TupleSampleFilter,
+    classify,
+)
+from repro.data.dataset import Dataset
+from repro.data.synthetic import planted_clique_dataset, planted_key_dataset
+from repro.exceptions import EmptySampleError, InvalidParameterError
+from repro.sampling.streams import iterate_rows
+
+
+class TestClassify:
+    def test_key(self, tiny_dataset):
+        assert classify(tiny_dataset, [0, 1], 0.1) is Classification.KEY
+
+    def test_bad(self, tiny_dataset):
+        # Γ({1}) = 3 of 6 pairs > ε·6 for ε = 0.1.
+        assert classify(tiny_dataset, [1], 0.1) is Classification.BAD
+
+    def test_intermediate(self, tiny_dataset):
+        # Γ({0}) = 1 of 6 pairs: neither key nor bad at ε = 0.25.
+        assert classify(tiny_dataset, [0], 0.25) is Classification.INTERMEDIATE
+
+
+class TestExactSeparationOracle:
+    def test_accepts_epsilon_keys(self, tiny_dataset):
+        oracle = ExactSeparationOracle(tiny_dataset, epsilon=0.25)
+        assert oracle.accepts([0, 1])
+        assert oracle.accepts([0])  # intermediate -> ε-key at ε=0.25
+        assert not oracle.accepts([1])
+
+    def test_correctness_scoring(self, tiny_dataset):
+        oracle = ExactSeparationOracle(tiny_dataset, epsilon=0.25)
+        assert oracle.is_correct_on([0, 1], True)
+        assert not oracle.is_correct_on([0, 1], False)
+        assert oracle.is_correct_on([1], False)
+        assert not oracle.is_correct_on([1], True)
+        # Intermediate: both answers are fine.
+        assert oracle.is_correct_on([0], True)
+        assert oracle.is_correct_on([0], False)
+
+    def test_sample_size_is_everything(self, tiny_dataset):
+        oracle = ExactSeparationOracle(tiny_dataset, epsilon=0.1)
+        assert oracle.sample_size == tiny_dataset.n_rows
+
+
+class TestTupleSampleFilter:
+    def test_small_data_becomes_exact(self, tiny_dataset):
+        # Sample >= n: the filter degenerates to exact key testing.
+        filt = TupleSampleFilter.fit(tiny_dataset, epsilon=0.25, seed=0)
+        assert filt.sample_size == tiny_dataset.n_rows
+        assert filt.accepts([0, 1])
+        assert not filt.accepts([1])
+
+    def test_sample_size_formula(self):
+        data = planted_key_dataset(100_000, key_size=3, n_noise_columns=10, seed=0)
+        filt = TupleSampleFilter.fit(data, epsilon=0.001, seed=0)
+        assert filt.sample_size == 412  # ceil(13/sqrt(0.001))
+
+    def test_explicit_sample_size(self, medium_dataset):
+        filt = TupleSampleFilter.fit(medium_dataset, 0.01, sample_size=37, seed=0)
+        assert filt.sample_size == 37
+
+    def test_accepts_keys_with_high_probability(self):
+        data = planted_key_dataset(50_000, key_size=2, n_noise_columns=6, seed=1)
+        filt = TupleSampleFilter.fit(data, epsilon=0.01, seed=2)
+        assert filt.accepts([0, 1])  # the planted key
+
+    def test_rejects_planted_bad_set(self):
+        # Lemma 4 construction at the Theorem 1 sample size: rejection is
+        # overwhelmingly likely (failure probability ~ e^-m).
+        data = planted_clique_dataset(200_000, 8, epsilon=0.01, seed=3)
+        filt = TupleSampleFilter.fit(data, epsilon=0.01, constant=4.0, seed=4)
+        assert not filt.accepts([0])
+
+    def test_monotone_in_attributes(self, medium_dataset):
+        filt = TupleSampleFilter.fit(medium_dataset, 0.05, seed=0)
+        # If A ⊆ B and A accepted, B must be accepted.
+        if filt.accepts([0, 1]):
+            assert filt.accepts([0, 1, 2])
+
+    def test_unseparated_sample_pairs(self, tiny_dataset):
+        filt = TupleSampleFilter.fit(tiny_dataset, epsilon=0.25, seed=0)
+        assert filt.unseparated_sample_pairs([1]) == 3
+        assert filt.sample_is_key([0, 1])
+
+    def test_from_stream_equivalent(self, medium_dataset):
+        filt = TupleSampleFilter.from_stream(
+            iterate_rows(medium_dataset.codes), 0.05, sample_size=40, seed=0
+        )
+        assert filt.sample_size == 40
+        assert filt.accepts([5])  # the unique id column is always a key
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(EmptySampleError):
+            TupleSampleFilter(np.array([[1, 2]]), 0.1)
+
+    def test_memory_accounting(self, medium_dataset):
+        filt = TupleSampleFilter.fit(medium_dataset, 0.05, sample_size=40, seed=0)
+        assert filt.memory_cells() == 40 * medium_dataset.n_columns
+
+
+class TestMotwaniXuFilter:
+    def test_sample_size_formula(self):
+        data = planted_key_dataset(100_000, key_size=3, n_noise_columns=10, seed=0)
+        filt = MotwaniXuFilter.fit(data, epsilon=0.001, seed=0)
+        assert filt.sample_size == 13_000
+
+    def test_sample_clipped_to_pair_universe(self, tiny_dataset):
+        filt = MotwaniXuFilter.fit(tiny_dataset, epsilon=0.001, seed=0)
+        assert filt.sample_size <= 6
+
+    def test_accepts_keys_always(self, medium_dataset):
+        filt = MotwaniXuFilter.fit(medium_dataset, 0.01, seed=0)
+        assert filt.accepts([5])  # a real key separates every sampled pair
+
+    def test_rejects_planted_bad_set(self):
+        data = planted_clique_dataset(100_000, 8, epsilon=0.01, seed=3)
+        filt = MotwaniXuFilter.fit(data, epsilon=0.01, seed=4)
+        assert not filt.accepts([0])
+
+    def test_unseparated_sample_pairs_counts(self):
+        left = np.array([[0, 0], [1, 1], [2, 2]])
+        right = np.array([[0, 1], [1, 1], [3, 2]])
+        filt = MotwaniXuFilter(left, right, epsilon=0.1)
+        assert filt.unseparated_sample_pairs([0]) == 2  # rows 0 and 1 agree on c0
+        assert filt.unseparated_sample_pairs([0, 1]) == 1  # only row 1
+        assert not filt.accepts([0, 1])
+
+    def test_empty_attribute_set_rejected(self, medium_dataset):
+        filt = MotwaniXuFilter.fit(medium_dataset, 0.05, seed=0)
+        with pytest.raises(InvalidParameterError):
+            filt.accepts([])
+
+    def test_mismatched_pair_matrices_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MotwaniXuFilter(np.zeros((2, 3)), np.zeros((2, 4)), 0.1)
+
+    def test_from_stream(self, medium_dataset):
+        filt = MotwaniXuFilter.from_stream(
+            iterate_rows(medium_dataset.codes), 0.05, sample_size=25, seed=0
+        )
+        assert filt.sample_size == 25
+        assert filt.accepts([5])
+
+    def test_single_row_rejected(self):
+        data = Dataset(np.array([[0, 1]]))
+        with pytest.raises(InvalidParameterError):
+            MotwaniXuFilter.fit(data, 0.1)
+
+
+class TestNameBasedQueries:
+    """Filters built from named data accept column names in queries."""
+
+    def test_tuple_filter_names(self, tiny_dataset):
+        filt = TupleSampleFilter.fit(tiny_dataset, 0.25, seed=0)
+        assert filt.accepts(["zip", "age"]) == filt.accepts([0, 1])
+        assert filt.accepts(["zip", 1])  # mixed names and indices
+
+    def test_pair_filter_names(self, tiny_dataset):
+        filt = MotwaniXuFilter.fit(tiny_dataset, 0.25, seed=0)
+        assert filt.unseparated_sample_pairs(["age"]) == (
+            filt.unseparated_sample_pairs([1])
+        )
+
+    def test_unknown_name_rejected(self, tiny_dataset):
+        filt = TupleSampleFilter.fit(tiny_dataset, 0.25, seed=0)
+        with pytest.raises(InvalidParameterError):
+            filt.accepts(["nope"])
+
+    def test_names_unavailable_when_built_from_codes(self):
+        filt = TupleSampleFilter(np.array([[0, 1], [1, 0]]), 0.25)
+        with pytest.raises(InvalidParameterError):
+            filt.accepts(["zip"])
+
+
+class TestFilterAgreementStatistics:
+    """The two filters should agree on clear-cut queries."""
+
+    def test_agreement_on_keys_and_bad_sets(self):
+        data = planted_key_dataset(20_000, key_size=2, n_noise_columns=8, seed=0)
+        pair_filter = MotwaniXuFilter.fit(data, 0.01, seed=1)
+        tuple_filter = TupleSampleFilter.fit(data, 0.01, seed=1)
+        # The planted key: both accept.
+        assert pair_filter.accepts([0, 1]) and tuple_filter.accepts([0, 1])
+        # A single noise column (4 values over 20k rows): both reject.
+        assert not pair_filter.accepts([3])
+        assert not tuple_filter.accepts([3])
+
+    def test_theorem1_for_all_guarantee_empirically(self):
+        """One build must be simultaneously correct on all bad singletons."""
+        from repro.data.synthetic import grid_sample_dataset
+
+        data = grid_sample_dataset(q=20, m=6, n_rows=50_000, seed=0)
+        # ε with 1/ε ≈ q: every singleton is bad.
+        epsilon = 1.0 / 20.5
+        failures = 0
+        trials = 20
+        for trial in range(trials):
+            filt = TupleSampleFilter.fit(data, epsilon, constant=3.0, seed=trial)
+            if any(filt.accepts([c]) for c in range(6)):
+                failures += 1
+        assert failures == 0

@@ -1,0 +1,136 @@
+"""Tests for the masking problem (suppressing quasi-identifiers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.masking import (
+    MaskingResult,
+    mask_small_quasi_identifiers,
+    verify_masking,
+)
+from repro.core.separation import is_epsilon_key
+from repro.data.dataset import Dataset
+from repro.data.synthetic import adult_like
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def leaky_data() -> Dataset:
+    """Two near-identifier columns (id-like) plus three coarse columns."""
+    rng = np.random.default_rng(0)
+    n = 4_000
+    return Dataset(
+        np.column_stack(
+            [
+                np.arange(n),  # exact id
+                rng.permutation(n) // 2,  # near-id (pairs)
+                rng.integers(0, 4, n),
+                rng.integers(0, 3, n),
+                rng.integers(0, 5, n),
+            ]
+        ),
+        column_names=["id", "near_id", "a", "b", "c"],
+    )
+
+
+class TestMasking:
+    def test_suppresses_the_identifiers(self, leaky_data):
+        result = mask_small_quasi_identifiers(
+            leaky_data, epsilon=0.01, max_key_size=2, seed=0
+        )
+        # The id column must go; near_id too (it is a 0.01-key by itself:
+        # Γ = n/2 pairs << ε C(n,2)).
+        assert 0 in result.suppressed
+        assert 1 in result.suppressed
+        assert set(result.remaining) == {2, 3, 4}
+
+    def test_guarantee_verifies(self, leaky_data):
+        epsilon, k = 0.01, 2
+        result = mask_small_quasi_identifiers(
+            leaky_data, epsilon=epsilon, max_key_size=k, seed=0
+        )
+        assert verify_masking(leaky_data, result, epsilon, k)
+
+    def test_no_masking_needed_when_budget_tiny(self, leaky_data):
+        """With ε so small nothing of size ≤ k separates enough, no
+        suppression happens."""
+        coarse = leaky_data.select_columns(["a", "b", "c"])
+        result = mask_small_quasi_identifiers(
+            coarse, epsilon=0.000001, max_key_size=1, seed=0
+        )
+        assert result.suppressed == ()
+        assert result.rounds == 1
+
+    def test_exact_mode_flag(self, leaky_data):
+        exact = mask_small_quasi_identifiers(
+            leaky_data, epsilon=0.01, max_key_size=1, seed=0
+        )
+        assert exact.exact
+        heuristic = mask_small_quasi_identifiers(
+            leaky_data, epsilon=0.01, max_key_size=1, seed=0, exhaustive_limit=0
+        )
+        assert not heuristic.exact
+
+    def test_heuristic_mode_still_suppresses_identifiers(self, leaky_data):
+        result = mask_small_quasi_identifiers(
+            leaky_data,
+            epsilon=0.01,
+            max_key_size=1,
+            seed=0,
+            exhaustive_limit=0,
+        )
+        assert 0 in result.suppressed  # the exact id column must go
+        if result.certificate_key is not None:
+            # Heuristic certificate: a real ε-key larger than the budget.
+            assert len(result.certificate_key) > 1
+            assert is_epsilon_key(leaky_data, result.certificate_key, 0.011)
+
+    def test_find_small_epsilon_key_exact(self, leaky_data):
+        from repro.core.masking import find_small_epsilon_key
+
+        key = find_small_epsilon_key(leaky_data, range(5), 0.01, 1)
+        assert key == (0,)  # the id column is a perfect key
+        none = find_small_epsilon_key(leaky_data, [2, 3, 4], 0.0001, 1)
+        assert none is None
+
+    def test_adult_masking_end_to_end(self):
+        data = adult_like(6_000, seed=3)
+        result = mask_small_quasi_identifiers(
+            data, epsilon=0.001, max_key_size=1, seed=1
+        )
+        # fnlwgt (the near-unique weight) must be suppressed.
+        fnlwgt = data.column_index("fnlwgt")
+        assert fnlwgt in result.suppressed
+        # No remaining single column is a 0.001-key.
+        for column in result.remaining:
+            assert not is_epsilon_key(data, [column], 0.001)
+
+    def test_validation(self, leaky_data):
+        with pytest.raises(InvalidParameterError):
+            mask_small_quasi_identifiers(leaky_data, 0.0, 2)
+        with pytest.raises(InvalidParameterError):
+            mask_small_quasi_identifiers(leaky_data, 0.1, 0)
+
+
+class TestVerifyMasking:
+    def test_detects_violations(self, leaky_data):
+        fake = MaskingResult(
+            suppressed=(), remaining=tuple(range(5)), certificate_key=None,
+            rounds=0, exact=True,
+        )
+        assert not verify_masking(leaky_data, fake, 0.01, 2)
+
+    def test_empty_remaining_is_safe(self, leaky_data):
+        empty = MaskingResult(
+            suppressed=tuple(range(5)), remaining=(), certificate_key=None,
+            rounds=5, exact=True,
+        )
+        assert verify_masking(leaky_data, empty, 0.01, 2)
+
+    def test_enumeration_guard(self, leaky_data):
+        fake = MaskingResult(
+            suppressed=(), remaining=tuple(range(5)), certificate_key=None,
+            rounds=0, exact=True,
+        )
+        with pytest.raises(InvalidParameterError):
+            verify_masking(leaky_data, fake, 0.01, 4, exhaustive_limit=3)

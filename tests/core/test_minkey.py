@@ -1,0 +1,140 @@
+"""Tests for the minimum ε-separation key solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.minkey import (
+    ExactMinKey,
+    MotwaniXuMinKey,
+    TupleSampleMinKey,
+    approximate_min_key,
+)
+from repro.core.separation import is_epsilon_key, is_key, separation_ratio
+from repro.data.dataset import Dataset
+from repro.data.synthetic import planted_key_dataset, zipf_dataset
+from repro.exceptions import InfeasibleInstanceError, InvalidParameterError
+
+
+class TestExactMinKey:
+    def test_tiny_dataset(self, tiny_dataset):
+        result = ExactMinKey().solve(tiny_dataset)
+        assert result.key_size == 2
+        assert is_key(tiny_dataset, result.attributes)
+
+    def test_minimality(self, tiny_dataset):
+        result = ExactMinKey().solve(tiny_dataset)
+        # No single attribute is a key here.
+        for column in range(tiny_dataset.n_columns):
+            assert not is_key(tiny_dataset, [column])
+        assert result.key_size == 2
+
+    def test_unique_id_column(self, medium_dataset):
+        result = ExactMinKey().solve(medium_dataset)
+        assert result.attributes == (5,)  # the id column alone
+
+    def test_duplicates_infeasible(self, duplicate_rows_dataset):
+        with pytest.raises(InfeasibleInstanceError):
+            ExactMinKey().solve(duplicate_rows_dataset)
+
+    def test_pair_guard(self):
+        data = Dataset(np.arange(4000).reshape(-1, 1) % 4000)
+        with pytest.raises(InvalidParameterError):
+            ExactMinKey(max_pairs=1000).solve(data)
+
+    def test_planted_key_found_exactly(self):
+        data = planted_key_dataset(500, key_size=2, n_noise_columns=4, seed=0)
+        result = ExactMinKey().solve(data)
+        assert is_key(data, result.attributes)
+        assert result.key_size <= 2
+
+
+class TestTupleSampleMinKey:
+    def test_returns_epsilon_key(self):
+        data = zipf_dataset(30_000, n_columns=10, cardinality=50, seed=0)
+        result = TupleSampleMinKey(0.01, seed=1).solve(data)
+        assert result.method == "tuple-sample-cliques"
+        assert is_epsilon_key(data, result.attributes, 0.05)
+
+    def test_sample_size_default(self):
+        data = zipf_dataset(50_000, n_columns=10, cardinality=50, seed=0)
+        result = TupleSampleMinKey(0.001, seed=1).solve(data)
+        assert result.sample_size == 317  # ceil(10/sqrt(0.001))
+
+    def test_duplicates_tolerated_by_default(self, duplicate_rows_dataset):
+        result = TupleSampleMinKey(0.2, seed=0).solve(duplicate_rows_dataset)
+        # Greedy stops at the best achievable separation.
+        assert result.key_size >= 1
+
+    def test_duplicates_strict_mode(self):
+        codes = np.zeros((100, 2), dtype=np.int64)  # all rows identical
+        data = Dataset(codes)
+        solver = TupleSampleMinKey(0.2, seed=0, allow_duplicates=False)
+        with pytest.raises(InfeasibleInstanceError):
+            solver.solve(data)
+
+    def test_separates_all_sample_pairs(self):
+        data = zipf_dataset(20_000, n_columns=8, cardinality=40, seed=2)
+        result = TupleSampleMinKey(0.01, seed=3).solve(data)
+        # By construction the key separates the whole sample, hence w.h.p.
+        # at least (1 - ε') of all pairs for small ε'.
+        assert separation_ratio(data, result.attributes) > 0.99
+
+
+class TestMotwaniXuMinKey:
+    def test_returns_epsilon_key(self):
+        data = zipf_dataset(30_000, n_columns=10, cardinality=50, seed=0)
+        result = MotwaniXuMinKey(0.01, seed=1).solve(data)
+        assert result.method == "motwani-xu-pairs"
+        assert is_epsilon_key(data, result.attributes, 0.05)
+
+    def test_sample_size_default(self):
+        data = zipf_dataset(50_000, n_columns=10, cardinality=50, seed=0)
+        result = MotwaniXuMinKey(0.001, seed=1).solve(data)
+        assert result.sample_size == 10_000
+
+    def test_duplicate_pairs_dropped(self):
+        codes = np.zeros((1_000, 3), dtype=np.int64)
+        codes[:, 0] = np.arange(1_000) // 500  # two big groups
+        codes[:, 1] = np.arange(1_000)  # id column
+        data = Dataset(codes)
+        result = MotwaniXuMinKey(0.1, seed=0).solve(data)
+        assert 1 in result.attributes  # must use the id column
+
+    def test_strict_duplicate_mode(self):
+        codes = np.zeros((100, 2), dtype=np.int64)
+        data = Dataset(codes)
+        solver = MotwaniXuMinKey(0.1, seed=0, drop_duplicate_pairs=False)
+        with pytest.raises(InfeasibleInstanceError):
+            solver.solve(data)
+
+    def test_all_duplicates_infeasible(self):
+        codes = np.zeros((100, 2), dtype=np.int64)
+        data = Dataset(codes)
+        with pytest.raises(InfeasibleInstanceError):
+            MotwaniXuMinKey(0.1, seed=0).solve(data)
+
+
+class TestApproximateMinKeyFacade:
+    def test_dispatch(self):
+        data = planted_key_dataset(2_000, key_size=2, n_noise_columns=4, seed=0)
+        for method in ("tuples", "pairs", "exact"):
+            result = approximate_min_key(data, 0.01, method=method, seed=0)
+            assert result.key_size >= 1
+
+    def test_unknown_method(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            approximate_min_key(tiny_dataset, 0.1, method="magic")
+
+    def test_approximation_quality_vs_exact(self):
+        """Greedy keys are within the (ln N + 1) factor of the optimum —
+        in practice far closer; assert a generous bound."""
+        data = planted_key_dataset(1_500, key_size=3, n_noise_columns=5, seed=1)
+        exact = approximate_min_key(data, 0.01, method="exact")
+        greedy = approximate_min_key(data, 0.01, method="tuples", seed=2)
+        assert greedy.key_size <= 3 * exact.key_size
+
+    def test_both_sampling_methods_similar_keys(self):
+        data = zipf_dataset(20_000, n_columns=12, cardinality=30, seed=5)
+        tuples = approximate_min_key(data, 0.01, method="tuples", seed=6)
+        pairs = approximate_min_key(data, 0.01, method="pairs", seed=6)
+        assert abs(tuples.key_size - pairs.key_size) <= 2

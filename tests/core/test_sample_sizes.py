@@ -1,0 +1,118 @@
+"""Tests for :mod:`repro.core.sample_sizes` — including the Table 1 numbers."""
+
+import pytest
+
+from repro.core.sample_sizes import (
+    failure_probability_pairs,
+    lemma3_lower_bound,
+    lemma4_lower_bound,
+    motwani_xu_pair_sample_size,
+    pairs_sample_size_for_failure,
+    sketch_pair_sample_size,
+    tuple_sample_regime_ok,
+    tuple_sample_size,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestPaperSampleSizes:
+    """The defaults must reproduce the paper's Table 1 sample sizes."""
+
+    @pytest.mark.parametrize(
+        "m,expected_pairs,expected_tuples",
+        [
+            (13, 13_000, 412),  # Adult      (paper: 13,000 / 411)
+            (55, 55_000, 1_740),  # Covtype  (paper: 55,000 / 1,739)
+            (372, 372_000, 11_764),  # CPS    (paper: 372,000 / 11,764)
+        ],
+    )
+    def test_table1_sample_sizes(self, m, expected_pairs, expected_tuples):
+        epsilon = 0.001
+        assert motwani_xu_pair_sample_size(m, epsilon) == expected_pairs
+        # We take the ceiling; the paper truncates (documented off-by-one).
+        assert abs(tuple_sample_size(m, epsilon) - expected_tuples) <= 1
+
+    def test_ratio_is_sqrt_epsilon(self):
+        m, epsilon = 100, 0.0001
+        ratio = motwani_xu_pair_sample_size(m, epsilon) / tuple_sample_size(m, epsilon)
+        assert ratio == pytest.approx(1.0 / epsilon**0.5, rel=0.01)
+
+
+class TestScaling:
+    def test_pair_size_linear_in_m(self):
+        assert motwani_xu_pair_sample_size(20, 0.01) == 2 * motwani_xu_pair_sample_size(
+            10, 0.01
+        )
+
+    def test_tuple_size_scales_with_sqrt_eps(self):
+        small = tuple_sample_size(10, 0.04)
+        large = tuple_sample_size(10, 0.01)
+        assert large == pytest.approx(2 * small, abs=2)
+
+    def test_constant_multiplier(self):
+        assert tuple_sample_size(10, 0.01, constant=10) == pytest.approx(
+            10 * tuple_sample_size(10, 0.01), abs=10
+        )
+
+    def test_invalid_constant(self):
+        with pytest.raises(InvalidParameterError):
+            tuple_sample_size(10, 0.01, constant=0)
+        with pytest.raises(InvalidParameterError):
+            motwani_xu_pair_sample_size(10, 0.01, constant=-1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            tuple_sample_size(10, 0.0)
+        with pytest.raises(InvalidParameterError):
+            motwani_xu_pair_sample_size(10, 1.5)
+
+
+class TestRegimeCheck:
+    def test_large_n_in_regime(self):
+        assert tuple_sample_regime_ok(n=1_000_000, m=10, epsilon=0.001)
+
+    def test_small_n_out_of_regime(self):
+        assert not tuple_sample_regime_ok(n=100, m=10, epsilon=0.001)
+
+
+class TestSketchSampleSize:
+    def test_grows_with_k(self):
+        small = sketch_pair_sample_size(1, 100, 0.1, 0.1)
+        large = sketch_pair_sample_size(4, 100, 0.1, 0.1)
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_quadratic_in_inverse_epsilon(self):
+        coarse = sketch_pair_sample_size(2, 100, 0.1, 0.2)
+        fine = sketch_pair_sample_size(2, 100, 0.1, 0.1)
+        assert fine == pytest.approx(4 * coarse, rel=0.01)
+
+
+class TestLowerBoundFormulas:
+    def test_lemma3_smaller_than_lemma4(self):
+        # √(log m/ε) << m/√ε for reasonable m.
+        m, epsilon = 50, 0.001
+        assert lemma3_lower_bound(m, epsilon) < lemma4_lower_bound(m, epsilon)
+
+    def test_lemma4_matches_theorem1_order(self):
+        m, epsilon = 40, 0.01
+        upper = tuple_sample_size(m, epsilon)
+        lower = lemma4_lower_bound(m, epsilon)
+        assert lower <= upper <= 8 * lower  # within the universal constants
+
+
+class TestFailureProbability:
+    def test_decreases_with_samples(self):
+        m, epsilon = 10, 0.01
+        p_few = failure_probability_pairs(100, epsilon, m)
+        p_many = failure_probability_pairs(10_000, epsilon, m)
+        assert p_many < p_few
+
+    def test_inversion_consistency(self):
+        m, epsilon, delta = 12, 0.01, 0.05
+        size = pairs_sample_size_for_failure(delta, epsilon, m)
+        assert failure_probability_pairs(size, epsilon, m) <= delta
+        if size > 1:
+            assert failure_probability_pairs(size - 1, epsilon, m) > delta
+
+    def test_clipped_to_one(self):
+        assert failure_probability_pairs(1, 0.001, 100) == 1.0

@@ -1,0 +1,163 @@
+"""Unit and property tests for :mod:`repro.core.separation`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import (
+    clique_sizes,
+    group_labels,
+    has_duplicate_projection,
+    is_epsilon_key,
+    is_key,
+    separated_pairs,
+    separates_pair,
+    separation_ratio,
+    unseparated_pairs,
+    unseparated_pairs_from_cliques,
+    unseparated_pairs_naive,
+)
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import pairs_count
+
+
+class TestGroupLabels:
+    def test_single_column(self, tiny_dataset):
+        labels = group_labels(tiny_dataset, [0])
+        # Rows 0 and 2 share zip 92101.
+        assert labels[0] == labels[2]
+        assert len(set(labels.tolist())) == 3
+
+    def test_two_columns_refine(self, tiny_dataset):
+        labels = group_labels(tiny_dataset, [0, 1])
+        assert len(set(labels.tolist())) == 4  # a key -> all singletons
+
+    def test_labels_are_dense(self, medium_dataset):
+        labels = group_labels(medium_dataset, [0, 1])
+        assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_empty_attribute_set_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            group_labels(tiny_dataset, [])
+
+
+class TestCliqueSizes:
+    def test_known_structure(self, tiny_dataset):
+        sizes = sorted(clique_sizes(tiny_dataset, [1]).tolist())
+        assert sizes == [1, 3]
+
+    def test_sizes_sum_to_n(self, medium_dataset):
+        sizes = clique_sizes(medium_dataset, [0, 2])
+        assert sizes.sum() == medium_dataset.n_rows
+
+
+class TestUnseparatedPairs:
+    def test_tiny_known_values(self, tiny_dataset):
+        assert unseparated_pairs(tiny_dataset, [0]) == 1  # {0,2}
+        assert unseparated_pairs(tiny_dataset, [1]) == 3  # {0,1,3}
+        assert unseparated_pairs(tiny_dataset, [2]) == 3  # {0,2,3}
+        assert unseparated_pairs(tiny_dataset, [0, 1]) == 0
+
+    def test_from_cliques_formula(self):
+        assert unseparated_pairs_from_cliques(np.array([3, 2, 1])) == 3 + 1
+        assert unseparated_pairs_from_cliques(np.array([1, 1, 1])) == 0
+        assert unseparated_pairs_from_cliques(np.array([], dtype=np.int64)) == 0
+
+    def test_from_cliques_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            unseparated_pairs_from_cliques(np.array([-1, 2]))
+
+    def test_matches_naive_on_random_data(self):
+        rng = np.random.default_rng(0)
+        data = Dataset(rng.integers(0, 4, size=(60, 5)))
+        for attrs in ([0], [1, 3], [0, 2, 4], list(range(5))):
+            assert unseparated_pairs(data, attrs) == unseparated_pairs_naive(
+                data, attrs
+            )
+
+    def test_naive_guard(self):
+        data = Dataset(np.zeros((3_001, 1), dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            unseparated_pairs_naive(data, [0])
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_fast_equals_naive(self, n_rows, n_cols, seed):
+        rng = np.random.default_rng(seed)
+        data = Dataset(rng.integers(0, 3, size=(n_rows, n_cols)))
+        attrs = sorted(
+            rng.choice(n_cols, size=rng.integers(1, n_cols + 1), replace=False)
+        )
+        assert unseparated_pairs(data, attrs) == unseparated_pairs_naive(data, attrs)
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_monotonicity(self, n_rows, n_cols, seed):
+        """Adding attributes can only decrease Γ (separate more pairs)."""
+        rng = np.random.default_rng(seed)
+        data = Dataset(rng.integers(0, 3, size=(n_rows, n_cols)))
+        single = unseparated_pairs(data, [0])
+        double = unseparated_pairs(data, [0, 1])
+        everything = unseparated_pairs(data, list(range(n_cols)))
+        assert everything <= double <= single
+
+
+class TestDerivedPredicates:
+    def test_separated_pairs_complement(self, tiny_dataset):
+        total = pairs_count(tiny_dataset.n_rows)
+        for attrs in ([0], [1], [0, 2]):
+            assert (
+                separated_pairs(tiny_dataset, attrs)
+                + unseparated_pairs(tiny_dataset, attrs)
+                == total
+            )
+
+    def test_separation_ratio(self, tiny_dataset):
+        assert separation_ratio(tiny_dataset, [0, 1]) == 1.0
+        assert separation_ratio(tiny_dataset, [1]) == pytest.approx(0.5)
+
+    def test_separation_ratio_single_row(self):
+        data = Dataset(np.array([[1, 2]]))
+        assert separation_ratio(data, [0]) == 1.0
+
+    def test_is_key(self, tiny_dataset):
+        assert is_key(tiny_dataset, [0, 1])
+        assert not is_key(tiny_dataset, [0])
+
+    def test_is_epsilon_key_thresholds(self, tiny_dataset):
+        # Γ({0}) = 1 of 6 pairs: an ε-key iff ε ≥ 1/6.
+        assert is_epsilon_key(tiny_dataset, [0], 0.2)
+        assert not is_epsilon_key(tiny_dataset, [0], 0.1)
+
+    def test_separates_pair(self, tiny_dataset):
+        assert separates_pair(tiny_dataset, [0], 0, 1)
+        assert not separates_pair(tiny_dataset, [0], 0, 2)
+
+    def test_separates_pair_validation(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            separates_pair(tiny_dataset, [0], 0, 0)
+        with pytest.raises(InvalidParameterError):
+            separates_pair(tiny_dataset, [0], 0, 99)
+
+    def test_has_duplicate_projection(self, tiny_dataset):
+        assert has_duplicate_projection(tiny_dataset, [0])
+        assert not has_duplicate_projection(tiny_dataset, [0, 1])
+
+    def test_transitivity_clique_consistency(self, medium_dataset):
+        """G_A is a disjoint union of cliques: label equality is transitive
+        and Γ equals the sum over cliques — cross-check via pair counting on
+        a projected sample."""
+        labels = group_labels(medium_dataset, [0, 1])
+        sizes = np.bincount(labels)
+        gamma = unseparated_pairs(medium_dataset, [0, 1])
+        assert gamma == int(((sizes * (sizes - 1)) // 2).sum())

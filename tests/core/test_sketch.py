@@ -1,0 +1,153 @@
+"""Tests for the non-separation estimation sketch (Theorem 2 upper bound)."""
+
+import numpy as np
+import pytest
+
+from repro.core.separation import unseparated_pairs
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.data.synthetic import zipf_dataset
+from repro.exceptions import InvalidParameterError, SketchQueryError
+from repro.sampling.streams import iterate_rows
+from repro.types import pairs_count
+
+
+@pytest.fixture
+def skewed_data() -> Dataset:
+    """8 000 rows; low-cardinality columns so Γ is large for singletons."""
+    return zipf_dataset(8_000, n_columns=6, cardinality=4, seed=7)
+
+
+class TestConstruction:
+    def test_sample_size_formula(self, skewed_data):
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=0.1, epsilon=0.1, seed=0
+        )
+        from repro.core.sample_sizes import sketch_pair_sample_size
+
+        expected = sketch_pair_sample_size(2, skewed_data.n_columns, 0.1, 0.1)
+        assert sketch.sample_size == expected
+
+    def test_with_replacement_sample_can_exceed_universe(self, tiny_dataset):
+        """Pairs are drawn with replacement, so tiny data still gets the
+        full requested precision (no clipping to C(n, 2))."""
+        sketch = NonSeparationSketch.fit(
+            tiny_dataset, k=1, alpha=0.1, epsilon=0.1, seed=0
+        )
+        assert sketch.sample_size > pairs_count(tiny_dataset.n_rows)
+
+    def test_from_stream(self, skewed_data):
+        sketch = NonSeparationSketch.from_stream(
+            iterate_rows(skewed_data.codes),
+            k=2,
+            alpha=0.1,
+            epsilon=0.1,
+            sample_size=500,
+            seed=0,
+        )
+        assert sketch.sample_size == 500
+        assert sketch.n_rows == skewed_data.n_rows
+
+    def test_invalid_shapes(self):
+        with pytest.raises(InvalidParameterError):
+            NonSeparationSketch(
+                np.zeros((3, 2)), np.zeros((4, 2)), n_rows=10, k=1,
+                alpha=0.1, epsilon=0.1,
+            )
+
+
+class TestQueryContract:
+    def test_query_size_enforced(self, skewed_data):
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=0.1, epsilon=0.1, seed=0
+        )
+        with pytest.raises(SketchQueryError):
+            sketch.query([0, 1, 2])
+
+    def test_empty_query_rejected(self, skewed_data):
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=0.1, epsilon=0.1, seed=0
+        )
+        with pytest.raises(InvalidParameterError):
+            sketch.query([])
+
+    def test_small_answer_for_near_keys(self, skewed_data):
+        """Querying a key-like set must yield "small", not a bogus estimate."""
+        codes = np.column_stack(
+            [np.arange(8_000), np.zeros(8_000, dtype=np.int64)]
+        )
+        data = Dataset(codes)
+        sketch = NonSeparationSketch.fit(data, k=1, alpha=0.1, epsilon=0.1, seed=0)
+        answer = sketch.query([0])  # a perfect key: Γ = 0
+        assert answer.is_small
+        assert answer.estimate is None
+
+
+class TestAccuracy:
+    def test_estimate_within_band_for_large_gamma(self, skewed_data):
+        """Theorem 2: (1 ± ε) accuracy whenever Γ_A ≥ α·C(n, 2)."""
+        alpha, epsilon = 0.05, 0.1
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=alpha, epsilon=epsilon, seed=1
+        )
+        total = pairs_count(skewed_data.n_rows)
+        for attrs in ([0], [1], [0, 1], [2, 3]):
+            gamma = unseparated_pairs(skewed_data, attrs)
+            if gamma < alpha * total:
+                continue
+            answer = sketch.query(attrs)
+            assert not answer.is_small
+            assert (1 - epsilon) * gamma <= answer.estimate <= (1 + epsilon) * gamma
+
+    def test_for_all_guarantee_over_query_space(self, skewed_data):
+        """All C(m,1)+C(m,2) queries answered correctly in one build."""
+        import itertools
+
+        alpha, epsilon = 0.05, 0.15
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=alpha, epsilon=epsilon, seed=2
+        )
+        total = pairs_count(skewed_data.n_rows)
+        m = skewed_data.n_columns
+        queries = [(c,) for c in range(m)] + list(
+            itertools.combinations(range(m), 2)
+        )
+        for attrs in queries:
+            gamma = unseparated_pairs(skewed_data, attrs)
+            answer = sketch.query(list(attrs))
+            if gamma >= alpha * total:
+                assert not answer.is_small
+                assert (1 - epsilon) * gamma <= answer.estimate <= (
+                    1 + epsilon
+                ) * gamma
+            elif gamma < alpha * total / 100:
+                # Far below threshold: must answer small w.h.p.
+                assert answer.is_small
+
+    def test_estimator_is_unbiased_scaling(self, skewed_data):
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=1, alpha=0.05, epsilon=0.1, seed=3
+        )
+        answer = sketch.query([0])
+        d_a = answer.unseparated_sample_pairs
+        expected = d_a * pairs_count(skewed_data.n_rows) / sketch.sample_size
+        assert answer.estimate == pytest.approx(expected)
+
+
+class TestMemoryAccounting:
+    def test_memory_bits_structure(self, skewed_data):
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=0.1, epsilon=0.1, seed=0
+        )
+        cells = 2 * sketch.sample_size * sketch.n_columns
+        assert sketch.memory_bits(universe_bits=1) == cells
+        assert sketch.memory_bits(universe_bits=8) == 8 * cells
+        assert sketch.memory_bits() >= cells  # default uses >= 1 bit per cell
+
+    def test_upper_bound_exceeds_lower_bound(self, skewed_data):
+        """The sampling sketch is above the Ω(mk·log 1/ε) lower bound —
+        tight in m and k, loose in the ε/α factors (as the paper states)."""
+        sketch = NonSeparationSketch.fit(
+            skewed_data, k=2, alpha=0.1, epsilon=0.1, seed=0
+        )
+        assert sketch.memory_bits() >= sketch.lower_bound_bits()

@@ -1,0 +1,133 @@
+"""Tests for the Metanome-style minimal-UCC lattice discovery."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import is_epsilon_key, is_key
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.ucc import discover_minimal_epsilon_uccs, discover_minimal_uccs
+
+
+def brute_force_minimal_uccs(data: Dataset, predicate) -> set:
+    """Reference: enumerate every subset, keep the minimal satisfying ones."""
+    m = data.n_columns
+    satisfying = [
+        attrs
+        for size in range(1, m + 1)
+        for attrs in itertools.combinations(range(m), size)
+        if predicate(attrs)
+    ]
+    minimal = set()
+    for attrs in satisfying:
+        if not any(
+            set(other) < set(attrs) for other in satisfying if other != attrs
+        ):
+            minimal.add(attrs)
+    return minimal
+
+
+class TestDiscoverMinimalUccs:
+    def test_tiny_known_answer(self, tiny_dataset):
+        result = discover_minimal_uccs(tiny_dataset)
+        # Only zip+age is a key: rows 0 and 2 share (zip, sex) and rows
+        # 0/1/3 collapse under age+sex combinations.
+        assert result.minimal_uccs == ((0, 1),)
+        assert result.minimum_key_size == 2
+
+    def test_single_column_key(self, medium_dataset):
+        result = discover_minimal_uccs(medium_dataset)
+        assert (5,) in result.minimal_uccs  # the id column
+        # No other minimal UCC may contain column 5.
+        assert all(5 not in ucc for ucc in result.minimal_uccs if ucc != (5,))
+
+    def test_no_key_when_duplicates(self, duplicate_rows_dataset):
+        result = discover_minimal_uccs(duplicate_rows_dataset)
+        assert result.minimal_uccs == ()
+        assert result.minimum_key_size is None
+
+    def test_max_size_cap(self, tiny_dataset):
+        result = discover_minimal_uccs(tiny_dataset, max_size=1)
+        assert result.minimal_uccs == ()
+        assert result.levels_explored == 1
+
+    def test_invalid_max_size(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            discover_minimal_uccs(tiny_dataset, max_size=0)
+
+    def test_pruning_reduces_checks(self, medium_dataset):
+        """With the id column present, minimality pruning must keep the
+        check count far below the full lattice."""
+        result = discover_minimal_uccs(medium_dataset)
+        assert result.candidates_checked < 2**medium_dataset.n_columns
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n_rows = int(rng.integers(4, 30))
+        n_cols = int(rng.integers(2, 5))
+        data = Dataset(rng.integers(0, 3, size=(n_rows, n_cols)))
+        result = discover_minimal_uccs(data)
+        expected = brute_force_minimal_uccs(
+            data, lambda attrs: is_key(data, attrs)
+        )
+        assert set(result.minimal_uccs) == expected
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_results_are_minimal_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        data = Dataset(rng.integers(0, 4, size=(25, 4)))
+        result = discover_minimal_uccs(data)
+        for ucc in result.minimal_uccs:
+            assert is_key(data, ucc)
+            for drop in range(len(ucc)):
+                smaller = ucc[:drop] + ucc[drop + 1 :]
+                if smaller:
+                    assert not is_key(data, smaller)
+
+
+class TestDiscoverMinimalEpsilonUccs:
+    def test_epsilon_relaxation_finds_smaller_sets(self):
+        rng = np.random.default_rng(0)
+        n = 2_000
+        near_id = rng.permutation(n) // 2  # unique up to pairs
+        codes = np.column_stack([near_id, rng.integers(0, 3, n), np.arange(n)])
+        data = Dataset(codes)
+        exact = discover_minimal_uccs(data)
+        relaxed = discover_minimal_epsilon_uccs(data, 0.01)
+        # Perfect: only the id column; relaxed: near_id qualifies too.
+        assert (0,) not in exact.minimal_uccs
+        assert (0,) in relaxed.minimal_uccs
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        data = Dataset(rng.integers(0, 3, size=(20, 4)))
+        epsilon = 0.2
+        result = discover_minimal_epsilon_uccs(data, epsilon)
+        expected = brute_force_minimal_uccs(
+            data, lambda attrs: is_epsilon_key(data, attrs, epsilon)
+        )
+        assert set(result.minimal_uccs) == expected
+
+    def test_minimum_matches_exact_min_key(self):
+        """Smallest UCC size == ExactMinKey's answer (two independent
+        exact algorithms must agree)."""
+        from repro.core.minkey import ExactMinKey
+
+        rng = np.random.default_rng(1)
+        codes = np.column_stack(
+            [rng.integers(0, 5, 200), rng.integers(0, 5, 200), np.arange(200) % 50,
+             np.arange(200)]
+        )
+        data = Dataset(codes)
+        lattice = discover_minimal_uccs(data)
+        branch_and_bound = ExactMinKey().solve(data)
+        assert lattice.minimum_key_size == branch_and_bound.key_size

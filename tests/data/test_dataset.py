@@ -1,0 +1,134 @@
+"""Unit tests for :class:`repro.data.dataset.Dataset`."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DatasetShapeError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_from_codes(self):
+        data = Dataset(np.array([[0, 1], [1, 0]]))
+        assert data.shape == (2, 2)
+        assert data.column_names == ("c0", "c1")
+
+    def test_from_columns(self, tiny_dataset):
+        assert tiny_dataset.shape == (4, 3)
+        assert tiny_dataset.column_names == ("zip", "age", "sex")
+
+    def test_from_rows(self):
+        data = Dataset.from_rows([("a", 1), ("b", 1), ("a", 2)], ["letter", "digit"])
+        assert data.shape == (3, 2)
+        assert data.decode_row(0) == ("a", 1)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            Dataset.from_rows([(1, 2), (1,)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            Dataset(np.empty((0, 3), dtype=np.int64))
+        with pytest.raises(DatasetShapeError):
+            Dataset.from_rows([])
+        with pytest.raises(DatasetShapeError):
+            Dataset.from_columns({})
+
+    def test_negative_codes_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            Dataset(np.array([[-1, 0]]))
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            Dataset(np.array([1, 2, 3]))
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            Dataset(np.zeros((2, 2), dtype=np.int64), column_names=["a", "a"])
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            Dataset(np.zeros((2, 2), dtype=np.int64), column_names=["only"])
+
+    def test_codes_are_read_only(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.codes[0, 0] = 99
+
+
+class TestProperties:
+    def test_n_pairs(self, tiny_dataset):
+        assert tiny_dataset.n_pairs == 6
+
+    def test_repr(self, tiny_dataset):
+        assert "n_rows=4" in repr(tiny_dataset)
+
+    def test_equality(self, tiny_dataset):
+        same = Dataset(
+            tiny_dataset.codes.copy(), column_names=tiny_dataset.column_names
+        )
+        assert tiny_dataset == same
+        other = Dataset(np.zeros((4, 3), dtype=np.int64))
+        assert tiny_dataset != other
+
+    def test_cardinalities(self, tiny_dataset):
+        assert tiny_dataset.cardinalities().tolist() == [3, 2, 2]
+
+
+class TestColumnAccess:
+    def test_column_index(self, tiny_dataset):
+        assert tiny_dataset.column_index("age") == 1
+
+    def test_unknown_column(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            tiny_dataset.column_index("missing")
+
+    def test_resolve_mixed_names_and_indices(self, tiny_dataset):
+        assert tiny_dataset.resolve_attributes(["sex", 0]) == (0, 2)
+
+    def test_decode_row(self, tiny_dataset):
+        assert tiny_dataset.decode_row(1) == (92102, 34, "M")
+
+    def test_decode_row_out_of_range(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            tiny_dataset.decode_row(10)
+
+    def test_decode_without_universes(self):
+        data = Dataset(np.array([[3, 4]]))
+        assert data.decode_row(0) == (3, 4)
+
+
+class TestProjectionAndSubsetting:
+    def test_project(self, tiny_dataset):
+        projected = tiny_dataset.project([0, 2])
+        assert projected.shape == (4, 2)
+
+    def test_project_empty_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            tiny_dataset.project([])
+
+    def test_take_rows(self, tiny_dataset):
+        subset = tiny_dataset.take_rows([0, 2])
+        assert subset.n_rows == 2
+        assert subset.decode_row(1) == tiny_dataset.decode_row(2)
+
+    def test_take_rows_out_of_range(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            tiny_dataset.take_rows([7])
+
+    def test_sample_rows_without_replacement(self, medium_dataset):
+        sample = medium_dataset.sample_rows(50, seed=0)
+        assert sample.n_rows == 50
+        # Distinct rows: the id column must hold 50 distinct values.
+        assert np.unique(sample.codes[:, 5]).size == 50
+
+    def test_sample_rows_full_when_oversized(self, tiny_dataset):
+        assert tiny_dataset.sample_rows(100, seed=0) is tiny_dataset
+
+    def test_sample_rows_invalid_size(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            tiny_dataset.sample_rows(0)
+
+    def test_select_columns_by_name(self, tiny_dataset):
+        selected = tiny_dataset.select_columns(["age", "sex"])
+        assert selected.column_names == ("age", "sex")
+        assert selected.decode_row(1) == (34, "M")

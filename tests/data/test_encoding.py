@@ -1,0 +1,87 @@
+"""Unit and property tests for :mod:`repro.data.encoding`."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.encoding import factorize_column, factorize_table, recompact_codes
+from repro.exceptions import DatasetShapeError
+
+
+class TestFactorizeColumn:
+    def test_codes_preserve_equality(self):
+        codes, universe = factorize_column(["a", "b", "a", "c", "b"])
+        assert codes.tolist() == [0, 1, 0, 2, 1]
+        assert universe == ["a", "b", "c"]
+
+    def test_mixed_hashables(self):
+        codes, universe = factorize_column([1, "1", (1,), 1])
+        assert codes[0] == codes[3]
+        assert len(set(codes.tolist())) == 3
+
+    def test_nan_values_are_one_category(self):
+        codes, _ = factorize_column([math.nan, 1.0, math.nan, 2.0])
+        assert codes[0] == codes[2]
+        assert codes[0] != codes[1]
+
+    def test_decoding_round_trip(self):
+        values = ["x", "y", "x", "z", "z"]
+        codes, universe = factorize_column(values)
+        assert [universe[c] for c in codes] == values
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=100))
+    @settings(max_examples=60)
+    def test_equality_structure_preserved(self, values):
+        codes, _ = factorize_column(values)
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                assert (values[i] == values[j]) == (codes[i] == codes[j])
+
+    def test_codes_are_dense(self):
+        codes, universe = factorize_column(["q", "r", "q", "s"])
+        assert set(codes.tolist()) == set(range(len(universe)))
+
+
+class TestFactorizeTable:
+    def test_basic_shape(self):
+        codes, universes = factorize_table([["a", "b"], [1, 1]])
+        assert codes.shape == (2, 2)
+        assert len(universes) == 2
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            factorize_table([["a", "b"], [1]])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            factorize_table([])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            factorize_table([[], []])
+
+
+class TestRecompactCodes:
+    def test_dense_codes_after_subsetting(self):
+        codes = np.array([[10, 7], [10, 9], [20, 7]])
+        compact = recompact_codes(codes)
+        assert compact[:, 0].tolist() == [0, 0, 1]
+        assert compact[:, 1].tolist() == [0, 1, 0]
+
+    def test_preserves_equality_structure(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 1000, size=(50, 4))
+        compact = recompact_codes(codes)
+        for col in range(4):
+            original = codes[:, col]
+            new = compact[:, col]
+            same_original = original[:, None] == original[None, :]
+            same_new = new[:, None] == new[None, :]
+            assert np.array_equal(same_original, same_new)
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(DatasetShapeError):
+            recompact_codes(np.arange(5))

@@ -1,0 +1,77 @@
+"""Round-trip tests for :mod:`repro.data.io`."""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.io import load_csv, save_csv
+from repro.exceptions import DatasetShapeError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("city,zip,age\nSD,92101,30\nLA,90001,41\nSD,92101,30\n")
+    return path
+
+
+class TestLoadCsv:
+    def test_basic_load(self, csv_file):
+        data = load_csv(csv_file)
+        assert data.shape == (3, 3)
+        assert data.column_names == ("city", "zip", "age")
+
+    def test_numeric_conversion(self, csv_file):
+        data = load_csv(csv_file)
+        assert data.decode_row(0) == ("SD", 92101, 30)
+
+    def test_no_conversion_keeps_tokens(self, csv_file):
+        data = load_csv(csv_file, convert_numbers=False)
+        assert data.decode_row(0) == ("SD", "92101", "30")
+
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,2\n3,4\n")
+        data = load_csv(path, has_header=False)
+        assert data.shape == (2, 2)
+        assert data.column_names == ("c0", "c1")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetShapeError):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DatasetShapeError):
+            load_csv(path)
+
+    def test_numeral_normalization_merges_tokens(self, tmp_path):
+        # "07" and "7" are the same value with conversion, different without.
+        path = tmp_path / "zeros.csv"
+        path.write_text("x\n07\n7\n")
+        converted = load_csv(path)
+        raw = load_csv(path, convert_numbers=False)
+        assert converted.column_cardinality(0) == 1
+        assert raw.column_cardinality(0) == 2
+
+
+class TestSaveCsv:
+    def test_round_trip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "out.csv"
+        save_csv(tiny_dataset, path)
+        loaded = load_csv(path)
+        assert loaded.column_names == tiny_dataset.column_names
+        for row in range(tiny_dataset.n_rows):
+            assert loaded.decode_row(row) == tiny_dataset.decode_row(row)
+
+    def test_round_trip_codes_only(self, tmp_path):
+        data = Dataset(
+            __import__("numpy").array([[0, 1], [2, 3]]), column_names=["a", "b"]
+        )
+        path = tmp_path / "codes.csv"
+        save_csv(data, path)
+        loaded = load_csv(path)
+        assert loaded.shape == (2, 2)
+        assert loaded.decode_row(1) == (2, 3)

@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.data.profile`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.profile import (
+    joint_entropy_bits,
+    profile_column,
+    profile_dataset,
+    profiles_to_rows,
+    rank_by_identifiability,
+)
+from repro.exceptions import InvalidParameterError
+from repro.types import pairs_count
+
+
+@pytest.fixture
+def structured_data() -> Dataset:
+    """Column 0 constant, column 1 binary balanced, column 2 unique id."""
+    n = 64
+    return Dataset(
+        np.column_stack(
+            [
+                np.zeros(n, dtype=np.int64),
+                np.arange(n) % 2,
+                np.arange(n),
+            ]
+        ),
+        column_names=["constant", "binary", "id"],
+    )
+
+
+class TestProfileColumn:
+    def test_constant_column(self, structured_data):
+        profile = profile_column(structured_data, 0)
+        assert profile.cardinality == 1
+        assert profile.gamma == pairs_count(64)
+        assert profile.separation_ratio == 0.0
+        assert profile.entropy_bits == pytest.approx(0.0)
+        assert profile.max_frequency == 1.0
+
+    def test_binary_balanced_column(self, structured_data):
+        profile = profile_column(structured_data, 1)
+        assert profile.cardinality == 2
+        assert profile.entropy_bits == pytest.approx(1.0)
+        assert profile.max_frequency == pytest.approx(0.5)
+        assert profile.gamma == 2 * pairs_count(32)
+
+    def test_id_column(self, structured_data):
+        profile = profile_column(structured_data, 2)
+        assert profile.cardinality == 64
+        assert profile.gamma == 0
+        assert profile.separation_ratio == 1.0
+        assert profile.entropy_bits == pytest.approx(6.0)  # log2(64)
+
+    def test_out_of_range(self, structured_data):
+        with pytest.raises(InvalidParameterError):
+            profile_column(structured_data, 3)
+
+    def test_names_carried(self, structured_data):
+        assert profile_column(structured_data, 1).name == "binary"
+
+
+class TestRanking:
+    def test_id_ranks_first_constant_last(self, structured_data):
+        ranked = rank_by_identifiability(structured_data)
+        assert ranked[0].name == "id"
+        assert ranked[-1].name == "constant"
+
+    def test_profile_dataset_covers_all(self, structured_data):
+        assert len(profile_dataset(structured_data)) == 3
+
+    def test_rows_rendering(self, structured_data):
+        rows = profiles_to_rows(profile_dataset(structured_data))
+        assert len(rows) == 3
+        assert rows[0][0] == "constant"
+
+
+class TestJointEntropy:
+    def test_key_has_log_n_bits(self, structured_data):
+        assert joint_entropy_bits(structured_data, [2]) == pytest.approx(
+            math.log2(64)
+        )
+
+    def test_joint_at_least_marginal(self, structured_data):
+        marginal = joint_entropy_bits(structured_data, [1])
+        joint = joint_entropy_bits(structured_data, [0, 1])
+        assert joint == pytest.approx(marginal)  # constant adds nothing
+
+    def test_monotone_in_attributes(self, medium_dataset):
+        single = joint_entropy_bits(medium_dataset, [0])
+        double = joint_entropy_bits(medium_dataset, [0, 1])
+        assert double >= single - 1e-9

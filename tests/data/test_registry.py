@@ -1,0 +1,37 @@
+"""Tests for :mod:`repro.data.registry`."""
+
+import pytest
+
+from repro.data.registry import build_dataset, list_datasets
+from repro.exceptions import InvalidParameterError
+
+
+class TestRegistry:
+    def test_paper_datasets_registered(self):
+        names = list_datasets()
+        for required in ("adult", "covtype", "cps"):
+            assert required in names
+
+    def test_lower_bound_datasets_registered(self):
+        names = list_datasets()
+        assert "grid" in names
+        assert "planted-clique" in names
+
+    def test_row_override(self):
+        data = build_dataset("adult", n_rows=500, seed=0)
+        assert data.n_rows == 500
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_dataset("no-such-dataset")
+
+    def test_deterministic_given_seed(self):
+        a = build_dataset("zipf-small", n_rows=200, seed=1)
+        b = build_dataset("zipf-small", n_rows=200, seed=1)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["adult", "covtype", "cps", "grid"])
+    def test_all_buildable_at_small_scale(self, name):
+        data = build_dataset(name, n_rows=300, seed=0)
+        assert data.n_rows == 300
+        assert data.n_columns >= 2

@@ -1,0 +1,55 @@
+"""Tests for the ARX-style release-risk metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.profile import k_anonymity, uniqueness_ratio
+
+
+@pytest.fixture
+def release_data() -> Dataset:
+    """Column 0: groups of 4; column 1: groups of 2; both: some uniques."""
+    n = 16
+    return Dataset(
+        np.column_stack([np.arange(n) // 4, np.arange(n) // 2])
+    )
+
+
+class TestKAnonymity:
+    def test_group_sizes(self, release_data):
+        assert k_anonymity(release_data, [0]) == 4
+        assert k_anonymity(release_data, [1]) == 2
+        assert k_anonymity(release_data, [0, 1]) == 2
+
+    def test_key_means_k_equals_one(self):
+        data = Dataset(np.arange(10).reshape(-1, 1))
+        assert k_anonymity(data, [0]) == 1
+
+    def test_constant_column_is_maximally_anonymous(self):
+        data = Dataset(np.zeros((20, 1), dtype=np.int64))
+        assert k_anonymity(data, [0]) == 20
+
+    def test_monotone_in_attributes(self):
+        rng = np.random.default_rng(0)
+        data = Dataset(rng.integers(0, 4, size=(100, 3)))
+        assert k_anonymity(data, [0, 1]) <= k_anonymity(data, [0])
+
+
+class TestUniquenessRatio:
+    def test_no_uniques(self, release_data):
+        assert uniqueness_ratio(release_data, [0]) == 0.0
+
+    def test_all_unique(self):
+        data = Dataset(np.arange(8).reshape(-1, 1))
+        assert uniqueness_ratio(data, [0]) == 1.0
+
+    def test_partial(self):
+        data = Dataset(np.array([[0], [0], [1], [2]]))
+        assert uniqueness_ratio(data, [0]) == pytest.approx(0.5)
+
+    def test_consistent_with_k_anonymity(self):
+        rng = np.random.default_rng(1)
+        data = Dataset(rng.integers(0, 30, size=(200, 2)))
+        has_unique = uniqueness_ratio(data, [0, 1]) > 0
+        assert has_unique == (k_anonymity(data, [0, 1]) == 1)

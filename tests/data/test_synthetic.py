@@ -1,0 +1,214 @@
+"""Tests for :mod:`repro.data.synthetic` — including the paper constructions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.separation import is_epsilon_key, is_key, unseparated_pairs
+from repro.data.synthetic import (
+    adult_like,
+    covtype_like,
+    cps_like,
+    functional_dependency_dataset,
+    grid_dataset,
+    grid_epsilon,
+    grid_sample_dataset,
+    planted_clique_dataset,
+    planted_key_dataset,
+    random_categorical,
+    zipf_dataset,
+    zipf_weights,
+)
+from repro.exceptions import InvalidParameterError
+from repro.types import pairs_count
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.2)
+        assert math.isclose(weights.sum(), 1.0, rel_tol=1e-12)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_weights(10, -1.0)
+
+
+class TestGridDataset:
+    """The Lemma 3 construction ``D = [q]^m``."""
+
+    def test_full_product(self):
+        data = grid_dataset(q=3, m=2)
+        assert data.shape == (9, 2)
+        rows = {tuple(row) for row in data.codes.tolist()}
+        assert len(rows) == 9  # all q^m tuples, each exactly once
+
+    def test_every_singleton_is_bad(self):
+        # Lemma 3: every single coordinate separates < (1-eps) of the pairs.
+        q, m = 4, 3
+        data = grid_dataset(q, m)
+        epsilon = grid_epsilon(q)
+        for coordinate in range(m):
+            assert not is_epsilon_key(data, [coordinate], epsilon)
+
+    def test_full_attribute_set_is_key(self):
+        data = grid_dataset(q=3, m=3)
+        assert is_key(data, range(3))
+
+    def test_singleton_clique_structure(self):
+        # Each coordinate value class is a clique of size q^(m-1).
+        q, m = 3, 3
+        data = grid_dataset(q, m)
+        gamma = unseparated_pairs(data, [0])
+        clique = q ** (m - 1)
+        assert gamma == q * pairs_count(clique)
+
+    def test_size_guard(self):
+        with pytest.raises(InvalidParameterError):
+            grid_dataset(q=100, m=5)
+
+    def test_grid_sample_matches_domain(self):
+        data = grid_sample_dataset(q=7, m=4, n_rows=500, seed=0)
+        assert data.shape == (500, 4)
+        assert data.codes.max() < 7
+
+
+class TestPlantedCliqueDataset:
+    """The Lemma 4 construction."""
+
+    def test_first_coordinate_clique_size(self):
+        n, epsilon = 5_000, 0.01
+        data = planted_clique_dataset(n, 5, epsilon, seed=0)
+        counts = np.bincount(data.codes[:, 0])
+        expected = int(math.ceil(math.sqrt(2 * epsilon) * n))
+        assert counts.max() == expected
+        # All other values singleton.
+        assert (np.sort(counts[counts > 0])[:-1] == 1).all()
+
+    def test_first_coordinate_is_bad(self):
+        n, epsilon = 5_000, 0.01
+        data = planted_clique_dataset(n, 5, epsilon, seed=0)
+        # Gamma({0}) = C(clique, 2) > eps * C(n, 2).
+        assert not is_epsilon_key(data, [0], epsilon)
+
+    def test_key_exists(self):
+        data = planted_clique_dataset(1_000, 4, 0.01, seed=1)
+        assert is_key(data, range(data.n_columns))
+
+    def test_too_small_clique_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            planted_clique_dataset(10, 3, 0.0001)
+
+    def test_needs_two_columns(self):
+        with pytest.raises(InvalidParameterError):
+            planted_clique_dataset(100, 1, 0.1)
+
+
+class TestPlantedKeyDataset:
+    def test_key_columns_form_a_key(self):
+        data = planted_key_dataset(1_000, key_size=3, n_noise_columns=4, seed=0)
+        assert is_key(data, [0, 1, 2])
+
+    def test_noise_columns_are_not_keys(self):
+        data = planted_key_dataset(1_000, key_size=2, n_noise_columns=3, seed=0)
+        for noise in (2, 3, 4):
+            assert not is_key(data, [noise])
+
+    def test_shape(self):
+        data = planted_key_dataset(100, key_size=2, n_noise_columns=5, seed=0)
+        assert data.shape == (100, 7)
+
+
+class TestFunctionalDependencyDataset:
+    def test_exact_dependency(self):
+        data = functional_dependency_dataset(
+            2_000, n_determinant_columns=2, n_dependent_columns=2, seed=0
+        )
+        # Dependent column adds no separation beyond its determinant.
+        for determinant, dependent in ((0, 2), (1, 3)):
+            alone = unseparated_pairs(data, [determinant])
+            both = unseparated_pairs(data, [determinant, dependent])
+            assert alone == both
+
+    def test_noisy_dependency_separates_more(self):
+        data = functional_dependency_dataset(
+            2_000,
+            n_determinant_columns=1,
+            n_dependent_columns=1,
+            seed=0,
+            noise_rate=0.3,
+        )
+        alone = unseparated_pairs(data, [0])
+        both = unseparated_pairs(data, [0, 1])
+        assert both < alone
+
+    def test_invalid_noise_rate(self):
+        with pytest.raises(InvalidParameterError):
+            functional_dependency_dataset(100, 1, 1, noise_rate=1.0)
+
+
+class TestTable1StandIns:
+    def test_adult_shape_and_columns(self):
+        data = adult_like(2_000, seed=0)
+        assert data.shape == (2_000, 13)
+        assert "fnlwgt" in data.column_names
+        # education_num mirrors education exactly (the real dependency).
+        education = data.column_index("education")
+        education_num = data.column_index("education_num")
+        assert np.array_equal(data.codes[:, education], data.codes[:, education_num])
+
+    def test_adult_cardinality_profile(self):
+        data = adult_like(32_561, seed=0)
+        # Binary sex, skewed high-cardinality fnlwgt.
+        assert data.column_cardinality(data.column_index("sex")) == 2
+        assert data.column_cardinality(data.column_index("fnlwgt")) > 5_000
+
+    def test_covtype_shape(self):
+        data = covtype_like(3_000, seed=0)
+        assert data.shape == (3_000, 55)
+
+    def test_covtype_one_hot_structure(self):
+        data = covtype_like(3_000, seed=0)
+        names = data.column_names
+        soil = [i for i, name in enumerate(names) if name.startswith("soil_")]
+        assert len(soil) == 40
+        assert data.codes[:, soil].sum(axis=1).max() == 1  # exactly one hot
+        wilderness = [
+            i for i, name in enumerate(names) if name.startswith("wilderness_")
+        ]
+        assert (data.codes[:, wilderness].sum(axis=1) == 1).all()
+
+    def test_cps_shape(self):
+        data = cps_like(1_000, n_columns=388, seed=0)
+        assert data.shape == (1_000, 388)
+
+    def test_cps_mixed_cardinalities(self):
+        data = cps_like(5_000, n_columns=40, seed=0)
+        cards = data.cardinalities()
+        assert cards.min() <= 16  # small coded answers
+        assert cards.max() > 100  # near-identifier columns
+
+
+class TestGenericGenerators:
+    def test_random_categorical_cardinalities(self):
+        data = random_categorical(1_000, [2, 5, 10], seed=0)
+        assert (data.cardinalities() <= np.array([2, 5, 10])).all()
+
+    def test_zipf_dataset_skew(self):
+        data = zipf_dataset(5_000, 3, 100, seed=0, exponent=1.5)
+        counts = np.bincount(data.codes[:, 0])
+        # Heavy head: top code much more frequent than the median one.
+        assert counts[0] > 10 * max(1, int(np.median(counts[counts > 0])))
+
+    def test_determinism(self):
+        a = zipf_dataset(100, 2, 10, seed=5)
+        b = zipf_dataset(100, 2, 10, seed=5)
+        assert a == b

@@ -1,0 +1,67 @@
+"""Unit tests for the ablation helpers (CI-scale parameters)."""
+
+import pytest
+
+from repro.data.synthetic import planted_clique_dataset, zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.experiments.ablations import (
+    constant_sweep,
+    ground_set_ablation,
+    partition_refinement_ablation,
+    replacement_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def hard_data():
+    return planted_clique_dataset(8_000, 5, 0.01, seed=0)
+
+
+class TestConstantSweep:
+    def test_rows_shape_and_monotone_sizes(self, hard_data):
+        rows = constant_sweep(
+            hard_data, [0], 0.01, constants=(0.5, 1.0, 2.0), trials=10, seed=0
+        )
+        assert len(rows) == 3
+        sizes = [int(row[1]) for row in rows]
+        assert sizes == sorted(sizes)
+
+    def test_rates_are_probabilities(self, hard_data):
+        rows = constant_sweep(hard_data, [0], 0.01, trials=5, seed=0)
+        assert all(0.0 <= float(row[2]) <= 1.0 for row in rows)
+
+    def test_empty_bad_attributes_rejected(self, hard_data):
+        with pytest.raises(InvalidParameterError):
+            constant_sweep(hard_data, [], 0.01)
+
+
+class TestReplacementAblation:
+    def test_two_rows(self, hard_data):
+        rows = replacement_ablation(hard_data, 0, 0.01, trials=20, seed=0)
+        assert [row[0] for row in rows] == [
+            "without replacement",
+            "with replacement",
+        ]
+        assert all(0.0 <= float(row[2]) <= 1.0 for row in rows)
+
+
+class TestGroundSetAblation:
+    def test_constraint_accounting(self, hard_data):
+        rows = ground_set_ablation(hard_data, [0], 0.01, trials=10, seed=0)
+        r = int(rows[0][1])
+        assert int(rows[0][2]) == r * (r - 1) // 2
+        assert int(rows[1][2]) == r // 2
+
+    def test_tuple_not_worse(self, hard_data):
+        rows = ground_set_ablation(hard_data, [0], 0.01, trials=20, seed=1)
+        assert float(rows[0][3]) <= float(rows[1][3]) + 0.1
+
+
+class TestPartitionRefinementAblation:
+    def test_same_cover_and_timing_rows(self):
+        data = zipf_dataset(2_000, n_columns=6, cardinality=20, seed=0)
+        rows = partition_refinement_ablation(
+            data, sample_sizes=(50, 100), seed=0
+        )
+        assert len(rows) == 2
+        assert all(row[4] == "True" for row in rows)

@@ -1,0 +1,52 @@
+"""Tests for the experiment configuration dataclasses."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.config import FilterExperimentConfig, Table1Config
+
+
+class TestFilterExperimentConfig:
+    def test_paper_defaults(self):
+        config = FilterExperimentConfig()
+        assert config.epsilon == 0.001
+        assert config.delta == 0.01
+        assert config.n_queries == 100
+        assert config.n_trials == 10
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FilterExperimentConfig(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            FilterExperimentConfig(delta=1.0)
+        with pytest.raises(InvalidParameterError):
+            FilterExperimentConfig(n_queries=0)
+        with pytest.raises(InvalidParameterError):
+            FilterExperimentConfig(n_trials=-1)
+
+    def test_frozen(self):
+        config = FilterExperimentConfig()
+        with pytest.raises(AttributeError):
+            config.epsilon = 0.5
+
+
+class TestTable1Config:
+    def test_default_covers_paper_datasets(self):
+        names = [name for name, _ in Table1Config().datasets]
+        assert names == ["adult", "covtype", "cps"]
+
+    def test_scaled(self):
+        scaled = Table1Config().scaled(0.01)
+        rows = dict(scaled.datasets)
+        assert rows["adult"] == max(100, int(32_561 * 0.01))
+        assert rows["covtype"] == max(100, int(581_012 * 0.01))
+
+    def test_scaled_floor(self):
+        scaled = Table1Config().scaled(0.000001)
+        assert all(rows == 100 for _, rows in scaled.datasets)
+
+    def test_scaled_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Table1Config().scaled(0.0)
+        with pytest.raises(InvalidParameterError):
+            Table1Config().scaled(1.5)

@@ -1,0 +1,56 @@
+"""Tests for the filter-comparison harness (CI-scale runs)."""
+
+import pytest
+
+from repro.data.synthetic import zipf_dataset
+from repro.experiments.config import FilterExperimentConfig
+from repro.experiments.harness import run_filter_comparison
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    data = zipf_dataset(3_000, n_columns=8, cardinality=16, seed=0)
+    config = FilterExperimentConfig(
+        epsilon=0.01, n_queries=25, n_trials=3, seed=0, ground_truth=True
+    )
+    return run_filter_comparison(data, config, dataset_name="zipf")
+
+
+class TestRunFilterComparison:
+    def test_sample_sizes_reported(self, small_result):
+        assert small_result.pair_sample_size == 800  # 8/0.01
+        assert small_result.tuple_sample_size == 80  # 8/sqrt(0.01)
+
+    def test_trial_count(self, small_result):
+        assert len(small_result.trials) == 3
+        for trial in small_result.trials:
+            assert len(trial.pair_answers) == 25
+            assert len(trial.tuple_answers) == 25
+
+    def test_agreement_in_unit_interval(self, small_result):
+        assert 0.0 <= small_result.mean_agreement <= 1.0
+        # On clear-cut zipf data agreement should be very high.
+        assert small_result.mean_agreement >= 0.8
+
+    def test_timings_positive(self, small_result):
+        assert small_result.mean_pair_seconds > 0
+        assert small_result.mean_tuple_seconds > 0
+        assert small_result.speedup > 0
+
+    def test_ground_truth_correctness(self, small_result):
+        """Both filters must be correct on essentially all clear-cut sets."""
+        assert small_result.truth is not None
+        assert small_result.pair_correct_rate >= 0.95
+        assert small_result.tuple_correct_rate >= 0.95
+
+    def test_reproducible(self):
+        data = zipf_dataset(1_000, n_columns=5, cardinality=8, seed=1)
+        config = FilterExperimentConfig(
+            epsilon=0.05, n_queries=10, n_trials=2, seed=7
+        )
+        first = run_filter_comparison(data, config)
+        second = run_filter_comparison(data, config)
+        assert first.queries == second.queries
+        assert [t.pair_answers for t in first.trials] == [
+            t.pair_answers for t in second.trials
+        ]

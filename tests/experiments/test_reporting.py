@@ -1,0 +1,57 @@
+"""Tests for the table renderers."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.reporting import (
+    format_markdown_table,
+    format_percent,
+    format_seconds,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # All rows the same width.
+        assert len({len(line) for line in lines if line.strip()}) == 1
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table([], [])
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["x", "y"], [["1", "2"]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_markdown_table(["x"], [["1", "2"]])
+
+
+class TestScalarFormatting:
+    def test_seconds(self):
+        assert format_seconds(0.2079) == "0.208 sec"
+        assert format_seconds(188.021) == "188.02 sec"
+
+    def test_seconds_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            format_seconds(-1.0)
+
+    def test_percent(self):
+        assert format_percent(0.95) == "95%"
+        assert format_percent(1.0) == "100%"
+        assert format_percent(0.954) == "95%"

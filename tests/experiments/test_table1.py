@@ -1,0 +1,51 @@
+"""Tests for the Table 1 orchestration (CI scale)."""
+
+import pytest
+
+from repro.experiments.config import FilterExperimentConfig, Table1Config
+from repro.experiments.table1 import (
+    TABLE1_HEADERS,
+    run_table1,
+    table1_rows_to_text,
+)
+
+
+@pytest.fixture(scope="module")
+def ci_rows():
+    config = Table1Config(
+        datasets=(("adult", 2_000), ("zipf-small", 1_000)),
+        filter_config=FilterExperimentConfig(
+            epsilon=0.001, n_queries=15, n_trials=2, seed=0
+        ),
+    )
+    return run_table1(config)
+
+
+class TestRunTable1:
+    def test_row_per_dataset(self, ci_rows):
+        assert [row.dataset for row in ci_rows] == ["adult", "zipf-small"]
+
+    def test_sample_size_columns(self, ci_rows):
+        adult = ci_rows[0]
+        assert adult.pair_sample_size == 13_000  # m=13, ε=0.001
+        assert adult.tuple_sample_size == 412
+
+    def test_sample_ratio_shape(self, ci_rows):
+        """The paper's headline: tuple samples ≈ √ε × pair samples."""
+        for row in ci_rows:
+            ratio = row.pair_sample_size / row.tuple_sample_size
+            if row.result.n_rows >= row.pair_sample_size:
+                continue  # clipping regime — ratio not meaningful
+            assert ratio > 5
+
+    def test_agreement_high(self, ci_rows):
+        for row in ci_rows:
+            assert row.agreement >= 0.8
+
+    def test_rendering(self, ci_rows):
+        text = table1_rows_to_text(ci_rows)
+        for header in TABLE1_HEADERS:
+            assert header in text
+        assert "adult" in text
+        assert "sec" in text
+        assert "%" in text

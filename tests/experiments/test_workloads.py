@@ -1,0 +1,39 @@
+"""Tests for :mod:`repro.experiments.workloads`."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.workloads import random_attribute_subsets
+
+
+class TestRandomAttributeSubsets:
+    def test_count_and_validity(self):
+        queries = random_attribute_subsets(10, 50, seed=0)
+        assert len(queries) == 50
+        for query in queries:
+            assert 1 <= len(query) <= 10
+            assert all(0 <= a < 10 for a in query)
+            assert query == tuple(sorted(set(query)))
+
+    def test_deterministic(self):
+        assert random_attribute_subsets(8, 20, seed=1) == random_attribute_subsets(
+            8, 20, seed=1
+        )
+
+    def test_size_bounds(self):
+        queries = random_attribute_subsets(10, 100, seed=0, min_size=3, max_size=5)
+        sizes = {len(q) for q in queries}
+        assert sizes <= {3, 4, 5}
+        assert len(sizes) > 1  # sizes vary
+
+    def test_all_sizes_hit_eventually(self):
+        queries = random_attribute_subsets(4, 400, seed=0)
+        assert {len(q) for q in queries} == {1, 2, 3, 4}
+
+    def test_invalid_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            random_attribute_subsets(5, 10, min_size=0)
+        with pytest.raises(InvalidParameterError):
+            random_attribute_subsets(5, 10, max_size=6)
+        with pytest.raises(InvalidParameterError):
+            random_attribute_subsets(5, 10, min_size=4, max_size=2)

@@ -1,0 +1,167 @@
+"""Tests for FD inference: closures, covers, candidate keys."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import is_key
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.closure import (
+    attribute_closure,
+    candidate_keys,
+    implies,
+    minimal_cover,
+)
+from repro.fd.discovery import exact_fds
+
+# A classic textbook FD set over attributes {0..4}:
+# 0 -> 1, 1 -> 2, (0, 3) -> 4.
+TEXTBOOK = [((0,), 1), ((1,), 2), ((0, 3), 4)]
+
+
+class TestAttributeClosure:
+    def test_reflexive(self):
+        assert attribute_closure([], [2], 4) == (2,)
+
+    def test_transitive_chain(self):
+        assert attribute_closure(TEXTBOOK, [0], 5) == (0, 1, 2)
+
+    def test_augmented_key(self):
+        assert attribute_closure(TEXTBOOK, [0, 3], 5) == (0, 1, 2, 3, 4)
+
+    def test_accepts_functional_dependency_objects(self):
+        data = Dataset.from_columns(
+            {"a": [1, 1, 2, 2], "b": ["x", "x", "y", "y"], "c": [0, 1, 2, 3]}
+        )
+        fds = exact_fds(data)
+        closure = attribute_closure(fds, [data.column_index("c")], 3)
+        assert closure == (0, 1, 2)  # c is a key -> closure is everything
+
+    def test_out_of_range_attribute_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            attribute_closure(TEXTBOOK, [99], 5)
+        with pytest.raises(InvalidParameterError):
+            attribute_closure([((0,), 9)], [0], 5)
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            attribute_closure([((), 1)], [0], 3)
+
+    def test_trivial_fds_dropped(self):
+        # 0 -> 0 carries no information.
+        assert attribute_closure([((0,), 0)], [1], 3) == (1,)
+
+
+class TestImplies:
+    def test_transitivity(self):
+        assert implies(TEXTBOOK, [0], [2], 5)
+
+    def test_augmentation(self):
+        assert implies(TEXTBOOK, [0, 3], [1, 4], 5)
+
+    def test_non_implication(self):
+        assert not implies(TEXTBOOK, [1], [0], 5)
+        assert not implies(TEXTBOOK, [0], [4], 5)
+
+
+class TestMinimalCover:
+    def test_removes_extraneous_lhs(self):
+        cover = minimal_cover([((0, 1), 2), ((0,), 1), ((0,), 2)], 3)
+        assert sorted(str(fd) for fd in cover) == ["{0} -> 1", "{0} -> 2"]
+
+    def test_removes_redundant_fd(self):
+        # 0 -> 2 follows from 0 -> 1, 1 -> 2.
+        cover = minimal_cover([((0,), 1), ((1,), 2), ((0,), 2)], 3)
+        assert len(cover) == 2
+
+    def test_cover_is_equivalent(self):
+        cover = minimal_cover(TEXTBOOK, 5)
+        for attrs_size in (1, 2):
+            for attrs in itertools.combinations(range(5), attrs_size):
+                original = attribute_closure(TEXTBOOK, attrs, 5)
+                reduced = attribute_closure(cover, attrs, 5)
+                assert original == reduced
+
+    def test_already_minimal_untouched(self):
+        cover = minimal_cover(TEXTBOOK, 5)
+        assert {(fd.lhs, fd.rhs) for fd in cover} == {
+            ((0,), 1),
+            ((1,), 2),
+            ((0, 3), 4),
+        }
+
+    def test_duplicate_fds_collapsed(self):
+        cover = minimal_cover([((0,), 1), ((0,), 1)], 2)
+        assert len(cover) == 1
+
+
+class TestCandidateKeys:
+    def test_chain_has_single_key(self):
+        # 0 -> 1 -> 2: attribute 0 determines all; 0 appears on no rhs.
+        assert candidate_keys([((0,), 1), ((1,), 2)], 3) == [(0,)]
+
+    def test_equivalent_attributes_give_two_keys(self):
+        assert candidate_keys([((0,), 1), ((1,), 0)], 3) == [(0, 2), (1, 2)]
+
+    def test_no_fds_whole_set_is_key(self):
+        assert candidate_keys([], 3) == [(0, 1, 2)]
+
+    def test_cyclic_fds(self):
+        # 0 -> 1, 1 -> 2, 2 -> 0: every singleton is a key.
+        keys = candidate_keys([((0,), 1), ((1,), 2), ((2,), 0)], 3)
+        assert keys == [(0,), (1,), (2,)]
+
+    def test_keys_are_minimal(self):
+        keys = candidate_keys(TEXTBOOK, 5)
+        for first, second in itertools.permutations(keys, 2):
+            assert not set(first) < set(second)
+
+    def test_textbook_key(self):
+        assert candidate_keys(TEXTBOOK, 5) == [(0, 3)]
+
+    def test_max_keys_bound(self):
+        # 0 <-> 1 and 2 <-> 3: keys are all of {0,1} x {2,3}.
+        fds = [((0,), 1), ((1,), 0), ((2,), 3), ((3,), 2)]
+        keys = candidate_keys(fds, 4, max_keys=2)
+        assert len(keys) == 2
+
+
+class TestDatasetCrossCheck:
+    """Keys from discovered FDs must be keys of the data (and minimal)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_candidate_keys_are_dataset_keys(self, seed):
+        rng = np.random.default_rng(seed)
+        data = Dataset(rng.integers(0, 3, size=(60, 4)))
+        fds = exact_fds(data)
+        for key in candidate_keys(fds, data.n_columns):
+            # A candidate key determines every attribute, so projecting
+            # onto it loses nothing: it must separate all pairs the full
+            # attribute set separates.  The full set may itself not be a
+            # key (duplicate rows), so compare against it.
+            full = tuple(range(data.n_columns))
+            if is_key(data, full):
+                assert is_key(data, key)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+            min_size=4,
+            max_size=25,
+            unique=True,
+        )
+    )
+    def test_cross_check_property(self, rows):
+        data = Dataset(np.array(rows))
+        fds = exact_fds(data)
+        keys = candidate_keys(fds, data.n_columns)
+        assert keys, "a duplicate-free table always has some key"
+        for key in keys:
+            assert is_key(data, key)

@@ -1,0 +1,162 @@
+"""Tests for BCNF decomposition and the lossless-join verifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.closure import attribute_closure
+from repro.fd.decompose import (
+    Fragment,
+    decompose_bcnf,
+    project_fragments,
+    verify_lossless_join,
+)
+from repro.fd.discovery import exact_fds
+
+
+def is_bcnf_fragment(fds, fragment, n_attributes) -> bool:
+    """Every lhs inside the fragment determines nothing or everything."""
+    from repro.fd.closure import _normalize
+
+    fragment_set = set(fragment.attributes)
+    for fd in _normalize(fds, n_attributes):
+        lhs = set(fd.lhs) & fragment_set
+        if not lhs:
+            continue
+        closure = set(attribute_closure(fds, sorted(lhs), n_attributes))
+        determined = closure & fragment_set
+        if determined > lhs and determined != fragment_set:
+            return False
+    return True
+
+
+class TestDecomposition:
+    def test_textbook_split(self):
+        # R(city, state, order), city -> state.
+        fragments = decompose_bcnf([((0,), 1)], 3)
+        attribute_sets = [f.attributes for f in fragments]
+        assert (0, 1) in attribute_sets
+        assert (0, 2) in attribute_sets
+
+    def test_no_fds_single_fragment(self):
+        fragments = decompose_bcnf([], 4)
+        assert len(fragments) == 1
+        assert fragments[0].attributes == (0, 1, 2, 3)
+
+    def test_chain_fully_decomposes(self):
+        # 0 -> 1 -> 2 -> 3: classic snowflake chain.
+        fds = [((0,), 1), ((1,), 2), ((2,), 3)]
+        fragments = decompose_bcnf(fds, 4)
+        for fragment in fragments:
+            assert is_bcnf_fragment(fds, fragment, 4)
+        covered = set()
+        for fragment in fragments:
+            covered |= set(fragment.attributes)
+        assert covered == {0, 1, 2, 3}
+
+    def test_all_fragments_in_bcnf(self):
+        fds = [((0,), 1), ((2, 3), 0), ((1,), 4)]
+        fragments = decompose_bcnf(fds, 5)
+        for fragment in fragments:
+            assert is_bcnf_fragment(fds, fragment, 5)
+
+    def test_keys_certify_fragments(self):
+        fds = [((0,), 1), ((1,), 2)]
+        for fragment in decompose_bcnf(fds, 3):
+            closure = set(
+                attribute_closure(fds, fragment.key, 3)
+            )
+            assert set(fragment.attributes) <= closure | set(fragment.key)
+
+    def test_fragment_str(self):
+        fragment = Fragment(attributes=(0, 2), key=(0,))
+        assert str(fragment) == "R(0, 2) key={0}"
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            decompose_bcnf([], 0)
+
+
+class TestLosslessJoin:
+    @pytest.fixture
+    def address_data(self) -> Dataset:
+        return Dataset.from_columns(
+            {
+                "zip": [1, 1, 2, 2, 3],
+                "city": [10, 10, 20, 20, 30],
+                "order": [100, 101, 102, 103, 104],
+            }
+        )
+
+    def test_bcnf_split_is_lossless(self, address_data):
+        fds = exact_fds(address_data)
+        fragments = decompose_bcnf(fds, address_data.n_columns)
+        assert verify_lossless_join(address_data, fragments)
+
+    def test_projections_shrink(self, address_data):
+        fds = [((0,), 1)]  # zip -> city
+        fragments = decompose_bcnf(fds, 3)
+        projections = project_fragments(address_data, fragments)
+        by_attrs = {
+            tuple(p.column_names): p for p in projections
+        }
+        lookup = by_attrs[("zip", "city")]
+        assert lookup.n_rows == 3  # deduplicated zip/city pairs
+
+    def test_lossy_decomposition_detected(self, address_data):
+        # Splitting on a non-determining attribute loses information.
+        lossy = [
+            Fragment(attributes=(0, 2), key=(2,)),
+            Fragment(attributes=(1, 2), key=(2,)),
+        ]
+        assert verify_lossless_join(address_data, lossy)  # order is a key
+        # A genuinely lossy split: b determines neither side.
+        data = Dataset.from_columns(
+            {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1], "c": [0, 1, 1, 0]}
+        )
+        split = [
+            Fragment(attributes=(0, 1), key=(0, 1)),
+            Fragment(attributes=(1, 2), key=(1, 2)),
+        ]
+        assert not verify_lossless_join(data, split)
+
+    def test_uncovered_attributes_rejected(self, address_data):
+        with pytest.raises(InvalidParameterError):
+            verify_lossless_join(
+                address_data, [Fragment(attributes=(0,), key=(0,))]
+            )
+
+    def test_oversized_table_rejected(self):
+        data = Dataset(np.arange(12_000).reshape(-1, 2))
+        with pytest.raises(InvalidParameterError):
+            verify_lossless_join(
+                data,
+                [Fragment(attributes=(0, 1), key=(0,))],
+                max_rows=5_000,
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        min_size=3,
+        max_size=20,
+        unique=True,
+    )
+)
+def test_discovered_fd_decomposition_is_lossless_property(rows):
+    """BCNF decomposition from mined FDs always re-joins losslessly."""
+    data = Dataset(np.array(rows))
+    fds = exact_fds(data)
+    fragments = decompose_bcnf(fds, data.n_columns)
+    covered = set()
+    for fragment in fragments:
+        covered |= set(fragment.attributes)
+    assert covered == set(range(data.n_columns))
+    assert verify_lossless_join(data, fragments)

@@ -1,0 +1,195 @@
+"""Tests for levelwise minimal-AFD discovery."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.discovery import (
+    FDCandidate,
+    FunctionalDependency,
+    _apriori_children,
+    discover_afds,
+    exact_fds,
+)
+from repro.fd.measures import g3_error
+
+
+def brute_force_minimal_fds(data: Dataset, max_error: float) -> set:
+    """Reference: test every (lhs, rhs) pair, keep the minimal ones."""
+    m = data.n_columns
+    found: set[tuple[tuple[int, ...], int]] = set()
+    for size in range(1, m):
+        for lhs in itertools.combinations(range(m), size):
+            for rhs in range(m):
+                if rhs in lhs:
+                    continue
+                if any(
+                    set(prev_lhs) <= set(lhs)
+                    for (prev_lhs, prev_rhs) in found
+                    if prev_rhs == rhs
+                ):
+                    continue
+                if g3_error(data, list(lhs), rhs) <= max_error:
+                    found.add((lhs, rhs))
+    return found
+
+
+@pytest.fixture
+def address_dataset() -> Dataset:
+    """zip -> (city, state) exactly; id is a key."""
+    return Dataset.from_columns(
+        {
+            "zip": [92101, 92101, 90001, 90001, 94102],
+            "city": ["SD", "SD", "LA", "LA", "SF"],
+            "state": ["CA", "CA", "CA", "CA", "CA"],
+            "id": [0, 1, 2, 3, 4],
+        }
+    )
+
+
+class TestExactDiscovery:
+    def test_finds_zip_to_city(self, address_dataset):
+        found = {(fd.lhs, fd.rhs) for fd in exact_fds(address_dataset)}
+        zip_idx = address_dataset.column_index("zip")
+        city_idx = address_dataset.column_index("city")
+        assert ((zip_idx,), city_idx) in found
+
+    def test_constant_column_determined_by_anything(self, address_dataset):
+        state_idx = address_dataset.column_index("state")
+        found = {
+            (fd.lhs, fd.rhs)
+            for fd in exact_fds(address_dataset)
+            if fd.rhs == state_idx
+        }
+        # Every singleton lhs determines the constant column minimally.
+        assert all(len(lhs) == 1 for lhs, _ in found)
+        assert len(found) == 3
+
+    def test_matches_brute_force(self, address_dataset):
+        discovered = {
+            (fd.lhs, fd.rhs) for fd in exact_fds(address_dataset)
+        }
+        assert discovered == brute_force_minimal_fds(address_dataset, 0.0)
+
+    def test_errors_are_zero(self, address_dataset):
+        assert all(fd.is_exact for fd in exact_fds(address_dataset))
+
+    def test_key_pruning_does_not_change_results(self, address_dataset):
+        with_pruning = {
+            (fd.lhs, fd.rhs) for fd in discover_afds(address_dataset)
+        }
+        without = {
+            (fd.lhs, fd.rhs)
+            for fd in discover_afds(address_dataset, prune_keys=False)
+        }
+        assert with_pruning == without
+
+
+class TestApproximateDiscovery:
+    def test_threshold_admits_noisy_fd(self):
+        data = Dataset.from_columns(
+            {
+                "a": [1, 1, 1, 1, 2, 2, 2, 2],
+                "b": ["x", "x", "x", "y", "z", "z", "z", "z"],
+            }
+        )
+        exact = {(fd.lhs, fd.rhs) for fd in discover_afds(data, 0.0)}
+        loose = {(fd.lhs, fd.rhs) for fd in discover_afds(data, 0.2)}
+        assert ((0,), 1) not in exact
+        assert ((0,), 1) in loose
+
+    def test_matches_brute_force_with_threshold(self):
+        rng = np.random.default_rng(11)
+        data = Dataset(rng.integers(0, 3, size=(40, 4)))
+        for threshold in (0.0, 0.1, 0.3):
+            discovered = {
+                (fd.lhs, fd.rhs)
+                for fd in discover_afds(data, threshold)
+            }
+            assert discovered == brute_force_minimal_fds(data, threshold)
+
+    def test_reported_error_matches_measure(self):
+        rng = np.random.default_rng(5)
+        data = Dataset(rng.integers(0, 3, size=(30, 3)))
+        for fd in discover_afds(data, 0.5):
+            assert fd.error == pytest.approx(
+                g3_error(data, list(fd.lhs), fd.rhs)
+            )
+
+
+class TestMinimality:
+    def test_no_fd_subsumes_another(self, address_dataset):
+        fds = discover_afds(address_dataset, 0.1)
+        for first, second in itertools.permutations(fds, 2):
+            if first.rhs == second.rhs:
+                assert not set(first.lhs) < set(second.lhs)
+
+    def test_max_lhs_size_limits_levels(self, address_dataset):
+        fds = discover_afds(address_dataset, 0.0, max_lhs_size=1)
+        assert all(len(fd.lhs) == 1 for fd in fds)
+
+
+class TestValidation:
+    def test_bad_max_error_rejected(self, address_dataset):
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(InvalidParameterError):
+                discover_afds(address_dataset, bad)
+
+    def test_bad_max_lhs_size_rejected(self, address_dataset):
+        with pytest.raises(InvalidParameterError):
+            discover_afds(address_dataset, 0.0, max_lhs_size=0)
+
+    def test_fd_str_rendering(self, address_dataset):
+        fds = exact_fds(address_dataset)
+        rendered = [str(fd) for fd in fds]
+        assert any("-> city" in line for line in rendered)
+        assert all("g3=" in line for line in rendered)
+
+    def test_candidate_str(self):
+        assert str(FDCandidate(lhs=(0, 2), rhs=1)) == "{0, 2} -> 1"
+
+    def test_fd_is_frozen(self, address_dataset):
+        fd = exact_fds(address_dataset)[0]
+        assert isinstance(fd, FunctionalDependency)
+        with pytest.raises(AttributeError):
+            fd.error = 0.5
+
+
+class TestAprioriChildren:
+    def test_prefix_join(self):
+        frontier = [(0, 1), (0, 2), (1, 2)]
+        children = set(_apriori_children(frontier))
+        assert children == {(0, 1, 2)}
+
+    def test_missing_subset_blocks_child(self):
+        frontier = [(0, 1), (0, 2)]  # (1, 2) absent
+        assert set(_apriori_children(frontier)) == set()
+
+    def test_singletons_join_to_pairs(self):
+        frontier = [(0,), (1,), (2,)]
+        children = set(_apriori_children(frontier))
+        assert children == {(0, 1), (0, 2), (1, 2)}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        min_size=3,
+        max_size=20,
+    ),
+    threshold=st.sampled_from([0.0, 0.15, 0.4]),
+)
+def test_discovery_matches_brute_force_property(rows, threshold):
+    data = Dataset(np.array(rows))
+    discovered = {
+        (fd.lhs, fd.rhs) for fd in discover_afds(data, threshold)
+    }
+    assert discovered == brute_force_minimal_fds(data, threshold)

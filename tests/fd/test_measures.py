@@ -1,0 +1,181 @@
+"""Tests for the AFD violation measures (g1, g2, g3, pdep, tau)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.measures import (
+    g1_error,
+    g2_error,
+    g3_error,
+    holds_exactly,
+    pdep,
+    pdep_single,
+    tau,
+    violating_pairs,
+)
+from repro.types import pairs_count
+
+
+def brute_force_violating_pairs(data: Dataset, lhs, rhs) -> int:
+    """Reference O(n^2) count of pairs equal on lhs, unequal on rhs."""
+    lhs_attrs = data.resolve_attributes(lhs if not isinstance(lhs, str) else [lhs])
+    rhs_attrs = data.resolve_attributes(rhs if not isinstance(rhs, str) else [rhs])
+    codes = data.codes
+    count = 0
+    for i, j in itertools.combinations(range(data.n_rows), 2):
+        same_lhs = all(codes[i, a] == codes[j, a] for a in lhs_attrs)
+        same_rhs = all(codes[i, a] == codes[j, a] for a in rhs_attrs)
+        if same_lhs and not same_rhs:
+            count += 1
+    return count
+
+
+@pytest.fixture
+def fd_dataset() -> Dataset:
+    """Six rows where zip -> city almost holds (one inconsistency)."""
+    return Dataset.from_columns(
+        {
+            "zip": [92101, 92101, 92101, 92102, 92102, 92103],
+            "city": ["SD", "SD", "SD!", "LA", "LA", "SF"],
+            "id": [0, 1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestViolatingPairs:
+    def test_matches_brute_force(self, fd_dataset):
+        assert violating_pairs(fd_dataset, "zip", "city") == (
+            brute_force_violating_pairs(fd_dataset, "zip", "city")
+        )
+
+    def test_zero_for_exact_fd(self, fd_dataset):
+        assert violating_pairs(fd_dataset, "id", "city") == 0
+        assert holds_exactly(fd_dataset, "id", "city")
+
+    def test_accepts_indices_and_sets(self, fd_dataset):
+        by_name = violating_pairs(fd_dataset, "zip", "city")
+        by_index = violating_pairs(fd_dataset, 0, 1)
+        by_set = violating_pairs(fd_dataset, ["zip"], ["city"])
+        assert by_name == by_index == by_set
+
+    def test_overlapping_sides_rejected(self, fd_dataset):
+        with pytest.raises(InvalidParameterError):
+            violating_pairs(fd_dataset, ["zip", "city"], "city")
+
+    def test_empty_side_rejected(self, fd_dataset):
+        with pytest.raises(InvalidParameterError):
+            violating_pairs(fd_dataset, [], "city")
+
+    def test_set_valued_rhs(self, fd_dataset):
+        single = violating_pairs(fd_dataset, "zip", "city")
+        double = violating_pairs(fd_dataset, "zip", ["city", "id"])
+        assert double >= single  # more ways to disagree on the rhs
+
+
+class TestG1:
+    def test_value_on_known_example(self, fd_dataset):
+        # zip class {0,1,2} has 2 violating pairs (row 2 vs rows 0, 1).
+        assert violating_pairs(fd_dataset, "zip", "city") == 2
+        assert g1_error(fd_dataset, "zip", "city") == pytest.approx(
+            2 / pairs_count(6)
+        )
+
+    def test_bounded_by_unit_interval(self, fd_dataset):
+        for lhs, rhs in [("zip", "city"), ("city", "zip"), ("zip", "id")]:
+            assert 0.0 <= g1_error(fd_dataset, lhs, rhs) <= 1.0
+
+    def test_monotone_in_lhs(self, fd_dataset):
+        # Adding lhs attributes can only shrink the violating-pair set.
+        wide = g1_error(fd_dataset, ["zip", "city"], "id")
+        narrow = g1_error(fd_dataset, ["zip"], "id")
+        assert wide <= narrow
+
+
+class TestG3:
+    def test_known_example(self, fd_dataset):
+        # Remove row 2 ("SD!") and zip -> city becomes exact.
+        assert g3_error(fd_dataset, "zip", "city") == pytest.approx(1 / 6)
+
+    def test_zero_iff_exact(self, fd_dataset):
+        assert g3_error(fd_dataset, "id", "zip") == 0.0
+        assert g3_error(fd_dataset, "zip", "city") > 0.0
+
+    def test_g2_at_least_g3(self, fd_dataset):
+        for lhs, rhs in [("zip", "city"), ("city", "zip"), ("city", "id")]:
+            assert g2_error(fd_dataset, lhs, rhs) >= g3_error(
+                fd_dataset, lhs, rhs
+            )
+
+    def test_g2_known_example(self, fd_dataset):
+        # The whole zip class {0,1,2} participates in violations.
+        assert g2_error(fd_dataset, "zip", "city") == pytest.approx(3 / 6)
+
+
+class TestPdepTau:
+    def test_pdep_single_uniform(self):
+        data = Dataset.from_columns({"y": [0, 1, 2, 3], "x": [0, 0, 1, 1]})
+        assert pdep_single(data, "y") == pytest.approx(4 * (1 / 4) ** 2)
+
+    def test_pdep_one_iff_exact_fd(self):
+        data = Dataset.from_columns(
+            {"a": [1, 1, 2, 2], "b": ["x", "x", "y", "y"]}
+        )
+        assert pdep(data, "a", "b") == pytest.approx(1.0)
+
+    def test_pdep_bounded_below_by_baseline(self, fd_dataset):
+        # Conditioning on X never hurts: pdep(X -> Y) >= pdep(Y).
+        for lhs, rhs in [("zip", "city"), ("city", "zip")]:
+            assert pdep(fd_dataset, lhs, rhs) >= pdep_single(
+                fd_dataset, rhs
+            ) - 1e-12
+
+    def test_tau_exact_fd_is_one(self):
+        data = Dataset.from_columns(
+            {"a": [1, 1, 2, 2], "b": ["x", "x", "y", "y"]}
+        )
+        assert tau(data, "a", "b") == pytest.approx(1.0)
+
+    def test_tau_constant_rhs_rejected(self):
+        data = Dataset.from_columns({"a": [1, 2, 3], "b": ["k", "k", "k"]})
+        with pytest.raises(InvalidParameterError):
+            tau(data, "a", "b")
+
+    def test_tau_independent_columns_near_zero(self):
+        rng = np.random.default_rng(0)
+        data = Dataset(
+            np.column_stack(
+                [rng.integers(0, 2, 4000), rng.integers(0, 2, 4000)]
+            )
+        )
+        assert abs(tau(data, [0], [1])) < 0.05
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        min_size=2,
+        max_size=24,
+    )
+)
+def test_measures_consistency_property(rows):
+    """g1 matches brute force; all measures sit in [0, 1]; exactness agrees."""
+    data = Dataset(np.array(rows))
+    expected = brute_force_violating_pairs(data, [0], [1])
+    assert violating_pairs(data, [0], [1]) == expected
+    g1 = g1_error(data, [0], [1])
+    g2 = g2_error(data, [0], [1])
+    g3 = g3_error(data, [0], [1])
+    for measure in (g1, g2, g3):
+        assert 0.0 <= measure <= 1.0
+    assert g3 <= g2
+    assert (expected == 0) == (g3 == 0.0)
+    assert 0.0 <= pdep(data, [0], [1]) <= 1.0 + 1e-12

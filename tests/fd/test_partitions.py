@@ -1,0 +1,228 @@
+"""Unit and property tests for stripped partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import group_labels, unseparated_pairs
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.partitions import StrippedPartition
+
+
+def small_code_matrices(max_rows: int = 30, max_cols: int = 4):
+    """Hypothesis strategy for small integer code matrices."""
+    return st.integers(2, max_rows).flatmap(
+        lambda n: st.integers(1, max_cols).flatmap(
+            lambda m: st.lists(
+                st.lists(st.integers(0, 3), min_size=m, max_size=m),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+
+
+class TestConstruction:
+    def test_strips_singletons(self):
+        part = StrippedPartition([[0], [1, 2], [3]], n_rows=5)
+        assert part.n_classes == 1
+        assert part.support == 2
+
+    def test_from_labels_matches_manual_grouping(self):
+        labels = np.array([0, 1, 0, 2, 1, 1])
+        part = StrippedPartition.from_labels(labels)
+        sizes = sorted(part.class_sizes().tolist())
+        assert sizes == [2, 3]
+        assert part.n_rows == 6
+
+    def test_from_dataset_equals_from_labels(self, tiny_dataset):
+        via_data = StrippedPartition.from_dataset(tiny_dataset, [0])
+        via_labels = StrippedPartition.from_labels(
+            group_labels(tiny_dataset, [0])
+        )
+        assert via_data == via_labels
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(InvalidParameterError):
+            StrippedPartition([[0, 9]], n_rows=3)
+
+    def test_rejects_overlapping_classes(self):
+        with pytest.raises(InvalidParameterError):
+            StrippedPartition([[0, 1], [1, 2]], n_rows=3)
+
+    def test_rejects_nonpositive_n_rows(self):
+        with pytest.raises(InvalidParameterError):
+            StrippedPartition([], n_rows=0)
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StrippedPartition.from_labels(np.array([]))
+
+    def test_repr_mentions_shape(self):
+        part = StrippedPartition([[0, 1]], n_rows=4)
+        assert "n_rows=4" in repr(part)
+        assert "n_classes=1" in repr(part)
+
+
+class TestPaperQuantities:
+    def test_unseparated_pairs_matches_exact_count(self, tiny_dataset):
+        for attrs in [[0], [1], [2], [0, 1], [0, 2], [1, 2], [0, 1, 2]]:
+            part = StrippedPartition.from_dataset(tiny_dataset, attrs)
+            assert part.unseparated_pairs() == unseparated_pairs(
+                tiny_dataset, attrs
+            )
+
+    def test_is_key_iff_no_classes(self, tiny_dataset):
+        assert StrippedPartition.from_dataset(tiny_dataset, [0, 1]).is_key()
+        assert not StrippedPartition.from_dataset(tiny_dataset, [0]).is_key()
+
+    def test_separation_ratio_single_row(self):
+        part = StrippedPartition([], n_rows=1)
+        assert part.separation_ratio() == 1.0
+
+    def test_separation_ratio(self, tiny_dataset):
+        part = StrippedPartition.from_dataset(tiny_dataset, [0])
+        assert part.separation_ratio() == pytest.approx(5 / 6)
+
+
+class TestIntersect:
+    def test_product_equals_joint_partition(self, tiny_dataset):
+        part_zip = StrippedPartition.from_dataset(tiny_dataset, [0])
+        part_age = StrippedPartition.from_dataset(tiny_dataset, [1])
+        product = part_zip.intersect(part_age)
+        joint = StrippedPartition.from_dataset(tiny_dataset, [0, 1])
+        assert product == joint
+
+    def test_product_is_commutative(self, medium_dataset):
+        a = StrippedPartition.from_dataset(medium_dataset, [0])
+        b = StrippedPartition.from_dataset(medium_dataset, [1])
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_product_with_key_is_empty(self, medium_dataset):
+        a = StrippedPartition.from_dataset(medium_dataset, [0])
+        key = StrippedPartition.from_dataset(medium_dataset, [5])
+        assert a.intersect(key).is_key()
+
+    def test_mismatched_row_counts_rejected(self):
+        a = StrippedPartition([[0, 1]], n_rows=3)
+        b = StrippedPartition([[0, 1]], n_rows=4)
+        with pytest.raises(InvalidParameterError):
+            a.intersect(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=small_code_matrices())
+    def test_product_matches_group_labels_property(self, rows):
+        data = Dataset(np.array(rows))
+        if data.n_columns < 2:
+            return
+        a = StrippedPartition.from_dataset(data, [0])
+        b = StrippedPartition.from_dataset(data, [data.n_columns - 1])
+        product = a.intersect(b)
+        joint = StrippedPartition.from_dataset(
+            data, [0, data.n_columns - 1]
+        )
+        assert product == joint
+
+
+class TestRefines:
+    def test_joint_refines_each_side(self, tiny_dataset):
+        joint = StrippedPartition.from_dataset(tiny_dataset, [0, 1])
+        for column in (0, 1):
+            side = StrippedPartition.from_dataset(tiny_dataset, [column])
+            assert joint.refines(side)
+
+    def test_coarser_does_not_refine_finer(self, tiny_dataset):
+        age = StrippedPartition.from_dataset(tiny_dataset, [1])
+        joint = StrippedPartition.from_dataset(tiny_dataset, [0, 1])
+        assert not age.refines(joint)
+
+    def test_refines_detects_exact_fd(self):
+        # city -> state holds exactly; state -> city does not.
+        data = Dataset.from_columns(
+            {
+                "city": ["SD", "SD", "LA", "SF"],
+                "state": ["CA", "CA", "CA", "CA"],
+            }
+        )
+        city = StrippedPartition.from_dataset(data, ["city"])
+        state = StrippedPartition.from_dataset(data, ["state"])
+        assert city.refines(state)
+        assert not state.refines(city)
+
+    def test_mismatched_row_counts_rejected(self):
+        a = StrippedPartition([[0, 1]], n_rows=3)
+        b = StrippedPartition([[0, 1]], n_rows=4)
+        with pytest.raises(InvalidParameterError):
+            a.refines(b)
+
+
+class TestViolationCounters:
+    def test_g1_is_gamma_difference(self, medium_dataset):
+        lhs = StrippedPartition.from_dataset(medium_dataset, [0])
+        joint = StrippedPartition.from_dataset(medium_dataset, [0, 1])
+        expected = unseparated_pairs(medium_dataset, [0]) - unseparated_pairs(
+            medium_dataset, [0, 1]
+        )
+        assert lhs.g1_violating_pairs(joint) == expected
+
+    def test_g3_zero_for_exact_fd(self):
+        data = Dataset.from_columns(
+            {"a": [1, 1, 2, 2], "b": ["x", "x", "y", "y"]}
+        )
+        lhs = StrippedPartition.from_dataset(data, ["a"])
+        joint = StrippedPartition.from_dataset(data, ["a", "b"])
+        assert lhs.g3_removed_rows(joint) == 0
+        assert lhs.g2_violating_rows(joint) == 0
+
+    def test_g3_counts_minimum_removals(self):
+        # class {0,1,2} splits 2+1 -> remove 1; class {3,4} intact.
+        data = Dataset.from_columns(
+            {
+                "a": [1, 1, 1, 2, 2],
+                "b": ["x", "x", "y", "z", "z"],
+            }
+        )
+        lhs = StrippedPartition.from_dataset(data, ["a"])
+        joint = StrippedPartition.from_dataset(data, ["a", "b"])
+        assert lhs.g3_removed_rows(joint) == 1
+
+    def test_g2_counts_all_rows_of_split_classes(self):
+        data = Dataset.from_columns(
+            {
+                "a": [1, 1, 1, 2, 2],
+                "b": ["x", "x", "y", "z", "z"],
+            }
+        )
+        lhs = StrippedPartition.from_dataset(data, ["a"])
+        joint = StrippedPartition.from_dataset(data, ["a", "b"])
+        assert lhs.g2_violating_rows(joint) == 3
+
+    def test_counters_reject_mismatched_rows(self):
+        a = StrippedPartition([[0, 1]], n_rows=3)
+        b = StrippedPartition([[0, 1]], n_rows=4)
+        with pytest.raises(InvalidParameterError):
+            a.g3_removed_rows(b)
+        with pytest.raises(InvalidParameterError):
+            a.g2_violating_rows(b)
+        with pytest.raises(InvalidParameterError):
+            a.g1_violating_pairs(b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=small_code_matrices(max_rows=20, max_cols=3))
+    def test_counter_sandwich_property(self, rows):
+        """0 <= g3_removed <= g2_rows <= n, and g1 >= 0."""
+        data = Dataset(np.array(rows))
+        if data.n_columns < 2:
+            return
+        lhs = StrippedPartition.from_dataset(data, [0])
+        joint = StrippedPartition.from_dataset(data, [0, 1])
+        removed = lhs.g3_removed_rows(joint)
+        violating_rows = lhs.g2_violating_rows(joint)
+        assert 0 <= removed <= violating_rows <= data.n_rows
+        assert lhs.g1_violating_pairs(joint) >= 0
+        # removing zero rows <=> no violating pair
+        assert (removed == 0) == (lhs.g1_violating_pairs(joint) == 0)

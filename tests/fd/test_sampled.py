@@ -1,0 +1,229 @@
+"""Tests for sampling-based AFD validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError, SketchQueryError
+from repro.fd.measures import g1_error
+from repro.fd.sampled import (
+    SampledFDValidator,
+    fd_pair_sample_size,
+    g1_pair_sample_estimate,
+)
+from repro.types import pairs_count
+
+
+@pytest.fixture
+def noisy_fd_dataset() -> Dataset:
+    """3000 rows where x -> y holds except in a planted 10% slice."""
+    rng = np.random.default_rng(21)
+    x = rng.integers(0, 10, size=3000)
+    y = x.copy()
+    broken = rng.choice(3000, size=300, replace=False)
+    y[broken] = rng.integers(10, 20, size=300)
+    z = rng.integers(0, 5, size=3000)
+    return Dataset(np.column_stack([x, y, z]))
+
+
+class TestSampleSize:
+    def test_matches_theorem_two_scaling(self):
+        base = fd_pair_sample_size(64, 2, 0.1, 0.1)
+        assert fd_pair_sample_size(64, 4, 0.1, 0.1) == pytest.approx(
+            2 * base, rel=0.01
+        )
+        # Halving epsilon quadruples the sample.
+        assert fd_pair_sample_size(64, 2, 0.1, 0.05) == pytest.approx(
+            4 * base, rel=0.01
+        )
+
+    def test_monotone_in_width_and_positive(self):
+        narrow = fd_pair_sample_size(8, 2, 0.1, 0.1)
+        wide = fd_pair_sample_size(512, 2, 0.1, 0.1)
+        assert 0 < narrow < wide
+
+
+class TestValidator:
+    def test_estimate_close_to_exact_g1(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=3, alpha=0.001, epsilon=0.2, seed=3
+        )
+        exact = g1_error(noisy_fd_dataset, [0], [1])
+        est = validator.validate([0], [1])
+        assert est.g1_estimate == pytest.approx(exact, rel=0.5, abs=1e-4)
+
+    def test_reverse_direction_also_estimated(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=3, alpha=0.001, epsilon=0.2, seed=5
+        )
+        exact = g1_error(noisy_fd_dataset, [1], [0])
+        est = validator.validate([1], [0])
+        assert est.g1_estimate == pytest.approx(exact, rel=0.5, abs=1e-4)
+
+    def test_holds_threshold(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=2, alpha=0.001, epsilon=0.2, seed=7
+        )
+        assert validator.holds([0], [1], max_g1=0.1)
+        assert not validator.holds([2], [0], max_g1=0.001)
+
+    def test_query_size_contract(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=2, alpha=0.01, epsilon=0.2, seed=1
+        )
+        with pytest.raises(SketchQueryError):
+            validator.validate([0, 1], [2])
+
+    def test_violating_pairs_estimate_scales(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=2, alpha=0.001, epsilon=0.2, seed=9
+        )
+        est = validator.validate([0], [1])
+        assert est.violating_pairs_estimate == pytest.approx(
+            est.g1_estimate * pairs_count(noisy_fd_dataset.n_rows)
+        )
+
+    def test_column_names_accepted(self):
+        data = Dataset.from_columns(
+            {"a": [0, 0, 1, 1] * 100, "b": [0, 0, 1, 1] * 100}
+        )
+        validator = SampledFDValidator.fit(
+            data, k=2, alpha=0.05, epsilon=0.3, seed=2
+        )
+        assert validator.validate("a", "b").violating_sample_pairs == 0
+
+    def test_overlapping_sides_rejected(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=3, alpha=0.05, epsilon=0.3, seed=2
+        )
+        with pytest.raises(InvalidParameterError):
+            validator.validate([0], [0, 1])
+
+    def test_single_row_dataset_rejected(self):
+        data = Dataset(np.array([[1, 2]]))
+        with pytest.raises(InvalidParameterError):
+            SampledFDValidator.fit(data, k=2, alpha=0.05, epsilon=0.3)
+
+    def test_memory_bits_positive_and_scales(self, noisy_fd_dataset):
+        small = SampledFDValidator.fit(
+            noisy_fd_dataset, k=2, alpha=0.05, epsilon=0.3,
+            sample_size=50, seed=0,
+        )
+        large = SampledFDValidator.fit(
+            noisy_fd_dataset, k=2, alpha=0.05, epsilon=0.3,
+            sample_size=500, seed=0,
+        )
+        assert 0 < small.memory_bits() < large.memory_bits()
+
+    def test_sample_size_override(self, noisy_fd_dataset):
+        validator = SampledFDValidator.fit(
+            noisy_fd_dataset, k=2, alpha=0.05, epsilon=0.3,
+            sample_size=123, seed=0,
+        )
+        assert validator.sample_size == 123
+
+
+class TestOneShotEstimator:
+    def test_zero_on_exact_fd(self):
+        data = Dataset.from_columns(
+            {"x": [0, 0, 1, 1] * 50, "y": [0, 1, 2, 3] * 50}
+        )
+        est = g1_pair_sample_estimate(data, "y", "x", sample_size=500, seed=3)
+        assert est.violating_sample_pairs == 0
+        assert est.is_small
+
+    def test_estimate_in_right_ballpark(self, noisy_fd_dataset):
+        exact = g1_error(noisy_fd_dataset, [0], [1])
+        est = g1_pair_sample_estimate(
+            noisy_fd_dataset, [0], [1], sample_size=60_000, seed=11
+        )
+        assert est.g1_estimate == pytest.approx(exact, rel=0.5)
+
+    def test_invalid_sample_size(self, noisy_fd_dataset):
+        with pytest.raises(InvalidParameterError):
+            g1_pair_sample_estimate(
+                noisy_fd_dataset, [0], [1], sample_size=0
+            )
+
+    def test_holds_helper(self, noisy_fd_dataset):
+        est = g1_pair_sample_estimate(
+            noisy_fd_dataset, [0], [1], sample_size=20_000, seed=4
+        )
+        assert est.holds(1.0)
+        assert not est.holds(0.0) or est.violating_sample_pairs == 0
+
+
+class TestSampledDiscovery:
+    """Two-stage discovery: generate on a row sample, validate on pairs."""
+
+    @pytest.fixture
+    def planted_fd_table(self) -> Dataset:
+        rng = np.random.default_rng(31)
+        n = 8_000
+        zips = rng.integers(0, 60, size=n)
+        cities = zips // 12
+        return Dataset(
+            np.column_stack(
+                [zips, cities, rng.integers(0, 5, size=n)]
+            ),
+            column_names=["zip", "city", "noise"],
+        )
+
+    def test_finds_planted_dependency(self, planted_fd_table):
+        from repro.fd.sampled import discover_afds_sampled
+
+        result = discover_afds_sampled(
+            planted_fd_table, max_g1=0.001, seed=1
+        )
+        found = {
+            (fd.lhs_names, fd.rhs_name) for fd in result.dependencies
+        }
+        assert (("zip",), "city") in found
+
+    def test_noise_dependency_pruned(self, planted_fd_table):
+        from repro.fd.sampled import discover_afds_sampled
+
+        result = discover_afds_sampled(
+            planted_fd_table, max_g1=0.0005, max_lhs_size=1, seed=2
+        )
+        for fd in result.dependencies:
+            assert fd.rhs_name != "noise" or fd.lhs_names == ("zip",) or (
+                fd.lhs_names == ("city",)
+            )
+        # noise is independent: nothing with rhs=noise should survive a
+        # tight g1 budget.
+        assert all(fd.rhs_name != "noise" for fd in result.dependencies)
+
+    def test_costs_are_sample_bound(self, planted_fd_table):
+        from repro.fd.sampled import discover_afds_sampled
+
+        result = discover_afds_sampled(
+            planted_fd_table, max_g1=0.01, row_sample_size=200, seed=3
+        )
+        assert result.row_sample_size == 200
+        assert result.pair_sample_size < planted_fd_table.n_pairs
+        assert result.n_candidates >= len(result.dependencies)
+
+    def test_validated_errors_attached(self, planted_fd_table):
+        from repro.fd.sampled import discover_afds_sampled
+
+        result = discover_afds_sampled(
+            planted_fd_table, max_g1=0.01, seed=4
+        )
+        for fd in result.dependencies:
+            assert 0.0 <= fd.error <= 0.01
+
+    def test_bad_threshold_rejected(self, planted_fd_table):
+        from repro.fd.sampled import discover_afds_sampled
+
+        with pytest.raises(InvalidParameterError):
+            discover_afds_sampled(planted_fd_table, max_g1=1.0)
+
+    def test_reproducible(self, planted_fd_table):
+        from repro.fd.sampled import discover_afds_sampled
+
+        first = discover_afds_sampled(planted_fd_table, max_g1=0.01, seed=5)
+        second = discover_afds_sampled(planted_fd_table, max_g1=0.01, seed=5)
+        assert first == second

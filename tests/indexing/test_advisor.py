@@ -1,0 +1,110 @@
+"""Tests for the index advisor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import adult_like
+from repro.exceptions import InvalidParameterError
+from repro.fd.discovery import exact_fds
+from repro.indexing.advisor import distinct_is_noop, suggest_index_keys
+
+
+@pytest.fixture
+def orders_dataset() -> Dataset:
+    return Dataset.from_columns(
+        {
+            "order_id": list(range(12)),
+            "customer": [i // 3 for i in range(12)],
+            "status": ["open", "done", "open", "done"] * 3,
+        }
+    )
+
+
+class TestSuggestIndexKeys:
+    def test_unique_column_ranked_first(self, orders_dataset):
+        suggestions = suggest_index_keys(orders_dataset, max_size=1)
+        assert suggestions[0].attribute_names == ("order_id",)
+        assert suggestions[0].rows_per_lookup == 1.0
+
+    def test_ranking_is_by_selectivity_then_width(self, orders_dataset):
+        suggestions = suggest_index_keys(orders_dataset, max_size=2)
+        selectivities = [s.selectivity for s in suggestions]
+        assert selectivities == sorted(selectivities)
+
+    def test_dominated_supersets_dropped(self, orders_dataset):
+        # {order_id, X} can never beat {order_id}; none may appear.
+        suggestions = suggest_index_keys(orders_dataset, max_size=2)
+        id_index = orders_dataset.column_index("order_id")
+        for suggestion in suggestions:
+            if id_index in suggestion.attributes:
+                assert suggestion.attributes == (id_index,)
+
+    def test_max_suggestions_cap(self, orders_dataset):
+        suggestions = suggest_index_keys(
+            orders_dataset, max_size=2, max_suggestions=2
+        )
+        assert len(suggestions) == 2
+
+    def test_sampled_grading_close_to_exact(self):
+        data = adult_like(6_000, seed=0)
+        exact = suggest_index_keys(data, max_size=1, max_suggestions=3)
+        sampled = suggest_index_keys(
+            data, max_size=1, max_suggestions=3,
+            sample_size=1_500, seed=1,
+        )
+        assert all(s.is_estimate for s in sampled)
+        # The top exact suggestion stays on top under sampling.
+        assert sampled[0].attributes == exact[0].attributes
+
+    def test_validation(self, orders_dataset):
+        with pytest.raises(InvalidParameterError):
+            suggest_index_keys(orders_dataset, max_size=0)
+        with pytest.raises(InvalidParameterError):
+            suggest_index_keys(orders_dataset, max_suggestions=0)
+
+    def test_width_property(self, orders_dataset):
+        suggestions = suggest_index_keys(orders_dataset, max_size=2)
+        for suggestion in suggestions:
+            assert suggestion.width == len(suggestion.attributes)
+
+
+class TestDistinctIsNoop:
+    def test_key_projection_is_noop(self):
+        data = Dataset.from_columns(
+            {"id": [1, 2, 3, 4], "v": ["a", "a", "b", "b"]}
+        )
+        fds = exact_fds(data)
+        assert distinct_is_noop(fds, [data.column_index("id")], 2)
+
+    def test_non_key_projection_needs_distinct(self):
+        data = Dataset.from_columns(
+            {"id": [1, 2, 3, 4], "v": ["a", "a", "b", "b"]}
+        )
+        fds = exact_fds(data)
+        assert not distinct_is_noop(fds, [data.column_index("v")], 2)
+
+    def test_transitive_determination(self):
+        # 0 -> 1, 1 -> 2: projecting on {0} determines everything.
+        assert distinct_is_noop([((0,), 1), ((1,), 2)], [0], 3)
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            distinct_is_noop([], [], 3)
+
+    def test_cross_check_with_data(self):
+        rng = np.random.default_rng(2)
+        data = Dataset(rng.integers(0, 3, size=(50, 3)))
+        fds = exact_fds(data)
+        full = tuple(range(data.n_columns))
+        from repro.core.separation import unseparated_pairs
+
+        for projection in ([0], [1], [0, 1], [0, 2], [1, 2]):
+            if distinct_is_noop(fds, projection, data.n_columns):
+                # Then the projection separates exactly what the full
+                # attribute set separates.
+                assert unseparated_pairs(data, projection) == (
+                    unseparated_pairs(data, full)
+                )

@@ -1,0 +1,146 @@
+"""Tests for selectivity estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.indexing.selectivity import (
+    distinct_key_mean_rows,
+    equality_selectivity,
+    estimate_equality_selectivity,
+    expected_rows_per_lookup,
+    selectivity_from_sample,
+)
+
+
+def brute_force_rows_per_lookup(data: Dataset, attrs) -> float:
+    """Average result size when looking up each stored row's own key."""
+    columns = list(data.resolve_attributes(attrs))
+    total = 0
+    for row in range(data.n_rows):
+        matches = np.all(
+            data.codes[:, columns] == data.codes[row, columns], axis=1
+        )
+        total += int(matches.sum())
+    return total / data.n_rows
+
+
+class TestExactSelectivity:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        data = Dataset(rng.integers(0, 4, size=(80, 3)))
+        for attrs in ([0], [1], [0, 1], [0, 1, 2]):
+            estimate = equality_selectivity(data, attrs)
+            assert estimate.rows_per_row_lookup == pytest.approx(
+                brute_force_rows_per_lookup(data, attrs)
+            )
+
+    def test_perfect_key_returns_one_row(self):
+        data = Dataset.from_columns({"id": list(range(50))})
+        estimate = equality_selectivity(data, ["id"])
+        assert estimate.rows_per_row_lookup == 1.0
+        assert estimate.selectivity == pytest.approx(1 / 50)
+
+    def test_constant_column_returns_everything(self):
+        data = Dataset.from_columns({"c": [7] * 30})
+        estimate = equality_selectivity(data, ["c"])
+        assert estimate.rows_per_row_lookup == 30.0
+        assert estimate.selectivity == 1.0
+
+    def test_size_biased_vs_uniform_key_mean(self):
+        # Skewed cliques: size-biased mean > plain mean.
+        data = Dataset.from_columns({"c": [0] * 9 + [1]})
+        size_biased = equality_selectivity(data, ["c"]).rows_per_row_lookup
+        uniform = distinct_key_mean_rows(data, ["c"])
+        assert size_biased == pytest.approx((81 + 1) / 10)
+        assert uniform == pytest.approx(10 / 2)
+        assert size_biased > uniform
+
+    def test_empty_attributes_rejected(self):
+        data = Dataset.from_columns({"a": [1, 2]})
+        with pytest.raises(InvalidParameterError):
+            equality_selectivity(data, [])
+        with pytest.raises(InvalidParameterError):
+            distinct_key_mean_rows(data, [])
+
+
+class TestHelpers:
+    def test_expected_rows_formula(self):
+        # cliques 3+1: gamma=3, n=4, sum g^2 = 10 -> 10/4.
+        assert expected_rows_per_lookup(3, 4) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            expected_rows_per_lookup(1, 0)
+        with pytest.raises(InvalidParameterError):
+            expected_rows_per_lookup(-1, 5)
+
+
+class TestSampledSelectivity:
+    def test_sample_estimate_near_exact(self):
+        rng = np.random.default_rng(1)
+        data = Dataset(rng.integers(0, 10, size=(20_000, 2)))
+        exact = equality_selectivity(data, [0])
+        estimate = selectivity_from_sample(
+            data, [0], sample_size=2_000, seed=2
+        )
+        assert estimate.is_estimate
+        assert estimate.rows_per_row_lookup == pytest.approx(
+            exact.rows_per_row_lookup, rel=0.15
+        )
+
+    def test_whole_table_sample_is_exact(self):
+        rng = np.random.default_rng(3)
+        data = Dataset(rng.integers(0, 5, size=(200, 2)))
+        exact = equality_selectivity(data, [0])
+        estimate = selectivity_from_sample(
+            data, [0], sample_size=200, seed=4
+        )
+        assert estimate.rows_per_row_lookup == pytest.approx(
+            exact.rows_per_row_lookup
+        )
+
+    def test_sketch_based_estimate(self):
+        rng = np.random.default_rng(5)
+        data = Dataset(rng.integers(0, 8, size=(10_000, 3)))
+        sketch = NonSeparationSketch.fit(
+            data, k=2, alpha=0.01, epsilon=0.2, seed=6
+        )
+        exact = equality_selectivity(data, [0])
+        estimate = estimate_equality_selectivity(sketch, [0])
+        assert estimate.is_estimate
+        assert estimate.rows_per_row_lookup == pytest.approx(
+            exact.rows_per_row_lookup, rel=0.25
+        )
+
+    def test_sketch_small_answer_gives_selective_grade(self):
+        data = Dataset(np.arange(5_000).reshape(-1, 1))
+        sketch = NonSeparationSketch.fit(
+            data, k=1, alpha=0.05, epsilon=0.2, seed=7
+        )
+        estimate = estimate_equality_selectivity(sketch, [0])
+        # A unique column must be graded as touching almost nothing.
+        assert estimate.selectivity < 0.2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 5), min_size=2, max_size=60),
+)
+def test_selectivity_bounds_property(values):
+    data = Dataset(np.array(values).reshape(-1, 1))
+    estimate = equality_selectivity(data, [0])
+    n = data.n_rows
+    assert 1.0 <= estimate.rows_per_row_lookup <= n
+    assert 1.0 / n <= estimate.selectivity <= 1.0
+    # Size-biased mean dominates the uniform-key mean (Cauchy-Schwarz).
+    assert (
+        estimate.rows_per_row_lookup
+        >= distinct_key_mean_rows(data, [0]) - 1e-9
+    )

@@ -1,0 +1,77 @@
+"""Contract tests on the public API surface.
+
+Guards against accidental breakage of the documented import points: every
+name promised in ``docs/API.md``'s top-level block must import and be
+callable/usable, and ``__all__`` must be accurate everywhere.
+"""
+
+import importlib
+
+import pytest
+
+
+TOP_LEVEL_NAMES = [
+    "Dataset",
+    "load_csv",
+    "save_csv",
+    "TupleSampleFilter",
+    "MotwaniXuFilter",
+    "classify",
+    "approximate_min_key",
+    "ExactMinKey",
+    "NonSeparationSketch",
+    "mask_small_quasi_identifiers",
+    "verify_masking",
+    "unseparated_pairs",
+    "separation_ratio",
+    "is_key",
+    "is_epsilon_key",
+    "tuple_sample_size",
+    "motwani_xu_pair_sample_size",
+    "sketch_pair_sample_size",
+]
+
+
+class TestTopLevelSurface:
+    def test_documented_names_importable(self):
+        import repro
+
+        for name in TOP_LEVEL_NAMES:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_all_is_accurate(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing {name}"
+
+    def test_version_matches_package_metadata(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.core",
+        "repro.data",
+        "repro.sampling",
+        "repro.setcover",
+        "repro.analysis",
+        "repro.communication",
+        "repro.experiments",
+        "repro.streaming",
+        "repro.ucc",
+    ],
+)
+class TestSubpackageAllAccuracy:
+    def test_all_names_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_all_is_sorted(self, module_name):
+        module = importlib.import_module(module_name)
+        assert list(module.__all__) == sorted(module.__all__)

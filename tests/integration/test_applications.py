@@ -1,0 +1,121 @@
+"""Cross-module integration tests for the application layers.
+
+Each test wires several subsystems together the way the examples do:
+mined quasi-identifiers feeding blocking, discovered FDs feeding key
+inference, risk assessment reacting to anonymization, and the sketches
+agreeing with the exact machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cleaning.corrupt import (
+    CorruptionConfig,
+    inject_fuzzy_duplicates,
+    make_clean_people_table,
+)
+from repro.cleaning.dedup import evaluate_against_truth, find_fuzzy_duplicates
+from repro.core.minkey import approximate_min_key
+from repro.core.separation import is_epsilon_key, is_key, unseparated_pairs
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.data.synthetic import adult_like, planted_key_dataset
+from repro.fd.closure import candidate_keys
+from repro.fd.discovery import exact_fds
+from repro.fd.measures import g1_error
+from repro.fd.sampled import SampledFDValidator
+from repro.privacy.anonymize import mondrian_anonymize
+from repro.privacy.cost import cheapest_quasi_identifier, uniform_costs
+from repro.privacy.linkage import simulate_linking_attack
+from repro.privacy.risk import assess_risk
+from repro.sketches.ams import ams_unseparated_pairs
+
+
+class TestFDKeyBridge:
+    """Keys via FD inference == keys via the paper's sampling machinery."""
+
+    def test_planted_key_recovered_both_ways(self):
+        data = planted_key_dataset(400, key_size=2, n_noise_columns=4, seed=5)
+        mined = approximate_min_key(data, epsilon=0.05, method="exact")
+        fds = exact_fds(data)
+        inferred = candidate_keys(fds, data.n_columns)
+        # The sampling miner's exact key must appear among (or contain) an
+        # FD-inferred candidate key.
+        assert any(set(key) <= set(mined.attributes) for key in inferred)
+        for key in inferred:
+            assert is_key(data, key)
+
+    def test_sampled_fd_matches_exact_on_adult(self):
+        data = adult_like(4_000, seed=6)
+        validator = SampledFDValidator.fit(
+            data, k=4, alpha=0.0005, epsilon=0.25, seed=7
+        )
+        exact = g1_error(data, ["education_num"], ["education"])
+        estimate = validator.validate(["education_num"], ["education"])
+        # education <-> education_num is a real FD in the generator.
+        assert exact == pytest.approx(0.0)
+        assert estimate.g1_estimate == pytest.approx(0.0, abs=1e-5)
+
+
+class TestPrivacyPipeline:
+    def test_anonymize_then_reassess(self):
+        data = adult_like(3_000, seed=8)
+        qi = ["age", "education_num", "hours_per_week"]
+        before = assess_risk(data, qi)
+        result = mondrian_anonymize(data, qi, 20)
+        after = assess_risk(result.data, qi)
+        assert before.k_anonymity < 20 <= after.k_anonymity
+        assert after.uniqueness == 0.0
+        attack = simulate_linking_attack(result.data, qi, seed=9)
+        assert attack.recall == 0.0
+
+    def test_cheapest_key_enables_attack(self):
+        data = adult_like(3_000, seed=10)
+        result = cheapest_quasi_identifier(
+            data, uniform_costs(data), epsilon=0.001, seed=11
+        )
+        # The mined cheap key is an epsilon-key, so the attack built on it
+        # re-identifies (almost) everyone.
+        assert is_epsilon_key(data, list(result.attributes), 0.001)
+        attack = simulate_linking_attack(
+            data, list(result.attributes), seed=12
+        )
+        assert attack.recall > 0.95
+
+
+class TestCleaningPipeline:
+    def test_mined_qi_plus_redundant_passes(self):
+        clean = make_clean_people_table(250, seed=13)
+        dirty = inject_fuzzy_duplicates(
+            clean,
+            CorruptionConfig(duplicate_fraction=0.1, typo_rate=0.4),
+            seed=14,
+        )
+        mined = approximate_min_key(dirty.data, epsilon=0.01, seed=15)
+        passes = [[int(a)] for a in mined.attributes]
+        passes += [["zip"], ["birth_year"]]
+        result = find_fuzzy_duplicates(
+            dirty.data, passes, threshold=0.8,
+            weights=[3.0, 3.0, 1.0, 0.5, 0.5],
+        )
+        score = evaluate_against_truth(result.matched_pairs, dirty.true_pairs)
+        assert score.recall >= 0.8
+        assert score.precision >= 0.8
+
+
+class TestSketchAgreement:
+    def test_three_estimators_agree(self):
+        rng = np.random.default_rng(16)
+        data = Dataset(rng.integers(0, 6, size=(5_000, 4)))
+        attrs = [0, 1]
+        exact = unseparated_pairs(data, attrs)
+        ams = ams_unseparated_pairs(data, attrs, width=2_048, depth=7, seed=17)
+        pair_sketch = NonSeparationSketch.fit(
+            data, k=2, alpha=0.01, epsilon=0.2, seed=18
+        )
+        answer = pair_sketch.query(attrs)
+        assert ams == pytest.approx(exact, rel=0.3)
+        assert not answer.is_small
+        assert answer.estimate == pytest.approx(exact, rel=0.3)

@@ -1,0 +1,117 @@
+"""Integration tests exercising the full public API together."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    MotwaniXuFilter,
+    NonSeparationSketch,
+    TupleSampleFilter,
+    approximate_min_key,
+    classify,
+    is_epsilon_key,
+    is_key,
+    separation_ratio,
+    unseparated_pairs,
+)
+from repro.core.filters import Classification
+from repro.data.synthetic import adult_like, planted_key_dataset
+from repro.types import pairs_count
+
+
+class TestQuasiIdentifierPipeline:
+    """Discover, verify, and audit a quasi-identifier end to end."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        return adult_like(8_000, seed=11)
+
+    def test_discover_then_verify(self, data):
+        epsilon = 0.001
+        result = approximate_min_key(data, epsilon, method="tuples", seed=0)
+        # The discovered key must be an ε'-separation key for a slightly
+        # relaxed ε' (the w.h.p. guarantee with the experiment constant).
+        assert is_epsilon_key(data, result.attributes, 0.01)
+        # And both filters should accept it.
+        assert TupleSampleFilter.fit(data, epsilon, seed=1).accepts(result.attributes)
+        assert MotwaniXuFilter.fit(data, epsilon, seed=1).accepts(result.attributes)
+
+    def test_sketch_agrees_with_exact_counts(self, data):
+        sketch = NonSeparationSketch.fit(
+            data, k=2, alpha=0.05, epsilon=0.15, seed=2
+        )
+        total = pairs_count(data.n_rows)
+        sex = data.column_index("sex")
+        race = data.column_index("race")
+        gamma = unseparated_pairs(data, [sex, race])
+        assert gamma > 0.05 * total  # two tiny domains: far from a key
+        answer = sketch.query([sex, race])
+        assert not answer.is_small
+        assert answer.estimate == pytest.approx(gamma, rel=0.15)
+
+    def test_classification_consistency(self, data):
+        epsilon = 0.001
+        fnlwgt = data.column_index("fnlwgt")
+        sex = data.column_index("sex")
+        assert classify(data, [sex], epsilon) is Classification.BAD
+        label_all = classify(data, range(data.n_columns), epsilon)
+        assert label_all in (Classification.KEY, Classification.INTERMEDIATE)
+        assert separation_ratio(data, [fnlwgt]) > separation_ratio(data, [sex])
+
+
+class TestStreamingMatchesOffline:
+    def test_filters_built_from_stream_behave(self):
+        data = planted_key_dataset(5_000, key_size=2, n_noise_columns=5, seed=3)
+        from repro.sampling.streams import iterate_rows
+
+        offline = TupleSampleFilter.fit(data, 0.01, sample_size=70, seed=4)
+        streaming = TupleSampleFilter.from_stream(
+            iterate_rows(data.codes), 0.01, sample_size=70, seed=4
+        )
+        assert offline.sample_size == streaming.sample_size == 70
+        # Both accept the planted key and reject a noise singleton.
+        for filt in (offline, streaming):
+            assert filt.accepts([0, 1])
+            assert not filt.accepts([4])
+
+
+class TestCsvRoundTripPipeline:
+    def test_load_discover_save(self, tmp_path):
+        rng = np.random.default_rng(5)
+        rows = [
+            (
+                int(rng.integers(0, 50)),
+                ["a", "b", "c"][int(rng.integers(0, 3))],
+                index,
+            )
+            for index in range(500)
+        ]
+        source = tmp_path / "table.csv"
+        source.write_text(
+            "num,cat,id\n" + "\n".join(f"{a},{b},{c}" for a, b, c in rows) + "\n"
+        )
+        from repro import load_csv, save_csv
+
+        data = load_csv(source)
+        assert data.shape == (500, 3)
+        result = approximate_min_key(data, 0.01, method="exact")
+        assert result.attributes == (2,)  # the id column
+        out = tmp_path / "out.csv"
+        save_csv(data.select_columns(result.attributes), out)
+        reloaded = load_csv(out)
+        assert is_key(reloaded, [0])
+
+
+class TestDuplicateHeavyData:
+    def test_whole_pipeline_handles_duplicates(self):
+        codes = np.zeros((400, 3), dtype=np.int64)
+        codes[:, 0] = np.arange(400) % 7
+        codes[:, 1] = np.arange(400) % 5
+        data = Dataset(codes)  # column 2 constant; many duplicate rows
+        assert not is_key(data, [0, 1, 2])
+        result = approximate_min_key(data, 0.05, method="tuples", seed=0)
+        # Greedy stops at the best achievable separation (35 classes).
+        assert separation_ratio(data, result.attributes) > 0.9
+        label = classify(data, result.attributes, 0.05)
+        assert label is not Classification.KEY

@@ -1,0 +1,145 @@
+"""Tests for Mondrian k-anonymization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.profile import k_anonymity
+from repro.data.synthetic import adult_like
+from repro.exceptions import InvalidParameterError
+from repro.privacy.anonymize import mondrian_anonymize
+from repro.privacy.linkage import simulate_linking_attack
+from repro.privacy.risk import assess_risk
+
+
+@pytest.fixture
+def ages_dataset() -> Dataset:
+    """Two clearly separated age clusters plus a sensitive column."""
+    return Dataset.from_columns(
+        {
+            "age": [21, 22, 23, 24, 55, 56, 57, 58],
+            "zip": [1, 1, 2, 2, 3, 3, 4, 4],
+            "diag": list("abcdabcd"),
+        }
+    )
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8])
+    def test_every_class_at_least_k(self, ages_dataset, k):
+        result = mondrian_anonymize(ages_dataset, ["age", "zip"], k)
+        assert result.smallest_class >= k
+        qi = [
+            result.data.column_index("age"),
+            result.data.column_index("zip"),
+        ]
+        assert k_anonymity(result.data, qi) >= k
+
+    def test_partitions_cover_all_rows_once(self, ages_dataset):
+        result = mondrian_anonymize(ages_dataset, ["age"], 2)
+        rows = np.concatenate(list(result.partitions))
+        assert sorted(rows.tolist()) == list(range(8))
+
+    def test_k_equals_n_single_class(self, ages_dataset):
+        result = mondrian_anonymize(ages_dataset, ["age"], 8)
+        assert result.n_classes == 1
+        assert result.ncp == pytest.approx(1.0)
+
+    def test_non_qi_columns_untouched(self, ages_dataset):
+        result = mondrian_anonymize(ages_dataset, ["age"], 4)
+        diag = result.data.column_index("diag")
+        decoded = [result.data.decode_row(r)[diag] for r in range(8)]
+        assert decoded == list("abcdabcd")
+
+    def test_statistical_table(self):
+        data = adult_like(2_000, seed=0)
+        result = mondrian_anonymize(
+            data, ["age", "education_num", "hours_per_week"], 10
+        )
+        qi = [result.data.column_index(c)
+              for c in ("age", "education_num", "hours_per_week")]
+        assert k_anonymity(result.data, qi) >= 10
+        assert 0.0 < result.ncp < 1.0
+
+
+class TestUtilityMetrics:
+    def test_clean_split_has_low_ncp(self, ages_dataset):
+        # The two age clusters split perfectly at k=4.  Ages factorize to
+        # codes 0..7, so each class covers 3 of the 7-wide code domain.
+        result = mondrian_anonymize(ages_dataset, ["age"], 4)
+        assert result.n_classes == 2
+        assert result.ncp == pytest.approx(3 / 7)
+
+    def test_ncp_monotone_in_k(self, ages_dataset):
+        loose = mondrian_anonymize(ages_dataset, ["age", "zip"], 2)
+        tight = mondrian_anonymize(ages_dataset, ["age", "zip"], 8)
+        assert loose.ncp <= tight.ncp
+
+    def test_discernibility_is_sum_of_squares(self, ages_dataset):
+        result = mondrian_anonymize(ages_dataset, ["age"], 4)
+        assert result.discernibility == sum(
+            int(p.size) ** 2 for p in result.partitions
+        )
+
+    def test_range_labels_format(self, ages_dataset):
+        result = mondrian_anonymize(ages_dataset, ["age"], 4)
+        age = result.data.column_index("age")
+        labels = {result.data.decode_row(r)[age] for r in range(8)}
+        assert len(labels) == 2
+        assert all(".." in label or label.isdigit() for label in labels)
+
+
+class TestDefenceEffect:
+    def test_anonymization_kills_linking_attack(self):
+        data = adult_like(2_000, seed=1)
+        qi = ["age", "education_num", "hours_per_week"]
+        before = simulate_linking_attack(data, qi, seed=2)
+        result = mondrian_anonymize(data, qi, 25)
+        after = simulate_linking_attack(result.data, qi, seed=2)
+        assert before.recall > 0.1
+        assert after.recall == 0.0  # nobody unique at k=25
+
+    def test_risk_report_reflects_k(self):
+        data = adult_like(1_000, seed=3)
+        result = mondrian_anonymize(data, ["age", "hours_per_week"], 15)
+        report = assess_risk(result.data, ["age", "hours_per_week"])
+        assert report.k_anonymity >= 15
+        assert report.prosecutor <= 1 / 15
+
+
+class TestValidation:
+    def test_bad_k(self, ages_dataset):
+        with pytest.raises(InvalidParameterError):
+            mondrian_anonymize(ages_dataset, ["age"], 0)
+        with pytest.raises(InvalidParameterError):
+            mondrian_anonymize(ages_dataset, ["age"], 9)
+
+    def test_empty_qi(self, ages_dataset):
+        with pytest.raises(InvalidParameterError):
+            mondrian_anonymize(ages_dataset, [], 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        min_size=4,
+        max_size=60,
+    ),
+    k=st.integers(2, 5),
+)
+def test_mondrian_guarantee_property(rows, k):
+    """k-anonymity holds for arbitrary tables and k <= n."""
+    data = Dataset(np.array(rows))
+    if k > data.n_rows:
+        return
+    result = mondrian_anonymize(data, [0, 1], k)
+    assert result.smallest_class >= k
+    assert k_anonymity(result.data, [0, 1]) >= k
+    covered = np.concatenate(list(result.partitions))
+    assert sorted(covered.tolist()) == list(range(data.n_rows))
+    assert 0.0 <= result.ncp <= 1.0

@@ -1,0 +1,180 @@
+"""Tests for the adversary cost model and weighted set cover."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.separation import is_epsilon_key
+from repro.data.dataset import Dataset
+from repro.exceptions import InfeasibleInstanceError, InvalidParameterError
+from repro.privacy.cost import (
+    AdversaryBudget,
+    cheapest_quasi_identifier,
+    uniform_costs,
+)
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.weighted import (
+    cover_cost,
+    weighted_greedy_set_cover,
+)
+
+
+@pytest.fixture
+def priced_dataset() -> Dataset:
+    """ssn is unique but pricey; zip+age together form a key cheaply."""
+    n = 120
+    return Dataset.from_columns(
+        {
+            "ssn": list(range(n)),
+            "zip": [i // 2 for i in range(n)],
+            "age": [i % 2 for i in range(n)],
+            "noise": [0] * n,
+        }
+    )
+
+
+COSTS = {"ssn": 50.0, "zip": 1.0, "age": 1.0, "noise": 0.5}
+
+
+class TestWeightedGreedy:
+    def test_prefers_cheap_cover(self):
+        instance = SetCoverInstance.from_sets(
+            4, [[0, 1, 2, 3], [0, 1], [2, 3]]
+        )
+        selection, trace = weighted_greedy_set_cover(
+            instance, [10.0, 1.0, 1.0]
+        )
+        assert sorted(selection) == [1, 2]
+        assert trace[-1].remaining == 0
+
+    def test_expensive_set_wins_when_cheap_enough_per_element(self):
+        # Set 0 covers 100 elements at cost 10 (price 0.1); singletons
+        # cost 1 each (price 1.0).
+        sets = [list(range(100))] + [[i] for i in range(100)]
+        instance = SetCoverInstance.from_sets(100, sets)
+        selection, _ = weighted_greedy_set_cover(
+            instance, [10.0] + [1.0] * 100
+        )
+        assert selection == [0]
+
+    def test_trace_prices_are_monotone_bookkeeping(self):
+        instance = SetCoverInstance.from_sets(
+            6, [[0, 1, 2], [3, 4], [5], [0, 5]]
+        )
+        selection, trace = weighted_greedy_set_cover(
+            instance, [1.0, 1.0, 1.0, 1.0]
+        )
+        covered = set()
+        for step in trace:
+            covered.update(
+                instance.set_elements(step.set_index).tolist()
+            )
+        assert len(covered) == 6
+
+    def test_cost_validation(self):
+        instance = SetCoverInstance.from_sets(2, [[0], [1]])
+        with pytest.raises(InvalidParameterError):
+            weighted_greedy_set_cover(instance, [1.0])
+        with pytest.raises(InvalidParameterError):
+            weighted_greedy_set_cover(instance, [1.0, -1.0])
+
+    def test_infeasible_instance_rejected(self):
+        instance = SetCoverInstance.from_sets(3, [[0], [1]])
+        with pytest.raises(InfeasibleInstanceError):
+            weighted_greedy_set_cover(instance, [1.0, 1.0])
+
+    def test_cover_cost_helper(self):
+        assert cover_cost([0, 2], [1.0, 2.0, 3.5]) == pytest.approx(4.5)
+        with pytest.raises(InvalidParameterError):
+            cover_cost([5], [1.0])
+
+    def test_uniform_costs_match_unweighted_greedy(self):
+        from repro.setcover.greedy import greedy_set_cover
+
+        rng = np.random.default_rng(3)
+        membership = rng.random((40, 8)) < 0.4
+        membership[:, 0] |= ~membership.any(axis=1)  # ensure feasibility
+        instance = SetCoverInstance(membership)
+        unweighted, _ = greedy_set_cover(instance)
+        weighted, _ = weighted_greedy_set_cover(instance, [1.0] * 8)
+        # Same greedy criterion -> identical covers (ties break identically
+        # because argmax of gains == argmin of 1/gains).
+        assert unweighted == weighted
+
+
+class TestCheapestQuasiIdentifier:
+    def test_avoids_expensive_unique_column(self, priced_dataset):
+        result = cheapest_quasi_identifier(
+            priced_dataset, COSTS, epsilon=0.05,
+            sample_size=priced_dataset.n_rows, seed=0,
+        )
+        assert result.attribute_names == ("zip", "age")
+        assert result.total_cost == pytest.approx(2.0)
+
+    def test_returned_set_is_epsilon_key(self, priced_dataset):
+        result = cheapest_quasi_identifier(
+            priced_dataset, COSTS, epsilon=0.05, seed=1
+        )
+        assert is_epsilon_key(priced_dataset, list(result.attributes), 0.05)
+
+    def test_uniform_costs_helper(self, priced_dataset):
+        costs = uniform_costs(priced_dataset, 2.0)
+        assert set(costs) == set(priced_dataset.column_names)
+        assert all(v == 2.0 for v in costs.values())
+        with pytest.raises(InvalidParameterError):
+            uniform_costs(priced_dataset, 0.0)
+
+    def test_missing_cost_rejected(self, priced_dataset):
+        with pytest.raises(InvalidParameterError):
+            cheapest_quasi_identifier(
+                priced_dataset, {"ssn": 1.0}, epsilon=0.1, seed=0
+            )
+
+    def test_nonpositive_cost_rejected(self, priced_dataset):
+        bad = dict(COSTS)
+        bad["zip"] = 0.0
+        with pytest.raises(InvalidParameterError):
+            cheapest_quasi_identifier(
+                priced_dataset, bad, epsilon=0.1, seed=0
+            )
+
+    def test_index_keys_accepted(self, priced_dataset):
+        by_index = {
+            priced_dataset.column_index(name): value
+            for name, value in COSTS.items()
+        }
+        result = cheapest_quasi_identifier(
+            priced_dataset, by_index, epsilon=0.05,
+            sample_size=priced_dataset.n_rows, seed=0,
+        )
+        assert result.attribute_names == ("zip", "age")
+
+    def test_out_of_range_index_rejected(self, priced_dataset):
+        with pytest.raises(InvalidParameterError):
+            cheapest_quasi_identifier(
+                priced_dataset, {99: 1.0}, epsilon=0.1, seed=0
+            )
+
+    def test_duplicate_rows_rejected(self):
+        data = Dataset(np.array([[1, 2], [1, 2], [3, 4]]))
+        with pytest.raises(InfeasibleInstanceError):
+            cheapest_quasi_identifier(
+                data, {0: 1.0, 1: 1.0}, epsilon=0.25,
+                sample_size=3, seed=0,
+            )
+
+    def test_budget_model(self, priced_dataset):
+        result = cheapest_quasi_identifier(
+            priced_dataset, COSTS, epsilon=0.05,
+            sample_size=priced_dataset.n_rows, seed=0,
+        )
+        assert AdversaryBudget(budget=5.0).can_afford(result)
+        assert not AdversaryBudget(budget=1.0).can_afford(result)
+
+    def test_key_size_property(self, priced_dataset):
+        result = cheapest_quasi_identifier(
+            priced_dataset, COSTS, epsilon=0.05,
+            sample_size=priced_dataset.n_rows, seed=0,
+        )
+        assert result.key_size == len(result.attributes) == 2

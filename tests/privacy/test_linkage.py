@@ -1,0 +1,130 @@
+"""Tests for the linking-attack simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.profile import uniqueness_ratio
+from repro.exceptions import InvalidParameterError
+from repro.privacy.linkage import (
+    attack_success_by_noise,
+    simulate_linking_attack,
+)
+
+
+@pytest.fixture
+def half_unique_dataset() -> Dataset:
+    """200 rows; under column 0, half the rows are unique, half paired."""
+    unique_part = np.arange(100)
+    paired_part = 100 + np.repeat(np.arange(50), 2)
+    column = np.concatenate([unique_part, paired_part])
+    other = np.arange(200) % 7
+    return Dataset(np.column_stack([column, other]))
+
+
+class TestNoiselessAttack:
+    def test_recall_equals_uniqueness(self, half_unique_dataset):
+        result = simulate_linking_attack(half_unique_dataset, [0], seed=0)
+        expected = uniqueness_ratio(half_unique_dataset, [0])
+        assert result.recall == pytest.approx(expected)
+        assert result.precision == 1.0
+        assert result.n_false_match == 0
+        assert result.n_unmatched == 0
+
+    def test_full_key_reidentifies_everyone(self):
+        data = Dataset.from_columns({"id": list(range(50))})
+        result = simulate_linking_attack(data, ["id"], seed=1)
+        assert result.recall == 1.0
+        assert result.ambiguous_rate == 0.0
+
+    def test_constant_column_reidentifies_nobody(self):
+        data = Dataset.from_columns({"c": [9] * 40, "x": list(range(40))})
+        result = simulate_linking_attack(data, ["c"], seed=1)
+        assert result.recall == 0.0
+        assert result.ambiguous_rate == 1.0
+
+    def test_subset_of_targets(self, half_unique_dataset):
+        result = simulate_linking_attack(
+            half_unique_dataset, [0], n_targets=30, seed=5
+        )
+        assert result.n_targets == 30
+        total = (
+            result.n_reidentified
+            + result.n_false_match
+            + result.n_ambiguous
+            + result.n_unmatched
+        )
+        assert total == 30
+
+
+class TestNoisyAttack:
+    def test_noise_reduces_recall(self, half_unique_dataset):
+        clean = simulate_linking_attack(half_unique_dataset, [0], seed=3)
+        noisy = simulate_linking_attack(
+            half_unique_dataset, [0], noise=0.3, seed=3
+        )
+        assert noisy.recall < clean.recall
+
+    def test_noise_can_produce_unmatched(self):
+        data = Dataset.from_columns({"id": list(range(100))})
+        result = simulate_linking_attack(data, ["id"], noise=0.5, seed=2)
+        # A corrupted unique id points at some *other* id -> false match.
+        assert result.n_false_match + result.n_unmatched > 0
+
+    def test_precision_still_defined_without_matches(self):
+        data = Dataset.from_columns({"c": [1] * 10})
+        result = simulate_linking_attack(data, ["c"], seed=0)
+        assert result.precision == 1.0  # vacuous: no committed matches
+
+    def test_results_reproducible(self, half_unique_dataset):
+        first = simulate_linking_attack(
+            half_unique_dataset, [0], noise=0.2, seed=42
+        )
+        second = simulate_linking_attack(
+            half_unique_dataset, [0], noise=0.2, seed=42
+        )
+        assert first == second
+
+
+class TestValidation:
+    def test_empty_attributes_rejected(self, half_unique_dataset):
+        with pytest.raises(InvalidParameterError):
+            simulate_linking_attack(half_unique_dataset, [], seed=0)
+
+    def test_bad_noise_rejected(self, half_unique_dataset):
+        for bad in (-0.1, 1.0, 2.0):
+            with pytest.raises(InvalidParameterError):
+                simulate_linking_attack(
+                    half_unique_dataset, [0], noise=bad, seed=0
+                )
+
+    def test_too_many_targets_rejected(self, half_unique_dataset):
+        with pytest.raises(InvalidParameterError):
+            simulate_linking_attack(
+                half_unique_dataset, [0], n_targets=10_000, seed=0
+            )
+
+
+class TestNoiseSweep:
+    def test_sweep_shapes_and_monotone_trend(self, half_unique_dataset):
+        results = attack_success_by_noise(
+            half_unique_dataset,
+            [0],
+            noise_levels=(0.0, 0.2, 0.6),
+            seed=7,
+        )
+        assert len(results) == 3
+        assert [r.noise for r in results] == [0.0, 0.2, 0.6]
+        # Strong noise cannot beat the clean attack.
+        assert results[2].recall <= results[0].recall
+
+    def test_sweep_reproducible(self, half_unique_dataset):
+        first = attack_success_by_noise(
+            half_unique_dataset, [0], noise_levels=(0.1,), seed=9
+        )
+        second = attack_success_by_noise(
+            half_unique_dataset, [0], noise_levels=(0.1,), seed=9
+        )
+        assert first == second

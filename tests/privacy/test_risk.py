@@ -1,0 +1,167 @@
+"""Tests for disclosure-risk metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import clique_sizes
+from repro.data.dataset import Dataset
+from repro.data.profile import k_anonymity, uniqueness_ratio
+from repro.exceptions import InvalidParameterError
+from repro.privacy.risk import (
+    assess_risk,
+    journalist_risk,
+    l_diversity,
+    marketer_risk,
+    prosecutor_risk,
+)
+
+
+@pytest.fixture
+def clinic_dataset() -> Dataset:
+    """Classic k-anonymity teaching example: two QI classes of sizes 2, 3."""
+    return Dataset.from_columns(
+        {
+            "zip": [92101, 92101, 92102, 92102, 92102],
+            "age_band": ["30s", "30s", "40s", "40s", "40s"],
+            "diagnosis": ["flu", "cold", "flu", "flu", "flu"],
+        }
+    )
+
+
+class TestProsecutorRisk:
+    def test_is_inverse_k_anonymity(self, clinic_dataset):
+        qi = ["zip", "age_band"]
+        attrs = list(clinic_dataset.resolve_attributes(qi))
+        assert prosecutor_risk(clinic_dataset, qi) == pytest.approx(
+            1.0 / k_anonymity(clinic_dataset, attrs)
+        )
+
+    def test_unique_record_gives_full_risk(self):
+        data = Dataset.from_columns({"id": [1, 2, 3]})
+        assert prosecutor_risk(data, ["id"]) == 1.0
+
+    def test_empty_qi_rejected(self, clinic_dataset):
+        with pytest.raises(InvalidParameterError):
+            prosecutor_risk(clinic_dataset, [])
+
+
+class TestMarketerRisk:
+    def test_classes_over_rows(self, clinic_dataset):
+        assert marketer_risk(clinic_dataset, ["zip"]) == pytest.approx(2 / 5)
+
+    def test_key_gives_risk_one(self):
+        data = Dataset.from_columns({"id": [1, 2, 3, 4]})
+        assert marketer_risk(data, ["id"]) == 1.0
+
+    def test_constant_column_gives_minimal_risk(self):
+        data = Dataset.from_columns({"c": [7, 7, 7, 7]})
+        assert marketer_risk(data, ["c"]) == pytest.approx(1 / 4)
+
+
+class TestJournalistRisk:
+    def test_population_shrinks_risk(self, clinic_dataset):
+        # Released rows 0..2; population is the whole table.
+        sample = clinic_dataset.take_rows([0, 1, 2])
+        risk = journalist_risk(sample, clinic_dataset, ["zip"])
+        # Row 2's zip class has 3 population members -> 1/2 comes from
+        # rows 0-1 whose class has 2 members.
+        assert risk == pytest.approx(1 / 2)
+
+    def test_sample_equals_population_matches_prosecutor(self, clinic_dataset):
+        qi = ["zip", "age_band"]
+        assert journalist_risk(
+            clinic_dataset, clinic_dataset, qi
+        ) == pytest.approx(prosecutor_risk(clinic_dataset, qi))
+
+    def test_mismatched_columns_rejected(self, clinic_dataset):
+        other = Dataset.from_columns({"zip": [92101]})
+        with pytest.raises(InvalidParameterError):
+            journalist_risk(clinic_dataset, other, ["zip"])
+
+    def test_foreign_record_rejected(self, clinic_dataset):
+        # A "sample" containing a zip absent from the population.
+        foreign = Dataset(
+            np.array([[99, 0, 0]]),
+            column_names=clinic_dataset.column_names,
+        )
+        with pytest.raises(InvalidParameterError):
+            journalist_risk(foreign, clinic_dataset, ["zip"])
+
+
+class TestLDiversity:
+    def test_homogeneous_class_gives_one(self, clinic_dataset):
+        # The 92102 class is all "flu".
+        assert l_diversity(clinic_dataset, ["zip"], "diagnosis") == 1
+
+    def test_diverse_class_counts_values(self):
+        data = Dataset.from_columns(
+            {
+                "qi": [0, 0, 0, 1, 1],
+                "s": ["a", "b", "c", "a", "b"],
+            }
+        )
+        assert l_diversity(data, ["qi"], "s") == 2
+
+    def test_sensitive_inside_qi_rejected(self, clinic_dataset):
+        with pytest.raises(InvalidParameterError):
+            l_diversity(clinic_dataset, ["zip", "diagnosis"], "diagnosis")
+
+
+class TestAssessRisk:
+    def test_report_consistency(self, clinic_dataset):
+        qi = ["zip", "age_band"]
+        report = assess_risk(clinic_dataset, qi, sensitive="diagnosis")
+        attrs = list(report.quasi_identifier)
+        sizes = clique_sizes(clinic_dataset, attrs)
+        assert report.k_anonymity == int(sizes.min())
+        assert report.n_classes == int(sizes.size)
+        assert report.uniqueness == pytest.approx(
+            uniqueness_ratio(clinic_dataset, attrs)
+        )
+        assert report.prosecutor == pytest.approx(1.0 / report.k_anonymity)
+        assert report.l_diversity == 1
+
+    def test_is_k_anonymous(self, clinic_dataset):
+        report = assess_risk(clinic_dataset, ["zip"])
+        assert report.is_k_anonymous(2)
+        assert not report.is_k_anonymous(3)
+
+    def test_summary_lines_render(self, clinic_dataset):
+        report = assess_risk(clinic_dataset, ["zip"], sensitive="diagnosis")
+        text = "\n".join(report.summary_lines())
+        assert "k-anonymity" in text
+        assert "l-diversity" in text
+
+    def test_no_sensitive_omits_l_diversity(self, clinic_dataset):
+        report = assess_risk(clinic_dataset, ["zip"])
+        assert report.l_diversity is None
+        assert all("l-diversity" not in s for s in report.summary_lines())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_risk_invariants_property(rows):
+    """Metric sanity on arbitrary tables: ranges and mutual consistency."""
+    data = Dataset(np.array(rows))
+    report = assess_risk(data, [0])
+    n = data.n_rows
+    assert 1 <= report.k_anonymity <= n
+    assert 0.0 <= report.uniqueness <= 1.0
+    assert 0.0 < report.prosecutor <= 1.0
+    assert 0.0 < report.marketer <= 1.0
+    # Unique rows exist iff k-anonymity is 1.
+    assert (report.uniqueness > 0) == (report.k_anonymity == 1)
+    # Marketer risk is at most prosecutor risk only when classes are
+    # balanced; but #classes/n <= 1 always, and 1/k >= #classes/n requires
+    # min size <= mean size, which always holds.
+    assert report.marketer <= report.prosecutor + 1e-12

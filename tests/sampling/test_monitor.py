@@ -1,0 +1,101 @@
+"""Tests for the streaming quasi-identifier monitor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptySampleError, InvalidParameterError
+from repro.streaming import MonitorSnapshot, QuasiIdentifierMonitor
+
+
+def _stream(n, seed=0):
+    """Rows: (coarse 0..3, coarse 0..3, unique id)."""
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        yield np.array([rng.integers(0, 4), rng.integers(0, 4), i])
+
+
+class TestObservation:
+    def test_rows_counted(self):
+        monitor = QuasiIdentifierMonitor(3, 0.05, seed=0)
+        monitor.extend(_stream(100))
+        assert monitor.rows_seen == 100
+
+    def test_shape_validated(self):
+        monitor = QuasiIdentifierMonitor(3, 0.05, seed=0)
+        with pytest.raises(InvalidParameterError):
+            monitor.observe(np.array([1, 2]))
+
+    def test_snapshot_needs_two_rows(self):
+        monitor = QuasiIdentifierMonitor(3, 0.05, seed=0)
+        monitor.observe(np.array([0, 0, 0]))
+        with pytest.raises(EmptySampleError):
+            monitor.snapshot()
+
+
+class TestSnapshots:
+    def test_min_key_uses_the_id_column(self):
+        monitor = QuasiIdentifierMonitor(3, 0.05, seed=0)
+        monitor.extend(_stream(3_000))
+        snapshot = monitor.snapshot()
+        assert snapshot.min_key is not None
+        assert 2 in snapshot.min_key  # the unique id column
+        assert snapshot.reservoir_size <= monitor.sample_size
+
+    def test_watchlist_evaluated(self):
+        monitor = QuasiIdentifierMonitor(
+            3, 0.05, watchlist=[(0, 1), (2,)], seed=0
+        )
+        monitor.extend(_stream(3_000))
+        snapshot = monitor.snapshot()
+        assert snapshot.watchlist_accepts[(0, 1)] is False  # 16 combos only
+        assert snapshot.watchlist_accepts[(2,)] is True  # the id
+
+    def test_cadence_produces_history(self):
+        monitor = QuasiIdentifierMonitor(
+            3, 0.05, refresh_every=500, seed=0
+        )
+        produced = monitor.extend(_stream(2_000))
+        assert len(produced) == 4
+        assert monitor.history == produced
+        assert [s.rows_seen for s in produced] == [500, 1000, 1500, 2000]
+
+    def test_adhoc_accepts(self):
+        monitor = QuasiIdentifierMonitor(3, 0.05, seed=0)
+        monitor.extend(_stream(2_000))
+        assert monitor.accepts([2])
+        assert not monitor.accepts([0])
+        with pytest.raises(InvalidParameterError):
+            monitor.accepts([])
+
+    def test_duplicate_streams_yield_no_key(self):
+        monitor = QuasiIdentifierMonitor(2, 0.1, sample_size=20, seed=0)
+        for _ in range(100):
+            monitor.observe(np.array([1, 1]))
+        snapshot = monitor.snapshot()
+        assert snapshot.min_key is None
+        assert snapshot.min_key_size == 0
+
+    def test_snapshot_is_frozen_dataclass(self):
+        snapshot = MonitorSnapshot(
+            rows_seen=10, min_key=(1,), min_key_size=1
+        )
+        with pytest.raises(AttributeError):
+            snapshot.rows_seen = 11
+
+
+class TestGuaranteeOverPrefix:
+    def test_monitor_matches_offline_filter(self):
+        """The monitor's answers agree with an offline filter built on the
+        same prefix for clear-cut sets."""
+        rows = list(_stream(5_000, seed=3))
+        monitor = QuasiIdentifierMonitor(3, 0.05, seed=1)
+        monitor.extend(rows)
+        from repro.core.filters import TupleSampleFilter
+        from repro.data.dataset import Dataset
+
+        data = Dataset(np.vstack(rows))
+        offline = TupleSampleFilter.fit(
+            data, 0.05, sample_size=monitor.sample_size, seed=2
+        )
+        for attrs in ([2], [0], [0, 1]):
+            assert monitor.accepts(attrs) == offline.accepts(attrs)

@@ -1,0 +1,106 @@
+"""Unit and property tests for :mod:`repro.sampling.pairs`."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.pairs import (
+    rank_pair,
+    sample_distinct_pairs,
+    sample_pair_indices,
+    unrank_pair,
+)
+from repro.types import pairs_count
+
+
+class TestRankUnrank:
+    def test_known_order(self):
+        # Colexicographic by the larger element: {0,1},{0,2},{1,2},{0,3},...
+        expected = [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]
+        assert [unrank_pair(r, 4) for r in range(6)] == expected
+
+    def test_rank_is_order_agnostic(self):
+        assert rank_pair(2, 5, 10) == rank_pair(5, 2, 10)
+
+    def test_rank_rejects_identical(self):
+        with pytest.raises(InvalidParameterError):
+            rank_pair(3, 3, 10)
+
+    def test_rank_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            rank_pair(0, 10, 10)
+
+    def test_unrank_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            unrank_pair(pairs_count(6), 6)
+        with pytest.raises(InvalidParameterError):
+            unrank_pair(-1, 6)
+
+    @given(st.integers(min_value=2, max_value=500), st.data())
+    @settings(max_examples=100)
+    def test_bijection_property(self, n, data):
+        rank = data.draw(st.integers(min_value=0, max_value=pairs_count(n) - 1))
+        i, j = unrank_pair(rank, n)
+        assert 0 <= i < j < n
+        assert rank_pair(i, j, n) == rank
+
+    def test_bijection_exhaustive_small(self):
+        n = 25
+        seen = set()
+        for rank in range(pairs_count(n)):
+            pair = unrank_pair(rank, n)
+            assert pair not in seen
+            seen.add(pair)
+        assert len(seen) == pairs_count(n)
+
+    def test_unrank_near_huge_triangular_boundaries(self):
+        # Exercise the floating-point correction path with large ranks.
+        n = 2_000_000
+        for rank in (0, 1, pairs_count(n) - 1, pairs_count(n) // 2):
+            i, j = unrank_pair(rank, n)
+            assert rank_pair(i, j, n) == rank
+
+
+class TestSamplePairIndices:
+    def test_shape_and_ordering(self):
+        pairs = sample_pair_indices(100, 50, seed=0)
+        assert pairs.shape == (50, 2)
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+        assert pairs.min() >= 0 and pairs.max() < 100
+
+    def test_deterministic_with_seed(self):
+        a = sample_pair_indices(50, 20, seed=1)
+        b = sample_pair_indices(50, 20, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_without_replacement_distinct(self):
+        pairs = sample_distinct_pairs(10, pairs_count(10), seed=0)
+        as_tuples = {tuple(p) for p in pairs.tolist()}
+        assert len(as_tuples) == pairs_count(10)
+
+    def test_without_replacement_overdraw_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_distinct_pairs(4, pairs_count(4) + 1)
+
+    def test_single_row_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_pair_indices(1, 1)
+
+    def test_rejection_sampler_path(self):
+        # Large universe forces the hash-set rejection branch.
+        pairs = sample_distinct_pairs(100_000, 500, seed=3)
+        as_tuples = {tuple(p) for p in pairs.tolist()}
+        assert len(as_tuples) == 500
+
+    def test_uniformity_chi_square(self):
+        # With-replacement sampling over C(5,2)=10 pairs should be uniform.
+        from scipy import stats
+
+        n, draws = 5, 20_000
+        pairs = sample_pair_indices(n, draws, seed=7)
+        ranks = [int(p[1] * (p[1] - 1) // 2 + p[0]) for p in pairs]
+        observed = np.bincount(ranks, minlength=pairs_count(n))
+        result = stats.chisquare(observed)
+        assert result.pvalue > 1e-4

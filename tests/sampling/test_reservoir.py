@@ -1,0 +1,114 @@
+"""Unit and statistical tests for :mod:`repro.sampling.reservoir`."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptySampleError, InvalidParameterError
+from repro.sampling.reservoir import (
+    PairReservoir,
+    ReservoirSampler,
+    reservoir_sample_indices,
+)
+
+
+class TestReservoirSampler:
+    def test_short_stream_keeps_everything(self):
+        sampler = ReservoirSampler(capacity=10, seed=0)
+        sampler.extend(range(4))
+        assert sorted(sampler.sample) == [0, 1, 2, 3]
+
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(capacity=3, seed=0)
+        sampler.extend(range(100))
+        assert len(sampler) == 3
+        assert sampler.seen == 100
+
+    def test_sample_is_subset_of_stream(self):
+        sampler = ReservoirSampler(capacity=5, seed=1)
+        sampler.extend(range(50))
+        assert set(sampler.sample) <= set(range(50))
+        assert len(set(sampler.sample)) == 5  # without replacement
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            ReservoirSampler(capacity=0)
+
+    def test_iteration_matches_sample(self):
+        sampler = ReservoirSampler(capacity=4, seed=2)
+        sampler.extend("abcdefgh")
+        assert sorted(sampler) == sorted(sampler.sample)
+
+    def test_uniformity_over_subsets(self):
+        """Every 2-subset of a 5-element stream is equally likely."""
+        from scipy import stats
+
+        counts = {frozenset(c): 0 for c in itertools.combinations(range(5), 2)}
+        trials = 20_000
+        rng = np.random.default_rng(0)
+        for _ in range(trials):
+            sampler = ReservoirSampler(capacity=2, seed=rng)
+            sampler.extend(range(5))
+            counts[frozenset(sampler.sample)] += 1
+        observed = np.array(list(counts.values()))
+        result = stats.chisquare(observed)
+        assert result.pvalue > 1e-4
+
+    def test_element_inclusion_probability(self):
+        """Each element appears with probability k/n."""
+        trials = 5_000
+        n, k = 20, 4
+        hits = np.zeros(n)
+        rng = np.random.default_rng(1)
+        for _ in range(trials):
+            sampler = ReservoirSampler(capacity=k, seed=rng)
+            sampler.extend(range(n))
+            for item in sampler.sample:
+                hits[item] += 1
+        rates = hits / trials
+        assert np.allclose(rates, k / n, atol=0.03)
+
+
+class TestPairReservoir:
+    def test_produces_requested_pairs(self):
+        reservoir = PairReservoir(n_pairs=7, seed=0)
+        reservoir.extend(range(30))
+        pairs = reservoir.pairs()
+        assert len(pairs) == 7
+        for first, second in pairs:
+            assert first != second
+
+    def test_too_short_stream_raises(self):
+        reservoir = PairReservoir(n_pairs=2, seed=0)
+        reservoir.feed(1)
+        with pytest.raises(EmptySampleError):
+            reservoir.pairs()
+
+    def test_pairs_are_uniform(self):
+        """Each slot's pair is a uniform 2-subset."""
+        from scipy import stats
+
+        n = 5
+        counts = {frozenset(c): 0 for c in itertools.combinations(range(n), 2)}
+        trials = 4_000
+        rng = np.random.default_rng(2)
+        for _ in range(trials):
+            reservoir = PairReservoir(n_pairs=3, seed=rng)
+            reservoir.extend(range(n))
+            for pair in reservoir.pairs():
+                counts[frozenset(pair)] += 1
+        observed = np.array(list(counts.values()))
+        result = stats.chisquare(observed)
+        assert result.pvalue > 1e-4
+
+
+class TestReservoirSampleIndices:
+    def test_sorted_output(self):
+        indices = reservoir_sample_indices(100, 10, seed=0)
+        assert np.array_equal(indices, np.sort(indices))
+        assert indices.size == 10
+
+    def test_invalid_stream_length(self):
+        with pytest.raises(InvalidParameterError):
+            reservoir_sample_indices(0, 3)

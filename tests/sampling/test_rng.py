@@ -1,0 +1,54 @@
+"""Unit tests for :mod:`repro.sampling.rng`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1_000_000, size=5)
+        b = ensure_rng(7).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert ensure_rng(rng) is rng
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=8)
+        b = ensure_rng(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count_respected(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_decorrelated(self):
+        children = spawn_rngs(0, 3)
+        draws = [rng.integers(0, 2**40) for rng in children]
+        assert len(set(int(d) for d in draws)) == 3
+
+    def test_deterministic_from_seed(self):
+        first = [rng.integers(0, 2**40) for rng in spawn_rngs(11, 4)]
+        second = [rng.integers(0, 2**40) for rng in spawn_rngs(11, 4)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(5)
+        children = spawn_rngs(rng, 3)
+        assert len(children) == 3
+        assert all(isinstance(child, np.random.Generator) for child in children)

@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.sampling.streams`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.sampling.streams import iterate_rows, sample_rows_without_replacement
+
+
+class TestIterateRows:
+    def test_yields_rows_in_order(self):
+        codes = np.arange(12).reshape(4, 3)
+        rows = list(iterate_rows(codes))
+        assert len(rows) == 4
+        assert np.array_equal(rows[2], [6, 7, 8])
+
+
+class TestSampleRowsWithoutReplacement:
+    def test_distinct_sorted_indices(self):
+        indices = sample_rows_without_replacement(100, 10, seed=0)
+        assert indices.size == 10
+        assert len(set(indices.tolist())) == 10
+        assert np.array_equal(indices, np.sort(indices))
+
+    def test_oversized_sample_returns_everything(self):
+        indices = sample_rows_without_replacement(5, 10, seed=0)
+        assert np.array_equal(indices, np.arange(5))
+
+    def test_deterministic(self):
+        a = sample_rows_without_replacement(50, 5, seed=3)
+        b = sample_rows_without_replacement(50, 5, seed=3)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("n_rows,size", [(0, 1), (5, 0), (-2, 3)])
+    def test_invalid_parameters(self, n_rows, size):
+        with pytest.raises(InvalidParameterError):
+            sample_rows_without_replacement(n_rows, size)
+
+    def test_matches_reservoir_distribution(self):
+        """Offline sampling and the reservoir induce the same marginals."""
+        from repro.sampling.reservoir import ReservoirSampler
+
+        n, k, trials = 12, 3, 4_000
+        rng = np.random.default_rng(0)
+        offline_hits = np.zeros(n)
+        reservoir_hits = np.zeros(n)
+        for _ in range(trials):
+            for index in sample_rows_without_replacement(n, k, seed=rng):
+                offline_hits[index] += 1
+            sampler = ReservoirSampler(capacity=k, seed=rng)
+            sampler.extend(range(n))
+            for index in sampler.sample:
+                reservoir_hits[index] += 1
+        assert np.allclose(offline_hits / trials, k / n, atol=0.04)
+        assert np.allclose(reservoir_hits / trials, k / n, atol=0.04)

@@ -1,0 +1,68 @@
+"""Tests for greedy set cover (Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.setcover.exact import exact_min_cover
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetCoverInstance
+
+
+class TestGreedy:
+    def test_trivial_single_set(self):
+        instance = SetCoverInstance.from_sets(3, [[0, 1, 2]])
+        selection, trace = greedy_set_cover(instance)
+        assert selection == [0]
+        assert trace[0].newly_covered == 3
+        assert trace[0].remaining == 0
+
+    def test_classic_greedy_behaviour(self):
+        # Big set first, then the two leftovers.
+        instance = SetCoverInstance.from_sets(
+            6, [[0, 1, 2, 3], [4], [5], [4, 5]]
+        )
+        selection, _ = greedy_set_cover(instance)
+        assert selection == [0, 3]
+
+    def test_infeasible_raises(self):
+        instance = SetCoverInstance(np.array([[True], [False]]))
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_set_cover(instance)
+
+    def test_deterministic_tie_breaking(self):
+        instance = SetCoverInstance.from_sets(2, [[0], [0], [1], [1]])
+        selection, _ = greedy_set_cover(instance)
+        assert selection == [0, 2]  # lowest index wins ties
+
+    def test_cover_is_valid(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((40, 12)) < 0.3
+        matrix[:, 0] |= ~matrix.any(axis=1)  # ensure feasibility
+        instance = SetCoverInstance(matrix)
+        selection, trace = greedy_set_cover(instance)
+        assert instance.covers(selection)
+        assert trace[-1].remaining == 0
+        # Gains are positive and trace matches selection.
+        assert all(step.newly_covered > 0 for step in trace)
+        assert [step.set_index for step in trace] == selection
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cover_valid_and_bounded(self, seed):
+        """Greedy always covers and respects the (ln N + 1)·OPT bound."""
+        rng = np.random.default_rng(seed)
+        n_elements = int(rng.integers(3, 25))
+        n_sets = int(rng.integers(2, 10))
+        matrix = rng.random((n_elements, n_sets)) < 0.4
+        matrix[:, 0] |= ~matrix.any(axis=1)
+        instance = SetCoverInstance(matrix)
+        selection, _ = greedy_set_cover(instance)
+        assert instance.covers(selection)
+        optimum = len(exact_min_cover(instance))
+        bound = (math.log(n_elements) + 1) * optimum
+        assert len(selection) <= bound

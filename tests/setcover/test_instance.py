@@ -1,0 +1,62 @@
+"""Tests for :class:`repro.setcover.instance.SetCoverInstance`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetShapeError, InvalidParameterError
+from repro.setcover.instance import SetCoverInstance
+
+
+@pytest.fixture
+def triangle_instance() -> SetCoverInstance:
+    """3 elements; set0={0,1}, set1={1,2}, set2={0,2}."""
+    return SetCoverInstance.from_sets(3, [[0, 1], [1, 2], [0, 2]])
+
+
+class TestConstruction:
+    def test_from_sets(self, triangle_instance):
+        assert triangle_instance.n_elements == 3
+        assert triangle_instance.n_sets == 3
+        assert triangle_instance.set_elements(0).tolist() == [0, 1]
+
+    def test_from_matrix(self):
+        instance = SetCoverInstance(np.array([[True, False], [False, True]]))
+        assert instance.n_elements == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetShapeError):
+            SetCoverInstance(np.empty((0, 2), dtype=bool))
+        with pytest.raises(InvalidParameterError):
+            SetCoverInstance.from_sets(0, [[0]])
+        with pytest.raises(InvalidParameterError):
+            SetCoverInstance.from_sets(3, [])
+
+    def test_rejects_bad_element(self):
+        with pytest.raises(InvalidParameterError):
+            SetCoverInstance.from_sets(2, [[0, 5]])
+
+    def test_membership_read_only(self, triangle_instance):
+        with pytest.raises(ValueError):
+            triangle_instance.membership[0, 0] = False
+
+
+class TestCoverage:
+    def test_feasibility(self, triangle_instance):
+        assert triangle_instance.is_feasible()
+        orphan = SetCoverInstance(np.array([[True], [False]]))
+        assert not orphan.is_feasible()
+
+    def test_uncovered_elements(self, triangle_instance):
+        assert triangle_instance.uncovered_elements([]).tolist() == [0, 1, 2]
+        assert triangle_instance.uncovered_elements([0]).tolist() == [2]
+        assert triangle_instance.uncovered_elements([0, 1]).size == 0
+
+    def test_covers(self, triangle_instance):
+        assert triangle_instance.covers([0, 1])
+        assert not triangle_instance.covers([0])
+
+    def test_invalid_set_index(self, triangle_instance):
+        with pytest.raises(InvalidParameterError):
+            triangle_instance.uncovered_elements([9])
+        with pytest.raises(InvalidParameterError):
+            triangle_instance.set_elements(-1)

@@ -1,0 +1,143 @@
+"""Tests for the Appendix B partition-refinement greedy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import unseparated_pairs_naive
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    EmptySampleError,
+    InfeasibleInstanceError,
+    InvalidParameterError,
+)
+from repro.setcover.greedy import greedy_set_cover
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.partition_greedy import (
+    PartitionState,
+    greedy_separation_cover,
+    refinement_gain,
+)
+from repro.types import pairs_count
+
+
+class TestPartitionState:
+    def test_initial_state_one_clique(self):
+        state = PartitionState(5)
+        assert state.n_cliques == 1
+        assert state.unseparated_pairs() == pairs_count(5)
+
+    def test_commit_refines(self):
+        state = PartitionState(4)
+        state.commit(np.array([0, 0, 1, 1]))
+        assert state.n_cliques == 2
+        assert state.unseparated_pairs() == 2
+
+    def test_fully_separated(self):
+        state = PartitionState(3)
+        state.commit(np.array([0, 1, 2]))
+        assert state.is_fully_separated()
+
+    def test_gain_formula(self):
+        state = PartitionState(4)
+        # Splitting {0,1,2,3} into {0,1} and {2,3}: 6 - 2 = 4 new pairs.
+        assert state.gain(np.array([0, 0, 1, 1])) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptySampleError):
+            PartitionState(0)
+
+
+class TestRefinementGain:
+    def test_matches_direct_count(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=30)
+        column = rng.integers(0, 4, size=30)
+        expected_before = sum(
+            int(c) * (int(c) - 1) // 2 for c in np.bincount(labels)
+        )
+        combined = labels * 4 + column
+        expected_after = sum(
+            int(c) * (int(c) - 1) // 2
+            for c in np.unique(combined, return_counts=True)[1]
+        )
+        assert refinement_gain(labels, column) == expected_before - expected_after
+
+    def test_shape_validation(self):
+        with pytest.raises(InvalidParameterError):
+            refinement_gain(np.array([0, 1]), np.array([0]))
+
+
+class TestGreedySeparationCover:
+    def test_finds_key_of_tiny_dataset(self, tiny_dataset):
+        result = greedy_separation_cover(tiny_dataset.codes)
+        assert result.unseparated_remaining == 0
+        assert result.separation_ratio() == 1.0
+        data = Dataset(tiny_dataset.codes)
+        assert unseparated_pairs_naive(data, result.attributes) == 0
+
+    def test_gain_trace_consistency(self, medium_dataset):
+        result = greedy_separation_cover(medium_dataset.codes[:100])
+        assert sum(result.gains) == result.sample_pairs - result.unseparated_remaining
+        assert len(result.gains) == len(result.attributes)
+        # Greedy gains on the same partition sequence are achievable; first
+        # gain must be the best single column.
+        best_single = max(
+            result.sample_pairs
+            - unseparated_pairs_naive(Dataset(medium_dataset.codes[:100]), [c])
+            for c in range(medium_dataset.n_columns)
+        )
+        assert result.gains[0] == best_single
+
+    def test_duplicates_strict(self):
+        codes = np.zeros((10, 2), dtype=np.int64)
+        with pytest.raises(InfeasibleInstanceError):
+            greedy_separation_cover(codes)
+
+    def test_duplicates_allowed(self):
+        codes = np.zeros((10, 3), dtype=np.int64)
+        codes[:5, 0] = 1  # one informative column, then stuck
+        result = greedy_separation_cover(codes, allow_duplicates=True)
+        assert result.attributes == [0]
+        assert result.unseparated_remaining == 2 * pairs_count(5)
+
+    def test_target_ratio_stops_early(self):
+        rng = np.random.default_rng(1)
+        codes = np.column_stack(
+            [rng.integers(0, 3, 200), rng.integers(0, 3, 200), np.arange(200)]
+        )
+        full = greedy_separation_cover(codes)
+        partial = greedy_separation_cover(codes, target_ratio=0.9)
+        assert len(partial.attributes) <= len(full.attributes)
+        assert partial.separation_ratio() >= 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            greedy_separation_cover(np.zeros((3,), dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            greedy_separation_cover(
+                np.zeros((3, 2), dtype=np.int64), target_ratio=0.0
+            )
+        with pytest.raises(EmptySampleError):
+            greedy_separation_cover(np.zeros((0, 2), dtype=np.int64))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_explicit_greedy(self, seed):
+        """The implicit C(R,2) greedy equals Algorithm 2 on the explicit
+        pair-difference instance (same picks, same order)."""
+        rng = np.random.default_rng(seed)
+        n_rows = int(rng.integers(4, 25))
+        n_cols = int(rng.integers(2, 6))
+        codes = rng.integers(0, 3, size=(n_rows, n_cols))
+        # Make the last column an id so a key exists.
+        codes[:, -1] = np.arange(n_rows)
+        implicit = greedy_separation_cover(codes)
+
+        pairs = [(i, j) for i in range(n_rows) for j in range(i + 1, n_rows)]
+        membership = np.zeros((len(pairs), n_cols), dtype=bool)
+        for index, (i, j) in enumerate(pairs):
+            membership[index] = codes[i] != codes[j]
+        explicit_selection, _ = greedy_set_cover(SetCoverInstance(membership))
+        assert implicit.attributes == explicit_selection

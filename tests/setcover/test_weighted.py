@@ -1,0 +1,102 @@
+"""Property tests for the weighted greedy against brute-force optima."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleInstanceError
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.weighted import cover_cost, weighted_greedy_set_cover
+
+
+def brute_force_min_cost(instance: SetCoverInstance, costs) -> float:
+    """Cheapest feasible cover by exhaustive subset search (tiny only)."""
+    best = math.inf
+    n_sets = instance.n_sets
+    for size in range(1, n_sets + 1):
+        for selection in itertools.combinations(range(n_sets), size):
+            covered = np.zeros(instance.n_elements, dtype=bool)
+            for index in selection:
+                covered |= instance.membership[:, index]
+            if covered.all():
+                best = min(best, cover_cost(selection, costs))
+    return best
+
+
+@st.composite
+def tiny_instances(draw):
+    n_elements = draw(st.integers(2, 7))
+    n_sets = draw(st.integers(2, 6))
+    membership = np.array(
+        [
+            [draw(st.booleans()) for _ in range(n_sets)]
+            for _ in range(n_elements)
+        ]
+    )
+    # Guarantee feasibility: set 0 covers any orphaned element.
+    membership[:, 0] |= ~membership.any(axis=1)
+    costs = [
+        float(draw(st.integers(1, 9))) for _ in range(n_sets)
+    ]
+    return SetCoverInstance(membership), costs
+
+
+class TestWeightedGreedyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(case=tiny_instances())
+    def test_greedy_always_covers(self, case):
+        instance, costs = case
+        selection, trace = weighted_greedy_set_cover(instance, costs)
+        covered = np.zeros(instance.n_elements, dtype=bool)
+        for index in selection:
+            covered |= instance.membership[:, index]
+        assert covered.all()
+        assert trace[-1].remaining == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=tiny_instances())
+    def test_chvatal_approximation_bound(self, case):
+        instance, costs = case
+        selection, _ = weighted_greedy_set_cover(instance, costs)
+        greedy_cost = cover_cost(selection, costs)
+        optimal = brute_force_min_cost(instance, costs)
+        harmonic = sum(1.0 / i for i in range(1, instance.n_elements + 1))
+        assert greedy_cost <= harmonic * optimal + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=tiny_instances())
+    def test_no_useless_picks(self, case):
+        instance, costs = case
+        _, trace = weighted_greedy_set_cover(instance, costs)
+        assert all(step.newly_covered > 0 for step in trace)
+        assert all(step.price > 0 for step in trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=tiny_instances(), scale=st.floats(0.5, 10.0))
+    def test_cost_scaling_invariance(self, case, scale):
+        """Multiplying every cost by a constant cannot change the cover."""
+        instance, costs = case
+        base, _ = weighted_greedy_set_cover(instance, costs)
+        scaled, _ = weighted_greedy_set_cover(
+            instance, [c * scale for c in costs]
+        )
+        assert base == scaled
+
+
+class TestEdgeCases:
+    def test_single_set_instance(self):
+        instance = SetCoverInstance.from_sets(3, [[0, 1, 2]])
+        selection, trace = weighted_greedy_set_cover(instance, [7.0])
+        assert selection == [0]
+        assert trace[0].price == pytest.approx(7.0 / 3)
+
+    def test_orphan_detected_before_any_work(self):
+        instance = SetCoverInstance.from_sets(3, [[0], [1]])
+        with pytest.raises(InfeasibleInstanceError):
+            weighted_greedy_set_cover(instance, [1.0, 1.0])

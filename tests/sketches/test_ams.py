@@ -1,0 +1,122 @@
+"""Tests for the AMS F2 sketch and its non-separation bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.separation import unseparated_pairs
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.ams import AMSSketch, ams_unseparated_pairs
+
+
+def exact_f2(items) -> int:
+    from collections import Counter
+
+    return sum(c * c for c in Counter(items).values())
+
+
+class TestF2Estimation:
+    def test_empty_stream(self):
+        sketch = AMSSketch(width=64, depth=3, seed=0)
+        assert sketch.estimate_f2() == 0.0
+        assert sketch.estimate_unseparated_pairs() == 0.0
+
+    def test_single_heavy_item(self):
+        # F2 of a constant stream is n^2, dominated by one counter.
+        sketch = AMSSketch(width=64, depth=3, seed=0)
+        sketch.update_many(["x"] * 100)
+        assert sketch.estimate_f2() == pytest.approx(10_000)
+
+    def test_all_distinct(self):
+        # F2 = n for a duplicate-free stream.
+        sketch = AMSSketch(width=1024, depth=7, seed=1)
+        sketch.update_many(range(500))
+        assert sketch.estimate_f2() == pytest.approx(500, rel=0.35)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_skewed_stream_accuracy(self, seed):
+        rng = np.random.default_rng(seed)
+        items = rng.zipf(2.0, size=4000).tolist()
+        truth = exact_f2(items)
+        sketch = AMSSketch(width=2048, depth=7, seed=seed)
+        sketch.update_many(items)
+        assert sketch.estimate_f2() == pytest.approx(truth, rel=0.3)
+
+    def test_n_items_counter(self):
+        sketch = AMSSketch(width=16, depth=2, seed=0)
+        sketch.update_many(range(7))
+        assert sketch.n_items == 7
+
+
+class TestUnseparatedPairsBridge:
+    def test_identity_on_exact_counters(self):
+        # With width large enough that no two items collide in any row,
+        # the estimator is exact: every counter is +-1 per distinct item.
+        data = Dataset(np.array([[0], [0], [0], [1], [1], [2]]))
+        exact = unseparated_pairs(data, [0])
+        estimate = ams_unseparated_pairs(
+            data, [0], width=4096, depth=9, seed=3
+        )
+        assert estimate == pytest.approx(exact, abs=2.0)
+
+    def test_matches_exact_on_random_data(self):
+        rng = np.random.default_rng(4)
+        data = Dataset(rng.integers(0, 5, size=(3000, 3)))
+        exact = unseparated_pairs(data, [0, 1])
+        estimate = ams_unseparated_pairs(
+            data, [0, 1], width=2048, depth=7, seed=5
+        )
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_never_negative(self):
+        data = Dataset(np.arange(200).reshape(-1, 1))
+        estimate = ams_unseparated_pairs(data, [0], width=32, depth=3, seed=6)
+        assert estimate >= 0.0
+
+    def test_empty_attributes_rejected(self):
+        data = Dataset(np.array([[1], [2]]))
+        with pytest.raises(InvalidParameterError):
+            ams_unseparated_pairs(data, [])
+
+    def test_column_names_accepted(self):
+        data = Dataset.from_columns({"a": [1, 1, 2, 3]})
+        estimate = ams_unseparated_pairs(
+            data, ["a"], width=1024, depth=5, seed=0
+        )
+        assert estimate == pytest.approx(1.0, abs=1.5)
+
+
+class TestMerge:
+    def test_merge_equals_single_pass(self):
+        whole = AMSSketch(width=128, depth=4, seed=8)
+        whole.update_many(range(100))
+        left = AMSSketch(width=128, depth=4, seed=8)
+        left.update_many(range(50))
+        right = AMSSketch(width=128, depth=4, seed=8)
+        right.update_many(range(50, 100))
+        merged = left.merge(right)
+        assert merged.estimate_f2() == whole.estimate_f2()
+        assert merged.n_items == 100
+
+    def test_mismatched_merge_rejected(self):
+        base = AMSSketch(width=64, depth=3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            base.merge(AMSSketch(width=32, depth=3, seed=0))
+        with pytest.raises(InvalidParameterError):
+            base.merge(AMSSketch(width=64, depth=4, seed=0))
+        with pytest.raises(InvalidParameterError):
+            base.merge(AMSSketch(width=64, depth=3, seed=9))
+
+
+class TestValidation:
+    def test_bad_shape_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AMSSketch(width=0)
+        with pytest.raises(InvalidParameterError):
+            AMSSketch(depth=0)
+
+    def test_memory_accounting(self):
+        sketch = AMSSketch(width=100, depth=5, seed=0)
+        assert sketch.memory_values() == 500

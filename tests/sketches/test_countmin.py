@@ -1,0 +1,153 @@
+"""Tests for Count-Min and the heavy-group tracker."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.countmin import (
+    CountMinSketch,
+    HeavyGroupTracker,
+    heavy_cliques,
+)
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=32, depth=3, seed=0)
+        items = ["a"] * 10 + ["b"] * 5 + ["c"]
+        sketch.update_many(items)
+        truth = Counter(items)
+        for item, count in truth.items():
+            assert sketch.query(item) >= count
+
+    def test_exact_without_collisions(self):
+        sketch = CountMinSketch(width=4096, depth=5, seed=1)
+        sketch.update_many(["x"] * 7 + ["y"] * 3)
+        assert sketch.query("x") == 7
+        assert sketch.query("y") == 3
+
+    def test_additive_error_bound_statistical(self):
+        rng = np.random.default_rng(2)
+        items = rng.integers(0, 500, size=10_000).tolist()
+        sketch = CountMinSketch(width=2000, depth=5, seed=2)
+        sketch.update_many(items)
+        truth = Counter(items)
+        # Error per item <= 2n/width with prob >= 1 - 2^-depth per item.
+        allowed = 2 * 10_000 / 2000
+        violations = sum(
+            sketch.query(item) - count > allowed
+            for item, count in truth.items()
+        )
+        assert violations <= 25  # ~ 500 * 2^-5, with slack
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(width=64, depth=3, seed=0)
+        sketch.update("a", count=10)
+        assert sketch.query("a") >= 10
+        assert sketch.n_items == 10
+        with pytest.raises(InvalidParameterError):
+            sketch.update("a", count=0)
+
+    def test_merge_equals_single_pass(self):
+        whole = CountMinSketch(width=128, depth=4, seed=3)
+        whole.update_many(range(100))
+        left = CountMinSketch(width=128, depth=4, seed=3)
+        left.update_many(range(60))
+        right = CountMinSketch(width=128, depth=4, seed=3)
+        right.update_many(range(60, 100))
+        merged = left.merge(right)
+        for value in range(100):
+            assert merged.query(value) == whole.query(value)
+
+    def test_mismatched_merge_rejected(self):
+        base = CountMinSketch(width=64, depth=3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            base.merge(CountMinSketch(width=32, depth=3, seed=0))
+        with pytest.raises(InvalidParameterError):
+            base.merge(CountMinSketch(width=64, depth=3, seed=5))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(width=0)
+        with pytest.raises(InvalidParameterError):
+            CountMinSketch(depth=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=st.lists(st.integers(0, 20), min_size=1, max_size=200))
+    def test_no_underestimate_property(self, items):
+        sketch = CountMinSketch(width=64, depth=4, seed=9)
+        sketch.update_many(items)
+        truth = Counter(items)
+        for item, count in truth.items():
+            assert sketch.query(item) >= count
+
+
+class TestHeavyGroupTracker:
+    def test_finds_planted_heavy_item(self):
+        tracker = HeavyGroupTracker(phi=0.3, width=512, seed=0)
+        for item in ["big"] * 50 + list(range(50)):
+            tracker.update(item)
+        heavy = [item for item, _ in tracker.heavy_groups()]
+        assert heavy == ["big"]
+
+    def test_no_heavy_items_in_uniform_stream(self):
+        tracker = HeavyGroupTracker(phi=0.2, width=2048, seed=1)
+        for item in range(1000):
+            tracker.update(item)
+        assert tracker.heavy_groups() == []
+
+    def test_demotes_items_that_fall_below_threshold(self):
+        tracker = HeavyGroupTracker(phi=0.5, width=512, seed=2)
+        tracker.update("early")
+        tracker.update("early")  # 100% of a 2-item stream
+        assert tracker.heavy_groups()
+        for item in range(20):
+            tracker.update(item)
+        assert all(item != "early" for item, _ in tracker.heavy_groups())
+
+    def test_phi_validation(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(InvalidParameterError):
+                HeavyGroupTracker(phi=bad)
+
+    def test_n_items(self):
+        tracker = HeavyGroupTracker(phi=0.5, width=64, seed=0)
+        tracker.update("a")
+        tracker.update("b")
+        assert tracker.n_items == 2
+
+
+class TestHeavyCliques:
+    def test_finds_lemma4_planted_clique(self):
+        # Lemma 4's shape: one clique of sqrt(2*eps)*n rows, rest unique.
+        n, epsilon = 2000, 0.04
+        clique_size = int(np.sqrt(2 * epsilon) * n)  # ~283
+        column = np.concatenate(
+            [
+                np.zeros(clique_size, dtype=np.int64),
+                np.arange(1, n - clique_size + 1),
+            ]
+        )
+        data = Dataset(np.column_stack([column, np.arange(n)]))
+        found = heavy_cliques(data, [0], phi=0.1, width=4096, seed=3)
+        assert len(found) == 1
+        (values, estimate) = found[0]
+        assert values == (0,)
+        assert estimate >= clique_size
+
+    def test_empty_attributes_rejected(self):
+        data = Dataset(np.array([[1], [2]]))
+        with pytest.raises(InvalidParameterError):
+            heavy_cliques(data, [], phi=0.1)
+
+    def test_column_names_accepted(self):
+        data = Dataset.from_columns({"a": ["x"] * 8 + ["y", "z"]})
+        found = heavy_cliques(data, ["a"], phi=0.5, width=256, seed=0)
+        assert len(found) == 1

@@ -1,0 +1,75 @@
+"""Tests for the seeded hash family."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.sketches.hashing import HashFamily
+
+
+class TestDeterminism:
+    def test_same_seed_same_hash(self):
+        first = HashFamily(seed=5)
+        second = HashFamily(seed=5)
+        for value in ["alice", 42, (1, 2), None]:
+            assert first.uniform(0, value) == second.uniform(0, value)
+
+    def test_different_seeds_differ(self):
+        first = HashFamily(seed=1)
+        second = HashFamily(seed=2)
+        collisions = sum(
+            first.uniform(0, v) == second.uniform(0, v) for v in range(100)
+        )
+        assert collisions == 0
+
+    def test_different_indices_differ(self):
+        family = HashFamily(seed=0)
+        collisions = sum(
+            family.uniform(0, v) == family.uniform(1, v) for v in range(100)
+        )
+        assert collisions == 0
+
+
+class TestRanges:
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.one_of(st.integers(), st.text(max_size=20)))
+    def test_uniform_in_unit_interval(self, value):
+        family = HashFamily(seed=9)
+        assert 0.0 <= family.uniform(0, value) < 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers(), n_buckets=st.integers(1, 1000))
+    def test_bucket_in_range(self, value, n_buckets):
+        family = HashFamily(seed=9)
+        assert 0 <= family.bucket(0, value, n_buckets) < n_buckets
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers())
+    def test_sign_is_plus_minus_one(self, value):
+        family = HashFamily(seed=9)
+        assert family.sign(0, value) in (-1, 1)
+
+    def test_signs_are_balanced(self):
+        family = HashFamily(seed=4)
+        positive = sum(family.sign(0, v) == 1 for v in range(2000))
+        assert 800 < positive < 1200
+
+    def test_uniformity_rough(self):
+        family = HashFamily(seed=11)
+        below_half = sum(
+            family.uniform(0, v) < 0.5 for v in range(2000)
+        )
+        assert 800 < below_half < 1200
+
+
+class TestValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HashFamily(seed=0).uniform(-1, "x")
+
+    def test_bad_bucket_count_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HashFamily(seed=0).bucket(0, "x", 0)

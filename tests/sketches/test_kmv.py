@@ -1,0 +1,117 @@
+"""Tests for the KMV distinct-value sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.kmv import KMVSketch, estimate_column_cardinalities
+
+
+class TestExactRegime:
+    def test_exact_below_k(self):
+        sketch = KMVSketch(k=100, seed=0)
+        sketch.update_many(range(42))
+        assert sketch.estimate() == 42.0
+
+    def test_duplicates_free(self):
+        sketch = KMVSketch(k=64, seed=0)
+        sketch.update_many([7] * 1000)
+        assert sketch.estimate() == 1.0
+        assert sketch.n_retained == 1
+
+    def test_empty_sketch(self):
+        assert KMVSketch(k=8, seed=0).estimate() == 0.0
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("true_distinct", [2_000, 20_000])
+    def test_relative_error_within_ballpark(self, true_distinct):
+        sketch = KMVSketch(k=512, seed=1)
+        sketch.update_many(range(true_distinct))
+        estimate = sketch.estimate()
+        # Standard error ~ 1/sqrt(512) ~ 4.4%; allow 4 sigma.
+        assert abs(estimate - true_distinct) / true_distinct < 0.2
+
+    def test_stream_order_irrelevant(self):
+        values = list(range(5000))
+        forward = KMVSketch(k=128, seed=3)
+        forward.update_many(values)
+        backward = KMVSketch(k=128, seed=3)
+        backward.update_many(reversed(values))
+        assert forward.estimate() == backward.estimate()
+
+    def test_retained_capped_at_k(self):
+        sketch = KMVSketch(k=32, seed=0)
+        sketch.update_many(range(10_000))
+        assert sketch.n_retained == 32
+        assert sketch.memory_values() == 32
+
+
+class TestMerge:
+    def test_union_semantics(self):
+        left = KMVSketch(k=256, seed=5)
+        right = KMVSketch(k=256, seed=5)
+        left.update_many(range(0, 6000))
+        right.update_many(range(3000, 9000))  # 3000 overlap
+        merged = left.merge(right)
+        assert abs(merged.estimate() - 9000) / 9000 < 0.2
+
+    def test_merge_equals_single_pass(self):
+        whole = KMVSketch(k=64, seed=7)
+        whole.update_many(range(2000))
+        left = KMVSketch(k=64, seed=7)
+        left.update_many(range(1000))
+        right = KMVSketch(k=64, seed=7)
+        right.update_many(range(1000, 2000))
+        assert left.merge(right).estimate() == whole.estimate()
+
+    def test_mismatched_merge_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KMVSketch(k=8, seed=0).merge(KMVSketch(k=16, seed=0))
+        with pytest.raises(InvalidParameterError):
+            KMVSketch(k=8, seed=0).merge(KMVSketch(k=8, seed=1))
+
+
+class TestValidation:
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(InvalidParameterError):
+            KMVSketch(k=1)
+        with pytest.raises(InvalidParameterError):
+            KMVSketch(k=0)
+
+
+class TestColumnCardinalities:
+    def test_small_columns_exact(self):
+        data = Dataset.from_columns(
+            {"a": [1, 2, 1, 2], "b": [1, 1, 1, 1], "c": [1, 2, 3, 4]}
+        )
+        assert estimate_column_cardinalities(data, k=16) == [2.0, 1.0, 4.0]
+
+    def test_matches_exact_cardinalities_roughly(self):
+        rng = np.random.default_rng(13)
+        data = Dataset(
+            np.column_stack(
+                [
+                    rng.integers(0, 3000, size=20_000),
+                    rng.integers(0, 10, size=20_000),
+                ]
+            )
+        )
+        estimates = estimate_column_cardinalities(data, k=512, seed=2)
+        exact = data.cardinalities()
+        for estimate, truth in zip(estimates, exact):
+            assert abs(estimate - truth) / truth < 0.2
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 30), min_size=1, max_size=200),
+    )
+    def test_exact_when_under_budget_property(self, values):
+        sketch = KMVSketch(k=64, seed=1)
+        sketch.update_many(values)
+        assert sketch.estimate() == float(len(set(values)))

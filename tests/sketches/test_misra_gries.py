@@ -1,0 +1,146 @@
+"""Tests for the Misra-Gries deterministic heavy-hitter summary."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.misra_gries import MisraGries, misra_gries_heavy_cliques
+
+
+class TestDeterministicGuarantees:
+    def test_exact_when_under_capacity(self):
+        summary = MisraGries(capacity=10)
+        items = ["a"] * 5 + ["b"] * 3 + ["c"]
+        summary.update_many(items)
+        truth = Counter(items)
+        for item, count in truth.items():
+            assert summary.query(item) == count
+
+    def test_never_overestimates(self):
+        summary = MisraGries(capacity=3)
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, 50, size=2000).tolist()
+        summary.update_many(items)
+        truth = Counter(items)
+        for item, count in summary.candidates():
+            assert count <= truth[item]
+
+    def test_undercount_bounded(self):
+        summary = MisraGries(capacity=9)
+        rng = np.random.default_rng(1)
+        items = rng.integers(0, 30, size=1000).tolist()
+        summary.update_many(items)
+        truth = Counter(items)
+        bound = summary.error_bound
+        for item, count in truth.items():
+            assert truth[item] - summary.query(item) <= bound + 1e-9
+
+    def test_majority_item_always_tracked(self):
+        summary = MisraGries(capacity=1)
+        items = ["x"] * 60 + ["y"] * 20 + ["z"] * 19
+        summary.update_many(items)
+        assert summary.query("x") > 0
+
+    def test_heavy_items_survive(self):
+        # phi = 0.25, capacity 2/phi = 8: anything above n/9 is tracked.
+        summary = MisraGries(capacity=8)
+        items = ["big"] * 400 + list(range(600))
+        summary.update_many(items)
+        assert "big" in [item for item, _ in summary.candidates()]
+        assert summary.guaranteed_heavy(0.2) == ["big"]
+
+    def test_query_untracked_is_zero(self):
+        summary = MisraGries(capacity=2)
+        summary.update_many(["a", "b"])
+        assert summary.query("zzz") == 0
+
+
+class TestMerge:
+    def test_merge_preserves_guarantee(self):
+        rng = np.random.default_rng(2)
+        items = (["hot"] * 500 + rng.integers(0, 40, size=1500).tolist())
+        rng.shuffle(items)
+        left = MisraGries(capacity=12)
+        left.update_many(items[:1000])
+        right = MisraGries(capacity=12)
+        right.update_many(items[1000:])
+        merged = left.merge(right)
+        truth = Counter(items)
+        assert merged.n_items == 2000
+        for item, count in merged.candidates():
+            assert count <= truth[item]
+        # The planted heavy item clears the merged bound.
+        assert truth["hot"] - merged.query("hot") <= merged.error_bound + 1e-9
+
+    def test_merge_capacity_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MisraGries(3).merge(MisraGries(4))
+
+    def test_merge_respects_capacity(self):
+        left = MisraGries(capacity=3)
+        left.update_many(range(3))
+        right = MisraGries(capacity=3)
+        right.update_many(range(3, 6))
+        merged = left.merge(right)
+        assert len(merged.candidates()) <= 3
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            MisraGries(0)
+
+    def test_bad_phi(self):
+        summary = MisraGries(2)
+        summary.update("a")
+        for bad in (0.0, -1.0, 1.5):
+            with pytest.raises(InvalidParameterError):
+                summary.guaranteed_heavy(bad)
+
+
+class TestHeavyCliques:
+    def test_finds_planted_clique(self):
+        n = 3000
+        clique = int(0.3 * n)
+        column = np.concatenate(
+            [np.zeros(clique, dtype=np.int64), np.arange(1, n - clique + 1)]
+        )
+        data = Dataset(np.column_stack([column, np.arange(n)]))
+        heavy = misra_gries_heavy_cliques(data, [0], phi=0.25)
+        assert (0,) in heavy
+
+    def test_uniform_stream_reports_nothing(self):
+        data = Dataset(np.arange(2000).reshape(-1, 1))
+        assert misra_gries_heavy_cliques(data, [0], phi=0.1) == []
+
+    def test_validation(self):
+        data = Dataset(np.array([[1], [2]]))
+        with pytest.raises(InvalidParameterError):
+            misra_gries_heavy_cliques(data, [], phi=0.1)
+        with pytest.raises(InvalidParameterError):
+            misra_gries_heavy_cliques(data, [0], phi=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    items=st.lists(st.integers(0, 15), min_size=1, max_size=300),
+    capacity=st.integers(1, 10),
+)
+def test_misra_gries_invariants_property(items, capacity):
+    """Undercount bound and no-overestimate hold on arbitrary streams."""
+    summary = MisraGries(capacity)
+    summary.update_many(items)
+    truth = Counter(items)
+    bound = len(items) / (capacity + 1)
+    for item in set(items):
+        estimate = summary.query(item)
+        assert estimate <= truth[item]
+        assert truth[item] - estimate <= bound + 1e-9
+    assert len(summary.candidates()) <= capacity

@@ -1,0 +1,127 @@
+"""Tests for the one-pass streaming column profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.separation import unseparated_pairs
+from repro.data.dataset import Dataset
+from repro.data.profile import rank_by_identifiability
+from repro.exceptions import InvalidParameterError
+from repro.streaming.profile import StreamingProfile
+
+
+@pytest.fixture
+def mixed_dataset() -> Dataset:
+    """id column (key), mid-cardinality column, near-constant column."""
+    rng = np.random.default_rng(0)
+    n = 4_000
+    return Dataset(
+        np.column_stack(
+            [
+                np.arange(n),
+                rng.integers(0, 50, size=n),
+                (rng.random(n) < 0.01).astype(np.int64),
+            ]
+        )
+    )
+
+
+def stream_through(data: Dataset, **kwargs) -> StreamingProfile:
+    profile = StreamingProfile(data.n_columns, **kwargs)
+    profile.extend(data.codes[row] for row in range(data.n_rows))
+    return profile
+
+
+class TestAccuracy:
+    def test_distinct_estimates_close(self, mixed_dataset):
+        profile = stream_through(mixed_dataset, seed=1)
+        exact = mixed_dataset.cardinalities()
+        for column_profile, truth in zip(profile.profiles(), exact):
+            assert column_profile.distinct_estimate == pytest.approx(
+                float(truth), rel=0.2
+            )
+
+    def test_gamma_estimates_close(self, mixed_dataset):
+        profile = stream_through(mixed_dataset, ams_width=2_048, seed=2)
+        for column in range(mixed_dataset.n_columns):
+            exact = unseparated_pairs(mixed_dataset, [column])
+            estimate = profile.column_profile(column).unseparated_estimate
+            if exact > 1_000:
+                assert estimate == pytest.approx(exact, rel=0.3)
+
+    def test_ranking_matches_offline_profiler(self, mixed_dataset):
+        profile = stream_through(mixed_dataset, ams_width=2_048, seed=3)
+        streaming_order = [
+            p.column for p in profile.rank_by_identifiability()
+        ]
+        offline_order = [
+            p.column for p in rank_by_identifiability(mixed_dataset)
+        ]
+        assert streaming_order == offline_order
+
+    def test_heavy_values_surface_constant(self, mixed_dataset):
+        profile = stream_through(mixed_dataset, seed=4)
+        near_constant = profile.column_profile(2)
+        heavy = [value for value, _ in near_constant.heavy_values]
+        assert 0 in heavy  # the 99% value
+
+    def test_separation_estimate_bounds(self, mixed_dataset):
+        profile = stream_through(mixed_dataset, seed=5)
+        for column_profile in profile.profiles():
+            assert 0.0 <= column_profile.separation_estimate <= 1.0
+        # The id column separates everything.
+        assert profile.column_profile(0).separation_estimate > 0.99
+
+
+class TestMechanics:
+    def test_rows_seen(self, mixed_dataset):
+        profile = stream_through(mixed_dataset, seed=0)
+        assert profile.rows_seen == mixed_dataset.n_rows
+
+    def test_wrong_width_rejected(self):
+        profile = StreamingProfile(3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            profile.observe(np.array([1, 2]))
+
+    def test_column_out_of_range(self):
+        profile = StreamingProfile(2, seed=0)
+        profile.observe(np.array([1, 2]))
+        with pytest.raises(InvalidParameterError):
+            profile.column_profile(9)
+
+    def test_empty_profile_is_sane(self):
+        profile = StreamingProfile(2, seed=0)
+        column = profile.column_profile(0)
+        assert column.rows_seen == 0
+        assert column.distinct_estimate == 0.0
+        assert column.separation_estimate == 1.0
+
+
+class TestMerge:
+    def test_merge_equals_single_pass(self, mixed_dataset):
+        half = mixed_dataset.n_rows // 2
+        whole = stream_through(mixed_dataset, seed=7)
+        left = StreamingProfile(mixed_dataset.n_columns, seed=7)
+        left.extend(mixed_dataset.codes[row] for row in range(half))
+        right = StreamingProfile(mixed_dataset.n_columns, seed=7)
+        right.extend(
+            mixed_dataset.codes[row]
+            for row in range(half, mixed_dataset.n_rows)
+        )
+        merged = left.merge(right)
+        assert merged.rows_seen == whole.rows_seen
+        for column in range(mixed_dataset.n_columns):
+            assert merged.column_profile(
+                column
+            ).distinct_estimate == whole.column_profile(column).distinct_estimate
+            assert merged.column_profile(
+                column
+            ).unseparated_estimate == whole.column_profile(column).unseparated_estimate
+
+    def test_mismatched_merge_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingProfile(2, seed=0).merge(StreamingProfile(3, seed=0))
+        with pytest.raises(InvalidParameterError):
+            StreamingProfile(2, seed=0).merge(StreamingProfile(2, seed=1))

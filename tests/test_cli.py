@@ -1,0 +1,225 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliDatasets:
+    def test_lists_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "adult" in out
+        assert "covtype" in out
+        assert "cps" in out
+
+
+class TestCliTable1:
+    def test_tiny_run(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--scale",
+                "0.005",
+                "--trials",
+                "1",
+                "--queries",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Dataset" in out
+        assert "adult" in out
+
+
+class TestCliMinkey:
+    def test_minkey_on_small_dataset(self, capsys):
+        code = main(
+            [
+                "minkey",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "1000",
+                "--epsilon",
+                "0.01",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "key size" in out
+        assert "separation ratio" in out
+
+
+class TestCliSketch:
+    def test_sketch_demo(self, capsys):
+        code = main(
+            [
+                "sketch",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "1500",
+                "--k",
+                "2",
+                "--queries",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sketch:" in out
+        assert "estimate=" in out
+
+
+class TestCliProfile:
+    def test_profile_output(self, capsys):
+        code = main(["profile", "--dataset", "adult", "--rows", "800"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fnlwgt" in out
+        assert "cardinality" in out
+
+
+class TestCliMask:
+    def test_mask_output(self, capsys):
+        code = main(
+            [
+                "mask",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "1000",
+                "--epsilon",
+                "0.01",
+                "--max-key-size",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safe to release" in out
+        assert "mode" in out
+
+
+class TestCliFd:
+    def test_exact_fds_on_adult(self, capsys):
+        code = main(
+            [
+                "fd",
+                "--dataset",
+                "adult",
+                "--rows",
+                "600",
+                "--max-error",
+                "0.02",
+                "--max-lhs",
+                "1",
+                "--limit",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "minimal AFD(s)" in out
+
+    def test_limit_truncates(self, capsys):
+        code = main(
+            [
+                "fd",
+                "--dataset",
+                "adult",
+                "--rows",
+                "400",
+                "--max-error",
+                "0.3",
+                "--max-lhs",
+                "1",
+                "--limit",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "more" in out or "minimal AFD(s)" in out
+
+
+class TestCliRisk:
+    def test_risk_report(self, capsys):
+        code = main(
+            [
+                "risk",
+                "--dataset",
+                "adult",
+                "--rows",
+                "800",
+                "--attributes",
+                "0,3,5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k-anonymity" in out
+        assert "linking attack" in out
+
+    def test_named_attributes_and_sensitive(self, capsys):
+        code = main(
+            [
+                "risk",
+                "--dataset",
+                "adult",
+                "--rows",
+                "500",
+                "--attributes",
+                "age,sex",
+                "--sensitive",
+                "occupation",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "l-diversity" in out
+
+
+class TestCliAnonymize:
+    def test_anonymize_report(self, capsys):
+        code = main(
+            [
+                "anonymize",
+                "--dataset",
+                "adult",
+                "--rows",
+                "600",
+                "--attributes",
+                "age,hours_per_week",
+                "--k",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "information loss" in out
+        assert "attack recall" in out
+
+
+class TestCliDedup:
+    def test_dedup_demo(self, capsys):
+        code = main(["dedup", "--rows", "120", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planted duplicates" in out
+        assert "recall" in out
+
+
+class TestCliErrors:
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,129 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Examples are imported as modules and their ``main()`` executed with
+module-level size constants patched down so the whole file stays fast.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        module = _load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "minimum key" in out
+
+    def test_data_cleaning(self, capsys):
+        module = _load("data_cleaning")
+        module.main()
+        out = capsys.readouterr().out
+        assert "HOLDS" in out
+        assert "duplicate-candidate" in out
+
+    def test_privacy_audit_scaled_down(self, capsys, monkeypatch):
+        module = _load("privacy_audit")
+        # Patch the generator to a small table for CI.
+        import repro.data.synthetic as synthetic
+
+        monkeypatch.setattr(
+            module, "adult_like", lambda n, seed: synthetic.adult_like(3_000, seed)
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "smallest quasi-identifier" in out
+        assert "after suppressing" in out
+
+    def test_streaming_filter_scaled_down(self, capsys, monkeypatch):
+        module = _load("streaming_filter")
+        monkeypatch.setattr(module, "N_EVENTS", 20_000)
+        module.main()
+        out = capsys.readouterr().out
+        assert "reservoir sizes" in out
+        assert "query results" in out
+
+    def test_profiling_report_scaled_down(self, capsys, monkeypatch):
+        module = _load("profiling_report")
+        import repro.data.synthetic as synthetic
+
+        monkeypatch.setattr(
+            module, "adult_like", lambda n, seed: synthetic.adult_like(2_000, seed)
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "column identifiability" in out
+        assert "k-anonymity" in out
+        assert "suppress" in out
+
+    def test_fd_discovery_scaled_down(self, capsys, monkeypatch):
+        module = _load("fd_discovery")
+        original = module.build_address_table
+        monkeypatch.setattr(
+            module,
+            "build_address_table",
+            lambda n_rows=800, seed=7: original(800, seed),
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "violation measures" in out
+        assert "minimal AFDs" in out
+        assert "sampled validation" in out
+
+    def test_dedup_pipeline_scaled_down(self, capsys, monkeypatch):
+        module = _load("dedup_pipeline")
+        from repro.cleaning.corrupt import make_clean_people_table
+
+        monkeypatch.setattr(
+            module,
+            "make_clean_people_table",
+            lambda n, seed: make_clean_people_table(200, seed=seed),
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "mined epsilon-key" in out
+        assert "multi-pass blocking" in out
+        assert "recall" in out
+
+    def test_linking_attack_scaled_down(self, capsys, monkeypatch):
+        module = _load("linking_attack")
+        from repro.data import registry
+
+        monkeypatch.setattr(
+            module,
+            "build_dataset",
+            lambda name, n_rows, seed: registry.build_dataset(
+                name, n_rows=1_500, seed=seed
+            ),
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "linking attack vs adversary knowledge noise" in out
+        assert "cheapest epsilon-key" in out
+        assert "masking" in out
+
+    def test_table1_reproduction_help(self, capsys, monkeypatch):
+        module = _load("table1_reproduction")
+        monkeypatch.setattr(
+            sys, "argv", ["table1_reproduction.py", "--trials", "1", "--queries", "5"]
+        )
+        # Shrink datasets via a tiny custom config path: run main as-is but
+        # only assert it completes at CI scale would take minutes; instead
+        # just check the parser wiring.
+        with pytest.raises(SystemExit):
+            monkeypatch.setattr(sys, "argv", ["prog", "--help"])
+            module.main()

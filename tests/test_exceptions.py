@@ -1,0 +1,30 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro import exceptions
+
+
+@pytest.mark.parametrize(
+    "error_class",
+    [
+        exceptions.InvalidParameterError,
+        exceptions.DatasetShapeError,
+        exceptions.EmptySampleError,
+        exceptions.SketchQueryError,
+        exceptions.InfeasibleInstanceError,
+        exceptions.OptimizationError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(error_class):
+    assert issubclass(error_class, exceptions.ReproError)
+
+
+def test_value_errors_are_also_value_errors():
+    # Callers using plain ``except ValueError`` still catch parameter issues.
+    assert issubclass(exceptions.InvalidParameterError, ValueError)
+    assert issubclass(exceptions.DatasetShapeError, ValueError)
+
+
+def test_optimization_error_is_runtime_error():
+    assert issubclass(exceptions.OptimizationError, RuntimeError)

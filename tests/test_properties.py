@@ -1,0 +1,266 @@
+"""Cross-module property-based tests (hypothesis).
+
+These invariants tie the subsystems together: whatever random data set is
+generated, the filters, miners, sketches, and exact counters must agree on
+the facts they share.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.core.separation import (
+    is_key,
+    separation_ratio,
+    unseparated_pairs,
+)
+from repro.data.dataset import Dataset
+from repro.setcover.partition_greedy import greedy_separation_cover
+from repro.types import pairs_count
+
+
+def _random_dataset(seed: int, max_rows: int = 60, max_cols: int = 5) -> Dataset:
+    rng = np.random.default_rng(seed)
+    n_rows = int(rng.integers(3, max_rows))
+    n_cols = int(rng.integers(2, max_cols + 1))
+    codes = rng.integers(0, 4, size=(n_rows, n_cols))
+    return Dataset(codes)
+
+
+class TestFilterExactnessOnFullSample:
+    """A filter whose sample is the whole data set is an exact key tester."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_tuple_filter_full_sample_is_exact(self, seed):
+        data = _random_dataset(seed)
+        filt = TupleSampleFilter.fit(
+            data, epsilon=0.3, sample_size=data.n_rows, seed=seed
+        )
+        for column in range(data.n_columns):
+            assert filt.accepts([column]) == is_key(data, [column])
+        everything = list(range(data.n_columns))
+        assert filt.accepts(everything) == is_key(data, everything)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pair_filter_full_universe_is_exact(self, seed):
+        data = _random_dataset(seed, max_rows=25)
+        filt = MotwaniXuFilter.fit(
+            data, epsilon=0.3, sample_size=pairs_count(data.n_rows), seed=seed
+        )
+        for column in range(data.n_columns):
+            assert filt.accepts([column]) == is_key(data, [column])
+
+
+class TestFilterNeverRejectsKeys:
+    """Both filters accept every true key on every sample (one-sided)."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_keys_always_accepted(self, seed):
+        rng = np.random.default_rng(seed)
+        n_rows = int(rng.integers(10, 80))
+        codes = np.column_stack(
+            [
+                rng.integers(0, 3, size=n_rows),
+                np.arange(n_rows),  # key column
+            ]
+        )
+        data = Dataset(codes)
+        tuple_filter = TupleSampleFilter.fit(
+            data, 0.2, sample_size=max(2, n_rows // 3), seed=seed
+        )
+        pair_filter = MotwaniXuFilter.fit(data, 0.2, sample_size=10, seed=seed)
+        assert tuple_filter.accepts([1])
+        assert pair_filter.accepts([1])
+        assert tuple_filter.accepts([0, 1])
+        assert pair_filter.accepts([0, 1])
+
+
+class TestSampleGammaNeverExceedsTotal:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_counters_bounded(self, seed):
+        data = _random_dataset(seed)
+        filt = TupleSampleFilter.fit(
+            data, 0.3, sample_size=min(10, data.n_rows), seed=seed
+        )
+        for column in range(data.n_columns):
+            sample_gamma = filt.unseparated_sample_pairs([column])
+            assert 0 <= sample_gamma <= pairs_count(filt.sample_size)
+            # A subset of rows can never have MORE unseparated pairs than
+            # the full data set.
+            assert sample_gamma <= unseparated_pairs(data, [column])
+
+
+class TestGreedyCoverOnWholeData:
+    """Running the Appendix B greedy on the full data set must produce a
+    true key whenever one exists, and its separation must dominate every
+    prefix's."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_is_key_when_possible(self, seed):
+        rng = np.random.default_rng(seed)
+        n_rows = int(rng.integers(4, 50))
+        codes = np.column_stack(
+            [
+                rng.integers(0, 3, size=n_rows),
+                rng.integers(0, 3, size=n_rows),
+                np.arange(n_rows),
+            ]
+        )
+        result = greedy_separation_cover(codes)
+        data = Dataset(codes)
+        assert is_key(data, result.attributes)
+        assert result.unseparated_remaining == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_gains_are_decreasing_marginals_bound(self, seed):
+        """Each greedy gain is at most the previous pick's gain times the
+        remaining/covered structure — weaker but universal: gains are
+        positive and sum telescopes to the separated total."""
+        data = _random_dataset(seed)
+        result = greedy_separation_cover(data.codes, allow_duplicates=True)
+        assert all(gain > 0 for gain in result.gains)
+        assert (
+            sum(result.gains)
+            == result.sample_pairs - result.unseparated_remaining
+        )
+
+
+class TestSeparationRatioConsistency:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_ratio_matches_gamma(self, seed):
+        data = _random_dataset(seed)
+        total = pairs_count(data.n_rows)
+        for column in range(data.n_columns):
+            gamma = unseparated_pairs(data, [column])
+            ratio = separation_ratio(data, [column])
+            assert ratio == pytest.approx(1.0 - gamma / total)
+
+
+class TestMinKeyInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_no_duplicate_attributes_and_all_in_range(self, seed):
+        from repro.core.minkey import approximate_min_key
+
+        rng = np.random.default_rng(seed)
+        n_rows = int(rng.integers(20, 100))
+        codes = np.column_stack(
+            [
+                rng.integers(0, 4, size=n_rows),
+                rng.integers(0, 4, size=n_rows),
+                np.arange(n_rows),
+            ]
+        )
+        data = Dataset(codes)
+        for method in ("tuples", "pairs"):
+            result = approximate_min_key(data, 0.05, method=method, seed=seed)
+            assert len(set(result.attributes)) == len(result.attributes)
+            assert all(0 <= a < data.n_columns for a in result.attributes)
+            # A full-sample key always exists (id column), so greedy must
+            # return a non-empty attribute set.
+            assert result.key_size >= 1
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_solver_never_beaten(self, seed):
+        """No sampling solver may return a smaller *true key* than exact."""
+        from repro.core.minkey import ExactMinKey, approximate_min_key
+
+        rng = np.random.default_rng(seed)
+        n_rows = int(rng.integers(10, 40))
+        codes = np.column_stack(
+            [
+                rng.integers(0, 3, size=n_rows),
+                rng.integers(0, 3, size=n_rows),
+                np.arange(n_rows),
+            ]
+        )
+        data = Dataset(codes)
+        exact = ExactMinKey().solve(data)
+        greedy = approximate_min_key(data, 0.05, method="tuples", seed=seed)
+        if is_key(data, greedy.attributes):
+            assert greedy.key_size >= exact.key_size
+
+
+class TestSketchInternalConsistency:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_sketch_counts_monotone_in_attributes(self, seed):
+        """Adding attributes can only separate more sampled pairs."""
+        from repro.core.sketch import NonSeparationSketch
+
+        data = _random_dataset(seed, max_rows=50, max_cols=4)
+        sketch = NonSeparationSketch.fit(
+            data, k=data.n_columns, alpha=0.2, epsilon=0.3,
+            sample_size=200, seed=seed,
+        )
+        single = sketch.unseparated_sample_pairs([0])
+        double = sketch.unseparated_sample_pairs([0, 1])
+        assert double <= single
+
+
+class TestCrossModuleIdentities:
+    """Identities shared by the application layers and the exact core."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_size_biased_lookup_identity(self, seed):
+        """(2*Gamma + n)/n equals the mean clique size over rows."""
+        from repro.core.separation import clique_sizes
+        from repro.indexing.selectivity import equality_selectivity
+
+        data = _random_dataset(seed)
+        sizes = clique_sizes(data, [0])
+        by_rows = float(np.sum(sizes.astype(np.float64) ** 2)) / data.n_rows
+        estimate = equality_selectivity(data, [0])
+        assert estimate.rows_per_row_lookup == pytest.approx(by_rows)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_fd_bridge_identity(self, seed):
+        """violating_pairs(X -> Y) == Gamma_X - Gamma_{X u Y}."""
+        from repro.fd.measures import violating_pairs
+
+        data = _random_dataset(seed)
+        lhs, rhs = [0], [data.n_columns - 1]
+        if lhs == rhs:
+            return
+        expected = unseparated_pairs(data, lhs) - unseparated_pairs(
+            data, lhs + rhs
+        )
+        assert violating_pairs(data, lhs, rhs) == expected
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_noiseless_attack_recall_is_uniqueness(self, seed):
+        """Linking attack at zero noise re-identifies exactly the uniques."""
+        from repro.data.profile import uniqueness_ratio
+        from repro.privacy.linkage import simulate_linking_attack
+
+        data = _random_dataset(seed)
+        attrs = list(range(data.n_columns))
+        result = simulate_linking_attack(data, attrs, seed=seed)
+        assert result.recall == pytest.approx(
+            uniqueness_ratio(data, attrs)
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_stripped_partition_agrees_with_core(self, seed):
+        """StrippedPartition and the core counters see the same Gamma."""
+        from repro.fd.partitions import StrippedPartition
+
+        data = _random_dataset(seed)
+        for attrs in ([0], list(range(data.n_columns))):
+            part = StrippedPartition.from_dataset(data, attrs)
+            assert part.unseparated_pairs() == unseparated_pairs(data, attrs)
+            assert part.is_key() == is_key(data, attrs)

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.types`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.types import (
+    as_attribute_set,
+    attribute_set_to_mask,
+    pairs_count,
+    validate_epsilon,
+    validate_nonnegative_int,
+    validate_positive_int,
+    validate_probability,
+)
+
+
+class TestAsAttributeSet:
+    def test_sorts_and_deduplicates(self):
+        assert as_attribute_set([3, 1, 3, 2], 5) == (1, 2, 3)
+
+    def test_empty_is_allowed(self):
+        assert as_attribute_set([], 5) == ()
+
+    def test_accepts_numpy_integers(self):
+        assert as_attribute_set(np.array([2, 0]), 3) == (0, 2)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(InvalidParameterError):
+            as_attribute_set([-1], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            as_attribute_set([3], 3)
+
+
+class TestPairsCount:
+    def test_small_values(self):
+        assert pairs_count(0) == 0
+        assert pairs_count(1) == 0
+        assert pairs_count(2) == 1
+        assert pairs_count(5) == 10
+
+    def test_large_value_exact(self):
+        n = 1_000_003
+        assert pairs_count(n) == n * (n - 1) // 2
+
+
+class TestValidators:
+    def test_epsilon_bounds(self):
+        assert validate_epsilon(0.5) == 0.5
+        for bad in (0.0, 1.0, -0.1, 2.0):
+            with pytest.raises(InvalidParameterError):
+                validate_epsilon(bad)
+
+    def test_probability_bounds(self):
+        assert validate_probability(0.01) == 0.01
+        with pytest.raises(InvalidParameterError):
+            validate_probability(0.0)
+        with pytest.raises(InvalidParameterError):
+            validate_probability(1.0)
+
+    def test_positive_int(self):
+        assert validate_positive_int(3, name="x") == 3
+        with pytest.raises(InvalidParameterError):
+            validate_positive_int(0, name="x")
+        with pytest.raises(InvalidParameterError):
+            validate_positive_int(-1, name="x")
+
+    def test_nonnegative_int(self):
+        assert validate_nonnegative_int(0, name="x") == 0
+        with pytest.raises(InvalidParameterError):
+            validate_nonnegative_int(-1, name="x")
+
+
+class TestResolveMixedAttributes:
+    def test_names_and_indices(self):
+        from repro.types import resolve_mixed_attributes
+
+        names = ("zip", "age", "sex")
+        assert resolve_mixed_attributes(["sex", 0], names, 3) == (0, 2)
+        assert resolve_mixed_attributes([1, "age"], names, 3) == (1,)
+
+    def test_unknown_name(self):
+        from repro.types import resolve_mixed_attributes
+
+        with pytest.raises(InvalidParameterError):
+            resolve_mixed_attributes(["missing"], ("a", "b"), 2)
+
+    def test_names_without_name_table(self):
+        from repro.types import resolve_mixed_attributes
+
+        with pytest.raises(InvalidParameterError):
+            resolve_mixed_attributes(["a"], None, 2)
+        # Pure indices still work without names.
+        assert resolve_mixed_attributes([1, 0], None, 2) == (0, 1)
+
+
+class TestAttributeMask:
+    def test_mask_selects_attributes(self):
+        mask = attribute_set_to_mask((0, 2), 4)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_empty_mask(self):
+        assert not attribute_set_to_mask((), 3).any()
