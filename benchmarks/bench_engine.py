@@ -1,0 +1,192 @@
+"""E18 — sharded fit + merge vs monolithic fit, across backends.
+
+The engine's pitch is that the paper's summaries are mergeable: fitting
+per shard and merging should cost roughly a shard's worth of wall-clock
+on a parallel backend while answering queries like a monolithic fit.
+This bench charts both halves of that claim:
+
+* per-shard fit + merge wall-clock vs a monolithic fit, for shard counts
+  1/2/4/8 on the serial and process-pool backends;
+* agreement between the merged and monolithic summaries on a fixed
+  query workload (filter votes and sketch estimates);
+* batched query throughput of the :class:`ProfilingService` façade.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.separation import unseparated_pairs
+from repro.data.synthetic import adult_like
+from repro.engine.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    run_fit_plan,
+)
+from repro.engine.service import ProfilingService, Query
+from repro.engine.shards import shard_dataset
+from repro.engine.specs import SummarySpec
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import random_attribute_subsets
+
+N_ROWS = 12_000
+SHARD_COUNTS = (1, 2, 4, 8)
+BACKENDS = {"serial": SerialBackend, "process": ProcessPoolBackend}
+
+
+def _workload(n_columns, count=24, seed=0):
+    return [
+        tuple(subset)
+        for subset in random_attribute_subsets(
+            n_columns, count, seed=seed, max_size=2
+        )
+    ]
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+def test_fit_merge_scaling_report(benchmark, record_result, backend_name):
+    """Per-shard fit + merge vs monolithic fit across shard counts."""
+
+    def run_all():
+        data = adult_like(N_ROWS, seed=0)
+        spec = SummarySpec.make("tuple_filter", epsilon=0.01, seed=1)
+        start = time.perf_counter()
+        monolithic = spec.fit(data)
+        monolithic_seconds = time.perf_counter() - start
+        queries = _workload(data.n_columns)
+
+        rows = []
+        backend = BACKENDS[backend_name]()
+        for n_shards in SHARD_COUNTS:
+            sharded = shard_dataset(data, n_shards, seed=2)
+            report = run_fit_plan(sharded, spec, backend)
+            agree = sum(
+                report.summary.accepts(q) == monolithic.accepts(q)
+                for q in queries
+            )
+            rows.append(
+                [
+                    n_shards,
+                    backend_name,
+                    f"{report.fit_seconds:.4f}",
+                    f"{report.merge_seconds:.4f}",
+                    f"{monolithic_seconds:.4f}",
+                    f"{agree}/{len(queries)}",
+                    report.summary.sample_size,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "shards",
+            "backend",
+            "fit s",
+            "merge s",
+            "monolithic s",
+            "filter agreement",
+            "merged sample",
+        ],
+        rows,
+    )
+    record_result(f"E18_engine_fit_merge_{backend_name}", text)
+    # Merged filters agree with the monolithic filter on the large majority
+    # of queries (both are correct w.h.p.; INTERMEDIATE sets may flip).
+    for row in rows:
+        agree, total = row[5].split("/")
+        assert int(agree) >= int(total) * 0.7
+
+
+def test_sketch_merge_accuracy_report(benchmark, record_result):
+    """Merged Theorem 2 sketch error vs monolithic, per shard count."""
+
+    def run_all():
+        data = adult_like(N_ROWS, seed=3)
+        spec = SummarySpec.make(
+            "nonsep_sketch", k=2, alpha=0.02, epsilon=0.2, seed=4
+        )
+        monolithic = spec.fit(data)
+        queries = [(0,), (9,), (0, 9), (1, 9)]
+        rows = []
+        for n_shards in SHARD_COUNTS:
+            sharded = shard_dataset(data, n_shards, seed=5)
+            merged = run_fit_plan(sharded, spec).summary
+            for query in queries:
+                exact = unseparated_pairs(data, list(query))
+
+                def rel(answer):
+                    if answer.is_small or not exact:
+                        return None
+                    return abs(answer.estimate - exact) / exact
+
+                merged_rel = rel(merged.query(list(query)))
+                mono_rel = rel(monolithic.query(list(query)))
+                rows.append(
+                    [
+                        n_shards,
+                        str(list(query)),
+                        f"{exact:,}",
+                        "small" if merged_rel is None else f"{merged_rel:.4f}",
+                        "small" if mono_rel is None else f"{mono_rel:.4f}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["shards", "query A", "exact Gamma", "merged rel err", "mono rel err"],
+        rows,
+    )
+    record_result("E18_engine_sketch_accuracy", text)
+    for row in rows:
+        if row[3] != "small":
+            assert float(row[3]) < 0.5
+
+
+def test_service_batch_throughput_report(benchmark, record_result):
+    """ProfilingService: 100-query batches, cold fit vs warm cache."""
+
+    def run_all():
+        data = adult_like(N_ROWS, seed=6)
+        subsets = _workload(data.n_columns, count=99, seed=7)
+        queries = [Query("min_key")]
+        for index, subset in enumerate(subsets):
+            op = ("is_key", "classify", "sketch_estimate")[index % 3]
+            queries.append(Query(op, subset))
+
+        rows = []
+        for backend_name, backend_cls in sorted(BACKENDS.items()):
+            service = ProfilingService(backend_cls())
+            service.register("adult", data, n_shards=8, seed=8)
+            cold = service.query_batch("adult", queries, epsilon=0.01, seed=8)
+            warm = service.query_batch("adult", queries, epsilon=0.01, seed=8)
+            rows.append(
+                [
+                    backend_name,
+                    cold.n_queries,
+                    f"{cold.fit_seconds:.4f}",
+                    f"{warm.fit_seconds:.4f}",
+                    f"{cold.query_seconds:.4f}",
+                    f"{cold.n_queries / max(cold.query_seconds, 1e-9):,.0f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "backend",
+            "batch",
+            "cold fit s",
+            "warm fit s",
+            "query s",
+            "queries/s",
+        ],
+        rows,
+    )
+    record_result("E18_engine_service_throughput", text)
+    for row in rows:
+        assert float(row[3]) <= float(row[2]) + 1e-6  # warm never refits

@@ -21,7 +21,27 @@ Hildebrant, Le, Ta, Vu (PODS 2023; arXiv:2211.13882).  The library provides:
   functional dependencies (:mod:`repro.fd`), disclosure risk and linking
   attacks (:mod:`repro.privacy`), fuzzy-duplicate cleaning
   (:mod:`repro.cleaning`), and classical streaming sketches
-  (:mod:`repro.sketches`).
+  (:mod:`repro.sketches`);
+* a **sharded, mergeable, parallel profiling engine** (:mod:`repro.engine`):
+  partition a table row-wise, fit the paper's filters/sketches per shard on
+  serial or worker-pool backends, merge the per-shard summaries (they
+  compose like classical mergeable summaries), and answer batched
+  profiling queries through the cached :class:`~repro.engine.ProfilingService`.
+
+Sharded profiling quickstart
+----------------------------
+>>> from repro import Dataset, ProfilingService
+>>> data = Dataset.from_columns({
+...     "zip": [92101, 92102, 92101, 92103] * 50,
+...     "age": [34, 34, 41, 30] * 50,
+... })
+>>> service = ProfilingService()
+>>> _ = service.register("people", data, n_shards=4, seed=0)
+>>> report = service.query_batch(
+...     "people", [("is_key", ["zip", "age"])], epsilon=0.05
+... )
+>>> report.values()
+[False]
 
 Quickstart
 ----------
@@ -72,6 +92,16 @@ from repro.core.sketch import NonSeparationSketch, SketchAnswer
 from repro.cleaning.dedup import find_fuzzy_duplicates
 from repro.data.dataset import Dataset
 from repro.data.io import load_csv, save_csv
+from repro.engine.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    run_fit_plan,
+)
+from repro.engine.merge import merge_summaries
+from repro.engine.service import BatchReport, ProfilingService, Query
+from repro.engine.shards import ShardedDataset, shard_dataset
+from repro.engine.specs import SummarySpec
 from repro.exceptions import ReproError
 from repro.fd.discovery import discover_afds
 from repro.privacy.cost import cheapest_quasi_identifier
@@ -79,6 +109,7 @@ from repro.privacy.linkage import simulate_linking_attack
 from repro.privacy.risk import assess_risk
 
 __all__ = [
+    "BatchReport",
     "Classification",
     "Dataset",
     "ExactMinKey",
@@ -88,8 +119,15 @@ __all__ = [
     "MotwaniXuFilter",
     "MotwaniXuMinKey",
     "NonSeparationSketch",
+    "ProcessPoolBackend",
+    "ProfilingService",
+    "Query",
     "ReproError",
+    "SerialBackend",
+    "ShardedDataset",
     "SketchAnswer",
+    "SummarySpec",
+    "ThreadPoolBackend",
     "TupleSampleFilter",
     "TupleSampleMinKey",
     "__version__",
@@ -104,9 +142,12 @@ __all__ = [
     "is_key",
     "load_csv",
     "mask_small_quasi_identifiers",
+    "merge_summaries",
     "motwani_xu_pair_sample_size",
+    "run_fit_plan",
     "save_csv",
     "separation_ratio",
+    "shard_dataset",
     "simulate_linking_attack",
     "sketch_pair_sample_size",
     "tuple_sample_size",

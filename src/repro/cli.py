@@ -16,6 +16,9 @@ Commands
     Mondrian k-anonymization plus before/after attack comparison.
 ``repro dedup [--rows 300] [--threshold 0.8]``
     Plant fuzzy duplicates in a synthetic people table and detect them.
+``repro engine profile --dataset adult [--shards 8] [--backend process]``
+    Shard the data set, fit mergeable summaries per shard (in parallel),
+    merge them, and answer a batched query workload with timing stats.
 ``repro datasets``
     List the registered synthetic workloads.
 """
@@ -151,6 +154,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.8, help="record-similarity cut-off"
     )
     dedup.add_argument("--seed", type=int, default=0)
+
+    engine = commands.add_parser(
+        "engine", help="sharded/parallel profiling engine"
+    )
+    engine_commands = engine.add_subparsers(dest="engine_command", required=True)
+    engine_profile = engine_commands.add_parser(
+        "profile",
+        help="shard, fit-and-merge summaries, answer a batched workload",
+    )
+    engine_profile.add_argument(
+        "--dataset", required=True, help="registry dataset name"
+    )
+    engine_profile.add_argument(
+        "--rows", type=int, default=None, help="row-count override"
+    )
+    engine_profile.add_argument(
+        "--shards", type=int, default=8, help="number of row shards"
+    )
+    engine_profile.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="process",
+        help="execution backend for per-shard fits",
+    )
+    engine_profile.add_argument(
+        "--workers", type=int, default=None, help="pool size override"
+    )
+    engine_profile.add_argument(
+        "--strategy",
+        choices=["random", "contiguous", "round_robin"],
+        default="random",
+        help="row-to-shard assignment strategy",
+    )
+    engine_profile.add_argument("--epsilon", type=float, default=0.01)
+    engine_profile.add_argument(
+        "--queries", type=int, default=100, help="batch size"
+    )
+    engine_profile.add_argument(
+        "--k", type=int, default=2, help="sketch query size bound"
+    )
+    engine_profile.add_argument("--alpha", type=float, default=0.05)
+    engine_profile.add_argument("--seed", type=int, default=0)
 
     commands.add_parser("datasets", help="list registered synthetic datasets")
     return parser
@@ -355,6 +400,73 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro.data.registry import build_dataset
+    from repro.engine.executor import get_backend
+    from repro.engine.service import ProfilingService, Query
+    from repro.experiments.workloads import random_attribute_subsets
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    backend = get_backend(args.backend, max_workers=args.workers)
+    service = ProfilingService(backend)
+    sharded = service.register(
+        args.dataset,
+        data,
+        n_shards=args.shards,
+        strategy=args.strategy,
+        seed=args.seed,
+    )
+
+    # Mixed workload: one min-key mining query, the rest split between
+    # membership checks and sketch estimates over random small subsets.
+    subsets = random_attribute_subsets(
+        data.n_columns, max(1, args.queries - 1), seed=args.seed, max_size=args.k
+    )
+    queries: list[Query] = [Query("min_key")]
+    for index, subset in enumerate(subsets):
+        op = ("is_key", "classify", "sketch_estimate")[index % 3]
+        queries.append(Query(op, tuple(subset)))
+    queries = queries[: args.queries]
+
+    report = service.query_batch(
+        args.dataset,
+        queries,
+        epsilon=args.epsilon,
+        alpha=args.alpha,
+        sketch_k=args.k,
+        seed=args.seed,
+    )
+
+    print(f"dataset        : {args.dataset} {data.shape}")
+    print(f"shards         : {sharded.n_shards} ({sharded.strategy}; "
+          f"sizes {sharded.shard_sizes()})")
+    print(f"backend        : {report.backend}")
+    print(f"fit            : {report.fit_seconds:.3f}s "
+          f"({report.cache_misses} summary fit(s), "
+          f"{report.cache_hits} cache hit(s))")
+    print(f"batch          : {report.n_queries} queries in "
+          f"{report.query_seconds:.3f}s "
+          f"({1e3 * report.mean_query_seconds:.3f} ms/query)")
+    for op, count in sorted(report.op_counts().items()):
+        op_seconds = sum(
+            r.seconds for r in report.results if r.query.op == op
+        )
+        print(f"  {op:<15}: {count:>4} queries, {op_seconds:.4f}s total")
+    min_keys = [
+        r.value for r in report.results if r.query.op == "min_key"
+    ]
+    if min_keys:
+        names = [data.column_names[a] for a in min_keys[0].attributes]
+        print(f"min key        : {names} (size {min_keys[0].key_size})")
+    accepted = sum(
+        1 for r in report.results if r.query.op == "is_key" and r.value
+    )
+    checked = sum(1 for r in report.results if r.query.op == "is_key")
+    if checked:
+        print(f"is_key accepts : {accepted}/{checked}")
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     from repro.data.registry import list_datasets
 
@@ -377,6 +489,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "risk": _cmd_risk,
         "anonymize": _cmd_anonymize,
         "dedup": _cmd_dedup,
+        "engine": _cmd_engine,
         "datasets": _cmd_datasets,
     }
     return handlers[args.command](args)

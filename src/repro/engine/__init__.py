@@ -1,0 +1,101 @@
+"""``repro.engine`` — sharded, mergeable, parallel profiling engine.
+
+The engine turns the library's single-process algorithms into a batch
+profiling service built on the paper's central observation: sampled
+filters and sketches are *small, mergeable summaries*.  The pipeline is
+
+1. **shard** — split a :class:`~repro.data.dataset.Dataset` row-wise
+   (:mod:`repro.engine.shards`);
+2. **fit** — build one summary per shard, serially or on a worker pool
+   (:mod:`repro.engine.specs`, :mod:`repro.engine.executor`);
+3. **merge** — combine the per-shard summaries into a whole-table summary
+   with documented error accounting (:mod:`repro.engine.merge`);
+4. **query** — answer batches of profiling questions from cached merged
+   summaries (:mod:`repro.engine.service`).
+
+Quickstart
+----------
+>>> from repro.data.synthetic import zipf_dataset
+>>> from repro.engine import ProfilingService
+>>> service = ProfilingService()
+>>> _ = service.register(
+...     "demo",
+...     zipf_dataset(500, n_columns=5, cardinality=6, seed=0),
+...     n_shards=4,
+... )
+>>> report = service.query_batch(
+...     "demo", [("is_key", range(5))], epsilon=0.05
+... )
+>>> report.values()
+[True]
+"""
+
+from repro.engine.executor import (
+    BACKEND_NAMES,
+    FitReport,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    default_backend,
+    fit_shards,
+    get_backend,
+    per_shard_specs,
+    run_fit_plan,
+)
+from repro.engine.merge import (
+    merge_motwani_xu_filters,
+    merge_non_separation_sketches,
+    merge_pair,
+    merge_summaries,
+    merge_tuple_sample_filters,
+)
+from repro.engine.service import (
+    QUERY_OPS,
+    BatchReport,
+    ProfilingService,
+    Query,
+    QueryResult,
+    as_query,
+)
+from repro.engine.shards import (
+    SHARD_STRATEGIES,
+    ShardedDataset,
+    shard_dataset,
+    shard_row_indices,
+)
+from repro.engine.specs import (
+    SUMMARY_KINDS,
+    SummarySpec,
+    derive_shard_seed,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BatchReport",
+    "FitReport",
+    "ProcessPoolBackend",
+    "ProfilingService",
+    "QUERY_OPS",
+    "Query",
+    "QueryResult",
+    "SHARD_STRATEGIES",
+    "SUMMARY_KINDS",
+    "SerialBackend",
+    "ShardedDataset",
+    "SummarySpec",
+    "ThreadPoolBackend",
+    "as_query",
+    "default_backend",
+    "derive_shard_seed",
+    "fit_shards",
+    "get_backend",
+    "merge_motwani_xu_filters",
+    "merge_non_separation_sketches",
+    "merge_pair",
+    "merge_summaries",
+    "merge_tuple_sample_filters",
+    "per_shard_specs",
+    "run_fit_plan",
+    "shard_dataset",
+    "shard_row_indices",
+]

@@ -1,0 +1,303 @@
+"""Pluggable execution backends and the engine's map-reduce fit plan.
+
+A backend is anything with an ordered ``map(fn, items)``.  Three are
+provided:
+
+* :class:`SerialBackend` — plain loop; the reference implementation every
+  parallel backend must agree with bit-for-bit (fits are deterministic
+  given a seed, so backends can only differ by *where* work ran).
+* :class:`ThreadPoolBackend` — ``concurrent.futures.ThreadPoolExecutor``;
+  useful when the fit is NumPy-bound (the GIL is released inside BLAS) or
+  I/O-bound.
+* :class:`ProcessPoolBackend` — ``concurrent.futures.ProcessPoolExecutor``;
+  true parallelism for the Python-level loops of the hash sketches.  Tasks
+  and results must be picklable, which every :class:`SummarySpec` fit is.
+
+:func:`run_fit_plan` is the canonical plan: fit one summary per shard
+(map), combine with :func:`repro.engine.merge.merge_summaries` (reduce),
+and report wall-clock timings for both stages.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core import sample_sizes as _sizes
+from repro.data.dataset import Dataset
+from repro.engine.merge import merge_summaries
+from repro.engine.shards import ShardedDataset
+from repro.engine.specs import SummarySpec
+from repro.exceptions import BackendError, InvalidParameterError, ReproError
+
+
+class SerialBackend:
+    """Run every task in the calling process, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to each item, preserving order."""
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class _PoolBackend:
+    """Shared plumbing for the two ``concurrent.futures`` backends.
+
+    The underlying executor is created lazily on first use and *kept* for
+    the backend's lifetime, so worker startup (significant for process
+    pools on spawn-start platforms) is paid once, not per fit plan.  Call
+    :meth:`close` — or use the backend as a context manager — to release
+    the workers early; the interpreter reaps them at exit otherwise.
+    """
+
+    name = "pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise InvalidParameterError(
+                f"max_workers must be positive; got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self._pool = None
+
+    def _make_executor(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _executor(self):
+        if self._pool is None:
+            self._pool = self._make_executor()
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later ``map`` starts a fresh one)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` across the pool; results come back in input order.
+
+        Library errors raised inside workers (:class:`ReproError`
+        subclasses, e.g. invalid fit parameters) propagate unchanged so
+        every backend raises the same exception for the same bad input;
+        only infrastructure failures are wrapped in :class:`BackendError`.
+        """
+        materialized = list(items)
+        if not materialized:
+            return []
+        try:
+            return list(self._executor().map(fn, materialized))
+        except (ReproError, BackendError):
+            raise
+        except Exception as exc:
+            # An infrastructure failure may have broken the pool; drop it
+            # so the next map starts from a fresh one.
+            self.close()
+            raise BackendError(
+                f"{self.name} backend failed while mapping "
+                f"{getattr(fn, '__name__', fn)!r}: {exc}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Thread-pool backend (shared memory; no pickling)."""
+
+    name = "thread"
+
+    def _make_executor(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Process-pool backend (true parallelism; tasks must pickle)."""
+
+    name = "process"
+
+    def _make_executor(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+#: Names accepted by :func:`get_backend`.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def get_backend(name: str, *, max_workers: int | None = None):
+    """Build a backend from its CLI name (``serial``/``thread``/``process``)."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadPoolBackend(max_workers)
+    if name == "process":
+        return ProcessPoolBackend(max_workers)
+    raise InvalidParameterError(
+        f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+def default_backend():
+    """Process pool when the host has spare cores, serial otherwise."""
+    cores = os.cpu_count() or 1
+    return ProcessPoolBackend() if cores > 1 else SerialBackend()
+
+
+# ----------------------------------------------------------------------
+# Sample-size budgeting across shards
+# ----------------------------------------------------------------------
+
+
+def _total_sample_size(spec: SummarySpec, data: Dataset) -> int | None:
+    """The whole-table sample budget a monolithic fit would use."""
+    params = spec.as_dict()
+    explicit = params.get("sample_size")
+    if explicit is not None:
+        return int(explicit)  # type: ignore[arg-type]
+    constant = float(params.get("constant", 1.0))  # type: ignore[arg-type]
+    if spec.kind == "tuple_filter":
+        return _sizes.tuple_sample_size(
+            data.n_columns, float(params["epsilon"]), constant=constant
+        )
+    if spec.kind == "pair_filter":
+        return _sizes.motwani_xu_pair_sample_size(
+            data.n_columns, float(params["epsilon"]), constant=constant
+        )
+    if spec.kind == "nonsep_sketch":
+        return _sizes.sketch_pair_sample_size(
+            int(params["k"]),  # type: ignore[arg-type]
+            data.n_columns,
+            float(params["alpha"]),  # type: ignore[arg-type]
+            float(params["epsilon"]),  # type: ignore[arg-type]
+            constant=constant,
+        )
+    return None
+
+
+def per_shard_specs(
+    spec: SummarySpec, sharded: ShardedDataset
+) -> list[SummarySpec]:
+    """Split a whole-table spec into one spec per shard.
+
+    Sampling summaries divide the *total* sample budget across shards in
+    proportion to shard size (so a merged summary matches the footprint —
+    and hence the error bounds — of a monolithic fit instead of being
+    ``k×`` larger).  Hash-based sketches are returned unchanged: their
+    space is fixed by ``width``/``depth``/``capacity``, not by ``n``.
+    """
+    total = _total_sample_size(spec, sharded.dataset)
+    if total is None:
+        return [spec] * sharded.n_shards
+    floor = 2 if spec.kind == "tuple_filter" else 1
+    n_rows = sharded.n_rows
+    params = spec.as_dict()
+    shard_specs = []
+    for size in sharded.shard_sizes():
+        share = max(floor, math.ceil(total * size / n_rows))
+        shard_specs.append(
+            SummarySpec.make(spec.kind, **{**params, "sample_size": share})
+        )
+    return shard_specs
+
+
+def _fit_task(task: tuple[SummarySpec, int, Dataset]) -> object:
+    """Top-level (hence picklable) per-shard fit task."""
+    spec, shard_index, shard = task
+    return spec.fit(shard, shard_index=shard_index)
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Outcome of one map-reduce fit plan.
+
+    Attributes
+    ----------
+    summary:
+        The merged whole-table summary.
+    shard_summaries:
+        The per-shard summaries, in shard order (kept for inspection; the
+        service discards them).
+    n_shards, backend:
+        Plan provenance.
+    fit_seconds, merge_seconds:
+        Wall-clock time of the map stage and the reduce stage.
+    """
+
+    summary: object
+    shard_summaries: tuple
+    n_shards: int
+    backend: str
+    fit_seconds: float
+    merge_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Map plus reduce wall-clock time."""
+        return self.fit_seconds + self.merge_seconds
+
+
+def fit_shards(
+    sharded: ShardedDataset,
+    spec: SummarySpec,
+    backend=None,
+) -> list:
+    """Map stage: one summary per shard, via ``backend``."""
+    backend = backend or SerialBackend()
+    shard_specs = per_shard_specs(spec, sharded)
+    tasks = [
+        (shard_specs[i], i, sharded.shard(i)) for i in range(sharded.n_shards)
+    ]
+    return backend.map(_fit_task, tasks)
+
+
+def run_fit_plan(
+    sharded: ShardedDataset,
+    spec: SummarySpec,
+    backend=None,
+) -> FitReport:
+    """Fit per shard, merge, and time both stages.
+
+    Examples
+    --------
+    >>> from repro.data.synthetic import zipf_dataset
+    >>> from repro.engine.shards import shard_dataset
+    >>> data = zipf_dataset(400, n_columns=5, cardinality=8, seed=0)
+    >>> sharded = shard_dataset(data, 4, seed=0)
+    >>> spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=0)
+    >>> report = run_fit_plan(sharded, spec)
+    >>> report.n_shards, len(report.shard_summaries)
+    (4, 4)
+    >>> report.summary.accepts(range(data.n_columns))
+    True
+    """
+    backend = backend or SerialBackend()
+    start = time.perf_counter()
+    summaries: Sequence = fit_shards(sharded, spec, backend)
+    fitted = time.perf_counter()
+    merged = merge_summaries(summaries)
+    done = time.perf_counter()
+    return FitReport(
+        summary=merged,
+        shard_summaries=tuple(summaries),
+        n_shards=sharded.n_shards,
+        backend=getattr(backend, "name", type(backend).__name__),
+        fit_seconds=fitted - start,
+        merge_seconds=done - fitted,
+    )

@@ -1,0 +1,245 @@
+"""Mergeable-summary protocol and per-summary ``merge`` implementations.
+
+The engine fits one summary per shard and combines them into a summary of
+the whole table.  Whether that combination is *exact*, *statistically
+equivalent*, or *approximate* depends on the summary; the accounting below
+is the contract the property tests in ``tests/engine`` pin down.
+
+Error accounting per summary type
+---------------------------------
+:class:`~repro.sketches.kmv.KMVSketch`
+    **Lossless.**  The bottom-k of a union is a function of the per-shard
+    bottom-k sets, so the merged sketch is bit-identical to a monolithic
+    sketch with the same seed.
+:class:`~repro.sketches.countmin.CountMinSketch`,
+:class:`~repro.sketches.ams.AMSSketch`
+    **Lossless.**  Both are linear sketches; adding the counter matrices of
+    same-seed/same-shape shards gives exactly the monolithic counters.
+:class:`~repro.sketches.misra_gries.MisraGries`
+    **Guarantee-preserving.**  The Agarwal–Cormode–Huang combine keeps the
+    ``n/(capacity+1)`` undercount bound for the concatenated stream, but
+    the counter contents may differ from a single-pass summary.
+:class:`~repro.core.filters.MotwaniXuFilter`
+    **Statistically equivalent under random sharding.**  Concatenating
+    per-shard uniform *pair* samples gives a sample of within-shard pairs;
+    as for the non-separation sketch below, a uniform within-shard pair of
+    a uniform random partition is distributed exactly like a uniform pair
+    of the full table, so the merged filter inherits the Motwani–Xu union
+    bound at the combined sample size (ordered sharding may bias the pair
+    population).
+:class:`~repro.core.filters.TupleSampleFilter`
+    **Statistically equivalent for near-equal shards.**  Concatenating
+    per-shard uniform tuple samples of ``s_i`` rows yields a stratified
+    sample of ``Σ s_i`` rows; with near-equal shard sizes and per-shard
+    sample sizes proportional to shard sizes this has the same first-order
+    collision statistics as one uniform sample of the same total size, and
+    Theorem 1's guarantee applies at the *total* sample size (stratification
+    only reduces the variance of the sample composition).
+:class:`~repro.core.sketch.NonSeparationSketch`
+    **Unbiased for random sharding; biased for ordered sharding.**  Each
+    shard stores uniform pairs drawn *within* the shard.  When shard
+    membership is a uniform random partition (``strategy="random"`` in
+    :func:`repro.engine.shards.shard_dataset`), a uniform within-shard pair
+    is distributed exactly like a uniform pair of the full table, so the
+    concatenated sample feeds the usual unbiased ``D_A · C(n,2)/s``
+    estimator — at the cost of pair-sample independence across shards
+    (pairs from one shard share the shard's row subset), which inflates
+    variance by a lower-order term.  Under ``"contiguous"`` sharding of
+    ordered data the within-shard pair population can differ from the
+    global one, and the merged estimate inherits that bias; the engine
+    therefore defaults to random sharding.
+
+All merges require *compatible* summaries — same parameters, same hash
+seeds where hashing is involved, same column schema — and raise
+:class:`~repro.exceptions.SummaryMergeError` otherwise.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.core.sketch import NonSeparationSketch
+from repro.exceptions import InvalidParameterError, SummaryMergeError
+
+
+def merge_tuple_sample_filters(
+    filters: Sequence[TupleSampleFilter],
+) -> TupleSampleFilter:
+    """Concatenate the tuple samples of per-shard Algorithm 1 filters.
+
+    The merged filter stores the union of the shard samples and answers
+    queries exactly like a filter fit on the full table with the combined
+    sample size (see the module docstring for the statistical accounting).
+
+    Raises
+    ------
+    repro.exceptions.SummaryMergeError
+        On an empty input or mismatched ε / column schema.
+    """
+    if not filters:
+        raise SummaryMergeError("cannot merge an empty list of filters")
+    first = filters[0]
+    for other in filters[1:]:
+        if other.epsilon != first.epsilon:
+            raise SummaryMergeError(
+                f"mismatched epsilon: {other.epsilon} vs {first.epsilon}"
+            )
+        if other.n_columns != first.n_columns:
+            raise SummaryMergeError(
+                f"mismatched column count: {other.n_columns} vs {first.n_columns}"
+            )
+        if other.column_names != first.column_names:
+            raise SummaryMergeError("mismatched column names")
+    sample = np.vstack([f.sample.codes for f in filters])
+    return TupleSampleFilter(sample, first.epsilon, first.column_names)
+
+
+def merge_motwani_xu_filters(
+    filters: Sequence[MotwaniXuFilter],
+) -> MotwaniXuFilter:
+    """Concatenate the pair samples of per-shard Motwani–Xu filters.
+
+    The merged filter rejects an attribute set iff some shard's sampled
+    pair is unseparated — the same vote a filter on the concatenated pair
+    sample would cast (see the module docstring for when that sample is a
+    faithful stand-in for whole-table pairs).
+
+    Raises
+    ------
+    repro.exceptions.SummaryMergeError
+        On an empty input or mismatched ε / column schema.
+    """
+    if not filters:
+        raise SummaryMergeError("cannot merge an empty list of filters")
+    first = filters[0]
+    for other in filters[1:]:
+        if other.epsilon != first.epsilon:
+            raise SummaryMergeError(
+                f"mismatched epsilon: {other.epsilon} vs {first.epsilon}"
+            )
+        if other.n_columns != first.n_columns:
+            raise SummaryMergeError(
+                f"mismatched column count: {other.n_columns} vs {first.n_columns}"
+            )
+        if other.column_names != first.column_names:
+            raise SummaryMergeError("mismatched column names")
+    left = np.vstack([f._left for f in filters])
+    right = np.vstack([f._right for f in filters])
+    return MotwaniXuFilter(left, right, first.epsilon, first.column_names)
+
+
+def merge_non_separation_sketches(
+    sketches: Sequence[NonSeparationSketch],
+) -> NonSeparationSketch:
+    """Concatenate per-shard Theorem 2 pair samples; sum the row counts.
+
+    The merged sketch estimates ``Γ_A`` for the *union* of the shards.  The
+    estimator is unbiased when the shards came from a uniform random
+    partition and approximate otherwise — see the module docstring.
+
+    Raises
+    ------
+    repro.exceptions.SummaryMergeError
+        On an empty input or mismatched ``k`` / ``alpha`` / ``epsilon`` /
+        column schema.
+    """
+    if not sketches:
+        raise SummaryMergeError("cannot merge an empty list of sketches")
+    first = sketches[0]
+    for other in sketches[1:]:
+        if (
+            other.k != first.k
+            or other.alpha != first.alpha
+            or other.epsilon != first.epsilon
+        ):
+            raise SummaryMergeError(
+                "can only merge sketches with identical k, alpha and epsilon"
+            )
+        if other.n_columns != first.n_columns:
+            raise SummaryMergeError(
+                f"mismatched column count: {other.n_columns} vs {first.n_columns}"
+            )
+        if other.column_names != first.column_names:
+            raise SummaryMergeError("mismatched column names")
+    left = np.vstack([s._left for s in sketches])
+    right = np.vstack([s._right for s in sketches])
+    return NonSeparationSketch(
+        left,
+        right,
+        n_rows=sum(s.n_rows for s in sketches),
+        k=first.k,
+        alpha=first.alpha,
+        epsilon=first.epsilon,
+        column_names=first.column_names,
+    )
+
+
+def merge_pair(left: object, right: object) -> object:
+    """Merge two compatible summaries of the same type.
+
+    Dispatches to the summary's own ``merge`` method when it has one (the
+    classical sketches), otherwise to the concatenation merges above.
+    """
+    if type(left) is not type(right):
+        raise SummaryMergeError(
+            f"cannot merge {type(left).__name__} with {type(right).__name__}"
+        )
+    if isinstance(left, TupleSampleFilter):
+        return merge_tuple_sample_filters([left, right])
+    if isinstance(left, MotwaniXuFilter):
+        return merge_motwani_xu_filters([left, right])
+    if isinstance(left, NonSeparationSketch):
+        return merge_non_separation_sketches([left, right])
+    merge_method = getattr(left, "merge", None)
+    if merge_method is None:
+        raise SummaryMergeError(
+            f"{type(left).__name__} is not a mergeable summary "
+            "(no merge() method and no registered merge)"
+        )
+    try:
+        return merge_method(right)
+    except InvalidParameterError as exc:
+        raise SummaryMergeError(str(exc)) from exc
+
+
+def merge_summaries(summaries: Iterable[object]) -> object:
+    """Left-fold a sequence of per-shard summaries into one.
+
+    Accepts any non-empty iterable of same-type compatible summaries;
+    batched concatenation is used for the sample-based summaries (one
+    allocation instead of ``k − 1``), pairwise ``merge()`` for the rest.
+
+    Examples
+    --------
+    >>> from repro.sketches.kmv import KMVSketch
+    >>> shards = []
+    >>> for lo in (0, 50):
+    ...     sketch = KMVSketch(k=32, seed=9)
+    ...     sketch.update_many(range(lo, lo + 50))
+    ...     shards.append(sketch)
+    >>> merged = merge_summaries(shards)
+    >>> merged.estimate() > 60
+    True
+    """
+    items = list(summaries)
+    if not items:
+        raise SummaryMergeError("cannot merge an empty list of summaries")
+    first_type = type(items[0])
+    for item in items[1:]:
+        if type(item) is not first_type:
+            raise SummaryMergeError(
+                f"cannot merge {first_type.__name__} with {type(item).__name__}"
+            )
+    if len(items) == 1:
+        return items[0]
+    if isinstance(items[0], TupleSampleFilter):
+        return merge_tuple_sample_filters(items)
+    if isinstance(items[0], MotwaniXuFilter):
+        return merge_motwani_xu_filters(items)
+    if isinstance(items[0], NonSeparationSketch):
+        return merge_non_separation_sketches(items)
+    return reduce(merge_pair, items)

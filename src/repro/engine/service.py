@@ -1,0 +1,411 @@
+"""Batch profiling service: register once, fit once, answer many queries.
+
+:class:`ProfilingService` is the engine's façade.  A data set is registered
+(optionally sharded), summaries are fit lazily via the map-reduce plan of
+:mod:`repro.engine.executor` and cached in an LRU keyed on
+``(dataset name, summary spec)``, and batched queries are answered from the
+cached summaries with per-query wall-clock timings.
+
+Supported query operations
+--------------------------
+``is_key``
+    Does the attribute set separate the sampled material?  Answered by the
+    merged :class:`~repro.core.filters.TupleSampleFilter` — correct for all
+    subsets w.h.p. by Theorem 1.
+``classify``
+    ``key`` / ``bad`` / ``intermediate`` at the service's ε, evaluated
+    exactly *on the merged tuple sample* (the plug-in classification; a
+    full-table scan is exactly what the engine exists to avoid).
+``min_key``
+    Approximate minimum ε-separation key, mined from the merged tuple
+    sample with the Appendix B partition-refinement greedy.
+``sketch_estimate``
+    ``(1 ± ε)`` estimate of the non-separation count ``Γ_A`` from the
+    merged Theorem 2 pair sketch.
+
+Determinism: fits derive per-shard seeds with
+:func:`repro.engine.specs.derive_shard_seed`, so a batch answered via the
+process-pool backend is *identical* to the same batch answered serially.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.filters import Classification, TupleSampleFilter, classify
+from repro.core.minkey import MinKeyResult, approximate_min_key
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.engine.executor import FitReport, SerialBackend, run_fit_plan
+from repro.engine.shards import ShardedDataset, shard_dataset
+from repro.engine.specs import SummarySpec
+from repro.exceptions import InvalidParameterError
+from repro.types import SeedLike, validate_positive_int
+
+#: Operations :meth:`ProfilingService.query_batch` understands.
+QUERY_OPS = ("is_key", "classify", "min_key", "sketch_estimate")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One profiling question: an operation plus its attribute set.
+
+    ``attributes`` may mix column indices and names; ``min_key`` ignores
+    it (the answer is an attribute set, not a question about one).
+    """
+
+    op: str
+    attributes: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in QUERY_OPS:
+            raise InvalidParameterError(
+                f"unknown query op {self.op!r}; expected one of {QUERY_OPS}"
+            )
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query with its wall-clock cost."""
+
+    query: Query
+    value: object
+    seconds: float
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """An answered batch plus aggregate timing statistics."""
+
+    dataset: str
+    n_shards: int
+    backend: str
+    results: tuple[QueryResult, ...]
+    fit_seconds: float
+    query_seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    epsilon: float = 0.0
+
+    def values(self) -> list[object]:
+        """The answers, in query order."""
+        return [result.value for result in self.results]
+
+    def op_counts(self) -> dict[str, int]:
+        """How many queries of each operation the batch contained."""
+        return dict(Counter(result.query.op for result in self.results))
+
+    @property
+    def n_queries(self) -> int:
+        """Number of answered queries."""
+        return len(self.results)
+
+    @property
+    def mean_query_seconds(self) -> float:
+        """Average per-query latency (0.0 for an empty batch)."""
+        if not self.results:
+            return 0.0
+        return self.query_seconds / len(self.results)
+
+
+def as_query(item: "Query | tuple | str") -> Query:
+    """Normalize a query given as a :class:`Query`, ``(op, attrs)``, or op name."""
+    if isinstance(item, Query):
+        return item
+    if isinstance(item, str):
+        return Query(item)
+    op, *rest = item
+    attributes = tuple(rest[0]) if rest else ()
+    return Query(str(op), attributes)
+
+
+@dataclass
+class _CacheEntry:
+    report: FitReport
+    spec: SummarySpec
+    hits: int = field(default=0)
+
+
+class ProfilingService:
+    """Register data sets, fit mergeable summaries once, answer batches.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend for per-shard fits (default
+        :class:`~repro.engine.executor.SerialBackend`; pass a
+        :class:`~repro.engine.executor.ProcessPoolBackend` to parallelize).
+    max_cached_summaries:
+        LRU capacity across all registered data sets.
+
+    Examples
+    --------
+    >>> from repro.data.synthetic import zipf_dataset
+    >>> service = ProfilingService()
+    >>> data = zipf_dataset(600, n_columns=6, cardinality=6, seed=3)
+    >>> service.register("zipf", data, n_shards=3, seed=3)
+    ShardedDataset(n_rows=600, n_columns=6, n_shards=3, strategy='random')
+    >>> report = service.query_batch(
+    ...     "zipf",
+    ...     [("is_key", range(6)), ("sketch_estimate", [0])],
+    ...     epsilon=0.05,
+    ... )
+    >>> report.n_queries
+    2
+    """
+
+    def __init__(
+        self,
+        backend=None,
+        *,
+        max_cached_summaries: int = 32,
+    ) -> None:
+        self.backend = backend or SerialBackend()
+        self.max_cached_summaries = validate_positive_int(
+            max_cached_summaries, name="max_cached_summaries"
+        )
+        self._datasets: dict[str, ShardedDataset] = {}
+        self._cache: OrderedDict[tuple[str, SummarySpec], _CacheEntry] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        data: Dataset,
+        *,
+        n_shards: int = 1,
+        strategy: str = "random",
+        seed: SeedLike = 0,
+    ) -> ShardedDataset:
+        """Register ``data`` under ``name``, sharded ``n_shards`` ways.
+
+        Re-registering a name drops its cached summaries (they described
+        the old rows).
+        """
+        sharded = shard_dataset(data, n_shards, strategy=strategy, seed=seed)
+        return self.register_sharded(name, sharded)
+
+    def register_sharded(self, name: str, sharded: ShardedDataset) -> ShardedDataset:
+        """Register an already-sharded data set under ``name``."""
+        if name in self._datasets:
+            self._evict_dataset(name)
+        self._datasets[name] = sharded
+        return sharded
+
+    def unregister(self, name: str) -> None:
+        """Forget a data set and every summary cached for it."""
+        self._require(name)
+        del self._datasets[name]
+        self._evict_dataset(name)
+
+    def _evict_dataset(self, name: str) -> None:
+        for key in [key for key in self._cache if key[0] == name]:
+            del self._cache[key]
+
+    def names(self) -> list[str]:
+        """Registered data set names, sorted."""
+        return sorted(self._datasets)
+
+    def sharded(self, name: str) -> ShardedDataset:
+        """The registered :class:`ShardedDataset` for ``name``."""
+        return self._require(name)
+
+    def _require(self, name: str) -> ShardedDataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown dataset {name!r}; registered: {self.names()}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Summary cache
+    # ------------------------------------------------------------------
+
+    def summary(self, name: str, spec: SummarySpec) -> object:
+        """The merged summary for ``(name, spec)``, fitting on a miss."""
+        return self.fit_report(name, spec).summary
+
+    def fit_report(self, name: str, spec: SummarySpec) -> FitReport:
+        """Like :meth:`summary` but returns the full :class:`FitReport`."""
+        sharded = self._require(name)
+        key = (name, spec)
+        entry = self._cache.get(key)
+        if entry is not None:
+            entry.hits += 1
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return entry.report
+        self.cache_misses += 1
+        report = run_fit_plan(sharded, spec, self.backend)
+        self._cache[key] = _CacheEntry(report=report, spec=spec)
+        while len(self._cache) > self.max_cached_summaries:
+            self._cache.popitem(last=False)
+        return report
+
+    def cached_specs(self, name: str | None = None) -> list[SummarySpec]:
+        """Specs currently cached (optionally restricted to one data set)."""
+        return [
+            key[1]
+            for key in self._cache
+            if name is None or key[0] == name
+        ]
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+
+    def _filter_spec(self, epsilon: float, seed: int | None) -> SummarySpec:
+        return SummarySpec.make("tuple_filter", epsilon=epsilon, seed=seed)
+
+    def _sketch_spec(
+        self,
+        k: int,
+        alpha: float,
+        sketch_epsilon: float,
+        seed: int | None,
+    ) -> SummarySpec:
+        return SummarySpec.make(
+            "nonsep_sketch",
+            k=k,
+            alpha=alpha,
+            epsilon=sketch_epsilon,
+            seed=seed,
+        )
+
+    def query_batch(
+        self,
+        name: str,
+        queries: Iterable["Query | tuple | str"],
+        *,
+        epsilon: float = 0.01,
+        alpha: float = 0.05,
+        sketch_epsilon: float = 0.25,
+        sketch_k: int | None = None,
+        seed: int | None = 0,
+    ) -> BatchReport:
+        """Answer a batch of profiling queries from cached summaries.
+
+        Parameters
+        ----------
+        name:
+            A registered data set.
+        queries:
+            :class:`Query` objects, ``(op, attributes)`` tuples, or bare op
+            names (for ``min_key``).
+        epsilon:
+            Separation parameter for ``is_key`` / ``classify`` / ``min_key``.
+        alpha, sketch_epsilon, sketch_k:
+            Theorem 2 sketch parameters for ``sketch_estimate`` queries;
+            ``sketch_k`` defaults to the largest sketch query in the batch.
+        seed:
+            Base seed for all fits (per-shard seeds are derived from it).
+        """
+        batch = [as_query(query) for query in queries]
+        sharded = self._require(name)
+        hits_before, misses_before = self.cache_hits, self.cache_misses
+
+        fit_start = time.perf_counter()
+        needs_filter = any(
+            query.op in ("is_key", "classify", "min_key") for query in batch
+        )
+        needs_sketch = any(query.op == "sketch_estimate" for query in batch)
+        tuple_filter: TupleSampleFilter | None = None
+        sketch: NonSeparationSketch | None = None
+        if needs_filter:
+            tuple_filter = self.summary(name, self._filter_spec(epsilon, seed))
+        if needs_sketch:
+            if sketch_k is None:
+                sketch_k = max(
+                    (
+                        len(query.attributes)
+                        for query in batch
+                        if query.op == "sketch_estimate"
+                    ),
+                    default=1,
+                )
+                sketch_k = max(1, sketch_k)
+            sketch = self.summary(
+                name, self._sketch_spec(sketch_k, alpha, sketch_epsilon, seed)
+            )
+        fit_seconds = time.perf_counter() - fit_start
+
+        results: list[QueryResult] = []
+        query_start = time.perf_counter()
+        for query in batch:
+            start = time.perf_counter()
+            value = self._answer(query, tuple_filter, sketch, epsilon, seed)
+            results.append(
+                QueryResult(
+                    query=query,
+                    value=value,
+                    seconds=time.perf_counter() - start,
+                )
+            )
+        query_seconds = time.perf_counter() - query_start
+
+        return BatchReport(
+            dataset=name,
+            n_shards=sharded.n_shards,
+            backend=getattr(self.backend, "name", type(self.backend).__name__),
+            results=tuple(results),
+            fit_seconds=fit_seconds,
+            query_seconds=query_seconds,
+            cache_hits=self.cache_hits - hits_before,
+            cache_misses=self.cache_misses - misses_before,
+            epsilon=epsilon,
+        )
+
+    def _answer(
+        self,
+        query: Query,
+        tuple_filter: TupleSampleFilter | None,
+        sketch: NonSeparationSketch | None,
+        epsilon: float,
+        seed: int | None,
+    ) -> object:
+        if query.op == "is_key":
+            assert tuple_filter is not None
+            return tuple_filter.accepts(query.attributes)
+        if query.op == "classify":
+            assert tuple_filter is not None
+            return self._classify_on_sample(tuple_filter, query.attributes, epsilon)
+        if query.op == "min_key":
+            assert tuple_filter is not None
+            return self._min_key_on_sample(tuple_filter, epsilon, seed)
+        assert query.op == "sketch_estimate" and sketch is not None
+        return sketch.query(query.attributes)
+
+    @staticmethod
+    def _classify_on_sample(
+        tuple_filter: TupleSampleFilter,
+        attributes: tuple,
+        epsilon: float,
+    ) -> Classification:
+        sample = tuple_filter.sample
+        attrs = sample.resolve_attributes(attributes)
+        return classify(sample, attrs, epsilon)
+
+    @staticmethod
+    def _min_key_on_sample(
+        tuple_filter: TupleSampleFilter,
+        epsilon: float,
+        seed: int | None,
+    ) -> MinKeyResult:
+        sample = tuple_filter.sample
+        return approximate_min_key(
+            sample,
+            epsilon,
+            method="tuples",
+            sample_size=sample.n_rows,
+            seed=seed,
+        )

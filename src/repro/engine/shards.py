@@ -1,0 +1,218 @@
+"""Row-wise partitioning of a :class:`~repro.data.dataset.Dataset`.
+
+A shard is just a ``Dataset`` holding a subset of the rows; a
+:class:`ShardedDataset` remembers which rows went where so the engine can
+(a) fit one summary per shard in parallel and (b) reason about what the
+merged summary means statistically.
+
+Three strategies are offered:
+
+``"random"`` (default)
+    Rows are shuffled with a seeded RNG and cut into near-equal blocks.
+    This is the statistically safe choice: each shard is an exchangeable
+    uniform subset, so a uniform pair *within* a random shard is
+    distributed like a uniform pair of the full table — exactly the
+    property the merged :class:`~repro.core.sketch.NonSeparationSketch`
+    relies on (see :mod:`repro.engine.merge`).
+``"contiguous"``
+    Consecutive row blocks, preserving order.  Matches how a table is
+    usually split across files/workers, but inherits whatever ordering
+    bias the source had.
+``"round_robin"``
+    Row ``i`` goes to shard ``i mod k``.  Deterministic and
+    order-balanced; a reasonable middle ground for sorted inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import ensure_rng
+from repro.types import SeedLike, validate_positive_int
+
+#: Strategy names accepted by :func:`shard_dataset`.
+SHARD_STRATEGIES = ("random", "contiguous", "round_robin")
+
+
+def shard_row_indices(
+    n_rows: int,
+    n_shards: int,
+    *,
+    strategy: str = "random",
+    seed: SeedLike = None,
+) -> list[np.ndarray]:
+    """Partition ``range(n_rows)`` into ``n_shards`` disjoint index arrays.
+
+    Shard sizes differ by at most one row.  Raises if ``n_shards`` exceeds
+    ``n_rows`` (an empty shard can never hold a meaningful summary).
+    """
+    n_rows = validate_positive_int(n_rows, name="n_rows")
+    n_shards = validate_positive_int(n_shards, name="n_shards")
+    if n_shards > n_rows:
+        raise InvalidParameterError(
+            f"cannot split {n_rows} rows into {n_shards} non-empty shards"
+        )
+    if strategy == "random":
+        order = ensure_rng(seed).permutation(n_rows)
+        return [np.sort(block) for block in np.array_split(order, n_shards)]
+    if strategy == "contiguous":
+        return list(np.array_split(np.arange(n_rows), n_shards))
+    if strategy == "round_robin":
+        indices = np.arange(n_rows)
+        return [indices[shard::n_shards] for shard in range(n_shards)]
+    raise InvalidParameterError(
+        f"unknown shard strategy {strategy!r}; expected one of {SHARD_STRATEGIES}"
+    )
+
+
+class ShardedDataset:
+    """A data set split row-wise into ``k`` disjoint shards.
+
+    Shard data sets are materialized lazily and cached; the handle stays
+    cheap until someone actually asks for a shard.  The source data set,
+    the assignment arrays, and the strategy/seed that produced them are
+    all retained so a sharding is fully reproducible and auditable.
+
+    Examples
+    --------
+    >>> from repro.data.dataset import Dataset
+    >>> data = Dataset.from_columns({"a": list(range(10)), "b": [0] * 10})
+    >>> sharded = shard_dataset(data, 4, strategy="contiguous")
+    >>> sharded.n_shards, sharded.shard_sizes()
+    (4, [3, 3, 2, 2])
+    >>> sum(shard.n_rows for shard in sharded) == data.n_rows
+    True
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        assignments: Sequence[np.ndarray],
+        *,
+        strategy: str = "custom",
+        seed: SeedLike = None,
+    ) -> None:
+        if not assignments:
+            raise InvalidParameterError("need at least one shard")
+        covered = np.concatenate([np.asarray(a, dtype=np.int64) for a in assignments])
+        if covered.size != dataset.n_rows or np.unique(covered).size != covered.size:
+            raise InvalidParameterError(
+                "shard assignments must partition the rows exactly once"
+            )
+        if covered.min() < 0 or covered.max() >= dataset.n_rows:
+            raise InvalidParameterError("shard assignment index out of range")
+        for assignment in assignments:
+            if np.asarray(assignment).size == 0:
+                raise InvalidParameterError("shards must be non-empty")
+        self._dataset = dataset
+        self._assignments = [
+            np.ascontiguousarray(a, dtype=np.int64) for a in assignments
+        ]
+        self.strategy = strategy
+        self.seed = seed if not isinstance(seed, np.random.Generator) else None
+        self._cache: dict[int, Dataset] = {}
+
+    # ------------------------------------------------------------------
+    # Shape passthrough
+    # ------------------------------------------------------------------
+
+    @property
+    def dataset(self) -> Dataset:
+        """The unsharded source data set."""
+        return self._dataset
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards ``k``."""
+        return len(self._assignments)
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows across all shards (the source row count)."""
+        return self._dataset.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m`` (identical in every shard)."""
+        return self._dataset.n_columns
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column labels shared by every shard."""
+        return self._dataset.column_names
+
+    def shard_sizes(self) -> list[int]:
+        """Row count of each shard, in shard order."""
+        return [int(a.size) for a in self._assignments]
+
+    def shard_indices(self, shard: int) -> np.ndarray:
+        """The source-row indices assigned to ``shard`` (read-only view)."""
+        self._check_shard(shard)
+        return self._assignments[shard]
+
+    # ------------------------------------------------------------------
+    # Shard materialization
+    # ------------------------------------------------------------------
+
+    def _check_shard(self, shard: int) -> None:
+        if shard < 0 or shard >= self.n_shards:
+            raise InvalidParameterError(
+                f"shard {shard} out of range for {self.n_shards} shards"
+            )
+
+    def shard(self, shard: int) -> Dataset:
+        """Materialize shard ``shard`` as a :class:`Dataset` (cached)."""
+        self._check_shard(shard)
+        if shard not in self._cache:
+            self._cache[shard] = self._dataset.take_rows(self._assignments[shard])
+        return self._cache[shard]
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return (self.shard(i) for i in range(self.n_shards))
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDataset(n_rows={self.n_rows}, n_columns={self.n_columns}, "
+            f"n_shards={self.n_shards}, strategy={self.strategy!r})"
+        )
+
+
+def shard_dataset(
+    data: Dataset,
+    n_shards: int,
+    *,
+    strategy: str = "random",
+    seed: SeedLike = None,
+) -> ShardedDataset:
+    """Split ``data`` row-wise into ``n_shards`` near-equal shards.
+
+    Parameters
+    ----------
+    data:
+        The table to partition.
+    n_shards:
+        Number of shards; must not exceed the row count.
+    strategy:
+        ``"random"`` (seeded shuffle; default), ``"contiguous"``, or
+        ``"round_robin"`` — see the module docstring for the trade-offs.
+    seed:
+        Shuffle seed for the ``"random"`` strategy (ignored otherwise).
+
+    Examples
+    --------
+    >>> from repro.data.dataset import Dataset
+    >>> data = Dataset.from_columns({"a": list(range(8))})
+    >>> shard_dataset(data, 2, strategy="round_robin").shard_sizes()
+    [4, 4]
+    """
+    assignments = shard_row_indices(
+        data.n_rows, n_shards, strategy=strategy, seed=seed
+    )
+    return ShardedDataset(data, assignments, strategy=strategy, seed=seed)

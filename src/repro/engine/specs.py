@@ -1,0 +1,134 @@
+"""Declarative summary specifications — the engine's unit of work.
+
+A :class:`SummarySpec` names a summary *kind* plus its fit parameters as a
+hashable, picklable value object.  That one object serves three roles:
+
+* **task** — shipped to worker processes, where :meth:`SummarySpec.fit`
+  builds the summary for one shard;
+* **cache key** — :class:`~repro.engine.service.ProfilingService` keys its
+  LRU on ``(dataset name, spec)``;
+* **seed policy** — sampling summaries get *independent* per-shard seeds
+  (derived deterministically from the base seed and shard index so serial
+  and parallel backends produce bit-identical results), while hash-based
+  sketches share the *same* seed across shards (their ``merge`` contract
+  requires matching hash families).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.sketches.ams import AMSSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.misra_gries import MisraGries
+
+#: Summary kinds the engine can fit and merge.
+SUMMARY_KINDS = (
+    "tuple_filter",
+    "pair_filter",
+    "nonsep_sketch",
+    "kmv",
+    "countmin",
+    "ams",
+    "misra_gries",
+)
+
+#: Kinds whose randomness must be decorrelated across shards (sampling).
+_PER_SHARD_SEED_KINDS = frozenset({"tuple_filter", "pair_filter", "nonsep_sketch"})
+
+
+def derive_shard_seed(seed: int | None, shard_index: int) -> int | None:
+    """A deterministic, decorrelated seed for ``shard_index``.
+
+    ``None`` stays ``None`` (fresh entropy everywhere); integer seeds are
+    folded through :class:`numpy.random.SeedSequence` so shards never share
+    a sample stream yet every backend derives the same value.
+    """
+    if seed is None:
+        return None
+    state = np.random.SeedSequence([int(seed), int(shard_index)]).generate_state(1)
+    return int(state[0])
+
+
+@dataclass(frozen=True)
+class SummarySpec:
+    """A summary kind plus its fit parameters, as a hashable value object.
+
+    Build via :meth:`SummarySpec.make` which validates the kind and
+    normalizes the parameter dict into a sorted tuple (dicts aren't
+    hashable; the LRU cache needs the spec to be).
+    """
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(cls, kind: str, **params: object) -> "SummarySpec":
+        """Validated constructor: ``SummarySpec.make("kmv", k=256, seed=0)``."""
+        if kind not in SUMMARY_KINDS:
+            raise InvalidParameterError(
+                f"unknown summary kind {kind!r}; expected one of {SUMMARY_KINDS}"
+            )
+        return cls(kind, tuple(sorted(params.items())))
+
+    def as_dict(self) -> dict[str, object]:
+        """The fit parameters as a plain keyword dict."""
+        return dict(self.params)
+
+    @property
+    def seed(self) -> int | None:
+        """The base seed recorded in the parameters (``None`` if absent)."""
+        value = self.as_dict().get("seed")
+        return None if value is None else int(value)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, shard: Dataset, *, shard_index: int = 0) -> object:
+        """Fit this summary on one shard.
+
+        Sampling summaries replace the base seed with
+        :func:`derive_shard_seed`; hash-based sketches keep the shared seed
+        and stream the shard's rows (or a projection of them) through the
+        sketch.
+        """
+        params = self.as_dict()
+        if self.kind in _PER_SHARD_SEED_KINDS:
+            params["seed"] = derive_shard_seed(self.seed, shard_index)
+        if self.kind == "tuple_filter":
+            return TupleSampleFilter.fit(shard, **params)
+        if self.kind == "pair_filter":
+            return MotwaniXuFilter.fit(shard, **params)
+        if self.kind == "nonsep_sketch":
+            return NonSeparationSketch.fit(shard, **params)
+        if self.kind == "kmv":
+            column = int(params.pop("column", 0))
+            sketch = KMVSketch(**params)
+            sketch.update_many(int(v) for v in shard.codes[:, column])
+            return sketch
+        if self.kind in ("countmin", "ams", "misra_gries"):
+            attributes = params.pop("attributes", None)
+            if attributes is None:
+                columns = list(range(shard.n_columns))
+            else:
+                columns = list(shard.resolve_attributes(attributes))  # type: ignore[arg-type]
+            if self.kind == "countmin":
+                sketch: CountMinSketch | AMSSketch | MisraGries = CountMinSketch(
+                    **params
+                )
+            elif self.kind == "ams":
+                sketch = AMSSketch(**params)
+            else:
+                sketch = MisraGries(**params)
+            for row in shard.codes[:, columns]:
+                sketch.update(tuple(int(v) for v in row))
+            return sketch
+        raise InvalidParameterError(f"unknown summary kind {self.kind!r}")

@@ -37,6 +37,23 @@ class SketchQueryError(ReproError, ValueError):
     """
 
 
+class SummaryMergeError(ReproError, ValueError):
+    """Two summaries cannot be merged into one.
+
+    Raised by :mod:`repro.engine.merge` when summaries have different types
+    or incompatible parameters (mismatched ε, hash seeds, shapes, or column
+    schemas) — merging such summaries would silently void their guarantees.
+    """
+
+
+class BackendError(ReproError, RuntimeError):
+    """An execution backend failed to run a plan.
+
+    Wraps worker-side failures of the engine's parallel backends so callers
+    can distinguish infrastructure problems from algorithmic errors.
+    """
+
+
 class InfeasibleInstanceError(ReproError, ValueError):
     """A set cover / minimum key instance admits no feasible solution.
 

@@ -1,0 +1,181 @@
+"""Tests for execution backends, specs, and the map-reduce fit plan."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import zipf_dataset
+from repro.engine.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    default_backend,
+    fit_shards,
+    get_backend,
+    per_shard_specs,
+    run_fit_plan,
+)
+from repro.engine.shards import shard_dataset
+from repro.engine.specs import SummarySpec, derive_shard_seed
+from repro.exceptions import BackendError, InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_dataset(1_200, n_columns=6, cardinality=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sharded(data):
+    return shard_dataset(data, 4, seed=0)
+
+
+class TestSummarySpec:
+    def test_make_normalizes_and_hashes(self):
+        left = SummarySpec.make("kmv", k=64, seed=1)
+        right = SummarySpec.make("kmv", seed=1, k=64)
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left.as_dict() == {"k": 64, "seed": 1}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SummarySpec.make("bloom", bits=8)
+
+    @pytest.mark.parametrize(
+        "kind, params",
+        [
+            ("tuple_filter", {"epsilon": 0.05, "sample_size": 8, "seed": 0}),
+            ("pair_filter", {"epsilon": 0.05, "sample_size": 8, "seed": 0}),
+            (
+                "nonsep_sketch",
+                {"k": 2, "alpha": 0.05, "epsilon": 0.3, "sample_size": 8, "seed": 0},
+            ),
+            ("kmv", {"k": 16, "seed": 0}),
+            ("countmin", {"width": 32, "depth": 3, "seed": 0}),
+            ("ams", {"width": 32, "depth": 3, "seed": 0}),
+            ("misra_gries", {"capacity": 8}),
+        ],
+    )
+    def test_every_kind_fits(self, data, kind, params):
+        summary = SummarySpec.make(kind, **params).fit(data)
+        assert summary is not None
+
+    def test_countmin_attribute_projection(self, data):
+        spec = SummarySpec.make(
+            "countmin", width=32, depth=3, seed=0, attributes=(0, 1)
+        )
+        sketch = spec.fit(data)
+        assert sketch.n_items == data.n_rows
+
+    def test_derive_shard_seed(self):
+        assert derive_shard_seed(None, 3) is None
+        assert derive_shard_seed(5, 0) != derive_shard_seed(5, 1)
+        assert derive_shard_seed(5, 2) == derive_shard_seed(5, 2)
+
+
+class TestBackends:
+    @pytest.mark.parametrize("name", ["serial", "thread", "process"])
+    def test_get_backend(self, name):
+        backend = get_backend(name)
+        assert backend.name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_backend("gpu")
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(InvalidParameterError):
+            ProcessPoolBackend(max_workers=0)
+
+    def test_default_backend_exists(self):
+        assert hasattr(default_backend(), "map")
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadPoolBackend(2)],
+    )
+    def test_map_preserves_order(self, backend):
+        assert backend.map(lambda x: x * x, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_pool_map_empty(self):
+        assert ThreadPoolBackend(2).map(len, []) == []
+
+    def test_worker_failure_wrapped(self):
+        def boom(_):
+            raise RuntimeError("worker died")
+
+        with pytest.raises(BackendError):
+            ThreadPoolBackend(2).map(boom, [1, 2])
+
+    def test_library_errors_propagate_unwrapped(self):
+        def invalid(_):
+            raise InvalidParameterError("bad epsilon")
+
+        with pytest.raises(InvalidParameterError):
+            ThreadPoolBackend(2).map(invalid, [1])
+
+    def test_pool_is_reused_across_maps(self):
+        backend = ThreadPoolBackend(2)
+        backend.map(abs, [-1])
+        first = backend._pool
+        backend.map(abs, [-2])
+        assert backend._pool is first
+        backend.close()
+        assert backend._pool is None
+        assert backend.map(abs, [-3]) == [3]
+        backend.close()
+
+    def test_context_manager_closes_pool(self):
+        with ThreadPoolBackend(2) as backend:
+            assert backend.map(len, ["ab"]) == [2]
+        assert backend._pool is None
+
+
+class TestPerShardSpecs:
+    def test_sampling_budget_split_proportionally(self, sharded):
+        spec = SummarySpec.make(
+            "tuple_filter", epsilon=0.05, sample_size=100, seed=0
+        )
+        shard_specs = per_shard_specs(spec, sharded)
+        sizes = [s.as_dict()["sample_size"] for s in shard_specs]
+        assert len(sizes) == sharded.n_shards
+        assert sum(sizes) >= 100
+        assert sum(sizes) <= 100 + sharded.n_shards
+
+    def test_hash_sketches_unchanged(self, sharded):
+        spec = SummarySpec.make("kmv", k=32, seed=0)
+        assert per_shard_specs(spec, sharded) == [spec] * sharded.n_shards
+
+    def test_default_budget_derived_from_full_table(self, sharded):
+        spec = SummarySpec.make("tuple_filter", epsilon=0.04, seed=0)
+        monolithic = spec.fit(sharded.dataset)
+        sizes = [
+            s.as_dict()["sample_size"] for s in per_shard_specs(spec, sharded)
+        ]
+        assert sum(sizes) >= monolithic.sample_size
+
+
+class TestFitPlan:
+    def test_fit_shards_one_summary_per_shard(self, sharded):
+        spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=0)
+        summaries = fit_shards(sharded, spec)
+        assert len(summaries) == sharded.n_shards
+
+    @pytest.mark.parametrize(
+        "backend",
+        [SerialBackend(), ThreadPoolBackend(2), ProcessPoolBackend(2)],
+    )
+    def test_backends_agree_bit_for_bit(self, sharded, backend):
+        spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=7)
+        reference = run_fit_plan(sharded, spec, SerialBackend()).summary
+        summary = run_fit_plan(sharded, spec, backend).summary
+        assert np.array_equal(summary.sample.codes, reference.sample.codes)
+
+    def test_report_bookkeeping(self, sharded):
+        spec = SummarySpec.make("kmv", k=32, seed=0)
+        report = run_fit_plan(sharded, spec, SerialBackend())
+        assert report.n_shards == sharded.n_shards
+        assert report.backend == "serial"
+        assert len(report.shard_summaries) == sharded.n_shards
+        assert report.fit_seconds >= 0.0
+        assert report.total_seconds >= report.merge_seconds

@@ -1,0 +1,184 @@
+"""Tests for the mergeable-summary protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import TupleSampleFilter
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.data.synthetic import zipf_dataset
+from repro.engine.merge import (
+    merge_non_separation_sketches,
+    merge_pair,
+    merge_summaries,
+    merge_tuple_sample_filters,
+)
+from repro.engine.shards import shard_dataset
+from repro.exceptions import SummaryMergeError
+from repro.sketches.ams import AMSSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.kmv import KMVSketch
+from repro.sketches.misra_gries import MisraGries
+
+
+@pytest.fixture
+def data() -> Dataset:
+    return zipf_dataset(600, n_columns=6, cardinality=8, seed=2)
+
+
+def _shard_filters(data, n_shards, epsilon=0.05):
+    sharded = shard_dataset(data, n_shards, seed=0)
+    return [
+        TupleSampleFilter.fit(shard, epsilon, sample_size=10, seed=i)
+        for i, shard in enumerate(sharded)
+    ]
+
+
+class TestMergeTupleFilters:
+    def test_sample_sizes_add(self, data):
+        filters = _shard_filters(data, 3)
+        merged = merge_tuple_sample_filters(filters)
+        assert merged.sample_size == sum(f.sample_size for f in filters)
+        assert merged.epsilon == filters[0].epsilon
+        assert merged.column_names == filters[0].column_names
+
+    def test_merged_sample_is_concatenation(self, data):
+        filters = _shard_filters(data, 2)
+        merged = merge_tuple_sample_filters(filters)
+        stacked = np.vstack([f.sample.codes for f in filters])
+        assert np.array_equal(merged.sample.codes, stacked)
+
+    def test_mismatched_epsilon_rejected(self, data):
+        left = TupleSampleFilter.fit(data, 0.05, sample_size=5, seed=0)
+        right = TupleSampleFilter.fit(data, 0.10, sample_size=5, seed=0)
+        with pytest.raises(SummaryMergeError):
+            merge_tuple_sample_filters([left, right])
+
+    def test_mismatched_schema_rejected(self, data):
+        left = TupleSampleFilter.fit(data, 0.05, sample_size=5, seed=0)
+        narrower = data.select_columns(range(3))
+        right = TupleSampleFilter.fit(narrower, 0.05, sample_size=5, seed=0)
+        with pytest.raises(SummaryMergeError):
+            merge_tuple_sample_filters([left, right])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SummaryMergeError):
+            merge_tuple_sample_filters([])
+
+
+class TestMergeMotwaniXuFilters:
+    def test_full_fit_plan_merges(self, data):
+        from repro.core.filters import MotwaniXuFilter
+        from repro.engine.executor import run_fit_plan
+        from repro.engine.specs import SummarySpec
+
+        sharded = shard_dataset(data, 4, seed=0)
+        spec = SummarySpec.make("pair_filter", epsilon=0.05, seed=0)
+        report = run_fit_plan(sharded, spec)
+        merged = report.summary
+        assert isinstance(merged, MotwaniXuFilter)
+        assert merged.sample_size == sum(
+            f.sample_size for f in report.shard_summaries
+        )
+        # A filter vote is still a vote: non-keys with huge clique mass
+        # must be rejected by some sampled pair.
+        assert not merged.accepts([0])
+
+    def test_mismatched_epsilon_rejected(self, data):
+        from repro.core.filters import MotwaniXuFilter
+        from repro.engine.merge import merge_motwani_xu_filters
+
+        left = MotwaniXuFilter.fit(data, 0.05, sample_size=5, seed=0)
+        right = MotwaniXuFilter.fit(data, 0.10, sample_size=5, seed=0)
+        with pytest.raises(SummaryMergeError):
+            merge_motwani_xu_filters([left, right])
+
+
+class TestMergeNonSeparationSketches:
+    def test_pair_samples_concatenate_and_rows_add(self, data):
+        sharded = shard_dataset(data, 2, seed=1)
+        sketches = [
+            NonSeparationSketch.fit(
+                shard, k=2, alpha=0.05, epsilon=0.3, sample_size=40, seed=i
+            )
+            for i, shard in enumerate(sharded)
+        ]
+        merged = merge_non_separation_sketches(sketches)
+        assert merged.sample_size == 80
+        assert merged.n_rows == data.n_rows
+        assert merged.k == 2 and merged.alpha == 0.05
+
+    def test_mismatched_parameters_rejected(self, data):
+        left = NonSeparationSketch.fit(
+            data, k=2, alpha=0.05, epsilon=0.3, sample_size=10, seed=0
+        )
+        right = NonSeparationSketch.fit(
+            data, k=3, alpha=0.05, epsilon=0.3, sample_size=10, seed=0
+        )
+        with pytest.raises(SummaryMergeError):
+            merge_non_separation_sketches([left, right])
+
+
+class TestMergeSummariesDispatch:
+    def test_single_summary_passthrough(self, data):
+        only = TupleSampleFilter.fit(data, 0.05, sample_size=5, seed=0)
+        assert merge_summaries([only]) is only
+
+    def test_kmv_dispatch(self):
+        shards = []
+        for lo in (0, 40):
+            sketch = KMVSketch(k=16, seed=4)
+            sketch.update_many(range(lo, lo + 60))
+            shards.append(sketch)
+        merged = merge_summaries(shards)
+        assert isinstance(merged, KMVSketch)
+        assert merged.estimate() > 50
+
+    def test_countmin_dispatch(self):
+        shards = []
+        for chunk in (["a"] * 5, ["a"] * 3 + ["b"]):
+            sketch = CountMinSketch(width=32, depth=3, seed=1)
+            sketch.update_many(chunk)
+            shards.append(sketch)
+        merged = merge_summaries(shards)
+        assert merged.query("a") >= 8
+
+    def test_ams_dispatch(self):
+        shards = []
+        for chunk in ([1, 1, 2], [2, 3, 3]):
+            sketch = AMSSketch(width=64, depth=3, seed=1)
+            sketch.update_many(chunk)
+            shards.append(sketch)
+        merged = merge_summaries(shards)
+        assert merged.n_items == 6
+
+    def test_misra_gries_dispatch(self):
+        shards = []
+        for chunk in (["x"] * 8 + ["y"], ["x"] * 6 + ["z"] * 2):
+            summary = MisraGries(capacity=3)
+            summary.update_many(chunk)
+            shards.append(summary)
+        merged = merge_summaries(shards)
+        assert merged.query("x") > 0
+
+    def test_mixed_types_rejected(self, data):
+        tuple_filter = TupleSampleFilter.fit(data, 0.05, sample_size=5, seed=0)
+        kmv = KMVSketch(k=16, seed=0)
+        with pytest.raises(SummaryMergeError):
+            merge_summaries([tuple_filter, kmv])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SummaryMergeError):
+            merge_summaries([])
+
+    def test_unmergeable_type_rejected(self):
+        with pytest.raises(SummaryMergeError):
+            merge_pair(object(), object())
+
+    def test_incompatible_seed_wrapped(self):
+        left = KMVSketch(k=16, seed=0)
+        right = KMVSketch(k=16, seed=1)
+        left.update_many(range(10))
+        right.update_many(range(10))
+        with pytest.raises(SummaryMergeError):
+            merge_summaries([left, right])

@@ -1,0 +1,169 @@
+"""Property tests: merged per-shard summaries vs monolithic fits.
+
+The contracts pinned here are the ones documented in
+:mod:`repro.engine.merge`:
+
+* KMV / Count-Min / AMS merges are *lossless* — the merged sketch is
+  identical (same estimates, same counters) to a monolithic sketch built
+  with the same seed over the whole table;
+* the merged Theorem 2 pair sketch over a *random* sharding stays within
+  the sketch's stated error regime of the exact non-separation count;
+* the merged Algorithm 1 filter keeps Theorem 1's one-sided guarantee:
+  true keys are always accepted, and sets far below the ε threshold are
+  rejected;
+* everything is deterministic under a fixed seed, regardless of backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.separation import is_key, unseparated_pairs
+from repro.data.synthetic import planted_key_dataset, zipf_dataset
+from repro.engine.executor import SerialBackend, run_fit_plan
+from repro.engine.merge import merge_summaries
+from repro.engine.shards import shard_dataset
+from repro.engine.specs import SummarySpec
+from repro.sketches.ams import AMSSketch
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.kmv import KMVSketch
+from repro.types import pairs_count
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_dataset(3_000, n_columns=8, cardinality=8, seed=11)
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 8])
+class TestLosslessSketchMerges:
+    def test_kmv_merge_equals_monolithic(self, data, n_shards):
+        column = 0
+        sharded = shard_dataset(data, n_shards, seed=0)
+        shards = []
+        for shard in sharded:
+            sketch = KMVSketch(k=64, seed=9)
+            sketch.update_many(int(v) for v in shard.codes[:, column])
+            shards.append(sketch)
+        merged = merge_summaries(shards)
+
+        monolithic = KMVSketch(k=64, seed=9)
+        monolithic.update_many(int(v) for v in data.codes[:, column])
+        assert merged.estimate() == monolithic.estimate()
+
+    def test_countmin_merge_equals_monolithic(self, data, n_shards):
+        sharded = shard_dataset(data, n_shards, seed=0)
+        shards = []
+        for shard in sharded:
+            sketch = CountMinSketch(width=128, depth=4, seed=3)
+            for row in shard.codes[:, [0, 1]]:
+                sketch.update(tuple(int(v) for v in row))
+            shards.append(sketch)
+        merged = merge_summaries(shards)
+
+        monolithic = CountMinSketch(width=128, depth=4, seed=3)
+        for row in data.codes[:, [0, 1]]:
+            monolithic.update(tuple(int(v) for v in row))
+        assert np.array_equal(merged._counters, monolithic._counters)
+        assert merged.n_items == monolithic.n_items
+
+    def test_ams_merge_equals_monolithic(self, data, n_shards):
+        sharded = shard_dataset(data, n_shards, seed=0)
+        shards = []
+        for shard in sharded:
+            sketch = AMSSketch(width=128, depth=3, seed=5)
+            for row in shard.codes[:, [2]]:
+                sketch.update(int(row[0]))
+            shards.append(sketch)
+        merged = merge_summaries(shards)
+
+        monolithic = AMSSketch(width=128, depth=3, seed=5)
+        for row in data.codes[:, [2]]:
+            monolithic.update(int(row[0]))
+        assert merged.estimate_f2() == monolithic.estimate_f2()
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 8])
+class TestPairSketchAccuracy:
+    """Merged Theorem 2 sketches stay within the documented error regime."""
+
+    ALPHA = 0.02
+    EPSILON = 0.2
+
+    def test_merged_estimate_within_bounds(self, data, n_shards):
+        sharded = shard_dataset(data, n_shards, strategy="random", seed=13)
+        spec = SummarySpec.make(
+            "nonsep_sketch",
+            k=2,
+            alpha=self.ALPHA,
+            epsilon=self.EPSILON,
+            seed=17,
+        )
+        merged = run_fit_plan(sharded, spec).summary
+        total_pairs = pairs_count(data.n_rows)
+        for attrs in ([0], [1], [0, 1], [2, 3]):
+            exact = unseparated_pairs(data, attrs)
+            answer = merged.query(attrs)
+            if answer.is_small:
+                # "small" is only allowed when Gamma_A is genuinely small.
+                assert exact < 2 * self.ALPHA * total_pairs
+            else:
+                # In the estimation regime the relative error contract is
+                # (1 +/- eps); allow 2*eps slack for the variance the merge
+                # adds (shard-correlated pairs; see repro.engine.merge).
+                assert answer.estimate == pytest.approx(
+                    exact, rel=2 * self.EPSILON
+                )
+
+    def test_merged_sample_budget_matches_monolithic(self, data, n_shards):
+        sharded = shard_dataset(data, n_shards, seed=13)
+        spec = SummarySpec.make(
+            "nonsep_sketch", k=2, alpha=0.05, epsilon=0.3, seed=1
+        )
+        merged = run_fit_plan(sharded, spec).summary
+        monolithic = spec.fit(data)
+        # The per-shard budget split keeps the merged footprint within one
+        # extra pair per shard of the monolithic sketch.
+        assert (
+            monolithic.sample_size
+            <= merged.sample_size
+            <= monolithic.sample_size + n_shards
+        )
+
+
+@pytest.mark.parametrize("n_shards", [2, 5])
+class TestTupleFilterGuarantees:
+    def test_true_key_always_accepted(self, n_shards):
+        data = planted_key_dataset(2_000, key_size=2, n_noise_columns=4, seed=3)
+        key = tuple(range(data.n_columns))
+        assert is_key(data, key)
+        sharded = shard_dataset(data, n_shards, seed=4)
+        spec = SummarySpec.make("tuple_filter", epsilon=0.01, seed=21)
+        merged = run_fit_plan(sharded, spec).summary
+        # A perfect key never collides on any subsample: one-sided guarantee.
+        assert merged.accepts(key)
+
+    def test_very_bad_set_rejected(self, n_shards):
+        data = zipf_dataset(3_000, n_columns=6, cardinality=2, seed=7)
+        sharded = shard_dataset(data, n_shards, seed=8)
+        spec = SummarySpec.make("tuple_filter", epsilon=0.01, seed=22)
+        merged = run_fit_plan(sharded, spec).summary
+        # A binary column leaves ~half the pairs unseparated — far beyond
+        # epsilon; the merged sample must contain a collision.
+        assert not merged.accepts([0])
+
+
+class TestDeterminism:
+    def test_same_seed_same_summaries(self, data):
+        sharded = shard_dataset(data, 4, seed=2)
+        spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=33)
+        first = run_fit_plan(sharded, spec, SerialBackend()).summary
+        second = run_fit_plan(sharded, spec, SerialBackend()).summary
+        assert np.array_equal(first.sample.codes, second.sample.codes)
+
+    def test_shard_seeds_are_decorrelated(self, data):
+        sharded = shard_dataset(data, 2, seed=2)
+        spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=33)
+        shard_summaries = run_fit_plan(sharded, spec).shard_summaries
+        assert not np.array_equal(
+            shard_summaries[0].sample.codes, shard_summaries[1].sample.codes
+        )

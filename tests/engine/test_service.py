@@ -1,0 +1,187 @@
+"""Tests for the batch profiling service, including the acceptance batch:
+100 queries over an 8-shard data set, process pool vs serial, identical."""
+
+import pytest
+
+from repro.core.filters import Classification
+from repro.core.minkey import MinKeyResult
+from repro.core.separation import is_key
+from repro.core.sketch import SketchAnswer
+from repro.data.synthetic import planted_key_dataset, zipf_dataset
+from repro.engine.executor import ProcessPoolBackend, SerialBackend
+from repro.engine.service import (
+    BatchReport,
+    ProfilingService,
+    Query,
+    as_query,
+)
+from repro.engine.specs import SummarySpec
+from repro.exceptions import InvalidParameterError
+from repro.experiments.workloads import random_attribute_subsets
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_dataset(1_600, n_columns=8, cardinality=8, seed=1)
+
+
+@pytest.fixture
+def service(data):
+    service = ProfilingService()
+    service.register("zipf", data, n_shards=4, seed=1)
+    return service
+
+
+class TestQueryNormalization:
+    def test_from_tuple_and_string(self):
+        assert as_query(("is_key", [0, 1])) == Query("is_key", (0, 1))
+        assert as_query("min_key") == Query("min_key")
+        assert as_query(Query("classify", (2,))).op == "classify"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Query("explain", (0,))
+
+
+class TestRegistration:
+    def test_register_and_names(self, service, data):
+        assert service.names() == ["zipf"]
+        assert service.sharded("zipf").n_shards == 4
+
+    def test_unknown_dataset_rejected(self, service):
+        with pytest.raises(InvalidParameterError):
+            service.query_batch("nope", [("is_key", [0])])
+
+    def test_unregister_drops_cache(self, service):
+        service.query_batch("zipf", [("is_key", [0])], epsilon=0.05)
+        assert service.cached_specs("zipf")
+        service.unregister("zipf")
+        assert service.names() == []
+        assert not service.cached_specs()
+
+    def test_reregister_invalidates_cache(self, service, data):
+        service.query_batch("zipf", [("is_key", [0])], epsilon=0.05)
+        service.register("zipf", data, n_shards=2, seed=9)
+        assert not service.cached_specs("zipf")
+
+
+class TestSummaryCache:
+    def test_second_batch_hits_cache(self, service):
+        queries = [("is_key", [0, 1]), ("sketch_estimate", [0])]
+        first = service.query_batch("zipf", queries, epsilon=0.05)
+        second = service.query_batch("zipf", queries, epsilon=0.05)
+        assert first.cache_misses == 2 and first.cache_hits == 0
+        assert second.cache_misses == 0 and second.cache_hits == 2
+        assert second.fit_seconds <= first.fit_seconds
+
+    def test_distinct_epsilon_distinct_summary(self, service):
+        service.query_batch("zipf", [("is_key", [0])], epsilon=0.05)
+        report = service.query_batch("zipf", [("is_key", [0])], epsilon=0.02)
+        assert report.cache_misses == 1
+
+    def test_lru_eviction(self, data):
+        service = ProfilingService(max_cached_summaries=2)
+        service.register("zipf", data, n_shards=2, seed=1)
+        for epsilon in (0.02, 0.04, 0.08):
+            service.query_batch("zipf", [("is_key", [0])], epsilon=epsilon)
+        assert len(service.cached_specs()) == 2
+
+    def test_summary_accessor(self, service):
+        spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=0)
+        summary = service.summary("zipf", spec)
+        assert summary is service.summary("zipf", spec)
+
+
+class TestAnswers:
+    def test_is_key_true_on_planted_key(self):
+        data = planted_key_dataset(1_500, key_size=2, n_noise_columns=4, seed=5)
+        service = ProfilingService()
+        service.register("planted", data, n_shards=3, seed=5)
+        key = tuple(range(data.n_columns))
+        assert is_key(data, key)
+        report = service.query_batch(
+            "planted", [("is_key", key)], epsilon=0.01
+        )
+        assert report.values() == [True]
+
+    def test_classify_returns_classification(self, service):
+        report = service.query_batch(
+            "zipf", [("classify", [0])], epsilon=0.01
+        )
+        assert isinstance(report.values()[0], Classification)
+        assert report.values()[0] in (Classification.BAD, Classification.INTERMEDIATE)
+
+    def test_min_key_returns_result(self, service):
+        report = service.query_batch("zipf", ["min_key"], epsilon=0.05)
+        result = report.values()[0]
+        assert isinstance(result, MinKeyResult)
+        assert 1 <= result.key_size <= 8
+
+    def test_sketch_estimate_returns_answer(self, service):
+        report = service.query_batch(
+            "zipf", [("sketch_estimate", [0, 1])], epsilon=0.05
+        )
+        answer = report.values()[0]
+        assert isinstance(answer, SketchAnswer)
+        assert answer.is_small or answer.estimate > 0
+
+    def test_attribute_names_accepted(self, data):
+        service = ProfilingService()
+        service.register("zipf", data, n_shards=2, seed=1)
+        name = data.column_names[0]
+        report = service.query_batch(
+            "zipf", [("is_key", [name])], epsilon=0.05
+        )
+        assert isinstance(report.values()[0], bool)
+
+
+class TestBatchReport:
+    def test_timings_and_counts(self, service):
+        queries = [("is_key", [0]), ("is_key", [1]), ("sketch_estimate", [0])]
+        report = service.query_batch("zipf", queries, epsilon=0.05)
+        assert isinstance(report, BatchReport)
+        assert report.n_queries == 3
+        assert report.op_counts() == {"is_key": 2, "sketch_estimate": 1}
+        assert report.query_seconds >= sum(
+            r.seconds for r in report.results
+        ) * 0.5
+        assert report.mean_query_seconds > 0.0
+        assert report.dataset == "zipf"
+        assert report.n_shards == 4
+
+    def test_empty_batch(self, service):
+        report = service.query_batch("zipf", [], epsilon=0.05)
+        assert report.n_queries == 0
+        assert report.mean_query_seconds == 0.0
+
+
+class TestAcceptanceBatch:
+    """ISSUE acceptance: 100 queries, 8 shards, process == serial."""
+
+    def _batch(self, n_columns):
+        subsets = random_attribute_subsets(n_columns, 99, seed=3, max_size=2)
+        queries = [Query("min_key")]
+        for index, subset in enumerate(subsets):
+            op = ("is_key", "classify", "sketch_estimate")[index % 3]
+            queries.append(Query(op, tuple(subset)))
+        return queries
+
+    def test_process_pool_matches_serial(self, data):
+        queries = self._batch(data.n_columns)
+        assert len(queries) == 100
+
+        reports = {}
+        for name, backend in (
+            ("serial", SerialBackend()),
+            ("process", ProcessPoolBackend()),
+        ):
+            service = ProfilingService(backend)
+            service.register("zipf", data, n_shards=8, seed=1)
+            reports[name] = service.query_batch(
+                "zipf", queries, epsilon=0.05, seed=1
+            )
+
+        assert reports["serial"].values() == reports["process"].values()
+        assert reports["process"].backend == "process"
+        assert reports["process"].n_shards == 8
+        assert reports["process"].n_queries == 100

@@ -1,0 +1,115 @@
+"""Tests for row-wise dataset sharding."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.engine.shards import (
+    SHARD_STRATEGIES,
+    ShardedDataset,
+    shard_dataset,
+    shard_row_indices,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture
+def table() -> Dataset:
+    rng = np.random.default_rng(5)
+    return Dataset(
+        rng.integers(0, 6, size=(103, 4)),
+        column_names=["a", "b", "c", "d"],
+    )
+
+
+class TestShardRowIndices:
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    @pytest.mark.parametrize("n_shards", [1, 2, 5, 103])
+    def test_partitions_rows_exactly(self, strategy, n_shards):
+        blocks = shard_row_indices(103, n_shards, strategy=strategy, seed=0)
+        assert len(blocks) == n_shards
+        combined = np.sort(np.concatenate(blocks))
+        assert np.array_equal(combined, np.arange(103))
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_balanced_sizes(self, strategy):
+        blocks = shard_row_indices(103, 4, strategy=strategy, seed=0)
+        sizes = [b.size for b in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_is_seed_deterministic(self):
+        first = shard_row_indices(50, 3, strategy="random", seed=7)
+        second = shard_row_indices(50, 3, strategy="random", seed=7)
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_random_seeds_differ(self):
+        first = shard_row_indices(50, 3, strategy="random", seed=7)
+        second = shard_row_indices(50, 3, strategy="random", seed=8)
+        assert any(
+            not np.array_equal(a, b) for a, b in zip(first, second)
+        )
+
+    def test_round_robin_layout(self):
+        blocks = shard_row_indices(6, 2, strategy="round_robin")
+        assert blocks[0].tolist() == [0, 2, 4]
+        assert blocks[1].tolist() == [1, 3, 5]
+
+    def test_too_many_shards_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            shard_row_indices(3, 4)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            shard_row_indices(10, 2, strategy="mystery")
+
+
+class TestShardedDataset:
+    def test_shards_reassemble_source(self, table):
+        sharded = shard_dataset(table, 5, strategy="random", seed=1)
+        rows = np.vstack(
+            [sharded.shard(i).codes for i in range(sharded.n_shards)]
+        )
+        assert np.array_equal(
+            np.sort(rows, axis=0), np.sort(table.codes, axis=0)
+        )
+
+    def test_shape_passthrough(self, table):
+        sharded = shard_dataset(table, 4, seed=0)
+        assert sharded.n_rows == table.n_rows
+        assert sharded.n_columns == table.n_columns
+        assert sharded.column_names == table.column_names
+        assert len(sharded) == 4
+        assert sum(sharded.shard_sizes()) == table.n_rows
+
+    def test_shards_are_cached(self, table):
+        sharded = shard_dataset(table, 3, seed=0)
+        assert sharded.shard(1) is sharded.shard(1)
+
+    def test_iteration_yields_every_shard(self, table):
+        sharded = shard_dataset(table, 3, seed=0)
+        assert [s.n_rows for s in sharded] == sharded.shard_sizes()
+
+    def test_out_of_range_shard(self, table):
+        sharded = shard_dataset(table, 3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            sharded.shard(3)
+
+    def test_overlapping_assignment_rejected(self, table):
+        with pytest.raises(InvalidParameterError):
+            ShardedDataset(
+                table,
+                [np.arange(table.n_rows), np.array([0])],
+            )
+
+    def test_incomplete_assignment_rejected(self, table):
+        with pytest.raises(InvalidParameterError):
+            ShardedDataset(table, [np.arange(table.n_rows - 1)])
+
+    def test_single_shard_is_whole_table(self, table):
+        sharded = shard_dataset(table, 1)
+        assert np.array_equal(sharded.shard(0).codes, table.codes)
+
+    def test_repr_mentions_shape(self, table):
+        sharded = shard_dataset(table, 2, seed=0)
+        assert "n_shards=2" in repr(sharded)

@@ -29,6 +29,12 @@ TOP_LEVEL_NAMES = [
     "tuple_sample_size",
     "motwani_xu_pair_sample_size",
     "sketch_pair_sample_size",
+    "ProfilingService",
+    "ShardedDataset",
+    "SummarySpec",
+    "shard_dataset",
+    "merge_summaries",
+    "run_fit_plan",
 ]
 
 
@@ -60,6 +66,7 @@ class TestTopLevelSurface:
         "repro.setcover",
         "repro.analysis",
         "repro.communication",
+        "repro.engine",
         "repro.experiments",
         "repro.streaming",
         "repro.ucc",

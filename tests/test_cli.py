@@ -75,6 +75,41 @@ class TestCliSketch:
         assert "estimate=" in out
 
 
+class TestCliEngine:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_engine_profile(self, capsys, backend):
+        code = main(
+            [
+                "engine",
+                "profile",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "1200",
+                "--shards",
+                "4",
+                "--backend",
+                backend,
+                "--epsilon",
+                "0.05",
+                "--queries",
+                "12",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards         : 4" in out
+        assert f"backend        : {backend}" in out
+        assert "min key" in out
+        assert "queries in" in out
+
+    def test_engine_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["engine"])
+
+
 class TestCliProfile:
     def test_profile_output(self, capsys):
         code = main(["profile", "--dataset", "adult", "--rows", "800"])

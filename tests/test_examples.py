@@ -116,6 +116,17 @@ class TestExamplesRun:
         assert "cheapest epsilon-key" in out
         assert "masking" in out
 
+    def test_sharded_profiling_scaled_down(self, capsys, monkeypatch):
+        module = _load("sharded_profiling")
+        monkeypatch.setattr(module, "N_ROWS", 3_000)
+        monkeypatch.setattr(module, "N_SHARDS", 4)
+        module.main()
+        out = capsys.readouterr().out
+        assert "sharded: 4 shards" in out
+        assert "min_key" in out
+        assert "warm batch" in out
+        assert "cache hit" in out
+
     def test_table1_reproduction_help(self, capsys, monkeypatch):
         module = _load("table1_reproduction")
         monkeypatch.setattr(
