@@ -10,7 +10,6 @@ Lemma 5 budget ``|C|/(10t)``.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.communication.encoding import (
     bits_matrix_dataset,

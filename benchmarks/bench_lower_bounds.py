@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.analysis.lower_bounds import (
     grid_detection_probability,

@@ -9,7 +9,6 @@ element, not O(slots)), and a full monitor pass with periodic snapshots.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments.reporting import format_table
 from repro.sampling.reservoir import PairReservoir, ReservoirSampler

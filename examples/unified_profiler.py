@@ -1,0 +1,77 @@
+"""Five different questions, one session, shared summaries.
+
+The point of :class:`repro.api.Profiler` is that the expensive part —
+sampling the table into filters and sketches — is paid once per
+(dataset, parameters) and reused by every later question.  This example
+registers one synthetic census table, asks five different kinds of
+questions, and prints, for each answer, which underlying summaries were
+*fitted* versus *reused*.
+
+Run with ``PYTHONPATH=src python examples/unified_profiler.py``.
+"""
+
+from repro.api import Profiler
+from repro.data.synthetic import adult_like
+
+N_ROWS = 5_000
+
+
+def describe(result) -> None:
+    """One line per answer: the value plus its summary provenance."""
+    provenance = (
+        "; ".join(str(use) for use in result.summaries) or "no summaries needed"
+    )
+    print(f"[{result.task}] {result.seconds * 1e3:7.1f} ms  {provenance}")
+
+
+def main() -> None:
+    profiler = Profiler(epsilon=0.01, seed=0)
+    profiler.add("census", adult_like(N_ROWS, seed=0))
+
+    # Question 1: is {age, sex, zip-ish} enough to identify everyone?
+    is_key = profiler.is_key("census", ["age", "education", "occupation"])
+    describe(is_key)
+    print(f"    -> separates (almost) all pairs: {is_key.value}")
+
+    # Question 2: what's the smallest quasi-identifier?  Note the tuple
+    # filter fitted by question 1 is NOT refitted — min_key mines its own
+    # memoized answer, and asking again reuses it outright.
+    min_key = profiler.min_key("census")
+    describe(min_key)
+    names = [
+        profiler.dataset("census").column_names[a]
+        for a in min_key.value.attributes
+    ]
+    print(f"    -> minimum key: {names}")
+
+    # Question 3: the same filter answers more membership checks for free.
+    again = profiler.is_key("census", ["age", "hours_per_week"])
+    describe(again)
+    print(f"    -> {{age, hours_per_week}} is a key: {again.value}")
+
+    # Question 4: how many pairs does {education} fail to separate?
+    sketch = profiler.non_separation("census", ["education"], k=2)
+    describe(sketch)
+    answer = sketch.value
+    shown = "small" if answer.is_small else f"{answer.estimate:,.0f}"
+    print(f"    -> unseparated pairs (estimate): {shown}")
+
+    # Question 5: disclosure risk of releasing the minimum key.
+    risk = profiler.risk("census", list(min_key.value.attributes))
+    describe(risk)
+    print(
+        f"    -> k-anonymity {risk.value.k_anonymity}, "
+        f"uniqueness {risk.value.uniqueness:.1%}"
+    )
+
+    stats = profiler.stats()
+    print(
+        f"\nsession totals: {stats['summary_fits']} summary fit(s), "
+        f"{stats['summary_reuses']} summary reuse(s), "
+        f"{stats['result_memos']} memoized result(s), "
+        f"{stats['result_reuses']} result reuse(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

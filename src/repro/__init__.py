@@ -26,37 +26,55 @@ Hildebrant, Le, Ta, Vu (PODS 2023; arXiv:2211.13882).  The library provides:
   partition a table row-wise, fit the paper's filters/sketches per shard on
   serial or worker-pool backends, merge the per-shard summaries (they
   compose like classical mergeable summaries), and answer batched
-  profiling queries through the cached :class:`~repro.engine.ProfilingService`.
+  profiling queries through the cached :class:`~repro.engine.ProfilingService`;
+* the **unified façade** (:mod:`repro.api`): one :class:`Profiler` session
+  object that registers datasets once, lazily fits and *reuses* the
+  underlying summaries across questions, answers every analysis through a
+  uniform verb set returning one typed :class:`Result` envelope, and
+  switches between in-memory and sharded/parallel fitting via a single
+  :class:`ExecutionConfig`.
 
-Sharded profiling quickstart
-----------------------------
->>> from repro import Dataset, ProfilingService
->>> data = Dataset.from_columns({
-...     "zip": [92101, 92102, 92101, 92103] * 50,
-...     "age": [34, 34, 41, 30] * 50,
-... })
->>> service = ProfilingService()
->>> _ = service.register("people", data, n_shards=4, seed=0)
->>> report = service.query_batch(
-...     "people", [("is_key", ["zip", "age"])], epsilon=0.05
-... )
->>> report.values()
-[False]
-
-Quickstart
-----------
->>> from repro import Dataset, TupleSampleFilter, approximate_min_key
+Quickstart — the Profiler session
+---------------------------------
+>>> from repro import Dataset, Profiler
 >>> data = Dataset.from_columns({
 ...     "zip": [92101, 92102, 92101, 92103],
 ...     "age": [34, 34, 41, 34],
 ...     "sex": ["F", "M", "F", "F"],
 ... })
+>>> profiler = Profiler(epsilon=0.25, seed=0)
+>>> _ = profiler.add("people", data)
+>>> profiler.is_key("people", ["zip", "age"]).value  # identifies everyone?
+True
+>>> profiler.min_key("people").value.key_size        # reuses the session
+2
+>>> profiler.risk("people", ["zip", "age"]).value.k_anonymity
+1
+
+Parallelism is a config flag, not a different API:
+
+>>> from repro import ExecutionConfig
+>>> fast = Profiler(ExecutionConfig(backend="process", n_shards=8), seed=0)
+
+The direct module entry points (:class:`TupleSampleFilter`,
+:func:`approximate_min_key`, :func:`discover_afds`, :func:`assess_risk`,
+:class:`~repro.engine.ProfilingService`, ...) remain supported
+pass-throughs — in the default direct execution mode the façade's answers
+are bit-identical to calling them yourself with the same seeds.
+
+Classic quickstart
+------------------
+>>> from repro import TupleSampleFilter
 >>> filt = TupleSampleFilter.fit(data, epsilon=0.25, seed=0)
->>> filt.accepts(["zip", "age"])  # does {zip, age} identify everyone?
+>>> filt.accepts(["zip", "age"])
 True
 """
 
 from repro._version import __version__
+from repro.api.config import ExecutionConfig
+from repro.api.profiler import Profiler
+from repro.api.result import Result, SummaryUse
+from repro.api.tasks import available_tasks
 from repro.core.filters import (
     Classification,
     ExactSeparationOracle,
@@ -114,24 +132,29 @@ __all__ = [
     "Dataset",
     "ExactMinKey",
     "ExactSeparationOracle",
+    "ExecutionConfig",
     "MaskingResult",
     "MinKeyResult",
     "MotwaniXuFilter",
     "MotwaniXuMinKey",
     "NonSeparationSketch",
     "ProcessPoolBackend",
+    "Profiler",
     "ProfilingService",
     "Query",
     "ReproError",
+    "Result",
     "SerialBackend",
     "ShardedDataset",
     "SketchAnswer",
     "SummarySpec",
+    "SummaryUse",
     "ThreadPoolBackend",
     "TupleSampleFilter",
     "TupleSampleMinKey",
     "__version__",
     "approximate_min_key",
+    "available_tasks",
     "assess_risk",
     "cheapest_quasi_identifier",
     "classify",

@@ -1,0 +1,41 @@
+"""``repro.api`` — the unified façade: one session, one result model.
+
+Everything the library can compute about a table is reachable from a
+single :class:`Profiler` session object::
+
+    from repro.api import Profiler
+
+    profiler = Profiler(epsilon=0.01, seed=0)
+    profiler.add("people", data)
+
+    profiler.is_key("people", ["zip", "age"])     # Theorem 1 filter
+    profiler.min_key("people")                     # quasi-identifier mining
+    profiler.non_separation("people", ["zip"])     # Theorem 2 sketch
+    profiler.afds("people", max_error=0.01)        # approximate FDs
+    profiler.risk("people", ["zip", "age"])        # disclosure risk
+
+Each call returns the same :class:`Result` envelope (value + resolved
+parameters + summary provenance + timing); underlying summaries are fitted
+lazily once and reused across questions; and an :class:`ExecutionConfig`
+switches the whole session between in-memory fitting and the sharded
+parallel :mod:`repro.engine` backends without changing a single call site.
+New analyses plug in through :func:`repro.api.tasks.task`.
+"""
+
+from repro.api.config import ExecutionConfig
+from repro.api.profiler import Profiler, TaskContext
+from repro.api.result import Result, SummaryUse, jsonify
+from repro.api.tasks import Task, available_tasks, get_task, task
+
+__all__ = [
+    "ExecutionConfig",
+    "Profiler",
+    "Result",
+    "SummaryUse",
+    "Task",
+    "TaskContext",
+    "available_tasks",
+    "get_task",
+    "jsonify",
+    "task",
+]

@@ -1,0 +1,97 @@
+"""Execution configuration: parallelism as a config flag, not a new API.
+
+A :class:`repro.api.Profiler` session answers every question the same way
+regardless of *how* summaries get fitted.  :class:`ExecutionConfig` is the
+single switch:
+
+* the default (``n_shards=1``) fits summaries **in memory, directly on the
+  table with the base seed** — answers are bit-identical to calling the
+  underlying modules yourself;
+* any ``n_shards > 1`` routes fits through the sharded
+  :mod:`repro.engine` map-reduce plan on the chosen backend (``serial``,
+  ``thread``, or ``process``), with per-shard seeds derived via the
+  library-wide :func:`repro.sampling.rng.derive_seed` path so serial and
+  parallel backends agree bit-for-bit with each other.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.engine.executor import BACKEND_NAMES, get_backend
+from repro.engine.shards import SHARD_STRATEGIES
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a session fits its summaries.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"`` — only consulted when
+        ``n_shards > 1`` (direct fitting needs no pool).
+    n_shards:
+        1 (default) = direct in-memory fitting; > 1 = engine-sharded fits.
+    workers:
+        Worker-pool size override (``None`` = backend default).
+    strategy:
+        Row-to-shard assignment (``"random"``, ``"contiguous"``,
+        ``"round_robin"``).
+    max_cached_summaries:
+        LRU capacity of the session's summary cache.
+    """
+
+    backend: str = "serial"
+    n_shards: int = 1
+    workers: int | None = None
+    strategy: str = "random"
+    max_cached_summaries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise InvalidParameterError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
+            )
+        if self.strategy not in SHARD_STRATEGIES:
+            raise InvalidParameterError(
+                f"unknown shard strategy {self.strategy!r}; "
+                f"expected one of {SHARD_STRATEGIES}"
+            )
+        if int(self.n_shards) < 1:
+            raise InvalidParameterError(
+                f"n_shards must be at least 1; got {self.n_shards}"
+            )
+
+    @classmethod
+    def for_backend(cls, backend: str) -> "ExecutionConfig":
+        """Shorthand used by ``Profiler("thread")`` / ``Profiler("process")``.
+
+        ``"serial"`` stays direct (one shard, in-memory fitting); the
+        pooled backends get one shard per available core (capped at 8) so
+        the shorthand actually parallelizes.  Note the shard count — and
+        therefore sampled answers — then depends on the machine; pin
+        ``ExecutionConfig(n_shards=...)`` explicitly for cross-machine
+        reproducibility.
+        """
+        if backend == "serial":
+            return cls()
+        return cls(backend=backend, n_shards=max(2, min(8, os.cpu_count() or 2)))
+
+    @property
+    def sharded(self) -> bool:
+        """Whether fits route through the sharded engine plan."""
+        return self.n_shards > 1
+
+    @property
+    def label(self) -> str:
+        """Human-readable execution label (``"direct"`` or ``"thread x4"``)."""
+        if not self.sharded:
+            return "direct"
+        return f"{self.backend} x{self.n_shards}"
+
+    def make_backend(self):
+        """Instantiate the configured execution backend."""
+        return get_backend(self.backend, max_workers=self.workers)

@@ -1,0 +1,524 @@
+"""The :class:`Profiler` session — one object, every analysis, shared summaries.
+
+The paper's economics are "pay for a small sketch once, answer many
+questions".  The session object makes that the *default programming model*:
+
+>>> from repro.api import Profiler
+>>> from repro.data.synthetic import zipf_dataset
+>>> profiler = Profiler(epsilon=0.05, seed=0)
+>>> _ = profiler.add("people", zipf_dataset(600, 6, 8, seed=0))
+>>> first = profiler.is_key("people", range(6))
+>>> second = profiler.min_key("people")        # reuses nothing yet (direct)
+>>> again = profiler.is_key("people", [0, 1])  # same filter, zero refits
+>>> again.summaries[0].reused
+True
+
+Datasets are registered once; the session lazily fits the underlying
+summaries (tuple filters, pair sketches) on first use, caches them in one
+LRU keyed by ``(dataset, summary spec)``, and memoizes deterministic task
+answers.  Every question returns the same :class:`~repro.api.result.Result`
+envelope.  Whether fits happen in memory or through the sharded
+:mod:`repro.engine` backends is decided by the session's
+:class:`~repro.api.config.ExecutionConfig`, not by calling a different API.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.api.config import ExecutionConfig
+from repro.api.result import Result, SummaryUse
+from repro.api.tasks import available_tasks, get_task
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.core.sketch import NonSeparationSketch
+from repro.data.dataset import Dataset
+from repro.engine.executor import run_fit_plan
+from repro.engine.service import SummaryCache
+from repro.engine.shards import ShardedDataset, shard_dataset
+from repro.engine.specs import SummarySpec
+from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import normalize_seed
+from repro.types import validate_epsilon
+
+#: Summary kinds the session fits directly (base seed, no shard derivation)
+#: when execution is not sharded, preserving bit-parity with module calls.
+_DIRECT_FITTERS = {
+    "tuple_filter": TupleSampleFilter.fit,
+    "pair_filter": MotwaniXuFilter.fit,
+    "nonsep_sketch": NonSeparationSketch.fit,
+}
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert ``value`` into a hashable cache-key component."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, tuple(value.ravel().tolist()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((repr(item) for item in value)))
+    if isinstance(value, range):
+        return ("range", value.start, value.stop, value.step)
+    return value
+
+
+def _param_key(params: Mapping[str, object]) -> str:
+    """Canonical human-readable rendering of summary parameters."""
+    return ", ".join(f"{name}={params[name]!r}" for name in sorted(params))
+
+
+@dataclass
+class _DatasetEntry:
+    data: Dataset
+    sharded: ShardedDataset | None = None
+
+
+@dataclass
+class TaskContext:
+    """What a task function sees: the dataset plus the session's services.
+
+    Tasks resolve per-call overrides against session defaults through
+    :meth:`epsilon` / :meth:`seed` (which also record the resolved values
+    into the result envelope) and fetch shared summaries through
+    :meth:`tuple_filter` / :meth:`sketch` / :meth:`summary` (which record
+    provenance and hit the session-wide cache).
+    """
+
+    profiler: "Profiler"
+    name: str
+    entry: _DatasetEntry
+    params: dict = field(default_factory=dict)
+    uses: list = field(default_factory=list)
+
+    @property
+    def data(self) -> Dataset:
+        """The registered table."""
+        return self.entry.data
+
+    @property
+    def sharded(self) -> bool:
+        """Whether summary fits route through the sharded engine plan."""
+        return self.profiler.execution.sharded
+
+    def epsilon(self, value: float | None) -> float:
+        """Resolve an ε override against the session default and record it."""
+        resolved = validate_epsilon(
+            self.profiler.default_epsilon if value is None else value
+        )
+        self.params["epsilon"] = resolved
+        return resolved
+
+    def seed(self, value: int | None) -> int | None:
+        """Resolve a seed override against the session default and record it."""
+        resolved = normalize_seed(
+            self.profiler.default_seed if value is None else value
+        )
+        self.params["seed"] = resolved
+        return resolved
+
+    def tuple_filter(
+        self, epsilon: float | None = None, seed: int | None = None
+    ) -> TupleSampleFilter:
+        """The session's Theorem 1 tuple filter for (ε, seed), fit-or-reused."""
+        return self.summary(
+            "tuple_filter", epsilon=self.epsilon(epsilon), seed=self.seed(seed)
+        )
+
+    def sketch(
+        self,
+        *,
+        k: int,
+        alpha: float = 0.05,
+        epsilon: float = 0.25,
+        seed: int | None = None,
+    ) -> NonSeparationSketch:
+        """The session's Theorem 2 pair sketch for the given parameters."""
+        seed = self.seed(seed)
+        self.params.update({"k": int(k), "alpha": float(alpha), "epsilon": float(epsilon)})
+        return self.summary(
+            "nonsep_sketch", k=int(k), alpha=float(alpha), epsilon=float(epsilon), seed=seed
+        )
+
+    def summary(self, kind: str, **params: object) -> object:
+        """Any engine summary kind through the session cache (provenance logged)."""
+        return self.profiler._fit_summary(self.name, self.entry, kind, params, self.uses)
+
+
+class Profiler:
+    """A profiling session: register datasets once, ask many questions.
+
+    Parameters
+    ----------
+    execution:
+        An :class:`ExecutionConfig`; or a backend name shorthand —
+        ``"serial"`` for direct fitting, ``"thread"``/``"process"`` for
+        pool-parallel fitting over one shard per core (see
+        :meth:`ExecutionConfig.for_backend`); or ``None`` for direct
+        in-memory fitting.
+    epsilon:
+        Session-wide default separation parameter.
+    seed:
+        Session-wide default seed (``int`` for reproducible sessions,
+        ``None`` for fresh entropy).
+    max_cached_results:
+        LRU capacity of the memoized-answer cache.
+
+    Examples
+    --------
+    >>> from repro.data.synthetic import planted_key_dataset
+    >>> profiler = Profiler(epsilon=0.01, seed=7)
+    >>> _ = profiler.add("t", planted_key_dataset(800, 2, 4, seed=7))
+    >>> profiler.min_key("t").value.key_size <= 4
+    True
+    """
+
+    def __init__(
+        self,
+        execution: ExecutionConfig | str | None = None,
+        *,
+        epsilon: float = 0.01,
+        seed: int | None = 0,
+        max_cached_results: int = 256,
+    ) -> None:
+        if execution is None:
+            execution = ExecutionConfig()
+        elif isinstance(execution, str):
+            execution = ExecutionConfig.for_backend(execution)
+        self.execution = execution
+        self.default_epsilon = validate_epsilon(epsilon)
+        self.default_seed = normalize_seed(seed)
+        self._datasets: dict[str, _DatasetEntry] = {}
+        self._summaries = SummaryCache(max_entries=execution.max_cached_summaries)
+        self._results = SummaryCache(max_entries=max_cached_results)
+        self._backend = None
+
+    # ------------------------------------------------------------------
+    # Dataset registration
+    # ------------------------------------------------------------------
+
+    def add(self, name: str, data: Dataset) -> "Profiler":
+        """Register ``data`` under ``name`` (replacing drops its caches)."""
+        if name in self._datasets:
+            self.forget(name)
+        entry = _DatasetEntry(data=data)
+        if self.execution.sharded:
+            entry.sharded = shard_dataset(
+                data,
+                self.execution.n_shards,
+                strategy=self.execution.strategy,
+                seed=self.default_seed,
+            )
+        self._datasets[name] = entry
+        return self
+
+    def add_named(
+        self,
+        dataset: str,
+        *,
+        rows: int | None = None,
+        seed: int | None = None,
+        name: str | None = None,
+    ) -> "Profiler":
+        """Register a workload from the built-in registry by name."""
+        from repro.data.registry import build_dataset
+
+        seed = normalize_seed(self.default_seed if seed is None else seed)
+        return self.add(name or dataset, build_dataset(dataset, n_rows=rows, seed=seed))
+
+    def forget(self, name: str) -> None:
+        """Unregister a dataset and evict everything cached for it."""
+        self._require(name)
+        del self._datasets[name]
+        self._summaries.evict(lambda key: key[0] == name)
+        self._results.evict(lambda key: key[0] == name)
+
+    def datasets(self) -> list[str]:
+        """Registered dataset names, sorted."""
+        return sorted(self._datasets)
+
+    def dataset(self, name: str) -> Dataset:
+        """The registered table for ``name``."""
+        return self._require(name).data
+
+    def _require(self, name: str) -> _DatasetEntry:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown dataset {name!r}; registered: {self.datasets()}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Summary fitting (the shared cache)
+    # ------------------------------------------------------------------
+
+    def _fit_summary(
+        self,
+        name: str,
+        entry: _DatasetEntry,
+        kind: str,
+        params: Mapping[str, object],
+        uses: list,
+    ) -> object:
+        spec = SummarySpec.make(kind, **params)
+
+        def fit() -> object:
+            if self.execution.sharded:
+                assert entry.sharded is not None
+                return run_fit_plan(entry.sharded, spec, self.backend()).summary
+            fitter = _DIRECT_FITTERS.get(kind)
+            if fitter is not None:
+                return fitter(entry.data, **dict(params))
+            return spec.fit(entry.data)
+
+        value, reused, seconds = self._summaries.get_or_fit((name, spec), fit)
+        uses.append(
+            SummaryUse(
+                kind=kind, key=_param_key(params), reused=reused, seconds=seconds
+            )
+        )
+        return value
+
+    def backend(self):
+        """The (lazily constructed) execution backend for sharded fits."""
+        if self._backend is None:
+            self._backend = self.execution.make_backend()
+        return self._backend
+
+    def close(self) -> None:
+        """Release any worker pool the session started (caches survive)."""
+        if self._backend is not None and hasattr(self._backend, "close"):
+            self._backend.close()
+        self._backend = None
+
+    def __enter__(self) -> "Profiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def summary(self, dataset: str, kind: str, **params: object) -> object:
+        """Fetch (fitting on first use) a raw summary through the session cache.
+
+        This is the escape hatch for callers that want the underlying
+        object itself — e.g. the fitted :class:`NonSeparationSketch` to
+        inspect its memory footprint — while still sharing the cache with
+        every façade verb.
+        """
+        return self._fit_summary(dataset, self._require(dataset), kind, params, [])
+
+    def sharded(self, dataset: str) -> ShardedDataset | None:
+        """The shard layout for ``dataset`` (``None`` in direct mode)."""
+        return self._require(dataset).sharded
+
+    def summaries(self, name: str | None = None) -> list[SummarySpec]:
+        """Specs cached in this session (optionally for one dataset)."""
+        return [
+            key[1]
+            for key in self._summaries.keys()
+            if name is None or key[0] == name
+        ]
+
+    def stats(self) -> dict:
+        """Session-wide cache accounting (the fit-count observables)."""
+        return {
+            "summary_fits": self._summaries.misses,
+            "summary_reuses": self._summaries.hits,
+            "result_memos": self._results.misses,
+            "result_reuses": self._results.hits,
+        }
+
+    # ------------------------------------------------------------------
+    # The uniform ask path
+    # ------------------------------------------------------------------
+
+    def ask(self, task: str, dataset: str, /, *args: object, **params: object) -> Result:
+        """Answer any registered task; every verb below is sugar over this."""
+        spec = get_task(task)
+        entry = self._require(dataset)
+        started = time.perf_counter()
+        ctx = TaskContext(profiler=self, name=dataset, entry=entry)
+        resolved: dict[str, object] = {
+            key: value for key, value in params.items() if value is not None
+        }
+        if args:
+            resolved["args"] = args
+
+        cache_key = None
+        if spec.cache_result:
+            cache_key = (dataset, "result", task, _freeze(args), _freeze(params))
+            hit = self._results.lookup(cache_key)
+            if hit is not None:
+                value, cached_params = hit.value
+                return Result(
+                    task=task,
+                    dataset=dataset,
+                    value=value,
+                    params=dict(cached_params),
+                    summaries=(
+                        SummaryUse(
+                            kind=f"result:{task}",
+                            key=_param_key(cached_params),
+                            reused=True,
+                            seconds=0.0,
+                        ),
+                    ),
+                    seconds=time.perf_counter() - started,
+                    backend=self.execution.label,
+                )
+
+        value = spec.func(ctx, *args, **params)
+        resolved.update(ctx.params)
+        deterministic = resolved.get("seed", 0) is not None
+        if cache_key is not None and deterministic:
+            self._results.store(cache_key, (value, dict(resolved)))
+        return Result(
+            task=task,
+            dataset=dataset,
+            value=value,
+            params=resolved,
+            summaries=tuple(ctx.uses),
+            seconds=time.perf_counter() - started,
+            backend=self.execution.label,
+        )
+
+    # ------------------------------------------------------------------
+    # Verbs (thin, uniform wrappers)
+    # ------------------------------------------------------------------
+
+    def is_key(self, dataset, attributes, *, epsilon=None, seed=None) -> Result:
+        """Is ``attributes`` an ε-separation key? (``Result.value: bool``)"""
+        return self.ask("is_key", dataset, attributes, epsilon=epsilon, seed=seed)
+
+    def classify(self, dataset, attributes, *, epsilon=None, seed=None) -> Result:
+        """Key / bad / intermediate classification of an attribute set."""
+        return self.ask("classify", dataset, attributes, epsilon=epsilon, seed=seed)
+
+    def min_key(
+        self,
+        dataset,
+        *,
+        epsilon=None,
+        method: str = "tuples",
+        sample_size: int | None = None,
+        constant: float = 1.0,
+        seed=None,
+    ) -> Result:
+        """Approximate minimum ε-separation key (``Result.value: MinKeyResult``)."""
+        return self.ask(
+            "min_key",
+            dataset,
+            epsilon=epsilon,
+            method=method,
+            sample_size=sample_size,
+            constant=constant,
+            seed=seed,
+        )
+
+    def non_separation(
+        self,
+        dataset,
+        attributes,
+        *,
+        k: int | None = None,
+        alpha: float = 0.05,
+        epsilon: float = 0.25,
+        seed=None,
+    ) -> Result:
+        """Sketch estimate of Γ_A (``Result.value: SketchAnswer``)."""
+        return self.ask(
+            "non_separation",
+            dataset,
+            attributes,
+            k=k,
+            alpha=alpha,
+            epsilon=epsilon,
+            seed=seed,
+        )
+
+    def afds(
+        self,
+        dataset,
+        *,
+        max_error: float = 0.0,
+        max_lhs_size: int | None = None,
+        prune_keys: bool = True,
+    ) -> Result:
+        """Minimal approximate FDs (``Result.value: tuple[FunctionalDependency]``)."""
+        return self.ask(
+            "afds",
+            dataset,
+            max_error=max_error,
+            max_lhs_size=max_lhs_size,
+            prune_keys=prune_keys,
+        )
+
+    def risk(self, dataset, attributes, *, sensitive=None) -> Result:
+        """Disclosure-risk report (``Result.value: RiskReport``)."""
+        return self.ask("risk", dataset, attributes, sensitive=sensitive)
+
+    def linkage(
+        self, dataset, attributes, *, n_targets=None, noise: float = 0.0, seed=None
+    ) -> Result:
+        """Simulated linking attack (``Result.value: LinkageAttackResult``)."""
+        return self.ask(
+            "linkage", dataset, attributes, n_targets=n_targets, noise=noise, seed=seed
+        )
+
+    def dedup(
+        self,
+        dataset,
+        blocking_keys,
+        *,
+        threshold: float = 0.85,
+        weights=None,
+        max_block_size: int = 50,
+    ) -> Result:
+        """Fuzzy-duplicate detection (``Result.value: DedupResult``)."""
+        return self.ask(
+            "dedup",
+            dataset,
+            blocking_keys,
+            threshold=threshold,
+            weights=weights,
+            max_block_size=max_block_size,
+        )
+
+    def profile(self, dataset) -> Result:
+        """Per-column identifiability ranking (``Result.value: tuple[ColumnProfile]``)."""
+        return self.ask("profile", dataset)
+
+    def mask(
+        self, dataset, *, epsilon=None, max_key_size: int = 1, seed=None, **options
+    ) -> Result:
+        """Suppress columns until no small quasi-identifier remains."""
+        return self.ask(
+            "mask",
+            dataset,
+            epsilon=epsilon,
+            max_key_size=max_key_size,
+            seed=seed,
+            **options,
+        )
+
+    def anonymize(self, dataset, attributes, *, k: int = 10) -> Result:
+        """Mondrian k-anonymization (``Result.value: AnonymizationResult``)."""
+        return self.ask("anonymize", dataset, attributes, k=k)
+
+    # ------------------------------------------------------------------
+
+    def tasks(self) -> list[str]:
+        """Every task name this session can answer."""
+        return available_tasks()
+
+    def __repr__(self) -> str:
+        return (
+            f"Profiler(datasets={self.datasets()}, execution={self.execution.label!r}, "
+            f"epsilon={self.default_epsilon}, seed={self.default_seed})"
+        )

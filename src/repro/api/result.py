@@ -1,0 +1,160 @@
+"""The one result envelope every :class:`repro.api.Profiler` verb returns.
+
+Before the façade existed each analysis had its own result shape —
+``bool`` from the filters, :class:`~repro.core.minkey.MinKeyResult`,
+:class:`~repro.core.sketch.SketchAnswer`,
+:class:`~repro.privacy.risk.RiskReport`, bare lists from
+:func:`~repro.fd.discovery.discover_afds` — and every caller (and every CLI
+subcommand) grew bespoke glue.  :class:`Result` wraps any of those payloads
+with the metadata a session caller actually needs:
+
+* which **task** produced it, on which **dataset**;
+* the **resolved parameters** (the ε/seed actually used, after session
+  defaults were applied) so a result is replayable;
+* **summary provenance** — which underlying summaries (tuple filters, pair
+  sketches, memoized task results) were consulted, and whether each was
+  *fitted now* or *reused* from the session cache;
+* wall-clock **seconds**.
+
+``to_dict``/``to_json`` render the whole envelope — including any
+dataclass/enum/NumPy payload — as plain JSON, which is what the CLI's
+shared ``--json`` flag emits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+
+def jsonify(value: object) -> object:
+    """Recursively convert ``value`` into JSON-serializable builtins.
+
+    Handles the library's payload zoo: dataclasses become dicts (tagged
+    with their class name under ``"type"``), enums collapse to their
+    values, NumPy scalars/arrays to Python numbers/lists, sets are sorted,
+    and datasets are summarized by shape rather than dumped row by row.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, enum.Enum):
+        return jsonify(value.value)
+    # Datasets embedded in results (e.g. anonymized output tables) are
+    # summarized, not serialized — row dumps belong in save_csv, not JSON.
+    if hasattr(value, "codes") and hasattr(value, "column_names"):
+        return {
+            "type": type(value).__name__,
+            "n_rows": int(value.n_rows),
+            "n_columns": int(value.n_columns),
+            "column_names": list(value.column_names),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            field.name: jsonify(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"type": type(value).__name__, **payload}
+    if isinstance(value, Mapping):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [jsonify(item) for item in sorted(value)]
+    if isinstance(value, (list, tuple)):
+        return [jsonify(item) for item in value]
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class SummaryUse:
+    """One underlying summary a task consulted.
+
+    Attributes
+    ----------
+    kind:
+        Summary kind (``"tuple_filter"``, ``"nonsep_sketch"``, ...) or
+        ``"result:<task>"`` for a memoized task answer.
+    key:
+        Canonical parameter string identifying the cache entry.
+    reused:
+        ``True`` when the summary was served from the session cache,
+        ``False`` when it was fitted for this call.
+    seconds:
+        Fit cost actually paid by this call (0.0 on a reuse).
+    """
+
+    kind: str
+    key: str
+    reused: bool
+    seconds: float
+
+    def __str__(self) -> str:
+        state = "reused" if self.reused else f"fitted in {self.seconds:.3f}s"
+        return f"{self.kind}[{self.key}] {state}"
+
+
+@dataclass(frozen=True)
+class Result:
+    """The uniform envelope returned by every façade verb.
+
+    Attributes
+    ----------
+    task:
+        Registry name of the task that produced the value.
+    dataset:
+        Session name of the dataset the question was asked of.
+    value:
+        The task's payload (unchanged — ``MinKeyResult``, ``RiskReport``,
+        ``bool``, ...), so existing downstream code keeps working.
+    params:
+        The *resolved* parameters the task ran with (session defaults
+        applied), including ``epsilon``/``seed`` where relevant.
+    summaries:
+        Provenance: every cached summary consulted, with reuse flags.
+    seconds:
+        End-to-end wall-clock time for this question.
+    backend:
+        ``"direct"`` for in-memory fitting or the execution backend name
+        plus shard count for engine-routed fits (e.g. ``"process x8"``).
+    """
+
+    task: str
+    dataset: str
+    value: object
+    params: dict
+    summaries: tuple[SummaryUse, ...]
+    seconds: float
+    backend: str = "direct"
+
+    @property
+    def fitted_summaries(self) -> tuple[SummaryUse, ...]:
+        """Summaries this call paid to fit."""
+        return tuple(use for use in self.summaries if not use.reused)
+
+    @property
+    def reused_summaries(self) -> tuple[SummaryUse, ...]:
+        """Summaries served from the session cache."""
+        return tuple(use for use in self.summaries if use.reused)
+
+    def to_dict(self) -> dict:
+        """The envelope as JSON-serializable builtins."""
+        return {
+            "task": self.task,
+            "dataset": self.dataset,
+            "value": jsonify(self.value),
+            "params": jsonify(self.params),
+            "summaries": [jsonify(use) for use in self.summaries],
+            "seconds": self.seconds,
+            "backend": self.backend,
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The envelope as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)

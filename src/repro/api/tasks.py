@@ -1,0 +1,254 @@
+"""The task registry: every analysis the façade can answer, by name.
+
+A *task* is a plain function taking a :class:`repro.api.profiler.TaskContext`
+(which exposes the dataset, the session defaults, and the shared summary
+cache) plus its own keyword parameters, returning a payload value.  The
+:class:`~repro.api.Profiler` looks tasks up here, so a new analysis plugs
+into the façade — and automatically into ``profiler.ask`` and the CLI's
+``--json`` envelope — by registering a function, without touching the
+façade itself::
+
+    from repro.api.tasks import task
+
+    @task("column_entropy", cache_result=True)
+    def column_entropy(ctx, column):
+        from repro.data.profile import profile_column
+        return profile_column(ctx.data, ctx.data.resolve_attributes([column])[0])
+
+Built-in tasks and their summary reuse
+--------------------------------------
+=================  =============================================  ==========
+task               underlying summary                             reuses
+=================  =============================================  ==========
+``is_key``         Theorem 1 tuple-sample filter                  per (ε, seed)
+``classify``       exact scan (direct) / merged sample (sharded)  filter when sharded
+``min_key``        :func:`repro.core.minkey.approximate_min_key`  memoized result
+``non_separation`` Theorem 2 pair sketch                          per (k, α, ε, seed)
+``afds``           partition-refinement lattice scan              memoized result
+``risk``           equivalence-class statistics                   memoized result
+``linkage``        simulated join attack                          memoized (seeded)
+``dedup``          blocking + record similarity                   memoized result
+``profile``        per-column identifiability statistics          memoized result
+``mask``           iterated small-key suppression                 memoized (seeded)
+``anonymize``      Mondrian generalization                        memoized result
+=================  =============================================  ==========
+
+Deterministic (or deterministically seeded) tasks are marked
+``cache_result=True``: asking the same question of the same dataset twice
+returns the memoized answer, observably skipping recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import InvalidParameterError
+
+#: name -> Task for every registered analysis.
+_REGISTRY: dict[str, "Task"] = {}
+
+
+@dataclass(frozen=True)
+class Task:
+    """A registered analysis: a callable plus its dispatch metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the verb name surfaced in :class:`Result.task`.
+    func:
+        ``func(ctx, *args, **params) -> value``.
+    cache_result:
+        Memoize the answer per (dataset, arguments) when the resolved seed
+        is deterministic.
+    """
+
+    name: str
+    func: Callable[..., object]
+    cache_result: bool = False
+
+    @property
+    def doc(self) -> str:
+        """First line of the task function's docstring."""
+        text = (self.func.__doc__ or "").strip()
+        return text.splitlines()[0] if text else ""
+
+
+def task(name: str, *, cache_result: bool = False):
+    """Decorator registering a task under ``name`` (last registration wins)."""
+
+    def decorator(func: Callable[..., object]) -> Callable[..., object]:
+        _REGISTRY[name] = Task(name=name, func=func, cache_result=cache_result)
+        return func
+
+    return decorator
+
+
+def get_task(name: str) -> Task:
+    """Look up a registered task, with a helpful error on miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown task {name!r}; registered: {available_tasks()}"
+        ) from None
+
+
+def available_tasks() -> list[str]:
+    """Registered task names, sorted."""
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Built-in tasks.  Each takes the TaskContext duck type: ``ctx.data`` is
+# the registered Dataset, ``ctx.epsilon(value)`` / ``ctx.seed(value)``
+# resolve per-call overrides against the session defaults (recording the
+# resolved value in the result envelope), and ``ctx.tuple_filter`` /
+# ``ctx.sketch`` fetch shared summaries through the session cache.
+# ----------------------------------------------------------------------
+
+
+@task("is_key")
+def _task_is_key(ctx, attributes, *, epsilon=None, seed=None):
+    """Does ``attributes`` ε-separate the table? (Theorem 1 filter answer.)"""
+    return bool(ctx.tuple_filter(epsilon, seed).accepts(attributes))
+
+
+@task("classify")
+def _task_classify(ctx, attributes, *, epsilon=None, seed=None):
+    """Classify ``attributes`` as key / bad / intermediate at ε."""
+    from repro.core.filters import classify
+
+    epsilon = ctx.epsilon(epsilon)
+    if not ctx.sharded:
+        # Direct mode matches the module call: an exact full-table scan.
+        return classify(ctx.data, attributes, epsilon)
+    # Sharded mode classifies on the merged tuple sample — the engine
+    # exists precisely to avoid full-table scans.
+    tuple_filter = ctx.tuple_filter(epsilon, seed)
+    sample = tuple_filter.sample
+    return classify(sample, sample.resolve_attributes(attributes), epsilon)
+
+
+@task("min_key", cache_result=True)
+def _task_min_key(
+    ctx, *, epsilon=None, method="tuples", sample_size=None, constant=1.0, seed=None
+):
+    """Approximate minimum ε-separation key (quasi-identifier discovery)."""
+    from repro.core.minkey import approximate_min_key
+
+    epsilon = ctx.epsilon(epsilon)
+    seed = ctx.seed(seed)
+    if not ctx.sharded:
+        return approximate_min_key(
+            ctx.data,
+            epsilon,
+            method=method,
+            sample_size=sample_size,
+            constant=constant,
+            seed=seed,
+        )
+    sample = ctx.tuple_filter(epsilon, seed).sample
+    return approximate_min_key(
+        sample,
+        epsilon,
+        method=method,
+        sample_size=sample.n_rows,
+        constant=constant,
+        seed=seed,
+    )
+
+
+@task("non_separation")
+def _task_non_separation(
+    ctx, attributes, *, k=None, alpha=0.05, epsilon=0.25, seed=None
+):
+    """(1 ± ε) estimate of the non-separation count Γ_A (Theorem 2 sketch)."""
+    if k is None:
+        k = max(1, len(ctx.data.resolve_attributes(attributes)))
+    sketch = ctx.sketch(k=k, alpha=alpha, epsilon=epsilon, seed=seed)
+    return sketch.query(attributes)
+
+
+@task("afds", cache_result=True)
+def _task_afds(ctx, *, max_error=0.0, max_lhs_size=None, prune_keys=True):
+    """Minimal approximate functional dependencies with g3 ≤ max_error."""
+    from repro.fd.discovery import discover_afds
+
+    return tuple(
+        discover_afds(
+            ctx.data,
+            max_error=max_error,
+            max_lhs_size=max_lhs_size,
+            prune_keys=prune_keys,
+        )
+    )
+
+
+@task("risk", cache_result=True)
+def _task_risk(ctx, attributes, *, sensitive=None):
+    """Disclosure-risk report (k-anonymity, uniqueness, linking risks)."""
+    from repro.privacy.risk import assess_risk
+
+    return assess_risk(ctx.data, attributes, sensitive=sensitive)
+
+
+@task("linkage", cache_result=True)
+def _task_linkage(ctx, attributes, *, n_targets=None, noise=0.0, seed=None):
+    """Simulated linking attack joining noisy background knowledge."""
+    from repro.privacy.linkage import simulate_linking_attack
+
+    return simulate_linking_attack(
+        ctx.data,
+        attributes,
+        n_targets=n_targets,
+        noise=noise,
+        seed=ctx.seed(seed),
+    )
+
+
+@task("dedup", cache_result=True)
+def _task_dedup(
+    ctx, blocking_keys, *, threshold=0.85, weights=None, max_block_size=50
+):
+    """Fuzzy-duplicate detection: block, compare records, cluster."""
+    from repro.cleaning.dedup import find_fuzzy_duplicates
+
+    return find_fuzzy_duplicates(
+        ctx.data,
+        [list(key) for key in blocking_keys],
+        threshold=threshold,
+        weights=list(weights) if weights is not None else None,
+        max_block_size=max_block_size,
+    )
+
+
+@task("profile", cache_result=True)
+def _task_profile(ctx):
+    """Per-column identifiability profile, most identifying first."""
+    from repro.data.profile import rank_by_identifiability
+
+    return tuple(rank_by_identifiability(ctx.data))
+
+
+@task("mask", cache_result=True)
+def _task_mask(ctx, *, epsilon=None, max_key_size=1, seed=None, **options):
+    """Suppress columns until no quasi-identifier of size ≤ k remains."""
+    from repro.core.masking import mask_small_quasi_identifiers
+
+    return mask_small_quasi_identifiers(
+        ctx.data,
+        ctx.epsilon(epsilon),
+        max_key_size,
+        seed=ctx.seed(seed),
+        **options,
+    )
+
+
+@task("anonymize", cache_result=True)
+def _task_anonymize(ctx, attributes, *, k=10):
+    """Mondrian k-anonymization of a quasi-identifier."""
+    from repro.privacy.anonymize import mondrian_anonymize
+
+    return mondrian_anonymize(ctx.data, attributes, k)

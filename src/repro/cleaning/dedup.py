@@ -162,6 +162,9 @@ def find_fuzzy_duplicates(
 ) -> DedupResult:
     """Detect fuzzy duplicates: block, compare decoded records, cluster.
 
+    Session callers: :meth:`repro.api.Profiler.dedup` wraps this with
+    answer memoization and the shared :class:`~repro.api.Result` envelope.
+
     Parameters
     ----------
     data:

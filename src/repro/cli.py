@@ -1,5 +1,12 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
+Every subcommand is a thin adapter over the :class:`repro.api.Profiler`
+session façade: it registers the requested dataset once, asks one or more
+questions through the uniform verb set, and renders the shared
+:class:`repro.api.Result` envelope either as human-readable text or — with
+the global per-subcommand ``--json`` flag — as a machine-readable JSON
+document.
+
 Commands
 --------
 ``repro table1 [--scale 0.05] [--trials 3] [--queries 50]``
@@ -8,6 +15,10 @@ Commands
     Discover an approximate minimum ε-separation key of a registry data set.
 ``repro sketch --dataset adult --k 3 [--alpha 0.05] [--epsilon 0.1]``
     Build a non-separation sketch and print estimates for a few queries.
+``repro profile --dataset adult``
+    Per-column identifiability profile.
+``repro mask --dataset adult [--epsilon 0.001] [--max-key-size 1]``
+    Suppress columns until no small quasi-identifier remains.
 ``repro fd --dataset adult [--max-error 0.01] [--max-lhs 2]``
     Discover minimal approximate functional dependencies.
 ``repro risk --dataset adult --attributes 0,1,2``
@@ -17,15 +28,19 @@ Commands
 ``repro dedup [--rows 300] [--threshold 0.8]``
     Plant fuzzy duplicates in a synthetic people table and detect them.
 ``repro engine profile --dataset adult [--shards 8] [--backend process]``
-    Shard the data set, fit mergeable summaries per shard (in parallel),
-    merge them, and answer a batched query workload with timing stats.
+    The same Profiler session with a sharded/parallel ExecutionConfig:
+    fit mergeable summaries per shard and answer a batched workload.
 ``repro datasets``
-    List the registered synthetic workloads.
+    List the registered synthetic workloads with seeds and default shapes.
+
+All dataset commands share ``--dataset/--rows/--seed`` plumbing and a
+session ε default; ``--json`` is accepted by every subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -43,7 +58,25 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     commands = parser.add_subparsers(dest="command", required=True)
 
-    table1 = commands.add_parser("table1", help="run the Table 1 experiment")
+    json_flag = argparse.ArgumentParser(add_help=False)
+    json_flag.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable Result envelope instead of text",
+    )
+
+    dataset_args = argparse.ArgumentParser(add_help=False)
+    dataset_args.add_argument(
+        "--dataset", required=True, help="registry dataset name"
+    )
+    dataset_args.add_argument(
+        "--rows", type=int, default=None, help="row-count override"
+    )
+    dataset_args.add_argument("--seed", type=int, default=0)
+
+    table1 = commands.add_parser(
+        "table1", parents=[json_flag], help="run the Table 1 experiment"
+    )
     table1.add_argument(
         "--scale",
         type=float,
@@ -56,39 +89,36 @@ def _build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--seed", type=int, default=0)
 
     minkey = commands.add_parser(
-        "minkey", help="approximate minimum epsilon-separation key"
+        "minkey",
+        parents=[json_flag, dataset_args],
+        help="approximate minimum epsilon-separation key",
     )
-    minkey.add_argument("--dataset", required=True, help="registry dataset name")
-    minkey.add_argument("--rows", type=int, default=None, help="row-count override")
     minkey.add_argument("--epsilon", type=float, default=0.001)
     minkey.add_argument(
         "--method", choices=["tuples", "pairs", "exact"], default="tuples"
     )
-    minkey.add_argument("--seed", type=int, default=0)
 
     sketch = commands.add_parser(
-        "sketch", help="non-separation estimation sketch demo"
+        "sketch",
+        parents=[json_flag, dataset_args],
+        help="non-separation estimation sketch demo",
     )
-    sketch.add_argument("--dataset", required=True, help="registry dataset name")
-    sketch.add_argument("--rows", type=int, default=None, help="row-count override")
     sketch.add_argument("--k", type=int, default=3, help="maximum query size")
     sketch.add_argument("--alpha", type=float, default=0.05)
     sketch.add_argument("--epsilon", type=float, default=0.1)
     sketch.add_argument("--queries", type=int, default=8)
-    sketch.add_argument("--seed", type=int, default=0)
 
-    profile = commands.add_parser(
-        "profile", help="per-column identifiability profile of a dataset"
+    commands.add_parser(
+        "profile",
+        parents=[json_flag, dataset_args],
+        help="per-column identifiability profile of a dataset",
     )
-    profile.add_argument("--dataset", required=True, help="registry dataset name")
-    profile.add_argument("--rows", type=int, default=None, help="row-count override")
-    profile.add_argument("--seed", type=int, default=0)
 
     mask = commands.add_parser(
-        "mask", help="suppress columns until no small quasi-identifier remains"
+        "mask",
+        parents=[json_flag, dataset_args],
+        help="suppress columns until no small quasi-identifier remains",
     )
-    mask.add_argument("--dataset", required=True, help="registry dataset name")
-    mask.add_argument("--rows", type=int, default=None, help="row-count override")
     mask.add_argument("--epsilon", type=float, default=0.001)
     mask.add_argument(
         "--max-key-size",
@@ -96,13 +126,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="the adversary's bundle budget k",
     )
-    mask.add_argument("--seed", type=int, default=0)
 
     fd = commands.add_parser(
-        "fd", help="discover minimal approximate functional dependencies"
+        "fd",
+        parents=[json_flag, dataset_args],
+        help="discover minimal approximate functional dependencies",
     )
-    fd.add_argument("--dataset", required=True, help="registry dataset name")
-    fd.add_argument("--rows", type=int, default=None, help="row-count override")
     fd.add_argument(
         "--max-error", type=float, default=0.0, help="g3 threshold in [0, 1)"
     )
@@ -110,13 +139,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-lhs", type=int, default=2, help="left-hand-side size cap"
     )
     fd.add_argument("--limit", type=int, default=25, help="print at most this many")
-    fd.add_argument("--seed", type=int, default=0)
 
     risk = commands.add_parser(
-        "risk", help="disclosure-risk report for a quasi-identifier"
+        "risk",
+        parents=[json_flag, dataset_args],
+        help="disclosure-risk report for a quasi-identifier",
     )
-    risk.add_argument("--dataset", required=True, help="registry dataset name")
-    risk.add_argument("--rows", type=int, default=None, help="row-count override")
     risk.add_argument(
         "--attributes",
         required=True,
@@ -131,23 +159,23 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="adversary knowledge noise for the simulated linking attack",
     )
-    risk.add_argument("--seed", type=int, default=0)
 
     anonymize = commands.add_parser(
-        "anonymize", help="Mondrian k-anonymization of a quasi-identifier"
+        "anonymize",
+        parents=[json_flag, dataset_args],
+        help="Mondrian k-anonymization of a quasi-identifier",
     )
-    anonymize.add_argument("--dataset", required=True, help="registry dataset name")
-    anonymize.add_argument("--rows", type=int, default=None, help="row-count override")
     anonymize.add_argument(
         "--attributes",
         required=True,
         help="comma-separated quasi-identifier columns (indices or names)",
     )
     anonymize.add_argument("--k", type=int, default=10, help="anonymity parameter")
-    anonymize.add_argument("--seed", type=int, default=0)
 
     dedup = commands.add_parser(
-        "dedup", help="plant and detect fuzzy duplicates (cleaning demo)"
+        "dedup",
+        parents=[json_flag],
+        help="plant and detect fuzzy duplicates (cleaning demo)",
     )
     dedup.add_argument("--rows", type=int, default=300, help="clean rows")
     dedup.add_argument(
@@ -161,13 +189,8 @@ def _build_parser() -> argparse.ArgumentParser:
     engine_commands = engine.add_subparsers(dest="engine_command", required=True)
     engine_profile = engine_commands.add_parser(
         "profile",
+        parents=[json_flag, dataset_args],
         help="shard, fit-and-merge summaries, answer a batched workload",
-    )
-    engine_profile.add_argument(
-        "--dataset", required=True, help="registry dataset name"
-    )
-    engine_profile.add_argument(
-        "--rows", type=int, default=None, help="row-count override"
     )
     engine_profile.add_argument(
         "--shards", type=int, default=8, help="number of row shards"
@@ -195,13 +218,45 @@ def _build_parser() -> argparse.ArgumentParser:
         "--k", type=int, default=2, help="sketch query size bound"
     )
     engine_profile.add_argument("--alpha", type=float, default=0.05)
-    engine_profile.add_argument("--seed", type=int, default=0)
 
-    commands.add_parser("datasets", help="list registered synthetic datasets")
+    datasets = commands.add_parser(
+        "datasets",
+        parents=[json_flag],
+        help="list registered synthetic datasets",
+    )
+    datasets.add_argument(
+        "--seed", type=int, default=0, help="seed the workloads would be built with"
+    )
     return parser
 
 
+def _emit_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2))
+
+
+def _session(args: argparse.Namespace, execution=None, *, epsilon: float | None = None):
+    """One Profiler session per CLI invocation, seeded from the arguments."""
+    from repro.api import Profiler
+
+    kwargs = {"seed": getattr(args, "seed", 0)}
+    if epsilon is not None:
+        kwargs["epsilon"] = epsilon
+    profiler = Profiler(execution, **kwargs)
+    if getattr(args, "dataset", None) is not None:
+        profiler.add_named(args.dataset, rows=args.rows)
+    return profiler
+
+
+def _parse_attributes(spec: str) -> list:
+    return [
+        int(token) if token.lstrip("-").isdigit() else token
+        for token in (piece.strip() for piece in spec.split(","))
+        if token
+    ]
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.api.result import jsonify
     from repro.experiments.config import FilterExperimentConfig, Table1Config
     from repro.experiments.table1 import run_table1, table1_rows_to_text
 
@@ -216,25 +271,40 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     if args.scale < 1.0:
         config = config.scaled(args.scale)
     rows = run_table1(config)
+    if args.json:
+        _emit_json(
+            {
+                "task": "table1",
+                "params": {
+                    "scale": args.scale,
+                    "epsilon": args.epsilon,
+                    "trials": args.trials,
+                    "queries": args.queries,
+                    "seed": args.seed,
+                },
+                "value": jsonify(rows),
+            }
+        )
+        return 0
     print(table1_rows_to_text(rows))
     return 0
 
 
 def _cmd_minkey(args: argparse.Namespace) -> int:
-    from repro.core.minkey import approximate_min_key
     from repro.core.separation import separation_ratio
-    from repro.data.registry import build_dataset
 
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-    result = approximate_min_key(
-        data, args.epsilon, method=args.method, seed=args.seed
-    )
-    names = [data.column_names[a] for a in result.attributes]
-    ratio = separation_ratio(data, result.attributes)
+    profiler = _session(args, epsilon=args.epsilon)
+    result = profiler.min_key(args.dataset, method=args.method)
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0
+    data = profiler.dataset(args.dataset)
+    names = [data.column_names[a] for a in result.value.attributes]
+    ratio = separation_ratio(data, result.value.attributes)
     print(f"dataset           : {args.dataset} {data.shape}")
-    print(f"method            : {result.method}")
-    print(f"sample size       : {result.sample_size}")
-    print(f"key size          : {result.key_size}")
+    print(f"method            : {result.value.method}")
+    print(f"sample size       : {result.value.sample_size}")
+    print(f"key size          : {result.value.key_size}")
     print(f"key attributes    : {names}")
     print(f"separation ratio  : {ratio:.6f}")
     return 0
@@ -242,76 +312,95 @@ def _cmd_minkey(args: argparse.Namespace) -> int:
 
 def _cmd_sketch(args: argparse.Namespace) -> int:
     from repro.core.separation import unseparated_pairs
-    from repro.core.sketch import NonSeparationSketch
-    from repro.data.registry import build_dataset
     from repro.experiments.workloads import random_attribute_subsets
 
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-    sketch = NonSeparationSketch.fit(
-        data, k=args.k, alpha=args.alpha, epsilon=args.epsilon, seed=args.seed
+    profiler = _session(args)
+    data = profiler.dataset(args.dataset)
+    queries = random_attribute_subsets(
+        data.n_columns, args.queries, seed=args.seed, max_size=args.k
+    )
+    results = [
+        profiler.non_separation(
+            args.dataset, query, k=args.k, alpha=args.alpha, epsilon=args.epsilon
+        )
+        for query in queries
+    ]
+    if args.json:
+        _emit_json({"task": "sketch", "estimates": [r.to_dict() for r in results]})
+        return 0
+    sketch = profiler.summary(
+        args.dataset,
+        "nonsep_sketch",
+        k=args.k,
+        alpha=args.alpha,
+        epsilon=args.epsilon,
+        seed=args.seed,
     )
     print(
         f"sketch: {sketch.sample_size} pairs "
         f"({sketch.memory_bits():,} bits; lower bound "
         f"{sketch.lower_bound_bits():,} bits)"
     )
-    queries = random_attribute_subsets(
-        data.n_columns, args.queries, seed=args.seed, max_size=args.k
-    )
-    for query in queries:
-        answer = sketch.query(query)
+    for query, result in zip(queries, results):
+        answer = result.value
         exact = unseparated_pairs(data, query)
         shown = "small" if answer.is_small else f"{answer.estimate:,.0f}"
-        print(f"  A={list(query)}: estimate={shown} exact={exact:,}")
+        reuse = "reused" if result.reused_summaries else "fitted"
+        print(f"  A={list(query)}: estimate={shown} exact={exact:,} ({reuse})")
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.data.profile import profiles_to_rows, rank_by_identifiability
-    from repro.data.registry import build_dataset
+    from repro.data.profile import profiles_to_rows
     from repro.experiments.reporting import format_table
 
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-    ranked = rank_by_identifiability(data)
+    profiler = _session(args)
+    result = profiler.profile(args.dataset)
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0
+    data = profiler.dataset(args.dataset)
     print(f"{args.dataset} {data.shape} — most identifying columns first\n")
     print(
         format_table(
             ["column", "cardinality", "separation", "entropy (bits)", "max freq"],
-            profiles_to_rows(ranked),
+            profiles_to_rows(list(result.value)),
         )
     )
     return 0
 
 
 def _cmd_mask(args: argparse.Namespace) -> int:
-    from repro.core.masking import mask_small_quasi_identifiers
-    from repro.data.registry import build_dataset
-
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-    result = mask_small_quasi_identifiers(
-        data, args.epsilon, args.max_key_size, seed=args.seed
-    )
-    suppressed = [data.column_names[c] for c in result.suppressed]
-    remaining = [data.column_names[c] for c in result.remaining]
-    mode = "exact" if result.exact else "heuristic"
+    profiler = _session(args, epsilon=args.epsilon)
+    result = profiler.mask(args.dataset, max_key_size=args.max_key_size)
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0
+    data = profiler.dataset(args.dataset)
+    masking = result.value
+    suppressed = [data.column_names[c] for c in masking.suppressed]
+    remaining = [data.column_names[c] for c in masking.remaining]
+    mode = "exact" if masking.exact else "heuristic"
     print(f"dataset        : {args.dataset} {data.shape}")
-    print(f"mode           : {mode} ({result.rounds} round(s))")
+    print(f"mode           : {mode} ({masking.rounds} round(s))")
     print(f"suppress       : {suppressed or 'nothing'}")
     print(f"safe to release: {remaining}")
-    if result.certificate_key is not None:
-        names = [data.column_names[c] for c in result.certificate_key]
+    if masking.certificate_key is not None:
+        names = [data.column_names[c] for c in masking.certificate_key]
         print(f"residual key   : {names} (size > k = {args.max_key_size})")
     return 0
 
 
 def _cmd_fd(args: argparse.Namespace) -> int:
-    from repro.data.registry import build_dataset
-    from repro.fd.discovery import discover_afds
-
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-    found = discover_afds(
-        data, max_error=args.max_error, max_lhs_size=args.max_lhs
+    profiler = _session(args)
+    result = profiler.afds(
+        args.dataset, max_error=args.max_error, max_lhs_size=args.max_lhs
     )
+    if args.json:
+        _emit_json(result.to_dict())
+        return 0
+    data = profiler.dataset(args.dataset)
+    found = result.value
     print(
         f"{args.dataset} {data.shape}: {len(found)} minimal AFD(s) with "
         f"g3 <= {args.max_error} and |lhs| <= {args.max_lhs}"
@@ -323,77 +412,82 @@ def _cmd_fd(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_attributes(spec: str) -> list:
-    return [
-        int(token) if token.lstrip("-").isdigit() else token
-        for token in (piece.strip() for piece in spec.split(","))
-        if token
-    ]
-
-
 def _cmd_risk(args: argparse.Namespace) -> int:
-    from repro.data.registry import build_dataset
-    from repro.privacy.linkage import simulate_linking_attack
-    from repro.privacy.risk import assess_risk
-
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    profiler = _session(args)
     attributes = _parse_attributes(args.attributes)
-    report = assess_risk(data, attributes, sensitive=args.sensitive)
+    report = profiler.risk(args.dataset, attributes, sensitive=args.sensitive)
+    attack = profiler.linkage(args.dataset, attributes, noise=args.noise)
+    if args.json:
+        _emit_json({"risk": report.to_dict(), "linkage": attack.to_dict()})
+        return 0
+    data = profiler.dataset(args.dataset)
     print(f"dataset: {args.dataset} {data.shape}")
-    for line in report.summary_lines():
+    for line in report.value.summary_lines():
         print(f"  {line}")
-    attack = simulate_linking_attack(
-        data, attributes, noise=args.noise, seed=args.seed
-    )
     print(
-        f"  linking attack (noise={args.noise}): recall={attack.recall:.3f} "
-        f"precision={attack.precision:.3f} "
-        f"ambiguous={attack.ambiguous_rate:.3f}"
+        f"  linking attack (noise={args.noise}): recall={attack.value.recall:.3f} "
+        f"precision={attack.value.precision:.3f} "
+        f"ambiguous={attack.value.ambiguous_rate:.3f}"
     )
     return 0
 
 
 def _cmd_anonymize(args: argparse.Namespace) -> int:
-    from repro.data.registry import build_dataset
-    from repro.privacy.anonymize import mondrian_anonymize
-    from repro.privacy.linkage import simulate_linking_attack
-
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    profiler = _session(args)
     attributes = _parse_attributes(args.attributes)
-    before = simulate_linking_attack(data, attributes, seed=args.seed)
-    result = mondrian_anonymize(data, attributes, args.k)
-    after = simulate_linking_attack(result.data, attributes, seed=args.seed)
+    before = profiler.linkage(args.dataset, attributes)
+    result = profiler.anonymize(args.dataset, attributes, k=args.k)
+    released = f"{args.dataset}.anonymized"
+    profiler.add(released, result.value.data)
+    after = profiler.linkage(released, attributes)
+    if args.json:
+        _emit_json(
+            {
+                "anonymize": result.to_dict(),
+                "attack_before": before.to_dict(),
+                "attack_after": after.to_dict(),
+            }
+        )
+        return 0
+    data = profiler.dataset(args.dataset)
     print(f"dataset           : {args.dataset} {data.shape}")
     print(f"k                 : {args.k}")
-    print(f"classes           : {result.n_classes} "
-          f"(smallest {result.smallest_class})")
-    print(f"information loss  : NCP={result.ncp:.3f} "
-          f"discernibility={result.discernibility:,}")
-    print(f"attack recall     : {before.recall:.3f} -> {after.recall:.3f}")
+    print(f"classes           : {result.value.n_classes} "
+          f"(smallest {result.value.smallest_class})")
+    print(f"information loss  : NCP={result.value.ncp:.3f} "
+          f"discernibility={result.value.discernibility:,}")
+    print(f"attack recall     : {before.value.recall:.3f} -> "
+          f"{after.value.recall:.3f}")
     return 0
 
 
 def _cmd_dedup(args: argparse.Namespace) -> int:
+    from repro.api.result import jsonify
     from repro.cleaning.corrupt import (
         inject_fuzzy_duplicates,
         make_clean_people_table,
     )
-    from repro.cleaning.dedup import evaluate_against_truth, find_fuzzy_duplicates
+    from repro.cleaning.dedup import evaluate_against_truth
 
     clean = make_clean_people_table(args.rows, seed=args.seed)
     dirty = inject_fuzzy_duplicates(clean, seed=args.seed + 1)
-    result = find_fuzzy_duplicates(
-        dirty.data,
+    profiler = _session(args)
+    profiler.add("dirty-people", dirty.data)
+    result = profiler.dedup(
+        "dirty-people",
         [["zip"], ["birth_year"], ["city"]],
         threshold=args.threshold,
         weights=[3.0, 3.0, 1.0, 0.5, 0.5],
     )
-    score = evaluate_against_truth(result.matched_pairs, dirty.true_pairs)
+    score = evaluate_against_truth(result.value.matched_pairs, dirty.true_pairs)
+    if args.json:
+        _emit_json({"dedup": result.to_dict(), "evaluation": jsonify(score)})
+        return 0
     print(f"dirty table    : {dirty.data.shape} "
           f"({len(dirty.true_pairs)} planted duplicates)")
-    print(f"candidates     : {result.n_comparisons} "
-          f"(reduction {result.blocking.reduction_ratio:.3%})")
-    print(f"matched pairs  : {len(result.matched_pairs)}")
+    print(f"candidates     : {result.value.n_comparisons} "
+          f"(reduction {result.value.blocking.reduction_ratio:.3%})")
+    print(f"matched pairs  : {len(result.value.matched_pairs)}")
     print(f"precision      : {score.precision:.3f}")
     print(f"recall         : {score.recall:.3f}")
     print(f"f1             : {score.f1:.3f}")
@@ -401,77 +495,116 @@ def _cmd_dedup(args: argparse.Namespace) -> int:
 
 
 def _cmd_engine(args: argparse.Namespace) -> int:
-    from repro.data.registry import build_dataset
-    from repro.engine.executor import get_backend
-    from repro.engine.service import ProfilingService, Query
+    from repro.api import ExecutionConfig
+
+    execution = ExecutionConfig(
+        backend=args.backend,
+        n_shards=args.shards,
+        workers=args.workers,
+        strategy=args.strategy,
+    )
+    with _session(args, execution, epsilon=args.epsilon) as profiler:
+        return _run_engine_profile(args, profiler)
+
+
+def _run_engine_profile(args: argparse.Namespace, profiler) -> int:
     from repro.experiments.workloads import random_attribute_subsets
 
-    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
-    backend = get_backend(args.backend, max_workers=args.workers)
-    service = ProfilingService(backend)
-    sharded = service.register(
-        args.dataset,
-        data,
-        n_shards=args.shards,
-        strategy=args.strategy,
-        seed=args.seed,
-    )
+    data = profiler.dataset(args.dataset)
 
     # Mixed workload: one min-key mining query, the rest split between
-    # membership checks and sketch estimates over random small subsets.
+    # membership checks, classifications, and sketch estimates.
     subsets = random_attribute_subsets(
         data.n_columns, max(1, args.queries - 1), seed=args.seed, max_size=args.k
     )
-    queries: list[Query] = [Query("min_key")]
-    for index, subset in enumerate(subsets):
-        op = ("is_key", "classify", "sketch_estimate")[index % 3]
-        queries.append(Query(op, tuple(subset)))
-    queries = queries[: args.queries]
+    results = [profiler.min_key(args.dataset)]
+    for index, subset in enumerate(subsets[: args.queries - 1]):
+        verb = (profiler.is_key, profiler.classify, profiler.non_separation)[
+            index % 3
+        ]
+        if verb is profiler.non_separation:
+            results.append(
+                verb(args.dataset, subset, k=args.k, alpha=args.alpha)
+            )
+        else:
+            results.append(verb(args.dataset, subset))
 
-    report = service.query_batch(
-        args.dataset,
-        queries,
-        epsilon=args.epsilon,
-        alpha=args.alpha,
-        sketch_k=args.k,
-        seed=args.seed,
-    )
-
-    print(f"dataset        : {args.dataset} {data.shape}")
-    print(f"shards         : {sharded.n_shards} ({sharded.strategy}; "
-          f"sizes {sharded.shard_sizes()})")
-    print(f"backend        : {report.backend}")
-    print(f"fit            : {report.fit_seconds:.3f}s "
-          f"({report.cache_misses} summary fit(s), "
-          f"{report.cache_hits} cache hit(s))")
-    print(f"batch          : {report.n_queries} queries in "
-          f"{report.query_seconds:.3f}s "
-          f"({1e3 * report.mean_query_seconds:.3f} ms/query)")
-    for op, count in sorted(report.op_counts().items()):
-        op_seconds = sum(
-            r.seconds for r in report.results if r.query.op == op
+    if args.json:
+        _emit_json(
+            {
+                "task": "engine_profile",
+                "execution": {
+                    "backend": args.backend,
+                    "shards": args.shards,
+                    "strategy": args.strategy,
+                },
+                "stats": profiler.stats(),
+                "results": [r.to_dict() for r in results],
+            }
         )
+        return 0
+
+    sharded = profiler.sharded(args.dataset)
+    stats = profiler.stats()
+    fit_seconds = sum(use.seconds for r in results for use in r.fitted_summaries)
+    query_seconds = sum(r.seconds for r in results) - fit_seconds
+    print(f"dataset        : {args.dataset} {data.shape}")
+    if sharded is not None:
+        print(f"shards         : {sharded.n_shards} ({sharded.strategy}; "
+              f"sizes {sharded.shard_sizes()})")
+    else:
+        print("shards         : 1 (direct in-memory fitting)")
+    print(f"backend        : {args.backend}")
+    print(f"fit            : {fit_seconds:.3f}s "
+          f"({stats['summary_fits']} summary fit(s), "
+          f"{stats['summary_reuses']} cache hit(s))")
+    print(f"batch          : {len(results)} queries in "
+          f"{query_seconds:.3f}s "
+          f"({1e3 * query_seconds / len(results):.3f} ms/query)")
+    op_counts: dict[str, int] = {}
+    for result in results:
+        op_counts[result.task] = op_counts.get(result.task, 0) + 1
+    for op, count in sorted(op_counts.items()):
+        op_seconds = sum(r.seconds for r in results if r.task == op)
         print(f"  {op:<15}: {count:>4} queries, {op_seconds:.4f}s total")
-    min_keys = [
-        r.value for r in report.results if r.query.op == "min_key"
-    ]
-    if min_keys:
-        names = [data.column_names[a] for a in min_keys[0].attributes]
-        print(f"min key        : {names} (size {min_keys[0].key_size})")
-    accepted = sum(
-        1 for r in report.results if r.query.op == "is_key" and r.value
-    )
-    checked = sum(1 for r in report.results if r.query.op == "is_key")
+    min_key = results[0].value
+    names = [data.column_names[a] for a in min_key.attributes]
+    print(f"min key        : {names} (size {min_key.key_size})")
+    accepted = sum(1 for r in results if r.task == "is_key" and r.value)
+    checked = sum(1 for r in results if r.task == "is_key")
     if checked:
         print(f"is_key accepts : {accepted}/{checked}")
     return 0
 
 
-def _cmd_datasets(_: argparse.Namespace) -> int:
-    from repro.data.registry import list_datasets
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data.registry import dataset_info, list_datasets
 
-    for name in list_datasets():
-        print(name)
+    infos = [dataset_info(name) for name in list_datasets()]
+    if args.json:
+        _emit_json(
+            {
+                "task": "datasets",
+                "value": [
+                    {
+                        "name": info.name,
+                        "default_rows": info.default_rows,
+                        "n_columns": info.n_columns,
+                        "seed": args.seed,
+                        "description": info.description,
+                    }
+                    for info in infos
+                ],
+            }
+        )
+        return 0
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        shape = f"{info.default_rows:,} x {info.n_columns}"
+        print(
+            f"{info.name:<{width}}  {shape:>14}  seed={args.seed}  "
+            f"{info.description}"
+        )
     return 0
 
 

@@ -278,7 +278,11 @@ class TupleSampleFilter:
         constant: float = 1.0,
         seed: SeedLike = None,
     ) -> "TupleSampleFilter":
-        """Sample ``Θ(m/√ε)`` tuples without replacement and build the filter."""
+        """Sample ``Θ(m/√ε)`` tuples without replacement and build the filter.
+
+        Session callers: :meth:`repro.api.Profiler.is_key` fits this filter
+        once per (ε, seed) and reuses it across questions.
+        """
         epsilon = validate_epsilon(epsilon)
         if sample_size is None:
             sample_size = _sizes.tuple_sample_size(

@@ -258,6 +258,11 @@ def approximate_min_key(
 ) -> MinKeyResult:
     """One-call façade over the three solvers.
 
+    Session callers: :meth:`repro.api.Profiler.min_key` wraps this with
+    summary caching and the shared :class:`~repro.api.Result` envelope; in
+    direct execution mode it returns the identical value for identical
+    seeds.
+
     Parameters
     ----------
     data:

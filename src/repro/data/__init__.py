@@ -20,7 +20,14 @@ from repro.data.profile import (
     rank_by_identifiability,
     uniqueness_ratio,
 )
-from repro.data.registry import DATASET_BUILDERS, build_dataset, list_datasets
+from repro.data.registry import (
+    DATASET_BUILDERS,
+    DATASET_INFO,
+    DatasetInfo,
+    build_dataset,
+    dataset_info,
+    list_datasets,
+)
 from repro.data.synthetic import (
     adult_like,
     covtype_like,
@@ -36,11 +43,14 @@ from repro.data.synthetic import (
 __all__ = [
     "ColumnProfile",
     "DATASET_BUILDERS",
+    "DATASET_INFO",
     "Dataset",
+    "DatasetInfo",
     "adult_like",
     "build_dataset",
     "covtype_like",
     "cps_like",
+    "dataset_info",
     "factorize_column",
     "factorize_table",
     "functional_dependency_dataset",

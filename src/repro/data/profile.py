@@ -17,7 +17,6 @@ module and the privacy example both consume these profiles.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

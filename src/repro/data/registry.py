@@ -7,6 +7,7 @@ both at paper scale and at a CI-friendly scale without code changes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.data.dataset import Dataset
@@ -26,44 +27,113 @@ from repro.types import SeedLike
 DATASET_BUILDERS: dict[str, Callable[[int | None, SeedLike], Dataset]] = {}
 
 
-def _register(name: str):
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Static metadata for a registered workload (no build required).
+
+    ``default_rows``/``n_columns`` describe the paper-scale default shape,
+    so tooling (e.g. ``repro datasets``) can list workloads without paying
+    to generate a 581k-row table.
+    """
+
+    name: str
+    default_rows: int
+    n_columns: int
+    description: str
+
+    @property
+    def default_shape(self) -> tuple[int, int]:
+        """(default_rows, n_columns)."""
+        return (self.default_rows, self.n_columns)
+
+
+DATASET_INFO: dict[str, DatasetInfo] = {}
+
+
+def _register(name: str, *, default_rows: int, n_columns: int, description: str):
     def decorator(fn: Callable[[int | None, SeedLike], Dataset]):
         DATASET_BUILDERS[name] = fn
+        DATASET_INFO[name] = DatasetInfo(
+            name=name,
+            default_rows=default_rows,
+            n_columns=n_columns,
+            description=description,
+        )
         return fn
 
     return decorator
 
 
-@_register("adult")
+@_register(
+    "adult",
+    default_rows=32_561,
+    n_columns=13,
+    description="UCI Adult stand-in (13 census attributes)",
+)
 def _build_adult(n_rows: int | None, seed: SeedLike) -> Dataset:
     return adult_like(n_rows or 32_561, seed)
 
 
-@_register("covtype")
+@_register(
+    "covtype",
+    default_rows=581_012,
+    n_columns=55,
+    description="UCI Covertype stand-in (10 numeric + 44 one-hot + label)",
+)
 def _build_covtype(n_rows: int | None, seed: SeedLike) -> Dataset:
     return covtype_like(n_rows or 581_012, seed)
 
 
-@_register("cps")
+@_register(
+    "cps",
+    default_rows=200_000,
+    n_columns=388,
+    description="CPS 2016 stand-in (388 mostly low-cardinality survey columns)",
+)
 def _build_cps(n_rows: int | None, seed: SeedLike) -> Dataset:
     return cps_like(n_rows or 200_000, seed=seed)
 
 
-@_register("zipf-small")
+@_register(
+    "zipf-small",
+    default_rows=5_000,
+    n_columns=12,
+    description="12 i.i.d. Zipf columns, cardinality 32 (CI-friendly)",
+)
 def _build_zipf_small(n_rows: int | None, seed: SeedLike) -> Dataset:
     return zipf_dataset(n_rows or 5_000, n_columns=12, cardinality=32, seed=seed)
 
 
-@_register("grid")
+@_register(
+    "grid",
+    default_rows=20_000,
+    n_columns=10,
+    description="uniform rows from {1..50}^10 (sampled Lemma 3 data)",
+)
 def _build_grid(n_rows: int | None, seed: SeedLike) -> Dataset:
     return grid_sample_dataset(q=50, m=10, n_rows=n_rows or 20_000, seed=seed)
 
 
-@_register("planted-clique")
+@_register(
+    "planted-clique",
+    default_rows=50_000,
+    n_columns=10,
+    description="Lemma 4 worst case: coordinate 0 hides a √(2ε)·n clique",
+)
 def _build_planted(n_rows: int | None, seed: SeedLike) -> Dataset:
     return planted_clique_dataset(
         n_rows or 50_000, n_columns=10, epsilon=0.001, seed=seed
     )
+
+
+def dataset_info(name: str) -> DatasetInfo:
+    """Static metadata for a registered workload."""
+    try:
+        return DATASET_INFO[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; known: {list_datasets()}"
+        ) from None
 
 
 def list_datasets() -> list[str]:

@@ -55,6 +55,7 @@ from repro.engine.service import (
     ProfilingService,
     Query,
     QueryResult,
+    SummaryCache,
     as_query,
 )
 from repro.engine.shards import (
@@ -82,6 +83,7 @@ __all__ = [
     "SUMMARY_KINDS",
     "SerialBackend",
     "ShardedDataset",
+    "SummaryCache",
     "SummarySpec",
     "ThreadPoolBackend",
     "as_query",

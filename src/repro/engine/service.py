@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.filters import Classification, TupleSampleFilter, classify
 from repro.core.minkey import MinKeyResult, approximate_min_key
@@ -125,9 +125,79 @@ def as_query(item: "Query | tuple | str") -> Query:
 
 @dataclass
 class _CacheEntry:
-    report: FitReport
-    spec: SummarySpec
+    value: object
     hits: int = field(default=0)
+
+
+class SummaryCache:
+    """A small LRU with fit/hit accounting, keyed on hashable descriptors.
+
+    The engine's :class:`ProfilingService` keys it on ``(dataset, spec)``;
+    the :class:`repro.api.Profiler` session reuses the same cache for both
+    summaries and memoized task results.  ``get_or_fit`` is the one entry
+    point: it either returns the cached value (a *reuse*) or invokes the
+    supplied fitter exactly once and remembers the outcome.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        self.max_entries = validate_positive_int(max_entries, name="max_entries")
+        self._entries: OrderedDict[object, _CacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list:
+        """Cached keys, least- to most-recently used."""
+        return list(self._entries)
+
+    def lookup(self, key: object) -> _CacheEntry | None:
+        """The entry for ``key`` (counted as a hit), or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        entry.hits += 1
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: object, value: object) -> None:
+        """Remember ``value`` (counted as a miss), evicting LRU overflow."""
+        self.misses += 1
+        self._entries[key] = _CacheEntry(value=value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get_or_fit(self, key: object, fit) -> tuple[object, bool, float]:
+        """``(value, reused, seconds)`` — fitting via ``fit()`` on a miss.
+
+        ``seconds`` is the wall-clock cost actually paid now: 0.0 on a
+        reuse, the fitter's runtime on a miss.
+        """
+        entry = self.lookup(key)
+        if entry is not None:
+            return entry.value, True, 0.0
+        start = time.perf_counter()
+        value = fit()
+        seconds = time.perf_counter() - start
+        self.store(key, value)
+        return value, False, seconds
+
+    def evict(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns count."""
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (accounting is kept)."""
+        self._entries.clear()
 
 
 class ProfilingService:
@@ -169,9 +239,17 @@ class ProfilingService:
             max_cached_summaries, name="max_cached_summaries"
         )
         self._datasets: dict[str, ShardedDataset] = {}
-        self._cache: OrderedDict[tuple[str, SummarySpec], _CacheEntry] = OrderedDict()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self._cache = SummaryCache(max_entries=max_cached_summaries)
+
+    @property
+    def cache_hits(self) -> int:
+        """Summary-cache hits since construction."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Summary fits actually performed since construction."""
+        return self._cache.misses
 
     # ------------------------------------------------------------------
     # Registration
@@ -208,8 +286,7 @@ class ProfilingService:
         self._evict_dataset(name)
 
     def _evict_dataset(self, name: str) -> None:
-        for key in [key for key in self._cache if key[0] == name]:
-            del self._cache[key]
+        self._cache.evict(lambda key: key[0] == name)
 
     def names(self) -> list[str]:
         """Registered data set names, sorted."""
@@ -238,25 +315,16 @@ class ProfilingService:
     def fit_report(self, name: str, spec: SummarySpec) -> FitReport:
         """Like :meth:`summary` but returns the full :class:`FitReport`."""
         sharded = self._require(name)
-        key = (name, spec)
-        entry = self._cache.get(key)
-        if entry is not None:
-            entry.hits += 1
-            self.cache_hits += 1
-            self._cache.move_to_end(key)
-            return entry.report
-        self.cache_misses += 1
-        report = run_fit_plan(sharded, spec, self.backend)
-        self._cache[key] = _CacheEntry(report=report, spec=spec)
-        while len(self._cache) > self.max_cached_summaries:
-            self._cache.popitem(last=False)
+        report, _, _ = self._cache.get_or_fit(
+            (name, spec), lambda: run_fit_plan(sharded, spec, self.backend)
+        )
         return report
 
     def cached_specs(self, name: str | None = None) -> list[SummarySpec]:
         """Specs currently cached (optionally restricted to one data set)."""
         return [
             key[1]
-            for key in self._cache
+            for key in self._cache.keys()
             if name is None or key[0] == name
         ]
 

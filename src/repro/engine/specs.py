@@ -18,12 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
 from repro.core.sketch import NonSeparationSketch
 from repro.data.dataset import Dataset
 from repro.exceptions import InvalidParameterError
+from repro.sampling.rng import derive_seed
 from repro.sketches.ams import AMSSketch
 from repro.sketches.countmin import CountMinSketch
 from repro.sketches.kmv import KMVSketch
@@ -48,13 +47,11 @@ def derive_shard_seed(seed: int | None, shard_index: int) -> int | None:
     """A deterministic, decorrelated seed for ``shard_index``.
 
     ``None`` stays ``None`` (fresh entropy everywhere); integer seeds are
-    folded through :class:`numpy.random.SeedSequence` so shards never share
-    a sample stream yet every backend derives the same value.
+    folded through the library-wide derivation path
+    (:func:`repro.sampling.rng.derive_seed`) so shards never share a sample
+    stream yet every backend derives the same value.
     """
-    if seed is None:
-        return None
-    state = np.random.SeedSequence([int(seed), int(shard_index)]).generate_state(1)
-    return int(state[0])
+    return derive_seed(seed, shard_index)
 
 
 @dataclass(frozen=True)

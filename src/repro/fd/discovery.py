@@ -143,6 +143,9 @@ def discover_afds(
 ) -> list[FunctionalDependency]:
     """Discover all minimal approximate FDs with ``g3`` error ≤ ``max_error``.
 
+    Session callers: :meth:`repro.api.Profiler.afds` wraps this with
+    answer memoization and the shared :class:`~repro.api.Result` envelope.
+
     Parameters
     ----------
     data:

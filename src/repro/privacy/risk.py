@@ -199,6 +199,9 @@ def assess_risk(
 ) -> RiskReport:
     """Compute every table-level risk metric for one quasi-identifier.
 
+    Session callers: :meth:`repro.api.Profiler.risk` wraps this with
+    answer memoization and the shared :class:`~repro.api.Result` envelope.
+
     Examples
     --------
     >>> data = Dataset.from_columns({

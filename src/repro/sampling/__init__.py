@@ -15,14 +15,16 @@ from repro.sampling.pairs import (
     rank_pair,
 )
 from repro.sampling.reservoir import PairReservoir, ReservoirSampler
-from repro.sampling.rng import ensure_rng, spawn_rngs
+from repro.sampling.rng import derive_seed, ensure_rng, normalize_seed, spawn_rngs
 from repro.sampling.streams import iterate_rows, sample_rows_without_replacement
 
 __all__ = [
     "PairReservoir",
     "ReservoirSampler",
+    "derive_seed",
     "ensure_rng",
     "iterate_rows",
+    "normalize_seed",
     "rank_pair",
     "sample_distinct_pairs",
     "sample_pair_indices",

@@ -30,6 +30,36 @@ def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def normalize_seed(seed: SeedLike) -> int | None:
+    """Collapse any accepted seed form to the API-layer ``int | None`` shape.
+
+    ``None`` and integers pass through; an existing generator is collapsed
+    to a deterministic integer drawn from its stream (advancing it), so the
+    caller ends up with a value that can be stored, compared, and replayed.
+    """
+    if seed is None:
+        return None
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    return int(seed)
+
+
+def derive_seed(seed: int | None, *path: int) -> int | None:
+    """Derive a decorrelated child seed for a position in a seed tree.
+
+    This is the library's single derivation path: every component that
+    needs sub-streams (per-shard fits, per-trial experiments, per-task
+    sessions) folds ``(seed, *path)`` through :class:`numpy.random.SeedSequence`
+    so the same coordinates always yield the same child seed, while any two
+    distinct coordinates yield statistically independent ones.  ``None``
+    stays ``None`` (fresh entropy everywhere).
+    """
+    if seed is None:
+        return None
+    entropy = [int(seed), *(int(part) for part in path)]
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 

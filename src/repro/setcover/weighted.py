@@ -98,7 +98,11 @@ def weighted_greedy_set_cover(
         gains = membership[uncovered].sum(axis=0).astype(np.float64)
         with np.errstate(divide="ignore"):
             prices = np.where(gains > 0, cost_array / gains, np.inf)
-        best = int(np.argmin(prices))
+        # Mathematically tied prices can differ by a few ulps once costs are
+        # rescaled; break ties on lowest index within a relative tolerance so
+        # the cover is invariant under uniform cost scaling.
+        minimum = prices.min()
+        best = int(np.flatnonzero(prices <= minimum * (1.0 + 1e-9))[0])
         if not np.isfinite(prices[best]):  # pragma: no cover - feasibility guard
             raise InfeasibleInstanceError("no set covers the remaining elements")
         gain = int(gains[best])

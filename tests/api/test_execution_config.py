@@ -1,0 +1,44 @@
+"""Tests for ExecutionConfig validation and backend construction."""
+
+import pytest
+
+from repro.api.config import ExecutionConfig
+from repro.engine.executor import ProcessPoolBackend, SerialBackend, ThreadPoolBackend
+from repro.exceptions import InvalidParameterError
+
+
+class TestValidation:
+    def test_defaults_are_direct(self):
+        config = ExecutionConfig()
+        assert not config.sharded
+        assert config.label == "direct"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            ExecutionConfig(backend="gpu")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(InvalidParameterError, match="strategy"):
+            ExecutionConfig(strategy="hash")
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(InvalidParameterError, match="n_shards"):
+            ExecutionConfig(n_shards=0)
+
+
+class TestBackendFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("serial", SerialBackend),
+            ("thread", ThreadPoolBackend),
+            ("process", ProcessPoolBackend),
+        ],
+    )
+    def test_make_backend(self, name, cls):
+        assert isinstance(ExecutionConfig(backend=name).make_backend(), cls)
+
+    def test_label_names_backend_and_shards(self):
+        config = ExecutionConfig(backend="thread", n_shards=4)
+        assert config.sharded
+        assert config.label == "thread x4"

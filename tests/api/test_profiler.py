@@ -1,0 +1,208 @@
+"""The façade acceptance suite.
+
+Two properties anchor the API redesign:
+
+* **cross-surface equivalence** — in the default direct execution mode,
+  every Profiler verb returns exactly what the underlying module entry
+  point returns for the same data and seeds;
+* **summary reuse** — a second question against the same dataset never
+  re-fits a summary for the same (ε, seed), observable through the
+  session's fit counters.
+"""
+
+import pytest
+
+from repro.api import ExecutionConfig, Profiler
+from repro.core.filters import TupleSampleFilter, classify
+from repro.core.minkey import approximate_min_key
+from repro.core.sketch import NonSeparationSketch
+from repro.data.synthetic import planted_key_dataset
+from repro.exceptions import InvalidParameterError
+from repro.fd.discovery import discover_afds
+from repro.privacy.linkage import simulate_linking_attack
+from repro.privacy.risk import assess_risk
+
+EPSILON = 0.02
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def data():
+    return planted_key_dataset(1500, key_size=2, n_noise_columns=5, seed=SEED)
+
+
+@pytest.fixture()
+def profiler(data):
+    profiler = Profiler(epsilon=EPSILON, seed=SEED)
+    profiler.add("t", data)
+    return profiler
+
+
+class TestCrossSurfaceEquivalence:
+    def test_is_key_matches_module_filter(self, profiler, data):
+        direct = TupleSampleFilter.fit(data, EPSILON, seed=SEED)
+        for attrs in ([0, 1], [2], list(range(data.n_columns))):
+            assert profiler.is_key("t", attrs).value == direct.accepts(attrs)
+
+    def test_classify_matches_exact_module_call(self, profiler, data):
+        for attrs in ([0, 1], [3], [2, 4]):
+            assert profiler.classify("t", attrs).value == classify(
+                data, attrs, EPSILON
+            )
+
+    def test_min_key_matches_module_call(self, profiler, data):
+        direct = approximate_min_key(data, EPSILON, method="tuples", seed=SEED)
+        assert profiler.min_key("t").value == direct
+
+    def test_min_key_alternate_method_matches(self, profiler, data):
+        direct = approximate_min_key(data, EPSILON, method="pairs", seed=SEED)
+        assert profiler.min_key("t", method="pairs").value == direct
+
+    def test_non_separation_matches_module_sketch(self, profiler, data):
+        direct = NonSeparationSketch.fit(
+            data, k=2, alpha=0.05, epsilon=0.25, seed=SEED
+        )
+        for attrs in ([0], [1, 2]):
+            assert profiler.non_separation(
+                "t", attrs, k=2, alpha=0.05, epsilon=0.25
+            ).value == direct.query(attrs)
+
+    def test_afds_match_module_call(self, profiler, data):
+        direct = discover_afds(data, max_error=0.01, max_lhs_size=2)
+        result = profiler.afds("t", max_error=0.01, max_lhs_size=2)
+        assert list(result.value) == direct
+
+    def test_risk_matches_module_call(self, profiler, data):
+        assert profiler.risk("t", [0, 1]).value == assess_risk(data, [0, 1])
+
+    def test_linkage_matches_module_call(self, profiler, data):
+        direct = simulate_linking_attack(data, [0, 1], noise=0.1, seed=SEED)
+        assert profiler.linkage("t", [0, 1], noise=0.1).value == direct
+
+    def test_repeated_calls_reproducible(self, data):
+        first = Profiler(epsilon=EPSILON, seed=SEED)
+        first.add("t", data)
+        second = Profiler(epsilon=EPSILON, seed=SEED)
+        second.add("t", data)
+        assert first.min_key("t").value == second.min_key("t").value
+        assert (
+            first.is_key("t", [0, 1]).value == second.is_key("t", [0, 1]).value
+        )
+
+
+class TestSummaryReuse:
+    def test_second_question_does_not_refit(self, profiler):
+        first = profiler.is_key("t", [0, 1])
+        assert profiler.stats()["summary_fits"] == 1
+        assert not first.summaries[0].reused
+
+        second = profiler.is_key("t", [2, 3])
+        assert profiler.stats()["summary_fits"] == 1  # no second fit
+        assert second.summaries[0].reused
+        assert second.summaries[0].seconds == 0.0
+
+    def test_distinct_epsilon_or_seed_fits_fresh_summary(self, profiler):
+        profiler.is_key("t", [0, 1])
+        profiler.is_key("t", [0, 1], epsilon=2 * EPSILON)
+        profiler.is_key("t", [0, 1], seed=SEED + 1)
+        assert profiler.stats()["summary_fits"] == 3
+
+    def test_sketch_reused_across_non_separation_queries(self, profiler):
+        profiler.non_separation("t", [0], k=2)
+        reused = profiler.non_separation("t", [1, 2], k=2)
+        assert profiler.stats()["summary_fits"] == 1
+        assert reused.summaries[0].reused
+
+    def test_deterministic_results_memoized(self, profiler):
+        profiler.risk("t", [0, 1])
+        memo = profiler.risk("t", [0, 1])
+        assert memo.summaries[0].kind == "result:risk"
+        assert profiler.stats()["result_reuses"] == 1
+
+    def test_nondeterministic_results_not_memoized(self, data):
+        profiler = Profiler(epsilon=EPSILON, seed=None)
+        profiler.add("t", data)
+        profiler.min_key("t")
+        profiler.min_key("t")
+        assert profiler.stats()["result_reuses"] == 0
+
+    def test_replacing_dataset_drops_its_caches(self, profiler, data):
+        profiler.is_key("t", [0, 1])
+        profiler.add("t", data)
+        profiler.is_key("t", [0, 1])
+        assert profiler.stats()["summary_fits"] == 2
+
+    def test_forget_unknown_dataset_raises(self, profiler):
+        with pytest.raises(InvalidParameterError, match="unknown dataset"):
+            profiler.forget("nope")
+
+
+class TestShardedExecution:
+    def test_parallelism_is_a_config_flag(self, data):
+        serial = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4), epsilon=EPSILON, seed=SEED
+        )
+        threaded = Profiler(
+            ExecutionConfig(backend="thread", n_shards=4), epsilon=EPSILON, seed=SEED
+        )
+        serial.add("t", data)
+        threaded.add("t", data)
+        for attrs in ([0, 1], [3]):
+            assert (
+                serial.is_key("t", attrs).value
+                == threaded.is_key("t", attrs).value
+            )
+        assert serial.min_key("t").value == threaded.min_key("t").value
+        threaded.close()
+
+    def test_sharded_backend_label_in_result(self, data):
+        profiler = Profiler(
+            ExecutionConfig(backend="serial", n_shards=3), epsilon=EPSILON, seed=SEED
+        )
+        profiler.add("t", data)
+        result = profiler.is_key("t", [0, 1])
+        assert result.backend == "serial x3"
+        assert profiler.sharded("t").n_shards == 3
+
+    def test_exact_tasks_unaffected_by_sharding(self, data):
+        sharded = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4), epsilon=EPSILON, seed=SEED
+        )
+        sharded.add("t", data)
+        assert sharded.risk("t", [0, 1]).value == assess_risk(data, [0, 1])
+
+
+class TestSessionBasics:
+    def test_add_named_uses_registry(self):
+        profiler = Profiler(seed=0)
+        profiler.add_named("zipf-small", rows=200)
+        assert profiler.datasets() == ["zipf-small"]
+        assert profiler.dataset("zipf-small").n_rows == 200
+
+    def test_unknown_dataset_error_names_registered(self, profiler):
+        with pytest.raises(InvalidParameterError, match="registered"):
+            profiler.is_key("nope", [0])
+
+    def test_backend_shorthand_string_actually_parallelizes(self):
+        execution = Profiler("thread").execution
+        assert execution.backend == "thread"
+        assert execution.sharded  # pooled shorthand must not silently run direct
+        assert Profiler("serial").execution.label == "direct"
+
+    def test_context_manager_closes_pool(self, data):
+        with Profiler(
+            ExecutionConfig(backend="thread", n_shards=2), seed=SEED
+        ) as profiler:
+            profiler.add("t", data)
+            profiler.is_key("t", [0, 1])
+        assert profiler._backend is None
+
+    def test_repr_names_datasets_and_execution(self, profiler):
+        text = repr(profiler)
+        assert "'t'" in text and "direct" in text
+
+    def test_profile_and_mask_run_through_facade(self, profiler, data):
+        ranked = profiler.profile("t")
+        assert len(ranked.value) == data.n_columns
+        masked = profiler.mask("t", max_key_size=1)
+        assert hasattr(masked.value, "suppressed")

@@ -1,0 +1,104 @@
+"""Tests for the shared Result envelope and its JSON rendering."""
+
+import enum
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.api.result import Result, SummaryUse, jsonify
+from repro.data.dataset import Dataset
+
+
+class Color(enum.Enum):
+    RED = "red"
+
+
+@dataclass(frozen=True)
+class Payload:
+    count: int
+    ratio: float
+    labels: tuple
+
+
+class TestJsonify:
+    def test_builtins_pass_through(self):
+        assert jsonify(None) is None
+        assert jsonify(True) is True
+        assert jsonify(3) == 3
+        assert jsonify("x") == "x"
+
+    def test_numpy_scalars_and_arrays(self):
+        assert jsonify(np.int64(7)) == 7
+        assert isinstance(jsonify(np.float64(0.5)), float)
+        assert jsonify(np.arange(3)) == [0, 1, 2]
+
+    def test_enum_collapses_to_value(self):
+        assert jsonify(Color.RED) == "red"
+
+    def test_dataclass_tagged_with_type(self):
+        out = jsonify(Payload(count=2, ratio=0.5, labels=("a", "b")))
+        assert out == {
+            "type": "Payload",
+            "count": 2,
+            "ratio": 0.5,
+            "labels": ["a", "b"],
+        }
+
+    def test_dataset_summarized_not_dumped(self):
+        data = Dataset.from_columns({"a": [1, 2, 3], "b": [4, 5, 6]})
+        out = jsonify(data)
+        assert out["n_rows"] == 3
+        assert out["column_names"] == ["a", "b"]
+        assert "codes" not in out
+
+    def test_mapping_and_sets(self):
+        assert jsonify({"k": np.int32(1)}) == {"k": 1}
+        assert jsonify({3, 1, 2}) == [1, 2, 3]
+
+    def test_everything_else_reprs(self):
+        assert jsonify(object()).startswith("<object object")
+
+
+def _result(**overrides):
+    defaults = dict(
+        task="is_key",
+        dataset="people",
+        value=True,
+        params={"epsilon": 0.05, "seed": 0},
+        summaries=(
+            SummaryUse("tuple_filter", "epsilon=0.05, seed=0", False, 0.01),
+            SummaryUse("tuple_filter", "epsilon=0.05, seed=0", True, 0.0),
+        ),
+        seconds=0.012,
+    )
+    defaults.update(overrides)
+    return Result(**defaults)
+
+
+class TestResult:
+    def test_fitted_and_reused_partitions(self):
+        result = _result()
+        assert len(result.fitted_summaries) == 1
+        assert len(result.reused_summaries) == 1
+        assert not result.fitted_summaries[0].reused
+
+    def test_to_dict_shape(self):
+        out = _result().to_dict()
+        assert out["task"] == "is_key"
+        assert out["dataset"] == "people"
+        assert out["value"] is True
+        assert out["params"] == {"epsilon": 0.05, "seed": 0}
+        assert out["backend"] == "direct"
+        assert len(out["summaries"]) == 2
+
+    def test_to_json_round_trips(self):
+        parsed = json.loads(_result().to_json(indent=2))
+        assert parsed["summaries"][0]["kind"] == "tuple_filter"
+        assert parsed["seconds"] == pytest.approx(0.012)
+
+    def test_summary_use_str(self):
+        fitted, reused = _result().summaries
+        assert "fitted" in str(fitted)
+        assert "reused" in str(reused)

@@ -1,0 +1,74 @@
+"""Tests for the task registry: lookup, extension, and memoization flags."""
+
+import pytest
+
+from repro.api import Profiler
+from repro.api.tasks import _REGISTRY, available_tasks, get_task, task
+from repro.data.synthetic import zipf_dataset
+from repro.exceptions import InvalidParameterError
+
+BUILTINS = [
+    "afds",
+    "anonymize",
+    "classify",
+    "dedup",
+    "is_key",
+    "linkage",
+    "mask",
+    "min_key",
+    "non_separation",
+    "profile",
+    "risk",
+]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_tasks()
+        for name in BUILTINS:
+            assert name in names
+
+    def test_get_task_error_lists_available(self):
+        with pytest.raises(InvalidParameterError, match="registered"):
+            get_task("nope")
+
+    def test_task_doc_is_first_docstring_line(self):
+        assert "ε-separate" in get_task("is_key").doc
+
+
+class TestPluggableTasks:
+    def test_custom_task_reaches_the_facade(self):
+        @task("row_count", cache_result=True)
+        def _row_count(ctx):
+            """Number of rows in the table."""
+            return ctx.data.n_rows
+
+        try:
+            profiler = Profiler(seed=0)
+            profiler.add("z", zipf_dataset(120, 3, 4, seed=0))
+            first = profiler.ask("row_count", "z")
+            assert first.value == 120
+            assert first.task == "row_count"
+            second = profiler.ask("row_count", "z")
+            assert second.value == 120
+            assert second.summaries[0].kind == "result:row_count"
+            assert second.summaries[0].reused
+        finally:
+            del _REGISTRY["row_count"]
+
+    def test_custom_task_can_use_session_summaries(self):
+        @task("filter_sample_size")
+        def _filter_sample_size(ctx, *, epsilon=None, seed=None):
+            """Rows stored by the session's tuple filter."""
+            return ctx.tuple_filter(epsilon, seed).sample_size
+
+        try:
+            profiler = Profiler(epsilon=0.05, seed=1)
+            profiler.add("z", zipf_dataset(300, 4, 6, seed=1))
+            profiler.is_key("z", [0, 1])
+            result = profiler.ask("filter_sample_size", "z")
+            # The custom task reused the filter fitted by is_key.
+            assert result.summaries[0].reused
+            assert result.value > 0
+        finally:
+            del _REGISTRY["filter_sample_size"]

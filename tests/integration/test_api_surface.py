@@ -10,6 +10,61 @@ import importlib
 import pytest
 
 
+#: Snapshot of ``repro.__all__``.  This is the library's public contract:
+#: removing or renaming an entry is a breaking change and must be done
+#: deliberately, by updating this snapshot in the same commit.
+ALL_SNAPSHOT = [
+    "BatchReport",
+    "Classification",
+    "Dataset",
+    "ExactMinKey",
+    "ExactSeparationOracle",
+    "ExecutionConfig",
+    "MaskingResult",
+    "MinKeyResult",
+    "MotwaniXuFilter",
+    "MotwaniXuMinKey",
+    "NonSeparationSketch",
+    "ProcessPoolBackend",
+    "Profiler",
+    "ProfilingService",
+    "Query",
+    "ReproError",
+    "Result",
+    "SerialBackend",
+    "ShardedDataset",
+    "SketchAnswer",
+    "SummarySpec",
+    "SummaryUse",
+    "ThreadPoolBackend",
+    "TupleSampleFilter",
+    "TupleSampleMinKey",
+    "__version__",
+    "approximate_min_key",
+    "assess_risk",
+    "available_tasks",
+    "cheapest_quasi_identifier",
+    "classify",
+    "discover_afds",
+    "find_fuzzy_duplicates",
+    "find_small_epsilon_key",
+    "is_epsilon_key",
+    "is_key",
+    "load_csv",
+    "mask_small_quasi_identifiers",
+    "merge_summaries",
+    "motwani_xu_pair_sample_size",
+    "run_fit_plan",
+    "save_csv",
+    "separation_ratio",
+    "shard_dataset",
+    "simulate_linking_attack",
+    "sketch_pair_sample_size",
+    "tuple_sample_size",
+    "unseparated_pairs",
+    "verify_masking",
+]
+
 TOP_LEVEL_NAMES = [
     "Dataset",
     "load_csv",
@@ -56,10 +111,17 @@ class TestTopLevelSurface:
 
         assert repro.__version__.count(".") == 2
 
+    def test_all_matches_snapshot(self):
+        """Accidental export breakage fails tier-1; edit ALL_SNAPSHOT on purpose."""
+        import repro
+
+        assert sorted(repro.__all__) == sorted(ALL_SNAPSHOT)
+
 
 @pytest.mark.parametrize(
     "module_name",
     [
+        "repro.api",
         "repro.core",
         "repro.data",
         "repro.sampling",

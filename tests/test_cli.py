@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+def _run_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
 
 
 class TestCliDatasets:
@@ -104,6 +111,28 @@ class TestCliEngine:
         assert f"backend        : {backend}" in out
         assert "min key" in out
         assert "queries in" in out
+
+    def test_engine_profile_single_shard(self, capsys):
+        code = main(
+            [
+                "engine",
+                "profile",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "500",
+                "--shards",
+                "1",
+                "--backend",
+                "serial",
+                "--queries",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards         : 1" in out
+        assert "min key" in out
 
     def test_engine_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -247,6 +276,197 @@ class TestCliDedup:
         out = capsys.readouterr().out
         assert "planted duplicates" in out
         assert "recall" in out
+
+
+class TestCliJson:
+    """Every subcommand emits the shared Result envelope with --json."""
+
+    def test_datasets_json_lists_seeds_and_shapes(self, capsys):
+        out = _run_json(capsys, ["datasets", "--json", "--seed", "3"])
+        assert out["task"] == "datasets"
+        names = {entry["name"] for entry in out["value"]}
+        assert {"adult", "covtype", "cps"} <= names
+        adult = next(e for e in out["value"] if e["name"] == "adult")
+        assert adult["default_rows"] == 32_561
+        assert adult["n_columns"] == 13
+        assert adult["seed"] == 3
+
+    def test_minkey_json_envelope(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "minkey",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "800",
+                "--epsilon",
+                "0.01",
+                "--json",
+            ],
+        )
+        assert out["task"] == "min_key"
+        assert out["dataset"] == "zipf-small"
+        assert out["value"]["type"] == "MinKeyResult"
+        assert out["params"]["epsilon"] == 0.01
+        assert out["params"]["seed"] == 0
+        assert out["backend"] == "direct"
+
+    def test_sketch_json_estimates(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "sketch",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "900",
+                "--k",
+                "2",
+                "--queries",
+                "3",
+                "--json",
+            ],
+        )
+        assert out["task"] == "sketch"
+        assert len(out["estimates"]) == 3
+        first = out["estimates"][0]
+        assert first["task"] == "non_separation"
+        assert first["value"]["type"] == "SketchAnswer"
+        # The sketch is fitted once and reused by the later queries.
+        assert first["summaries"][0]["reused"] is False
+        assert out["estimates"][1]["summaries"][0]["reused"] is True
+
+    def test_profile_json(self, capsys):
+        out = _run_json(
+            capsys, ["profile", "--dataset", "adult", "--rows", "400", "--json"]
+        )
+        assert out["task"] == "profile"
+        assert len(out["value"]) == 13
+
+    def test_mask_json(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "mask",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "600",
+                "--epsilon",
+                "0.01",
+                "--json",
+            ],
+        )
+        assert out["task"] == "mask"
+        assert out["value"]["type"] == "MaskingResult"
+
+    def test_fd_json(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "fd",
+                "--dataset",
+                "adult",
+                "--rows",
+                "400",
+                "--max-lhs",
+                "1",
+                "--json",
+            ],
+        )
+        assert out["task"] == "afds"
+        assert isinstance(out["value"], list)
+
+    def test_risk_json_has_both_envelopes(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "risk",
+                "--dataset",
+                "adult",
+                "--rows",
+                "400",
+                "--attributes",
+                "0,3",
+                "--json",
+            ],
+        )
+        assert out["risk"]["task"] == "risk"
+        assert out["risk"]["value"]["type"] == "RiskReport"
+        assert out["linkage"]["task"] == "linkage"
+
+    def test_anonymize_json(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "anonymize",
+                "--dataset",
+                "adult",
+                "--rows",
+                "400",
+                "--attributes",
+                "age,sex",
+                "--k",
+                "5",
+                "--json",
+            ],
+        )
+        assert out["anonymize"]["value"]["type"] == "AnonymizationResult"
+        assert out["attack_before"]["task"] == "linkage"
+        assert out["attack_after"]["dataset"] == "adult.anonymized"
+
+    def test_dedup_json(self, capsys):
+        out = _run_json(capsys, ["dedup", "--rows", "80", "--json"])
+        assert out["dedup"]["task"] == "dedup"
+        assert out["evaluation"]["type"] == "DedupEvaluation"
+
+    def test_engine_profile_json(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "engine",
+                "profile",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "900",
+                "--shards",
+                "3",
+                "--backend",
+                "serial",
+                "--queries",
+                "6",
+                "--json",
+            ],
+        )
+        assert out["task"] == "engine_profile"
+        assert out["execution"]["shards"] == 3
+        assert len(out["results"]) == 6
+        assert out["results"][0]["task"] == "min_key"
+        assert out["results"][0]["backend"] == "serial x3"
+        assert out["stats"]["summary_fits"] >= 1
+
+    def test_table1_json(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "table1",
+                "--scale",
+                "0.002",
+                "--trials",
+                "1",
+                "--queries",
+                "2",
+                "--json",
+            ],
+        )
+        assert out["task"] == "table1"
+        assert {row["dataset"] for row in out["value"]} == {
+            "adult",
+            "covtype",
+            "cps",
+        }
 
 
 class TestCliErrors:

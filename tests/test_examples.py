@@ -116,6 +116,15 @@ class TestExamplesRun:
         assert "cheapest epsilon-key" in out
         assert "masking" in out
 
+    def test_unified_profiler_scaled_down(self, capsys, monkeypatch):
+        module = _load("unified_profiler")
+        monkeypatch.setattr(module, "N_ROWS", 1_500)
+        module.main()
+        out = capsys.readouterr().out
+        assert "reused" in out
+        assert "minimum key" in out
+        assert "summary fit(s)" in out
+
     def test_sharded_profiling_scaled_down(self, capsys, monkeypatch):
         module = _load("sharded_profiling")
         monkeypatch.setattr(module, "N_ROWS", 3_000)
