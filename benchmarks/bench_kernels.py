@@ -1,0 +1,121 @@
+"""E-kernels — PR 4: shared-prefix label caching and batched kernels.
+
+Pytest-benchmark companions to ``benchmarks/run_bench.py`` (which emits the
+machine-readable ``BENCH_PR4.json``).  These keep the kernel hot paths under
+the same benchmark harness as the paper experiments and record a summary
+artifact comparing seed-equivalent and kernel timings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.data.synthetic import zipf_dataset
+from repro.engine.service import ProfilingService
+from repro.kernels import LabelCache, evaluate_sets, refinement_pair_counts
+from repro.setcover.partition_greedy import greedy_separation_cover
+
+_N_ROWS = 20_000
+_N_COLUMNS = 12
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_dataset(_N_ROWS, n_columns=_N_COLUMNS, cardinality=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def family():
+    from run_bench import shared_prefix_family
+
+    return shared_prefix_family(_N_COLUMNS, 200, seed=1)
+
+
+def test_evaluate_sets_benchmark(benchmark, data, family):
+    result = benchmark.pedantic(
+        lambda: evaluate_sets(data, family), rounds=3, iterations=1
+    )
+    assert len(result) == len(family)
+    assert result.labelings_saved > 0
+
+
+def test_label_cache_single_queries_benchmark(benchmark, data, family):
+    def run():
+        cache = LabelCache(data)
+        return [cache.unseparated_pairs(attrs) for attrs in family]
+
+    gammas = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(gammas) == len(family)
+
+
+def test_greedy_scoring_benchmark(benchmark, data):
+    result = benchmark.pedantic(
+        lambda: greedy_separation_cover(data.codes, allow_duplicates=True),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.key_size >= 1
+
+
+def test_refinement_kernel_benchmark(benchmark, data):
+    labels = LabelCache(data).labels([0])
+    columns = list(range(1, _N_COLUMNS))
+    counts = benchmark.pedantic(
+        lambda: refinement_pair_counts(labels, data.codes, columns),
+        rounds=5,
+        iterations=1,
+    )
+    assert counts.size == len(columns)
+
+
+def test_kernels_report(benchmark, record_result, data, family):
+    """Seed vs kernel wall-clock for the 200-set workload + engine batch."""
+    from run_bench import seed_unseparated_pairs
+
+    from repro.experiments.reporting import format_table
+
+    def run_all():
+        rows = []
+        codes = data.codes
+        start = time.perf_counter()
+        expected = [seed_unseparated_pairs(codes, attrs) for attrs in family]
+        seed_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        evaluation = evaluate_sets(data, family)
+        batch_seconds = time.perf_counter() - start
+        assert evaluation.gammas().tolist() == expected
+        rows.append(
+            [
+                "200-set shared-prefix batch",
+                f"{seed_seconds * 1e3:.1f}ms",
+                f"{batch_seconds * 1e3:.1f}ms",
+                f"{seed_seconds / batch_seconds:.1f}x",
+            ]
+        )
+
+        service = ProfilingService()
+        service.register("bench", data, n_shards=2, seed=0)
+        queries = [("is_key", attrs) for attrs in family[:100]]
+        start = time.perf_counter()
+        report = service.query_batch("bench", queries, epsilon=0.001, seed=0)
+        first_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        service.query_batch("bench", queries, epsilon=0.001, seed=0)
+        warm_seconds = time.perf_counter() - start
+        rows.append(
+            [
+                "engine query_batch (cold -> warm)",
+                f"{first_seconds * 1e3:.1f}ms",
+                f"{warm_seconds * 1e3:.1f}ms",
+                f"{first_seconds / warm_seconds:.1f}x",
+            ]
+        )
+        assert report.kernel_stats is not None
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(["workload", "seed/cold", "kernel/warm", "speedup"], rows)
+    record_result("Ekernels_batch", text)
+    assert float(rows[0][3].rstrip("x")) > 1.0

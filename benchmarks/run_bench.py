@@ -1,0 +1,445 @@
+"""Perf-regression bench runner: emit a machine-readable ``BENCH_PR4.json``.
+
+This is the start of the repository's measured perf trajectory.  Each
+scenario times the *seed-equivalent* path (what the code did before the
+kernel subsystem) against the kernel paths on the same workload, asserts
+the answers are identical, and records median/p90 wall-clock per path.
+
+The JSON schema is documented in ``docs/performance.md`` (``repro-bench/1``).
+Future PRs append ``BENCH_PR<N>.json`` files produced by this same runner,
+so speedups and regressions stay comparable across the PR sequence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full sizes
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py -o BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.filters import TupleSampleFilter, classify_from_gamma
+from repro.core.separation import unseparated_pairs
+from repro.data.synthetic import zipf_dataset
+from repro.engine.service import ProfilingService
+from repro.kernels import LabelCache, evaluate_sets, refinement_pair_counts
+from repro.setcover.partition_greedy import PartitionState, greedy_separation_cover
+
+SCHEMA = "repro-bench/1"
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+
+def timed(func, repeats: int) -> list[float]:
+    """Wall-clock samples of ``func()`` (its return value is discarded)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def path_stats(samples: list[float]) -> dict:
+    return {
+        "median_s": statistics.median(samples),
+        "p90_s": float(np.percentile(samples, 90)),
+        "mean_s": statistics.fmean(samples),
+        "repeats": len(samples),
+        "samples_s": samples,
+    }
+
+
+def scenario_record(name, description, params, paths, baseline="seed") -> dict:
+    base = paths[baseline]["median_s"]
+    speedups = {
+        key: (base / value["median_s"] if value["median_s"] > 0 else float("inf"))
+        for key, value in paths.items()
+        if key != baseline
+    }
+    return {
+        "name": name,
+        "description": description,
+        "params": params,
+        "baseline": baseline,
+        "paths": paths,
+        "speedups": speedups,
+    }
+
+
+# ----------------------------------------------------------------------
+# The seed-equivalent implementations, inlined verbatim
+#
+# The library's own fold/count primitives have been optimized since the
+# seed, so "call the library twice" would not measure the PR.  These
+# functions reproduce the pre-kernel code paths exactly: per-column
+# ``np.unique`` folds with per-call ``column.max()`` rescans, the initial
+# ``astype(copy=True)``, and the Python-int clique-size sum.
+# ----------------------------------------------------------------------
+
+
+def seed_group_labels(codes: np.ndarray, attrs) -> np.ndarray:
+    labels = codes[:, attrs[0]].astype(np.int64, copy=True)
+    _, labels = np.unique(labels, return_inverse=True)
+    for attribute in attrs[1:]:
+        column = codes[:, attribute]
+        combined = labels * (int(column.max()) + 1) + column
+        _, labels = np.unique(combined, return_inverse=True)
+    return labels.astype(np.int64, copy=False)
+
+
+def seed_unseparated_pairs(codes: np.ndarray, attrs) -> int:
+    sizes = np.bincount(seed_group_labels(codes, attrs)).astype(np.int64)
+    return int(sum(int(g) * (int(g) - 1) // 2 for g in sizes if g > 1))
+
+
+def seed_accepts(sample_codes: np.ndarray, attrs) -> bool:
+    labels = seed_group_labels(sample_codes, attrs)
+    return not (int(labels.max()) + 1 < labels.size)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+def shared_prefix_family(
+    n_columns: int, n_sets: int, seed: int, prefix_len: int = 5
+) -> list[tuple[int, ...]]:
+    """A 200-set-style workload: few common prefixes, one- or two-column tails.
+
+    This is the shape levelwise lattice walks produce — TANE-style candidate
+    generation joins prefix-equal sets, so a cohort shares a sorted prefix
+    and varies only in attributes *after* it — and what Algorithm 2's
+    repeated ``A ∪ {a}`` candidate scans look like once ``A`` is fixed.
+    """
+    rng = np.random.default_rng(seed)
+    # Prefixes drawn from the low columns so every set's tail extends the
+    # prefix in sorted order (the defining property of a lattice cohort).
+    prefix_pool = max(prefix_len + 1, (2 * n_columns) // 3)
+    prefixes = [
+        tuple(sorted(rng.choice(prefix_pool, size=prefix_len, replace=False)))
+        for _ in range(4)
+    ]
+    family = []
+    while len(family) < n_sets:
+        prefix = prefixes[len(family) % len(prefixes)]
+        rest = [c for c in range(max(prefix) + 1, n_columns)]
+        tail_len = 1 if len(family) % 3 else 2
+        tail_len = min(tail_len, len(rest))
+        tail = rng.choice(rest, size=tail_len, replace=False)
+        family.append(prefix + tuple(sorted(int(c) for c in tail)))
+    return family
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+
+def bench_shared_prefix_batch(quick: bool, repeats: int) -> dict:
+    """200 overlapping sets, full table: Γ_A via seed loop vs kernels."""
+    n_rows = 4_000 if quick else 30_000
+    n_columns = 10 if quick else 14
+    n_sets = 200
+    data = zipf_dataset(n_rows, n_columns=n_columns, cardinality=8, seed=0)
+    data.column_extents()  # warm the cached radixes outside the timers
+    family = shared_prefix_family(n_columns, n_sets, seed=1)
+
+    codes = data.codes
+
+    def seed_path():
+        return [seed_unseparated_pairs(codes, attrs) for attrs in family]
+
+    def single_set_path():
+        cache = LabelCache(data)
+        return [cache.unseparated_pairs(attrs) for attrs in family]
+
+    def batch_path():
+        return evaluate_sets(data, family).gammas().tolist()
+
+    expected = seed_path()
+    assert [unseparated_pairs(data, attrs) for attrs in family] == expected
+    assert single_set_path() == expected, "single-set kernel diverged from seed"
+    assert batch_path() == expected, "batch kernel diverged from seed"
+
+    paths = {
+        "seed": path_stats(timed(seed_path, repeats)),
+        "single": path_stats(timed(single_set_path, repeats)),
+        "batch": path_stats(timed(batch_path, repeats)),
+    }
+    return scenario_record(
+        "shared_prefix_batch_200",
+        "The 200-set shared-prefix batch workload (the min-key greedy "
+        "scoring shape: a common prefix A queried with one- and two-column "
+        "extensions A ∪ {a}) over the full table: per-set np.unique folds "
+        "(seed) vs LabelCache single-set queries vs one evaluate_sets "
+        "batch call",
+        {"n_rows": n_rows, "n_columns": n_columns, "n_sets": n_sets},
+        paths,
+    )
+
+
+def bench_minkey_greedy(quick: bool, repeats: int) -> dict:
+    """Algorithm 2 candidate scoring: per-candidate loop vs batched kernel."""
+    n_rows = 2_000 if quick else 12_000
+    n_columns = 12 if quick else 18
+    data = zipf_dataset(n_rows, n_columns=n_columns, cardinality=4, seed=2)
+    codes = data.codes
+
+    def seed_path():
+        # The pre-kernel greedy, inlined verbatim: unconditional recompact,
+        # then one np.unique round trip per remaining candidate per step.
+        from repro.data.encoding import recompact_codes
+        from repro.types import pairs_count
+
+        def unseparated_after(labels, column):
+            combined = labels * (int(column.max()) + 1) + column
+            _, counts = np.unique(combined, return_counts=True)
+            counts = counts.astype(np.int64)
+            return int(((counts * (counts - 1)) // 2).sum())
+
+        table = recompact_codes(codes)
+        labels = np.zeros(table.shape[0], dtype=np.int64)
+        remaining = set(range(table.shape[1]))
+        current = pairs_count(table.shape[0])
+        picked = []
+        while current > 0:
+            best_column, best_gain = -1, 0
+            for column in sorted(remaining):
+                gain = current - unseparated_after(labels, table[:, column])
+                if gain > best_gain:
+                    best_gain, best_column = gain, column
+            if best_column < 0:
+                break
+            combined = labels * (int(table[:, best_column].max()) + 1) + table[
+                :, best_column
+            ]
+            _, labels = np.unique(combined, return_inverse=True)
+            labels = labels.astype(np.int64)
+            remaining.discard(best_column)
+            picked.append(best_column)
+            current -= best_gain
+        return picked
+
+    def kernel_path():
+        return greedy_separation_cover(codes, allow_duplicates=True).attributes
+
+    expected = seed_path()
+    assert kernel_path() == expected, "batched greedy diverged from seed picks"
+
+    paths = {
+        "seed": path_stats(timed(seed_path, repeats)),
+        "batch": path_stats(timed(kernel_path, repeats)),
+    }
+    return scenario_record(
+        "minkey_greedy_solve",
+        "End-to-end Appendix B partition-refinement greedy on the full "
+        "code matrix: per-candidate np.unique scoring loop (seed) vs "
+        "batched bincount scoring + stripped active-row refinement "
+        "(identical picks asserted)",
+        {"n_rows": n_rows, "n_columns": n_columns},
+        paths,
+    )
+
+
+def bench_engine_query_batch(quick: bool, repeats: int) -> dict:
+    """engine query_batch: per-query filter answers vs the kernel pass."""
+    n_rows = 20_000 if quick else 120_000
+    n_columns = 10 if quick else 14
+    n_queries = 200
+    epsilon = 0.001
+    data = zipf_dataset(n_rows, n_columns=n_columns, cardinality=12, seed=3)
+    family = shared_prefix_family(n_columns, n_queries, seed=4)
+    queries = [
+        ("is_key", attrs) if index % 2 == 0 else ("classify", attrs)
+        for index, attrs in enumerate(family)
+    ]
+
+    service = ProfilingService()
+    service.register("bench", data, n_shards=4, seed=3)
+    tuple_filter: TupleSampleFilter = service.summary(
+        "bench", service._filter_spec(epsilon, 0)
+    )  # warm fit: both paths below answer from this same merged summary
+    sample = tuple_filter.sample
+
+    sample_codes = sample.codes
+
+    def seed_path():
+        # The pre-kernel per-query loop of ProfilingService._answer, with
+        # the seed's fold/count implementations inlined.
+        out = []
+        for op, attrs in queries:
+            resolved = sample.resolve_attributes(attrs)
+            if op == "is_key":
+                out.append(seed_accepts(sample_codes, resolved))
+            else:
+                gamma = seed_unseparated_pairs(sample_codes, resolved)
+                out.append(classify_from_gamma(gamma, sample.n_rows, epsilon))
+        return out
+
+    def batch_path():
+        tuple_filter._label_cache = None  # cold cache: single-batch cost
+        report = service.query_batch("bench", queries, epsilon=epsilon, seed=0)
+        return report.values()
+
+    expected = seed_path()
+    assert batch_path() == expected, (
+        "kernel query batch diverged from per-query answers"
+    )
+
+    paths = {
+        "seed": path_stats(timed(seed_path, repeats)),
+        "batch": path_stats(timed(batch_path, repeats)),
+    }
+    return scenario_record(
+        "engine_query_batch_200",
+        "200 is_key/classify queries against one merged tuple sample: "
+        "per-query accepts/classify loop (seed) vs the batched "
+        "evaluate_sets pass inside ProfilingService.query_batch "
+        "(label cache reset per repeat)",
+        {
+            "n_rows": n_rows,
+            "n_columns": n_columns,
+            "n_queries": n_queries,
+            "sample_size": tuple_filter.sample_size,
+            "epsilon": epsilon,
+        },
+        paths,
+    )
+
+
+def bench_refinement_kernel(quick: bool, repeats: int) -> dict:
+    """Micro: one greedy step's candidate scoring, loop vs batch kernel."""
+    n_rows = 20_000 if quick else 100_000
+    n_columns = 12 if quick else 16
+    data = zipf_dataset(n_rows, n_columns=n_columns, cardinality=6, seed=5)
+    table = data.codes
+    extents = data.column_extents()
+    state = PartitionState(n_rows)
+    state.commit(table[:, 0])
+    columns = list(range(1, n_columns))
+
+    def seed_unseparated_after(labels, column):
+        # The pre-kernel scoring: one np.unique round trip per candidate.
+        combined = labels * (int(column.max()) + 1) + column
+        _, counts = np.unique(combined, return_counts=True)
+        counts = counts.astype(np.int64)
+        return int(((counts * (counts - 1)) // 2).sum())
+
+    def seed_path():
+        return [seed_unseparated_after(state.labels, table[:, c]) for c in columns]
+
+    def batch_path():
+        return refinement_pair_counts(state.labels, table, columns, extents).tolist()
+
+    assert batch_path() == seed_path()
+    paths = {
+        "seed": path_stats(timed(seed_path, repeats)),
+        "batch": path_stats(timed(batch_path, repeats)),
+    }
+    return scenario_record(
+        "refinement_pair_counts_step",
+        "One greedy step, all candidates: per-column np.unique loop vs the "
+        "vectorized sort/run-length kernel",
+        {"n_rows": n_rows, "n_candidates": len(columns)},
+        paths,
+    )
+
+
+SCENARIOS = [
+    bench_shared_prefix_batch,
+    bench_minkey_greedy,
+    bench_engine_query_batch,
+    bench_refinement_kernel,
+]
+
+
+#: The PR 4 acceptance gate: the 200-set shared-prefix batch workload must
+#: run ≥ 5× faster through the kernels than through the seed path, in both
+#: realizations (greedy-scoring-shaped batch over the full table, and the
+#: engine's query_batch).
+ACCEPTANCE_SCENARIOS = ("shared_prefix_batch_200", "engine_query_batch_200")
+ACCEPTANCE_THRESHOLD = 5.0
+
+
+def run(quick: bool, repeats: int) -> dict:
+    scenarios = []
+    for bench in SCENARIOS:
+        record = bench(quick, repeats)
+        speedups = ", ".join(
+            f"{key} {value:.1f}×" for key, value in record["speedups"].items()
+        )
+        print(
+            f"[{record['name']}] seed median "
+            f"{record['paths']['seed']['median_s'] * 1e3:.1f} ms; {speedups}",
+            flush=True,
+        )
+        scenarios.append(record)
+    gate = {
+        record["name"]: record["speedups"]["batch"]
+        for record in scenarios
+        if record["name"] in ACCEPTANCE_SCENARIOS
+    }
+    acceptance = {
+        "workload": "200-set shared-prefix batch",
+        "threshold_x": ACCEPTANCE_THRESHOLD,
+        "batch_speedups_x": gate,
+        "pass": all(value >= ACCEPTANCE_THRESHOLD for value in gate.values()),
+    }
+    print(f"acceptance (≥{ACCEPTANCE_THRESHOLD}×): {acceptance}")
+    return {
+        "schema": SCHEMA,
+        "suite": "kernels-pr4",
+        "created_unix": time.time(),
+        "quick": quick,
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "acceptance": acceptance,
+        "scenarios": scenarios,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes and few repeats (CI smoke; numbers are noisy)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats per path"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("BENCH_PR4.json"),
+        help="where to write the JSON report (default: ./BENCH_PR4.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (3 if args.quick else 7)
+    report = run(args.quick, repeats)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,12 @@ Hildebrant, Le, Ta, Vu (PODS 2023; arXiv:2211.13882).  The library provides:
   attacks (:mod:`repro.privacy`), fuzzy-duplicate cleaning
   (:mod:`repro.cleaning`), and classical streaming sketches
   (:mod:`repro.sketches`);
+* **columnar query kernels** (:mod:`repro.kernels`): a shared-prefix
+  :class:`LabelCache` memoizing dense clique labels per attribute set (one
+  incremental fold per new attribute), :func:`evaluate_sets` batch
+  evaluation of whole set families in prefix-trie order, and the batched
+  greedy scoring kernel :func:`refinement_pair_counts` — bit-identical
+  answers, shared work;
 * a **sharded, mergeable, parallel profiling engine** (:mod:`repro.engine`):
   partition a table row-wise, fit the paper's filters/sketches per shard on
   serial or worker-pool backends, merge the per-shard summaries (they
@@ -122,6 +128,7 @@ from repro.engine.shards import ShardedDataset, shard_dataset
 from repro.engine.specs import SummarySpec
 from repro.exceptions import ReproError
 from repro.fd.discovery import discover_afds
+from repro.kernels import LabelCache, evaluate_sets, refinement_pair_counts
 from repro.privacy.cost import cheapest_quasi_identifier
 from repro.privacy.linkage import simulate_linking_attack
 from repro.privacy.risk import assess_risk
@@ -133,6 +140,7 @@ __all__ = [
     "ExactMinKey",
     "ExactSeparationOracle",
     "ExecutionConfig",
+    "LabelCache",
     "MaskingResult",
     "MinKeyResult",
     "MotwaniXuFilter",
@@ -159,6 +167,7 @@ __all__ = [
     "cheapest_quasi_identifier",
     "classify",
     "discover_afds",
+    "evaluate_sets",
     "find_fuzzy_duplicates",
     "find_small_epsilon_key",
     "is_epsilon_key",
@@ -167,6 +176,7 @@ __all__ = [
     "mask_small_quasi_identifiers",
     "merge_summaries",
     "motwani_xu_pair_sample_size",
+    "refinement_pair_counts",
     "run_fit_plan",
     "save_csv",
     "separation_ratio",

@@ -130,6 +130,17 @@ class TaskContext:
             "tuple_filter", epsilon=self.epsilon(epsilon), seed=self.seed(seed)
         )
 
+    def label_cache(self):
+        """The session's shared-prefix label kernel for this dataset.
+
+        One :class:`~repro.kernels.LabelCache` per registered dataset,
+        shared across every exact question of the session — so a
+        ``classify`` after a prior ``classify`` of an overlapping set pays
+        only the non-shared label folds.  Usage is reported in the result
+        envelope's ``kernel`` field.
+        """
+        return self.profiler.label_cache(self.name)
+
     def sketch(
         self,
         *,
@@ -196,6 +207,7 @@ class Profiler:
         self._datasets: dict[str, _DatasetEntry] = {}
         self._summaries = SummaryCache(max_entries=execution.max_cached_summaries)
         self._results = SummaryCache(max_entries=max_cached_results)
+        self._label_caches: dict[str, object] = {}
         self._backend = None
 
     # ------------------------------------------------------------------
@@ -237,6 +249,36 @@ class Profiler:
         del self._datasets[name]
         self._summaries.evict(lambda key: key[0] == name)
         self._results.evict(lambda key: key[0] == name)
+        self._label_caches.pop(name, None)
+
+    def label_cache(self, dataset: str):
+        """The per-dataset :class:`~repro.kernels.LabelCache` (lazily built)."""
+        entry = self._require(dataset)
+        cache = self._label_caches.get(dataset)
+        if cache is None:
+            from repro.kernels import LabelCache
+
+            cache = LabelCache(entry.data)
+            self._label_caches[dataset] = cache
+        return cache
+
+    def _kernel_snapshot(self, dataset: str) -> dict | None:
+        cache = self._label_caches.get(dataset)
+        return cache.stats() if cache is not None else None
+
+    def _kernel_delta(self, dataset: str, before: dict | None) -> dict | None:
+        """Kernel work done since ``before`` (``None`` if none happened)."""
+        cache = self._label_caches.get(dataset)
+        if cache is None:
+            return None
+        after = cache.stats()
+        zero = {"hits": 0, "misses": 0, "refine_steps": 0}
+        base = before or zero
+        delta = {key: after[key] - base[key] for key in zero}
+        if not any(delta.values()):
+            return None
+        delta["entries"] = after["entries"]
+        return delta
 
     def datasets(self) -> list[str]:
         """Registered dataset names, sorted."""
@@ -373,6 +415,7 @@ class Profiler:
                     backend=self.execution.label,
                 )
 
+        kernel_before = self._kernel_snapshot(dataset)
         value = spec.func(ctx, *args, **params)
         resolved.update(ctx.params)
         deterministic = resolved.get("seed", 0) is not None
@@ -386,6 +429,7 @@ class Profiler:
             summaries=tuple(ctx.uses),
             seconds=time.perf_counter() - started,
             backend=self.execution.label,
+            kernel=self._kernel_delta(dataset, kernel_before),
         )
 
     # ------------------------------------------------------------------

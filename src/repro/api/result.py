@@ -123,6 +123,13 @@ class Result:
     backend:
         ``"direct"`` for in-memory fitting or the execution backend name
         plus shard count for engine-routed fits (e.g. ``"process x8"``).
+    kernel:
+        Label-kernel provenance when the question went through the
+        session's shared-prefix :class:`~repro.kernels.LabelCache`:
+        ``hits`` (labelings served from cache), ``misses`` (sets that
+        needed work), ``refine_steps`` (label folds actually executed) and
+        ``entries`` (cache residency after the call).  ``None`` when no
+        kernel work was involved.
     """
 
     task: str
@@ -132,6 +139,7 @@ class Result:
     summaries: tuple[SummaryUse, ...]
     seconds: float
     backend: str = "direct"
+    kernel: dict | None = None
 
     @property
     def fitted_summaries(self) -> tuple[SummaryUse, ...]:
@@ -153,6 +161,7 @@ class Result:
             "summaries": [jsonify(use) for use in self.summaries],
             "seconds": self.seconds,
             "backend": self.backend,
+            "kernel": jsonify(self.kernel),
         }
 
     def to_json(self, *, indent: int | None = None) -> str:

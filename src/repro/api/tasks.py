@@ -118,12 +118,16 @@ def _task_is_key(ctx, attributes, *, epsilon=None, seed=None):
 @task("classify")
 def _task_classify(ctx, attributes, *, epsilon=None, seed=None):
     """Classify ``attributes`` as key / bad / intermediate at ε."""
-    from repro.core.filters import classify
+    from repro.core.filters import classify, classify_from_gamma
 
     epsilon = ctx.epsilon(epsilon)
     if not ctx.sharded:
-        # Direct mode matches the module call: an exact full-table scan.
-        return classify(ctx.data, attributes, epsilon)
+        # Direct mode is still the exact full-table answer, but the scan
+        # goes through the session's shared-prefix label kernel: repeated
+        # or prefix-related questions pay only the non-shared label folds.
+        cache = ctx.label_cache()
+        gamma = cache.unseparated_pairs(ctx.data.resolve_attributes(attributes))
+        return classify_from_gamma(gamma, ctx.data.n_rows, epsilon)
     # Sharded mode classifies on the merged tuple sample — the engine
     # exists precisely to avoid full-table scans.
     tuple_filter = ctx.tuple_filter(epsilon, seed)

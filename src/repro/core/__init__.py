@@ -18,6 +18,7 @@ from repro.core.filters import (
     MotwaniXuFilter,
     TupleSampleFilter,
     classify,
+    classify_from_gamma,
 )
 from repro.core.masking import (
     MaskingResult,
@@ -40,6 +41,7 @@ from repro.core.sample_sizes import (
 )
 from repro.core.separation import (
     clique_sizes,
+    fold_labels,
     group_labels,
     is_epsilon_key,
     is_key,
@@ -66,8 +68,10 @@ __all__ = [
     "TupleSampleMinKey",
     "approximate_min_key",
     "classify",
+    "classify_from_gamma",
     "clique_sizes",
     "find_small_epsilon_key",
+    "fold_labels",
     "group_labels",
     "is_epsilon_key",
     "is_key",

@@ -60,17 +60,27 @@ class Classification(enum.Enum):
     INTERMEDIATE = "intermediate"
 
 
+def classify_from_gamma(gamma: int, n_rows: int, epsilon: float) -> Classification:
+    """Classification of a set given its exact non-separation count ``Γ_A``.
+
+    Shared threshold logic for :func:`classify` and the batched kernel
+    paths, so every surface applies the identical KEY / BAD boundary.
+    """
+    if gamma == 0:
+        return Classification.KEY
+    if gamma > epsilon * pairs_count(n_rows):
+        return Classification.BAD
+    return Classification.INTERMEDIATE
+
+
 def classify(
     data: Dataset, attributes: AttributeSetLike, epsilon: float
 ) -> Classification:
     """Classify ``attributes`` exactly (full scan; used as ground truth)."""
     epsilon = validate_epsilon(epsilon)
-    gamma = unseparated_pairs(data, attributes)
-    if gamma == 0:
-        return Classification.KEY
-    if gamma > epsilon * pairs_count(data.n_rows):
-        return Classification.BAD
-    return Classification.INTERMEDIATE
+    return classify_from_gamma(
+        unseparated_pairs(data, attributes), data.n_rows, epsilon
+    )
 
 
 class ExactSeparationOracle:
@@ -141,6 +151,12 @@ class MotwaniXuFilter:
         self._right = right
         self.epsilon = validate_epsilon(epsilon)
         self.column_names = tuple(column_names) if column_names else None
+        self._difference: np.ndarray | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_difference"] = None  # derived; rebuild lazily after unpickle
+        return state
 
     # ------------------------------------------------------------------
     # Construction
@@ -232,6 +248,47 @@ class MotwaniXuFilter:
         """Accept iff every sampled pair is separated by ``attributes``."""
         return self.unseparated_sample_pairs(attributes) == 0
 
+    def _difference_matrix(self) -> np.ndarray:
+        """Lazy ``(s, m)`` float matrix: pair ``p`` differs in column ``k``.
+
+        Stored as float64 so the batched query is one BLAS matmul; the
+        entries are exactly 0.0 / 1.0, so the counts it produces are exact.
+        """
+        if self._difference is None:
+            self._difference = (self._left != self._right).astype(np.float64)
+        return self._difference
+
+    def unseparated_sample_pairs_batch(self, attribute_sets) -> np.ndarray:
+        """Vectorized :meth:`unseparated_sample_pairs` over many sets.
+
+        One ``(s × m) @ (m × S)`` multiplication counts, for every sampled
+        pair and every queried set, how many of the set's attributes the
+        pair differs in; a pair is unseparated by a set iff that count is
+        zero.  Answers are identical to the per-set path, in input order.
+        """
+        masks = self._set_masks(attribute_sets)
+        if masks.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        differing = self._difference_matrix() @ masks.T
+        return (differing == 0.0).sum(axis=0, dtype=np.int64)
+
+    def accepts_batch(self, attribute_sets) -> np.ndarray:
+        """Vectorized :meth:`accepts`: one boolean verdict per queried set."""
+        return self.unseparated_sample_pairs_batch(attribute_sets) == 0
+
+    def _set_masks(self, attribute_sets) -> np.ndarray:
+        """Resolve an iterable of attribute sets into an ``(S, m)`` mask."""
+        resolved = [
+            resolve_mixed_attributes(attrs, self.column_names, self.n_columns)
+            for attrs in attribute_sets
+        ]
+        masks = np.zeros((len(resolved), self.n_columns), dtype=np.float64)
+        for row, attrs in enumerate(resolved):
+            if not attrs:
+                raise InvalidParameterError("attribute set must be non-empty")
+            masks[row, list(attrs)] = 1.0
+        return masks
+
     def memory_cells(self) -> int:
         """Stored integer cells (two tuples per sampled pair)."""
         return 2 * self._left.size
@@ -263,6 +320,12 @@ class TupleSampleFilter:
         self._sample = Dataset(codes, column_names=column_names)
         self.epsilon = validate_epsilon(epsilon)
         self.column_names = tuple(column_names) if column_names else None
+        self._label_cache = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_label_cache"] = None  # derived; rebuild lazily after unpickle
+        return state
 
     # ------------------------------------------------------------------
     # Construction
@@ -334,6 +397,19 @@ class TupleSampleFilter:
             attributes, self.column_names, self.n_columns
         )
 
+    def label_cache(self):
+        """The filter's persistent sample :class:`~repro.kernels.LabelCache`.
+
+        Shared by every batched query against this filter, so repeated and
+        prefix-related attribute sets are labeled once across the filter's
+        lifetime.  Built lazily (and deliberately dropped on pickling).
+        """
+        if self._label_cache is None:
+            from repro.kernels import LabelCache
+
+            self._label_cache = LabelCache(self._sample)
+        return self._label_cache
+
     def accepts(self, attributes: AttributeSetLike) -> bool:
         """Accept iff no two sampled tuples collide on ``attributes``.
 
@@ -343,6 +419,19 @@ class TupleSampleFilter:
         ``O(r·|A|·log r)`` query bound of Theorem 1.
         """
         return not has_duplicate_projection(self._sample, self._resolve(attributes))
+
+    def accepts_batch(self, attribute_sets) -> np.ndarray:
+        """Vectorized :meth:`accepts` over many attribute sets.
+
+        Runs :func:`repro.kernels.evaluate_sets` on the stored sample with
+        the filter's persistent label cache: shared prefixes across the
+        queried sets (and across successive batches) are labeled exactly
+        once.  Verdicts are identical to the per-set path, in input order.
+        """
+        from repro.kernels import evaluate_sets
+
+        resolved = [self._resolve(attrs) for attrs in attribute_sets]
+        return evaluate_sets(self._sample, resolved, cache=self.label_cache()).verdicts()
 
     def unseparated_sample_pairs(self, attributes: AttributeSetLike) -> int:
         """``Γ_A`` restricted to the sample (pairs of sampled tuples)."""

@@ -4,11 +4,13 @@ Three solvers share the :class:`MinKeyResult` interface:
 
 * :class:`MotwaniXuMinKey` — the baseline: sample ``Θ(m/ε)`` *pairs*, treat
   them as a set cover ground set (each coordinate covers the pairs it
-  separates), run greedy Algorithm 2.  Running time ``O(m³/ε)`` at the
-  default sample size (one ``O(s)`` column scan per candidate per step).
+  separates), run greedy Algorithm 2 (gains maintained incrementally, so
+  scoring visits each sampled pair once across the whole run).
 * :class:`TupleSampleMinKey` — the paper's improvement: sample ``Θ(m/√ε)``
   *tuples*, use the implicit ground set ``C(R, 2)``, and run the
-  partition-refinement greedy of Appendix B in ``O(m³/√ε)``.
+  partition-refinement greedy of Appendix B in ``O(m³/√ε)`` — candidate
+  scoring is one :func:`repro.kernels.refinement_pair_counts` batch call
+  per greedy step.
 * :class:`ExactMinKey` — branch-and-bound exact minimum key of a (small)
   data set; realizes ``γ = 1`` and grounds the approximation-quality tests.
 

@@ -41,21 +41,107 @@ def _resolve(data: SupportsRows, attributes: AttributeSetLike) -> tuple[int, ...
     return attrs
 
 
+#: Packed keys must stay strictly below this; beyond it the refinement
+#: densifies the incoming column first (cardinality ≤ n, so the product
+#: ``n_groups · extent`` then fits comfortably in ``int64``).  Kept as a
+#: Python int so guard arithmetic can never itself overflow.
+_PACK_LIMIT = 2**62
+
+
+def _bucket_limit(n: int) -> int:
+    """Largest packed key space worth counting with one bincount pass.
+
+    Below this, a refinement step is a dense O(n) bucketing (no sort);
+    above it, the sorted ``np.unique`` fold is used.  Both produce the
+    same ascending-key label numbering, so results are bit-identical.
+    """
+    return max(1 << 22, 8 * n)
+
+
+def _dense_rank(keys: np.ndarray, bucket_space: int) -> tuple[np.ndarray, int]:
+    """Dense ascending-order labels of non-negative ``keys``.
+
+    Identical to ``np.unique(keys, return_inverse=True)`` — occupied
+    buckets in ascending key order — but via one bincount when the key
+    space is small enough to allocate.
+    """
+    if bucket_space <= _bucket_limit(keys.size):
+        occupied = np.bincount(keys) > 0
+        dense_ids = np.cumsum(occupied) - 1
+        return dense_ids[keys], int(dense_ids[-1]) + 1 if dense_ids.size else 0
+    uniques, labels = np.unique(keys, return_inverse=True)
+    return labels.astype(np.int64, copy=False), int(uniques.size)
+
+
+def fold_labels(
+    labels: np.ndarray,
+    n_groups: int,
+    column: np.ndarray,
+    extent: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """One label-refinement step: group rows by the ``(label, code)`` pair.
+
+    This is the shared primitive behind :func:`group_labels`, the greedy
+    partition refinement, and the :mod:`repro.kernels` label cache: given
+    dense labels for an attribute set ``A`` it produces dense labels for
+    ``A ∪ {a}`` in a single pass over ``column`` (the codes of ``a``),
+    without revisiting any column of ``A``.
+
+    Parameters
+    ----------
+    labels:
+        Dense ``int64`` labels ``0..n_groups-1``.
+    n_groups:
+        ``labels.max() + 1`` (passed in so it is never rescanned).
+    column:
+        Non-negative integer codes of the attribute being folded in.
+    extent:
+        ``column.max() + 1`` if already known (e.g. from
+        :meth:`repro.data.dataset.Dataset.column_extents`); computed once
+        here otherwise.
+
+    Returns
+    -------
+    (new_labels, new_n_groups):
+        Dense labels ordered by the sorted ``(label, code)`` key — exactly
+        the order an iterated ``np.unique`` fold produces.
+    """
+    if extent is None:
+        extent = int(column.max()) + 1
+    if int(n_groups) * int(extent) >= _PACK_LIMIT:
+        # Densify: np.unique's inverse preserves code sort order, so the
+        # packed key ordering (and hence the resulting labels) is unchanged
+        # while the radix drops to the column cardinality (≤ n).
+        uniques, column = np.unique(column, return_inverse=True)
+        extent = int(uniques.size)
+    combined = labels * np.int64(extent) + column
+    return _dense_rank(combined, int(n_groups) * int(extent))
+
+
 def group_labels(data: SupportsRows, attributes: AttributeSetLike) -> np.ndarray:
     """Clique labels: ``labels[i] == labels[j]`` iff rows agree on ``A``.
 
     Labels are dense integers ``0..n_cliques-1`` ordered by first occurrence
     of each clique's projected value in :func:`numpy.unique`'s sort order.
+    Per-column packing radixes come from the data set's cached
+    :meth:`~repro.data.dataset.Dataset.column_extents` when available, so no
+    ``column.max()`` rescan is paid per query.
     """
     attrs = _resolve(data, attributes)
     codes = data.codes
-    labels = codes[:, attrs[0]].astype(np.int64, copy=True)
-    _, labels = np.unique(labels, return_inverse=True)
+    extents_of = getattr(data, "column_extents", None)
+    extents = extents_of() if extents_of is not None else None
+    first = codes[:, attrs[0]]
+    first_extent = (
+        int(extents[attrs[0]]) if extents is not None else int(first.max()) + 1
+    )
+    labels, n_groups = _dense_rank(
+        np.ascontiguousarray(first, dtype=np.int64), first_extent
+    )
     for attribute in attrs[1:]:
-        column = codes[:, attribute]
-        combined = labels * (int(column.max()) + 1) + column
-        _, labels = np.unique(combined, return_inverse=True)
-    return labels.astype(np.int64, copy=False)
+        extent = int(extents[attribute]) if extents is not None else None
+        labels, n_groups = fold_labels(labels, n_groups, codes[:, attribute], extent)
+    return labels
 
 
 def clique_sizes(data: SupportsRows, attributes: AttributeSetLike) -> CliqueVector:

@@ -55,7 +55,7 @@ class Dataset:
     1
     """
 
-    __slots__ = ("_codes", "_column_names", "_universes")
+    __slots__ = ("_codes", "_column_names", "_universes", "_cardinalities", "_extents")
 
     def __init__(
         self,
@@ -91,6 +91,8 @@ class Dataset:
                 f"{len(universes)} universes for {n_columns} columns"
             )
         self._universes = list(universes) if universes is not None else None
+        self._cardinalities: np.ndarray | None = None
+        self._extents: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -205,14 +207,36 @@ class Dataset:
 
     def column_cardinality(self, column: int) -> int:
         """Number of distinct values in ``column``."""
-        return int(np.unique(self._codes[:, column]).size)
+        return int(self.cardinalities()[column])
 
     def cardinalities(self) -> np.ndarray:
-        """Distinct-value counts for every column, as an ``int64`` array."""
-        return np.array(
-            [self.column_cardinality(c) for c in range(self.n_columns)],
-            dtype=np.int64,
-        )
+        """Distinct-value counts for every column, as an ``int64`` array.
+
+        Computed once and cached (the array is read-only); the separation
+        kernels consult this on every refinement step, so the per-column
+        ``np.unique`` scans must not be paid per query.
+        """
+        if self._cardinalities is None:
+            counts = np.array(
+                [int(np.unique(self._codes[:, c]).size) for c in range(self.n_columns)],
+                dtype=np.int64,
+            )
+            counts.setflags(write=False)
+            self._cardinalities = counts
+        return self._cardinalities
+
+    def column_extents(self) -> np.ndarray:
+        """Per-column ``max code + 1``, cached as a read-only ``int64`` array.
+
+        This is the packing radix the label-refinement kernels use; for
+        factorized (dense-coded) data it equals :meth:`cardinalities`, but it
+        stays correct for raw integer matrices whose codes have gaps.
+        """
+        if self._extents is None:
+            extents = self._codes.max(axis=0).astype(np.int64) + 1
+            extents.setflags(write=False)
+            self._extents = extents
+        return self._extents
 
     def decode_row(self, row: int) -> tuple:
         """Return the original values of ``row`` (codes if no universes)."""

@@ -79,7 +79,16 @@ class QueryResult:
 
 @dataclass(frozen=True)
 class BatchReport:
-    """An answered batch plus aggregate timing statistics."""
+    """An answered batch plus aggregate timing statistics.
+
+    ``kernel_stats`` is the label-kernel provenance of the batch: how many
+    attribute sets were answered through the shared-prefix
+    :class:`~repro.kernels.LabelCache`, how many label folds actually ran
+    (``refine_steps``), how many were served from cache (``cache_hits``),
+    and how many the prefix sharing eliminated versus the per-query seed
+    path (``labelings_saved``).  ``None`` when the batch contained no
+    kernel-answered query (no ``is_key`` / ``classify``).
+    """
 
     dataset: str
     n_shards: int
@@ -90,6 +99,7 @@ class BatchReport:
     cache_hits: int = 0
     cache_misses: int = 0
     epsilon: float = 0.0
+    kernel_stats: dict | None = None
 
     def values(self) -> list[object]:
         """The answers, in query order."""
@@ -407,31 +417,79 @@ class ProfilingService:
             )
         fit_seconds = time.perf_counter() - fit_start
 
-        results: list[QueryResult] = []
+        values: list[object] = [None] * len(batch)
+        seconds: list[float] = [0.0] * len(batch)
         query_start = time.perf_counter()
-        for query in batch:
+        kernel_stats = self._answer_kernel_queries(
+            batch, tuple_filter, epsilon, values, seconds
+        )
+        for position, query in enumerate(batch):
+            if query.op in ("is_key", "classify"):
+                continue  # answered by the batched kernel pass above
             start = time.perf_counter()
-            value = self._answer(query, tuple_filter, sketch, epsilon, seed)
-            results.append(
-                QueryResult(
-                    query=query,
-                    value=value,
-                    seconds=time.perf_counter() - start,
-                )
-            )
+            values[position] = self._answer(query, tuple_filter, sketch, epsilon, seed)
+            seconds[position] = time.perf_counter() - start
         query_seconds = time.perf_counter() - query_start
 
+        results = tuple(
+            QueryResult(query=query, value=values[position], seconds=seconds[position])
+            for position, query in enumerate(batch)
+        )
         return BatchReport(
             dataset=name,
             n_shards=sharded.n_shards,
             backend=getattr(self.backend, "name", type(self.backend).__name__),
-            results=tuple(results),
+            results=results,
             fit_seconds=fit_seconds,
             query_seconds=query_seconds,
             cache_hits=self.cache_hits - hits_before,
             cache_misses=self.cache_misses - misses_before,
             epsilon=epsilon,
+            kernel_stats=kernel_stats,
         )
+
+    @staticmethod
+    def _answer_kernel_queries(
+        batch: list[Query],
+        tuple_filter: TupleSampleFilter | None,
+        epsilon: float,
+        values: list[object],
+        seconds: list[float],
+    ) -> dict | None:
+        """Answer every ``is_key`` / ``classify`` query in one kernel pass.
+
+        All queried attribute sets go through
+        :func:`repro.kernels.evaluate_sets` on the merged sample with the
+        filter's persistent label cache, so sets shared between queries —
+        or sharing prefixes, within the batch or across batches — are
+        labeled once.  Per-query ``seconds`` are the batch cost amortized
+        evenly over its queries.  Returns the kernel provenance dict.
+        """
+        from repro.kernels import evaluate_sets
+
+        positions = [
+            position
+            for position, query in enumerate(batch)
+            if query.op in ("is_key", "classify")
+        ]
+        if not positions:
+            return None
+        assert tuple_filter is not None
+        start = time.perf_counter()
+        evaluation = evaluate_sets(
+            tuple_filter.sample,
+            [batch[position].attributes for position in positions],
+            epsilon=epsilon,
+            cache=tuple_filter.label_cache(),
+        )
+        share = (time.perf_counter() - start) / len(positions)
+        for position, result in zip(positions, evaluation.results):
+            if batch[position].op == "is_key":
+                values[position] = bool(result.is_key)
+            else:
+                values[position] = Classification(result.classification)
+            seconds[position] = share
+        return evaluation.stats()
 
     def _answer(
         self,

@@ -31,6 +31,23 @@ from repro.exceptions import InvalidParameterError
 from repro.types import AttributeSetLike, SupportsRows, pairs_count
 
 
+def _flatten_classes(
+    classes: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(rows_concat, class_starts, class_sizes)`` for a stored class list.
+
+    The scatter/gather form every vectorized partition operation works on:
+    one concatenated row array plus ``reduceat``-ready segment boundaries.
+    """
+    if not classes:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    sizes = np.array([c.size for c in classes], dtype=np.int64)
+    starts = np.zeros(sizes.size, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    return np.concatenate(classes), starts, sizes
+
+
 class StrippedPartition:
     """Equivalence classes of size ≥ 2, over rows ``0..n_rows-1``.
 
@@ -84,6 +101,23 @@ class StrippedPartition:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_normalized(
+        cls, classes: list[np.ndarray], n_rows: int
+    ) -> "StrippedPartition":
+        """Fast internal constructor for classes already in stored form.
+
+        Callers guarantee: each class is a sorted ``int64`` array of ≥ 2
+        in-range, non-overlapping rows.  Only the class-list ordering is
+        (re)applied, skipping the public constructor's per-class
+        ``np.unique`` normalization pass.
+        """
+        part = cls.__new__(cls)
+        part._n_rows = int(n_rows)
+        classes.sort(key=lambda a: (int(a[0]), a.size))
+        part._classes = classes
+        return part
+
+    @classmethod
     def from_labels(cls, labels: np.ndarray) -> "StrippedPartition":
         """Build from a dense label vector (``labels[i] == labels[j]`` iff
         rows ``i`` and ``j`` are equivalent)."""
@@ -94,7 +128,10 @@ class StrippedPartition:
         sorted_labels = label_array[order]
         boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
         groups = np.split(order, boundaries)
-        return cls(groups, n_rows=label_array.size)
+        # Stable argsort of arange keeps rows ascending within each group,
+        # so the stored-form invariants hold without re-normalizing.
+        stored = [group.astype(np.int64, copy=False) for group in groups if group.size >= 2]
+        return cls._from_normalized(stored, n_rows=label_array.size)
 
     @classmethod
     def from_dataset(
@@ -201,21 +238,36 @@ class StrippedPartition:
                 f"partitions over different row counts: "
                 f"{self._n_rows} != {other._n_rows}"
             )
+        if not self._classes or not other._classes:
+            return StrippedPartition._from_normalized([], n_rows=self._n_rows)
+        # Scatter: probe[row] = self-class id for every row self covers.
         probe = np.full(self._n_rows, -1, dtype=np.int64)
-        for class_id, rows in enumerate(self._classes):
-            probe[rows] = class_id
-        product_classes: list[np.ndarray] = []
-        buckets: dict[int, list[int]] = {}
-        for rows in other._classes:
-            for row in rows.tolist():
-                class_id = int(probe[row])
-                if class_id >= 0:
-                    buckets.setdefault(class_id, []).append(row)
-            for members in buckets.values():
-                if len(members) >= 2:
-                    product_classes.append(np.array(sorted(members), dtype=np.int64))
-            buckets.clear()
-        return StrippedPartition(product_classes, n_rows=self._n_rows)
+        self_rows, _, self_sizes = _flatten_classes(self._classes)
+        probe[self_rows] = np.repeat(
+            np.arange(self_sizes.size, dtype=np.int64), self_sizes
+        )
+        # Gather: every row other covers, tagged (other class, self class);
+        # a product class is a bucket of ≥ 2 rows sharing both tags.
+        other_rows, _, other_sizes = _flatten_classes(other._classes)
+        other_ids = np.repeat(np.arange(other_sizes.size, dtype=np.int64), other_sizes)
+        self_ids = probe[other_rows]
+        covered = self_ids >= 0
+        rows = other_rows[covered]
+        if rows.size < 2:
+            return StrippedPartition._from_normalized([], n_rows=self._n_rows)
+        # Both ids are < n, so the packed bucket key fits int64 (n² < 2⁶³).
+        keys = other_ids[covered] * np.int64(self_sizes.size) + self_ids[covered]
+        order = np.argsort(keys, kind="stable")
+        sorted_rows = rows[order]
+        boundaries = np.flatnonzero(np.diff(keys[order])) + 1
+        product_classes = [
+            group
+            for group in np.split(sorted_rows, boundaries)
+            if group.size >= 2
+        ]
+        return StrippedPartition._from_normalized(
+            product_classes, n_rows=self._n_rows
+        )
 
     def refines(self, other: "StrippedPartition") -> bool:
         """``True`` iff every class of ``self`` lies inside a class of ``other``.
@@ -228,26 +280,37 @@ class StrippedPartition:
                 f"partitions over different row counts: "
                 f"{self._n_rows} != {other._n_rows}"
             )
+        if not self._classes:
+            return True
         membership = np.full(self._n_rows, -1, dtype=np.int64)
-        for class_id, rows in enumerate(other._classes):
-            membership[rows] = class_id
-        for rows in self._classes:
-            targets = membership[rows]
-            first = targets[0]
-            # singleton target (-1) cannot absorb a class of size >= 2
-            if first < 0 or bool(np.any(targets != first)):
-                return False
-        return True
+        other_rows, _, other_sizes = _flatten_classes(other._classes)
+        membership[other_rows] = np.repeat(
+            np.arange(other_sizes.size, dtype=np.int64), other_sizes
+        )
+        self_rows, starts, _ = _flatten_classes(self._classes)
+        targets = membership[self_rows]
+        lows = np.minimum.reduceat(targets, starts)
+        highs = np.maximum.reduceat(targets, starts)
+        # A class refines iff all members share one non-singleton target
+        # (a -1, i.e. singleton, target cannot absorb a class of size ≥ 2).
+        return bool(np.all((lows >= 0) & (lows == highs)))
 
     # ------------------------------------------------------------------
     # FD violation measures against a refinement
     # ------------------------------------------------------------------
 
-    def _representative_sizes(self, refined: "StrippedPartition") -> dict[int, int]:
-        """Map ``row -> class size`` with one representative row per class of
-        ``refined`` (any member works: classes of the refinement are nested
-        in classes of ``self``)."""
-        return {int(rows[0]): int(rows.size) for rows in refined._classes}
+    def _representative_size_table(self, refined: "StrippedPartition") -> np.ndarray:
+        """Scatter table ``row -> refined class size``, 0 for non-reps.
+
+        One representative row per class of ``refined`` (the first member;
+        any member works: classes of the refinement are nested in classes
+        of ``self``).
+        """
+        table = np.zeros(self._n_rows, dtype=np.int64)
+        rows, starts, sizes = _flatten_classes(refined._classes)
+        if rows.size:
+            table[rows[starts]] = sizes
+        return table
 
     def g3_removed_rows(self, refined: "StrippedPartition") -> int:
         """Minimum rows to delete so the FD behind ``refined`` holds exactly.
@@ -261,16 +324,13 @@ class StrippedPartition:
                 f"partitions over different row counts: "
                 f"{self._n_rows} != {refined._n_rows}"
             )
-        sizes = self._representative_sizes(refined)
-        removed = 0
-        for rows in self._classes:
-            largest = 1
-            for row in rows.tolist():
-                size = sizes.get(row, 0)
-                if size > largest:
-                    largest = size
-            removed += int(rows.size) - largest
-        return removed
+        if not self._classes:
+            return 0
+        size_by_row = self._representative_size_table(refined)
+        rows, starts, sizes = _flatten_classes(self._classes)
+        largest = np.maximum.reduceat(size_by_row[rows], starts)
+        np.maximum(largest, 1, out=largest)
+        return int((sizes - largest).sum())
 
     def g2_violating_rows(self, refined: "StrippedPartition") -> int:
         """Rows that participate in at least one violating pair.
@@ -284,17 +344,16 @@ class StrippedPartition:
                 f"partitions over different row counts: "
                 f"{self._n_rows} != {refined._n_rows}"
             )
-        sizes = self._representative_sizes(refined)
-        violating = 0
-        for rows in self._classes:
-            intact = False
-            for row in rows.tolist():
-                if sizes.get(row, 0) == rows.size:
-                    intact = True
-                    break
-            if not intact:
-                violating += int(rows.size)
-        return violating
+        if not self._classes:
+            return 0
+        size_by_row = self._representative_size_table(refined)
+        rows, starts, sizes = _flatten_classes(self._classes)
+        # Intact iff some member is the representative of a refined class
+        # exactly as large as the whole class (i.e. the class did not split).
+        intact = np.logical_or.reduceat(
+            size_by_row[rows] == np.repeat(sizes, sizes), starts
+        )
+        return int(sizes[~intact].sum())
 
     def g1_violating_pairs(self, refined: "StrippedPartition") -> int:
         """Pairs equal on ``X`` but unequal on ``Y``: ``Γ_X − Γ_{X∪Y}``."""

@@ -1,0 +1,36 @@
+"""Columnar query kernels: make *repeated* separation queries cheap.
+
+The :mod:`repro.core` modules answer one question about one attribute set;
+real workloads (greedy candidate scanning, lattice walks, engine query
+batches) ask thousands of questions about *overlapping* sets of the same
+table.  This package holds the shared-work kernels:
+
+* :class:`LabelCache` — memoized dense clique labels per attribute set;
+  ``labels(A ∪ {a})`` is derived from cached ``labels(A)`` by one
+  :func:`~repro.core.separation.fold_labels` pass instead of re-folding all
+  of ``A``.
+* :func:`evaluate_sets` — batch evaluation of a family of attribute sets,
+  walked in prefix-trie order so shared prefixes are labeled exactly once.
+* :func:`refinement_pair_counts` — the batched greedy scoring kernel: all
+  candidate columns of an Algorithm 2 step scored in one vectorized pass.
+
+Everything here is bit-identical to the per-query seed paths; speed comes
+purely from not repeating work.  See ``docs/performance.md``.
+"""
+
+from repro.kernels.batch import (
+    BatchEvaluation,
+    SetEvaluation,
+    evaluate_sets,
+    refinement_pair_counts,
+)
+from repro.kernels.labels import LabelCache, labels_signature
+
+__all__ = [
+    "BatchEvaluation",
+    "LabelCache",
+    "SetEvaluation",
+    "evaluate_sets",
+    "labels_signature",
+    "refinement_pair_counts",
+]

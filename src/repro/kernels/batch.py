@@ -1,0 +1,311 @@
+"""Batched separation kernels: many attribute sets / candidates, one call.
+
+Two kernels live here:
+
+* :func:`evaluate_sets` — answer ``Γ_A`` / clique-count / is-key (and
+  optionally the ε-classification) for a whole *family* of attribute sets
+  in one call.  Sets are walked in prefix-trie order over a shared
+  :class:`~repro.kernels.labels.LabelCache`, so a shared prefix is labeled
+  exactly once no matter how many sets extend it.
+* :func:`refinement_pair_counts` — the greedy scoring kernel: given the
+  current partition labels and a slate of candidate columns, count the
+  still-unseparated pairs after refining by *each* candidate, all columns
+  in a single vectorized sort-and-run-length pass.  This is what turns
+  Algorithm 2's per-candidate ``np.unique`` loop into one batch call per
+  greedy step.
+
+Both kernels return exact integers, bit-identical to the per-query seed
+paths they replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.separation import _PACK_LIMIT
+from repro.exceptions import InvalidParameterError
+from repro.kernels.labels import LabelCache
+from repro.types import (
+    AttributeSet,
+    SupportsRows,
+    pairs_count,
+    validate_epsilon,
+)
+
+
+@dataclass(frozen=True)
+class SetEvaluation:
+    """Exact separation answers for one attribute set of a batch.
+
+    Attributes
+    ----------
+    attributes:
+        The resolved (sorted, de-duplicated) attribute set.
+    n_groups:
+        Number of cliques of ``G_A``.
+    unseparated_pairs:
+        ``Γ_A`` — pairs the set fails to separate.
+    is_key:
+        ``True`` iff every clique is a singleton.
+    classification:
+        ``"key"`` / ``"bad"`` / ``"intermediate"`` when the batch was
+        evaluated with an ``epsilon``; ``None`` otherwise.  (String-valued
+        to keep :mod:`repro.kernels` free of a :mod:`repro.core.filters`
+        import; compare against ``Classification.<X>.value``.)
+    """
+
+    attributes: AttributeSet
+    n_groups: int
+    unseparated_pairs: int
+    is_key: bool
+    classification: str | None = None
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """The answers of :func:`evaluate_sets`, in input order, plus cache work.
+
+    ``refine_steps`` counts the label folds actually executed; the seed
+    path would have executed ``sum(len(A) for A in sets)`` of them, so
+    ``labelings_saved`` is the work the prefix sharing eliminated.
+    """
+
+    results: tuple[SetEvaluation, ...]
+    n_rows: int
+    refine_steps: int
+    cache_hits: int
+    labelings_saved: int
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> SetEvaluation:
+        return self.results[index]
+
+    def gammas(self) -> np.ndarray:
+        """``Γ_A`` per set, in input order."""
+        return np.array([r.unseparated_pairs for r in self.results], dtype=np.int64)
+
+    def verdicts(self) -> np.ndarray:
+        """Is-key verdict per set, in input order."""
+        return np.array([r.is_key for r in self.results], dtype=bool)
+
+    def stats(self) -> dict:
+        """Kernel-work accounting for provenance reporting."""
+        return {
+            "sets": len(self.results),
+            "refine_steps": self.refine_steps,
+            "cache_hits": self.cache_hits,
+            "labelings_saved": self.labelings_saved,
+        }
+
+
+def _classify_gamma(gamma: int, n_rows: int, epsilon: float) -> str:
+    if gamma == 0:
+        return "key"
+    if gamma > epsilon * pairs_count(n_rows):
+        return "bad"
+    return "intermediate"
+
+
+def evaluate_sets(
+    data: SupportsRows,
+    attribute_sets: Iterable,
+    *,
+    epsilon: float | None = None,
+    cache: LabelCache | None = None,
+) -> BatchEvaluation:
+    """Evaluate many attribute sets over one data set in a single call.
+
+    Parameters
+    ----------
+    data:
+        The table (any :class:`~repro.types.SupportsRows`).
+    attribute_sets:
+        An iterable of attribute sets (indices, names where ``data`` can
+        resolve them, or mixtures); duplicates and permutations are fine.
+    epsilon:
+        When given, each result also carries the exact ε-classification
+        (``"key"`` / ``"bad"`` / ``"intermediate"``).
+    cache:
+        A :class:`LabelCache` to reuse across calls (e.g. a filter's
+        persistent cache).  A fresh bounded cache is created otherwise.
+
+    Returns
+    -------
+    BatchEvaluation
+        Per-set answers **in input order** plus cache-work statistics.
+
+    Notes
+    -----
+    Sets are processed in lexicographic order of their sorted index tuples
+    — a depth-first walk of the family's prefix trie — so each shared
+    prefix is labeled once.  Answers are bit-identical to calling
+    :func:`repro.core.separation.unseparated_pairs` (etc.) per set.
+    """
+    if epsilon is not None:
+        epsilon = validate_epsilon(epsilon)
+    if cache is None:
+        cache = LabelCache(data)
+    elif cache._data is not data:
+        raise InvalidParameterError("cache was built for a different data set")
+
+    resolved = [cache._resolve(attrs) for attrs in attribute_sets]
+    hits_before = cache.hits
+    refines_before = cache.refine_steps
+
+    order = sorted(range(len(resolved)), key=lambda i: resolved[i])
+    results: list[SetEvaluation | None] = [None] * len(resolved)
+    n_rows = cache.n_rows
+    memo: dict[AttributeSet, SetEvaluation] = {}
+    for index in order:
+        attrs = resolved[index]
+        evaluation = memo.get(attrs)
+        if evaluation is None:
+            labels, n_groups = cache._labels_entry(attrs)
+            if n_groups == n_rows:
+                gamma = 0
+            else:
+                sizes = np.bincount(labels, minlength=n_groups)
+                gamma = int((sizes * (sizes - 1) // 2).sum())
+            evaluation = SetEvaluation(
+                attributes=attrs,
+                n_groups=n_groups,
+                unseparated_pairs=gamma,
+                is_key=n_groups == n_rows,
+                classification=(
+                    _classify_gamma(gamma, n_rows, epsilon)
+                    if epsilon is not None
+                    else None
+                ),
+            )
+            memo[attrs] = evaluation
+        results[index] = evaluation
+
+    refine_steps = cache.refine_steps - refines_before
+    total_folds = sum(len(attrs) for attrs in resolved)
+    return BatchEvaluation(
+        results=tuple(results),  # type: ignore[arg-type]
+        n_rows=n_rows,
+        refine_steps=refine_steps,
+        cache_hits=cache.hits - hits_before,
+        labelings_saved=total_folds - refine_steps,
+    )
+
+
+def refinement_pair_counts(
+    labels: np.ndarray,
+    table: np.ndarray,
+    columns: Sequence[int],
+    extents: np.ndarray | None = None,
+) -> np.ndarray:
+    """Unseparated pairs after refining ``labels`` by each candidate column.
+
+    The greedy scoring kernel.  Candidates whose packed key space is small
+    (the common case after recompaction) are counted with Appendix B's
+    O(n) bucketing — one ``bincount`` into a dense count array, no sort —
+    over a single reused key buffer.  Candidates with huge key spaces fall
+    back to one shared ``(c × n)`` sorted pass with a vectorized
+    run-length count.  Either way there are no per-candidate ``np.unique``
+    round trips.
+
+    Parameters
+    ----------
+    labels:
+        Dense ``int64`` partition labels of the current attribute set.
+    table:
+        ``(n, m)`` non-negative integer code matrix.
+    columns:
+        Candidate column indices to score (need not be all of ``table``).
+    extents:
+        Per-column ``max + 1`` radixes for all of ``table``'s columns;
+        computed once here when omitted.
+
+    Returns
+    -------
+    np.ndarray
+        ``int64`` array aligned with ``columns``: entry ``j`` is the exact
+        number of within-clique pairs remaining after refining by
+        ``columns[j]`` — identical to
+        ``PartitionState.unseparated_after(table[:, columns[j]])``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    table = np.asarray(table)
+    if labels.ndim != 1 or table.ndim != 2 or labels.size != table.shape[0]:
+        raise InvalidParameterError(
+            f"labels (shape {labels.shape}) must align with table rows "
+            f"(shape {table.shape})"
+        )
+    cols = np.asarray(list(columns), dtype=np.int64)
+    if cols.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    n = labels.size
+    if extents is None:
+        extents = table.max(axis=0).astype(np.int64) + 1
+    else:
+        extents = np.asarray(extents, dtype=np.int64)
+    n_groups = int(labels.max()) + 1 if n else 0
+
+    if n < 2:
+        return np.zeros(cols.size, dtype=np.int64)
+    # Python-int ceiling division: the int64 product n_groups·radix could
+    # itself wrap, so the guards must not compute it.
+    radix_limit = (_PACK_LIMIT + max(n_groups, 1) - 1) // max(n_groups, 1)
+    bucket_limit = max(1 << 22, 8 * n)
+
+    results = np.empty(cols.size, dtype=np.int64)
+    keys = np.empty(n, dtype=np.int64)  # reused packed-key buffer
+    sort_positions: list[int] = []
+    sort_columns: list[np.ndarray] = []
+    sort_radixes: list[int] = []
+    for position, column in enumerate(cols.tolist()):
+        radix = int(extents[column])
+        column_codes = table[:, column]
+        if radix >= radix_limit:
+            # Densify: unique's inverse preserves code sort order, so the
+            # packed ordering (hence every count) is unchanged while the
+            # radix drops to the column cardinality (≤ n).
+            uniques, column_codes = np.unique(column_codes, return_inverse=True)
+            radix = int(uniques.size)
+        if n_groups * radix > bucket_limit:
+            sort_positions.append(position)
+            sort_columns.append(column_codes)
+            sort_radixes.append(radix)
+            continue
+        # Appendix B's O(n) bucketing: one bincount into a dense count
+        # array, no sort.  Σ c·(c−1)/2 = (Σ c² − n)/2.
+        np.multiply(labels, radix, out=keys)
+        keys += column_codes
+        counts = np.bincount(keys)
+        if counts.size <= n:
+            square_sum = int(counts @ counts)  # sequential beats gather
+        else:
+            square_sum = int(counts[keys].sum())
+        results[position] = (square_sum - n) // 2
+
+    if sort_positions:
+        # One candidate per *row* so the sort and the run-length scan both
+        # stream contiguous buffers.
+        stacked = np.vstack([np.asarray(c, dtype=np.int64) for c in sort_columns])
+        combined = labels[None, :] * np.asarray(sort_radixes, dtype=np.int64)[
+            :, None
+        ] + stacked
+        combined.sort(axis=1)
+        # Run-length counting on the flattened row-major buffer: a run
+        # begins at every row boundary and wherever adjacent sorted keys
+        # differ.  A run of length L contributes L·(L−1)/2 within-pairs.
+        flat = combined.ravel()
+        row_starts = np.arange(len(sort_positions), dtype=np.int64) * n
+        is_run_start = np.empty(flat.size, dtype=bool)
+        is_run_start[0] = True
+        np.not_equal(flat[1:], flat[:-1], out=is_run_start[1:])
+        is_run_start[row_starts] = True
+        bounds = np.flatnonzero(is_run_start)
+        lengths = np.diff(bounds, append=flat.size)
+        run_pairs = lengths * (lengths - 1) // 2
+        first_run_of_row = np.searchsorted(bounds, row_starts)
+        results[sort_positions] = np.add.reduceat(run_pairs, first_run_of_row)
+    return results

@@ -26,12 +26,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.separation import _PACK_LIMIT, fold_labels
 from repro.data.encoding import recompact_codes
 from repro.exceptions import (
     EmptySampleError,
     InfeasibleInstanceError,
     InvalidParameterError,
 )
+from repro.kernels.batch import refinement_pair_counts
 from repro.types import pairs_count
 
 
@@ -39,6 +41,23 @@ def _within_pairs(label_counts: np.ndarray) -> int:
     """Number of unordered pairs inside the groups of a partition."""
     counts = label_counts.astype(np.int64)
     return int(((counts * (counts - 1)) // 2).sum())
+
+
+def _bucket_limit(n_rows: int) -> int:
+    """Largest packed key space worth counting with one bincount pass.
+
+    Below this, refinement is the paper's O(|R|) bucketing (Algorithm 3's
+    array-of-lists realized as a dense count array); above it, the sorted
+    ``np.unique`` fold is used instead.  Both orderings are identical.
+    """
+    return max(1 << 22, 8 * n_rows)
+
+
+def _densify_labels(labels: np.ndarray, n_groups: int) -> tuple[np.ndarray, int]:
+    """Re-densify labels after dropping rows (label order preserved)."""
+    occupied = np.bincount(labels, minlength=n_groups) > 0
+    dense_ids = np.cumsum(occupied) - 1
+    return dense_ids[labels], int(dense_ids[-1]) + 1 if dense_ids.size else 0
 
 
 class PartitionState:
@@ -69,16 +88,35 @@ class PartitionState:
         return _within_pairs(np.bincount(self.labels))
 
     def refine_labels(self, column_codes: np.ndarray) -> np.ndarray:
-        """Labels after refining by a column (without committing)."""
-        max_code = int(column_codes.max()) + 1
-        combined = self.labels * max_code + column_codes
-        _, new_labels = np.unique(combined, return_inverse=True)
-        return new_labels.astype(np.int64)
+        """Labels after refining by a column (without committing).
+
+        Small packed key spaces use one O(|R|) bincount bucketing pass; the
+        relabeling (occupied buckets in ascending key order) is identical
+        to the ``np.unique`` fold used for large key spaces.
+        """
+        new_labels, _ = fold_labels(
+            self.labels, self.n_cliques, np.asarray(column_codes, dtype=np.int64)
+        )
+        return new_labels
 
     def unseparated_after(self, column_codes: np.ndarray) -> int:
         """Within-clique pairs left if the column were added (not committed)."""
         max_code = int(column_codes.max()) + 1
+        if self.n_cliques * max_code >= _PACK_LIMIT:
+            # Densify first so the packed key cannot wrap int64 (unique's
+            # inverse preserves code order, so counts are unchanged).
+            uniques, column_codes = np.unique(column_codes, return_inverse=True)
+            max_code = int(uniques.size)
         combined = self.labels * max_code + column_codes
+        if self.n_cliques * max_code <= _bucket_limit(self.n_rows):
+            counts = np.bincount(combined)
+            # Σ c·(c−1)/2 = (Σ c² − n)/2; Σ c² via a sequential dot when the
+            # count array is small, an O(n) gather otherwise.
+            if counts.size <= self.n_rows:
+                square_sum = int(counts @ counts)
+            else:
+                square_sum = int(counts[combined].sum())
+            return (square_sum - self.n_rows) // 2
         _, counts = np.unique(combined, return_counts=True)
         return _within_pairs(counts)
 
@@ -175,10 +213,25 @@ def greedy_separation_cover(
         raise InvalidParameterError(
             f"target_ratio must be in (0, 1]; got {target_ratio}"
         )
-    # Algorithm 3's lookup table P: dense per-column codes of the sample.
-    table = recompact_codes(codes)
+    # Algorithm 3's lookup table P.  Codes straight out of a factorized
+    # Dataset (or a sample of one) are already near-dense, so instead of
+    # unconditionally re-encoding every column (one np.unique scan each),
+    # densify only columns whose code range exceeds the row count — the
+    # only case where re-encoding shrinks the partition tables (and the
+    # only case where packed refinement keys could grow dangerously).
+    if codes.min() < 0:
+        table = recompact_codes(codes)
+    else:
+        table = codes
+        oversized = np.flatnonzero(table.max(axis=0) >= n_rows)
+        if oversized.size:
+            table = table.copy()
+            for column in oversized.tolist():
+                _, table[:, column] = np.unique(
+                    table[:, column], return_inverse=True
+                )
+    extents = table.max(axis=0).astype(np.int64) + 1
     total_pairs = pairs_count(n_rows)
-    state = PartitionState(n_rows)
     allowed_unseparated = int((1.0 - target_ratio) * total_pairs)
 
     attributes: list[int] = []
@@ -187,14 +240,26 @@ def greedy_separation_cover(
     remaining_columns = set(range(n_columns))
     current_unseparated = total_pairs
 
+    # The *stripped* greedy state: only rows inside a clique of size ≥ 2 can
+    # ever contribute unseparated pairs, so scoring and refinement run over
+    # the shrinking active-row subset (TANE's stripped-partition insight —
+    # exactly the rows Appendix B's array-of-lists would still hold).
+    active_table = table
+    active_labels = np.zeros(n_rows, dtype=np.int64)
+    active_groups = 1
+
     while current_unseparated > allowed_unseparated:
-        best_column = -1
-        best_gain = 0
-        for column in sorted(remaining_columns):
-            gain = current_unseparated - state.unseparated_after(table[:, column])
-            if gain > best_gain:
-                best_gain = gain
-                best_column = column
+        # One batched kernel call scores every remaining candidate — the
+        # per-candidate ``np.unique`` round trips of the naive loop become
+        # bincount bucketing passes over the active rows.
+        candidates = sorted(remaining_columns)
+        after = refinement_pair_counts(
+            active_labels, active_table, candidates, extents
+        )
+        step_gains = current_unseparated - after
+        best_position = int(np.argmax(step_gains)) if candidates else -1
+        best_gain = int(step_gains[best_position]) if candidates else 0
+        best_column = candidates[best_position] if best_gain > 0 else -1
         if best_column < 0:
             # No column separates anything more: duplicates in the sample.
             if allow_duplicates or target_ratio < 1.0:
@@ -203,7 +268,17 @@ def greedy_separation_cover(
                 f"sample contains duplicate rows; {current_unseparated} pair(s) "
                 "cannot be separated (pass allow_duplicates=True to stop early)"
             )
-        state.commit(table[:, best_column])
+        active_labels, active_groups = fold_labels(
+            active_labels, active_groups,
+            active_table[:, best_column], int(extents[best_column]),
+        )
+        counts = np.bincount(active_labels, minlength=active_groups)
+        keep = counts[active_labels] > 1
+        if not keep.all():
+            active_table = active_table[keep]
+            active_labels, active_groups = _densify_labels(
+                active_labels[keep], active_groups
+            )
         remaining_columns.discard(best_column)
         attributes.append(best_column)
         gains.append(best_gain)

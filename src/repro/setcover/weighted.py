@@ -92,10 +92,13 @@ def weighted_greedy_set_cover(
         )
     membership = instance.membership
     uncovered = np.ones(instance.n_elements, dtype=bool)
+    # Incremental gain maintenance (see greedy_set_cover): subtract only the
+    # rows a pick newly covers, so scoring is O(N·M) across the whole run.
+    integer_gains = membership.sum(axis=0)
     selection: list[int] = []
     trace: list[WeightedGreedyStep] = []
     while uncovered.any():
-        gains = membership[uncovered].sum(axis=0).astype(np.float64)
+        gains = integer_gains.astype(np.float64)
         with np.errstate(divide="ignore"):
             prices = np.where(gains > 0, cost_array / gains, np.inf)
         # Mathematically tied prices can differ by a few ulps once costs are
@@ -106,6 +109,8 @@ def weighted_greedy_set_cover(
         if not np.isfinite(prices[best]):  # pragma: no cover - feasibility guard
             raise InfeasibleInstanceError("no set covers the remaining elements")
         gain = int(gains[best])
+        newly = uncovered & membership[:, best]
+        integer_gains = integer_gains - membership[newly].sum(axis=0)
         uncovered &= ~membership[:, best]
         selection.append(best)
         trace.append(

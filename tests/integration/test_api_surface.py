@@ -20,6 +20,7 @@ ALL_SNAPSHOT = [
     "ExactMinKey",
     "ExactSeparationOracle",
     "ExecutionConfig",
+    "LabelCache",
     "MaskingResult",
     "MinKeyResult",
     "MotwaniXuFilter",
@@ -46,6 +47,7 @@ ALL_SNAPSHOT = [
     "cheapest_quasi_identifier",
     "classify",
     "discover_afds",
+    "evaluate_sets",
     "find_fuzzy_duplicates",
     "find_small_epsilon_key",
     "is_epsilon_key",
@@ -54,6 +56,7 @@ ALL_SNAPSHOT = [
     "mask_small_quasi_identifiers",
     "merge_summaries",
     "motwani_xu_pair_sample_size",
+    "refinement_pair_counts",
     "run_fit_plan",
     "save_csv",
     "separation_ratio",

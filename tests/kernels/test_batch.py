@@ -1,0 +1,163 @@
+"""evaluate_sets / refinement_pair_counts: equivalence with per-query paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.filters import Classification, classify
+from repro.core.separation import group_labels, is_key, unseparated_pairs
+from repro.data.dataset import Dataset
+from repro.data.encoding import recompact_codes
+from repro.data.synthetic import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.kernels import LabelCache, evaluate_sets, refinement_pair_counts
+from repro.setcover.partition_greedy import PartitionState
+
+
+def random_dataset(seed: int, n_rows: int = 250, n_columns: int = 6) -> Dataset:
+    rng = np.random.default_rng(seed)
+    cards = rng.integers(1, 10, size=n_columns)
+    codes = np.column_stack([rng.integers(0, c, size=n_rows) for c in cards])
+    return Dataset(codes)
+
+
+def random_family(n_columns: int, seed: int, count: int) -> list[tuple[int, ...]]:
+    rng = np.random.default_rng(seed)
+    family = [tuple(range(n_columns))] + [(c,) for c in range(n_columns)]
+    while len(family) < count:
+        size = int(rng.integers(1, n_columns + 1))
+        chosen = rng.choice(n_columns, size=size, replace=False)
+        rng.shuffle(chosen)  # permuted order must not matter
+        family.append(tuple(int(c) for c in chosen))
+    return family[:count]
+
+
+class TestEvaluateSets:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_query_seed_path(self, seed):
+        data = random_dataset(seed)
+        family = random_family(data.n_columns, seed, count=25)
+        evaluation = evaluate_sets(data, family, epsilon=0.05)
+        assert len(evaluation) == len(family)
+        for attrs, result in zip(family, evaluation.results):
+            canonical = tuple(sorted(set(attrs)))
+            assert result.attributes == canonical
+            assert result.unseparated_pairs == unseparated_pairs(data, attrs)
+            assert result.is_key == is_key(data, attrs)
+            expected = classify(data, canonical, 0.05)
+            assert Classification(result.classification) == expected
+
+    def test_results_in_input_order(self):
+        data = random_dataset(3)
+        family = [(2,), (0, 1), (1,), (0, 1, 2)]
+        evaluation = evaluate_sets(data, family)
+        assert [r.attributes for r in evaluation.results] == family
+        gammas = evaluation.gammas()
+        for attrs, gamma in zip(family, gammas):
+            assert gamma == unseparated_pairs(data, attrs)
+
+    def test_duplicate_sets_answered_once(self):
+        data = random_dataset(4)
+        evaluation = evaluate_sets(data, [(0, 1), (1, 0), (0, 1)])
+        assert evaluation.refine_steps == 2  # (0,) then (0, 1), shared by all
+        first, second, third = evaluation.results
+        assert first == second == third
+
+    def test_prefix_sharing_saves_labelings(self):
+        data = zipf_dataset(300, n_columns=6, cardinality=5, seed=1)
+        family = [(0, 1, 2, k) for k in range(3, 6)]
+        evaluation = evaluate_sets(data, family)
+        # Seed path would fold 3 sets × 4 columns = 12 times; the trie walk
+        # folds the (0, 1, 2) prefix once plus one tail column per set.
+        assert evaluation.refine_steps == 6
+        assert evaluation.labelings_saved == 6
+        assert evaluation.stats()["sets"] == 3
+
+    def test_shared_cache_across_calls(self):
+        data = random_dataset(6)
+        cache = LabelCache(data)
+        evaluate_sets(data, [(0, 1)], cache=cache)
+        second = evaluate_sets(data, [(0, 1), (0, 1, 2)], cache=cache)
+        assert second.cache_hits >= 1
+        assert second.refine_steps == 1  # only the new column folds
+
+    def test_foreign_cache_rejected(self):
+        cache = LabelCache(random_dataset(7))
+        with pytest.raises(InvalidParameterError):
+            evaluate_sets(random_dataset(8), [(0,)], cache=cache)
+
+    def test_verdicts_vector(self, tiny_dataset):
+        evaluation = evaluate_sets(tiny_dataset, [(0, 1), (1,)])
+        assert evaluation.verdicts().tolist() == [True, False]
+
+    def test_no_epsilon_means_no_classification(self, tiny_dataset):
+        evaluation = evaluate_sets(tiny_dataset, [(0,)])
+        assert evaluation.results[0].classification is None
+
+
+class TestRefinementPairCounts:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_partition_state(self, seed):
+        data = random_dataset(seed, n_rows=180)
+        table = recompact_codes(data.codes)
+        state = PartitionState(table.shape[0])
+        for step_column in (0, 1):  # score against progressively finer labels
+            columns = list(range(table.shape[1]))
+            batch = refinement_pair_counts(state.labels, table, columns)
+            reference = np.array(
+                [state.unseparated_after(table[:, c]) for c in columns]
+            )
+            assert np.array_equal(batch, reference)
+            state.commit(table[:, step_column])
+
+    def test_subset_of_columns_and_extents(self):
+        data = random_dataset(9)
+        table = recompact_codes(data.codes)
+        extents = table.max(axis=0) + 1
+        state = PartitionState(table.shape[0])
+        state.commit(table[:, 2])
+        columns = [0, 3, 5]
+        batch = refinement_pair_counts(state.labels, table, columns, extents)
+        reference = np.array([state.unseparated_after(table[:, c]) for c in columns])
+        assert np.array_equal(batch, reference)
+
+    def test_empty_candidate_list(self):
+        labels = np.zeros(5, dtype=np.int64)
+        table = np.zeros((5, 2), dtype=np.int64)
+        assert refinement_pair_counts(labels, table, []).size == 0
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            refinement_pair_counts(
+                np.zeros(3, dtype=np.int64), np.zeros((4, 2), dtype=np.int64), [0]
+            )
+
+    def test_huge_codes_densified_not_overflowed(self):
+        """Columns whose extent would overflow the packed key still count right."""
+        rng = np.random.default_rng(0)
+        huge = rng.integers(0, 2**61, size=60, dtype=np.int64)
+        huge[rng.integers(0, 60, size=20)] = huge[0]  # force some collisions
+        small = rng.integers(0, 3, size=60)
+        table = np.column_stack([small, huge])
+        labels = np.asarray(small, dtype=np.int64)
+        batch = refinement_pair_counts(labels, table, [1])
+        state = PartitionState(60)
+        state.commit(recompact_codes(table)[:, 0])
+        assert batch[0] == state.unseparated_after(recompact_codes(table)[:, 1])
+
+
+class TestGroupLabelsOverflowGuard:
+    def test_large_codes_relative_to_n(self):
+        """The seed's latent overflow: max code huge, n tiny."""
+        rng = np.random.default_rng(1)
+        n = 50
+        col_a = rng.integers(0, 3, size=n, dtype=np.int64)
+        col_b = rng.integers(0, 2**62, size=n, dtype=np.int64)
+        col_b[::7] = col_b[0]
+        data = Dataset(np.column_stack([col_a, col_b]))
+        labels = group_labels(data, (0, 1))
+        dense = Dataset(recompact_codes(data.codes))
+        expected = group_labels(dense, (0, 1))
+        assert np.array_equal(labels, expected)
+        assert unseparated_pairs(data, (0, 1)) == unseparated_pairs(dense, (0, 1))

@@ -1,0 +1,91 @@
+"""accepts_batch on both filters: verdict-identical to the per-set paths."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.filters import MotwaniXuFilter, TupleSampleFilter
+from repro.data.dataset import Dataset
+from repro.data.synthetic import planted_key_dataset, zipf_dataset
+from repro.exceptions import InvalidParameterError
+
+
+def random_family(n_columns: int, seed: int, count: int) -> list[tuple[int, ...]]:
+    rng = np.random.default_rng(seed)
+    family = [(c,) for c in range(n_columns)] + [tuple(range(n_columns))]
+    while len(family) < count:
+        size = int(rng.integers(1, n_columns + 1))
+        chosen = rng.choice(n_columns, size=size, replace=False)
+        family.append(tuple(int(c) for c in chosen))
+    return family[:count]
+
+
+@pytest.fixture(scope="module")
+def data() -> Dataset:
+    return planted_key_dataset(1500, key_size=2, n_noise_columns=5, seed=5)
+
+
+class TestTupleSampleFilterBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_verdicts_match_accepts(self, data, seed):
+        filt = TupleSampleFilter.fit(data, epsilon=0.02, seed=seed)
+        family = random_family(data.n_columns, seed, count=30)
+        verdicts = filt.accepts_batch(family)
+        assert verdicts.dtype == bool
+        for attrs, verdict in zip(family, verdicts):
+            assert bool(verdict) == filt.accepts(attrs)
+
+    def test_batches_share_the_persistent_cache(self, data):
+        filt = TupleSampleFilter.fit(data, epsilon=0.02, seed=0)
+        filt.accepts_batch([(0, 1, 2)])
+        refines_after_first = filt.label_cache().refine_steps
+        filt.accepts_batch([(0, 1, 3)])  # shares the (0, 1) prefix
+        assert filt.label_cache().refine_steps == refines_after_first + 1
+
+    def test_column_names_accepted(self):
+        data = zipf_dataset(300, n_columns=4, cardinality=4, seed=2)
+        filt = TupleSampleFilter.fit(data, epsilon=0.1, seed=0)
+        named = [[data.column_names[0], data.column_names[2]]]
+        assert filt.accepts_batch(named)[0] == filt.accepts([0, 2])
+
+    def test_pickle_drops_and_rebuilds_cache(self, data):
+        filt = TupleSampleFilter.fit(data, epsilon=0.02, seed=0)
+        filt.accepts_batch([(0, 1)])
+        clone = pickle.loads(pickle.dumps(filt))
+        assert clone._label_cache is None
+        assert np.array_equal(
+            clone.accepts_batch([(0, 1), (3,)]), filt.accepts_batch([(0, 1), (3,)])
+        )
+
+
+class TestMotwaniXuFilterBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_counts_and_verdicts_match(self, data, seed):
+        filt = MotwaniXuFilter.fit(data, epsilon=0.02, seed=seed)
+        family = random_family(data.n_columns, seed, count=30)
+        counts = filt.unseparated_sample_pairs_batch(family)
+        verdicts = filt.accepts_batch(family)
+        for attrs, count, verdict in zip(family, counts, verdicts):
+            assert int(count) == filt.unseparated_sample_pairs(attrs)
+            assert bool(verdict) == filt.accepts(attrs)
+
+    def test_empty_batch(self, data):
+        filt = MotwaniXuFilter.fit(data, epsilon=0.05, seed=0)
+        assert filt.accepts_batch([]).size == 0
+
+    def test_empty_set_rejected(self, data):
+        filt = MotwaniXuFilter.fit(data, epsilon=0.05, seed=0)
+        with pytest.raises(InvalidParameterError):
+            filt.accepts_batch([[]])
+
+    def test_pickle_drops_difference_matrix(self, data):
+        filt = MotwaniXuFilter.fit(data, epsilon=0.05, seed=0)
+        filt.accepts_batch([(0, 1)])
+        clone = pickle.loads(pickle.dumps(filt))
+        assert clone._difference is None
+        assert np.array_equal(
+            clone.accepts_batch([(0, 1)]), filt.accepts_batch([(0, 1)])
+        )

@@ -1,0 +1,168 @@
+"""LabelCache: bit-identical answers, shared-prefix reuse, bounded memory."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.separation import (
+    clique_sizes,
+    group_labels,
+    is_key,
+    separation_ratio,
+    unseparated_pairs,
+)
+from repro.data.dataset import Dataset
+from repro.data.synthetic import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.kernels import LabelCache, labels_signature
+
+
+def random_dataset(seed: int, n_rows: int = 300, n_columns: int = 6) -> Dataset:
+    rng = np.random.default_rng(seed)
+    cardinalities = rng.integers(1, 12, size=n_columns)
+    codes = np.column_stack(
+        [rng.integers(0, card, size=n_rows) for card in cardinalities]
+    )
+    return Dataset(codes)
+
+
+def subset_family(n_columns: int, seed: int, count: int = 30) -> list[tuple[int, ...]]:
+    """Random subsets including singletons and the full set, in random order."""
+    rng = np.random.default_rng(seed)
+    family: list[tuple[int, ...]] = [tuple(range(n_columns))]
+    family += [(int(c),) for c in range(n_columns)]
+    while len(family) < count:
+        size = int(rng.integers(1, n_columns + 1))
+        family.append(tuple(sorted(rng.choice(n_columns, size=size, replace=False))))
+    rng.shuffle(family)  # type: ignore[arg-type]
+    return family
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_labels_bit_identical_to_group_labels(self, seed):
+        data = random_dataset(seed)
+        cache = LabelCache(data)
+        for attrs in subset_family(data.n_columns, seed):
+            assert np.array_equal(cache.labels(attrs), group_labels(data, attrs))
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_scalar_answers_match_seed_paths(self, seed):
+        data = random_dataset(seed, n_rows=200)
+        cache = LabelCache(data)
+        for attrs in subset_family(data.n_columns, seed, count=20):
+            assert cache.unseparated_pairs(attrs) == unseparated_pairs(data, attrs)
+            assert cache.is_key(attrs) == is_key(data, attrs)
+            assert cache.separation_ratio(attrs) == separation_ratio(data, attrs)
+            assert np.array_equal(cache.clique_sizes(attrs), clique_sizes(data, attrs))
+
+    def test_permuted_attribute_order_is_one_entry(self):
+        data = random_dataset(7)
+        cache = LabelCache(data)
+        first = cache.labels([0, 3, 5])
+        again = cache.labels([5, 0, 3])
+        assert np.array_equal(first, again)
+        assert cache.hits == 1  # the permutation resolved to the cached set
+
+    def test_derivation_path_does_not_change_labels(self):
+        """labels(A) is identical whether or not a prefix was cached first."""
+        data = random_dataset(11)
+        cold = LabelCache(data)
+        direct = cold.labels((0, 1, 2, 3))
+        warm = LabelCache(data)
+        warm.labels((0, 1))          # force the prefix entry
+        warm.labels((0, 1, 2))       # and its extension
+        assert np.array_equal(warm.labels((0, 1, 2, 3)), direct)
+
+    def test_column_name_resolution(self, tiny_dataset):
+        cache = LabelCache(tiny_dataset)
+        assert np.array_equal(
+            cache.labels(["zip", "age"]), group_labels(tiny_dataset, [0, 1])
+        )
+
+    def test_bare_code_matrix_protocol(self):
+        """Works on any SupportsRows, not just Dataset (no cached extents)."""
+
+        class Bare:
+            def __init__(self, codes):
+                self.codes = codes
+                self.n_rows, self.n_columns = codes.shape
+
+        codes = np.array([[0, 1], [0, 2], [1, 1], [0, 1]], dtype=np.int64)
+        bare = Bare(codes)
+        cache = LabelCache(bare)
+        assert np.array_equal(cache.labels([0, 1]), group_labels(bare, [0, 1]))
+        assert cache.unseparated_pairs([0, 1]) == 1
+
+
+class TestSharing:
+    def test_shared_prefix_refines_once(self):
+        data = zipf_dataset(400, n_columns=6, cardinality=5, seed=3)
+        cache = LabelCache(data)
+        cache.labels((0, 1, 2))
+        assert cache.refine_steps == 3
+        cache.labels((0, 1, 3))   # shares the (0, 1) prefix
+        assert cache.refine_steps == 4
+        cache.labels((0, 1))      # exact hit, no work
+        assert cache.refine_steps == 4
+        assert cache.hits == 1
+
+    def test_stats_accounting(self):
+        data = random_dataset(2)
+        cache = LabelCache(data)
+        cache.labels((0, 1))
+        cache.labels((0, 1))
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["refine_steps"] == 2
+        assert stats["entries"] == 2  # (0,) and (0, 1)
+
+    def test_lru_eviction_bounds_entries(self):
+        data = random_dataset(4, n_columns=8)
+        cache = LabelCache(data, max_entries=3)
+        for attrs in itertools.combinations(range(8), 2):
+            cache.labels(attrs)
+        assert len(cache) <= 3
+        # Evicted sets still answer correctly (recomputed, still identical).
+        assert np.array_equal(cache.labels((0, 1)), group_labels(data, (0, 1)))
+
+    def test_clear_keeps_accounting(self):
+        data = random_dataset(5)
+        cache = LabelCache(data)
+        cache.labels((0, 2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["refine_steps"] == 2
+
+
+class TestValidation:
+    def test_empty_set_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            LabelCache(tiny_dataset).labels([])
+
+    def test_out_of_range_rejected(self, tiny_dataset):
+        with pytest.raises(InvalidParameterError):
+            LabelCache(tiny_dataset).labels([0, 9])
+
+    def test_returned_labels_are_read_only(self, tiny_dataset):
+        labels = LabelCache(tiny_dataset).labels([0])
+        with pytest.raises(ValueError):
+            labels[0] = 5
+
+
+class TestSignature:
+    def test_signature_is_partition_invariant(self):
+        labels_a = np.array([2, 2, 0, 1, 0], dtype=np.int64)
+        labels_b = np.array([0, 0, 1, 2, 1], dtype=np.int64)  # same partition
+        assert np.array_equal(labels_signature(labels_a), labels_signature(labels_b))
+
+    def test_signature_distinguishes_partitions(self):
+        labels_a = np.array([0, 0, 1], dtype=np.int64)
+        labels_b = np.array([0, 1, 1], dtype=np.int64)
+        assert not np.array_equal(
+            labels_signature(labels_a), labels_signature(labels_b)
+        )

@@ -1,0 +1,91 @@
+"""Kernel wiring: engine query batches and the Profiler envelope."""
+
+from __future__ import annotations
+
+from repro.api import Profiler
+from repro.core.filters import classify
+from repro.data.synthetic import zipf_dataset
+from repro.engine.service import ProfilingService
+
+
+class TestServiceKernelPath:
+    def test_batched_answers_match_summary_paths(self):
+        data = zipf_dataset(600, n_columns=6, cardinality=6, seed=3)
+        service = ProfilingService()
+        service.register("z", data, n_shards=3, seed=3)
+        queries = [
+            ("is_key", range(6)),
+            ("classify", [0, 1]),
+            ("is_key", [0]),
+            ("classify", [0, 1, 2]),
+        ]
+        report = service.query_batch("z", queries, epsilon=0.05, seed=0)
+        tuple_filter = service.summary("z", service._filter_spec(0.05, 0))
+        sample = tuple_filter.sample
+        values = report.values()
+        assert values[0] == tuple_filter.accepts(range(6))
+        assert values[2] == tuple_filter.accepts([0])
+        assert values[1] == classify(sample, sample.resolve_attributes([0, 1]), 0.05)
+        assert values[3] == classify(
+            sample, sample.resolve_attributes([0, 1, 2]), 0.05
+        )
+
+    def test_kernel_stats_provenance(self):
+        data = zipf_dataset(400, n_columns=5, cardinality=5, seed=1)
+        service = ProfilingService()
+        service.register("z", data, seed=1)
+        report = service.query_batch(
+            "z",
+            [("is_key", [0, 1, 2]), ("classify", [0, 1, 3]), ("is_key", [0, 1, 2])],
+            epsilon=0.05,
+            seed=0,
+        )
+        stats = report.kernel_stats
+        assert stats is not None
+        assert stats["sets"] == 3
+        # (0,1,2) twice + (0,1,3): the duplicate and the (0,1) prefix share.
+        assert stats["refine_steps"] == 4
+        assert stats["labelings_saved"] == 5
+        # A second batch reuses the filter's persistent cache entirely.
+        second = service.query_batch(
+            "z", [("is_key", [0, 1, 2])], epsilon=0.05, seed=0
+        )
+        assert second.kernel_stats["refine_steps"] == 0
+        assert second.kernel_stats["cache_hits"] == 1
+
+    def test_sketch_only_batch_has_no_kernel_stats(self):
+        data = zipf_dataset(300, n_columns=4, cardinality=5, seed=2)
+        service = ProfilingService()
+        service.register("z", data, seed=2)
+        report = service.query_batch("z", [("sketch_estimate", [0])], epsilon=0.05)
+        assert report.kernel_stats is None
+
+
+class TestProfilerKernelProvenance:
+    def test_classify_reports_kernel_and_reuses_prefixes(self):
+        data = zipf_dataset(500, n_columns=6, cardinality=6, seed=4)
+        profiler = Profiler(epsilon=0.05, seed=0)
+        profiler.add("z", data)
+        first = profiler.classify("z", [0, 1, 2])
+        assert first.value == classify(data, (0, 1, 2), 0.05)
+        assert first.kernel is not None
+        assert first.kernel["refine_steps"] == 3
+        second = profiler.classify("z", [0, 1, 3])
+        assert second.kernel["refine_steps"] == 1  # (0, 1) prefix reused
+        repeat = profiler.classify("z", [0, 1, 2])
+        assert repeat.kernel["hits"] == 1
+        assert repeat.kernel["refine_steps"] == 0
+        assert repeat.value == first.value
+
+    def test_kernel_field_serializes(self):
+        data = zipf_dataset(200, n_columns=4, cardinality=4, seed=0)
+        profiler = Profiler(epsilon=0.1, seed=0)
+        profiler.add("z", data)
+        payload = profiler.classify("z", [0, 1]).to_dict()
+        assert payload["kernel"]["refine_steps"] == 2
+
+    def test_non_kernel_task_has_none(self):
+        data = zipf_dataset(200, n_columns=4, cardinality=4, seed=0)
+        profiler = Profiler(epsilon=0.1, seed=0)
+        profiler.add("z", data)
+        assert profiler.is_key("z", [0, 1]).kernel is None

@@ -141,3 +141,24 @@ class TestGreedySeparationCover:
             membership[index] = codes[i] != codes[j]
         explicit_selection, _ = greedy_set_cover(SetCoverInstance(membership))
         assert implicit.attributes == explicit_selection
+
+
+class TestPackedKeyOverflow:
+    def test_unseparated_after_densifies_huge_codes(self):
+        """Raw codes near 2^62 must not wrap the packed refinement key."""
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5], dtype=np.int64)
+        huge = np.array(
+            [2**62 - 1, 7, 2**62 - 1, 7, 5, 5, 9, 9, 2**61, 3, 1, 1],
+            dtype=np.int64,
+        )
+        state = PartitionState(labels.size)
+        state.labels = labels
+        state.n_cliques = 6
+        dense = np.unique(huge, return_inverse=True)[1].astype(np.int64)
+        expected = PartitionState(labels.size)
+        expected.labels = labels
+        expected.n_cliques = 6
+        assert state.unseparated_after(huge) == expected.unseparated_after(dense)
+        assert np.array_equal(
+            state.refine_labels(huge), expected.refine_labels(dense)
+        )
