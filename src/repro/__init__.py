@@ -114,8 +114,10 @@ from repro.core.separation import (
 )
 from repro.core.sketch import NonSeparationSketch, SketchAnswer
 from repro.cleaning.dedup import find_fuzzy_duplicates
+from repro.data.appendable import AppendableDataset, DatasetBuilder
 from repro.data.dataset import Dataset
 from repro.data.io import load_csv, save_csv
+from repro.engine.append import AppendableShardedDataset
 from repro.engine.executor import (
     ProcessPoolBackend,
     SerialBackend,
@@ -128,19 +130,32 @@ from repro.engine.shards import ShardedDataset, shard_dataset
 from repro.engine.specs import SummarySpec
 from repro.exceptions import ReproError
 from repro.fd.discovery import discover_afds
-from repro.kernels import LabelCache, evaluate_sets, refinement_pair_counts
+from repro.kernels import (
+    IncrementalLabelCache,
+    LabelCache,
+    evaluate_sets,
+    extend_labels,
+    refinement_pair_counts,
+)
+from repro.live import LiveProfiler, LiveSnapshot
 from repro.privacy.cost import cheapest_quasi_identifier
 from repro.privacy.linkage import simulate_linking_attack
 from repro.privacy.risk import assess_risk
 
 __all__ = [
+    "AppendableDataset",
+    "AppendableShardedDataset",
     "BatchReport",
     "Classification",
     "Dataset",
+    "DatasetBuilder",
     "ExactMinKey",
     "ExactSeparationOracle",
     "ExecutionConfig",
+    "IncrementalLabelCache",
     "LabelCache",
+    "LiveProfiler",
+    "LiveSnapshot",
     "MaskingResult",
     "MinKeyResult",
     "MotwaniXuFilter",
@@ -168,6 +183,7 @@ __all__ = [
     "classify",
     "discover_afds",
     "evaluate_sets",
+    "extend_labels",
     "find_fuzzy_duplicates",
     "find_small_epsilon_key",
     "is_epsilon_key",

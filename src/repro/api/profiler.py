@@ -214,20 +214,48 @@ class Profiler:
     # Dataset registration
     # ------------------------------------------------------------------
 
-    def add(self, name: str, data: Dataset) -> "Profiler":
-        """Register ``data`` under ``name`` (replacing drops its caches)."""
+    def add(
+        self,
+        name: str,
+        data: Dataset,
+        *,
+        sharded: ShardedDataset | None = None,
+        label_cache: object | None = None,
+    ) -> "Profiler":
+        """Register ``data`` under ``name`` (replacing drops its caches).
+
+        A caller that already holds derived state for ``data`` can
+        install it at registration instead of paying a second pass:
+        ``sharded`` a shard layout (e.g. a live session's appendable
+        layout; ignored in direct execution mode), ``label_cache`` a
+        :class:`~repro.kernels.LabelCache` over ``data``.
+        """
         if name in self._datasets:
             self.forget(name)
         entry = _DatasetEntry(data=data)
         if self.execution.sharded:
-            entry.sharded = shard_dataset(
-                data,
-                self.execution.n_shards,
-                strategy=self.execution.strategy,
-                seed=self.default_seed,
-            )
+            entry.sharded = self._shard_layout(data, sharded)
         self._datasets[name] = entry
+        if label_cache is not None:
+            self._label_caches[name] = label_cache
         return self
+
+    def _shard_layout(
+        self, data: Dataset, sharded: ShardedDataset | None
+    ) -> ShardedDataset:
+        """A caller-provided shard layout, or the session's default one.
+
+        Shared by :meth:`add` and :meth:`update` so registration-time and
+        append-time sharding can never drift apart.
+        """
+        if sharded is not None:
+            return sharded
+        return shard_dataset(
+            data,
+            self.execution.n_shards,
+            strategy=self.execution.strategy,
+            seed=self.default_seed,
+        )
 
     def add_named(
         self,
@@ -242,6 +270,47 @@ class Profiler:
 
         seed = normalize_seed(self.default_seed if seed is None else seed)
         return self.add(name or dataset, build_dataset(dataset, n_rows=rows, seed=seed))
+
+    def update(
+        self,
+        name: str,
+        data: Dataset,
+        *,
+        sharded: ShardedDataset | None = None,
+        label_cache: object | None = None,
+    ) -> "Profiler":
+        """Replace a registered table in place — the append path.
+
+        Everything cached *for this dataset* is evicted (summaries and
+        memoized results described the old rows), while the rest of the
+        session — other datasets, the worker pool, accounting — survives.
+        Callers that maintained state incrementally hand it over instead
+        of losing it:
+
+        * ``sharded`` — an extended shard layout (e.g. the live
+          :class:`~repro.engine.append.AppendableShardedDataset`); when
+          omitted in sharded mode the table is re-sharded from scratch
+          exactly like :meth:`add`.
+        * ``label_cache`` — an advanced
+          :class:`~repro.kernels.incremental.IncrementalLabelCache`
+          whose labelings already describe ``data``; when omitted the old
+          cache is dropped (its labels describe the old rows).
+
+        This is what :class:`repro.live.LiveProfiler` calls per append;
+        it is also safe to call directly with a freshly concatenated
+        table.
+        """
+        entry = self._require(name)
+        entry.data = data
+        if self.execution.sharded:
+            entry.sharded = self._shard_layout(data, sharded)
+        self._summaries.evict(lambda key: key[0] == name)
+        self._results.evict(lambda key: key[0] == name)
+        if label_cache is not None:
+            self._label_caches[name] = label_cache
+        else:
+            self._label_caches.pop(name, None)
+        return self
 
     def forget(self, name: str) -> None:
         """Unregister a dataset and evict everything cached for it."""

@@ -30,6 +30,9 @@ Commands
 ``repro engine profile --dataset adult [--shards 8] [--backend process]``
     The same Profiler session with a sharded/parallel ExecutionConfig:
     fit mergeable summaries per shard and answer a batched workload.
+``repro live --dataset adult [--batches 8] [--watch age,sex] [--min-key]``
+    Stream a registry data set into a LiveProfiler in batches and print
+    each snapshot's watched answers with incremental/refit provenance.
 ``repro datasets``
     List the registered synthetic workloads with seeds and default shapes.
 
@@ -218,6 +221,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--k", type=int, default=2, help="sketch query size bound"
     )
     engine_profile.add_argument("--alpha", type=float, default=0.05)
+
+    live = commands.add_parser(
+        "live",
+        parents=[json_flag, dataset_args],
+        help="stream a dataset into a live session, batch by batch",
+    )
+    live.add_argument("--epsilon", type=float, default=0.01)
+    live.add_argument(
+        "--batches",
+        type=int,
+        default=8,
+        help="number of equal arrival batches (the first one registers)",
+    )
+    live.add_argument(
+        "--watch",
+        action="append",
+        default=None,
+        metavar="ATTRS",
+        help="comma-separated attribute set to keep classified "
+        "(repeatable; default: the two leading columns)",
+    )
+    live.add_argument(
+        "--bundle",
+        action="append",
+        default=None,
+        metavar="ATTRS",
+        help="policy bundle to watch (exact classification + Algorithm 1 "
+        "reservoir verdict; repeatable)",
+    )
+    live.add_argument(
+        "--min-key",
+        action="store_true",
+        help="also keep the approximate minimum key mined per batch",
+    )
+    live.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count; > 1 routes refits through the engine "
+        "(round-robin appends)",
+    )
+    live.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="execution backend for sharded refits",
+    )
 
     datasets = commands.add_parser(
         "datasets",
@@ -577,6 +627,105 @@ def _run_engine_profile(args: argparse.Namespace, profiler) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.api import ExecutionConfig
+    from repro.data.dataset import Dataset
+    from repro.data.registry import build_dataset
+    from repro.live import LiveProfiler
+
+    data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    if args.batches < 2:
+        raise SystemExit("--batches must be at least 2 (register + arrivals)")
+    blocks = np.array_split(data.codes, args.batches)
+    watches = [_parse_attributes(spec) for spec in (args.watch or [])]
+    if not watches and not args.bundle:
+        watches = [[0, 1]] if data.n_columns >= 2 else [[0]]
+    bundles = [_parse_attributes(spec) for spec in (args.bundle or [])]
+
+    execution = None
+    if args.shards > 1:
+        execution = ExecutionConfig(
+            backend=args.backend, n_shards=args.shards, strategy="round_robin"
+        )
+    snapshots = []
+    with LiveProfiler(execution, epsilon=args.epsilon, seed=args.seed) as live:
+        live.add(
+            args.dataset, Dataset(blocks[0], column_names=data.column_names)
+        )
+        for attrs in watches:
+            live.watch_classify(args.dataset, attrs)
+        for attrs in bundles:
+            live.watch_bundle(args.dataset, attrs)
+        if args.min_key:
+            live.watch_min_key(args.dataset)
+        snapshots.append(live.snapshot(args.dataset))
+        for block in blocks[1:]:
+            snapshots.append(live.append(args.dataset, codes=block))
+
+    if args.json:
+        _emit_json(
+            {
+                "task": "live",
+                "dataset": args.dataset,
+                "execution": {
+                    "backend": args.backend if args.shards > 1 else "direct",
+                    "shards": args.shards,
+                },
+                "params": {
+                    "epsilon": args.epsilon,
+                    "seed": args.seed,
+                    "batches": args.batches,
+                },
+                "snapshots": [snapshot.to_dict() for snapshot in snapshots],
+            }
+        )
+        return 0
+
+    def _label(answer) -> str:
+        names = (
+            "" if answer.attributes is None
+            else "[" + ",".join(
+                data.column_names[a] for a in answer.attributes
+            ) + "]"
+        )
+        return f"{answer.kind}{names}"
+
+    mode = f"{args.backend} x{args.shards}" if args.shards > 1 else "direct"
+    print(f"live stream    : {args.dataset} {data.shape} ({mode}), "
+          f"{args.batches} batches")
+    watched = ", ".join(_label(a) for a in snapshots[0].answers) or "(nothing)"
+    print(f"watching       : {watched}")
+    for index, snapshot in enumerate(snapshots):
+        stage = "register" if index == 0 else f"batch {index}"
+        print(f"[{stage:>9}] rows={snapshot.rows_seen:,} "
+              f"(+{snapshot.appended_rows:,}) "
+              f"answered in {snapshot.seconds:.3f}s")
+        for answer in snapshot.answers:
+            value = answer.value
+            shown = getattr(value, "value", value)
+            if answer.kind == "min_key":
+                names = [data.column_names[a] for a in value.attributes]
+                shown = f"{names} (size {value.key_size})"
+            reservoir = (
+                ""
+                if answer.reservoir_accept is None
+                else f"  reservoir={'identifying' if answer.reservoir_accept else 'safe'}"
+            )
+            print(f"    {_label(answer):<28}: {shown} "
+                  f"({answer.provenance}){reservoir}")
+    kernel = snapshots[-1].kernel
+    if kernel is not None:
+        print(
+            f"kernel         : {kernel['appends']} appends, "
+            f"{kernel['tracked']} tracked set(s) maintained "
+            f"{kernel['maintained']} times with {kernel['maintain_folds']} "
+            f"incremental folds ({kernel['refine_steps']} cold folds total)"
+        )
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data.registry import dataset_info, list_datasets
 
@@ -623,6 +772,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "anonymize": _cmd_anonymize,
         "dedup": _cmd_dedup,
         "engine": _cmd_engine,
+        "live": _cmd_live,
         "datasets": _cmd_datasets,
     }
     return handlers[args.command](args)

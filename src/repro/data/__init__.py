@@ -8,8 +8,9 @@ objects) into dense integer *codes* and wraps them in the immutable
 consumes.
 """
 
+from repro.data.appendable import AppendableDataset, DatasetBuilder
 from repro.data.dataset import Dataset
-from repro.data.encoding import factorize_column, factorize_table
+from repro.data.encoding import ColumnEncoder, factorize_column, factorize_table
 from repro.data.io import load_csv, save_csv
 from repro.data.profile import (
     ColumnProfile,
@@ -41,10 +42,13 @@ from repro.data.synthetic import (
 )
 
 __all__ = [
+    "AppendableDataset",
+    "ColumnEncoder",
     "ColumnProfile",
     "DATASET_BUILDERS",
     "DATASET_INFO",
     "Dataset",
+    "DatasetBuilder",
     "DatasetInfo",
     "adult_like",
     "build_dataset",

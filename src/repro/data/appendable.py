@@ -1,0 +1,464 @@
+"""Append-aware tables: grow a factorized code matrix in amortized O(rows).
+
+The immutable :class:`~repro.data.dataset.Dataset` is the right object to
+*analyze* — every kernel and summary assumes its rows never change — but the
+wrong object to *ingest into*: appending a batch of rows means re-factorizing
+and re-scanning the whole table.  This module splits the two roles:
+
+* :class:`DatasetBuilder` — the incremental encoder.  It keeps one
+  long-lived :class:`~repro.data.encoding.ColumnEncoder` per column
+  (:func:`~repro.data.encoding.factorize_column` runs the *same* encoder
+  in a single batch), so a batch of raw rows is encoded in O(batch) while
+  staying **code-identical** to factorizing the whole concatenated column
+  at once.
+* :class:`AppendableDataset` — the growable code matrix.  Appends land in an
+  amortized-doubling buffer (O(rows_added) amortized, no rescans of old
+  rows), per-column extents/cardinalities are maintained incrementally from
+  each appended block, and :meth:`AppendableDataset.snapshot` exposes the
+  current prefix as a zero-copy immutable ``Dataset`` whose cached column
+  statistics are injected rather than recomputed.
+
+Snapshots stay valid forever: rows are only ever appended *after* them, and
+when the buffer grows, old snapshots keep referencing the old allocation.
+
+Example
+-------
+>>> live = AppendableDataset.from_columns({
+...     "city": ["SD", "LA"], "zip": [92101, 90001]})
+>>> first = live.snapshot()
+>>> live.append_rows([("SD", 92102), ("SF", 94110)])
+2
+>>> live.n_rows, first.n_rows
+(4, 2)
+>>> live.snapshot().decode_row(3)
+('SF', 94110)
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.encoding import ColumnEncoder
+from repro.exceptions import DatasetShapeError, EmptySampleError
+from repro.types import validate_positive_int
+
+#: Smallest buffer allocation; doublings start from here.
+_MIN_CAPACITY = 64
+
+#: Largest per-column code extent tracked with a boolean occupancy array
+#: (O(block) updates, no sorting); sparser columns fall back to a set of
+#: seen codes maintained via per-block ``np.unique``.
+_OCCUPANCY_LIMIT = 1 << 22
+
+
+class DatasetBuilder:
+    """Encode raw rows batch-by-batch with per-column incremental encoders.
+
+    Parameters
+    ----------
+    column_names:
+        The (fixed) column layout every batch must match.
+    universes:
+        Optional existing per-column decode lists to resume from (used when
+        wrapping a :class:`Dataset` that was built from raw values).
+    """
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        universes: Sequence[Sequence[Hashable]] | None = None,
+    ) -> None:
+        names = tuple(str(name) for name in column_names)
+        if not names:
+            raise DatasetShapeError("need at least one column")
+        if len(set(names)) != len(names):
+            raise DatasetShapeError("column names must be unique")
+        if universes is not None and len(universes) != len(names):
+            raise DatasetShapeError(
+                f"{len(universes)} universes for {len(names)} columns"
+            )
+        self.column_names = names
+        self._encoders = [
+            ColumnEncoder.from_universe(universes[c]) if universes is not None
+            else ColumnEncoder()
+            for c in range(len(names))
+        ]
+
+    @property
+    def n_columns(self) -> int:
+        """Width of the rows this builder encodes."""
+        return len(self.column_names)
+
+    @property
+    def universes(self) -> list[list]:
+        """Per-column decode lists (live objects — they grow with appends)."""
+        return [encoder.universe for encoder in self._encoders]
+
+    def cardinalities(self) -> np.ndarray:
+        """Distinct-value count per column, as ``int64``."""
+        return np.array(
+            [encoder.cardinality for encoder in self._encoders], dtype=np.int64
+        )
+
+    def _encode_batch(self, columns: list[list[Hashable]]) -> np.ndarray:
+        """Encode equally long columns transactionally.
+
+        Any failure mid-batch (e.g. an unhashable value in a later
+        column) rolls every encoder back to its pre-batch state, so a
+        rejected batch can never leave phantom codes that would shift
+        later assignments away from cold factorization.
+        """
+        marks = [encoder.cardinality for encoder in self._encoders]
+        try:
+            return np.column_stack(
+                [
+                    self._encoders[c].encode(columns[c])
+                    for c in range(self.n_columns)
+                ]
+            )
+        except Exception:
+            for encoder, mark in zip(self._encoders, marks):
+                encoder.rollback(mark)
+            raise
+
+    def encode_rows(self, rows: Iterable[Sequence[Hashable]]) -> np.ndarray:
+        """Encode an iterable of row tuples into a ``(t, m)`` code block."""
+        materialized = [tuple(row) for row in rows]
+        if not materialized:
+            return np.empty((0, self.n_columns), dtype=np.int64)
+        widths = {len(row) for row in materialized}
+        if widths != {self.n_columns}:
+            raise DatasetShapeError(
+                f"rows of widths {sorted(widths)} for {self.n_columns} columns"
+            )
+        return self._encode_batch(
+            [[row[c] for row in materialized] for c in range(self.n_columns)]
+        )
+
+    def encode_columns(
+        self, columns: Mapping[str, Iterable[Hashable]]
+    ) -> np.ndarray:
+        """Encode a batch given column-wise; keys must match the layout.
+
+        A rejected batch — mismatched lengths, unhashable values — leaves
+        the universes untouched (see :meth:`_encode_batch`).
+        """
+        if tuple(columns.keys()) != self.column_names:
+            raise DatasetShapeError(
+                f"column keys {list(columns.keys())} do not match the "
+                f"builder layout {list(self.column_names)}"
+            )
+        materialized = [list(columns[name]) for name in self.column_names]
+        lengths = {len(column) for column in materialized}
+        if len(lengths) != 1:
+            raise DatasetShapeError(
+                f"columns have differing lengths: {sorted(lengths)}"
+            )
+        if lengths == {0}:
+            return np.empty((0, self.n_columns), dtype=np.int64)
+        return self._encode_batch(materialized)
+
+
+class AppendableDataset:
+    """A growable factorized table exposing immutable ``Dataset`` snapshots.
+
+    Appends cost amortized O(rows_added): new rows are encoded (raw-value
+    paths) or validated (code paths), written into a doubling buffer, and
+    the cached per-column ``extents`` / ``cardinalities`` are advanced from
+    the appended block alone.  :meth:`snapshot` is O(1): a read-only view
+    of the current prefix wrapped via the trusted ``Dataset`` constructor
+    with the cached statistics injected.
+
+    Use :meth:`from_columns` / :meth:`from_rows` for raw values (builder
+    encodes consistently across batches), :meth:`from_dataset` to start
+    from an existing table, or :meth:`from_codes` for pre-encoded integer
+    matrices.
+
+    Examples
+    --------
+    >>> live = AppendableDataset.from_codes(
+    ...     [[0, 1], [1, 1]], column_names=["a", "b"])
+    >>> live.append_codes([[2, 0]])
+    1
+    >>> snap = live.snapshot()
+    >>> snap.shape, snap.cardinalities().tolist()
+    ((3, 2), [3, 2])
+    >>> snap is live.snapshot()   # cached until the next append
+    True
+    """
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        *,
+        builder: DatasetBuilder | None = None,
+        initial_capacity: int = _MIN_CAPACITY,
+    ) -> None:
+        names = tuple(str(name) for name in column_names)
+        if not names:
+            raise DatasetShapeError("need at least one column")
+        if len(set(names)) != len(names):
+            raise DatasetShapeError("column names must be unique")
+        self._column_names = names
+        self._builder = builder
+        capacity = max(_MIN_CAPACITY, validate_positive_int(
+            initial_capacity, name="initial_capacity"
+        ))
+        self._buffer = np.empty((capacity, len(names)), dtype=np.int64)
+        self._n_rows = 0
+        self._version = 0
+        self._extents = np.zeros(len(names), dtype=np.int64)
+        # Per-column distinct-code tracking: a boolean occupancy array for
+        # dense code spaces (builder-encoded columns always are), a set of
+        # seen codes for sparse raw-code columns.  ``_card`` caches the
+        # resulting cardinalities so snapshots never rescan.
+        self._occupancy: list[np.ndarray | None] = [
+            np.zeros(0, dtype=bool) for _ in names
+        ]
+        self._seen: list[set[int] | None] = [None for _ in names]
+        self._card = np.zeros(len(names), dtype=np.int64)
+        self._snapshot: Dataset | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls, columns: Mapping[str, Iterable[Hashable]]
+    ) -> "AppendableDataset":
+        """Start from named columns of raw values (first batch may be empty)."""
+        builder = DatasetBuilder(list(columns.keys()))
+        live = cls(builder.column_names, builder=builder)
+        live._append_block(builder.encode_columns(columns))
+        return live
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Sequence[Hashable]],
+        column_names: Sequence[str],
+    ) -> "AppendableDataset":
+        """Start from an iterable of raw row tuples."""
+        builder = DatasetBuilder(column_names)
+        live = cls(builder.column_names, builder=builder)
+        live._append_block(builder.encode_rows(rows))
+        return live
+
+    @classmethod
+    def from_codes(
+        cls,
+        codes: np.ndarray | Sequence[Sequence[int]],
+        column_names: Sequence[str] | None = None,
+    ) -> "AppendableDataset":
+        """Start from a pre-encoded non-negative integer matrix."""
+        block = np.ascontiguousarray(codes, dtype=np.int64)
+        if block.ndim != 2 or block.shape[1] == 0:
+            raise DatasetShapeError(
+                f"codes must be a 2-D matrix with columns; got shape {block.shape}"
+            )
+        names = (
+            tuple(str(name) for name in column_names)
+            if column_names is not None
+            else tuple(f"c{i}" for i in range(block.shape[1]))
+        )
+        live = cls(names, initial_capacity=max(_MIN_CAPACITY, block.shape[0]))
+        live.append_codes(block)
+        return live
+
+    @classmethod
+    def from_dataset(cls, data: Dataset) -> "AppendableDataset":
+        """Wrap an existing table; raw-value appends resume its encodings."""
+        universes = getattr(data, "_universes", None)
+        builder = (
+            DatasetBuilder(data.column_names, universes=universes)
+            if universes is not None
+            else None
+        )
+        live = cls(
+            data.column_names,
+            builder=builder,
+            initial_capacity=max(_MIN_CAPACITY, data.n_rows),
+        )
+        live.append_codes(data.codes)
+        return live
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Rows appended so far."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns (fixed at construction)."""
+        return len(self._column_names)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column labels, in column order."""
+        return self._column_names
+
+    @property
+    def version(self) -> int:
+        """Monotone append counter (bumped once per non-empty append)."""
+        return self._version
+
+    def __repr__(self) -> str:
+        return (
+            f"AppendableDataset(n_rows={self.n_rows}, "
+            f"n_columns={self.n_columns}, version={self.version})"
+        )
+
+    def extents(self) -> np.ndarray:
+        """Per-column ``max code + 1``, maintained incrementally."""
+        return self._extents.copy()
+
+    def cardinalities(self) -> np.ndarray:
+        """Per-column distinct-code counts, maintained incrementally."""
+        return self._card.copy()
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append_rows(self, rows: Iterable[Sequence[Hashable]]) -> int:
+        """Encode and append raw row tuples; returns the rows added.
+
+        Requires a value encoder — present for appendables built
+        :meth:`from_columns` / :meth:`from_rows` / :meth:`from_dataset` of
+        a value-built table.  Code-only appendables take
+        :meth:`append_codes`.
+        """
+        if self._builder is None:
+            raise DatasetShapeError(
+                "this appendable has no value encoder (built from raw "
+                "codes); use append_codes"
+            )
+        return self._append_block(self._builder.encode_rows(rows))
+
+    def append_columns(self, columns: Mapping[str, Iterable[Hashable]]) -> int:
+        """Encode and append a column-wise batch of raw values."""
+        if self._builder is None:
+            raise DatasetShapeError(
+                "this appendable has no value encoder (built from raw "
+                "codes); use append_codes"
+            )
+        return self._append_block(self._builder.encode_columns(columns))
+
+    def append_codes(self, codes: np.ndarray | Sequence[Sequence[int]]) -> int:
+        """Append a pre-encoded ``(t, n_columns)`` block of codes.
+
+        On a value-built appendable the block must stay within the
+        existing per-column universes (``code < cardinality``): a code
+        the encoder never assigned would decode to nothing and collide
+        with codes minted by later :meth:`append_rows` calls.
+        """
+        block = np.ascontiguousarray(codes, dtype=np.int64)
+        if block.ndim == 1 and block.size == 0:
+            return 0
+        if block.ndim != 2 or block.shape[1] != self.n_columns:
+            raise DatasetShapeError(
+                f"expected a (t, {self.n_columns}) code block; "
+                f"got shape {block.shape}"
+            )
+        if block.size and block.min() < 0:
+            raise DatasetShapeError("codes must be non-negative integers")
+        if self._builder is not None and block.size:
+            known = self._builder.cardinalities()
+            over = np.flatnonzero(block.max(axis=0) >= known)
+            if over.size:
+                column = int(over[0])
+                raise DatasetShapeError(
+                    f"code {int(block[:, column].max())} in column "
+                    f"{self._column_names[column]!r} is outside the "
+                    f"encoded universe (cardinality {int(known[column])}); "
+                    "append raw values via append_rows instead"
+                )
+        return self._append_block(block)
+
+    def _append_block(self, block: np.ndarray) -> int:
+        added = block.shape[0]
+        if added == 0:
+            return 0
+        needed = self._n_rows + added
+        if needed > self._buffer.shape[0]:
+            capacity = self._buffer.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, self.n_columns), dtype=np.int64)
+            grown[: self._n_rows] = self._buffer[: self._n_rows]
+            # Old snapshots keep referencing the old allocation untouched.
+            self._buffer = grown
+        self._buffer[self._n_rows : needed] = block
+        self._n_rows = needed
+        self._version += 1
+        self._snapshot = None
+        # Advance cached statistics from the appended block alone.
+        np.maximum(self._extents, block.max(axis=0) + 1, out=self._extents)
+        for column in range(self.n_columns):
+            codes = block[:, column]
+            extent = int(self._extents[column])
+            occupancy = self._occupancy[column]
+            if occupancy is not None and extent > _OCCUPANCY_LIMIT:
+                # Code space too sparse for a bitmap; switch to a set.
+                self._seen[column] = set(np.flatnonzero(occupancy).tolist())
+                self._occupancy[column] = occupancy = None
+            if occupancy is not None:
+                if occupancy.size < extent:
+                    # Geometric growth, so a column whose extent tracks the
+                    # row count (ids, timestamps) reallocates O(log n)
+                    # times, not per append.
+                    grown = np.zeros(
+                        max(extent, 2 * occupancy.size, _MIN_CAPACITY),
+                        dtype=bool,
+                    )
+                    grown[: occupancy.size] = occupancy
+                    self._occupancy[column] = occupancy = grown
+                # Count only newly occupied codes (O(block), not O(extent)).
+                fresh = codes[~occupancy[codes]]
+                if fresh.size:
+                    occupancy[fresh] = True
+                    self._card[column] += int(np.unique(fresh).size)
+            else:
+                seen = self._seen[column]
+                assert seen is not None
+                seen.update(np.unique(codes).tolist())
+                self._card[column] = len(seen)
+        return added
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dataset:
+        """The current rows as an immutable ``Dataset`` (cached per version).
+
+        O(1): the returned data set wraps a read-only view of the buffer
+        prefix with the incrementally maintained extents/cardinalities
+        injected — no column is rescanned.  The same object is returned
+        until the next append, so identity-keyed caches keep working.
+        """
+        if self._n_rows == 0:
+            raise EmptySampleError("no rows appended yet")
+        if self._snapshot is None:
+            codes = self._buffer[: self._n_rows]
+            codes.setflags(write=False)
+            extents = self._extents.copy()
+            extents.setflags(write=False)
+            cardinalities = self.cardinalities()
+            cardinalities.setflags(write=False)
+            self._snapshot = Dataset._trusted(
+                codes,
+                self._column_names,
+                self._builder.universes if self._builder is not None else None,
+                cardinalities,
+                extents,
+            )
+        return self._snapshot

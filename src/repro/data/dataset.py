@@ -99,6 +99,32 @@ class Dataset:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _trusted(
+        cls,
+        codes: np.ndarray,
+        column_names: tuple[str, ...],
+        universes: Sequence[list] | None,
+        cardinalities: np.ndarray | None,
+        extents: np.ndarray | None,
+    ) -> "Dataset":
+        """Construct without validation or rescans (appendable-snapshot path).
+
+        The caller — :class:`repro.data.appendable.AppendableDataset` — has
+        already validated every appended block and maintains the cached
+        per-column statistics incrementally, so the O(n·m) shape/sign scans
+        and the lazy ``np.unique`` passes of the public constructor would
+        re-pay exactly the work the append path exists to avoid.  ``codes``
+        must be a read-only, C-contiguous ``int64`` matrix.
+        """
+        data = object.__new__(cls)
+        data._codes = codes
+        data._column_names = column_names
+        data._universes = list(universes) if universes is not None else None
+        data._cardinalities = cardinalities
+        data._extents = extents
+        return data
+
+    @classmethod
     def from_columns(cls, columns: dict[str, Iterable[Hashable]]) -> "Dataset":
         """Build a data set from named columns of arbitrary hashable values."""
         if not columns:

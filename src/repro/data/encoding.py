@@ -19,6 +19,80 @@ import numpy as np
 from repro.exceptions import DatasetShapeError
 
 
+class ColumnEncoder:
+    """Incremental value→code mapping for one column.
+
+    The one implementation of the library's factorization policy: dense
+    integer codes in order of first appearance, ``float('nan')`` values
+    treated as equal to each other (one missing category — the
+    interpretation quasi-identifier discovery tools use for missing
+    data).  :func:`factorize_column` encodes a whole column through a
+    fresh encoder; the append-aware
+    :class:`~repro.data.appendable.DatasetBuilder` keeps encoders alive
+    so batches fed one at a time get exactly the codes the concatenated
+    column would.
+    """
+
+    __slots__ = ("_mapping", "universe", "_nan_code")
+
+    def __init__(self) -> None:
+        self._mapping: dict[Hashable, int] = {}
+        self.universe: list = []
+        self._nan_code: int | None = None
+
+    @classmethod
+    def from_universe(cls, universe: Iterable[Hashable]) -> "ColumnEncoder":
+        """Resume encoding after an existing decode list (codes 0..len-1)."""
+        encoder = cls()
+        for code, value in enumerate(universe):
+            encoder.universe.append(value)
+            if isinstance(value, float) and value != value:
+                encoder._nan_code = code
+            else:
+                encoder._mapping[value] = code
+        return encoder
+
+    @property
+    def cardinality(self) -> int:
+        """Distinct values seen so far (== the next fresh code)."""
+        return len(self.universe)
+
+    def rollback(self, cardinality: int) -> None:
+        """Forget every code minted at or after ``cardinality``.
+
+        Lets a multi-column batch encode transactionally: if a later
+        column rejects the batch, already-encoded columns roll back so no
+        phantom code shifts future assignments away from what cold
+        factorization of the actually-kept rows would produce.
+        """
+        for value in self.universe[cardinality:]:
+            if isinstance(value, float) and value != value:
+                self._nan_code = None
+            else:
+                self._mapping.pop(value, None)
+        del self.universe[cardinality:]
+
+    def encode(self, values: Iterable[Hashable]) -> np.ndarray:
+        """Codes for one batch, extending the mapping with unseen values."""
+        mapping = self._mapping
+        universe = self.universe
+        codes: list[int] = []
+        for value in values:
+            if isinstance(value, float) and value != value:  # NaN
+                if self._nan_code is None:
+                    self._nan_code = len(universe)
+                    universe.append(value)
+                codes.append(self._nan_code)
+                continue
+            code = mapping.get(value)
+            if code is None:
+                code = len(universe)
+                mapping[value] = code
+                universe.append(value)
+            codes.append(code)
+        return np.asarray(codes, dtype=np.int64)
+
+
 def factorize_column(values: Iterable[Hashable]) -> tuple[np.ndarray, list]:
     """Encode one column of hashable values as dense integer codes.
 
@@ -31,30 +105,12 @@ def factorize_column(values: Iterable[Hashable]) -> tuple[np.ndarray, list]:
         List of distinct values in order of first appearance, so that
         ``universe[codes[i]] == values[i]``.
 
-    Notes
-    -----
-    ``float('nan')`` values are treated as equal to each other (one missing
-    category), which is the interpretation quasi-identifier discovery tools
-    use for missing data.
+    See :class:`ColumnEncoder` for the encoding policy (this is one
+    encoder consumed in a single batch).
     """
-    mapping: dict[Hashable, int] = {}
-    universe: list = []
-    codes: list[int] = []
-    nan_code: int | None = None
-    for value in values:
-        if isinstance(value, float) and value != value:  # NaN
-            if nan_code is None:
-                nan_code = len(universe)
-                universe.append(value)
-            codes.append(nan_code)
-            continue
-        code = mapping.get(value)
-        if code is None:
-            code = len(universe)
-            mapping[value] = code
-            universe.append(value)
-        codes.append(code)
-    return np.asarray(codes, dtype=np.int64), universe
+    encoder = ColumnEncoder()
+    codes = encoder.encode(values)
+    return codes, encoder.universe
 
 
 def factorize_table(

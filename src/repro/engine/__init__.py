@@ -58,6 +58,7 @@ from repro.engine.service import (
     SummaryCache,
     as_query,
 )
+from repro.engine.append import AppendableShardedDataset
 from repro.engine.shards import (
     SHARD_STRATEGIES,
     ShardedDataset,
@@ -71,6 +72,7 @@ from repro.engine.specs import (
 )
 
 __all__ = [
+    "AppendableShardedDataset",
     "BACKEND_NAMES",
     "BatchReport",
     "FitReport",

@@ -1,0 +1,180 @@
+"""Shard-level append: grow a sharded table without re-sharding.
+
+A live session that routes fits through the engine needs its shard layout
+to *extend* under appends — re-sharding from scratch per batch would copy
+the whole table and invalidate every per-shard buffer.  Round-robin is the
+one built-in strategy whose assignment is a pure function of the global row
+index (row ``i`` → shard ``i mod k``), so appending rows extends each
+shard's row sequence **exactly** as cold re-sharding of the concatenated
+table would produce it:
+
+    ``shard_row_indices(n + t, k, strategy="round_robin")[s]``
+    ``== old indices of shard s  ++  appended indices with index ≡ s (mod k)``
+
+That identity is what makes live sharded sessions bit-reproducible: after
+any number of appends, per-shard summary fits (with the engine's derived
+per-shard seeds) are identical to a cold
+:func:`~repro.engine.shards.shard_dataset` run on the concatenated table,
+so merged summaries — and every answer derived from them — match a
+from-scratch profile of the same prefix.
+
+:class:`AppendableShardedDataset` holds one
+:class:`~repro.data.appendable.AppendableDataset` per shard (amortized
+O(rows_added) appends, zero-copy snapshots) and quacks like a
+:class:`~repro.engine.shards.ShardedDataset` wherever the engine consumes
+one: :func:`~repro.engine.executor.run_fit_plan` maps per-shard fits over
+the configured backend (serial / thread / process pool), which is how a
+live session's refits scale across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.appendable import AppendableDataset
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.types import validate_positive_int
+
+
+class AppendableShardedDataset:
+    """A row-wise round-robin sharding that grows by appends.
+
+    Parameters
+    ----------
+    data:
+        The initial table; must have at least ``n_shards`` rows so every
+        shard starts non-empty (summary fits need rows to sample —
+        start with at least ``2·n_shards`` rows if tuple filters will be
+        fitted, matching the cold sharded requirement).
+    n_shards:
+        Number of shards ``k``; fixed for the lifetime of the layout.
+
+    Examples
+    --------
+    >>> from repro.data.dataset import Dataset
+    >>> data = Dataset.from_columns({"a": list(range(6)), "b": [0] * 6})
+    >>> sharded = AppendableShardedDataset(data, 3)
+    >>> sharded.shard_sizes()
+    [2, 2, 2]
+    >>> sharded.append_codes([[6, 0], [7, 0]])
+    2
+    >>> sharded.shard_sizes()          # rows 6 and 7 went to shards 0, 1
+    [3, 3, 2]
+    >>> sharded.shard(0).codes[:, 0].tolist()
+    [0, 3, 6]
+    """
+
+    strategy = "round_robin"
+
+    def __init__(self, data: Dataset, n_shards: int) -> None:
+        n_shards = validate_positive_int(n_shards, name="n_shards")
+        if n_shards > data.n_rows:
+            raise InvalidParameterError(
+                f"cannot split {data.n_rows} rows into {n_shards} "
+                "non-empty shards"
+            )
+        self.seed = None
+        self._n_rows = 0
+        self._column_names = data.column_names
+        self._shards = [
+            AppendableDataset.from_codes(
+                data.codes[shard::n_shards], column_names=data.column_names
+            )
+            for shard in range(n_shards)
+        ]
+        self._n_rows = data.n_rows
+
+    # ------------------------------------------------------------------
+    # ShardedDataset interface (the subset the engine consumes)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards ``k``."""
+        return len(self._shards)
+
+    @property
+    def n_rows(self) -> int:
+        """Total rows across all shards."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes ``m`` (identical in every shard)."""
+        return len(self._column_names)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column labels shared by every shard."""
+        return self._column_names
+
+    def shard_sizes(self) -> list[int]:
+        """Row count of each shard, in shard order."""
+        return [appendable.n_rows for appendable in self._shards]
+
+    def shard_indices(self, shard: int) -> np.ndarray:
+        """Source-row indices of ``shard`` (ascending, ``≡ shard mod k``)."""
+        self._check_shard(shard)
+        return np.arange(shard, self._n_rows, self.n_shards, dtype=np.int64)
+
+    def shard(self, shard: int) -> Dataset:
+        """The current snapshot of shard ``shard`` (cached per append)."""
+        self._check_shard(shard)
+        return self._shards[shard].snapshot()
+
+    def _check_shard(self, shard: int) -> None:
+        if shard < 0 or shard >= self.n_shards:
+            raise InvalidParameterError(
+                f"shard {shard} out of range for {self.n_shards} shards"
+            )
+
+    def __iter__(self) -> Iterator[Dataset]:
+        return (self.shard(i) for i in range(self.n_shards))
+
+    def __len__(self) -> int:
+        return self.n_shards
+
+    def __repr__(self) -> str:
+        return (
+            f"AppendableShardedDataset(n_rows={self.n_rows}, "
+            f"n_columns={self.n_columns}, n_shards={self.n_shards})"
+        )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append_codes(self, codes: np.ndarray | Sequence[Sequence[int]]) -> int:
+        """Route a pre-encoded block to its round-robin shards.
+
+        Row ``j`` of the block (global index ``n_rows + j``) lands in
+        shard ``(n_rows + j) mod k`` — the assignment cold re-sharding of
+        the concatenated table would make.  Returns the rows added.
+        """
+        block = np.ascontiguousarray(codes, dtype=np.int64)
+        if block.ndim == 1 and block.size == 0:
+            return 0
+        if block.ndim != 2 or block.shape[1] != self.n_columns:
+            raise InvalidParameterError(
+                f"expected a (t, {self.n_columns}) code block; "
+                f"got shape {block.shape}"
+            )
+        if block.size and block.min() < 0:
+            # Validate the whole block before routing any slice: a
+            # rejection after some shards appended would desync the
+            # layout from cold re-sharding permanently.
+            raise InvalidParameterError("codes must be non-negative integers")
+        k = self.n_shards
+        start = self._n_rows
+        for shard in range(k):
+            # Global indices ≡ shard (mod k): block rows congruent after
+            # the offset.  Slicing keeps arrival order within the shard.
+            first = (shard - start) % k
+            shard_block = block[first::k]
+            if shard_block.shape[0]:
+                self._shards[shard].append_codes(shard_block)
+        self._n_rows += block.shape[0]
+        return block.shape[0]

@@ -165,8 +165,13 @@ def default_backend():
 # ----------------------------------------------------------------------
 
 
-def _total_sample_size(spec: SummarySpec, data: Dataset) -> int | None:
-    """The whole-table sample budget a monolithic fit would use."""
+def _total_sample_size(spec: SummarySpec, n_columns: int) -> int | None:
+    """The whole-table sample budget a monolithic fit would use.
+
+    Takes the column count rather than a :class:`Dataset` so shard layouts
+    that never materialize the concatenated table (e.g. the live
+    :class:`~repro.engine.append.AppendableShardedDataset`) can plan fits.
+    """
     params = spec.as_dict()
     explicit = params.get("sample_size")
     if explicit is not None:
@@ -174,16 +179,16 @@ def _total_sample_size(spec: SummarySpec, data: Dataset) -> int | None:
     constant = float(params.get("constant", 1.0))  # type: ignore[arg-type]
     if spec.kind == "tuple_filter":
         return _sizes.tuple_sample_size(
-            data.n_columns, float(params["epsilon"]), constant=constant
+            n_columns, float(params["epsilon"]), constant=constant
         )
     if spec.kind == "pair_filter":
         return _sizes.motwani_xu_pair_sample_size(
-            data.n_columns, float(params["epsilon"]), constant=constant
+            n_columns, float(params["epsilon"]), constant=constant
         )
     if spec.kind == "nonsep_sketch":
         return _sizes.sketch_pair_sample_size(
             int(params["k"]),  # type: ignore[arg-type]
-            data.n_columns,
+            n_columns,
             float(params["alpha"]),  # type: ignore[arg-type]
             float(params["epsilon"]),  # type: ignore[arg-type]
             constant=constant,
@@ -202,7 +207,7 @@ def per_shard_specs(
     ``k×`` larger).  Hash-based sketches are returned unchanged: their
     space is fixed by ``width``/``depth``/``capacity``, not by ``n``.
     """
-    total = _total_sample_size(spec, sharded.dataset)
+    total = _total_sample_size(spec, sharded.n_columns)
     if total is None:
         return [spec] * sharded.n_shards
     floor = 2 if spec.kind == "tuple_filter" else 1

@@ -13,6 +13,10 @@ table.  This package holds the shared-work kernels:
   walked in prefix-trie order so shared prefixes are labeled exactly once.
 * :func:`refinement_pair_counts` — the batched greedy scoring kernel: all
   candidate columns of an Algorithm 2 step scored in one vectorized pass.
+* :func:`extend_labels` / :class:`IncrementalLabelCache` — append
+  maintenance: when the table grows, cached labelings are *extended* by
+  folding one representative row per clique plus the appended rows, never
+  re-folding old rows (the live-session substrate; see ``docs/live.md``).
 
 Everything here is bit-identical to the per-query seed paths; speed comes
 purely from not repeating work.  See ``docs/performance.md``.
@@ -24,13 +28,16 @@ from repro.kernels.batch import (
     evaluate_sets,
     refinement_pair_counts,
 )
+from repro.kernels.incremental import IncrementalLabelCache, extend_labels
 from repro.kernels.labels import LabelCache, labels_signature
 
 __all__ = [
     "BatchEvaluation",
+    "IncrementalLabelCache",
     "LabelCache",
     "SetEvaluation",
     "evaluate_sets",
+    "extend_labels",
     "labels_signature",
     "refinement_pair_counts",
 ]

@@ -46,6 +46,21 @@ from repro.types import (
 )
 
 
+def first_occurrence_rows(labels: np.ndarray, n_groups: int) -> np.ndarray:
+    """Index of the first row carrying each dense label, per group.
+
+    Reverse assignment: writing positions back to front means the
+    surviving write per group is its earliest index.  This is the O(n)
+    primitive behind canonical renumbering (:func:`labels_signature`) and
+    per-clique representative selection (:mod:`repro.kernels.incremental`).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.size
+    first = np.zeros(n_groups, dtype=np.int64)
+    first[labels[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    return first
+
+
 def labels_signature(labels: np.ndarray) -> np.ndarray:
     """Canonical (first-occurrence) renumbering of a dense label array.
 
@@ -54,11 +69,8 @@ def labels_signature(labels: np.ndarray) -> np.ndarray:
     depend on numpy's sort-order numbering.
     """
     labels = np.asarray(labels, dtype=np.int64)
-    n = labels.size
-    n_groups = int(labels.max()) + 1 if n else 0
-    first = np.zeros(n_groups, dtype=np.int64)
-    # Reverse assignment: the surviving value per group is its first index.
-    first[labels[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
+    n_groups = int(labels.max()) + 1 if labels.size else 0
+    first = first_occurrence_rows(labels, n_groups)
     remap = np.empty(n_groups, dtype=np.int64)
     remap[np.argsort(first, kind="stable")] = np.arange(n_groups, dtype=np.int64)
     return remap[labels]

@@ -1,0 +1,35 @@
+"""``repro.live`` — append-aware profiling sessions.
+
+Batch profiling answers questions about a table that *is*; live profiling
+answers questions about a table that *keeps arriving*.  This package
+bridges the streaming tier (:mod:`repro.streaming`) into the batch stack
+(:mod:`repro.api`, :mod:`repro.engine`, :mod:`repro.kernels`):
+
+* rows append into an :class:`~repro.data.appendable.AppendableDataset`
+  in amortized O(rows_added), exposing immutable snapshots;
+* exact clique labels for watched attribute sets are *extended* — not
+  recomputed — by the
+  :class:`~repro.kernels.incremental.IncrementalLabelCache`, bit-identical
+  to a cold recompute;
+* sharded sessions grow their shard layout through
+  :class:`~repro.engine.append.AppendableShardedDataset` and refit
+  per-shard summaries through the executor's worker pools;
+* a :class:`LiveProfiler` keeps a watchlist of questions continuously
+  answered, emitting :class:`LiveSnapshot` objects whose answers carry the
+  standard :class:`~repro.api.result.Result` envelope plus provenance —
+  ``incremental`` where exact maintenance is possible, ``refit`` where the
+  answer is sampled, ``reservoir`` for the Algorithm 1 monitor tier.
+
+Every snapshot answer is **bit-identical** to what a cold
+:class:`~repro.api.Profiler` run on the concatenated prefix would return
+(see ``docs/live.md`` for why, including the round-robin sharding
+argument).
+"""
+
+from repro.live.session import LiveAnswer, LiveProfiler, LiveSnapshot
+
+__all__ = [
+    "LiveAnswer",
+    "LiveProfiler",
+    "LiveSnapshot",
+]

@@ -1,0 +1,598 @@
+"""The :class:`LiveProfiler` session — continuously answered questions.
+
+A live session wraps an :class:`~repro.api.Profiler` around a growing
+table.  Rows arrive in batches through :meth:`LiveProfiler.append`; a
+watchlist of questions (``is_key`` / ``classify`` / ``min_key`` /
+``bundle``) is re-answered after every batch, and each answer arrives in
+the standard :class:`~repro.api.result.Result` envelope tagged with how it
+was maintained:
+
+``incremental``
+    Exact answers whose state was *extended* by the appended rows only:
+    direct-mode ``classify`` and bundle classifications run through the
+    session's :class:`~repro.kernels.incremental.IncrementalLabelCache`,
+    whose labels are folded forward per batch (bit-identical to a cold
+    recompute — see :mod:`repro.kernels.incremental`).
+``refit``
+    Sampled answers whose defining sample depends on the table size and
+    therefore cannot be maintained exactly: the Theorem 1 tuple filter
+    behind ``is_key``, the ``min_key`` greedy, and every sharded-mode
+    summary.  They are refit on the current snapshot — through the
+    engine's worker pools in sharded mode — with the session seed, so
+    they match a cold run exactly.
+``reservoir``
+    The streaming tier: an Algorithm 1
+    :class:`~repro.streaming.monitor.QuasiIdentifierMonitor` reservoir fed
+    row by row, carrying Theorem 1's guarantee over the stream prefix, and
+    (optionally) per-column mergeable sketches from
+    :class:`~repro.streaming.profile.StreamingProfile`.
+
+The headline invariant, enforced by ``tests/live/test_equivalence.py``:
+**every snapshot answer equals the answer a cold Profiler (same
+configuration, same seed) gives on the concatenated prefix** — appending
+never changes what an answer means, only what it costs.
+
+Example
+-------
+>>> from repro.live import LiveProfiler
+>>> live = LiveProfiler(epsilon=0.25, seed=0)
+>>> _ = live.add("people", {
+...     "zip": [92101, 92101, 92101, 92101],
+...     "age": [34, 34, 41, 41],
+... })
+>>> _ = live.watch_classify("people", ["zip", "age"])
+>>> live.snapshot("people").answers[0].value.value
+'bad'
+>>> snap = live.append("people", [(92102, 50), (92103, 51), (92104, 52),
+...                               (92105, 53), (92106, 54), (92107, 55)])
+>>> snap.answers[0].value.value     # diverse arrivals flip the verdict
+'intermediate'
+>>> snap.answers[0].provenance
+'incremental'
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.api.config import ExecutionConfig
+from repro.api.profiler import Profiler
+from repro.api.result import Result, jsonify
+from repro.data.appendable import AppendableDataset
+from repro.data.dataset import Dataset
+from repro.engine.append import AppendableShardedDataset
+from repro.exceptions import InvalidParameterError
+from repro.kernels.incremental import IncrementalLabelCache
+from repro.sampling.rng import derive_seed
+from repro.streaming.monitor import MonitorSnapshot, QuasiIdentifierMonitor
+from repro.streaming.profile import StreamingProfile
+from repro.types import AttributeSet, resolve_mixed_attributes
+
+#: Question kinds a live session can keep watched.
+WATCH_KINDS = ("is_key", "classify", "min_key", "bundle")
+
+
+@dataclass(frozen=True)
+class LiveAnswer:
+    """One watched question answered at a snapshot.
+
+    Attributes
+    ----------
+    kind:
+        The watched question kind (``is_key`` / ``classify`` /
+        ``min_key`` / ``bundle``).
+    attributes:
+        The resolved attribute set the question is about (``None`` for
+        ``min_key``).
+    result:
+        The full :class:`~repro.api.result.Result` envelope, exactly as a
+        cold Profiler would return it for the same prefix.
+    provenance:
+        ``"incremental"`` (exact state extended by appended rows only) or
+        ``"refit"`` (summary refit on the snapshot).
+    reservoir_accept:
+        For ``bundle`` questions with an active monitor: Algorithm 1's
+        reservoir verdict for the bundle (``True`` = currently
+        identifying); ``None`` otherwise.
+    """
+
+    kind: str
+    attributes: AttributeSet | None
+    result: Result
+    provenance: str
+    reservoir_accept: bool | None = None
+
+    @property
+    def value(self) -> object:
+        """Shorthand for ``result.value``."""
+        return self.result.value
+
+
+@dataclass(frozen=True)
+class LiveSnapshot:
+    """The state of a live session's watchlist after a batch.
+
+    Attributes
+    ----------
+    dataset:
+        Session name of the stream.
+    rows_seen:
+        Total rows appended so far (the prefix length answered about).
+    appended_rows:
+        Rows added by the append that produced this snapshot (0 for
+        explicitly requested snapshots).
+    version:
+        The underlying appendable's monotone append counter.
+    answers:
+        One :class:`LiveAnswer` per watched question, in watch order.
+    monitor:
+        The reservoir tier's
+        :class:`~repro.streaming.monitor.MonitorSnapshot` (approximate
+        min-key and watchlist verdicts under Theorem 1's prefix
+        guarantee), or ``None`` when the monitor is disabled.
+    stream:
+        Per-column :class:`~repro.streaming.profile.StreamingColumnProfile`
+        telemetry when stream profiling is enabled, else ``None``.
+    kernel:
+        Cumulative :class:`~repro.kernels.incremental.IncrementalLabelCache`
+        accounting (hits / misses / refine_steps plus tracked / appends /
+        appended_rows / maintained / maintain_folds / invalidated), or
+        ``None`` in sharded mode.
+    seconds:
+        Wall-clock cost of answering the watchlist for this snapshot.
+    """
+
+    dataset: str
+    rows_seen: int
+    appended_rows: int
+    version: int
+    column_names: tuple[str, ...] = ()
+    answers: tuple[LiveAnswer, ...] = ()
+    monitor: MonitorSnapshot | None = None
+    stream: tuple | None = None
+    kernel: dict | None = None
+    seconds: float = 0.0
+
+    def _resolve(self, attributes: Sequence) -> tuple[int, ...]:
+        """Normalize names/indices to the sorted index tuple watches use."""
+        return resolve_mixed_attributes(
+            attributes, self.column_names, len(self.column_names)
+        )
+
+    def answer(self, kind: str, attributes: Sequence | None = None) -> LiveAnswer:
+        """Look one watched answer up by kind (and attribute set).
+
+        ``attributes`` accepts the same forms :meth:`LiveProfiler.watch`
+        does — column names, indices, any order — and is resolved before
+        matching.
+        """
+        wanted = self._resolve(attributes) if attributes is not None else None
+        for answer in self.answers:
+            if answer.kind == kind and (
+                wanted is None or answer.attributes == wanted
+            ):
+                return answer
+        raise InvalidParameterError(
+            f"no watched {kind!r} answer"
+            + (f" for attributes {wanted}" if wanted is not None else "")
+        )
+
+    def to_dict(self) -> dict:
+        """The snapshot as JSON-serializable builtins (CLI ``--json``)."""
+        return {
+            "dataset": self.dataset,
+            "rows_seen": self.rows_seen,
+            "appended_rows": self.appended_rows,
+            "version": self.version,
+            "answers": [
+                {
+                    "kind": answer.kind,
+                    "attributes": jsonify(answer.attributes),
+                    "provenance": answer.provenance,
+                    "reservoir_accept": answer.reservoir_accept,
+                    "result": answer.result.to_dict(),
+                }
+                for answer in self.answers
+            ],
+            "monitor": jsonify(self.monitor),
+            "stream": jsonify(self.stream),
+            "kernel": jsonify(self.kernel),
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class _Watch:
+    kind: str
+    attributes: AttributeSet | None = None
+
+
+@dataclass
+class _LiveEntry:
+    appendable: AppendableDataset
+    sharded: AppendableShardedDataset | None = None
+    cache: IncrementalLabelCache | None = None
+    monitor: QuasiIdentifierMonitor | None = None
+    stream: StreamingProfile | None = None
+    watches: list[_Watch] = field(default_factory=list)
+
+
+class LiveProfiler:
+    """Append rows, keep watched questions answered; see the module docs.
+
+    Parameters
+    ----------
+    execution:
+        Like :class:`~repro.api.Profiler`: ``None`` for direct in-memory
+        answering, or a sharded :class:`~repro.api.config.ExecutionConfig`.
+        Sharded live sessions **require** ``strategy="round_robin"`` — the
+        one assignment that extends under appends exactly as cold
+        re-sharding would (see :mod:`repro.engine.append`).
+    epsilon / seed:
+        Session defaults, as for :class:`~repro.api.Profiler`.
+    monitor:
+        Maintain the Algorithm 1 reservoir tier per stream (needed for
+        ``reservoir_accept`` verdicts and the approximate monitor
+        min-key).  Costs one Python-level ``observe`` per row — including
+        the initial table at registration; the reservoir's sequential
+        random draws cannot be vectorized without changing its seeded
+        behavior — so disable it for bulk-ingest sessions that only need
+        the exact tier.
+    stream_profile:
+        Additionally maintain per-column mergeable sketches
+        (:class:`~repro.streaming.profile.StreamingProfile`) per stream.
+    """
+
+    def __init__(
+        self,
+        execution: ExecutionConfig | str | None = None,
+        *,
+        epsilon: float = 0.01,
+        seed: int | None = 0,
+        monitor: bool = True,
+        stream_profile: bool = False,
+    ) -> None:
+        self._profiler = Profiler(execution, epsilon=epsilon, seed=seed)
+        if self.execution.sharded and self.execution.strategy != "round_robin":
+            raise InvalidParameterError(
+                "sharded live sessions require strategy='round_robin': it "
+                "is the only shard assignment that extends under appends "
+                f"(got {self.execution.strategy!r})"
+            )
+        self._monitor_enabled = bool(monitor)
+        self._stream_profile = bool(stream_profile)
+        self._entries: dict[str, _LiveEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def profiler(self) -> Profiler:
+        """The inner batch session (ad-hoc questions welcome)."""
+        return self._profiler
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        """The session's execution configuration."""
+        return self._profiler.execution
+
+    @property
+    def epsilon(self) -> float:
+        """Session default separation parameter."""
+        return self._profiler.default_epsilon
+
+    @property
+    def seed(self) -> int | None:
+        """Session default seed."""
+        return self._profiler.default_seed
+
+    def datasets(self) -> list[str]:
+        """Registered stream names, sorted."""
+        return sorted(self._entries)
+
+    def close(self) -> None:
+        """Release any worker pool the inner session started."""
+        self._profiler.close()
+
+    def __enter__(self) -> "LiveProfiler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveProfiler(datasets={self.datasets()}, "
+            f"execution={self.execution.label!r}, epsilon={self.epsilon}, "
+            f"seed={self.seed})"
+        )
+
+    def _require(self, name: str) -> _LiveEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown stream {name!r}; registered: {self.datasets()}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Registration and watching
+    # ------------------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        data: Dataset | AppendableDataset | Mapping[str, Iterable],
+    ) -> "LiveProfiler":
+        """Register a stream with its initial rows.
+
+        ``data`` may be a :class:`Dataset`, an already-growing
+        :class:`AppendableDataset`, or a plain column mapping of raw
+        values (encoded incrementally from then on).
+        """
+        if isinstance(data, AppendableDataset):
+            appendable = data
+        elif isinstance(data, Dataset):
+            appendable = AppendableDataset.from_dataset(data)
+        else:
+            appendable = AppendableDataset.from_columns(data)
+        if appendable.n_rows == 0:
+            raise InvalidParameterError(
+                f"stream {name!r} needs initial rows before registration"
+            )
+        snapshot = appendable.snapshot()
+        entry = _LiveEntry(appendable=appendable)
+        if self.execution.sharded:
+            if snapshot.n_rows < self.execution.n_shards:
+                raise InvalidParameterError(
+                    f"{snapshot.n_rows} initial rows cannot fill "
+                    f"{self.execution.n_shards} non-empty shards (tuple "
+                    "filters additionally need 2 rows per shard to fit)"
+                )
+            entry.sharded = AppendableShardedDataset(
+                snapshot, self.execution.n_shards
+            )
+        else:
+            entry.cache = IncrementalLabelCache(snapshot)
+        # Seeds key on the stream *name*, so re-registering a stream (or
+        # registering streams in a different order) reproduces the same
+        # reservoir/sketch behavior as a fresh session would.
+        name_key = zlib.crc32(name.encode("utf-8"))
+        if self._monitor_enabled:
+            entry.monitor = QuasiIdentifierMonitor(
+                snapshot.n_columns,
+                self.epsilon,
+                seed=derive_seed(self.seed, name_key, 0),
+            )
+        if self._stream_profile:
+            # StreamingProfile needs a concrete int seed for its hash
+            # families; a None-seeded session gets fresh entropy.
+            stream_seed = derive_seed(self.seed, name_key, 1)
+            if stream_seed is None:
+                stream_seed = int(np.random.default_rng().integers(2**31))
+            entry.stream = StreamingProfile(
+                snapshot.n_columns, seed=stream_seed
+            )
+        self._feed_streaming(entry, snapshot.codes)
+        self._entries[name] = entry
+        self._profiler.add(
+            name, snapshot, sharded=entry.sharded, label_cache=entry.cache
+        )
+        return self
+
+    def watch(
+        self,
+        name: str,
+        kind: str,
+        attributes: Sequence | None = None,
+    ) -> "LiveProfiler":
+        """Add a question to ``name``'s watchlist (answered every snapshot)."""
+        entry = self._require(name)
+        if kind not in WATCH_KINDS:
+            raise InvalidParameterError(
+                f"unknown watch kind {kind!r}; expected one of {WATCH_KINDS}"
+            )
+        resolved: AttributeSet | None = None
+        if kind == "min_key":
+            if attributes is not None:
+                raise InvalidParameterError("min_key watches take no attributes")
+        else:
+            if attributes is None:
+                raise InvalidParameterError(f"{kind} watches need an attribute set")
+            resolved = self.current(name).resolve_attributes(attributes)
+            if not resolved:
+                raise InvalidParameterError("attribute set must be non-empty")
+        if kind == "bundle" and entry.monitor is not None:
+            if resolved not in entry.monitor.watchlist:
+                entry.monitor.watchlist.append(resolved)
+        if kind in ("classify", "bundle") and entry.cache is not None:
+            # Exact answers for this set will be maintained incrementally.
+            entry.cache.track(resolved)
+        entry.watches.append(_Watch(kind=kind, attributes=resolved))
+        return self
+
+    def watch_is_key(self, name: str, attributes: Sequence) -> "LiveProfiler":
+        """Watch the Theorem 1 filter verdict for one attribute set."""
+        return self.watch(name, "is_key", attributes)
+
+    def watch_classify(self, name: str, attributes: Sequence) -> "LiveProfiler":
+        """Watch the exact ε-classification of one attribute set."""
+        return self.watch(name, "classify", attributes)
+
+    def watch_min_key(self, name: str) -> "LiveProfiler":
+        """Watch the approximate minimum ε-separation key."""
+        return self.watch(name, "min_key")
+
+    def watch_bundle(self, name: str, attributes: Sequence) -> "LiveProfiler":
+        """Watch a policy bundle: exact classification + reservoir verdict."""
+        return self.watch(name, "bundle", attributes)
+
+    def watchlist(self, name: str) -> list[tuple[str, AttributeSet | None]]:
+        """The watched questions of ``name``, in watch order."""
+        return [
+            (watch.kind, watch.attributes) for watch in self._require(name).watches
+        ]
+
+    # ------------------------------------------------------------------
+    # The append path
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        name: str,
+        rows: Iterable[Sequence] | None = None,
+        *,
+        codes: np.ndarray | Sequence[Sequence[int]] | None = None,
+        snapshot: bool = True,
+    ) -> LiveSnapshot | None:
+        """Append a batch and (by default) re-answer the watchlist.
+
+        Parameters
+        ----------
+        rows:
+            Raw-value row tuples, encoded through the stream's incremental
+            encoders (available when the stream was registered from raw
+            values).  Mutually exclusive with ``codes``.
+        codes:
+            A pre-encoded ``(t, m)`` integer block.
+        snapshot:
+            ``False`` appends without answering (batch several appends,
+            then call :meth:`snapshot` once).
+
+        Returns
+        -------
+        LiveSnapshot | None
+            The watchlist's answers over the extended prefix, or ``None``
+            with ``snapshot=False``.
+        """
+        entry = self._require(name)
+        if (rows is None) == (codes is None):
+            raise InvalidParameterError("pass exactly one of rows= or codes=")
+        before = entry.appendable.n_rows
+        if rows is not None:
+            added = entry.appendable.append_rows(rows)
+        else:
+            added = entry.appendable.append_codes(codes)
+        if added == 0:
+            return self.snapshot(name) if snapshot else None
+        current = entry.appendable.snapshot()
+        block = current.codes[before:]
+        if entry.sharded is not None:
+            entry.sharded.append_codes(block)
+        if entry.cache is not None:
+            entry.cache.advance(current)
+        self._feed_streaming(entry, block)
+        self._profiler.update(
+            name, current, sharded=entry.sharded, label_cache=entry.cache
+        )
+        if not snapshot:
+            return None
+        return self._snapshot(name, entry, appended=added)
+
+    @staticmethod
+    def _feed_streaming(entry: _LiveEntry, block: np.ndarray) -> None:
+        if entry.monitor is None and entry.stream is None:
+            return
+        for row in block:
+            if entry.monitor is not None:
+                entry.monitor.observe(row)
+            if entry.stream is not None:
+                entry.stream.observe(row)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def current(self, name: str) -> Dataset:
+        """The stream's current immutable prefix snapshot."""
+        return self._require(name).appendable.snapshot()
+
+    def rows_seen(self, name: str) -> int:
+        """Total rows appended to ``name`` so far."""
+        return self._require(name).appendable.n_rows
+
+    def snapshot(self, name: str) -> LiveSnapshot:
+        """Answer the watchlist over the current prefix, no append."""
+        return self._snapshot(name, self._require(name), appended=0)
+
+    def _snapshot(
+        self, name: str, entry: _LiveEntry, *, appended: int
+    ) -> LiveSnapshot:
+        started = time.perf_counter()
+        monitor_snapshot: MonitorSnapshot | None = None
+        if entry.monitor is not None and entry.monitor.rows_seen >= 2:
+            monitor_snapshot = entry.monitor.snapshot()
+        answers = tuple(
+            self._answer(name, entry, watch, monitor_snapshot)
+            for watch in entry.watches
+        )
+        return LiveSnapshot(
+            dataset=name,
+            rows_seen=entry.appendable.n_rows,
+            appended_rows=appended,
+            version=entry.appendable.version,
+            column_names=entry.appendable.column_names,
+            answers=answers,
+            monitor=monitor_snapshot,
+            stream=(
+                tuple(entry.stream.profiles()) if entry.stream is not None else None
+            ),
+            kernel=entry.cache.stats() if entry.cache is not None else None,
+            seconds=time.perf_counter() - started,
+        )
+
+    def _answer(
+        self,
+        name: str,
+        entry: _LiveEntry,
+        watch: _Watch,
+        monitor_snapshot: MonitorSnapshot | None,
+    ) -> LiveAnswer:
+        exact_incremental = entry.cache is not None
+        if watch.kind == "is_key":
+            result = self._profiler.is_key(name, watch.attributes)
+            provenance = "refit"
+        elif watch.kind == "min_key":
+            result = self._profiler.min_key(name)
+            provenance = "refit"
+        else:  # classify and bundle share the exact classification
+            result = self._profiler.classify(name, watch.attributes)
+            provenance = "incremental" if exact_incremental else "refit"
+        reservoir_accept: bool | None = None
+        if watch.kind == "bundle" and monitor_snapshot is not None:
+            reservoir_accept = monitor_snapshot.watchlist_accepts.get(
+                watch.attributes
+            )
+        return LiveAnswer(
+            kind=watch.kind,
+            attributes=watch.attributes,
+            result=result,
+            provenance=provenance,
+            reservoir_accept=reservoir_accept,
+        )
+
+    # ------------------------------------------------------------------
+    # Ad-hoc questions (delegation to the inner session)
+    # ------------------------------------------------------------------
+
+    def ask(self, task: str, name: str, /, *args, **params) -> Result:
+        """Answer any registered task about the current prefix."""
+        return self._profiler.ask(task, name, *args, **params)
+
+    def is_key(self, name: str, attributes, **params) -> Result:
+        """Ad-hoc Theorem 1 filter verdict over the current prefix."""
+        return self._profiler.is_key(name, attributes, **params)
+
+    def classify(self, name: str, attributes, **params) -> Result:
+        """Ad-hoc exact ε-classification over the current prefix."""
+        return self._profiler.classify(name, attributes, **params)
+
+    def min_key(self, name: str, **params) -> Result:
+        """Ad-hoc approximate minimum key over the current prefix."""
+        return self._profiler.min_key(name, **params)

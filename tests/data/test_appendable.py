@@ -1,0 +1,225 @@
+"""AppendableDataset / DatasetBuilder: encoding round-trips and snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.data.appendable import AppendableDataset, DatasetBuilder
+from repro.data.dataset import Dataset
+from repro.data.encoding import factorize_table
+from repro.exceptions import DatasetShapeError, EmptySampleError
+
+
+class TestDatasetBuilder:
+    def test_batchwise_encoding_matches_whole_column_factorization(self):
+        batches = [
+            [("SD", 1), ("LA", 2)],
+            [("SD", 2), ("SF", 1), ("LA", 3)],
+            [("NY", 1)],
+        ]
+        builder = DatasetBuilder(["city", "tier"])
+        blocks = [builder.encode_rows(batch) for batch in batches]
+        all_rows = [row for batch in batches for row in batch]
+        expected, universes = factorize_table(
+            [[row[c] for row in all_rows] for c in range(2)]
+        )
+        assert np.array_equal(np.vstack(blocks), expected)
+        assert builder.universes == universes
+
+    def test_nan_collapses_to_one_code_across_batches(self):
+        builder = DatasetBuilder(["x"])
+        first = builder.encode_rows([(float("nan"),), (1.5,)])
+        second = builder.encode_rows([(float("nan"),), (2.5,)])
+        assert first[0, 0] == second[0, 0]
+        assert builder.cardinalities().tolist() == [3]
+
+    def test_encode_columns_requires_matching_layout(self):
+        builder = DatasetBuilder(["a", "b"])
+        with pytest.raises(DatasetShapeError):
+            builder.encode_columns({"b": [1], "a": [2]})
+        with pytest.raises(DatasetShapeError):
+            builder.encode_columns({"a": [1], "b": [1, 2]})
+
+    def test_rejected_ragged_batch_leaves_encoders_untouched(self):
+        builder = DatasetBuilder(["a", "b"])
+        builder.encode_columns({"a": ["x"], "b": ["y"]})
+        with pytest.raises(DatasetShapeError):
+            builder.encode_columns({"a": ["phantom"], "b": []})
+        # "phantom" must not have been minted a code by the failed batch.
+        assert builder.cardinalities().tolist() == [1, 1]
+        assert builder.encode_columns({"a": ["z"], "b": ["w"]}).tolist() == [[1, 1]]
+
+    def test_unhashable_value_rolls_back_all_encoders(self):
+        builder = DatasetBuilder(["a", "b"])
+        builder.encode_rows([("SD", 1), ("LA", 2)])
+        with pytest.raises(TypeError):
+            builder.encode_rows([("SF", [99])])  # unhashable in column b
+        # Column a's "SF" from the failed batch must be forgotten, so the
+        # next batch assigns the codes cold factorization would.
+        assert builder.cardinalities().tolist() == [2, 2]
+        assert builder.encode_rows([("NY", 3), ("SF", 4)]).tolist() == [
+            [2, 2],
+            [3, 3],
+        ]
+
+    def test_rollback_restores_nan_handling(self):
+        builder = DatasetBuilder(["a", "b"])
+        with pytest.raises(TypeError):
+            builder.encode_rows([(float("nan"), [])])  # unhashable column b
+        codes = builder.encode_rows([(float("nan"), 1), (0.5, 1)])
+        assert codes[:, 0].tolist() == [0, 1]  # NaN re-minted cleanly
+
+    def test_ragged_rows_rejected(self):
+        builder = DatasetBuilder(["a", "b"])
+        with pytest.raises(DatasetShapeError):
+            builder.encode_rows([(1, 2), (3,)])
+
+    def test_duplicate_or_empty_names_rejected(self):
+        with pytest.raises(DatasetShapeError):
+            DatasetBuilder(["a", "a"])
+        with pytest.raises(DatasetShapeError):
+            DatasetBuilder([])
+
+
+class TestAppendableEncodingRoundTrip:
+    def test_append_rows_matches_one_shot_dataset(self):
+        live = AppendableDataset.from_columns(
+            {"city": ["SD", "LA"], "zip": [92101, 90001]}
+        )
+        live.append_rows([("SD", 92102), ("SF", 94110)])
+        live.append_columns({"city": ["LA"], "zip": [92102]})
+        cold = Dataset.from_columns(
+            {
+                "city": ["SD", "LA", "SD", "SF", "LA"],
+                "zip": [92101, 90001, 92102, 94110, 92102],
+            }
+        )
+        snap = live.snapshot()
+        assert np.array_equal(snap.codes, cold.codes)
+        assert [snap.decode_row(r) for r in range(5)] == [
+            cold.decode_row(r) for r in range(5)
+        ]
+
+    def test_from_dataset_resumes_value_encodings(self):
+        cold = Dataset.from_columns({"city": ["SD", "LA"], "n": [1, 2]})
+        live = AppendableDataset.from_dataset(cold)
+        live.append_rows([("LA", 1), ("SF", 3)])
+        snap = live.snapshot()
+        assert snap.decode_row(2) == ("LA", 1)
+        assert snap.decode_row(3) == ("SF", 3)
+        # "LA" reuses the original code rather than minting a new one.
+        assert snap.codes[2, 0] == cold.codes[1, 0]
+
+    def test_code_only_appendable_rejects_raw_rows(self):
+        live = AppendableDataset.from_codes([[0, 1]])
+        with pytest.raises(DatasetShapeError):
+            live.append_rows([(1, 2)])
+
+    def test_value_built_appendable_rejects_unencoded_codes(self):
+        live = AppendableDataset.from_columns({"city": ["SD", "LA"]})
+        with pytest.raises(DatasetShapeError):
+            live.append_codes([[5]])  # code 5 was never assigned
+        # Codes inside the universe are fine and stay decodable.
+        live.append_codes([[1]])
+        assert live.snapshot().decode_row(2) == ("LA",)
+
+    def test_id_like_column_cardinality_stays_exact(self):
+        # Extent tracks the row count (unique ids); upkeep must stay
+        # additive and exact across appends.
+        live = AppendableDataset.from_codes([[0], [1], [2]])
+        for start in range(3, 100, 7):
+            live.append_codes([[v] for v in range(start, start + 7)])
+        live.append_codes([[5], [5], [200]])
+        assert live.cardinalities().tolist() == [102]
+        assert live.extents().tolist() == [201]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_property_random_append_schedule_matches_cold(self, seed):
+        rng = np.random.default_rng(seed)
+        n_columns = int(rng.integers(1, 5))
+        total_rows = []
+        live = None
+        for _ in range(int(rng.integers(2, 7))):
+            batch = [
+                tuple(
+                    rng.choice(["a", "b", "c", 1, 2.5, None])
+                    for _ in range(n_columns)
+                )
+                for _ in range(int(rng.integers(1, 40)))
+            ]
+            total_rows.extend(batch)
+            if live is None:
+                live = AppendableDataset.from_rows(
+                    batch, column_names=[f"c{i}" for i in range(n_columns)]
+                )
+            else:
+                live.append_rows(batch)
+        cold = Dataset.from_rows(
+            total_rows, column_names=[f"c{i}" for i in range(n_columns)]
+        )
+        snap = live.snapshot()
+        assert np.array_equal(snap.codes, cold.codes)
+        assert np.array_equal(snap.cardinalities(), cold.cardinalities())
+        assert np.array_equal(snap.column_extents(), cold.column_extents())
+
+
+class TestAppendableSnapshots:
+    def test_snapshot_cached_until_next_append(self):
+        live = AppendableDataset.from_codes([[0], [1]])
+        first = live.snapshot()
+        assert first is live.snapshot()
+        live.append_codes([[2]])
+        assert first is not live.snapshot()
+
+    def test_old_snapshots_survive_buffer_growth(self):
+        live = AppendableDataset.from_codes(
+            np.zeros((4, 2), dtype=np.int64), column_names=["a", "b"]
+        )
+        old = live.snapshot()
+        old_codes = old.codes.copy()
+        # Force several buffer doublings.
+        for _ in range(6):
+            live.append_codes(np.ones((100, 2), dtype=np.int64))
+        assert np.array_equal(old.codes, old_codes)
+        assert old.n_rows == 4
+
+    def test_snapshot_is_read_only(self):
+        live = AppendableDataset.from_codes([[0], [1]])
+        snap = live.snapshot()
+        with pytest.raises(ValueError):
+            snap.codes[0, 0] = 5
+
+    def test_snapshot_statistics_injected_not_rescanned(self):
+        rng = np.random.default_rng(3)
+        block = rng.integers(0, 9, size=(200, 3))
+        live = AppendableDataset.from_codes(block)
+        snap = live.snapshot()
+        cold = Dataset(block)
+        assert np.array_equal(snap.cardinalities(), cold.cardinalities())
+        assert np.array_equal(snap.column_extents(), cold.column_extents())
+
+    def test_sparse_column_falls_back_to_set_tracking(self):
+        live = AppendableDataset.from_codes([[1], [1 << 40]])
+        live.append_codes([[7], [1 << 40]])
+        assert live.cardinalities().tolist() == [3]
+        assert live.extents().tolist() == [(1 << 40) + 1]
+
+    def test_empty_appendable_has_no_snapshot(self):
+        live = AppendableDataset.from_columns({"a": [], "b": []})
+        assert live.n_rows == 0
+        with pytest.raises(EmptySampleError):
+            live.snapshot()
+        live.append_columns({"a": [1], "b": [2]})
+        assert live.snapshot().shape == (1, 2)
+
+    def test_zero_row_append_is_a_noop(self):
+        live = AppendableDataset.from_codes([[0]])
+        version = live.version
+        assert live.append_codes(np.empty((0, 1), dtype=np.int64)) == 0
+        assert live.version == version
+
+    def test_append_codes_validation(self):
+        live = AppendableDataset.from_codes([[0, 0]])
+        with pytest.raises(DatasetShapeError):
+            live.append_codes([[1]])
+        with pytest.raises(DatasetShapeError):
+            live.append_codes([[-1, 0]])

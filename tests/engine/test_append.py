@@ -1,0 +1,89 @@
+"""AppendableShardedDataset: appends must equal cold round-robin resharding."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.engine.append import AppendableShardedDataset
+from repro.engine.executor import run_fit_plan
+from repro.engine.shards import shard_dataset
+from repro.engine.specs import SummarySpec
+from repro.exceptions import InvalidParameterError
+
+
+def random_codes(seed: int, n_rows: int, n_columns: int = 5):
+    return np.random.default_rng(seed).integers(0, 6, size=(n_rows, n_columns))
+
+
+class TestAppendEqualsColdResharding:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5])
+    def test_shards_identical_after_every_append(self, n_shards):
+        full = random_codes(0, 530)
+        live = AppendableShardedDataset(Dataset(full[:100]), n_shards)
+        cursor = 100
+        for size in (1, 7, 50, 200, 172):
+            live.append_codes(full[cursor : cursor + size])
+            cursor += size
+            cold = shard_dataset(
+                Dataset(full[:cursor]), n_shards, strategy="round_robin"
+            )
+            assert live.shard_sizes() == cold.shard_sizes()
+            for shard in range(n_shards):
+                assert np.array_equal(
+                    live.shard(shard).codes, cold.shard(shard).codes
+                )
+                assert np.array_equal(
+                    live.shard_indices(shard), cold.shard_indices(shard)
+                )
+
+    def test_fit_plan_summary_identical_to_cold(self):
+        full = random_codes(1, 900)
+        live = AppendableShardedDataset(Dataset(full[:300]), 4)
+        live.append_codes(full[300:])
+        spec = SummarySpec.make("tuple_filter", epsilon=0.05, seed=3)
+        merged_live = run_fit_plan(live, spec).summary
+        cold = shard_dataset(Dataset(full), 4, strategy="round_robin")
+        merged_cold = run_fit_plan(cold, spec).summary
+        assert np.array_equal(
+            merged_live.sample.codes, merged_cold.sample.codes
+        )
+
+
+class TestAppendableShardedInterface:
+    def test_shape_passthrough(self):
+        data = Dataset.from_columns({"a": list(range(7)), "b": [0] * 7})
+        live = AppendableShardedDataset(data, 3)
+        assert (live.n_shards, live.n_rows, live.n_columns) == (3, 7, 2)
+        assert live.column_names == ("a", "b")
+        assert live.strategy == "round_robin"
+        assert len(live) == 3
+        assert sum(shard.n_rows for shard in live) == 7
+        assert "AppendableShardedDataset" in repr(live)
+
+    def test_shard_snapshot_cached_per_append(self):
+        live = AppendableShardedDataset(Dataset(random_codes(2, 20)), 2)
+        first = live.shard(0)
+        assert first is live.shard(0)
+        live.append_codes(random_codes(3, 2))
+        assert first is not live.shard(0)
+        assert first.n_rows == 10  # the old snapshot is untouched
+
+    def test_validation(self):
+        data = Dataset(random_codes(4, 5))
+        with pytest.raises(InvalidParameterError):
+            AppendableShardedDataset(data, 6)
+        live = AppendableShardedDataset(data, 2)
+        with pytest.raises(InvalidParameterError):
+            live.append_codes(np.zeros((2, 9), dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            live.shard(2)
+        assert live.append_codes(np.empty((0, 5), dtype=np.int64)) == 0
+
+    def test_rejected_block_mutates_no_shard(self):
+        live = AppendableShardedDataset(Dataset(random_codes(5, 6)), 3)
+        bad = np.zeros((3, 5), dtype=np.int64)
+        bad[2, 0] = -1  # would previously land rows 0-1 before failing
+        with pytest.raises(InvalidParameterError):
+            live.append_codes(bad)
+        assert live.shard_sizes() == [2, 2, 2]
+        assert live.n_rows == 6

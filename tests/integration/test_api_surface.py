@@ -14,13 +14,19 @@ import pytest
 #: removing or renaming an entry is a breaking change and must be done
 #: deliberately, by updating this snapshot in the same commit.
 ALL_SNAPSHOT = [
+    "AppendableDataset",
+    "AppendableShardedDataset",
     "BatchReport",
     "Classification",
     "Dataset",
+    "DatasetBuilder",
     "ExactMinKey",
     "ExactSeparationOracle",
     "ExecutionConfig",
+    "IncrementalLabelCache",
     "LabelCache",
+    "LiveProfiler",
+    "LiveSnapshot",
     "MaskingResult",
     "MinKeyResult",
     "MotwaniXuFilter",
@@ -48,6 +54,7 @@ ALL_SNAPSHOT = [
     "classify",
     "discover_afds",
     "evaluate_sets",
+    "extend_labels",
     "find_fuzzy_duplicates",
     "find_small_epsilon_key",
     "is_epsilon_key",
@@ -133,6 +140,8 @@ class TestTopLevelSurface:
         "repro.communication",
         "repro.engine",
         "repro.experiments",
+        "repro.kernels",
+        "repro.live",
         "repro.streaming",
         "repro.ucc",
     ],

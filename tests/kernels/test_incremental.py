@@ -1,0 +1,190 @@
+"""Incremental label maintenance: bit-parity with cold recomputes."""
+
+import numpy as np
+import pytest
+
+from repro.core.separation import group_labels
+from repro.data.appendable import AppendableDataset
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.kernels import IncrementalLabelCache, LabelCache, extend_labels
+
+FAMILY = [
+    (0,),
+    (0, 1),
+    (0, 1, 2),
+    (2, 4),
+    (1, 3, 5),
+    (0, 1, 2, 3, 4, 5),
+]
+
+
+def random_table(seed: int, n_rows: int, n_columns: int = 6, cardinality: int = 5):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, cardinality, size=(n_rows, n_columns))
+
+
+class TestExtendLabels:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_to_cold_recompute(self, seed):
+        full = random_table(seed, 800)
+        prefix = 300
+        extended = Dataset(full)
+        extents = extended.column_extents()
+        for attrs in FAMILY:
+            labels = group_labels(Dataset(full[:prefix]), attrs)
+            new_labels, n_groups = extend_labels(
+                labels, int(labels.max()) + 1, full, attrs, extents
+            )
+            expected = group_labels(extended, attrs)
+            assert np.array_equal(new_labels, expected)
+            assert n_groups == int(expected.max()) + 1
+
+    def test_zero_append_returns_input(self):
+        full = random_table(3, 100)
+        labels = group_labels(Dataset(full), (0, 1))
+        same, n_groups = extend_labels(
+            labels, int(labels.max()) + 1, full, (0, 1),
+            Dataset(full).column_extents(),
+        )
+        assert same is labels
+
+    def test_huge_codes_take_the_densify_path(self):
+        rng = np.random.default_rng(4)
+        full = np.column_stack(
+            [
+                rng.integers(0, 4, size=400),
+                rng.integers(0, 2**40, size=400),  # forces densification
+            ]
+        )
+        labels = group_labels(Dataset(full[:150]), (0, 1))
+        new_labels, _ = extend_labels(
+            labels, int(labels.max()) + 1, full, (0, 1),
+            Dataset(full).column_extents(),
+        )
+        assert np.array_equal(new_labels, group_labels(Dataset(full), (0, 1)))
+
+    def test_shrinking_table_rejected(self):
+        full = random_table(5, 100)
+        labels = group_labels(Dataset(full), (0,))
+        with pytest.raises(InvalidParameterError):
+            extend_labels(
+                labels, int(labels.max()) + 1, full[:50], (0,),
+                Dataset(full).column_extents(),
+            )
+
+
+class TestIncrementalLabelCache:
+    def advance_schedule(self, seed=0, batches=4):
+        full = random_table(seed, 1_200)
+        live = AppendableDataset.from_codes(full[:400])
+        cache = IncrementalLabelCache(live.snapshot())
+        for attrs in FAMILY:
+            cache.track(attrs)
+        for block in np.array_split(full[400:], batches):
+            live.append_codes(block)
+            cache.advance(live.snapshot(), verify_prefix=True)
+        return full, live, cache
+
+    def test_tracked_answers_match_cold_after_appends(self):
+        full, live, cache = self.advance_schedule()
+        cold = LabelCache(Dataset(full))
+        for attrs in FAMILY:
+            assert cache.unseparated_pairs(attrs) == cold.unseparated_pairs(attrs)
+            assert cache.n_groups(attrs) == cold.n_groups(attrs)
+            assert cache.is_key(attrs) == cold.is_key(attrs)
+            assert np.array_equal(cache.clique_sizes(attrs), cold.clique_sizes(attrs))
+            assert cache.separation_ratio(attrs) == cold.separation_ratio(attrs)
+
+    def test_labels_still_bit_identical_after_advance(self):
+        full, live, cache = self.advance_schedule(seed=1)
+        for attrs in FAMILY:
+            assert np.array_equal(cache.labels(attrs), group_labels(Dataset(full), attrs))
+
+    def test_queries_auto_track(self):
+        full = random_table(2, 200)
+        cache = IncrementalLabelCache(Dataset(full))
+        assert cache.tracked_sets() == []
+        cache.unseparated_pairs((0, 2))
+        assert cache.tracked_sets() == [(0, 2)]
+
+    def test_ad_hoc_queries_do_not_inflate_advance(self):
+        full = random_table(7, 600)
+        live = AppendableDataset.from_codes(full[:300])
+        cache = IncrementalLabelCache(live.snapshot())
+        cache.track((0, 1))                      # the watched set
+        for column in range(2, 6):               # an ad-hoc sweep
+            cache.unseparated_pairs((column,))
+        live.append_codes(full[300:])
+        report = cache.advance(live.snapshot(), verify_prefix=True)
+        assert report["maintained"] == 1         # only the pinned set
+        assert cache.tracked_sets() == [(0, 1)]
+        # Sweep sets still answer (cold) and re-match the reference.
+        cold = LabelCache(Dataset(full))
+        assert cache.unseparated_pairs((3,)) == cold.unseparated_pairs((3,))
+
+    def test_pinned_sets_survive_ad_hoc_eviction_pressure(self):
+        full = random_table(8, 100, n_columns=6)
+        cache = IncrementalLabelCache(Dataset(full), max_tracked=3)
+        cache.track((0, 1))
+        for column in range(6):                  # more traffic than capacity
+            cache.n_groups((column,))
+        assert (0, 1) in cache.tracked_sets()
+
+    def test_advance_accounting(self):
+        full = random_table(3, 600)
+        live = AppendableDataset.from_codes(full[:200])
+        cache = IncrementalLabelCache(live.snapshot())
+        cache.track((0, 1)).track((2, 3))
+        live.append_codes(full[200:500])
+        report = cache.advance(live.snapshot())
+        assert report == {
+            "appended_rows": 300,
+            "maintained": 2,
+            "maintain_folds": 4,
+            "invalidated": 4,  # (0,), (0, 1), (2,), (2, 3) — prefixes included
+        }
+        stats = cache.stats()
+        assert stats["appends"] == 1
+        assert stats["appended_rows"] == 300
+        assert stats["maintained"] == 2
+        assert stats["tracked"] == 2
+        assert stats["invalidated"] == 4
+
+    def test_advance_without_new_rows_is_cheap_noop(self):
+        full = random_table(4, 300)
+        live = AppendableDataset.from_codes(full)
+        cache = IncrementalLabelCache(live.snapshot())
+        cache.track((0, 1))
+        report = cache.advance(live.snapshot())
+        assert report["appended_rows"] == 0
+        assert cache.stats()["appends"] == 0
+
+    def test_advance_validation(self):
+        full = random_table(5, 300)
+        cache = IncrementalLabelCache(Dataset(full))
+        with pytest.raises(InvalidParameterError):
+            cache.advance(Dataset(full[:100]))  # shrank
+        with pytest.raises(InvalidParameterError):
+            cache.advance(Dataset(full[:, :3]))  # narrower
+        mutated = full.copy()
+        mutated[0, 0] += 1
+        with pytest.raises(InvalidParameterError):
+            cache.advance(Dataset(mutated), verify_prefix=True)
+
+    def test_max_tracked_evicts_least_recent(self):
+        full = random_table(6, 200)
+        cache = IncrementalLabelCache(Dataset(full), max_tracked=2)
+        cache.track((0,)).track((1,)).track((2,))
+        assert cache.tracked_sets() == [(1,), (2,)]
+
+    def test_new_cliques_from_appended_rows(self):
+        live = AppendableDataset.from_codes([[0], [0], [1]])
+        cache = IncrementalLabelCache(live.snapshot())
+        cache.track((0,))
+        live.append_codes([[2], [1], [2], [3]])
+        cache.advance(live.snapshot())
+        assert cache.n_groups((0,)) == 4
+        # Sizes: code 0 ×2, 1 ×2, 2 ×2, 3 ×1 -> Γ = 3
+        assert cache.unseparated_pairs((0,)) == 3
+        assert np.array_equal(cache.clique_sizes((0,)), [2, 2, 2, 1])

@@ -1,0 +1,157 @@
+"""The live invariant: snapshot answers == cold Profiler on the same prefix.
+
+Every watched answer a :class:`repro.live.LiveProfiler` emits after k
+appends must be bit-identical to what a cold :class:`repro.api.Profiler`
+(same configuration, same seed) returns for the concatenated table — in
+direct mode *and* in sharded (round-robin) engine mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig, Profiler
+from repro.data.dataset import Dataset
+from repro.data.synthetic import zipf_dataset
+from repro.live import LiveProfiler
+
+EPSILON = 0.05
+SEED = 0
+WATCHED_SETS = [(0, 1), (0, 1, 2), (2, 3), (1, 4, 5)]
+ALL_COLUMNS = tuple(range(7))
+
+
+def stream_codes():
+    return zipf_dataset(2_400, n_columns=7, cardinality=6, seed=11).codes
+
+
+def build_live(execution=None):
+    codes = stream_codes()
+    live = LiveProfiler(execution, epsilon=EPSILON, seed=SEED)
+    live.add("s", Dataset(codes[:600]))
+    for attrs in WATCHED_SETS:
+        live.watch_classify("s", attrs)
+    live.watch_is_key("s", ALL_COLUMNS)
+    live.watch_min_key("s")
+    live.watch_bundle("s", WATCHED_SETS[0])
+    return codes, live
+
+
+def cold_profiler(codes, n_rows, execution=None):
+    cold = Profiler(execution, epsilon=EPSILON, seed=SEED)
+    cold.add("s", Dataset(codes[:n_rows]))
+    return cold
+
+
+def assert_snapshot_matches_cold(snapshot, cold):
+    for attrs in WATCHED_SETS:
+        assert (
+            snapshot.answer("classify", attrs).value
+            == cold.classify("s", attrs).value
+        )
+    assert (
+        snapshot.answer("is_key", ALL_COLUMNS).value
+        == cold.is_key("s", ALL_COLUMNS).value
+    )
+    assert snapshot.answer("min_key").value == cold.min_key("s").value
+    assert (
+        snapshot.answer("bundle", WATCHED_SETS[0]).value
+        == cold.classify("s", WATCHED_SETS[0]).value
+    )
+
+
+class TestDirectModeEquivalence:
+    def test_every_snapshot_matches_cold_profiler(self):
+        codes, live = build_live()
+        for block in np.array_split(codes[600:], 4):
+            snapshot = live.append("s", codes=block)
+            cold = cold_profiler(codes, snapshot.rows_seen)
+            assert_snapshot_matches_cold(snapshot, cold)
+
+    def test_classify_is_maintained_incrementally(self):
+        codes, live = build_live()
+        snapshot = live.append("s", codes=codes[600:900])
+        assert snapshot.answer("classify", WATCHED_SETS[0]).provenance == "incremental"
+        assert snapshot.answer("is_key", ALL_COLUMNS).provenance == "refit"
+        assert snapshot.answer("min_key").provenance == "refit"
+        kernel = snapshot.kernel
+        assert kernel is not None
+        assert kernel["appends"] == 1
+        assert kernel["maintained"] >= len(WATCHED_SETS)
+
+    def test_ad_hoc_questions_match_cold_too(self):
+        codes, live = build_live()
+        live.append("s", codes=codes[600:1_500], snapshot=False)
+        cold = cold_profiler(codes, 1_500)
+        assert (
+            live.classify("s", (0, 3, 5)).value
+            == cold.classify("s", (0, 3, 5)).value
+        )
+        assert (
+            live.ask("non_separation", "s", (0, 1)).value
+            == cold.ask("non_separation", "s", (0, 1)).value
+        )
+
+    def test_raw_value_appends_match_cold_factorization(self):
+        rng = np.random.default_rng(5)
+        all_rows = [
+            (str(rng.choice(["SD", "LA", "SF"])), int(rng.integers(20, 26)))
+            for _ in range(300)
+        ]
+        live = LiveProfiler(epsilon=0.2, seed=SEED)
+        live.add(
+            "people",
+            {"city": [r[0] for r in all_rows[:100]],
+             "age": [r[1] for r in all_rows[:100]]},
+        )
+        live.watch_classify("people", ["city", "age"])
+        snapshot = live.append("people", all_rows[100:])
+        cold = Profiler(epsilon=0.2, seed=SEED)
+        cold.add(
+            "people",
+            Dataset.from_rows(all_rows, column_names=["city", "age"]),
+        )
+        assert np.array_equal(live.current("people").codes, cold.dataset("people").codes)
+        assert (
+            snapshot.answer("classify", (0, 1)).value
+            == cold.classify("people", ["city", "age"]).value
+        )
+
+
+class TestShardedModeEquivalence:
+    def execution(self):
+        return ExecutionConfig(
+            backend="serial", n_shards=4, strategy="round_robin"
+        )
+
+    def test_every_snapshot_matches_cold_sharded_profiler(self):
+        codes, live = build_live(self.execution())
+        for block in np.array_split(codes[600:], 3):
+            snapshot = live.append("s", codes=block)
+            cold = cold_profiler(codes, snapshot.rows_seen, self.execution())
+            assert_snapshot_matches_cold(snapshot, cold)
+
+    def test_sharded_answers_are_refit_provenance(self):
+        codes, live = build_live(self.execution())
+        snapshot = live.append("s", codes=codes[600:1_000])
+        assert snapshot.answer("classify", WATCHED_SETS[0]).provenance == "refit"
+        assert snapshot.kernel is None
+
+    def test_live_shard_layout_equals_cold_layout(self):
+        codes, live = build_live(self.execution())
+        live.append("s", codes=codes[600:1_800], snapshot=False)
+        cold = cold_profiler(codes, 1_800, self.execution())
+        live_sharded = live.profiler.sharded("s")
+        cold_sharded = cold.sharded("s")
+        assert live_sharded.shard_sizes() == cold_sharded.shard_sizes()
+        for shard in range(4):
+            assert np.array_equal(
+                live_sharded.shard(shard).codes, cold_sharded.shard(shard).codes
+            )
+
+    def test_non_round_robin_sharded_sessions_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            LiveProfiler(
+                ExecutionConfig(backend="serial", n_shards=4, strategy="random")
+            )

@@ -1,0 +1,166 @@
+"""LiveProfiler session mechanics: watching, appending, snapshots."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.data.appendable import AppendableDataset
+from repro.data.dataset import Dataset
+from repro.exceptions import InvalidParameterError
+from repro.live import LiveProfiler
+
+
+def small_codes(seed=0, n_rows=120, n_columns=4):
+    return np.random.default_rng(seed).integers(0, 4, size=(n_rows, n_columns))
+
+
+def session(**kwargs):
+    live = LiveProfiler(epsilon=0.1, seed=0, **kwargs)
+    live.add("s", Dataset(small_codes()))
+    return live
+
+
+class TestRegistration:
+    def test_add_accepts_dataset_appendable_and_columns(self):
+        live = LiveProfiler()
+        live.add("a", Dataset(small_codes()))
+        live.add("b", AppendableDataset.from_codes(small_codes()))
+        live.add("c", {"x": [1, 2], "y": ["u", "v"]})
+        assert live.datasets() == ["a", "b", "c"]
+        assert live.rows_seen("c") == 2
+
+    def test_empty_initial_stream_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LiveProfiler().add("s", {"x": []})
+
+    def test_sharded_needs_enough_initial_rows(self):
+        execution = ExecutionConfig(
+            backend="serial", n_shards=8, strategy="round_robin"
+        )
+        with pytest.raises(InvalidParameterError):
+            LiveProfiler(execution).add("s", Dataset(small_codes(n_rows=4)))
+
+    def test_unknown_stream_errors(self):
+        with pytest.raises(InvalidParameterError):
+            LiveProfiler().snapshot("nope")
+
+
+class TestWatching:
+    def test_watch_validation(self):
+        live = session()
+        with pytest.raises(InvalidParameterError):
+            live.watch("s", "frobnicate", [0])
+        with pytest.raises(InvalidParameterError):
+            live.watch("s", "classify")  # needs attributes
+        with pytest.raises(InvalidParameterError):
+            live.watch("s", "min_key", [0])  # takes none
+        with pytest.raises(InvalidParameterError):
+            live.watch("s", "classify", [])
+
+    def test_watchlist_listing(self):
+        live = session()
+        live.watch_classify("s", [1, 0]).watch_min_key("s").watch_bundle("s", [2, 3])
+        assert live.watchlist("s") == [
+            ("classify", (0, 1)),
+            ("min_key", None),
+            ("bundle", (2, 3)),
+        ]
+
+    def test_bundle_watch_registers_on_monitor(self):
+        live = session()
+        live.watch_bundle("s", [0, 2])
+        snapshot = live.snapshot("s")
+        assert snapshot.answer("bundle", (0, 2)).reservoir_accept in (True, False)
+
+    def test_monitor_disabled(self):
+        live = session(monitor=False)
+        live.watch_bundle("s", [0, 1])
+        snapshot = live.snapshot("s")
+        assert snapshot.monitor is None
+        assert snapshot.answer("bundle", (0, 1)).reservoir_accept is None
+
+
+class TestAppending:
+    def test_append_requires_exactly_one_payload(self):
+        live = session()
+        with pytest.raises(InvalidParameterError):
+            live.append("s")
+        with pytest.raises(InvalidParameterError):
+            live.append("s", [(0, 0, 0, 0)], codes=[[0, 0, 0, 0]])
+
+    def test_append_without_snapshot_defers_answers(self):
+        live = session()
+        live.watch_classify("s", [0, 1])
+        assert live.append("s", codes=small_codes(1), snapshot=False) is None
+        snapshot = live.snapshot("s")
+        assert snapshot.rows_seen == 240
+        assert snapshot.appended_rows == 0
+
+    def test_snapshot_fields(self):
+        live = session()
+        live.watch_classify("s", [0, 1])
+        snapshot = live.append("s", codes=small_codes(2, n_rows=30))
+        assert snapshot.dataset == "s"
+        assert snapshot.rows_seen == 150
+        assert snapshot.appended_rows == 30
+        assert snapshot.version == 2  # one append at registration, one here
+        assert snapshot.seconds >= 0.0
+
+    def test_stream_profile_tier(self):
+        live = LiveProfiler(epsilon=0.1, seed=0, stream_profile=True)
+        live.add("s", Dataset(small_codes()))
+        snapshot = live.append("s", codes=small_codes(3, n_rows=40))
+        assert snapshot.stream is not None
+        assert len(snapshot.stream) == 4  # one profile per column
+
+    def test_answer_lookup_miss_raises(self):
+        live = session()
+        snapshot = live.snapshot("s")
+        with pytest.raises(InvalidParameterError):
+            snapshot.answer("classify", (0, 1))
+
+    def test_answer_lookup_resolves_names_and_order(self):
+        live = LiveProfiler(epsilon=0.1, seed=0)
+        live.add("p", {"zip": [1, 2, 1], "age": [3, 3, 4]})
+        live.watch_classify("p", ["zip", "age"])
+        snapshot = live.snapshot("p")
+        by_names = snapshot.answer("classify", ["zip", "age"])
+        assert by_names is snapshot.answer("classify", ["age", "zip"])
+        assert by_names is snapshot.answer("classify", (1, 0))
+        with pytest.raises(InvalidParameterError):
+            snapshot.answer("classify", ["nope"])
+        with pytest.raises(InvalidParameterError):
+            snapshot.answer("classify", [0, 99])  # out of range, not a miss
+
+    def test_snapshot_to_dict_is_json_serializable(self):
+        live = session()
+        live.watch_classify("s", [0, 1]).watch_min_key("s").watch_bundle("s", [1, 2])
+        snapshot = live.append("s", codes=small_codes(4, n_rows=25))
+        payload = json.loads(json.dumps(snapshot.to_dict()))
+        assert payload["rows_seen"] == 145
+        assert [a["kind"] for a in payload["answers"]] == [
+            "classify", "min_key", "bundle",
+        ]
+        assert payload["answers"][0]["provenance"] == "incremental"
+
+
+class TestSessionPlumbing:
+    def test_repr_and_properties(self):
+        live = session()
+        assert "LiveProfiler" in repr(live)
+        assert live.epsilon == 0.1
+        assert live.seed == 0
+        assert live.execution.label == "direct"
+        assert live.profiler.datasets() == ["s"]
+
+    def test_context_manager_closes_pool(self):
+        execution = ExecutionConfig(
+            backend="thread", n_shards=2, strategy="round_robin"
+        )
+        with LiveProfiler(execution, epsilon=0.1, seed=0) as live:
+            live.add("s", Dataset(small_codes()))
+            live.watch_classify("s", [0, 1])
+            snapshot = live.append("s", codes=small_codes(5, n_rows=16))
+            assert snapshot.answer("classify", (0, 1)).provenance == "refit"

@@ -136,6 +136,15 @@ class TestExamplesRun:
         assert "warm batch" in out
         assert "cache hit" in out
 
+    def test_live_monitoring(self, capsys):
+        module = _load("live_monitoring")
+        module.main()
+        out = capsys.readouterr().out
+        assert "FLIP: bundle is now an epsilon-identifying QI" in out
+        assert "(incremental)" in out
+        assert "incremental maintenance:" in out
+        assert "(zip,age)=bad" in out  # the pilot phase starts safe
+
     def test_table1_reproduction_help(self, capsys, monkeypatch):
         module = _load("table1_reproduction")
         monkeypatch.setattr(
