@@ -11,11 +11,20 @@ PR 5 adds the additive ``acceptance_live`` block).  Future PRs append
 ``BENCH_PR<N>.json`` files produced by this same runner, so speedups and
 regressions stay comparable across the PR sequence.
 
+Besides the per-PR snapshot, every run appends its *gated* scenario
+numbers (the acceptance workloads: the two shared-prefix batch shapes and
+the live-append watchlist) to ``BENCH_TRAJECTORY.jsonl`` — one JSON row
+per scenario with ``{"pr", "scenario", "seconds", "speedup", "quick",
+"created_unix"}``, where ``seconds`` is the optimized path's median.  The
+first run backfills the trajectory from any existing ``BENCH_PR<N>.json``
+snapshots, so the file is a complete speedup history across the PR
+sequence and plots straight from ``jq``/pandas.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full sizes
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
-    PYTHONPATH=src python benchmarks/run_bench.py -o BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/run_bench.py --pr 6 -o BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -466,8 +475,83 @@ ACCEPTANCE_THRESHOLD = 5.0
 LIVE_ACCEPTANCE_SCENARIO = "live_append_watchlist"
 LIVE_ACCEPTANCE_THRESHOLD = 3.0
 
+#: Gated scenario -> optimized-path key, for the trajectory rows.
+GATED_PATHS = {
+    "shared_prefix_batch_200": "batch",
+    "engine_query_batch_200": "batch",
+    LIVE_ACCEPTANCE_SCENARIO: "live",
+}
 
-def run(quick: bool, repeats: int) -> dict:
+
+# ----------------------------------------------------------------------
+# The speedup trajectory: one JSONL row per gated scenario per run
+# ----------------------------------------------------------------------
+
+
+def trajectory_rows(report: dict, pr: int) -> list[dict]:
+    """The gated scenarios of one ``repro-bench/1`` report, as JSONL rows.
+
+    Older snapshots may predate a gated scenario (``BENCH_PR4.json`` has
+    no live scenario), so missing names are skipped rather than errors.
+    """
+    rows = []
+    for record in report["scenarios"]:
+        path_key = GATED_PATHS.get(record["name"])
+        if path_key is None or path_key not in record["paths"]:
+            continue
+        rows.append(
+            {
+                "pr": pr,
+                "scenario": record["name"],
+                "seconds": record["paths"][path_key]["median_s"],
+                "speedup": record["speedups"][path_key],
+                "quick": bool(report.get("quick", False)),
+                "created_unix": report.get("created_unix"),
+            }
+        )
+    return rows
+
+
+def backfill_trajectory(trajectory: Path) -> list[dict]:
+    """Rows recovered from existing ``BENCH_PR<N>.json`` snapshots.
+
+    Called when the trajectory file does not exist yet, so the history
+    starts at the earliest snapshot instead of at this PR.  Snapshots are
+    discovered next to the trajectory file and ordered by PR number.
+    """
+    rows = []
+    for snapshot in sorted(trajectory.parent.glob("BENCH_PR*.json")):
+        digits = snapshot.stem.removeprefix("BENCH_PR")
+        if not digits.isdigit():
+            continue
+        try:
+            report = json.loads(snapshot.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if report.get("schema") != SCHEMA:
+            continue
+        rows.extend(trajectory_rows(report, int(digits)))
+    rows.sort(key=lambda row: (row["pr"], row["scenario"]))
+    return rows
+
+
+def append_trajectory(trajectory: Path, report: dict, pr: int) -> int:
+    """Append this run's gated rows (backfilling history on first use).
+
+    The backfill skips rows for ``pr`` itself — this run's snapshot is
+    already on disk by the time the trajectory is written, and its rows
+    come from ``report`` directly.
+    """
+    rows = [] if trajectory.exists() else backfill_trajectory(trajectory)
+    rows = [row for row in rows if row["pr"] != pr]
+    rows.extend(trajectory_rows(report, pr))
+    with trajectory.open("a") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def run(quick: bool, repeats: int, pr: int = 6) -> dict:
     scenarios = []
     for bench in SCENARIOS:
         record = bench(quick, repeats)
@@ -507,7 +591,7 @@ def run(quick: bool, repeats: int) -> dict:
     print(f"acceptance_live (≥{LIVE_ACCEPTANCE_THRESHOLD}×): {acceptance_live}")
     return {
         "schema": SCHEMA,
-        "suite": "live-pr5",
+        "suite": f"bench-pr{pr}",
         "created_unix": time.time(),
         "quick": quick,
         "environment": {
@@ -532,17 +616,36 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=None, help="timing repeats per path"
     )
     parser.add_argument(
+        "--pr",
+        type=int,
+        default=6,
+        help="PR number stamped on snapshot and trajectory rows (default: 6)",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         type=Path,
-        default=Path("BENCH_PR5.json"),
-        help="where to write the JSON report (default: ./BENCH_PR5.json)",
+        default=None,
+        help="where to write the JSON report (default: ./BENCH_PR<pr>.json)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=None,
+        help=(
+            "JSONL speedup history to append gated scenarios to "
+            "(default: BENCH_TRAJECTORY.jsonl next to the report)"
+        ),
     )
     args = parser.parse_args(argv)
     repeats = args.repeats or (3 if args.quick else 7)
-    report = run(args.quick, repeats)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    output = args.output or Path(f"BENCH_PR{args.pr}.json")
+    trajectory = args.trajectory or output.parent / "BENCH_TRAJECTORY.jsonl"
+    report = run(args.quick, repeats, pr=args.pr)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}")
+    appended = append_trajectory(trajectory, report, args.pr)
+    print(f"appended {appended} row(s) to {trajectory}")
     return 0
 
 

@@ -38,7 +38,12 @@ Hildebrant, Le, Ta, Vu (PODS 2023; arXiv:2211.13882).  The library provides:
   underlying summaries across questions, answers every analysis through a
   uniform verb set returning one typed :class:`Result` envelope, and
   switches between in-memory and sharded/parallel fitting via a single
-  :class:`ExecutionConfig`.
+  :class:`ExecutionConfig`;
+* **observability** (:mod:`repro.obs`): a contextvar-scoped span tracer
+  (near-free when disabled) and a process-wide metrics registry wired
+  through every layer — ``ExecutionConfig(trace=True)`` attaches a span
+  tree to each :class:`Result`, and :func:`get_metrics` exposes the
+  counters behind ``repro stats``.
 
 Quickstart — the Profiler session
 ---------------------------------
@@ -138,6 +143,7 @@ from repro.kernels import (
     refinement_pair_counts,
 )
 from repro.live import LiveProfiler, LiveSnapshot
+from repro.obs import get_metrics, span, tracing
 from repro.privacy.cost import cheapest_quasi_identifier
 from repro.privacy.linkage import simulate_linking_attack
 from repro.privacy.risk import assess_risk
@@ -186,6 +192,7 @@ __all__ = [
     "extend_labels",
     "find_fuzzy_duplicates",
     "find_small_epsilon_key",
+    "get_metrics",
     "is_epsilon_key",
     "is_key",
     "load_csv",
@@ -199,6 +206,8 @@ __all__ = [
     "shard_dataset",
     "simulate_linking_attack",
     "sketch_pair_sample_size",
+    "span",
+    "tracing",
     "tuple_sample_size",
     "unseparated_pairs",
     "verify_masking",

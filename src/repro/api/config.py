@@ -42,6 +42,11 @@ class ExecutionConfig:
         ``"round_robin"``).
     max_cached_summaries:
         LRU capacity of the session's summary cache.
+    trace:
+        When ``True``, every :meth:`~repro.api.Profiler.ask` collects a
+        span trace of its own execution and attaches it to the
+        :class:`~repro.api.Result` envelope (``result.trace``).  Answers
+        are unchanged; see ``docs/observability.md``.
     """
 
     backend: str = "serial"
@@ -49,6 +54,7 @@ class ExecutionConfig:
     workers: int | None = None
     strategy: str = "random"
     max_cached_summaries: int = 64
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:

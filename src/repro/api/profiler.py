@@ -24,6 +24,7 @@ envelope.  Whether fits happen in memory or through the sharded
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -41,6 +42,8 @@ from repro.engine.service import SummaryCache
 from repro.engine.shards import ShardedDataset, shard_dataset
 from repro.engine.specs import SummarySpec
 from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import current_tracer, span, tracing
 from repro.sampling.rng import normalize_seed
 from repro.types import validate_epsilon
 
@@ -206,7 +209,9 @@ class Profiler:
         self.default_seed = normalize_seed(seed)
         self._datasets: dict[str, _DatasetEntry] = {}
         self._summaries = SummaryCache(max_entries=execution.max_cached_summaries)
-        self._results = SummaryCache(max_entries=max_cached_results)
+        self._results = SummaryCache(
+            max_entries=max_cached_results, metric_prefix="api.result_cache"
+        )
         self._label_caches: dict[str, object] = {}
         self._backend = None
 
@@ -450,7 +455,30 @@ class Profiler:
     # ------------------------------------------------------------------
 
     def ask(self, task: str, dataset: str, /, *args: object, **params: object) -> Result:
-        """Answer any registered task; every verb below is sugar over this."""
+        """Answer any registered task; every verb below is sugar over this.
+
+        With ``ExecutionConfig(trace=True)``, each call collects its own
+        span trace and attaches it as ``Result.trace`` — unless an outer
+        tracer is already active (e.g. the CLI's ``--trace``), in which
+        case this call's spans join the outer trace instead.
+        """
+        if self.execution.trace and current_tracer() is None:
+            with tracing(f"ask:{task}") as tracer:
+                result = self._ask(task, dataset, args, params)
+            return dataclasses.replace(result, trace=tracer.to_dict())
+        return self._ask(task, dataset, args, params)
+
+    def _ask(self, task: str, dataset: str, args: tuple, params: dict) -> Result:
+        with span("api.ask", task=task, dataset=dataset):
+            result = self._answer_ask(task, dataset, args, params)
+        metrics = get_metrics()
+        metrics.counter("api.asks").inc()
+        metrics.histogram("api.ask_seconds").observe(result.seconds)
+        return result
+
+    def _answer_ask(
+        self, task: str, dataset: str, args: tuple, params: dict
+    ) -> Result:
         spec = get_task(task)
         entry = self._require(dataset)
         started = time.perf_counter()

@@ -130,6 +130,10 @@ class Result:
         needed work), ``refine_steps`` (label folds actually executed) and
         ``entries`` (cache residency after the call).  ``None`` when no
         kernel work was involved.
+    trace:
+        The span tree of this call (``repro.obs`` trace document) when the
+        session ran with ``ExecutionConfig(trace=True)``; ``None``
+        otherwise.  Validated by ``docs/schemas/trace.schema.json``.
     """
 
     task: str
@@ -140,6 +144,7 @@ class Result:
     seconds: float
     backend: str = "direct"
     kernel: dict | None = None
+    trace: dict | None = None
 
     @property
     def fitted_summaries(self) -> tuple[SummaryUse, ...]:
@@ -162,6 +167,7 @@ class Result:
             "seconds": self.seconds,
             "backend": self.backend,
             "kernel": jsonify(self.kernel),
+            "trace": jsonify(self.trace),
         }
 
     def to_json(self, *, indent: int | None = None) -> str:

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.exceptions import InvalidParameterError
+from repro.obs.trace import span
 
 #: name -> Task for every registered analysis.
 _REGISTRY: dict[str, "Task"] = {}
@@ -112,7 +113,9 @@ def available_tasks() -> list[str]:
 @task("is_key")
 def _task_is_key(ctx, attributes, *, epsilon=None, seed=None):
     """Does ``attributes`` ε-separate the table? (Theorem 1 filter answer.)"""
-    return bool(ctx.tuple_filter(epsilon, seed).accepts(attributes))
+    tuple_filter = ctx.tuple_filter(epsilon, seed)
+    with span("kernels.accepts"):
+        return bool(tuple_filter.accepts(attributes))
 
 
 @task("classify")
@@ -126,13 +129,15 @@ def _task_classify(ctx, attributes, *, epsilon=None, seed=None):
         # goes through the session's shared-prefix label kernel: repeated
         # or prefix-related questions pay only the non-shared label folds.
         cache = ctx.label_cache()
-        gamma = cache.unseparated_pairs(ctx.data.resolve_attributes(attributes))
+        with span("kernels.unseparated_pairs"):
+            gamma = cache.unseparated_pairs(ctx.data.resolve_attributes(attributes))
         return classify_from_gamma(gamma, ctx.data.n_rows, epsilon)
     # Sharded mode classifies on the merged tuple sample — the engine
     # exists precisely to avoid full-table scans.
     tuple_filter = ctx.tuple_filter(epsilon, seed)
     sample = tuple_filter.sample
-    return classify(sample, sample.resolve_attributes(attributes), epsilon)
+    with span("kernels.classify_sample"):
+        return classify(sample, sample.resolve_attributes(attributes), epsilon)
 
 
 @task("min_key", cache_result=True)
@@ -145,23 +150,25 @@ def _task_min_key(
     epsilon = ctx.epsilon(epsilon)
     seed = ctx.seed(seed)
     if not ctx.sharded:
+        with span("core.min_key", method=method):
+            return approximate_min_key(
+                ctx.data,
+                epsilon,
+                method=method,
+                sample_size=sample_size,
+                constant=constant,
+                seed=seed,
+            )
+    sample = ctx.tuple_filter(epsilon, seed).sample
+    with span("core.min_key", method=method, on_sample=True):
         return approximate_min_key(
-            ctx.data,
+            sample,
             epsilon,
             method=method,
-            sample_size=sample_size,
+            sample_size=sample.n_rows,
             constant=constant,
             seed=seed,
         )
-    sample = ctx.tuple_filter(epsilon, seed).sample
-    return approximate_min_key(
-        sample,
-        epsilon,
-        method=method,
-        sample_size=sample.n_rows,
-        constant=constant,
-        seed=seed,
-    )
 
 
 @task("non_separation")

@@ -33,11 +33,18 @@ Commands
 ``repro live --dataset adult [--batches 8] [--watch age,sex] [--min-key]``
     Stream a registry data set into a LiveProfiler in batches and print
     each snapshot's watched answers with incremental/refit provenance.
+``repro stats [--dataset adult]``
+    Dump the process-wide :mod:`repro.obs` metrics snapshot; with
+    ``--dataset`` a shared-prefix warm-up batch runs first so the kernel
+    and cache counters have something to show.
 ``repro datasets``
     List the registered synthetic workloads with seeds and default shapes.
 
 All dataset commands share ``--dataset/--rows/--seed`` plumbing and a
-session ε default; ``--json`` is accepted by every subcommand.
+session ε default; ``--json`` and ``--trace`` are accepted by every
+subcommand.  In text mode ``--trace`` prints the invocation's span tree
+after the normal output; with ``--json`` each Result envelope instead
+embeds its own ``trace`` document (stdout stays pure JSON).
 """
 
 from __future__ import annotations
@@ -66,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the machine-readable Result envelope instead of text",
+    )
+    json_flag.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect a span trace: text mode prints the tree after the "
+        "output, --json embeds a trace document per Result",
     )
 
     dataset_args = argparse.ArgumentParser(add_help=False)
@@ -269,6 +282,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend for sharded refits",
     )
 
+    stats = commands.add_parser(
+        "stats",
+        parents=[json_flag],
+        help="dump the process-wide repro.obs metrics snapshot",
+    )
+    stats.add_argument(
+        "--dataset",
+        default=None,
+        help="registry dataset to run a shared-prefix warm-up batch on "
+        "before dumping (populates the kernel/cache counters)",
+    )
+    stats.add_argument(
+        "--rows", type=int, default=None, help="warm-up row-count override"
+    )
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--epsilon", type=float, default=0.01)
+
     datasets = commands.add_parser(
         "datasets",
         parents=[json_flag],
@@ -284,6 +314,29 @@ def _emit_json(payload: object) -> None:
     print(json.dumps(payload, indent=2))
 
 
+def _trace_results(args: argparse.Namespace) -> bool:
+    """Whether Result envelopes should embed their own trace documents.
+
+    Only in ``--trace --json`` mode: text mode runs under one global
+    tracer (printed by :func:`main`), and per-result capture is suppressed
+    there anyway because an outer tracer is active.
+    """
+    return bool(getattr(args, "trace", False)) and bool(getattr(args, "json", False))
+
+
+def _execution_for(args: argparse.Namespace, execution=None):
+    """Apply the ``--trace --json`` per-result capture to a session config."""
+    if not _trace_results(args):
+        return execution
+    import dataclasses
+
+    from repro.api import ExecutionConfig
+
+    if execution is None:
+        return ExecutionConfig(trace=True)
+    return dataclasses.replace(execution, trace=True)
+
+
 def _session(args: argparse.Namespace, execution=None, *, epsilon: float | None = None):
     """One Profiler session per CLI invocation, seeded from the arguments."""
     from repro.api import Profiler
@@ -291,7 +344,7 @@ def _session(args: argparse.Namespace, execution=None, *, epsilon: float | None 
     kwargs = {"seed": getattr(args, "seed", 0)}
     if epsilon is not None:
         kwargs["epsilon"] = epsilon
-    profiler = Profiler(execution, **kwargs)
+    profiler = Profiler(_execution_for(args, execution), **kwargs)
     if getattr(args, "dataset", None) is not None:
         profiler.add_named(args.dataset, rows=args.rows)
     return profiler
@@ -649,6 +702,7 @@ def _cmd_live(args: argparse.Namespace) -> int:
         execution = ExecutionConfig(
             backend=args.backend, n_shards=args.shards, strategy="round_robin"
         )
+    execution = _execution_for(args, execution)
     snapshots = []
     with LiveProfiler(execution, epsilon=args.epsilon, seed=args.seed) as live:
         live.add(
@@ -726,6 +780,35 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import get_metrics, render_metrics_text
+
+    if args.dataset is not None:
+        from repro.data.registry import build_dataset
+        from repro.engine import ProfilingService
+
+        data = build_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+        service = ProfilingService()
+        service.register(args.dataset, data, seed=args.seed)
+        # Shared-prefix warm-up: nested prefixes asked twice, so both the
+        # label kernel's prefix sharing and the summary cache light up.
+        prefix = list(range(min(4, data.n_columns)))
+        queries = [
+            (op, prefix[: size + 1])
+            for op in ("is_key", "classify")
+            for size in range(len(prefix))
+        ]
+        service.query_batch(args.dataset, queries, epsilon=args.epsilon)
+        service.query_batch(args.dataset, queries, epsilon=args.epsilon)
+
+    snapshot = get_metrics().snapshot()
+    if args.json:
+        _emit_json({"task": "stats", "metrics": snapshot})
+        return 0
+    print(render_metrics_text(snapshot))
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.data.registry import dataset_info, list_datasets
 
@@ -773,9 +856,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dedup": _cmd_dedup,
         "engine": _cmd_engine,
         "live": _cmd_live,
+        "stats": _cmd_stats,
         "datasets": _cmd_datasets,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if not getattr(args, "trace", False) or getattr(args, "json", False):
+        # --trace --json is handled per session (Results embed traces).
+        return handler(args)
+    from repro.obs import render_trace_text, tracing
+
+    with tracing(args.command) as tracer:
+        code = handler(args)
+    if tracer.roots:
+        print()
+        print(render_trace_text(tracer.to_dict()))
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

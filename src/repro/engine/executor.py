@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import math
 import os
-import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -32,6 +31,8 @@ from repro.engine.merge import merge_summaries
 from repro.engine.shards import ShardedDataset
 from repro.engine.specs import SummarySpec
 from repro.exceptions import BackendError, InvalidParameterError, ReproError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import timed_span
 
 
 class SerialBackend:
@@ -135,6 +136,23 @@ class ProcessPoolBackend(_PoolBackend):
         from concurrent.futures import ProcessPoolExecutor
 
         return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        materialized = list(items)
+        # Account the dominant pickling cost of shipping tasks to workers:
+        # the shard code matrices.  An estimate from ndarray footprints, not
+        # a re-pickle — measuring real pickle bytes would double the cost
+        # this counter exists to expose.
+        shipped = sum(
+            payload.codes.nbytes
+            for task in materialized
+            if isinstance(task, tuple)
+            for payload in task
+            if isinstance(payload, Dataset)
+        )
+        if shipped:
+            get_metrics().counter("engine.process.bytes_pickled").inc(shipped)
+        return super().map(fn, materialized)
 
 
 #: Names accepted by :func:`get_backend`.
@@ -293,16 +311,27 @@ def run_fit_plan(
     True
     """
     backend = backend or SerialBackend()
-    start = time.perf_counter()
-    summaries: Sequence = fit_shards(sharded, spec, backend)
-    fitted = time.perf_counter()
-    merged = merge_summaries(summaries)
-    done = time.perf_counter()
+    backend_name = getattr(backend, "name", type(backend).__name__)
+    with timed_span(
+        "engine.fit",
+        kind=spec.kind,
+        shards=sharded.n_shards,
+        backend=backend_name,
+    ) as fit_span:
+        summaries: Sequence = fit_shards(sharded, spec, backend)
+        fit_span.add("shard_fits", sharded.n_shards)
+    with timed_span("engine.merge", shards=sharded.n_shards) as merge_span:
+        merged = merge_summaries(summaries)
+    metrics = get_metrics()
+    metrics.counter("engine.fit_plans").inc()
+    metrics.counter("engine.shard_fits").inc(sharded.n_shards)
+    metrics.histogram("engine.fit_seconds").observe(fit_span.seconds)
+    metrics.histogram("engine.merge_seconds").observe(merge_span.seconds)
     return FitReport(
         summary=merged,
         shard_summaries=tuple(summaries),
         n_shards=sharded.n_shards,
-        backend=getattr(backend, "name", type(backend).__name__),
-        fit_seconds=fitted - start,
-        merge_seconds=done - fitted,
+        backend=backend_name,
+        fit_seconds=fit_span.seconds,
+        merge_seconds=merge_span.seconds,
     )

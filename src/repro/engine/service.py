@@ -30,7 +30,6 @@ process-pool backend is *identical* to the same batch answered serially.
 
 from __future__ import annotations
 
-import time
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -43,6 +42,8 @@ from repro.engine.executor import FitReport, SerialBackend, run_fit_plan
 from repro.engine.shards import ShardedDataset, shard_dataset
 from repro.engine.specs import SummarySpec
 from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span, timed_span
 from repro.types import SeedLike, validate_positive_int
 
 #: Operations :meth:`ProfilingService.query_batch` understands.
@@ -147,10 +148,18 @@ class SummaryCache:
     summaries and memoized task results.  ``get_or_fit`` is the one entry
     point: it either returns the cached value (a *reuse*) or invokes the
     supplied fitter exactly once and remembers the outcome.
+
+    ``metric_prefix`` names this cache in the process-wide metrics registry
+    (``<prefix>.hits`` / ``.misses`` / ``.evictions``); distinct caches keep
+    distinct prefixes so ``repro stats`` can tell summary reuse apart from
+    result memoization.
     """
 
-    def __init__(self, max_entries: int = 32) -> None:
+    def __init__(
+        self, max_entries: int = 32, *, metric_prefix: str = "summary.cache"
+    ) -> None:
         self.max_entries = validate_positive_int(max_entries, name="max_entries")
+        self.metric_prefix = str(metric_prefix)
         self._entries: OrderedDict[object, _CacheEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -172,16 +181,22 @@ class SummaryCache:
             return None
         entry.hits += 1
         self.hits += 1
+        get_metrics().counter(f"{self.metric_prefix}.hits").inc()
         self._entries.move_to_end(key)
         return entry
 
     def store(self, key: object, value: object) -> None:
         """Remember ``value`` (counted as a miss), evicting LRU overflow."""
         self.misses += 1
+        get_metrics().counter(f"{self.metric_prefix}.misses").inc()
         self._entries[key] = _CacheEntry(value=value)
         self._entries.move_to_end(key)
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            evicted += 1
+        if evicted:
+            get_metrics().counter(f"{self.metric_prefix}.evictions").inc(evicted)
 
     def get_or_fit(self, key: object, fit) -> tuple[object, bool, float]:
         """``(value, reused, seconds)`` — fitting via ``fit()`` on a miss.
@@ -192,17 +207,18 @@ class SummaryCache:
         entry = self.lookup(key)
         if entry is not None:
             return entry.value, True, 0.0
-        start = time.perf_counter()
-        value = fit()
-        seconds = time.perf_counter() - start
+        with timed_span("summary.fit") as fit_span:
+            value = fit()
         self.store(key, value)
-        return value, False, seconds
+        return value, False, fit_span.seconds
 
     def evict(self, predicate) -> int:
         """Drop every entry whose key satisfies ``predicate``; returns count."""
         doomed = [key for key in self._entries if predicate(key)]
         for key in doomed:
             del self._entries[key]
+        if doomed:
+            get_metrics().counter(f"{self.metric_prefix}.evictions").inc(len(doomed))
         return len(doomed)
 
     def clear(self) -> None:
@@ -392,44 +408,54 @@ class ProfilingService:
         sharded = self._require(name)
         hits_before, misses_before = self.cache_hits, self.cache_misses
 
-        fit_start = time.perf_counter()
-        needs_filter = any(
-            query.op in ("is_key", "classify", "min_key") for query in batch
-        )
-        needs_sketch = any(query.op == "sketch_estimate" for query in batch)
-        tuple_filter: TupleSampleFilter | None = None
-        sketch: NonSeparationSketch | None = None
-        if needs_filter:
-            tuple_filter = self.summary(name, self._filter_spec(epsilon, seed))
-        if needs_sketch:
-            if sketch_k is None:
-                sketch_k = max(
-                    (
-                        len(query.attributes)
-                        for query in batch
-                        if query.op == "sketch_estimate"
-                    ),
-                    default=1,
+        with span("service.query_batch", dataset=name, queries=len(batch)):
+            with timed_span("service.fit") as fit_span:
+                needs_filter = any(
+                    query.op in ("is_key", "classify", "min_key") for query in batch
                 )
-                sketch_k = max(1, sketch_k)
-            sketch = self.summary(
-                name, self._sketch_spec(sketch_k, alpha, sketch_epsilon, seed)
-            )
-        fit_seconds = time.perf_counter() - fit_start
+                needs_sketch = any(
+                    query.op == "sketch_estimate" for query in batch
+                )
+                tuple_filter: TupleSampleFilter | None = None
+                sketch: NonSeparationSketch | None = None
+                if needs_filter:
+                    tuple_filter = self.summary(name, self._filter_spec(epsilon, seed))
+                if needs_sketch:
+                    if sketch_k is None:
+                        sketch_k = max(
+                            (
+                                len(query.attributes)
+                                for query in batch
+                                if query.op == "sketch_estimate"
+                            ),
+                            default=1,
+                        )
+                        sketch_k = max(1, sketch_k)
+                    sketch = self.summary(
+                        name,
+                        self._sketch_spec(sketch_k, alpha, sketch_epsilon, seed),
+                    )
 
-        values: list[object] = [None] * len(batch)
-        seconds: list[float] = [0.0] * len(batch)
-        query_start = time.perf_counter()
-        kernel_stats = self._answer_kernel_queries(
-            batch, tuple_filter, epsilon, values, seconds
-        )
-        for position, query in enumerate(batch):
-            if query.op in ("is_key", "classify"):
-                continue  # answered by the batched kernel pass above
-            start = time.perf_counter()
-            values[position] = self._answer(query, tuple_filter, sketch, epsilon, seed)
-            seconds[position] = time.perf_counter() - start
-        query_seconds = time.perf_counter() - query_start
+            values: list[object] = [None] * len(batch)
+            seconds: list[float] = [0.0] * len(batch)
+            with timed_span("service.query") as query_span:
+                answered, kernel_stats = self._answer_kernel_queries(
+                    batch, tuple_filter, epsilon, values, seconds
+                )
+                for position, query in enumerate(batch):
+                    if position in answered:
+                        continue  # already answered (and timed) by the kernel pass
+                    with timed_span("service.answer", op=query.op) as answer_span:
+                        values[position] = self._answer(
+                            query, tuple_filter, sketch, epsilon, seed
+                        )
+                    seconds[position] = answer_span.seconds
+
+        metrics = get_metrics()
+        metrics.counter("service.batches").inc()
+        metrics.counter("service.queries").inc(len(batch))
+        metrics.histogram("service.fit_seconds").observe(fit_span.seconds)
+        metrics.histogram("service.query_seconds").observe(query_span.seconds)
 
         results = tuple(
             QueryResult(query=query, value=values[position], seconds=seconds[position])
@@ -440,8 +466,8 @@ class ProfilingService:
             n_shards=sharded.n_shards,
             backend=getattr(self.backend, "name", type(self.backend).__name__),
             results=results,
-            fit_seconds=fit_seconds,
-            query_seconds=query_seconds,
+            fit_seconds=fit_span.seconds,
+            query_seconds=query_span.seconds,
             cache_hits=self.cache_hits - hits_before,
             cache_misses=self.cache_misses - misses_before,
             epsilon=epsilon,
@@ -455,7 +481,7 @@ class ProfilingService:
         epsilon: float,
         values: list[object],
         seconds: list[float],
-    ) -> dict | None:
+    ) -> tuple[frozenset[int], dict | None]:
         """Answer every ``is_key`` / ``classify`` query in one kernel pass.
 
         All queried attribute sets go through
@@ -463,7 +489,9 @@ class ProfilingService:
         filter's persistent label cache, so sets shared between queries —
         or sharing prefixes, within the batch or across batches — are
         labeled once.  Per-query ``seconds`` are the batch cost amortized
-        evenly over its queries.  Returns the kernel provenance dict.
+        evenly over its queries.  Returns ``(answered positions, kernel
+        provenance dict)``; the caller must not re-answer (or re-time) the
+        returned positions — each query's cost is attributed exactly once.
         """
         from repro.kernels import evaluate_sets
 
@@ -473,23 +501,23 @@ class ProfilingService:
             if query.op in ("is_key", "classify")
         ]
         if not positions:
-            return None
+            return frozenset(), None
         assert tuple_filter is not None
-        start = time.perf_counter()
-        evaluation = evaluate_sets(
-            tuple_filter.sample,
-            [batch[position].attributes for position in positions],
-            epsilon=epsilon,
-            cache=tuple_filter.label_cache(),
-        )
-        share = (time.perf_counter() - start) / len(positions)
+        with timed_span("service.kernel_pass", sets=len(positions)) as pass_span:
+            evaluation = evaluate_sets(
+                tuple_filter.sample,
+                [batch[position].attributes for position in positions],
+                epsilon=epsilon,
+                cache=tuple_filter.label_cache(),
+            )
+        share = pass_span.seconds / len(positions)
         for position, result in zip(positions, evaluation.results):
             if batch[position].op == "is_key":
                 values[position] = bool(result.is_key)
             else:
                 values[position] = Classification(result.classification)
             seconds[position] = share
-        return evaluation.stats()
+        return frozenset(positions), evaluation.stats()
 
     def _answer(
         self,

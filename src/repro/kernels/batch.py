@@ -28,6 +28,8 @@ import numpy as np
 from repro.core.separation import _PACK_LIMIT
 from repro.exceptions import InvalidParameterError
 from repro.kernels.labels import LabelCache
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
 from repro.types import (
     AttributeSet,
     SupportsRows,
@@ -157,41 +159,54 @@ def evaluate_sets(
     hits_before = cache.hits
     refines_before = cache.refine_steps
 
-    order = sorted(range(len(resolved)), key=lambda i: resolved[i])
-    results: list[SetEvaluation | None] = [None] * len(resolved)
-    n_rows = cache.n_rows
-    memo: dict[AttributeSet, SetEvaluation] = {}
-    for index in order:
-        attrs = resolved[index]
-        evaluation = memo.get(attrs)
-        if evaluation is None:
-            labels, n_groups = cache._labels_entry(attrs)
-            if n_groups == n_rows:
-                gamma = 0
-            else:
-                sizes = np.bincount(labels, minlength=n_groups)
-                gamma = int((sizes * (sizes - 1) // 2).sum())
-            evaluation = SetEvaluation(
-                attributes=attrs,
-                n_groups=n_groups,
-                unseparated_pairs=gamma,
-                is_key=n_groups == n_rows,
-                classification=(
-                    _classify_gamma(gamma, n_rows, epsilon)
-                    if epsilon is not None
-                    else None
-                ),
-            )
-            memo[attrs] = evaluation
-        results[index] = evaluation
+    with span("kernels.evaluate_sets", sets=len(resolved)) as kernel_span:
+        order = sorted(range(len(resolved)), key=lambda i: resolved[i])
+        results: list[SetEvaluation | None] = [None] * len(resolved)
+        n_rows = cache.n_rows
+        memo: dict[AttributeSet, SetEvaluation] = {}
+        for index in order:
+            attrs = resolved[index]
+            evaluation = memo.get(attrs)
+            if evaluation is None:
+                labels, n_groups = cache._labels_entry(attrs)
+                if n_groups == n_rows:
+                    gamma = 0
+                else:
+                    sizes = np.bincount(labels, minlength=n_groups)
+                    gamma = int((sizes * (sizes - 1) // 2).sum())
+                evaluation = SetEvaluation(
+                    attributes=attrs,
+                    n_groups=n_groups,
+                    unseparated_pairs=gamma,
+                    is_key=n_groups == n_rows,
+                    classification=(
+                        _classify_gamma(gamma, n_rows, epsilon)
+                        if epsilon is not None
+                        else None
+                    ),
+                )
+                memo[attrs] = evaluation
+            results[index] = evaluation
 
-    refine_steps = cache.refine_steps - refines_before
-    total_folds = sum(len(attrs) for attrs in resolved)
+        refine_steps = cache.refine_steps - refines_before
+        cache_hits = cache.hits - hits_before
+        total_folds = sum(len(attrs) for attrs in resolved)
+        kernel_span.add("refine_steps", refine_steps)
+        kernel_span.add("cache_hits", cache_hits)
+        kernel_span.add("labelings_saved", total_folds - refine_steps)
+
+    metrics = get_metrics()
+    metrics.counter("kernels.sets_evaluated").inc(len(resolved))
+    metrics.counter("kernels.refine_steps").inc(refine_steps)
+    metrics.counter("kernels.labelings_saved").inc(total_folds - refine_steps)
+    metrics.counter("kernels.labelcache.hits").inc(cache_hits)
+    # Every refine step is a label-cache miss: a fold that had to run.
+    metrics.counter("kernels.labelcache.misses").inc(refine_steps)
     return BatchEvaluation(
         results=tuple(results),  # type: ignore[arg-type]
         n_rows=n_rows,
         refine_steps=refine_steps,
-        cache_hits=cache.hits - hits_before,
+        cache_hits=cache_hits,
         labelings_saved=total_folds - refine_steps,
     )
 

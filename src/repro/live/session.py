@@ -53,7 +53,6 @@ Example
 
 from __future__ import annotations
 
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
@@ -68,6 +67,8 @@ from repro.data.dataset import Dataset
 from repro.engine.append import AppendableShardedDataset
 from repro.exceptions import InvalidParameterError
 from repro.kernels.incremental import IncrementalLabelCache
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span, timed_span
 from repro.sampling.rng import derive_seed
 from repro.streaming.monitor import MonitorSnapshot, QuasiIdentifierMonitor
 from repro.streaming.profile import StreamingProfile
@@ -481,19 +482,34 @@ class LiveProfiler:
             added = entry.appendable.append_codes(codes)
         if added == 0:
             return self.snapshot(name) if snapshot else None
-        current = entry.appendable.snapshot()
-        block = current.codes[before:]
-        if entry.sharded is not None:
-            entry.sharded.append_codes(block)
-        if entry.cache is not None:
-            entry.cache.advance(current)
-        self._feed_streaming(entry, block)
-        self._profiler.update(
-            name, current, sharded=entry.sharded, label_cache=entry.cache
-        )
+        metrics = get_metrics()
+        metrics.counter("live.appends").inc()
+        metrics.counter("live.rows_appended").inc(added)
+        with span("live.append", dataset=name, rows=added):
+            current = entry.appendable.snapshot()
+            block = current.codes[before:]
+            if entry.sharded is not None:
+                entry.sharded.append_codes(block)
+            if entry.cache is not None:
+                stats_before = entry.cache.stats()
+                entry.cache.advance(current)
+                self._record_cache_delta(stats_before, entry.cache.stats())
+            self._feed_streaming(entry, block)
+            self._profiler.update(
+                name, current, sharded=entry.sharded, label_cache=entry.cache
+            )
         if not snapshot:
             return None
         return self._snapshot(name, entry, appended=added)
+
+    @staticmethod
+    def _record_cache_delta(before: dict, after: dict) -> None:
+        """Record one append's incremental-kernel work into the metrics."""
+        metrics = get_metrics()
+        for key in ("maintained", "maintain_folds", "invalidated"):
+            delta = after[key] - before[key]
+            if delta:
+                metrics.counter(f"live.cache.{key}").inc(delta)
 
     @staticmethod
     def _feed_streaming(entry: _LiveEntry, block: np.ndarray) -> None:
@@ -524,14 +540,16 @@ class LiveProfiler:
     def _snapshot(
         self, name: str, entry: _LiveEntry, *, appended: int
     ) -> LiveSnapshot:
-        started = time.perf_counter()
-        monitor_snapshot: MonitorSnapshot | None = None
-        if entry.monitor is not None and entry.monitor.rows_seen >= 2:
-            monitor_snapshot = entry.monitor.snapshot()
-        answers = tuple(
-            self._answer(name, entry, watch, monitor_snapshot)
-            for watch in entry.watches
-        )
+        with timed_span(
+            "live.snapshot", dataset=name, watches=len(entry.watches)
+        ) as snap_span:
+            monitor_snapshot: MonitorSnapshot | None = None
+            if entry.monitor is not None and entry.monitor.rows_seen >= 2:
+                monitor_snapshot = entry.monitor.snapshot()
+            answers = tuple(
+                self._answer(name, entry, watch, monitor_snapshot)
+                for watch in entry.watches
+            )
         return LiveSnapshot(
             dataset=name,
             rows_seen=entry.appendable.n_rows,
@@ -544,7 +562,7 @@ class LiveProfiler:
                 tuple(entry.stream.profiles()) if entry.stream is not None else None
             ),
             kernel=entry.cache.stats() if entry.cache is not None else None,
-            seconds=time.perf_counter() - started,
+            seconds=snap_span.seconds,
         )
 
     def _answer(
@@ -564,6 +582,7 @@ class LiveProfiler:
         else:  # classify and bundle share the exact classification
             result = self._profiler.classify(name, watch.attributes)
             provenance = "incremental" if exact_incremental else "refit"
+        get_metrics().counter(f"live.answers.{provenance}").inc()
         reservoir_accept: bool | None = None
         if watch.kind == "bundle" and monitor_snapshot is not None:
             reservoir_accept = monitor_snapshot.watchlist_accepts.get(

@@ -1,0 +1,57 @@
+"""repro.obs — unified tracing, metrics, and profiling hooks.
+
+The instrumentation substrate the rest of the library records into:
+
+* :mod:`repro.obs.trace` — contextvar-scoped span tracer (``tracing()``,
+  ``span()``, ``timed_span()``); near-free when disabled.
+* :mod:`repro.obs.metrics` — process-wide registry of counters, gauges,
+  and fixed-bucket histograms (``get_metrics()``).
+* :mod:`repro.obs.export` — JSON/text rendering and trace-schema
+  validation.
+
+See ``docs/observability.md`` for naming conventions and worked examples.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TIME_BUCKETS,
+    get_metrics,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    add,
+    current_tracer,
+    span,
+    timed_span,
+    tracing,
+)
+from repro.obs.export import (
+    render_metrics_text,
+    render_trace_text,
+    trace_to_json,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TIME_BUCKETS",
+    "Tracer",
+    "add",
+    "current_tracer",
+    "get_metrics",
+    "render_metrics_text",
+    "render_trace_text",
+    "span",
+    "timed_span",
+    "trace_to_json",
+    "tracing",
+    "validate_trace",
+]

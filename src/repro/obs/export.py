@@ -1,0 +1,206 @@
+"""Render traces and metrics snapshots as JSON and human text.
+
+The tracer (:mod:`repro.obs.trace`) and registry (:mod:`repro.obs.metrics`)
+already produce JSON-ready dicts; this module owns the two *presentation*
+concerns layered on top:
+
+* ``render_trace_text`` / ``render_metrics_text`` — compact, aligned text
+  for terminals (what ``repro --trace`` and ``repro stats`` print).
+* ``validate_trace`` — check a trace document against the library's trace
+  schema (``docs/schemas/trace.schema.json``) using a minimal built-in
+  JSON-Schema subset validator, so CI can gate the trace format without a
+  ``jsonschema`` dependency.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "render_metrics_text",
+    "render_trace_text",
+    "trace_to_json",
+    "validate_trace",
+]
+
+
+def trace_to_json(trace: dict, *, indent: int | None = 2) -> str:
+    """Serialize a trace document (``Tracer.to_dict()``) as JSON."""
+    return json.dumps(trace, indent=indent, sort_keys=True)
+
+
+def render_trace_text(trace: dict) -> str:
+    """A trace document as an indented tree with wall/CPU columns.
+
+    ``trace`` is either a full ``Tracer.to_dict()`` document
+    (``{"name", "spans"}``) or a single span dict.
+    """
+    lines: list[str] = []
+    spans = trace.get("spans")
+    if spans is None:
+        spans = [trace]
+    else:
+        lines.append(f"trace {trace.get('name', 'trace')!r}")
+
+    def walk(span: dict, depth: int) -> None:
+        indent = "  " * depth
+        mark = " !" if span.get("status") == "error" else ""
+        head = f"{indent}{span['name']}{mark}"
+        timing = f"wall {span['wall_s'] * 1000:9.3f} ms  cpu {span['cpu_s'] * 1000:9.3f} ms"
+        lines.append(f"{head:<44s} {timing}")
+        details: list[str] = []
+        for key in sorted(span.get("attrs", {})):
+            details.append(f"{key}={span['attrs'][key]}")
+        for key in sorted(span.get("counters", {})):
+            value = span["counters"][key]
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            details.append(f"{key}:{value}")
+        if span.get("error"):
+            details.append(f"error={span['error']}")
+        if details:
+            lines.append(f"{indent}  ({', '.join(details)})")
+        for child in span.get("children", ()):
+            walk(child, depth + 1)
+
+    for root in spans:
+        walk(root, 0 if spans is not trace.get("spans") else 1)
+    return "\n".join(lines)
+
+
+def render_metrics_text(snapshot: dict) -> str:
+    """A ``MetricsRegistry.snapshot()`` as aligned ``name value`` text.
+
+    Counters and gauges print one line each; histograms print count, sum,
+    and mean (bucket detail stays in the JSON form).
+    """
+    lines: list[str] = []
+
+    def fmt(value: float) -> str:
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        if isinstance(value, int):
+            return str(value)
+        return f"{value:.6g}"
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}s}  {fmt(counters[name])}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}s}  {fmt(gauges[name])}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            hist = histograms[name]
+            lines.append(
+                f"  {name:<{width}s}  count={hist['count']} "
+                f"sum={fmt(hist['sum'])} mean={fmt(hist['mean'])}"
+            )
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def validate_trace(trace: dict, schema: dict) -> list[str]:
+    """Validate ``trace`` against ``schema``; return error strings (empty = valid).
+
+    Supports the JSON-Schema subset the trace schema actually uses:
+    ``type`` (string or list), ``properties``, ``required``,
+    ``additionalProperties`` (boolean), ``items``, ``enum``, ``minimum``,
+    ``$defs``, and ``$ref`` to ``"#"`` or ``"#/$defs/<name>"``.  Anything
+    outside that subset raises ``ValueError`` rather than silently passing.
+    """
+    errors: list[str] = []
+    _validate(trace, schema, schema, "$", errors)
+    return errors
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+_KNOWN_KEYWORDS = {
+    "$schema",
+    "$id",
+    "$ref",
+    "title",
+    "description",
+    "type",
+    "properties",
+    "required",
+    "additionalProperties",
+    "items",
+    "enum",
+    "minimum",
+    "$defs",
+}
+
+
+def _validate(value, schema: dict, root: dict, path: str, errors: list[str]) -> None:
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise ValueError(f"unsupported schema keyword(s) at {path}: {sorted(unknown)}")
+
+    ref = schema.get("$ref")
+    if ref is not None:
+        if ref == "#":
+            target = root
+        elif ref.startswith("#/$defs/") and ref[len("#/$defs/") :] in root.get(
+            "$defs", {}
+        ):
+            target = root["$defs"][ref[len("#/$defs/") :]]
+        else:
+            raise ValueError(
+                f"unsupported $ref {ref!r} at {path} (only '#' or '#/$defs/<name>')"
+            )
+        _validate(value, target, root, path, errors)
+        return
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+            return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in value:
+                _validate(value[name], sub, root, f"{path}.{name}", errors)
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in properties:
+                    errors.append(f"{path}: unexpected property {name!r}")
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _validate(item, schema["items"], root, f"{path}[{index}]", errors)

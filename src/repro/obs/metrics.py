@@ -1,0 +1,295 @@
+"""A process-wide registry of named counters, gauges, and histograms.
+
+Where :mod:`repro.obs.trace` answers "where did *this* call's time go?",
+the metrics registry answers "what has this process done so far?": how
+many summaries were fitted vs. reused, how many label folds the kernels
+ran, how many rows streamed through live sessions, how many bytes were
+shipped to process workers.  Instruments are cheap (one lock acquire and
+an integer add) and are updated at *coarse* boundaries — per batch, per
+fit plan, per append — never per row, so the registry stays out of hot
+loops by construction.
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (``.inc(n)``).
+* :class:`Gauge` — a last-written value (``.set(v)``).
+* :class:`Histogram` — fixed upper-inclusive bucket edges plus an
+  overflow bucket; ``observe(v)`` also maintains ``count`` and ``sum``.
+  Edges are fixed at creation so snapshots from different runs are
+  mergeable and comparable.
+
+All instruments in a registry share one lock, so concurrent updates from
+thread backends are atomic and :meth:`MetricsRegistry.snapshot` is a
+consistent cut.  Snapshots are plain dicts with instrument names sorted,
+making their JSON rendering deterministic for a given sequence of events.
+
+Metric naming convention (see ``docs/observability.md``): dotted lowercase
+``layer.noun`` — ``kernels.labelcache.hits``, ``engine.shard_fits``,
+``live.rows_appended``.
+
+The default process-wide registry is reachable through
+:func:`get_metrics`; library instrumentation records into it
+unconditionally.  Tests and long-lived processes can :meth:`~MetricsRegistry.reset`
+it or construct private registries.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TIME_BUCKETS",
+    "get_metrics",
+]
+
+#: Default histogram edges for wall-clock durations, in seconds: 1 ms to
+#: 60 s on a coarse log scale.  Upper-inclusive; observations above 60 s
+#: land in the overflow bucket.
+TIME_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = lock
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` (must be non-negative) to the running total."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc({n}))")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+    def _snapshot(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0
+
+
+class Gauge:
+    """A last-written value (e.g. current tracked-set count)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        """Adjust the gauge by ``n`` (may be negative)."""
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        """The last written value."""
+        with self._lock:
+            return self._value
+
+    def _snapshot(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with upper-inclusive edges plus overflow.
+
+    ``edges = (a, b, c)`` yields four buckets: ``v <= a``, ``a < v <= b``,
+    ``b < v <= c``, and ``v > c`` (overflow).  Values exactly on an edge
+    count toward that edge's bucket.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_sum", "_count", "_lock")
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, edges: tuple[float, ...], lock: threading.Lock
+    ) -> None:
+        if not edges:
+            raise ValueError(f"histogram {self.__class__.__name__} needs >= 1 edge")
+        ordered = tuple(float(edge) for edge in edges)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"histogram {name!r} edges must be strictly increasing; got {edges}"
+            )
+        self.name = name
+        self.edges = ordered
+        self._counts = [0] * (len(ordered) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect_left(self.edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket counts (last entry is the overflow bucket)."""
+        with self._lock:
+            return list(self._counts)
+
+    def _snapshot(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "mean": (self._sum / self._count) if self._count else 0.0,
+        }
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self.edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by name; one consistent snapshot.
+
+    Instrument identity is the name: asking for the same name twice
+    returns the same object, asking for it as a different kind (or a
+    histogram with different edges) raises — silent shadowing would
+    corrupt the very numbers this module exists to keep honest.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter, lambda: Counter(name, self._lock))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, self._lock))
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] = TIME_BUCKETS
+    ) -> Histogram:
+        """The histogram under ``name`` (created with ``edges`` on first use)."""
+        instrument = self._get_or_create(
+            name, Histogram, lambda: Histogram(name, tuple(edges), self._lock)
+        )
+        if instrument.edges != tuple(float(edge) for edge in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with edges "
+                f"{instrument.edges}; got {tuple(edges)}"
+            )
+        return instrument
+
+    def _get_or_create(self, name: str, kind: type, factory):
+        name = str(name)
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+        if not isinstance(instrument, kind):
+            raise ValueError(
+                f"metric {name!r} is a {instrument.kind}, not a "
+                f"{kind.kind}"  # type: ignore[attr-defined]
+            )
+        return instrument
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """A consistent, name-sorted cut of every instrument.
+
+        Shape: ``{"counters": {name: total}, "gauges": {name: value},
+        "histograms": {name: {edges, counts, count, sum, mean}}}``.
+        Taken under the registry lock, so concurrent updates never produce
+        a torn read; rendering the snapshot is deterministic for a given
+        event history because keys are sorted.
+        """
+        with self._lock:
+            grouped: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+            for name in sorted(self._instruments):
+                instrument = self._instruments[name]
+                grouped[instrument.kind + "s"][name] = instrument._snapshot()
+            return grouped
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument._reset()
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self._instruments)})"
+
+
+#: The default process-wide registry used by library instrumentation.
+_DEFAULT = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

@@ -1,0 +1,360 @@
+"""A zero-dependency, contextvar-scoped span tracer.
+
+The library's answer to "where did this query's time go?".  A *span* is a
+named, timed region of work — fitting a summary, merging shard summaries,
+one batched kernel pass — carrying wall-clock and CPU time, free-form
+attributes, named counters, and nested child spans.  A *tracer* collects a
+tree of spans for one traced region (one CLI invocation, one
+``Profiler.ask``).
+
+Design constraints, in order:
+
+1. **Disabled is (near) free.**  Instrumented call sites run in every hot
+   path of the library; with no tracer active, :func:`span` returns a
+   shared no-op singleton — no span object is allocated, no clock is read.
+   The cost is one :class:`~contextvars.ContextVar` lookup.
+2. **Zero dependencies.**  Pure stdlib, importable from anywhere in the
+   library (including :mod:`repro.core`) without cycles.
+3. **Scoped, not global.**  The active tracer lives in a
+   :class:`~contextvars.ContextVar`: concurrent asyncio tasks or explicit
+   context copies trace independently, and worker threads (which start
+   with a fresh context) fall back to the free no-op path instead of
+   racing on a shared span stack.
+
+Usage::
+
+    from repro.obs import span, tracing
+
+    with tracing() as tracer:
+        with span("engine.fit", shards=8) as sp:
+            ...                      # nested span() calls attach as children
+            sp.add("rows", 1_000)    # counters accumulate on the span
+    tree = tracer.to_dict()          # JSON-ready {"spans": [...]}
+
+Call sites that need the measured duration even when tracing is off use
+:func:`timed_span`: it returns a real :class:`Span` under an active tracer
+and a minimal stopwatch otherwise — either way the object has a
+``.seconds`` attribute after the ``with`` block exits.
+
+Span naming convention (see ``docs/observability.md``): dotted lowercase
+``layer.operation`` — ``engine.fit``, ``service.query_batch``,
+``kernels.evaluate_sets``, ``api.ask``, ``live.snapshot``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "add",
+    "current_tracer",
+    "span",
+    "timed_span",
+    "tracing",
+]
+
+#: The active tracer for this execution context (``None`` = tracing off).
+_TRACER: ContextVar["Tracer | None"] = ContextVar("repro_obs_tracer", default=None)
+
+
+class Span:
+    """One named, timed region of work inside a trace tree.
+
+    Spans are context managers handed out by :func:`span` /
+    :func:`timed_span` while a tracer is active; on exit they record wall
+    and CPU durations and re-raise any exception after tagging themselves
+    ``status="error"``.  Do not instantiate directly.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "counters",
+        "children",
+        "seconds",
+        "cpu_seconds",
+        "status",
+        "error",
+        "_tracer",
+        "_start_wall",
+        "_start_cpu",
+    )
+
+    def __init__(self, name: str, tracer: "Tracer", attrs: dict) -> None:
+        self.name = str(name)
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.status = "ok"
+        self.error: str | None = None
+        self._tracer = tracer
+        self._start_wall = 0.0
+        self._start_cpu = 0.0
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._start_wall
+        self.cpu_seconds = max(0.0, time.process_time() - self._start_cpu)
+        if exc_type is not None:
+            self.status = "error"
+            self.error = exc_type.__name__
+        self._tracer._pop(self)
+        return False  # never swallow
+
+    def add(self, counter: str, n: float = 1) -> None:
+        """Accumulate ``n`` into the span-local counter ``counter``."""
+        self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def set(self, **attrs: object) -> None:
+        """Attach (or overwrite) span attributes after entry."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict:
+        """The span subtree as JSON-serializable builtins.
+
+        The shape is the library's trace document format, validated by
+        ``docs/schemas/trace.schema.json``.
+        """
+        return {
+            "name": self.name,
+            "attrs": {str(key): _jsonable(value) for key, value in self.attrs.items()},
+            "counters": dict(self.counters),
+            "wall_s": self.seconds,
+            "cpu_s": self.cpu_seconds,
+            "status": self.status,
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search of this subtree for a span named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall_s={self.seconds:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+def _jsonable(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled.
+
+    A single module-level instance: entering, exiting, ``add`` and ``set``
+    are all no-ops, so instrumented hot paths cost one attribute call and
+    allocate nothing.  ``seconds`` stays 0.0 — call sites that need real
+    durations with tracing off must use :func:`timed_span` instead.
+    """
+
+    __slots__ = ()
+
+    seconds = 0.0
+    cpu_seconds = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def add(self, counter: str, n: float = 1) -> None:
+        pass
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NoopSpan()"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Stopwatch:
+    """Minimal always-on timer with the :class:`Span` duration interface.
+
+    What :func:`timed_span` returns when no tracer is active: two clock
+    reads, a ``seconds`` attribute, and no-op ``add``/``set`` — so call
+    sites that derive public timing fields from their span read the same
+    attribute whether tracing is on or off.
+    """
+
+    __slots__ = ("seconds", "cpu_seconds", "_start_wall", "_start_cpu")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.cpu_seconds = 0.0
+        self._start_wall = 0.0
+        self._start_cpu = 0.0
+
+    def __enter__(self) -> "_Stopwatch":
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.seconds = time.perf_counter() - self._start_wall
+        self.cpu_seconds = max(0.0, time.process_time() - self._start_cpu)
+        return False
+
+    def add(self, counter: str, n: float = 1) -> None:
+        pass
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+class Tracer:
+    """Collects one tree (forest) of spans for a traced region.
+
+    Activated with :func:`tracing`; spans opened while it is active attach
+    to the span currently on its stack, or become roots.  The stack
+    discipline is enforced by :class:`Span`'s context-manager protocol —
+    exceptions unwind it correctly because ``__exit__`` always pops.
+    """
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = str(name)
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` between spans."""
+        return self._stack[-1] if self._stack else None
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Exceptions inside mis-nested user code could leave deeper spans
+        # open; pop down to (and including) ours so the stack stays sound.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    def find(self, name: str) -> Span | None:
+        """Depth-first search across all roots for a span named ``name``."""
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def span_names(self) -> list[str]:
+        """Every span name in the forest, depth-first (with duplicates)."""
+        names: list[str] = []
+
+        def walk(span: Span) -> None:
+            names.append(span.name)
+            for child in span.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return names
+
+    def to_dict(self) -> dict:
+        """The whole forest as JSON-serializable builtins."""
+        return {
+            "name": self.name,
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.name!r}, roots={len(self.roots)})"
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer active in this context, or ``None`` (tracing off)."""
+    return _TRACER.get()
+
+
+@contextmanager
+def tracing(name: str = "trace"):
+    """Activate a fresh :class:`Tracer` for the ``with`` block and yield it.
+
+    Nested ``tracing()`` blocks shadow the outer tracer for their extent
+    (the outer one is restored on exit); spans opened by any library code
+    inside the block attach to the innermost active tracer.
+    """
+    tracer = Tracer(name)
+    token = _TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _TRACER.reset(token)
+
+
+def span(name: str, **attrs: object):
+    """Open a named span under the active tracer — or a free no-op.
+
+    The instrumentation entry point for hot paths: with no tracer active
+    it returns the shared :data:`NOOP_SPAN` singleton (nothing allocated,
+    no clock read).  With a tracer active it returns a new :class:`Span`
+    that attaches to the current span (or becomes a root) for the duration
+    of the ``with`` block.
+    """
+    tracer = _TRACER.get()
+    if tracer is None:
+        return NOOP_SPAN
+    return Span(name, tracer, dict(attrs))
+
+
+def timed_span(name: str, **attrs: object):
+    """Like :func:`span`, but always measures.
+
+    Returns a real :class:`Span` under an active tracer and a
+    :class:`_Stopwatch` otherwise; both expose ``.seconds`` /
+    ``.cpu_seconds`` after the ``with`` block.  Use this where the
+    measured duration feeds a public report field (e.g. the engine's
+    ``fit_seconds``) so the field exists with tracing off, and plain
+    :func:`span` everywhere the duration is trace-only.
+    """
+    tracer = _TRACER.get()
+    if tracer is None:
+        return _Stopwatch()
+    return Span(name, tracer, dict(attrs))
+
+
+def add(counter: str, n: float = 1) -> None:
+    """Accumulate ``n`` into ``counter`` on the innermost open span.
+
+    No-op when tracing is off or no span is open — safe to sprinkle at
+    call sites that have no span handle of their own.
+    """
+    tracer = _TRACER.get()
+    if tracer is None:
+        return
+    current = tracer.current
+    if current is not None:
+        current.add(counter, n)

@@ -57,6 +57,7 @@ ALL_SNAPSHOT = [
     "extend_labels",
     "find_fuzzy_duplicates",
     "find_small_epsilon_key",
+    "get_metrics",
     "is_epsilon_key",
     "is_key",
     "load_csv",
@@ -70,6 +71,8 @@ ALL_SNAPSHOT = [
     "shard_dataset",
     "simulate_linking_attack",
     "sketch_pair_sample_size",
+    "span",
+    "tracing",
     "tuple_sample_size",
     "unseparated_pairs",
     "verify_masking",
@@ -142,6 +145,7 @@ class TestTopLevelSurface:
         "repro.experiments",
         "repro.kernels",
         "repro.live",
+        "repro.obs",
         "repro.streaming",
         "repro.ucc",
     ],

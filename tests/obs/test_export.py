@@ -1,0 +1,168 @@
+"""Tests for trace/metrics rendering and the trace schema validator."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    get_metrics,
+    render_metrics_text,
+    render_trace_text,
+    span,
+    trace_to_json,
+    tracing,
+    validate_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+
+SCHEMA_PATH = Path(__file__).resolve().parents[2] / "docs" / "schemas" / "trace.schema.json"
+
+
+@pytest.fixture(scope="module")
+def schema() -> dict:
+    return json.loads(SCHEMA_PATH.read_text())
+
+
+def make_trace() -> dict:
+    with tracing("test") as tracer:
+        with span("outer", kind="demo") as sp:
+            sp.add("n", 3)
+            with span("inner"):
+                pass
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError("boom")
+    return tracer.to_dict()
+
+
+class TestTraceToJson:
+    def test_round_trips(self):
+        doc = make_trace()
+        assert json.loads(trace_to_json(doc)) == doc
+
+    def test_sorted_keys_are_deterministic(self):
+        doc = make_trace()
+        text = trace_to_json(doc, indent=None)
+        assert text.index('"cpu_s"') < text.index('"wall_s"')
+
+
+class TestRenderTraceText:
+    def test_tree_contains_names_timings_and_error_mark(self):
+        text = render_trace_text(make_trace())
+        assert "trace 'test'" in text
+        assert "outer" in text
+        assert "inner" in text
+        assert "failing !" in text
+        assert "error=ValueError" in text
+        assert "wall" in text and "cpu" in text
+        assert "kind=demo" in text
+        assert "n:3" in text
+
+    def test_children_indent_deeper_than_parents(self):
+        lines = render_trace_text(make_trace()).splitlines()
+        outer = next(line for line in lines if line.lstrip().startswith("outer"))
+        inner = next(line for line in lines if line.lstrip().startswith("inner"))
+        indent = lambda line: len(line) - len(line.lstrip())  # noqa: E731
+        assert indent(inner) > indent(outer)
+
+    def test_accepts_a_bare_span_dict(self):
+        doc = make_trace()
+        text = render_trace_text(doc["spans"][0])
+        assert text.startswith("outer")
+
+
+class TestRenderMetricsText:
+    def test_sections_and_alignment(self):
+        registry = MetricsRegistry()
+        registry.counter("kernels.labelcache.hits").inc(4)
+        registry.counter("api.asks").inc()
+        registry.gauge("live.tracked").set(3)
+        registry.histogram("engine.fit_seconds", edges=(1.0,)).observe(0.5)
+        text = render_metrics_text(registry.snapshot())
+        assert "counters:" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "kernels.labelcache.hits" in text
+        assert "count=1" in text
+        # api.asks sorts before kernels.*
+        assert text.index("api.asks") < text.index("kernels.labelcache.hits")
+
+    def test_empty_snapshot(self):
+        assert render_metrics_text(MetricsRegistry().snapshot()) == (
+            "(no metrics recorded)"
+        )
+
+
+class TestValidateTrace:
+    def test_real_traces_validate(self, schema):
+        assert validate_trace(make_trace(), schema) == []
+
+    def test_empty_trace_validates(self, schema):
+        with tracing("empty") as tracer:
+            pass
+        assert validate_trace(tracer.to_dict(), schema) == []
+
+    def test_missing_required_property_fails(self, schema):
+        doc = make_trace()
+        del doc["spans"][0]["wall_s"]
+        errors = validate_trace(doc, schema)
+        assert any("wall_s" in error for error in errors)
+
+    def test_unexpected_property_fails(self, schema):
+        doc = make_trace()
+        doc["spans"][0]["bogus"] = 1
+        errors = validate_trace(doc, schema)
+        assert any("bogus" in error for error in errors)
+
+    def test_wrong_type_fails(self, schema):
+        doc = make_trace()
+        doc["spans"][0]["wall_s"] = "fast"
+        errors = validate_trace(doc, schema)
+        assert any("wall_s" in error for error in errors)
+
+    def test_bad_status_enum_fails(self, schema):
+        doc = make_trace()
+        doc["spans"][0]["status"] = "meh"
+        errors = validate_trace(doc, schema)
+        assert any("enum" in error for error in errors)
+
+    def test_negative_duration_fails(self, schema):
+        doc = make_trace()
+        doc["spans"][0]["cpu_s"] = -0.5
+        errors = validate_trace(doc, schema)
+        assert any("minimum" in error for error in errors)
+
+    def test_nested_children_are_validated(self, schema):
+        doc = make_trace()
+        doc["spans"][0]["children"][0]["status"] = 17
+        errors = validate_trace(doc, schema)
+        assert errors and any("children" in error for error in errors)
+
+    def test_unknown_schema_keyword_raises(self):
+        with pytest.raises(ValueError, match="unsupported schema keyword"):
+            validate_trace({}, {"patternProperties": {}})
+
+    def test_unsupported_ref_raises(self):
+        with pytest.raises(ValueError, match=r"unsupported \$ref"):
+            validate_trace({}, {"$ref": "#/properties/x"})
+
+    def test_result_envelope_trace_validates(self, schema, tiny_dataset):
+        """The trace attached to Result by ExecutionConfig(trace=True) is a
+        valid trace document end to end."""
+        from repro.api import ExecutionConfig, Profiler
+
+        profiler = Profiler(ExecutionConfig(trace=True), epsilon=0.25, seed=0)
+        profiler.add("tiny", tiny_dataset)
+        result = profiler.is_key("tiny", ["zip", "age"])
+        assert result.trace is not None
+        assert validate_trace(result.trace, schema) == []
+        # And it survives the JSON envelope round trip.
+        envelope = json.loads(json.dumps(result.to_dict()))
+        assert validate_trace(envelope["trace"], schema) == []
+
+
+class TestGetMetricsRenderable:
+    def test_default_registry_snapshot_renders(self):
+        text = render_metrics_text(get_metrics().snapshot())
+        assert isinstance(text, str)

@@ -1,0 +1,207 @@
+"""Tests for the process-wide metrics registry.
+
+Focus areas from the instrument contracts: histogram bucket edges are
+upper-inclusive with an overflow bucket, kind/edge mismatches raise
+instead of silently shadowing, and snapshots are deterministic and
+consistent under concurrent thread updates.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import (
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_is_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        assert registry.counter("c").value == 2
+
+    def test_negative_increment_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+
+class TestHistogramBucketEdges:
+    def test_edges_are_upper_inclusive(self):
+        """``edges=(1, 2)`` buckets: v <= 1, 1 < v <= 2, v > 2."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", edges=(1.0, 2.0))
+        hist.observe(0.5)   # bucket 0
+        hist.observe(1.0)   # exactly on edge -> bucket 0 (inclusive)
+        hist.observe(1.001)  # bucket 1
+        hist.observe(2.0)   # exactly on edge -> bucket 1
+        hist.observe(2.001)  # overflow
+        hist.observe(100.0)  # overflow
+        assert hist.bucket_counts() == [2, 2, 2]
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(0.5 + 1.0 + 1.001 + 2.0 + 2.001 + 100.0)
+
+    def test_single_edge_two_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", edges=(0.1,))
+        hist.observe(0.1)
+        hist.observe(0.2)
+        assert hist.bucket_counts() == [1, 1]
+
+    def test_default_time_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.edges == TIME_BUCKETS
+        hist.observe(0.003)  # between 0.0025 and 0.005 -> index 2
+        counts = hist.bucket_counts()
+        assert len(counts) == len(TIME_BUCKETS) + 1
+        assert counts[2] == 1
+
+    def test_unsorted_or_duplicate_edges_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h1", edges=(2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.histogram("h2", edges=(1.0, 1.0))
+
+    def test_empty_edges_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", edges=())
+
+    def test_snapshot_mean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", edges=(10.0,))
+        hist.observe(1.0)
+        hist.observe(3.0)
+        snap = registry.snapshot()["histograms"]["h"]
+        assert snap["count"] == 2
+        assert snap["mean"] == pytest.approx(2.0)
+
+
+class TestRegistryIdentity:
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("m")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.histogram("m")
+
+    def test_histogram_edge_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", edges=(1.0, 3.0))
+        # Same edges: fine, same instrument.
+        assert registry.histogram("h", edges=(1.0, 2.0)).edges == (1.0, 2.0)
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.gauge("a")
+        registry.histogram("m")
+        assert registry.names() == ["a", "m", "z"]
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(3)
+        registry.histogram("h", edges=(1.0,)).observe(0.5)
+        registry.reset()
+        assert registry.names() == ["c", "g", "h"]
+        assert registry.counter("c").value == 0
+        assert registry.gauge("g").value == 0.0
+        assert registry.histogram("h", edges=(1.0,)).count == 0
+
+    def test_instrument_kinds(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c"), Counter)
+        assert isinstance(registry.gauge("g"), Gauge)
+        assert isinstance(registry.histogram("h"), Histogram)
+
+
+class TestSnapshotDeterminism:
+    def test_snapshot_shape_and_sorted_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("g").set(7)
+        registry.histogram("h", edges=(1.0,)).observe(0.2)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert list(snap["counters"]) == ["a.count", "b.count"]
+        assert snap["counters"] == {"a.count": 1, "b.count": 2}
+        assert snap["gauges"] == {"g": 7}
+
+    def test_snapshot_json_identical_for_same_event_history(self):
+        """The determinism ``repro stats --json`` relies on: the rendered
+        snapshot depends only on the recorded events, not dict order."""
+
+        def build(order):
+            registry = MetricsRegistry()
+            for name in order:
+                registry.counter(name)
+            for name in order:
+                registry.counter(name).inc(len(name))
+            return json.dumps(registry.snapshot(), sort_keys=True)
+
+        assert build(["x.a", "y.b", "z.c"]) == build(["z.c", "x.a", "y.b"])
+
+    def test_concurrent_thread_updates_are_atomic(self):
+        """Thread-backend shape: many threads hammer shared instruments;
+        totals must be exact (no lost updates) and snapshot() must never
+        tear."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h", edges=(0.5,))
+        n_threads, n_iter = 8, 500
+        start = threading.Barrier(n_threads)
+
+        def hammer(thread_index):
+            start.wait()
+            for i in range(n_iter):
+                counter.inc()
+                hist.observe(0.25 if (thread_index + i) % 2 else 0.75)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            list(pool.map(hammer, range(n_threads)))
+
+        total = n_threads * n_iter
+        assert counter.value == total
+        assert hist.count == total
+        assert sum(hist.bucket_counts()) == total
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == total
+        assert snap["histograms"]["h"]["count"] == total
+
+
+class TestDefaultRegistry:
+    def test_get_metrics_is_process_wide(self):
+        assert get_metrics() is get_metrics()
+        assert isinstance(get_metrics(), MetricsRegistry)

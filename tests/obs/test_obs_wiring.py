@@ -1,0 +1,228 @@
+"""Cross-layer wiring tests: the observability hooks inside the engine,
+kernels, façade, and live session actually fire, and timing is attributed
+exactly once per query (the double-timing regression)."""
+
+import pytest
+
+from repro.api import ExecutionConfig, Profiler
+from repro.data.synthetic import zipf_dataset
+from repro.engine.service import ProfilingService
+from repro.obs import get_metrics, span, tracing
+from repro.obs.trace import current_tracer
+
+
+@pytest.fixture(scope="module")
+def data():
+    return zipf_dataset(800, n_columns=8, cardinality=6, seed=11)
+
+
+def shared_prefix_queries(n_columns: int = 6):
+    prefix = tuple(range(4))
+    return [
+        (op, prefix[: size + 1])
+        for op in ("is_key", "classify")
+        for size in range(len(prefix))
+    ]
+
+
+class TestResultTraceCapture:
+    def test_trace_off_by_default(self, data):
+        profiler = Profiler(epsilon=0.05, seed=0)
+        profiler.add("d", data)
+        assert profiler.is_key("d", [0, 1, 2]).trace is None
+
+    def test_trace_on_attaches_span_tree(self, data):
+        profiler = Profiler(ExecutionConfig(trace=True), epsilon=0.05, seed=0)
+        profiler.add("d", data)
+        result = profiler.is_key("d", [0, 1, 2])
+        assert result.trace is not None
+        assert result.trace["name"] == "ask:is_key"
+        names = _all_span_names(result.trace)
+        assert "api.ask" in names
+        assert "kernels.accepts" in names
+
+    def test_sharded_trace_covers_fit_merge_and_kernel_stages(self, data):
+        """The ISSUE acceptance shape: with --trace on, a profile run's
+        trace covers the fit, merge, and kernel stages."""
+        profiler = Profiler(
+            ExecutionConfig(backend="serial", n_shards=3, trace=True),
+            epsilon=0.05,
+            seed=0,
+        )
+        profiler.add("d", data)
+        names = _all_span_names(profiler.is_key("d", [0, 1, 2]).trace)
+        for expected in ("api.ask", "summary.fit", "engine.fit", "engine.merge",
+                        "kernels.accepts"):
+            assert expected in names, f"missing {expected} in {names}"
+
+    def test_outer_tracer_suppresses_per_result_capture(self, data):
+        """Under an ambient tracer (the CLI's text mode) spans attach to it
+        instead of spawning one tracer per Result."""
+        profiler = Profiler(ExecutionConfig(trace=True), epsilon=0.05, seed=0)
+        profiler.add("d", data)
+        with tracing("outer") as tracer:
+            result = profiler.is_key("d", [0, 1, 2])
+        assert result.trace is None
+        assert "api.ask" in tracer.span_names()
+
+    def test_no_tracer_leaks_after_capture(self, data):
+        profiler = Profiler(ExecutionConfig(trace=True), epsilon=0.05, seed=0)
+        profiler.add("d", data)
+        profiler.is_key("d", [0, 1])
+        assert current_tracer() is None
+
+
+class TestServiceTiming:
+    """The double-timing regression: ``_answer_kernel_queries`` returns the
+    positions it answered, and the main loop must skip exactly those —
+    each query is answered and timed exactly once."""
+
+    def test_kernel_answered_queries_share_the_pass_cost(self, data):
+        service = ProfilingService()
+        service.register("d", data, n_shards=2, seed=1)
+        queries = shared_prefix_queries() + ["min_key"]
+        report = service.query_batch("d", queries, epsilon=0.01, seed=0)
+        kernel_results = [
+            r for r in report.results if r.query.op in ("is_key", "classify")
+        ]
+        assert len(kernel_results) == 8
+        shares = {r.seconds for r in kernel_results}
+        assert len(shares) == 1  # one pass, amortized evenly
+        (share,) = shares
+        assert share > 0.0
+
+    def test_one_kernel_pass_no_per_query_reanswer(self, data):
+        """With tracing on, the span tree shows exactly one kernel pass and
+        ``service.answer`` spans only for the non-kernel queries."""
+        service = ProfilingService()
+        service.register("d", data, n_shards=2, seed=1)
+        queries = shared_prefix_queries() + ["min_key"]
+        with tracing() as tracer:
+            report = service.query_batch("d", queries, epsilon=0.01, seed=0)
+        names = tracer.span_names()
+        assert names.count("service.kernel_pass") == 1
+        assert names.count("service.answer") == 1  # just the min_key
+        answer = tracer.find("service.answer")
+        assert answer.attrs["op"] == "min_key"
+        # Every query timed exactly once: the shares plus the answer spans
+        # sum to no more than the whole query phase.
+        assert sum(r.seconds for r in report.results) <= report.query_seconds
+
+    def test_timings_consistent_without_tracing(self, data):
+        """timed_span must measure with tracing off (public report fields)."""
+        service = ProfilingService()
+        service.register("d", data, n_shards=2, seed=1)
+        report = service.query_batch(
+            "d", shared_prefix_queries(), epsilon=0.01, seed=0
+        )
+        assert report.fit_seconds > 0.0
+        assert report.query_seconds > 0.0
+        assert sum(r.seconds for r in report.results) <= report.query_seconds
+        assert report.kernel_stats is not None
+        assert report.kernel_stats["sets"] == 8
+
+
+class TestMetricsWiring:
+    def test_labelcache_counters_move_on_shared_prefix_batch(self, data):
+        """The ISSUE acceptance shape: after a shared-prefix batch,
+        ``repro stats`` reports nonzero LabelCache hit counters."""
+        metrics = get_metrics()
+        hits_before = metrics.counter("kernels.labelcache.hits").value
+        sets_before = metrics.counter("kernels.sets_evaluated").value
+        service = ProfilingService()
+        service.register("d", data, n_shards=2, seed=1)
+        service.query_batch("d", shared_prefix_queries(), epsilon=0.01, seed=0)
+        service.query_batch("d", shared_prefix_queries(), epsilon=0.01, seed=0)
+        assert metrics.counter("kernels.labelcache.hits").value > hits_before
+        assert metrics.counter("kernels.sets_evaluated").value - sets_before == 16
+
+    def test_engine_fit_counters_and_histograms(self, data):
+        metrics = get_metrics()
+        fits_before = metrics.counter("engine.fit_plans").value
+        shards_before = metrics.counter("engine.shard_fits").value
+        hist_before = metrics.histogram("engine.fit_seconds").count
+        service = ProfilingService()
+        service.register("d", data, n_shards=3, seed=1)
+        service.query_batch("d", [("is_key", (0, 1))], epsilon=0.01, seed=0)
+        assert metrics.counter("engine.fit_plans").value == fits_before + 1
+        assert metrics.counter("engine.shard_fits").value == shards_before + 3
+        assert metrics.histogram("engine.fit_seconds").count == hist_before + 1
+
+    def test_cache_prefixes_distinguish_summary_and_result_caches(self, data):
+        """The façade's result memo and the engine's summary cache report
+        under distinct metric prefixes."""
+        metrics = get_metrics()
+        summary_before = metrics.counter("summary.cache.misses").value
+        result_before = metrics.counter("api.result_cache.misses").value
+        result_hits_before = metrics.counter("api.result_cache.hits").value
+        profiler = Profiler(
+            ExecutionConfig(backend="serial", n_shards=2), epsilon=0.05, seed=0
+        )
+        profiler.add("d", data)
+        profiler.min_key("d")  # cache_result task: memoized
+        profiler.min_key("d")  # second ask is a result-cache hit
+        assert metrics.counter("summary.cache.misses").value > summary_before
+        assert metrics.counter("api.result_cache.misses").value > result_before
+        assert metrics.counter("api.result_cache.hits").value > result_hits_before
+
+    def test_api_ask_counter_and_histogram(self, data):
+        metrics = get_metrics()
+        asks_before = metrics.counter("api.asks").value
+        hist_before = metrics.histogram("api.ask_seconds").count
+        profiler = Profiler(epsilon=0.05, seed=0)
+        profiler.add("d", data)
+        profiler.is_key("d", [0, 1])
+        profiler.classify("d", [0, 1])
+        assert metrics.counter("api.asks").value == asks_before + 2
+        assert metrics.histogram("api.ask_seconds").count == hist_before + 2
+
+
+class TestLiveWiring:
+    def test_live_append_and_answer_metrics(self):
+        from repro import Dataset, LiveProfiler
+
+        metrics = get_metrics()
+        appends_before = metrics.counter("live.appends").value
+        rows_before = metrics.counter("live.rows_appended").value
+        data = zipf_dataset(400, n_columns=6, cardinality=5, seed=12)
+        live = LiveProfiler(epsilon=0.05, seed=0)
+        live.add("s", Dataset(data.codes[:300]))
+        live.watch("s", "classify", [0, 1])
+        live.append("s", codes=data.codes[300:400])
+        assert metrics.counter("live.appends").value == appends_before + 1
+        assert metrics.counter("live.rows_appended").value == rows_before + 100
+
+    def test_live_trace_spans(self):
+        from repro import Dataset, LiveProfiler
+
+        data = zipf_dataset(400, n_columns=6, cardinality=5, seed=12)
+        live = LiveProfiler(epsilon=0.05, seed=0)
+        live.add("s", Dataset(data.codes[:300]))
+        live.watch("s", "classify", [0, 1])
+        with tracing() as tracer:
+            live.append("s", codes=data.codes[300:400])
+        names = tracer.span_names()
+        assert "live.append" in names
+        assert "live.snapshot" in names
+
+
+def _all_span_names(trace: dict) -> list[str]:
+    names: list[str] = []
+
+    def walk(span_dict: dict) -> None:
+        names.append(span_dict["name"])
+        for child in span_dict.get("children", ()):
+            walk(child)
+
+    for root in trace.get("spans", ()):
+        walk(root)
+    return names
+
+
+class TestPublicSurface:
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.span is span
+        assert repro.tracing is tracing
+        assert repro.get_metrics is get_metrics

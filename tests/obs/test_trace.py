@@ -1,0 +1,240 @@
+"""Tests for the contextvar-scoped span tracer.
+
+The properties that matter: nesting builds the right tree, exceptions
+unwind the span stack and tag the span, and — above all — the disabled
+mode is free: no span objects are allocated and no clocks are read when
+no tracer is active, because instrumented call sites live in every hot
+path of the library.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    add,
+    current_tracer,
+    span,
+    timed_span,
+    tracing,
+)
+
+
+class TestDisabledMode:
+    def test_no_tracer_by_default(self):
+        assert current_tracer() is None
+
+    def test_span_returns_the_shared_noop_singleton(self):
+        # Not merely "a no-op span": the *same* module-level object every
+        # time, so the disabled path allocates nothing.
+        assert span("engine.fit") is NOOP_SPAN
+        assert span("kernels.evaluate_sets", sets=200) is NOOP_SPAN
+        assert span("a") is span("b")
+
+    def test_noop_span_is_inert(self):
+        with span("anything", attr=1) as sp:
+            sp.add("rows", 100)
+            sp.set(more=2)
+        assert sp is NOOP_SPAN
+        assert sp.seconds == 0.0
+        assert sp.cpu_seconds == 0.0
+
+    def test_noop_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with span("anything"):
+                raise RuntimeError("boom")
+
+    def test_module_add_is_a_noop_without_tracer(self):
+        add("rows", 5)  # must not raise
+
+    def test_timed_span_still_measures(self):
+        with timed_span("engine.fit") as sp:
+            sum(range(1000))
+        assert not isinstance(sp, Span)
+        assert sp.seconds > 0.0
+        assert sp.cpu_seconds >= 0.0
+        sp.add("x")  # stopwatch add/set are no-ops, not errors
+        sp.set(y=1)
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self):
+        with tracing("t") as tracer:
+            with span("outer"):
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    with span("leaf"):
+                        pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == ["inner.a", "inner.b"]
+        assert [g.name for g in outer.children[1].children] == ["leaf"]
+        assert tracer.span_names() == ["outer", "inner.a", "inner.b", "leaf"]
+
+    def test_sequential_spans_become_sibling_roots(self):
+        with tracing() as tracer:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_real_spans_measure_time(self):
+        with tracing() as tracer:
+            with span("work"):
+                sum(range(1000))
+        work = tracer.find("work")
+        assert work.seconds > 0.0
+
+    def test_attrs_counters_and_set(self):
+        with tracing() as tracer:
+            with span("fit", shards=8) as sp:
+                sp.add("rows", 100)
+                sp.add("rows", 50)
+                sp.set(backend="serial")
+        fit = tracer.find("fit")
+        assert fit.attrs == {"shards": 8, "backend": "serial"}
+        assert fit.counters == {"rows": 150}
+
+    def test_module_add_accumulates_on_innermost_span(self):
+        with tracing() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    add("folds", 3)
+                add("folds", 1)
+        assert tracer.find("inner").counters == {"folds": 3}
+        assert tracer.find("outer").counters == {"folds": 1}
+
+    def test_nested_tracing_shadows_and_restores(self):
+        with tracing("outer") as outer:
+            with span("before"):
+                pass
+            with tracing("inner") as inner:
+                assert current_tracer() is inner
+                with span("shadowed"):
+                    pass
+            assert current_tracer() is outer
+        assert outer.span_names() == ["before"]
+        assert inner.span_names() == ["shadowed"]
+        assert current_tracer() is None
+
+    def test_timed_span_is_a_real_span_under_tracer(self):
+        with tracing() as tracer:
+            with timed_span("engine.fit", shards=2) as sp:
+                pass
+        assert isinstance(sp, Span)
+        assert tracer.find("engine.fit") is sp
+        assert sp.attrs == {"shards": 2}
+
+
+class TestExceptionUnwinding:
+    def test_error_tags_span_and_reraises(self):
+        with tracing() as tracer:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("nope")
+        doomed = tracer.find("doomed")
+        assert doomed.status == "error"
+        assert doomed.error == "ValueError"
+        assert doomed.seconds >= 0.0
+
+    def test_stack_unwinds_through_nested_spans(self):
+        with tracing() as tracer:
+            with pytest.raises(KeyError):
+                with span("outer"):
+                    with span("inner"):
+                        raise KeyError("x")
+            # Both spans closed; new spans attach at the root again.
+            with span("after"):
+                pass
+        assert tracer.current is None
+        assert [root.name for root in tracer.roots] == ["outer", "after"]
+        assert tracer.find("outer").status == "error"
+        assert tracer.find("inner").status == "error"
+        assert tracer.find("after").status == "ok"
+
+    def test_ok_spans_stay_ok(self):
+        with tracing() as tracer:
+            with span("fine"):
+                pass
+        assert tracer.find("fine").status == "ok"
+        assert tracer.find("fine").error is None
+
+
+class TestWorkerThreads:
+    def test_fresh_threads_do_not_see_the_tracer(self):
+        """Worker threads start with a fresh context: spans no-op there.
+
+        This is the design that makes thread backends race-free — workers
+        never touch the caller's span stack.
+        """
+        seen = []
+        with tracing() as tracer:
+            def worker():
+                seen.append(current_tracer())
+                seen.append(span("thread.work"))
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None, NOOP_SPAN]
+        assert tracer.roots == []
+
+
+class TestToDict:
+    def test_document_shape(self):
+        with tracing("doc") as tracer:
+            with span("root", kind="test") as sp:
+                sp.add("n", 2)
+                with span("child"):
+                    pass
+        doc = tracer.to_dict()
+        assert doc["name"] == "doc"
+        (root,) = doc["spans"]
+        assert set(root) == {
+            "name",
+            "attrs",
+            "counters",
+            "wall_s",
+            "cpu_s",
+            "status",
+            "error",
+            "children",
+        }
+        assert root["attrs"] == {"kind": "test"}
+        assert root["counters"] == {"n": 2}
+        assert root["status"] == "ok"
+        assert root["error"] is None
+        assert [child["name"] for child in root["children"]] == ["child"]
+
+    def test_non_json_attrs_are_stringified(self):
+        with tracing() as tracer:
+            with span("s", path=object(), seq=(1, "a")):
+                pass
+        attrs = tracer.to_dict()["spans"][0]["attrs"]
+        assert isinstance(attrs["path"], str)
+        assert attrs["seq"] == [1, "a"]
+
+
+class TestMisNesting:
+    def test_parent_exit_pops_leaked_children(self):
+        """A child left open (no ``with``) cannot corrupt the stack."""
+        with tracing() as tracer:
+            parent = span("parent")
+            parent.__enter__()
+            leaked = span("leaked")
+            leaked.__enter__()  # never exited
+            parent.__exit__(None, None, None)
+            with span("after"):
+                pass
+        assert tracer.current is None
+        assert [root.name for root in tracer.roots] == ["parent", "after"]
+
+    def test_tracer_find_misses_return_none(self):
+        tracer = Tracer()
+        assert tracer.find("nope") is None
+        assert tracer.current is None

@@ -1,0 +1,154 @@
+"""Tests for the bench runner's speedup-trajectory bookkeeping.
+
+The timing scenarios themselves are exercised by the benchmark runs (and
+are too slow for tier-1); what tier-1 guards is the JSONL row extraction,
+the first-run backfill from existing ``BENCH_PR<N>.json`` snapshots, and
+append idempotence.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def fake_report(names_to_speedup: dict[str, float], *, quick=False) -> dict:
+    scenarios = []
+    for name, speedup in names_to_speedup.items():
+        path_key = "live" if name == "live_append_watchlist" else "batch"
+        scenarios.append(
+            {
+                "name": name,
+                "baseline": "seed",
+                "paths": {
+                    "seed": {"median_s": speedup},
+                    path_key: {"median_s": 1.0},
+                },
+                "speedups": {path_key: speedup},
+            }
+        )
+    return {
+        "schema": "repro-bench/1",
+        "quick": quick,
+        "created_unix": 1.0,
+        "scenarios": scenarios,
+    }
+
+
+class TestTrajectoryRows:
+    def test_extracts_only_gated_scenarios(self, run_bench):
+        report = fake_report(
+            {
+                "shared_prefix_batch_200": 14.0,
+                "minkey_greedy_solve": 4.0,  # not gated
+                "engine_query_batch_200": 8.0,
+                "live_append_watchlist": 4.4,
+            }
+        )
+        rows = run_bench.trajectory_rows(report, pr=6)
+        assert [row["scenario"] for row in rows] == [
+            "shared_prefix_batch_200",
+            "engine_query_batch_200",
+            "live_append_watchlist",
+        ]
+        assert all(row["pr"] == 6 for row in rows)
+        assert all(
+            set(row) == {"pr", "scenario", "seconds", "speedup", "quick",
+                         "created_unix"}
+            for row in rows
+        )
+        assert rows[0]["speedup"] == 14.0
+        assert rows[0]["seconds"] == 1.0
+
+    def test_tolerates_missing_live_scenario(self, run_bench):
+        """BENCH_PR4.json predates the live scenario: skipped, not an error."""
+        report = fake_report({"shared_prefix_batch_200": 14.0})
+        rows = run_bench.trajectory_rows(report, pr=4)
+        assert [row["scenario"] for row in rows] == ["shared_prefix_batch_200"]
+
+
+class TestBackfill:
+    def test_backfills_from_snapshots_in_pr_order(self, run_bench, tmp_path):
+        (tmp_path / "BENCH_PR5.json").write_text(
+            json.dumps(fake_report({"shared_prefix_batch_200": 16.0}))
+        )
+        (tmp_path / "BENCH_PR4.json").write_text(
+            json.dumps(fake_report({"shared_prefix_batch_200": 14.0}))
+        )
+        (tmp_path / "BENCH_PRx.json").write_text("{}")  # non-numeric: skipped
+        (tmp_path / "BENCH_PR9.json").write_text("not json")  # skipped
+        rows = run_bench.backfill_trajectory(tmp_path / "BENCH_TRAJECTORY.jsonl")
+        assert [(row["pr"], row["speedup"]) for row in rows] == [
+            (4, 14.0),
+            (5, 16.0),
+        ]
+
+    def test_repo_snapshots_backfill(self, run_bench):
+        """The repo's own checked-in snapshots yield a valid history."""
+        rows = run_bench.backfill_trajectory(REPO_ROOT / "BENCH_TRAJECTORY.jsonl")
+        by_pr = {}
+        for row in rows:
+            by_pr.setdefault(row["pr"], set()).add(row["scenario"])
+        assert by_pr[4] == {"shared_prefix_batch_200", "engine_query_batch_200"}
+        assert by_pr[5] == {
+            "shared_prefix_batch_200",
+            "engine_query_batch_200",
+            "live_append_watchlist",
+        }
+
+
+class TestAppend:
+    def test_first_append_backfills_then_appends(self, run_bench, tmp_path):
+        (tmp_path / "BENCH_PR5.json").write_text(
+            json.dumps(fake_report({"engine_query_batch_200": 8.0}))
+        )
+        trajectory = tmp_path / "BENCH_TRAJECTORY.jsonl"
+        report = fake_report({"engine_query_batch_200": 9.0})
+        appended = run_bench.append_trajectory(trajectory, report, pr=6)
+        assert appended == 2
+        rows = [json.loads(line) for line in trajectory.read_text().splitlines()]
+        assert [(row["pr"], row["speedup"]) for row in rows] == [(5, 8.0), (6, 9.0)]
+
+    def test_backfill_excludes_this_runs_own_snapshot(self, run_bench, tmp_path):
+        """The current PR's snapshot is on disk before the trajectory is
+        written; its rows must come from the report, not be duplicated by
+        the backfill."""
+        (tmp_path / "BENCH_PR5.json").write_text(
+            json.dumps(fake_report({"engine_query_batch_200": 8.0}))
+        )
+        (tmp_path / "BENCH_PR6.json").write_text(
+            json.dumps(fake_report({"engine_query_batch_200": 9.0}))
+        )
+        trajectory = tmp_path / "BENCH_TRAJECTORY.jsonl"
+        report = fake_report({"engine_query_batch_200": 9.0})
+        appended = run_bench.append_trajectory(trajectory, report, pr=6)
+        assert appended == 2
+        rows = [json.loads(line) for line in trajectory.read_text().splitlines()]
+        assert [row["pr"] for row in rows] == [5, 6]
+
+    def test_later_appends_do_not_rebackfill(self, run_bench, tmp_path):
+        (tmp_path / "BENCH_PR5.json").write_text(
+            json.dumps(fake_report({"engine_query_batch_200": 8.0}))
+        )
+        trajectory = tmp_path / "BENCH_TRAJECTORY.jsonl"
+        report = fake_report({"engine_query_batch_200": 9.0})
+        run_bench.append_trajectory(trajectory, report, pr=6)
+        appended = run_bench.append_trajectory(trajectory, report, pr=7)
+        assert appended == 1
+        rows = [json.loads(line) for line in trajectory.read_text().splitlines()]
+        assert [row["pr"] for row in rows] == [5, 6, 7]

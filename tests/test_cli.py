@@ -469,6 +469,101 @@ class TestCliJson:
         }
 
 
+class TestCliStats:
+    def test_stats_text_reports_labelcache_hits(self, capsys):
+        """The ISSUE acceptance shape: after the warmup's shared-prefix
+        batch, the process counters show nonzero LabelCache hits."""
+        code = main(["stats", "--dataset", "zipf-small", "--rows", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "kernels.labelcache.hits" in out
+
+    def test_stats_json_snapshot(self, capsys):
+        out = _run_json(
+            capsys, ["stats", "--dataset", "zipf-small", "--rows", "500", "--json"]
+        )
+        assert out["task"] == "stats"
+        snapshot = out["metrics"]
+        assert set(snapshot) >= {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["kernels.labelcache.hits"] > 0
+        assert snapshot["counters"]["service.batches"] >= 2
+
+    def test_stats_without_warmup(self, capsys):
+        out = _run_json(capsys, ["stats", "--json"])
+        assert out["task"] == "stats"
+
+
+class TestCliTrace:
+    def test_trace_text_prints_span_tree(self, capsys):
+        code = main(
+            [
+                "minkey",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "600",
+                "--epsilon",
+                "0.01",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "key size" in out  # normal output still present
+        assert "trace 'minkey'" in out
+        assert "api.ask" in out
+        assert "core.min_key" in out
+
+    def test_trace_json_attaches_valid_trace_documents(self, capsys):
+        """--trace --json: every Result envelope carries a trace that
+        validates against the checked-in schema (the CI smoke contract)."""
+        import pathlib
+
+        from repro.obs import validate_trace
+
+        schema = json.loads(
+            (
+                pathlib.Path(__file__).parents[1]
+                / "docs"
+                / "schemas"
+                / "trace.schema.json"
+            ).read_text()
+        )
+        out = _run_json(
+            capsys,
+            [
+                "engine",
+                "profile",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "900",
+                "--shards",
+                "3",
+                "--backend",
+                "serial",
+                "--queries",
+                "4",
+                "--trace",
+                "--json",
+            ],
+        )
+        traces = [r["trace"] for r in out["results"]]
+        assert traces and all(trace is not None for trace in traces)
+        for trace in traces:
+            assert validate_trace(trace, schema) == []
+        names = {span["name"] for trace in traces for span in trace["spans"]}
+        assert names == {"api.ask"}
+
+    def test_json_without_trace_leaves_trace_null(self, capsys):
+        out = _run_json(
+            capsys,
+            ["minkey", "--dataset", "zipf-small", "--rows", "500", "--json"],
+        )
+        assert out["trace"] is None
+
+
 class TestCliErrors:
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):

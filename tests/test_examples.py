@@ -13,6 +13,21 @@ import pytest
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 
+def _error_spans(tracer) -> list[str]:
+    """Names of every span in the forest that exited with an exception."""
+    errors: list[str] = []
+
+    def walk(span) -> None:
+        if span.status == "error":
+            errors.append(span.name)
+        for child in span.children:
+            walk(child)
+
+    for root in tracer.roots:
+        walk(root)
+    return errors
+
+
 def _load(name: str):
     path = EXAMPLES_DIR / f"{name}.py"
     spec = importlib.util.spec_from_file_location(f"example_{name}", path)
@@ -144,6 +159,34 @@ class TestExamplesRun:
         assert "(incremental)" in out
         assert "incremental maintenance:" in out
         assert "(zip,age)=bad" in out  # the pilot phase starts safe
+
+    def test_unified_profiler_runs_clean_under_tracing(self, capsys, monkeypatch):
+        """The façade example under an ambient tracer: same output, spans
+        captured, no error-status spans anywhere in the tree."""
+        from repro.obs import tracing
+
+        module = _load("unified_profiler")
+        monkeypatch.setattr(module, "N_ROWS", 1_500)
+        with tracing("example") as tracer:
+            module.main()
+        out = capsys.readouterr().out
+        assert "minimum key" in out
+        names = tracer.span_names()
+        assert "api.ask" in names
+        assert _error_spans(tracer) == []
+
+    def test_live_monitoring_runs_clean_under_tracing(self, capsys):
+        from repro.obs import tracing
+
+        module = _load("live_monitoring")
+        with tracing("example") as tracer:
+            module.main()
+        out = capsys.readouterr().out
+        assert "FLIP: bundle is now an epsilon-identifying QI" in out
+        names = tracer.span_names()
+        assert "live.append" in names
+        assert "live.snapshot" in names
+        assert _error_spans(tracer) == []
 
     def test_table1_reproduction_help(self, capsys, monkeypatch):
         module = _load("table1_reproduction")

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Validate a repro trace document against docs/schemas/trace.schema.json.
+
+Used by CI's trace smoke step.  The input may be either a bare trace
+document (``{"name", "spans"}``) or any JSON object containing one under a
+``"trace"`` key at the top level or nested one level down (e.g. a
+``Result.to_dict()`` envelope, or a CLI ``--json`` payload whose entries
+carry per-result traces).  Reads stdin or a file path argument; exits 0 if
+every trace found validates, 1 otherwise.
+
+    repro profile data.csv --trace --json | python tools/validate_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import validate_trace  # noqa: E402
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "docs" / "schemas" / "trace.schema.json"
+
+
+def _find_traces(payload: object) -> list[dict]:
+    """Collect trace documents from a payload (bare, or under 'trace' keys)."""
+    traces: list[dict] = []
+    if isinstance(payload, dict):
+        if isinstance(payload.get("spans"), list) and "name" in payload:
+            return [payload]
+        trace = payload.get("trace")
+        if isinstance(trace, dict):
+            traces.append(trace)
+        for value in payload.values():
+            if isinstance(value, (dict, list)):
+                traces.extend(_find_traces(value))
+    elif isinstance(payload, list):
+        for item in payload:
+            traces.extend(_find_traces(item))
+    return traces
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        text = Path(argv[1]).read_text()
+    else:
+        text = sys.stdin.read()
+    payload = json.loads(text)
+    schema = json.loads(SCHEMA_PATH.read_text())
+
+    traces = _find_traces(payload)
+    if not traces:
+        print("validate_trace: no trace documents found in input", file=sys.stderr)
+        return 1
+    failures = 0
+    for index, trace in enumerate(traces):
+        errors = validate_trace(trace, schema)
+        for error in errors:
+            print(f"trace[{index}]: {error}", file=sys.stderr)
+        failures += bool(errors)
+    if failures:
+        print(f"validate_trace: {failures}/{len(traces)} trace(s) invalid", file=sys.stderr)
+        return 1
+    print(f"validate_trace: {len(traces)} trace(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
