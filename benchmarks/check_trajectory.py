@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Regression gate over the speedup trajectory (``BENCH_TRAJECTORY.jsonl``).
+
+Each PR's bench run appends one row per gated scenario (see
+``benchmarks/run_bench.py``).  This checker compares, per scenario, the
+**latest** PR's speedup against the **previous** PR's row and flags any
+drop larger than the threshold (default 20%).
+
+By default regressions are *warnings* and the exit code stays 0 — the
+bench-smoke CI job runs on shared hardware where a quick-mode wobble is
+not a verdict.  ``--strict`` turns regressions into a non-zero exit for
+gating contexts (release checklists, dedicated perf runners).
+
+    python benchmarks/check_trajectory.py [--trajectory FILE]
+        [--threshold 0.2] [--strict] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fractional speedup drop vs the previous PR that counts as a regression.
+DEFAULT_THRESHOLD = 0.2
+
+DEFAULT_TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_TRAJECTORY.jsonl"
+
+
+def load_rows(trajectory: Path) -> list[dict]:
+    """Parse the JSONL trajectory, skipping blank/corrupt lines."""
+    rows: list[dict] = []
+    for line in trajectory.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if {"pr", "scenario", "speedup"} <= row.keys():
+            rows.append(row)
+    return rows
+
+
+def latest_per_pr(rows: list[dict]) -> dict[str, dict[int, dict]]:
+    """scenario -> {pr -> last row for that (scenario, pr)}.
+
+    A re-run within one PR overwrites that PR's row (last write wins),
+    matching how ``append_trajectory`` treats the current PR.
+    """
+    table: dict[str, dict[int, dict]] = {}
+    for row in rows:
+        table.setdefault(row["scenario"], {})[int(row["pr"])] = row
+    return table
+
+
+def check(rows: list[dict], threshold: float) -> dict:
+    """Compare each scenario's newest row against its previous PR's row."""
+    comparisons = []
+    regressions = 0
+    for scenario, by_pr in sorted(latest_per_pr(rows).items()):
+        history = sorted(by_pr)
+        if len(history) < 2:
+            comparisons.append(
+                {
+                    "scenario": scenario,
+                    "pr": history[-1],
+                    "speedup": by_pr[history[-1]]["speedup"],
+                    "previous_pr": None,
+                    "previous_speedup": None,
+                    "drop": None,
+                    "regressed": False,
+                }
+            )
+            continue
+        current_pr, previous_pr = history[-1], history[-2]
+        current = by_pr[current_pr]["speedup"]
+        previous = by_pr[previous_pr]["speedup"]
+        drop = (previous - current) / previous if previous > 0 else 0.0
+        regressed = drop > threshold
+        regressions += regressed
+        comparisons.append(
+            {
+                "scenario": scenario,
+                "pr": current_pr,
+                "speedup": current,
+                "previous_pr": previous_pr,
+                "previous_speedup": previous,
+                "drop": drop,
+                "regressed": regressed,
+            }
+        )
+    return {
+        "schema": "repro-trajectory-check/1",
+        "threshold": threshold,
+        "comparisons": comparisons,
+        "regressions": regressions,
+    }
+
+
+def render_text(result: dict) -> str:
+    lines = []
+    for row in result["comparisons"]:
+        if row["previous_pr"] is None:
+            lines.append(
+                f"  {row['scenario']}: {row['speedup']:.2f}x at PR {row['pr']} "
+                "(no prior PR to compare)"
+            )
+            continue
+        verdict = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"  {row['scenario']}: {row['previous_speedup']:.2f}x (PR "
+            f"{row['previous_pr']}) -> {row['speedup']:.2f}x (PR {row['pr']}), "
+            f"drop {100 * row['drop']:.1f}% [{verdict}]"
+        )
+    header = (
+        f"trajectory check (threshold: {100 * result['threshold']:.0f}% "
+        f"speedup drop vs previous PR)"
+    )
+    footer = (
+        f"{result['regressions']} regression(s) across "
+        f"{len(result['comparisons'])} gated scenario(s)"
+    )
+    return "\n".join([header, *lines, footer])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=DEFAULT_TRAJECTORY,
+        help="JSONL trajectory file (default: repo BENCH_TRAJECTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional speedup drop that counts as a regression "
+        "(default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on regression (default: warn only, exit 0)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the JSON report")
+    args = parser.parse_args(argv)
+
+    if not args.trajectory.is_file():
+        print(f"check_trajectory: no trajectory at {args.trajectory}; nothing to check")
+        return 0
+    rows = load_rows(args.trajectory)
+    if not rows:
+        print("check_trajectory: trajectory is empty; nothing to check")
+        return 0
+    result = check(rows, args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(render_text(result))
+    if result["regressions"] and args.strict:
+        return 1
+    if result["regressions"]:
+        print(
+            "check_trajectory: warning only (re-run with --strict to gate); "
+            "quick-mode rows on shared hardware are noisy",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

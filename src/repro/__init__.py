@@ -183,8 +183,8 @@ __all__ = [
     "TupleSampleMinKey",
     "__version__",
     "approximate_min_key",
-    "available_tasks",
     "assess_risk",
+    "available_tasks",
     "cheapest_quasi_identifier",
     "classify",
     "discover_afds",

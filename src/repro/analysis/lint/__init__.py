@@ -1,0 +1,45 @@
+"""repro.analysis.lint — the AST-based invariant linter.
+
+Six PRs of growth accumulated load-bearing conventions that existed
+only in docstrings: seeds flow through :mod:`repro.sampling.rng`, fit
+specs stay picklable, span/metric names match
+``docs/observability.md``, ``__all__`` tells the truth, kernels stay
+vectorized, and shared state is lock-guarded.  This subpackage turns
+each convention into a machine-checked rule over the stdlib ``ast`` —
+no new dependencies — with per-rule fixers where safe, a checked-in
+baseline for grandfathered findings, and text/JSON reporting through
+the shared :class:`repro.api.Result` envelope.
+
+Surfaces: ``repro lint`` (CLI), ``tools/run_analysis.py`` (CI), and
+:func:`run_lint` (library).  Rule catalog and the pragma syntax are
+documented in ``docs/static-analysis.md``.
+"""
+
+from repro.analysis.lint.baseline import load_baseline, save_baseline
+from repro.analysis.lint.engine import run_lint
+from repro.analysis.lint.findings import Finding, LintReport
+from repro.analysis.lint.obs_registry import (
+    DYNAMIC_METRIC_PREFIXES,
+    METRIC_NAMES,
+    SPAN_NAMES,
+)
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.report import render_report_text
+from repro.analysis.lint.rules import Rule, all_rules, register
+
+__all__ = [
+    "DYNAMIC_METRIC_PREFIXES",
+    "Finding",
+    "LintReport",
+    "METRIC_NAMES",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "SPAN_NAMES",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "render_report_text",
+    "run_lint",
+    "save_baseline",
+]

@@ -1,0 +1,72 @@
+"""Baseline bookkeeping: grandfathered findings, checked in and audited.
+
+A baseline lets a new rule land *enforcing* (CI fails on any new
+finding) even when the existing tree has debt: known findings are
+recorded in a JSON file and matched by their line-independent key
+``(code, path, message)``.  The shipped repository baseline lives at
+``tools/lint_baseline.json`` and is empty — every finding the initial
+rollout surfaced was fixed instead (see ``docs/static-analysis.md``) —
+but the mechanism stays so future rules can ratchet.
+
+Stale entries (baselined debt that no longer exists) are reported by
+the engine so the file shrinks monotonically; ``repro lint
+--update-baseline`` rewrites it from the current scan.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+
+SCHEMA = "repro-lint-baseline/1"
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    """The baseline keys recorded in ``path`` (empty set if absent)."""
+    if not path.is_file():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {payload.get('schema')!r}; "
+            f"expected {SCHEMA!r}"
+        )
+    return {
+        (entry["code"], entry["path"], entry["message"])
+        for entry in payload.get("findings", [])
+    }
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deterministic)."""
+    entries = sorted(
+        {finding.baseline_key for finding in findings}
+    )
+    payload = {
+        "schema": SCHEMA,
+        "findings": [
+            {"code": code, "path": rel, "message": message}
+            for code, rel, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding], list[tuple[str, str, str]]]:
+    """Partition findings into (new, baselined) and list stale entries."""
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        key = finding.baseline_key
+        if key in baseline:
+            matched.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(baseline - seen)
+    return new, matched, stale

@@ -1,0 +1,119 @@
+"""The lint engine: load → check → (fix) → baseline → report.
+
+One :func:`run_lint` call is one ``analysis.run`` span: the project is
+parsed once, every registered rule runs over the shared ASTs, pragma
+suppressions are applied centrally, safe fixers optionally rewrite
+sources (followed by a verification re-scan, so a fix that does not
+actually clean its finding cannot claim it did), and the baseline
+partitions what is left into actionable vs. grandfathered findings.
+
+Observability: the run is wrapped in an ``analysis.run`` span, and the
+``analysis.files_scanned`` / ``analysis.findings`` counters accumulate
+in the process-wide :func:`repro.obs.get_metrics` registry, so
+``repro stats`` and ``--trace`` cover the linter like every other layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.lint.baseline import load_baseline, split_by_baseline
+from repro.analysis.lint.findings import Finding, LintReport
+from repro.analysis.lint.project import Project, load_module
+from repro.analysis.lint.rules import all_rules
+from repro.obs import get_metrics, timed_span
+
+
+def _scan(project: Project, rules) -> list[Finding]:
+    """All findings from all rules, suppressions applied, deduped, sorted."""
+    findings: set[Finding] = set()
+    for module in project.modules:
+        if module.syntax_error is not None:
+            findings.add(
+                Finding(
+                    path=module.relpath,
+                    line=1,
+                    col=1,
+                    code="REP901",
+                    message=f"syntax error: {module.syntax_error}",
+                )
+            )
+    modules_by_path = {module.relpath: module for module in project.modules}
+    for rule in rules:
+        for finding in rule.check(project):
+            module = modules_by_path.get(finding.path)
+            if module is not None and module.is_suppressed(finding.code, finding.line):
+                continue
+            findings.add(finding)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def _apply_fixes(project: Project, rules) -> int:
+    """Run every fixable rule's fixer; rewrite and reload changed files."""
+    changed = 0
+    for rule in rules:
+        if not rule.fixable:
+            continue
+        for index, module in enumerate(project.modules):
+            if module.tree is None:
+                continue
+            new_source = rule.fix(module, project)
+            if new_source is None or new_source == module.source:
+                continue
+            module.path.write_text(new_source, encoding="utf-8")
+            project.modules[index] = load_module(module.path, module.relpath)
+            changed += 1
+    return changed
+
+
+def run_lint(
+    paths: list[Path | str],
+    *,
+    baseline: Path | str | None = None,
+    fix: bool = False,
+    rules=None,
+) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan (``.py`` sources, recursively).
+    baseline:
+        Optional path to a ``repro-lint-baseline/1`` JSON file; matched
+        findings are reported as grandfathered instead of actionable.
+    fix:
+        Apply safe auto-fixes (currently the ``__all__`` rewriter) and
+        re-scan, so the report reflects the post-fix tree.
+    rules:
+        Rule-instance override for tests; defaults to every registered
+        rule.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    with timed_span("analysis.run", paths=[str(p) for p in paths]) as run_span:
+        project = Project.load([Path(p) for p in paths])
+        findings = _scan(project, active_rules)
+        fixed = 0
+        if fix:
+            changed = _apply_fixes(project, active_rules)
+            if changed:
+                after = _scan(project, active_rules)
+                fixed = max(0, len(findings) - len(after))
+                findings = after
+        baseline_keys = (
+            load_baseline(Path(baseline)) if baseline is not None else set()
+        )
+        new, matched, stale = split_by_baseline(findings, baseline_keys)
+        run_span.set(files=len(project.modules), findings=len(new))
+    metrics = get_metrics()
+    metrics.counter("analysis.files_scanned").inc(len(project.modules))
+    metrics.counter("analysis.findings").inc(len(new))
+    return LintReport(
+        findings=new,
+        baselined=matched,
+        stale_baseline=stale,
+        files_scanned=len(project.modules),
+        fixed=fixed,
+        seconds=run_span.seconds,
+        rules=tuple(rule.code for rule in active_rules),
+    )

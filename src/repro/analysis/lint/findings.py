@@ -1,0 +1,81 @@
+"""Finding and report value objects for the invariant linter.
+
+A :class:`Finding` is one violation of a repository invariant: a rule
+code (``REP101``), the file and position it was found at, and a message
+that states the contract being broken.  Findings are plain frozen
+dataclasses so reporters, baselines, and tests can compare them by
+value.
+
+Baseline identity deliberately excludes the line number: grandfathered
+findings should survive unrelated edits that shift code up or down, so
+the :attr:`Finding.baseline_key` is ``(code, path, message)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fixable: bool = False
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.code, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "fixable": self.fixable,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run.
+
+    ``findings`` are the *actionable* violations (new, not baselined);
+    ``baselined`` are matched grandfathered entries; ``stale_baseline``
+    are baseline entries that no longer correspond to any finding (the
+    debt was paid — the entry should be removed).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+    fixed: int = 0
+    seconds: float = 0.0
+    rules: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scanned tree is clean modulo the baseline."""
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "fixed": self.fixed,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stale_baseline": [list(key) for key in self.stale_baseline],
+        }

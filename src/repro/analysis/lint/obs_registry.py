@@ -1,0 +1,76 @@
+"""The frozen registry of observability names (see ``docs/observability.md``).
+
+Every *literal* name passed to :func:`repro.obs.span` /
+:func:`repro.obs.timed_span` or to the metrics registry's
+``counter``/``gauge``/``histogram`` getters inside ``src/repro`` must
+appear here — the ``REP301`` lint rule enforces it.  The registry was
+generated once from the PR 6 instrumentation sweep and is now frozen:
+adding an instrument means adding its name here *and* to the naming
+table in ``docs/observability.md``, which is exactly the review moment
+the rule exists to force (typos and undocumented metrics cannot land
+silently).
+
+Dynamically composed names (f-strings such as the summary-cache prefixes
+or ``live.cache.<key>``) are out of the literal rule's reach; their
+*prefixes* are listed in :data:`DYNAMIC_METRIC_PREFIXES` for
+documentation and for tooling that wants to validate rendered snapshots.
+"""
+
+from __future__ import annotations
+
+#: Every span name the library opens with a literal first argument.
+SPAN_NAMES = frozenset(
+    {
+        "analysis.run",
+        "api.ask",
+        "core.min_key",
+        "engine.fit",
+        "engine.merge",
+        "kernels.accepts",
+        "kernels.classify_sample",
+        "kernels.evaluate_sets",
+        "kernels.unseparated_pairs",
+        "live.append",
+        "live.snapshot",
+        "service.answer",
+        "service.fit",
+        "service.kernel_pass",
+        "service.query",
+        "service.query_batch",
+        "summary.fit",
+    }
+)
+
+#: Every counter/gauge/histogram name registered with a literal argument.
+METRIC_NAMES = frozenset(
+    {
+        "analysis.files_scanned",
+        "analysis.findings",
+        "api.ask_seconds",
+        "api.asks",
+        "engine.fit_plans",
+        "engine.fit_seconds",
+        "engine.merge_seconds",
+        "engine.process.bytes_pickled",
+        "engine.shard_fits",
+        "kernels.labelcache.hits",
+        "kernels.labelcache.misses",
+        "kernels.labelings_saved",
+        "kernels.refine_steps",
+        "kernels.sets_evaluated",
+        "live.appends",
+        "live.rows_appended",
+        "service.batches",
+        "service.fit_seconds",
+        "service.queries",
+        "service.query_seconds",
+    }
+)
+
+#: Prefixes of dynamically composed metric names (not literal-checkable).
+DYNAMIC_METRIC_PREFIXES = (
+    "api.result_cache.",  # SummaryCache(metric_prefix="api.result_cache")
+    "live.answers.",  # live.answers.incremental / .refit
+    "live.cache.",  # live.cache.maintained / .maintain_folds / .invalidated
+    "summary.cache.",  # SummaryCache(metric_prefix="summary.cache")
+)

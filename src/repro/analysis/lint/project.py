@@ -1,0 +1,162 @@
+"""Source-tree loading for the invariant linter.
+
+A :class:`Project` is the unit a lint run operates on: a root directory,
+the parsed modules beneath it, and (when present) the repository's docs
+tree for cross-file rules.  Parsing happens once per file; every rule
+shares the same :class:`ModuleInfo` (source text, AST, pragma maps), so
+adding rules does not add parse passes.
+
+Two pragma comments are honored, matched per physical line:
+
+``# lint: disable=REP101[,REP201...]``
+    Suppress the listed codes (or ``all``) on that line.
+``# kernel: scalar-ok``
+    The kernel-purity rule's escape hatch: a deliberate scalar loop in
+    :mod:`repro.kernels` (on the ``for`` line or the line above it).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9*,\s]+)")
+_SCALAR_OK_RE = re.compile(r"#\s*kernel:\s*scalar-ok")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed Python source file inside a lint project."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module | None
+    syntax_error: str | None = None
+    disabled: dict[int, set[str]] = field(default_factory=dict)
+    scalar_ok: set[int] = field(default_factory=set)
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        """Path segments of :attr:`relpath` (for scope matching)."""
+        return tuple(self.relpath.split("/"))
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether a ``# lint: disable=`` pragma covers ``code`` on ``line``."""
+        codes = self.disabled.get(line)
+        return codes is not None and ("all" in codes or code in codes)
+
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+
+def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[int]]:
+    disabled: dict[int, set[str]] = {}
+    scalar_ok: set[int] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        match = _DISABLE_RE.search(text)
+        if match:
+            codes = {
+                token.strip()
+                for token in match.group(1).replace("*", "all").split(",")
+                if token.strip()
+            }
+            disabled.setdefault(lineno, set()).update(codes)
+        if _SCALAR_OK_RE.search(text):
+            scalar_ok.add(lineno)
+    return disabled, scalar_ok
+
+
+def load_module(path: Path, relpath: str) -> ModuleInfo:
+    """Parse one source file into a :class:`ModuleInfo` (never raises)."""
+    source = path.read_text(encoding="utf-8")
+    disabled, scalar_ok = _parse_pragmas(source)
+    try:
+        tree = ast.parse(source, filename=str(path))
+        error = None
+    except SyntaxError as exc:  # surfaced as a finding by the engine
+        tree = None
+        error = f"{exc.msg} (line {exc.lineno})"
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        syntax_error=error,
+        disabled=disabled,
+        scalar_ok=scalar_ok,
+    )
+
+
+def _collect_files(paths: list[Path]) -> tuple[Path, list[Path]]:
+    """Resolve scan paths to (root, sorted source files)."""
+    files: list[Path] = []
+    roots: list[Path] = []
+    for path in paths:
+        path = path.resolve()
+        if path.is_dir():
+            roots.append(path)
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            roots.append(path.parent)
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"lint path {path} is not a .py file or directory")
+    if not files:
+        raise FileNotFoundError(f"no Python sources found under {paths}")
+    root = Path(*_common_prefix([r.parts for r in roots]))
+    return root, sorted(set(files))
+
+
+def _common_prefix(part_lists: list[tuple[str, ...]]) -> tuple[str, ...]:
+    prefix = part_lists[0]
+    for parts in part_lists[1:]:
+        keep = 0
+        for a, b in zip(prefix, parts):
+            if a != b:
+                break
+            keep += 1
+        prefix = prefix[:keep]
+    return prefix
+
+
+@dataclass
+class Project:
+    """A lint run's view of the tree: root, parsed modules, docs."""
+
+    root: Path
+    modules: list[ModuleInfo]
+
+    @classmethod
+    def load(cls, paths: list[Path]) -> "Project":
+        root, files = _collect_files(paths)
+        modules = [
+            load_module(path, path.relative_to(root).as_posix()) for path in files
+        ]
+        return cls(root=root, modules=modules)
+
+    def docs_dir(self) -> Path | None:
+        """The repository ``docs/`` directory, found by walking upward."""
+        for candidate in (self.root, *self.root.parents):
+            docs = candidate / "docs"
+            if (docs / "api.md").is_file():
+                return docs
+        return None
+
+    def module(self, relpath: str) -> ModuleInfo | None:
+        for info in self.modules:
+            if info.relpath == relpath:
+                return info
+        return None

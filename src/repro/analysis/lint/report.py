@@ -1,0 +1,44 @@
+"""Text rendering for lint reports (the JSON side reuses ``Result``).
+
+The text format is the familiar compiler shape — ``path:line:col CODE
+message`` — grouped by file, followed by a one-line summary.  The CLI's
+``--json`` mode instead wraps :meth:`LintReport.to_dict` in the shared
+:class:`repro.api.Result` envelope, so lint output carries the same
+``task``/``params``/``seconds`` fields as every other subcommand.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.findings import LintReport
+
+
+def render_report_text(report: LintReport, *, verbose_baseline: bool = False) -> str:
+    """Human-readable report: findings grouped by file plus a summary."""
+    lines: list[str] = []
+    by_path: dict[str, list] = {}
+    for finding in report.findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path in sorted(by_path):
+        for finding in sorted(by_path[path]):
+            lines.append(str(finding))
+    if verbose_baseline and report.baselined:
+        lines.append("")
+        lines.append(f"baselined (grandfathered) findings: {len(report.baselined)}")
+        for finding in report.baselined:
+            lines.append(f"  {finding}")
+    for key in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry (debt already paid — remove it): "
+            f"{key[1]}: {key[0]} {key[2]}"
+        )
+    if lines:
+        lines.append("")
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.baselined)} baselined, {report.fixed} fixed) "
+        f"across {report.files_scanned} file(s) in {report.seconds:.3f}s"
+    )
+    lines.append(summary)
+    if report.ok:
+        lines.append("lint: clean")
+    return "\n".join(lines)

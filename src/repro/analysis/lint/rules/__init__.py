@@ -1,0 +1,27 @@
+"""The invariant linter's rule catalog (see ``docs/static-analysis.md``).
+
+Importing this package registers every built-in rule; the engine asks
+:func:`all_rules` for fresh instances.  Adding a rule = one new module
+here (subclass :class:`Rule`, decorate with :func:`register`) plus an
+import below.
+"""
+
+from repro.analysis.lint.rules.base import Rule, all_rules, register
+from repro.analysis.lint.rules.determinism import DeterminismRule
+from repro.analysis.lint.rules.exports import ExportsRule
+from repro.analysis.lint.rules.kernel_purity import KernelPurityRule
+from repro.analysis.lint.rules.locked_state import LockedStateRule
+from repro.analysis.lint.rules.obs_names import ObsNamesRule
+from repro.analysis.lint.rules.picklability import PicklabilityRule
+
+__all__ = [
+    "DeterminismRule",
+    "ExportsRule",
+    "KernelPurityRule",
+    "LockedStateRule",
+    "ObsNamesRule",
+    "PicklabilityRule",
+    "Rule",
+    "all_rules",
+    "register",
+]

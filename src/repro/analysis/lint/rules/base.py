@@ -1,0 +1,151 @@
+"""Rule protocol, registry, and shared AST helpers for the linter.
+
+A rule is a class with a unique ``code`` prefix (``REP1`` owns
+``REP101``, ``REP102``, ...), a one-line ``contract`` stating the
+invariant it enforces, and a ``check(project)`` returning
+:class:`~repro.analysis.lint.findings.Finding` objects.  Rules that can
+repair a finding mechanically also implement
+``fix(module) -> str | None`` returning the rewritten source (or
+``None`` when nothing applies).
+
+Registration is declarative — defining a subclass with ``register()``
+adds it to the process-wide table the engine iterates in code order —
+so a new rule is one new module under :mod:`repro.analysis.lint.rules`
+plus an import in the package ``__init__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.project import ModuleInfo, Project
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register(rule_cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding ``rule_cls`` to the rule table."""
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate lint rule code {rule_cls.code!r}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list["Rule"]:
+    """Fresh instances of every registered rule, in code order."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``name``/``contract``, implement check."""
+
+    #: Code prefix this rule owns (individual findings append two digits).
+    code = "REP000"
+    name = "abstract"
+    contract = ""
+    fixable = False
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            if module.tree is None or not self.applies(module):
+                continue
+            findings.extend(self.check_module(module, project))
+        return findings
+
+    def applies(self, module: ModuleInfo) -> bool:  # noqa: ARG002
+        return True
+
+    def check_module(
+        self, module: ModuleInfo, project: Project
+    ) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def fix(self, module: ModuleInfo, project: Project) -> str | None:  # noqa: ARG002
+        """Return repaired source for ``module``, or ``None``."""
+        return None
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        code: str,
+        message: str,
+        *,
+        fixable: bool = False,
+    ) -> Finding:
+        return Finding(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            fixable=fixable,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/object paths they refer to.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``; ``from datetime
+    import datetime`` yields ``{"datetime": "datetime.datetime"}``.
+    Imports at any nesting depth are collected — a function-local
+    ``import random`` is still the stdlib ``random``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolved_call_path(call: ast.Call, aliases: dict[str, str]) -> str | None:
+    """The fully-resolved dotted path of a call target, if statically known.
+
+    ``np.random.default_rng(...)`` with ``np -> numpy`` resolves to
+    ``numpy.random.default_rng``; a call through a variable resolves to
+    ``None``.
+    """
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    resolved_root = aliases.get(root, root)
+    return f"{resolved_root}.{rest}" if rest else resolved_root
+
+
+def literal_str_arg(call: ast.Call, index: int = 0) -> str | None:
+    """The ``index``-th positional argument when it is a string literal."""
+    if len(call.args) <= index:
+        return None
+    arg = call.args[index]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return None

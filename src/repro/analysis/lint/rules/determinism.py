@@ -1,0 +1,82 @@
+"""REP1xx — determinism: all randomness and wall-clock reads are sanctioned.
+
+The library's reproducibility story rests on one derivation path:
+``seed`` arguments flow through :func:`repro.sampling.rng.ensure_rng` /
+``normalize_seed`` / ``derive_seed``, and only :mod:`repro.sampling.rng`
+may construct generators directly.  A stray ``np.random.default_rng()``
+or ``random.random()`` silently breaks the serial==parallel
+bit-identity contracts the engine and live tests pin; ``time.time()`` /
+``datetime.now()`` in library code breaks replayability (timing belongs
+to ``repro.obs``, which uses the monotonic ``perf_counter`` clocks).
+
+* **REP101** — unsanctioned RNG construction or draw (``numpy.random.*``,
+  stdlib ``random.*``) outside the allowlisted RNG module.
+* **REP102** — wall-clock read (``time.time``, ``datetime.now``, ...);
+  use ``time.perf_counter``/``process_time`` via ``repro.obs`` spans.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import (
+    Rule,
+    import_aliases,
+    register,
+    resolved_call_path,
+)
+
+#: Modules allowed to touch ``numpy.random`` directly: the library's one
+#: sanctioned RNG construction/derivation path.
+ALLOWLIST = ("repro/sampling/rng.py", "sampling/rng.py")
+
+_RANDOM_PREFIXES = ("numpy.random.", "random.")
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class DeterminismRule(Rule):
+    code = "REP101"
+    name = "determinism"
+    contract = (
+        "RNG construction routes through repro.sampling.rng; no ambient "
+        "randomness or wall-clock reads in library code"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return not any(module.relpath.endswith(entry) for entry in ALLOWLIST)
+
+    def check_module(self, module: ModuleInfo, project: Project):
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = resolved_call_path(node, aliases)
+            if path is None:
+                continue
+            if any(path.startswith(prefix) for prefix in _RANDOM_PREFIXES):
+                yield self.finding(
+                    module,
+                    node,
+                    "REP101",
+                    f"unsanctioned randomness: {path}() — route seeds through "
+                    "repro.sampling.rng (ensure_rng/normalize_seed/derive_seed)",
+                )
+            elif path in _CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    "REP102",
+                    f"wall-clock read: {path}() — use time.perf_counter via "
+                    "repro.obs spans so runs stay replayable",
+                )

@@ -1,0 +1,184 @@
+"""REP4xx — public-surface consistency: ``__all__`` tells the truth.
+
+Ruff's F401 is deliberately ignored for ``__init__.py`` modules (they
+exist to re-export), which means nothing checks that ``__all__`` and the
+actual re-exports agree.  This rule does, and it is the one rule with a
+safe auto-fixer (``repro lint --fix`` rewrites the ``__all__`` block):
+
+* **REP401** — an ``__all__`` entry that is not bound in the module;
+* **REP402** — ``__all__`` is unsorted or contains duplicates;
+* **REP403** — in an ``__init__.py``: a public name imported at top
+  level (``from x import Name``) that is missing from ``__all__``;
+* **REP404** — a name exported by the top-level ``repro/__init__.py``
+  that is not documented in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import Rule, register
+
+
+def _top_level_statements(tree: ast.Module):
+    """Module-level statements, descending into top-level ``if``/``try``."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, ast.If):
+            stack.extend(node.body + node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body + node.orelse + node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    bound: set[str] = set()
+    for node in _top_level_statements(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+    return bound
+
+
+def _public_from_imports(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in _top_level_statements(tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if local != "*" and not local.startswith("_"):
+                    names.add(local)
+    return names
+
+
+def _all_assignment(tree: ast.Module) -> tuple[ast.Assign, list[str]] | None:
+    for node in _top_level_statements(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            entries = [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            ]
+            return node, entries
+    return None
+
+
+def _is_root_repro_init(module: ModuleInfo) -> bool:
+    return (
+        module.name == "__init__.py"
+        and module.path.parent.name == "repro"
+        and module.path.parent.parent.name == "src"
+    )
+
+
+@register
+class ExportsRule(Rule):
+    code = "REP401"
+    name = "public-surface"
+    contract = (
+        "__all__ is sorted, every entry is bound, __init__ re-exports are "
+        "listed, and top-level exports are documented in docs/api.md"
+    )
+    fixable = True
+
+    def check_module(self, module: ModuleInfo, project: Project):
+        found = _all_assignment(module.tree)
+        if found is None:
+            return
+        node, entries = found
+        bound = _bound_names(module.tree)
+        for entry in entries:
+            if entry not in bound:
+                yield self.finding(
+                    module,
+                    node,
+                    "REP401",
+                    f"__all__ exports {entry!r} but the module never binds it",
+                    fixable=True,
+                )
+        if entries != sorted(set(entries)):
+            yield self.finding(
+                module,
+                node,
+                "REP402",
+                "__all__ is unsorted or has duplicates",
+                fixable=True,
+            )
+        if module.name == "__init__.py":
+            missing = sorted(_public_from_imports(module.tree) - set(entries))
+            for name in missing:
+                yield self.finding(
+                    module,
+                    node,
+                    "REP403",
+                    f"public re-export {name!r} is missing from __all__",
+                    fixable=True,
+                )
+        if _is_root_repro_init(module):
+            yield from self._check_docs(module, node, entries, project)
+
+    def _check_docs(self, module: ModuleInfo, node, entries, project: Project):
+        docs = project.docs_dir()
+        if docs is None:
+            return
+        api_text = (docs / "api.md").read_text(encoding="utf-8")
+        for entry in entries:
+            if entry not in api_text:
+                yield self.finding(
+                    module,
+                    node,
+                    "REP404",
+                    f"top-level export {entry!r} is not documented in "
+                    "docs/api.md (export-surface table)",
+                )
+
+    # ------------------------------------------------------------------
+    # Fixer: rewrite the __all__ block from the module's real bindings
+    # ------------------------------------------------------------------
+
+    def fix(self, module: ModuleInfo, project: Project) -> str | None:
+        found = _all_assignment(module.tree)
+        if found is None:
+            return None
+        node, entries = found
+        bound = _bound_names(module.tree)
+        desired = set(entry for entry in entries if entry in bound)
+        if module.name == "__init__.py":
+            desired |= _public_from_imports(module.tree)
+        desired_list = sorted(desired)
+        if desired_list == entries:
+            return None
+        lines = module.source.splitlines(keepends=True)
+        body = "".join(f'    "{name}",\n' for name in desired_list)
+        replacement = f"__all__ = [\n{body}]\n"
+        start, end = node.lineno - 1, node.end_lineno
+        return "".join(lines[:start]) + replacement + "".join(lines[end:])
+
+
+def export_mismatches(findings: list[Finding]) -> list[Finding]:
+    """The subset of findings produced by this rule (helper for tests)."""
+    return [f for f in findings if f.code.startswith("REP40")]

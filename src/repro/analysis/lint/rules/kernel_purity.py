@@ -1,0 +1,63 @@
+"""REP5xx — kernel purity: no Python-level loops over row-sized data.
+
+:mod:`repro.kernels` exists because per-row Python loops are what the
+PR 4 benchmarks retired — the gated ≥5× speedups assume every row-sized
+operation is a vectorized NumPy pass.  Loops over *sets*, *attributes*,
+or *cliques* are fine (their counts are small by construction); loops
+over ``codes`` / row ranges are not, unless deliberately marked::
+
+    for row in codes:  # kernel: scalar-ok
+
+* **REP501** — a ``for`` loop in ``repro/kernels/`` whose iterable is
+  row-sized (mentions ``codes``/``rows``/``n_rows``) without the
+  ``# kernel: scalar-ok`` pragma on its line or the line above.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import Rule, register
+
+_ROW_NAMES = frozenset({"codes", "rows", "n_rows"})
+
+
+def _is_row_sized(iterable: ast.AST) -> bool:
+    for node in ast.walk(iterable):
+        if isinstance(node, ast.Name) and node.id in _ROW_NAMES:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in _ROW_NAMES:
+            return True
+    return False
+
+
+@register
+class KernelPurityRule(Rule):
+    code = "REP501"
+    name = "kernel-purity"
+    contract = (
+        "no Python-level for loops over row-sized arrays inside "
+        "repro.kernels (pragma: '# kernel: scalar-ok')"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return "kernels" in module.parts
+
+    def check_module(self, module: ModuleInfo, project: Project):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not _is_row_sized(node.iter):
+                continue
+            if node.lineno in module.scalar_ok or (
+                node.lineno - 1
+            ) in module.scalar_ok:
+                continue
+            yield self.finding(
+                module,
+                node,
+                "REP501",
+                "Python-level loop over row-sized data in a kernel module — "
+                "vectorize it, or mark the loop '# kernel: scalar-ok'",
+            )

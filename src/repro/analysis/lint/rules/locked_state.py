@@ -1,0 +1,151 @@
+"""REP6xx — locked state: module-level mutables mutate under a lock.
+
+:mod:`repro.obs` metrics are deliberately process-wide and thread-safe,
+and :mod:`repro.engine` backends run user work on thread pools — so any
+module-level mutable in those packages is shared across threads by
+construction.  The convention (one registry lock, acquired around every
+write) existed only in docstrings until now:
+
+* **REP601** — a write to module-level mutable state in ``obs/`` or
+  ``engine/`` (item/attribute assignment, a mutating method call, or a
+  ``global`` rebind) that is not inside a ``with <lock>:`` block.
+
+``ContextVar`` module globals are exempt — their ``set``/``reset`` are
+context-local by design, which is the documented alternative to
+locking.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import Rule, register
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Module-level value expressions treated as immutable (no lock needed).
+_IMMUTABLE_CALLS = frozenset({"ContextVar", "frozenset", "namedtuple", "tuple"})
+
+
+def _module_level_mutables(tree: ast.Module) -> set[str]:
+    """Names assigned at module level to plausibly mutable values."""
+    mutables: set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if value is None:
+            continue
+        if isinstance(value, ast.Call):
+            callee = value.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else getattr(
+                callee, "id", None
+            )
+            if name in _IMMUTABLE_CALLS:
+                continue
+        elif not isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                mutables.add(target.id)
+    return mutables
+
+
+def _root_name(node: ast.AST) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _is_lock_guard(item: ast.withitem) -> bool:
+    rendered = ast.unparse(item.context_expr).lower()
+    return "lock" in rendered
+
+
+@register
+class LockedStateRule(Rule):
+    code = "REP601"
+    name = "locked-state"
+    contract = (
+        "module-level mutable state in obs/ and engine/ is only written "
+        "inside a 'with <lock>:' block"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return "obs" in module.parts or "engine" in module.parts
+
+    def check_module(self, module: ModuleInfo, project: Project):
+        mutables = _module_level_mutables(module.tree)
+        if not mutables:
+            return
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                yield from self._walk(module, node, mutables, in_lock=False, globals_=set())
+
+    def _walk(self, module, node, mutables, *, in_lock, globals_):
+        for child in ast.iter_child_nodes(node):
+            child_in_lock = in_lock
+            if isinstance(child, ast.With):
+                if any(_is_lock_guard(item) for item in child.items):
+                    child_in_lock = True
+            elif isinstance(child, ast.Global):
+                globals_ |= set(child.names)
+            elif not in_lock:
+                yield from self._check_statement(module, child, mutables, globals_)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Fresh scope: global declarations do not leak inward.
+                yield from self._walk(
+                    module, child, mutables, in_lock=child_in_lock, globals_=set()
+                )
+            else:
+                yield from self._walk(
+                    module, child, mutables, in_lock=child_in_lock, globals_=globals_
+                )
+
+    def _check_statement(self, module, node, mutables, globals_):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = _root_name(target)
+                    if root in mutables:
+                        yield self._unlocked(module, node, root)
+                elif isinstance(target, ast.Name) and target.id in globals_:
+                    # Any ``global`` rebind races with concurrent readers,
+                    # whatever the old value's type was.
+                    yield self._unlocked(module, node, target.id)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if isinstance(call.func, ast.Attribute) and call.func.attr in _MUTATORS:
+                root = _root_name(call.func.value)
+                if root in mutables:
+                    yield self._unlocked(module, node, root)
+
+    def _unlocked(self, module, node, name):
+        return self.finding(
+            module,
+            node,
+            "REP601",
+            f"module-level mutable {name!r} written outside a "
+            "'with <lock>:' block — shared state in obs/engine must be "
+            "lock-guarded",
+        )

@@ -1,0 +1,79 @@
+"""REP3xx — observability naming: span/metric names come from the registry.
+
+``docs/observability.md`` pins the naming conventions and
+``docs/schemas/trace.schema.json`` pins the trace shape, but until now a
+typo'd span name (``engine.fitt``) or an undocumented metric shipped
+silently — dashboards and ``repro stats`` assertions just miss it.  The
+frozen registry in :mod:`repro.analysis.lint.obs_registry` closes the
+loop:
+
+* **REP301** — a literal span name passed to ``span()``/``timed_span()``
+  that is not in the registry;
+* **REP302** — a literal metric name passed to ``.counter()`` /
+  ``.gauge()`` / ``.histogram()`` that is not in the registry.
+
+Dynamically composed names (f-strings, variables) are skipped — their
+prefixes are documented in ``DYNAMIC_METRIC_PREFIXES``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.obs_registry import METRIC_NAMES, SPAN_NAMES
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import Rule, literal_str_arg, register
+
+_SPAN_FUNCS = frozenset({"span", "timed_span"})
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+@register
+class ObsNamesRule(Rule):
+    code = "REP301"
+    name = "obs-naming"
+    contract = (
+        "literal span and metric names match the frozen registry "
+        "(repro.analysis.lint.obs_registry / docs/observability.md)"
+    )
+
+    def applies(self, module: ModuleInfo) -> bool:
+        # The registry itself holds the names as data, not as calls, but
+        # skip it anyway so docstring examples never count.
+        return module.name != "obs_registry.py"
+
+    def check_module(self, module: ModuleInfo, project: Project):
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_name(node)
+            if callee in _SPAN_FUNCS:
+                name = literal_str_arg(node)
+                if name is not None and name not in SPAN_NAMES:
+                    yield self.finding(
+                        module,
+                        node,
+                        "REP301",
+                        f"span name {name!r} is not in the frozen registry — "
+                        "add it to repro.analysis.lint.obs_registry and "
+                        "docs/observability.md (or fix the typo)",
+                    )
+            elif callee in _METRIC_METHODS and isinstance(node.func, ast.Attribute):
+                name = literal_str_arg(node)
+                if name is not None and name not in METRIC_NAMES:
+                    yield self.finding(
+                        module,
+                        node,
+                        "REP302",
+                        f"metric name {name!r} is not in the frozen registry — "
+                        "add it to repro.analysis.lint.obs_registry and "
+                        "docs/observability.md (or fix the typo)",
+                    )

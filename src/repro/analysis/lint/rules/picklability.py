@@ -1,0 +1,115 @@
+"""REP2xx — spec picklability: the engine's units of work cross processes.
+
+:class:`repro.engine.specs.SummarySpec` objects are shipped to worker
+processes by the ``process`` backend, so everything reachable from a
+spec must survive ``pickle``.  Lambdas, closures, and locally defined
+classes do not — and the failure only shows up at runtime, on the one
+backend CI exercises least.  This rule makes the constraint static:
+
+* **REP201** — a ``lambda`` in ``engine/specs.py`` or passed (directly)
+  into a ``run_fit_plan(...)`` call;
+* **REP202** — a function or class *defined inside a function* in
+  ``engine/specs.py`` (specs may only reference module-level callables);
+* **REP203** — a locally defined function/class passed into
+  ``run_fit_plan(...)`` from any module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import Rule, dotted_name, register
+
+
+def _is_specs_module(module: ModuleInfo) -> bool:
+    return module.name == "specs.py" and "engine" in module.parts
+
+
+def _run_fit_plan_calls(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "run_fit_plan":
+                yield node
+
+
+def _call_value_args(call: ast.Call):
+    yield from call.args
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            yield keyword.value
+
+
+@register
+class PicklabilityRule(Rule):
+    code = "REP201"
+    name = "spec-picklability"
+    contract = (
+        "fit specs and run_fit_plan arguments stay picklable: no lambdas, "
+        "closures, or locally-defined classes"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project):
+        if _is_specs_module(module):
+            yield from self._check_specs_module(module)
+        yield from self._check_fit_plan_callsites(module)
+
+    def _check_specs_module(self, module: ModuleInfo):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    module,
+                    node,
+                    "REP201",
+                    "lambda in the spec module — specs must reference "
+                    "module-level callables to stay picklable",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(
+                        inner,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        yield self.finding(
+                            module,
+                            inner,
+                            "REP202",
+                            f"locally-defined {'class' if isinstance(inner, ast.ClassDef) else 'function'} "
+                            f"{inner.name!r} in the spec module — process workers "
+                            "cannot unpickle locals",
+                        )
+
+    def _check_fit_plan_callsites(self, module: ModuleInfo):
+        for scope in ast.walk(module.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_defs = {
+                stmt.name
+                for stmt in ast.walk(scope)
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and stmt is not scope
+            }
+            for call in _run_fit_plan_calls(scope):
+                for arg in _call_value_args(call):
+                    if isinstance(arg, ast.Lambda):
+                        yield self.finding(
+                            module,
+                            arg,
+                            "REP201",
+                            "lambda passed into run_fit_plan — fit plans are "
+                            "pickled to process workers",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                        yield self.finding(
+                            module,
+                            arg,
+                            "REP203",
+                            f"locally-defined {arg.id!r} passed into "
+                            "run_fit_plan — move it to module level so it "
+                            "pickles",
+                        )

@@ -39,6 +39,9 @@ Commands
     and cache counters have something to show.
 ``repro datasets``
     List the registered synthetic workloads with seeds and default shapes.
+``repro lint [paths...] [--fix] [--baseline PATH] [--update-baseline]``
+    Run the AST invariant linter (:mod:`repro.analysis.lint`) over the
+    source tree; exit 0 only when no non-baselined findings remain.
 
 All dataset commands share ``--dataset/--rows/--seed`` plumbing and a
 session ε default; ``--json`` and ``--trace`` are accepted by every
@@ -306,6 +309,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     datasets.add_argument(
         "--seed", type=int, default=0, help="seed the workloads would be built with"
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        parents=[json_flag],
+        help="run the AST invariant linter (docs/static-analysis.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to scan (default: the installed "
+        "repro package source)",
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe auto-fixes (the __all__ rewriter) before reporting",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings (default: "
+        "tools/lint_baseline.json when it exists)",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from this scan's findings and exit 0",
     )
     return parser
 
@@ -840,26 +874,74 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.lint import render_report_text, run_lint, save_baseline
+    from repro.api.result import Result
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(repro.__file__).parent]
+    baseline = args.baseline
+    if baseline is None:
+        default = Path("tools") / "lint_baseline.json"
+        if default.is_file():
+            baseline = default
+    report = run_lint(paths, baseline=baseline, fix=args.fix)
+    if args.update_baseline:
+        target = Path(baseline) if baseline is not None else (
+            Path("tools") / "lint_baseline.json"
+        )
+        save_baseline(target, report.findings + report.baselined)
+        print(f"baseline written: {target} "
+              f"({len(report.findings) + len(report.baselined)} entries)")
+        return 0
+    if args.json:
+        envelope = Result(
+            task="lint",
+            dataset=",".join(str(p) for p in paths),
+            value=report.to_dict(),
+            params={
+                "paths": [str(p) for p in paths],
+                "fix": args.fix,
+                "baseline": str(baseline) if baseline is not None else None,
+            },
+            summaries=(),
+            seconds=report.seconds,
+            backend="ast",
+        )
+        _emit_json(envelope.to_dict())
+    else:
+        print(render_report_text(report))
+    return 0 if report.ok else 1
+
+
+HANDLERS = {
+    "table1": _cmd_table1,
+    "minkey": _cmd_minkey,
+    "sketch": _cmd_sketch,
+    "profile": _cmd_profile,
+    "mask": _cmd_mask,
+    "fd": _cmd_fd,
+    "risk": _cmd_risk,
+    "anonymize": _cmd_anonymize,
+    "dedup": _cmd_dedup,
+    "engine": _cmd_engine,
+    "live": _cmd_live,
+    "stats": _cmd_stats,
+    "datasets": _cmd_datasets,
+    "lint": _cmd_lint,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "table1": _cmd_table1,
-        "minkey": _cmd_minkey,
-        "sketch": _cmd_sketch,
-        "profile": _cmd_profile,
-        "mask": _cmd_mask,
-        "fd": _cmd_fd,
-        "risk": _cmd_risk,
-        "anonymize": _cmd_anonymize,
-        "dedup": _cmd_dedup,
-        "engine": _cmd_engine,
-        "live": _cmd_live,
-        "stats": _cmd_stats,
-        "datasets": _cmd_datasets,
-    }
-    handler = handlers[args.command]
+    handler = HANDLERS[args.command]
     if not getattr(args, "trace", False) or getattr(args, "json", False):
         # --trace --json is handled per session (Results embed traces).
         return handler(args)

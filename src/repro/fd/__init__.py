@@ -85,17 +85,17 @@ __all__ = [
     "discover_afds",
     "discover_afds_sampled",
     "exact_fds",
-    "implies",
-    "minimal_cover",
-    "project_fragments",
-    "verify_lossless_join",
     "fd_pair_sample_size",
-    "g1_pair_sample_estimate",
     "g1_error",
+    "g1_pair_sample_estimate",
     "g2_error",
     "g3_error",
+    "implies",
+    "minimal_cover",
     "pdep",
     "pdep_single",
+    "project_fragments",
     "tau",
+    "verify_lossless_join",
     "violating_pairs",
 ]

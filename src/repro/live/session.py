@@ -69,7 +69,7 @@ from repro.exceptions import InvalidParameterError
 from repro.kernels.incremental import IncrementalLabelCache
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import span, timed_span
-from repro.sampling.rng import derive_seed
+from repro.sampling.rng import derive_seed, ensure_rng
 from repro.streaming.monitor import MonitorSnapshot, QuasiIdentifierMonitor
 from repro.streaming.profile import StreamingProfile
 from repro.types import AttributeSet, resolve_mixed_attributes
@@ -376,7 +376,7 @@ class LiveProfiler:
             # families; a None-seeded session gets fresh entropy.
             stream_seed = derive_seed(self.seed, name_key, 1)
             if stream_seed is None:
-                stream_seed = int(np.random.default_rng().integers(2**31))
+                stream_seed = int(ensure_rng(None).integers(2**31))
             entry.stream = StreamingProfile(
                 snapshot.n_columns, seed=stream_seed
             )

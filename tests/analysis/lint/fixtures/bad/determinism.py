@@ -1,0 +1,24 @@
+"""Known-bad fixture: REP101 (ambient randomness) / REP102 (wall clocks).
+
+Each ``# expect:`` marker states the finding the linter must produce on
+that exact line; ``tests/analysis/lint/test_rules.py`` compares the scan
+against these markers.  This file is never imported.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng(0)  # expect: REP101
+    jitter = random.random()  # expect: REP101
+    return rng, jitter
+
+
+def stamp():
+    started = time.time()  # expect: REP102
+    today = datetime.now()  # expect: REP102
+    return started, today

@@ -1,0 +1,17 @@
+"""Known-bad engine spec module: REP201 (lambda) / REP202 (locals).
+
+Everything reachable from a spec crosses the process boundary, so the
+spec module may only contain module-level, picklable callables.
+"""
+
+PICK = lambda row: row[0]  # expect: REP201
+
+
+def build():
+    def local_fold(values):  # expect: REP202
+        return sum(values)
+
+    class LocalSpec:  # expect: REP202
+        pass
+
+    return local_fold, LocalSpec

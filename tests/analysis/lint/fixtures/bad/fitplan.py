@@ -1,0 +1,13 @@
+"""Known-bad ``run_fit_plan`` call sites: REP201 (lambda argument) and
+REP203 (locally-defined callable argument) — both die in pickle on the
+process backend, and only at runtime."""
+
+from repro.engine.executor import run_fit_plan
+
+
+def submit(plan, backend):
+    def local_reducer(parts):
+        return parts
+
+    run_fit_plan(plan, backend, reduce=lambda parts: parts)  # expect: REP201
+    run_fit_plan(plan, backend, reduce=local_reducer)  # expect: REP203

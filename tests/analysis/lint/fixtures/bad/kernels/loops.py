@@ -1,0 +1,16 @@
+"""Known-bad kernel module: REP501 — Python-level loops over row-sized
+data, exactly what the PR 4 vectorized kernels retired."""
+
+
+def slow_distinct(codes):
+    seen = set()
+    for row in codes:  # expect: REP501
+        seen.add(tuple(row))
+    return len(seen)
+
+
+def column_checksum(data):
+    total = 0
+    for row in data.codes:  # expect: REP501
+        total ^= hash(tuple(row))
+    return total

@@ -1,0 +1,20 @@
+"""Known-bad obs module: REP601 — module-level mutable state written
+outside a ``with <lock>:`` block (races with concurrent readers)."""
+
+import threading
+
+_STATE = {}
+_EVENTS = []
+_LOCK = threading.Lock()
+
+
+def record(key, value):
+    _STATE[key] = value  # expect: REP601
+
+
+def log_event(event):
+    _EVENTS.append(event)  # expect: REP601
+
+
+def reset():
+    _STATE.clear()  # expect: REP601

@@ -1,0 +1,16 @@
+"""Known-bad fixture: REP301/REP302 — names missing from the frozen
+observability registry (typos and unregistered additions)."""
+
+from repro.obs import get_metrics, span, timed_span
+
+
+def traced():
+    with span("engine.fitt"):  # expect: REP301
+        pass
+    with timed_span("analysis.bogus_span"):  # expect: REP301
+        pass
+
+
+def counted():
+    get_metrics().counter("engine.fitt_seconds").inc()  # expect: REP302
+    get_metrics().gauge("analysis.bogus_gauge").set(1)  # expect: REP302

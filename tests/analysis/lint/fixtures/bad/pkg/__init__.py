@@ -1,0 +1,12 @@
+"""Known-bad package init: REP401 (unbound entry), REP402 (unsorted),
+REP403 (re-export missing from ``__all__``) — and the input for the
+``--fix`` round-trip test, whose rewriter must produce the sorted, bound,
+complete list ``["first", "second", "third"]``."""
+
+from .alpha import first, second, third
+
+__all__ = [  # expect: REP401,REP402,REP403
+    "second",
+    "first",
+    "ghost",
+]

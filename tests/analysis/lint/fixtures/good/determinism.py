@@ -1,0 +1,20 @@
+"""Known-good mirror of ``bad/determinism.py``: seeds flow through
+``repro.sampling.rng`` and timing goes through ``repro.obs`` spans."""
+
+from repro.obs import timed_span
+from repro.sampling.rng import derive_seed, ensure_rng
+
+
+def draw(seed):
+    rng = ensure_rng(seed)
+    return rng.integers(10)
+
+
+def child_seed(seed):
+    return derive_seed(seed, 1, 0)
+
+
+def stamp():
+    with timed_span("analysis.run") as watch:
+        pass
+    return watch.seconds

@@ -1,0 +1,14 @@
+"""Known-good mirror of ``bad/engine/specs.py``: module-level callables
+only — everything here pickles to process workers."""
+
+
+def pick(row):
+    return row[0]
+
+
+def fold(values):
+    return sum(values)
+
+
+class Spec:
+    kind = "summary"

@@ -1,0 +1,12 @@
+"""Known-good mirror of ``bad/fitplan.py``: the reducer lives at module
+level, so the fit plan pickles cleanly to process workers."""
+
+from repro.engine.executor import run_fit_plan
+
+
+def module_reducer(parts):
+    return parts
+
+
+def submit(plan, backend):
+    return run_fit_plan(plan, backend, reduce=module_reducer)

@@ -1,0 +1,22 @@
+"""Known-good mirror of ``bad/kernels/loops.py``: the hot pass is
+vectorized; the deliberate scalar loop carries the escape-hatch pragma."""
+
+import numpy as np
+
+
+def distinct(codes):
+    return np.unique(codes, axis=0).shape[0]
+
+
+def attribute_pass(attributes, codes):
+    # Loops over *attributes* are fine: their count is small by
+    # construction; only row-sized iteration is flagged.
+    return [int(codes[:, a].max()) for a in attributes]
+
+
+def checksum(codes):
+    total = 0
+    # kernel: scalar-ok
+    for row in codes:
+        total ^= hash(tuple(row))
+    return total

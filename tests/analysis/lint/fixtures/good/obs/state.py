@@ -1,0 +1,24 @@
+"""Known-good mirror of ``bad/obs/state.py``: every write to the shared
+module-level state happens under the module lock."""
+
+import threading
+
+_STATE = {}
+_EVENTS = []
+_LOCK = threading.Lock()
+
+
+def record(key, value):
+    with _LOCK:
+        _STATE[key] = value
+
+
+def log_event(event):
+    with _LOCK:
+        _EVENTS.append(event)
+
+
+def reset():
+    with _LOCK:
+        _STATE.clear()
+        _EVENTS.clear()

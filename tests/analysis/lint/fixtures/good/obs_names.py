@@ -1,0 +1,18 @@
+"""Known-good mirror of ``bad/obs_names.py``: every literal name is in
+the frozen registry; dynamic names are skipped by design."""
+
+from repro.obs import get_metrics, span, timed_span
+
+
+def traced():
+    with span("engine.fit"):
+        pass
+    with timed_span("analysis.run"):
+        pass
+
+
+def counted(prefix):
+    get_metrics().counter("analysis.findings").inc()
+    # Dynamically composed names are out of the literal rule's scope;
+    # their prefixes are documented in DYNAMIC_METRIC_PREFIXES.
+    get_metrics().counter(f"{prefix}.hits").inc()

@@ -1,0 +1,9 @@
+"""Known-good mirror of ``bad/pkg/__init__.py``: sorted, every entry
+bound, every public re-export listed."""
+
+from .alpha import first, second
+
+__all__ = [
+    "first",
+    "second",
+]

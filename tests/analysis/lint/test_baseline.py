@@ -1,0 +1,77 @@
+"""Baseline semantics: grandfathering, staleness, and the shipped file.
+
+The shipped repository baseline (``tools/lint_baseline.json``) is empty
+— the initial rollout fixed every finding instead of grandfathering it —
+and the last test here pins that: a fresh scan of ``src/repro`` against
+the checked-in baseline must come back clean with no stale entries.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import (
+    load_baseline,
+    render_report_text,
+    run_lint,
+    save_baseline,
+)
+from repro.analysis.lint.baseline import SCHEMA, split_by_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC = REPO_ROOT / "src" / "repro"
+SHIPPED_BASELINE = REPO_ROOT / "tools" / "lint_baseline.json"
+BAD = Path(__file__).parent / "fixtures" / "bad"
+
+
+class TestBaselineRoundtrip:
+    def test_save_then_load_matches_findings(self, tmp_path):
+        report = run_lint([BAD])
+        assert report.findings
+        target = tmp_path / "baseline.json"
+        save_baseline(target, report.findings)
+        keys = load_baseline(target)
+        assert keys == {f.baseline_key for f in report.findings}
+
+    def test_baselined_findings_do_not_fail_the_run(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        save_baseline(target, run_lint([BAD]).findings)
+        report = run_lint([BAD], baseline=target)
+        assert report.findings == []
+        assert report.baselined
+        assert report.ok
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        report = run_lint([BAD])
+        ghost = ("REP101", "nonexistent.py", "debt already paid")
+        baseline = {f.baseline_key for f in report.findings} | {ghost}
+        new, matched, stale = split_by_baseline(report.findings, baseline)
+        assert new == []
+        assert len(matched) == len(report.findings)
+        assert stale == [ghost]
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"schema": "somebody-elses/9", "findings": []}')
+        try:
+            load_baseline(target)
+        except ValueError as exc:
+            assert SCHEMA in str(exc)
+        else:
+            raise AssertionError("schema mismatch must raise")
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+
+class TestShippedBaseline:
+    def test_repo_tree_is_clean_against_shipped_baseline(self):
+        report = run_lint([SRC], baseline=SHIPPED_BASELINE)
+        assert report.ok, "\n" + render_report_text(report)
+
+    def test_shipped_baseline_has_no_stale_entries(self):
+        report = run_lint([SRC], baseline=SHIPPED_BASELINE)
+        assert report.stale_baseline == []
+
+    def test_shipped_baseline_is_empty(self):
+        # The rollout fixed its findings rather than grandfathering them;
+        # ratcheting down is allowed, growing the baseline needs a reason.
+        assert load_baseline(SHIPPED_BASELINE) == set()

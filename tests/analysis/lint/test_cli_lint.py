@@ -1,0 +1,90 @@
+"""The ``repro lint`` subcommand: exit codes, JSON envelope, --fix,
+--baseline, and the observability wiring of a lint run."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import run_lint, save_baseline
+from repro.cli import main
+from repro.obs import get_metrics, tracing
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+
+class TestCliLint:
+    def test_bad_tree_exits_nonzero(self, capsys):
+        assert main(["lint", str(BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out
+        assert "finding(s)" in out
+
+    def test_good_tree_exits_zero(self, capsys):
+        assert main(["lint", str(GOOD)]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_repo_default_scan_is_clean(self, capsys):
+        # No paths: lints the installed repro package against the
+        # default baseline — the repo must keep itself clean.
+        assert main(["lint"]) == 0
+        assert "lint: clean" in capsys.readouterr().out
+
+    def test_json_mode_wraps_result_envelope(self, capsys):
+        assert main(["lint", str(GOOD), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["task"] == "lint"
+        assert payload["backend"] == "ast"
+        assert payload["value"]["ok"] is True
+        assert payload["value"]["findings"] == []
+        assert payload["params"]["fix"] is False
+
+    def test_json_mode_reports_findings(self, capsys):
+        assert main(["lint", str(BAD), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["value"]["ok"] is False
+        codes = {f["code"] for f in payload["value"]["findings"]}
+        assert "REP101" in codes and "REP601" in codes
+
+    def test_baseline_flag_grandfathers_findings(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, run_lint([BAD]).findings)
+        assert main(["lint", str(BAD), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "lint: clean" in out
+
+    def test_update_baseline_writes_and_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(BAD), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        capsys.readouterr()
+        assert baseline.is_file()
+        assert main(["lint", str(BAD), "--baseline", str(baseline)]) == 0
+
+
+class TestLintObsWiring:
+    def test_run_emits_analysis_span(self):
+        with tracing("lint-test") as tracer:
+            run_lint([GOOD])
+        names = set()
+        stack = list(tracer.to_dict()["spans"])
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node.get("children", []))
+        assert "analysis.run" in names
+
+    def test_run_increments_counters(self):
+        metrics = get_metrics()
+        files_before = metrics.counter("analysis.files_scanned").value
+        findings_before = metrics.counter("analysis.findings").value
+        report = run_lint([BAD])
+        assert (
+            metrics.counter("analysis.files_scanned").value
+            == files_before + report.files_scanned
+        )
+        assert (
+            metrics.counter("analysis.findings").value
+            == findings_before + len(report.findings)
+        )

@@ -1,0 +1,56 @@
+"""The ``--fix`` round trip: the ``__all__`` rewriter repairs the
+known-bad package init in place, and a re-scan of the rewritten tree is
+clean — the engine's verification re-scan cannot be fooled."""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+BAD_PKG = Path(__file__).parent / "fixtures" / "bad" / "pkg"
+
+
+def _copy_pkg(tmp_path: Path) -> Path:
+    target = tmp_path / "pkg"
+    shutil.copytree(BAD_PKG, target)
+    return target
+
+
+class TestFixRoundtrip:
+    def test_fix_clears_every_export_finding(self, tmp_path):
+        pkg = _copy_pkg(tmp_path)
+        before = run_lint([pkg])
+        assert {f.code for f in before.findings} == {"REP401", "REP402", "REP403"}
+        fixed = run_lint([pkg], fix=True)
+        assert fixed.findings == []
+        assert fixed.fixed == len(before.findings)
+        assert fixed.ok
+
+    def test_fixed_source_is_sorted_bound_and_complete(self, tmp_path):
+        pkg = _copy_pkg(tmp_path)
+        run_lint([pkg], fix=True)
+        text = (pkg / "__init__.py").read_text()
+        block = text[text.index("__all__") :]
+        assert '"ghost"' not in block  # unbound entry dropped
+        assert block.index('"first"') < block.index('"second"') < block.index('"third"')
+
+    def test_rescan_of_fixed_tree_is_clean(self, tmp_path):
+        pkg = _copy_pkg(tmp_path)
+        run_lint([pkg], fix=True)
+        assert run_lint([pkg]).findings == []
+
+    def test_fix_is_idempotent(self, tmp_path):
+        pkg = _copy_pkg(tmp_path)
+        run_lint([pkg], fix=True)
+        first_pass = (pkg / "__init__.py").read_text()
+        again = run_lint([pkg], fix=True)
+        assert again.fixed == 0
+        assert (pkg / "__init__.py").read_text() == first_pass
+
+    def test_fix_does_not_touch_clean_files(self, tmp_path):
+        source = '"""Clean."""\n\nVALUE = 1\n\n__all__ = [\n    "VALUE",\n]\n'
+        target = tmp_path / "clean.py"
+        target.write_text(source)
+        report = run_lint([tmp_path], fix=True)
+        assert report.findings == []
+        assert target.read_text() == source

@@ -1,0 +1,116 @@
+"""Fixture-driven rule tests: every known-bad file fires with exact
+codes and locations, every known-good mirror stays silent.
+
+Expected findings are declared *in the fixtures themselves* via
+``# expect: CODE[,CODE...]`` markers on the offending lines, so a rule
+whose location drifts (or which fires where it should not) fails with a
+precise diff of ``(path, line, code)`` triples.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+from repro.analysis.lint.rules import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
+
+#: Every finding code the fixture suite must exercise.
+ALL_CODES = {
+    "REP101",
+    "REP102",
+    "REP201",
+    "REP202",
+    "REP203",
+    "REP301",
+    "REP302",
+    "REP401",
+    "REP402",
+    "REP403",
+    "REP501",
+    "REP601",
+}
+
+
+def declared_expectations(root: Path) -> set[tuple[str, int, str]]:
+    expected: set[tuple[str, int, str]] = set()
+    for path in root.rglob("*.py"):
+        rel = path.relative_to(root).as_posix()
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _EXPECT_RE.search(text)
+            if match is None:
+                continue
+            for code in match.group(1).split(","):
+                if code.strip():
+                    expected.add((rel, lineno, code.strip()))
+    return expected
+
+
+class TestBadFixtures:
+    def test_findings_match_markers_exactly(self):
+        report = run_lint([BAD])
+        actual = {(f.path, f.line, f.code) for f in report.findings}
+        assert actual == declared_expectations(BAD)
+
+    def test_every_rule_code_is_exercised(self):
+        assert {
+            code for (_, _, code) in declared_expectations(BAD)
+        } == ALL_CODES
+
+    def test_exit_semantics_not_ok(self):
+        report = run_lint([BAD])
+        assert not report.ok
+        assert report.files_scanned == len(list(BAD.rglob("*.py")))
+
+
+class TestGoodFixtures:
+    def test_good_mirrors_are_silent(self):
+        report = run_lint([GOOD])
+        assert [str(f) for f in report.findings] == []
+        assert report.ok
+
+
+class TestPragmas:
+    def test_disable_pragma_suppresses_one_code(self, tmp_path):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def draw():\n"
+            "    return random.random()  # lint: disable=REP101\n"
+        )
+        target = tmp_path / "suppressed.py"
+        target.write_text(source)
+        report = run_lint([tmp_path])
+        assert report.findings == []
+
+    def test_disable_pragma_is_per_code(self, tmp_path):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def draw():\n"
+            "    return random.random()  # lint: disable=REP102\n"
+        )
+        target = tmp_path / "not_suppressed.py"
+        target.write_text(source)
+        report = run_lint([tmp_path])
+        assert [f.code for f in report.findings] == ["REP101"]
+
+
+class TestRegistry:
+    def test_all_rules_cover_six_invariants(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert {code[:4] for code in codes} >= {"REP1", "REP2", "REP3", "REP4", "REP5", "REP6"}
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        report = run_lint([tmp_path])
+        assert [f.code for f in report.findings] == ["REP901"]

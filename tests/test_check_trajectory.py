@@ -1,0 +1,145 @@
+"""Tests for the trajectory regression gate (benchmarks/check_trajectory.py).
+
+The gate compares each gated scenario's latest-PR speedup against the
+previous PR's row and flags drops beyond the threshold — warning-only by
+default (bench-smoke runs on shared hardware), gating under ``--strict``.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_trajectory", REPO_ROOT / "benchmarks" / "check_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_rows(path: Path, rows: list[dict]) -> Path:
+    path.write_text("\n".join(json.dumps(row) for row in rows) + "\n")
+    return path
+
+
+def row(pr: int, scenario: str, speedup: float) -> dict:
+    return {
+        "pr": pr,
+        "scenario": scenario,
+        "speedup": speedup,
+        "seconds": 1.0 / speedup,
+        "quick": False,
+        "created_unix": float(pr),
+    }
+
+
+class TestCheck:
+    def test_improvement_is_not_a_regression(self, checker):
+        result = checker.check(
+            [row(5, "batch", 10.0), row(6, "batch", 12.0)], 0.2
+        )
+        assert result["regressions"] == 0
+        (comparison,) = result["comparisons"]
+        assert comparison["regressed"] is False
+        assert comparison["drop"] < 0
+
+    def test_drop_beyond_threshold_regresses(self, checker):
+        result = checker.check(
+            [row(5, "batch", 10.0), row(6, "batch", 7.0)], 0.2
+        )
+        assert result["regressions"] == 1
+        (comparison,) = result["comparisons"]
+        assert comparison["regressed"] is True
+        assert comparison["previous_pr"] == 5 and comparison["pr"] == 6
+
+    def test_drop_within_threshold_passes(self, checker):
+        result = checker.check(
+            [row(5, "batch", 10.0), row(6, "batch", 8.5)], 0.2
+        )
+        assert result["regressions"] == 0
+
+    def test_compares_against_previous_pr_not_oldest(self, checker):
+        rows = [
+            row(4, "batch", 20.0),
+            row(5, "batch", 8.0),
+            row(6, "batch", 7.0),  # -12.5% vs PR 5, not -65% vs PR 4
+        ]
+        result = checker.check(rows, 0.2)
+        assert result["regressions"] == 0
+        (comparison,) = result["comparisons"]
+        assert comparison["previous_pr"] == 5
+
+    def test_single_pr_scenario_has_no_comparison(self, checker):
+        result = checker.check([row(6, "fresh", 5.0)], 0.2)
+        assert result["regressions"] == 0
+        (comparison,) = result["comparisons"]
+        assert comparison["previous_pr"] is None
+
+    def test_rerun_within_a_pr_overwrites_that_row(self, checker):
+        rows = [
+            row(5, "batch", 10.0),
+            row(6, "batch", 2.0),  # first (bad) run of PR 6...
+            row(6, "batch", 9.5),  # ...superseded by the re-run
+        ]
+        result = checker.check(rows, 0.2)
+        assert result["regressions"] == 0
+
+
+class TestMain:
+    def test_default_is_warning_only(self, checker, tmp_path, capsys):
+        trajectory = write_rows(
+            tmp_path / "t.jsonl", [row(5, "batch", 10.0), row(6, "batch", 5.0)]
+        )
+        assert checker.main(["--trajectory", str(trajectory)]) == 0
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "warning only" in captured.err
+
+    def test_strict_gates_on_regression(self, checker, tmp_path, capsys):
+        trajectory = write_rows(
+            tmp_path / "t.jsonl", [row(5, "batch", 10.0), row(6, "batch", 5.0)]
+        )
+        assert (
+            checker.main(["--trajectory", str(trajectory), "--strict"]) == 1
+        )
+        capsys.readouterr()
+
+    def test_strict_passes_when_clean(self, checker, tmp_path, capsys):
+        trajectory = write_rows(
+            tmp_path / "t.jsonl", [row(5, "batch", 10.0), row(6, "batch", 11.0)]
+        )
+        assert (
+            checker.main(["--trajectory", str(trajectory), "--strict"]) == 0
+        )
+        capsys.readouterr()
+
+    def test_json_mode(self, checker, tmp_path, capsys):
+        trajectory = write_rows(
+            tmp_path / "t.jsonl", [row(5, "batch", 10.0), row(6, "batch", 11.0)]
+        )
+        assert checker.main(["--trajectory", str(trajectory), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-trajectory-check/1"
+        assert payload["comparisons"][0]["scenario"] == "batch"
+
+    def test_missing_trajectory_is_a_noop(self, checker, tmp_path, capsys):
+        assert (
+            checker.main(["--trajectory", str(tmp_path / "absent.jsonl")]) == 0
+        )
+        assert "nothing to check" in capsys.readouterr().out
+
+    def test_repo_trajectory_currently_passes_strict(self, checker, capsys):
+        # The checked-in history has no >20% drop; if a future PR's bench
+        # run regresses a gated scenario this starts failing, which is
+        # the point of the gate.
+        assert checker.main(["--strict"]) == 0
+        capsys.readouterr()

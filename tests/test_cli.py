@@ -573,3 +573,36 @@ class TestCliErrors:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestCliSurface:
+    """`repro --help` and the handler table cannot drift apart."""
+
+    def test_help_lists_every_subcommand(self, capsys):
+        from repro.cli import HANDLERS
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in HANDLERS:
+            assert command in out, f"'{command}' missing from repro --help"
+
+    def test_parser_choices_match_handlers(self):
+        import argparse
+
+        from repro.cli import HANDLERS, _build_parser
+
+        parser = _build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert set(subparsers.choices) == set(HANDLERS)
+
+    def test_lint_is_a_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "lint" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Run the repro invariant linter the way CI does.
+
+Thin wrapper over :func:`repro.analysis.lint.run_lint` so the CI job (and
+anyone reproducing it locally) gets exactly the gate semantics: scan
+``src/repro`` against the checked-in baseline ``tools/lint_baseline.json``
+and exit non-zero on any non-baselined finding.  Stale baseline entries
+are reported but do not fail the gate (the lint rule catalog is in
+``docs/static-analysis.md``).
+
+    python tools/run_analysis.py [--json] [PATH ...]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.lint import render_report_text, run_lint  # noqa: E402
+
+BASELINE = ROOT / "tools" / "lint_baseline.json"
+
+
+def main(argv: list[str]) -> int:
+    as_json = "--json" in argv
+    paths = [Path(arg) for arg in argv[1:] if not arg.startswith("--")]
+    if not paths:
+        paths = [ROOT / "src" / "repro"]
+    report = run_lint(paths, baseline=BASELINE if BASELINE.is_file() else None)
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(render_report_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
