@@ -1,0 +1,44 @@
+"""Interprocedural effect & concurrency analysis (``repro analyze``).
+
+Three stages layered on the one-parse lint project loader:
+
+1. :mod:`~repro.analysis.flow.callgraph` — resolve intra-project calls
+   (imports, aliases, re-exports, method dispatch) into a whole-program
+   call graph; record what cannot be resolved instead of guessing.
+2. :mod:`~repro.analysis.flow.effects` — per-function effect summaries
+   (RNG, clocks, IO, module-state mutation, row-scale loops, unpicklable
+   captures, lock acquisition with identities) propagated to fixpoint
+   over the graph.
+3. :mod:`~repro.analysis.flow.rules` — deep rules consuming the
+   summaries: REP701/702 lock-order deadlock detection, REP711
+   transitive determinism, REP721 transitive picklability, REP731
+   transitive kernel purity.
+
+See ``docs/static-analysis.md`` for the architecture and rule catalog.
+"""
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    build_call_graph,
+    graph_to_json,
+)
+from repro.analysis.flow.effects import EffectSummary, FlowEffects, compute_effects
+from repro.analysis.flow.engine import FlowReport, run_flow
+from repro.analysis.flow.report import render_flow_text
+from repro.analysis.flow.rules import FlowContext, FlowRule, all_rules, register
+
+__all__ = [
+    "CallGraph",
+    "EffectSummary",
+    "FlowContext",
+    "FlowEffects",
+    "FlowReport",
+    "FlowRule",
+    "all_rules",
+    "build_call_graph",
+    "compute_effects",
+    "graph_to_json",
+    "register",
+    "render_flow_text",
+    "run_flow",
+]

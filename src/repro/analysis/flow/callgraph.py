@@ -1,0 +1,932 @@
+"""Whole-program call graph over a parsed :class:`~repro.analysis.lint.project.Project`.
+
+The interprocedural analysis's first stage: resolve every *statically
+knowable* call between functions defined in the scanned tree, so later
+stages (effect fixpoint, deep rules) can reason about reachability and
+lock order instead of single files.  Resolution is deliberately humble —
+Python is dynamic, so anything the resolver cannot prove is recorded as
+an :class:`UnresolvedCall` with a reason and never guessed at, and the
+builder never crashes on one.
+
+What resolves
+-------------
+* bare calls to same-module functions and classes;
+* ``from``-imports and module imports, through aliases (``import
+  repro.engine.executor as ex; ex.run_fit_plan(...)``);
+* re-export chains through package ``__init__`` modules (``from
+  repro.engine import ProfilingService``);
+* ``self.method()`` / ``cls.method()`` dispatch, including in-project
+  base classes;
+* ``self.attr.method()`` where ``attr`` was assigned an in-project class
+  instance in any method of the same class;
+* ``var = SomeClass(...); var.method()`` local instances (single
+  assignment, same function);
+* constructor calls (edge to the class's ``__init__`` when defined
+  in-project).
+
+What stays unresolved (recorded, by kind)
+-----------------------------------------
+``callback`` — a bare call of a parameter or an untyped local (the
+interesting kind: unknown code runs at the call site); ``dynamic`` — the
+callee is not a name/attribute chain; ``method`` / ``attribute`` — a
+miss on a receiver whose type is unknown; ``project`` — a dotted path
+inside the scanned tree that did not resolve (e.g. a ``getattr``-built
+symbol).
+
+Lock identity
+-------------
+Every ``with <lock>:`` acquisition is recorded with a *lock identity* —
+``module.Class.attr`` for instance locks, ``module.NAME`` for module
+globals — and each call site carries the identities held at that point.
+Identities injected through constructors (``self._lock = lock`` in
+``__init__``, with a caller passing its own ``self._lock``) are unified
+with a union–find, so e.g. the lock a ``MetricsRegistry`` hands to its
+``Counter`` instances is one identity, not three.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.project import ModuleInfo, Project
+from repro.analysis.lint.rules.base import dotted_name
+
+_BUILTINS = frozenset(dir(builtins))
+
+#: ``threading`` factory names whose results are lock-like objects.
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+
+def package_prefix(root: Path) -> tuple[str, ...]:
+    """Dotted-package segments *above* ``root`` (inclusive), if it is a package.
+
+    Scanning ``src/repro`` yields ``("repro",)`` so relpaths become real
+    dotted module names; scanning a plain directory of fixture packages
+    yields ``()`` and each child package names itself.
+    """
+    parts: list[str] = []
+    current = root
+    while (current / "__init__.py").is_file():
+        parts.append(current.name)
+        current = current.parent
+    return tuple(reversed(parts))
+
+
+def module_name_for(prefix: tuple[str, ...], relpath: str) -> str:
+    """The dotted module name of ``relpath`` under package ``prefix``."""
+    parts = list(prefix) + relpath[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionNode:
+    """One function or method defined in the scanned tree."""
+
+    qualname: str
+    module: ModuleInfo
+    module_name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassNode:
+    """One class defined in the scanned tree."""
+
+    qualname: str
+    module: ModuleInfo
+    module_name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionNode] = field(default_factory=dict)
+    #: ``self.<attr>`` -> alias-resolved dotted name of the constructor
+    #: assigned to it (type inference for ``self.attr.method()`` calls).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: ``__init__`` parameter name -> ``self.<attr>`` it is stored under
+    #: (constructor injection, used for lock-identity aliasing).
+    init_param_attrs: dict[str, str] = field(default_factory=dict)
+    #: Positional parameter names of ``__init__`` (after ``self``).
+    init_params: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+    locks_held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ExternalCall:
+    """A resolved call whose target lives outside the scanned tree."""
+
+    caller: str
+    path: str
+    line: int
+    locks_held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UnresolvedCall:
+    """A call the resolver could not (and will not pretend to) resolve."""
+
+    caller: str
+    target: str
+    line: int
+    kind: str
+    locks_held: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One ``with <lock>:`` acquisition inside a function."""
+
+    function: str
+    identity: str
+    line: int
+    #: Lock identities already held (lexically) when this one is taken.
+    held: tuple[str, ...] = ()
+
+
+class LockAliases:
+    """Union–find over lock identities injected through constructors."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, identity: str) -> str:
+        parent = self._parent.get(identity, identity)
+        if parent == identity:
+            return identity
+        root = self.find(parent)
+        self._parent[identity] = root
+        return root
+
+    def union(self, left: str, right: str) -> None:
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root != right_root:
+            # Deterministic canonical representative: the smaller name.
+            low, high = sorted((left_root, right_root))
+            self._parent[high] = low
+
+    def groups(self) -> dict[str, list[str]]:
+        """Canonical identity -> sorted members (only non-trivial groups)."""
+        members: dict[str, set[str]] = {}
+        for identity in self._parent:
+            members.setdefault(self.find(identity), set()).add(identity)
+        for canonical in list(members):
+            members[canonical].add(canonical)
+        return {
+            canonical: sorted(group)
+            for canonical, group in sorted(members.items())
+            if len(group) > 1
+        }
+
+
+@dataclass
+class CallGraph:
+    """The resolved call graph plus everything resolution learned."""
+
+    functions: dict[str, FunctionNode] = field(default_factory=dict)
+    classes: dict[str, ClassNode] = field(default_factory=dict)
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    edges: list[CallEdge] = field(default_factory=list)
+    external_calls: list[ExternalCall] = field(default_factory=list)
+    unresolved: list[UnresolvedCall] = field(default_factory=list)
+    lock_sites: list[LockSite] = field(default_factory=list)
+    lock_aliases: LockAliases = field(default_factory=LockAliases)
+    #: Raw lock identity -> factory kind ("Lock", "RLock", ...) when the
+    #: creation site was seen.
+    lock_kinds: dict[str, str] = field(default_factory=dict)
+    #: The builder that produced this graph (kept for symbol resolution).
+    builder: "CallGraphBuilder | None" = None
+
+    def resolve(self, dotted: str):
+        """``("function", node)`` / ``("class", node)`` / ``None`` for a dotted path."""
+        if self.builder is None:
+            return None
+        return self.builder.resolve_symbol(dotted)
+
+    def callees(self) -> dict[str, list[CallEdge]]:
+        """Adjacency: caller qualname -> outgoing resolved edges."""
+        adjacency: dict[str, list[CallEdge]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.caller, []).append(edge)
+        return adjacency
+
+    def canonical_lock(self, identity: str) -> str:
+        return self.lock_aliases.find(identity)
+
+    def canonical_lock_kind(self, identity: str) -> str:
+        """The factory kind of a canonical lock ("unknown" when unseen)."""
+        canonical = self.canonical_lock(identity)
+        kinds = {
+            kind
+            for raw, kind in self.lock_kinds.items()
+            if self.canonical_lock(raw) == canonical
+        }
+        if len(kinds) == 1:
+            return next(iter(kinds))
+        return "unknown"
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dict(self, effects: dict | None = None) -> dict:
+        """JSON-ready graph document (``repro-flow-graph/1``)."""
+        payload: dict = {
+            "schema": "repro-flow-graph/1",
+            "functions": [
+                {
+                    "qualname": fn.qualname,
+                    "module": fn.module.relpath,
+                    "line": fn.line,
+                    **(
+                        {"effects": effects[fn.qualname].to_dict()}
+                        if effects and fn.qualname in effects
+                        else {}
+                    ),
+                }
+                for fn in sorted(self.functions.values(), key=lambda f: f.qualname)
+            ],
+            "edges": [
+                {
+                    "caller": edge.caller,
+                    "callee": edge.callee,
+                    "line": edge.line,
+                    **(
+                        {"locks_held": list(edge.locks_held)}
+                        if edge.locks_held
+                        else {}
+                    ),
+                }
+                for edge in sorted(
+                    self.edges, key=lambda e: (e.caller, e.line, e.callee)
+                )
+            ],
+            "unresolved": [
+                {
+                    "caller": call.caller,
+                    "target": call.target,
+                    "line": call.line,
+                    "kind": call.kind,
+                }
+                for call in sorted(
+                    self.unresolved, key=lambda c: (c.caller, c.line, c.target)
+                )
+            ],
+            "locks": {
+                "sites": [
+                    {
+                        "function": site.function,
+                        "identity": site.identity,
+                        "canonical": self.canonical_lock(site.identity),
+                        "line": site.line,
+                    }
+                    for site in sorted(
+                        self.lock_sites, key=lambda s: (s.function, s.line)
+                    )
+                ],
+                "aliases": self.lock_aliases.groups(),
+            },
+        }
+        return payload
+
+    def to_dot(self) -> str:
+        """GraphViz DOT rendering of the resolved edges, module-clustered."""
+        by_module: dict[str, list[FunctionNode]] = {}
+        for fn in self.functions.values():
+            by_module.setdefault(fn.module_name, []).append(fn)
+        lines = [
+            "digraph callgraph {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontsize=10, fontname="monospace"];',
+        ]
+        for index, module_name in enumerate(sorted(by_module)):
+            lines.append(f'  subgraph "cluster_{index}" {{')
+            lines.append(f'    label="{module_name}";')
+            for fn in sorted(by_module[module_name], key=lambda f: f.qualname):
+                short = fn.qualname[len(module_name) + 1 :] or fn.qualname
+                lines.append(f'    "{fn.qualname}" [label="{short}"];')
+            lines.append("  }")
+        seen: set[tuple[str, str]] = set()
+        for edge in sorted(self.edges, key=lambda e: (e.caller, e.callee)):
+            pair = (edge.caller, edge.callee)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            attrs = ' [color=red, penwidth=2]' if edge.locks_held else ""
+            lines.append(f'  "{edge.caller}" -> "{edge.callee}"{attrs};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+
+
+def _module_imports(module: ModuleInfo, module_name: str) -> dict[str, str]:
+    """Local name -> dotted target, handling absolute *and* relative imports."""
+    aliases: dict[str, str] = {}
+    is_package = module.name == "__init__.py"
+    parts = module_name.split(".") if module_name else []
+    package_parts = parts if is_package else parts[:-1]
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                up = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(up + ([node.module] if node.module else []))
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return aliases
+
+
+def _module_level_names(tree: ast.Module) -> set[str]:
+    """Names bound by simple assignments at module top level."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_lock_guard(expr: ast.expr) -> bool:
+    return "lock" in ast.unparse(expr).lower()
+
+
+def _lock_factory_kind(value: ast.expr) -> str | None:
+    """``"Lock"``/``"RLock"``/... when ``value`` is a lock-factory call."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    tail = name.split(".")[-1]
+    return tail if tail in _LOCK_FACTORIES else None
+
+
+class _Scope:
+    """Per-function resolution context while extracting calls."""
+
+    def __init__(self, fn: FunctionNode, cls: ClassNode | None) -> None:
+        self.fn = fn
+        self.cls = cls
+        args = fn.node.args
+        names = [
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        self.params = set(names)
+        self.local_types: dict[str, str] = {}
+        self.local_names: set[str] = set()
+
+
+class CallGraphBuilder:
+    """Two-pass builder: symbol tables first, then call extraction."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.prefix = package_prefix(project.root)
+        self.graph = CallGraph()
+        #: dotted module name -> import alias map
+        self._imports: dict[str, dict[str, str]] = {}
+        #: dotted module name -> module-level assigned names
+        self._module_names: dict[str, set[str]] = {}
+        #: first segments of every in-project module name
+        self._top_packages: set[str] = set()
+
+    # -- pass A: symbols ------------------------------------------------
+
+    def build(self) -> CallGraph:
+        for module in self.project.modules:
+            if module.tree is None:
+                continue
+            module_name = module_name_for(self.prefix, module.relpath)
+            self.graph.modules[module_name] = module
+            self._top_packages.add(module_name.split(".")[0])
+            self._imports[module_name] = _module_imports(module, module_name)
+            self._module_names[module_name] = _module_level_names(module.tree)
+            self._collect_symbols(module, module_name)
+        for module_name, module in self.graph.modules.items():
+            self._collect_module_locks(module, module_name)
+        for cls in self.graph.classes.values():
+            self._collect_class_state(cls)
+        for fn in list(self.graph.functions.values()):
+            cls = (
+                self.graph.classes.get(f"{fn.module_name}.{fn.class_name}")
+                if fn.class_name
+                else None
+            )
+            self._extract_calls(fn, cls)
+        self.graph.builder = self
+        return self.graph
+
+    def _collect_symbols(self, module: ModuleInfo, module_name: str) -> None:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module_name}.{node.name}"
+                self.graph.functions[qualname] = FunctionNode(
+                    qualname=qualname,
+                    module=module,
+                    module_name=module_name,
+                    node=node,
+                )
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{module_name}.{node.name}"
+                imports = self._imports[module_name]
+                bases = []
+                for base in node.bases:
+                    base_name = dotted_name(base)
+                    if base_name is None:
+                        continue
+                    root, _, rest = base_name.partition(".")
+                    resolved_root = imports.get(root, root)
+                    resolved = (
+                        f"{resolved_root}.{rest}" if rest else resolved_root
+                    )
+                    if "." not in resolved:
+                        resolved = f"{module_name}.{resolved}"
+                    bases.append(resolved)
+                cls = ClassNode(
+                    qualname=qualname,
+                    module=module,
+                    module_name=module_name,
+                    node=node,
+                    bases=tuple(bases),
+                )
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_qual = f"{qualname}.{child.name}"
+                        fn = FunctionNode(
+                            qualname=method_qual,
+                            module=module,
+                            module_name=module_name,
+                            node=child,
+                            class_name=node.name,
+                        )
+                        cls.methods[child.name] = fn
+                        self.graph.functions[method_qual] = fn
+                self.graph.classes[qualname] = cls
+
+    def _collect_module_locks(self, module: ModuleInfo, module_name: str) -> None:
+        for node in module.tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            kind = _lock_factory_kind(value)
+            if kind is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.graph.lock_kinds[f"{module_name}.{target.id}"] = kind
+
+    def _collect_class_state(self, cls: ClassNode) -> None:
+        """Infer ``self.attr`` types, lock creations, and injected params."""
+        imports = self._imports[cls.module_name]
+        init = cls.methods.get("__init__")
+        if init is not None:
+            args = init.node.args
+            cls.init_params = tuple(
+                a.arg for a in (*args.posonlyargs, *args.args)
+            )[1:]
+        for method in cls.methods.values():
+            param_names = set()
+            if method.name == "__init__":
+                param_names = set(cls.init_params)
+            for node in ast.walk(method.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    attr = target.attr
+                    kind = _lock_factory_kind(node.value)
+                    if kind is not None:
+                        self.graph.lock_kinds[f"{cls.qualname}.{attr}"] = kind
+                        continue
+                    if isinstance(node.value, ast.Call):
+                        callee = dotted_name(node.value.func)
+                        if callee is not None:
+                            root, _, rest = callee.partition(".")
+                            resolved_root = imports.get(root, root)
+                            resolved = (
+                                f"{resolved_root}.{rest}" if rest else resolved_root
+                            )
+                            if "." not in resolved:
+                                resolved = f"{cls.module_name}.{resolved}"
+                            cls.attr_types.setdefault(attr, resolved)
+                    elif (
+                        isinstance(node.value, ast.Name)
+                        and node.value.id in param_names
+                    ):
+                        cls.init_param_attrs[node.value.id] = attr
+
+    # -- symbol resolution ----------------------------------------------
+
+    def resolve_symbol(
+        self, dotted: str, _seen: frozenset[str] = frozenset()
+    ):
+        """``("function", FunctionNode)`` / ``("class", ClassNode)`` / ``None``."""
+        if dotted in _seen:
+            return None
+        _seen = _seen | {dotted}
+        if dotted in self.graph.functions:
+            return ("function", self.graph.functions[dotted])
+        if dotted in self.graph.classes:
+            return ("class", self.graph.classes[dotted])
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix not in self.graph.modules:
+                continue
+            rest = parts[cut:]
+            qual = f"{prefix}.{rest[0]}"
+            if qual in self.graph.functions and len(rest) == 1:
+                return ("function", self.graph.functions[qual])
+            if qual in self.graph.classes:
+                cls = self.graph.classes[qual]
+                if len(rest) == 1:
+                    return ("class", cls)
+                if len(rest) == 2:
+                    method = self.resolve_method(cls, rest[1])
+                    if method is not None:
+                        return ("function", method)
+                return None
+            imports = self._imports.get(prefix, {})
+            if rest[0] in imports:
+                target = ".".join([imports[rest[0]], *rest[1:]])
+                return self.resolve_symbol(target, _seen)
+            return None
+        return None
+
+    def resolve_method(
+        self, cls: ClassNode, name: str, _seen: frozenset[str] = frozenset()
+    ) -> FunctionNode | None:
+        """Look ``name`` up on ``cls`` and its in-project base classes."""
+        if cls.qualname in _seen:
+            return None
+        _seen = _seen | {cls.qualname}
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            resolved = self.resolve_symbol(base)
+            if resolved is not None and resolved[0] == "class":
+                found = self.resolve_method(resolved[1], name, _seen)
+                if found is not None:
+                    return found
+        return None
+
+    # -- pass B: call extraction ----------------------------------------
+
+    def _lock_identity(self, expr: ast.expr, scope: _Scope) -> str:
+        """The (raw) identity of a lock expression in ``scope``."""
+        fn = scope.fn
+        name = dotted_name(expr)
+        if name is None:
+            return f"{fn.module_name}.<{ast.unparse(expr)}>"
+        parts = name.split(".")
+        root = parts[0]
+        rest = ".".join(parts[1:])
+        if root in ("self", "cls") and scope.cls is not None:
+            return f"{scope.cls.qualname}.{rest}" if rest else scope.cls.qualname
+        if root in scope.params or root in scope.local_names:
+            return f"{fn.qualname}.{name}"
+        imports = self._imports[fn.module_name]
+        if root in imports:
+            resolved_root = imports[root]
+            return f"{resolved_root}.{rest}" if rest else resolved_root
+        return f"{fn.module_name}.{name}"
+
+    def _extract_calls(self, fn: FunctionNode, cls: ClassNode | None) -> None:
+        scope = _Scope(fn, cls)
+        body = list(fn.node.body)
+        self._walk_statements(body, scope, locks=())
+
+    def _walk_statements(
+        self, statements, scope: _Scope, locks: tuple[str, ...]
+    ) -> None:
+        for stmt in statements:
+            self._walk_statement(stmt, scope, locks)
+
+    def _walk_statement(self, stmt, scope: _Scope, locks: tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = locks
+            for item in stmt.items:
+                self._visit_expr(item.context_expr, scope, locks)
+                if _is_lock_guard(item.context_expr):
+                    identity = self._lock_identity(item.context_expr, scope)
+                    self.graph.lock_sites.append(
+                        LockSite(
+                            function=scope.fn.qualname,
+                            identity=identity,
+                            line=stmt.lineno,
+                            held=inner,
+                        )
+                    )
+                    if identity not in inner:
+                        inner = (*inner, identity)
+            self._walk_statements(stmt.body, scope, inner)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._visit_expr(stmt.value, scope, locks)
+            inferred = self._infer_constructed_type(stmt.value, scope)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    scope.local_names.add(target.id)
+                    if inferred is not None:
+                        scope.local_types[target.id] = inferred
+                    else:
+                        scope.local_types.pop(target.id, None)
+            return
+        if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if stmt.value is not None:
+                self._visit_expr(stmt.value, scope, locks)
+            if isinstance(stmt.target, ast.Name):
+                scope.local_names.add(stmt.target.id)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._visit_expr(stmt.iter, scope, locks)
+            if isinstance(stmt.target, ast.Name):
+                scope.local_names.add(stmt.target.id)
+            self._walk_statements(stmt.body, scope, locks)
+            self._walk_statements(stmt.orelse, scope, locks)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs fold into the enclosing function: their calls
+            # become the parent's edges (the closure runs on the parent's
+            # behalf when invoked).
+            scope.local_names.add(stmt.name)
+            self._walk_statements(stmt.body, scope, locks)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._walk_statements(stmt.body, scope, locks)
+            return
+        # Generic statement: visit nested statements with the same lock
+        # set, and expressions hanging off this node.
+        for child_field, value in ast.iter_fields(stmt):
+            del child_field
+            for child in value if isinstance(value, list) else [value]:
+                if isinstance(child, ast.stmt):
+                    self._walk_statement(child, scope, locks)
+                elif isinstance(child, ast.expr):
+                    self._visit_expr(child, scope, locks)
+                elif isinstance(child, ast.excepthandler):
+                    self._walk_statements(child.body, scope, locks)
+
+    def _infer_constructed_type(self, value, scope: _Scope) -> str | None:
+        """The class qualname when ``value`` is ``SomeProjectClass(...)``."""
+        if not isinstance(value, ast.Call):
+            return None
+        target = self._resolve_call_target_name(value, scope)
+        if target is None:
+            return None
+        resolved = self.resolve_symbol(target)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1].qualname
+        return None
+
+    def _resolve_call_target_name(
+        self, call: ast.Call, scope: _Scope
+    ) -> str | None:
+        """Alias-resolved dotted target of ``call`` (no symbol lookup yet)."""
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        root = parts[0]
+        rest = parts[1:]
+        module_name = scope.fn.module_name
+        if root in ("self", "cls"):
+            return name  # handled structurally in _visit_call
+        if root in scope.params or root in scope.local_names:
+            return name
+        qual = f"{module_name}.{root}"
+        if qual in self.graph.functions or qual in self.graph.classes:
+            return ".".join([qual, *rest])
+        imports = self._imports[module_name]
+        if root in imports:
+            return ".".join([imports[root], *rest])
+        if root in self._module_names.get(module_name, set()):
+            return ".".join([qual, *rest])
+        return name
+
+    def _visit_expr(self, expr, scope: _Scope, locks: tuple[str, ...]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._visit_call(node, scope, locks)
+
+    # -- call classification --------------------------------------------
+
+    def _visit_call(
+        self, call: ast.Call, scope: _Scope, locks: tuple[str, ...]
+    ) -> None:
+        fn = scope.fn
+        name = dotted_name(call.func)
+        if name is None:
+            self._unresolved(fn, call, "dynamic", ast.unparse(call.func), locks)
+            return
+        parts = name.split(".")
+        root = parts[0]
+        if root == "self" and scope.cls is not None:
+            self._visit_self_call(call, scope, parts, locks)
+            return
+        if root == "cls" and scope.cls is not None:
+            if len(parts) == 2:
+                method = self.resolve_method(scope.cls, parts[1])
+                if method is not None:
+                    self._edge(fn, method.qualname, call.lineno, locks)
+                    return
+            self._unresolved(fn, call, "method", name, locks)
+            return
+        if root in scope.params:
+            kind = "callback" if len(parts) == 1 else "attribute"
+            self._unresolved(fn, call, kind, name, locks)
+            return
+        if root in scope.local_types:
+            if len(parts) == 2:
+                cls = self.graph.classes.get(scope.local_types[root])
+                if cls is not None:
+                    method = self.resolve_method(cls, parts[1])
+                    if method is not None:
+                        self._edge(fn, method.qualname, call.lineno, locks)
+                        return
+            self._unresolved(fn, call, "method", name, locks)
+            return
+        if root in scope.local_names:
+            kind = "callback" if len(parts) == 1 else "attribute"
+            self._unresolved(fn, call, kind, name, locks)
+            return
+        target = self._resolve_call_target_name(call, scope)
+        assert target is not None  # name is not None here
+        resolved = self.resolve_symbol(target)
+        if resolved is not None:
+            self._resolved_target(call, scope, resolved, locks)
+            return
+        if target.split(".")[0] in self._top_packages:
+            self._unresolved(fn, call, "project", target, locks)
+            return
+        if len(parts) == 1 and root in _BUILTINS:
+            self.graph.external_calls.append(
+                ExternalCall(
+                    caller=fn.qualname,
+                    path=name,
+                    line=call.lineno,
+                    locks_held=locks,
+                )
+            )
+            return
+        self.graph.external_calls.append(
+            ExternalCall(
+                caller=fn.qualname,
+                path=target,
+                line=call.lineno,
+                locks_held=locks,
+            )
+        )
+
+    def _visit_self_call(
+        self, call: ast.Call, scope: _Scope, parts: list[str], locks
+    ) -> None:
+        fn = scope.fn
+        cls = scope.cls
+        if len(parts) == 2:
+            method = self.resolve_method(cls, parts[1])
+            if method is not None:
+                self._edge(fn, method.qualname, call.lineno, locks)
+            else:
+                self._unresolved(fn, call, "method", ".".join(parts), locks)
+            return
+        if len(parts) == 3:
+            attr_type = cls.attr_types.get(parts[1])
+            if attr_type is not None:
+                resolved = self.resolve_symbol(attr_type)
+                if resolved is not None and resolved[0] == "class":
+                    method = self.resolve_method(resolved[1], parts[2])
+                    if method is not None:
+                        self._edge(fn, method.qualname, call.lineno, locks)
+                        return
+        self._unresolved(fn, call, "attribute", ".".join(parts), locks)
+
+    def _resolved_target(
+        self, call: ast.Call, scope: _Scope, resolved, locks
+    ) -> None:
+        fn = scope.fn
+        kind, symbol = resolved
+        if kind == "function":
+            self._edge(fn, symbol.qualname, call.lineno, locks)
+            return
+        # Constructor: edge to __init__ (possibly inherited), plus lock
+        # aliasing for injected lock identities.
+        cls: ClassNode = symbol
+        init = self.resolve_method(cls, "__init__")
+        if init is not None:
+            self._edge(fn, init.qualname, call.lineno, locks)
+        self._alias_injected_locks(call, scope, cls)
+
+    def _alias_injected_locks(
+        self, call: ast.Call, scope: _Scope, cls: ClassNode
+    ) -> None:
+        if not cls.init_param_attrs:
+            return
+        bound: dict[str, ast.expr] = {}
+        for index, arg in enumerate(call.args):
+            if index < len(cls.init_params):
+                bound[cls.init_params[index]] = arg
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bound[keyword.arg] = keyword.value
+        for param, attr in cls.init_param_attrs.items():
+            arg = bound.get(param)
+            if arg is None:
+                continue
+            if "lock" not in attr.lower() and "lock" not in param.lower():
+                continue
+            identity = self._lock_identity(arg, scope)
+            self.graph.lock_aliases.union(f"{cls.qualname}.{attr}", identity)
+
+    def _edge(
+        self, fn: FunctionNode, callee: str, line: int, locks: tuple[str, ...]
+    ) -> None:
+        self.graph.edges.append(
+            CallEdge(
+                caller=fn.qualname, callee=callee, line=line, locks_held=locks
+            )
+        )
+
+    def _unresolved(
+        self, fn: FunctionNode, call: ast.Call, kind: str, target: str, locks
+    ) -> None:
+        self.graph.unresolved.append(
+            UnresolvedCall(
+                caller=fn.qualname,
+                target=target,
+                line=call.lineno,
+                kind=kind,
+                locks_held=locks,
+            )
+        )
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Build the resolved call graph for every parsed module in ``project``."""
+    return CallGraphBuilder(project).build()
+
+
+def graph_to_json(graph: CallGraph, effects: dict | None = None) -> str:
+    """The graph document as a JSON string."""
+    return json.dumps(graph.to_dict(effects), indent=2) + "\n"

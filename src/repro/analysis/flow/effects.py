@@ -1,0 +1,390 @@
+"""Per-function effect summaries, computed to fixpoint over the call graph.
+
+Stage two of the interprocedural analysis: every function in the
+:class:`~repro.analysis.flow.callgraph.CallGraph` gets an
+:class:`EffectSummary` describing what it does *directly* (witnessed in
+its own body) and *transitively* (through any resolved call chain).
+
+Effects tracked
+---------------
+``uses_rng``
+    Calls into ``numpy.random.*`` / stdlib ``random.*`` (the same
+    prefixes REP101 checks syntactically).
+``reads_clock``
+    Wall-clock reads (``time.time``, ``datetime.now``, ... — the REP102
+    set; the monotonic ``perf_counter`` clocks are *not* effects).
+``does_io``
+    ``open``, ``Path.read_text``-family methods, ``os``/``shutil`` file
+    operations.
+``mutates_module_state``
+    Writes a module-level mutable or rebinds a ``global`` (whether or
+    not a lock is held — lock discipline is REP601's business; for
+    determinism and picklability, mutation is mutation).
+``row_scale_loop``
+    A ``for`` loop over row-sized data (the REP501 heuristic), honoring
+    ``# kernel: scalar-ok``.
+``captures_unpicklable``
+    Stores a closure, lock, open file handle, or generator object on an
+    instance attribute — the patterns that make an object refuse to
+    cross a process boundary.
+
+Lock acquisitions are tracked separately (they carry identities, not a
+boolean): :attr:`EffectSummary.locks` holds the *canonical* lock
+identities a function acquires directly, ``transitive_locks`` those any
+callee chain acquires.
+
+Propagation barrier: functions defined in the sanctioned RNG module
+(:mod:`repro.sampling.rng`) do not propagate ``uses_rng`` to callers —
+routing randomness through it is exactly what makes a caller
+deterministic-by-contract.  A ``# flow: allow=<effect>`` pragma on a
+witness line (or the line above) suppresses that direct witness.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionNode
+from repro.analysis.lint.rules.determinism import (
+    ALLOWLIST as RNG_ALLOWLIST,
+    _CLOCK_CALLS,
+    _RANDOM_PREFIXES,
+)
+from repro.analysis.lint.rules.kernel_purity import _is_row_sized
+from repro.analysis.lint.rules.locked_state import (
+    _module_level_mutables,
+    _MUTATORS,
+    _root_name,
+)
+
+EFFECTS = (
+    "uses_rng",
+    "reads_clock",
+    "does_io",
+    "mutates_module_state",
+    "row_scale_loop",
+    "captures_unpicklable",
+)
+
+_IO_CALLS = frozenset(
+    {
+        "open",
+        "os.remove",
+        "os.rename",
+        "os.replace",
+        "os.unlink",
+        "os.makedirs",
+        "os.mkdir",
+        "os.rmdir",
+    }
+)
+_IO_METHOD_TAILS = ("read_text", "write_text", "read_bytes", "write_bytes")
+_IO_PREFIXES = ("shutil.",)
+
+
+@dataclass
+class EffectSummary:
+    """What one function does, directly and through its callees."""
+
+    qualname: str
+    direct: set[str] = field(default_factory=set)
+    transitive: set[str] = field(default_factory=set)
+    locks: set[str] = field(default_factory=set)
+    transitive_locks: set[str] = field(default_factory=set)
+    #: effect -> [(line, description)] for the *direct* witnesses.
+    witnesses: dict[str, list[tuple[int, str]]] = field(default_factory=dict)
+
+    def add_direct(self, effect: str, line: int, description: str) -> None:
+        self.direct.add(effect)
+        self.transitive.add(effect)
+        self.witnesses.setdefault(effect, []).append((line, description))
+
+    def has(self, effect: str) -> bool:
+        return effect in self.transitive
+
+    def has_direct(self, effect: str) -> bool:
+        return effect in self.direct
+
+    def to_dict(self) -> dict:
+        payload: dict = {}
+        if self.direct:
+            payload["direct"] = sorted(self.direct)
+        if self.transitive - self.direct:
+            payload["inherited"] = sorted(self.transitive - self.direct)
+        if self.locks:
+            payload["locks"] = sorted(self.locks)
+        if self.transitive_locks - self.locks:
+            payload["inherited_locks"] = sorted(self.transitive_locks - self.locks)
+        return payload
+
+
+@dataclass
+class FlowEffects:
+    """The fixpoint result: every function's summary, plus run counters."""
+
+    summaries: dict[str, EffectSummary]
+    fixpoint_rounds: int
+    generators: set[str] = field(default_factory=set)
+
+    def summary(self, qualname: str) -> EffectSummary | None:
+        return self.summaries.get(qualname)
+
+
+def _is_sanctioned_rng(fn: FunctionNode) -> bool:
+    return any(fn.module.relpath.endswith(entry) for entry in RNG_ALLOWLIST)
+
+
+def _is_generator(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the function's own body (not nested defs) yields."""
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+    return False
+
+
+def _nested_def_names(node: ast.AST) -> set[str]:
+    return {
+        child.name
+        for child in ast.walk(node)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not node
+    }
+
+
+class _DirectEffects:
+    """One pass over a function body collecting direct effect witnesses."""
+
+    def __init__(
+        self, graph: CallGraph, generators: set[str]
+    ) -> None:
+        self.graph = graph
+        self.generators = generators
+        self._mutables_cache: dict[str, set[str]] = {}
+
+    def _module_mutables(self, fn: FunctionNode) -> set[str]:
+        cached = self._mutables_cache.get(fn.module_name)
+        if cached is None:
+            cached = _module_level_mutables(fn.module.tree)
+            self._mutables_cache[fn.module_name] = cached
+        return cached
+
+    def compute(self, fn: FunctionNode, summary: EffectSummary) -> None:
+        mutables = self._module_mutables(fn)
+        globals_: set[str] = set()
+        nested = _nested_def_names(fn.node)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                globals_.update(node.names)
+        for node in ast.walk(fn.node):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_loop(fn, node, summary)
+            elif isinstance(node, ast.Assign):
+                self._check_assign(fn, node, summary, mutables, globals_, nested)
+            elif isinstance(node, ast.AugAssign):
+                self._check_mutation_target(
+                    fn, node, node.target, summary, mutables, globals_
+                )
+            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                self._check_mutator_call(fn, node.value, summary, mutables)
+        # Resolved external calls carry the rng/clock/io witnesses.
+        for call in self.graph.external_calls:
+            if call.caller != fn.qualname:
+                continue
+            self._check_external(fn, call.path, call.line, summary)
+
+    # -- witnesses -------------------------------------------------------
+
+    def _allowed(self, fn: FunctionNode, effect: str, line: int) -> bool:
+        return fn.module.allows_effect(effect, line)
+
+    def _check_external(
+        self, fn: FunctionNode, path: str, line: int, summary: EffectSummary
+    ) -> None:
+        if any(path.startswith(prefix) for prefix in _RANDOM_PREFIXES):
+            if not self._allowed(fn, "uses_rng", line):
+                summary.add_direct("uses_rng", line, f"calls {path}()")
+        elif path in _CLOCK_CALLS:
+            if not self._allowed(fn, "reads_clock", line):
+                summary.add_direct("reads_clock", line, f"calls {path}()")
+        elif (
+            path in _IO_CALLS
+            or path.split(".")[-1] in _IO_METHOD_TAILS
+            or any(path.startswith(prefix) for prefix in _IO_PREFIXES)
+        ):
+            if not self._allowed(fn, "does_io", line):
+                summary.add_direct("does_io", line, f"calls {path}()")
+
+    def _check_loop(
+        self, fn: FunctionNode, node: ast.For | ast.AsyncFor, summary: EffectSummary
+    ) -> None:
+        if not _is_row_sized(node.iter):
+            return
+        module = fn.module
+        if node.lineno in module.scalar_ok or (node.lineno - 1) in module.scalar_ok:
+            return
+        if self._allowed(fn, "row_scale_loop", node.lineno):
+            return
+        summary.add_direct(
+            "row_scale_loop",
+            node.lineno,
+            f"loops over row-sized {ast.unparse(node.iter)}",
+        )
+
+    def _check_assign(
+        self,
+        fn: FunctionNode,
+        node: ast.Assign,
+        summary: EffectSummary,
+        mutables: set[str],
+        globals_: set[str],
+        nested: set[str],
+    ) -> None:
+        for target in node.targets:
+            self._check_mutation_target(
+                fn, node, target, summary, mutables, globals_
+            )
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            ):
+                continue
+            witness = self._unpicklable_value(fn, node.value, nested)
+            if witness is None:
+                continue
+            if self._allowed(fn, "captures_unpicklable", node.lineno):
+                continue
+            summary.add_direct(
+                "captures_unpicklable",
+                node.lineno,
+                f"{witness} stored on self.{target.attr}",
+            )
+
+    def _unpicklable_value(
+        self, fn: FunctionNode, value: ast.expr, nested: set[str]
+    ) -> str | None:
+        """A description when ``value`` is an unpicklable thing, else None."""
+        if isinstance(value, ast.Lambda):
+            return "a lambda closure"
+        if isinstance(value, ast.Name) and value.id in nested:
+            return f"the nested function {value.id}()"
+        if isinstance(value, ast.Call):
+            name = ast.unparse(value.func)
+            tail = name.split(".")[-1]
+            if tail in ("Lock", "RLock", "Condition", "Semaphore"):
+                return f"a threading.{tail}"
+            if tail == "open" and "." not in name:
+                return "an open file handle"
+            # A call to an in-project generator function.
+            target = self._resolve_in_module(fn, name)
+            if target is not None and target in self.generators:
+                return f"a generator from {target.split('.')[-1]}()"
+        return None
+
+    def _resolve_in_module(self, fn: FunctionNode, name: str) -> str | None:
+        """Best-effort qualname of a bare/aliased call target (for generators)."""
+        if "." in name or "(" in name:
+            return None
+        qual = f"{fn.module_name}.{name}"
+        if qual in self.graph.functions:
+            return qual
+        if fn.class_name:
+            method = f"{fn.module_name}.{fn.class_name}.{name}"
+            if method in self.graph.functions:
+                return method
+        return None
+
+    def _check_mutation_target(
+        self,
+        fn: FunctionNode,
+        node: ast.stmt,
+        target: ast.expr,
+        summary: EffectSummary,
+        mutables: set[str],
+        globals_: set[str],
+    ) -> None:
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root in mutables:
+                self._mutation(fn, node, summary, root)
+        elif isinstance(target, ast.Name) and target.id in globals_:
+            self._mutation(fn, node, summary, target.id)
+
+    def _check_mutator_call(
+        self,
+        fn: FunctionNode,
+        call: ast.Call,
+        summary: EffectSummary,
+        mutables: set[str],
+    ) -> None:
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _MUTATORS:
+            root = _root_name(call.func.value)
+            if root in mutables:
+                self._mutation(fn, call, summary, root)
+
+    def _mutation(
+        self, fn: FunctionNode, node: ast.AST, summary: EffectSummary, name: str
+    ) -> None:
+        line = getattr(node, "lineno", fn.line)
+        if self._allowed(fn, "mutates_module_state", line):
+            return
+        summary.add_direct(
+            "mutates_module_state", line, f"writes module-level {name!r}"
+        )
+
+
+def compute_effects(graph: CallGraph) -> FlowEffects:
+    """Direct witnesses plus the round-counted transitive fixpoint."""
+    generators = {
+        qualname
+        for qualname, fn in graph.functions.items()
+        if _is_generator(fn.node)
+    }
+    summaries = {
+        qualname: EffectSummary(qualname=qualname)
+        for qualname in graph.functions
+    }
+    direct = _DirectEffects(graph, generators)
+    for qualname, fn in graph.functions.items():
+        direct.compute(fn, summaries[qualname])
+    for site in graph.lock_sites:
+        summary = summaries.get(site.function)
+        if summary is not None:
+            canonical = graph.canonical_lock(site.identity)
+            summary.locks.add(canonical)
+            summary.transitive_locks.add(canonical)
+
+    # Monotone propagation over resolved edges until nothing changes.
+    # Effect sets only grow and are bounded, so this terminates — mutual
+    # recursion just means both functions converge to the union.
+    rounds = 0
+    changed = True
+    while changed:
+        rounds += 1
+        changed = False
+        for edge in graph.edges:
+            callee_summary = summaries.get(edge.callee)
+            caller_summary = summaries.get(edge.caller)
+            if callee_summary is None or caller_summary is None:
+                continue
+            callee_fn = graph.functions[edge.callee]
+            incoming = set(callee_summary.transitive)
+            if _is_sanctioned_rng(callee_fn):
+                incoming.discard("uses_rng")
+            if not incoming <= caller_summary.transitive:
+                caller_summary.transitive |= incoming
+                changed = True
+            if not callee_summary.transitive_locks <= caller_summary.transitive_locks:
+                caller_summary.transitive_locks |= callee_summary.transitive_locks
+                changed = True
+    return FlowEffects(
+        summaries=summaries, fixpoint_rounds=rounds, generators=generators
+    )

@@ -1,0 +1,144 @@
+"""The flow engine: load → graph → fixpoint → rules → baseline → report.
+
+One :func:`run_flow` call is one ``analysis.flow`` span: the project is
+parsed once (or handed in pre-parsed, so ``tools/run_analysis.py`` can
+feed lint and flow from the same tree), the call graph is built over
+every module, effect summaries are computed to fixpoint, every
+registered flow rule runs, pragma suppressions are applied centrally,
+and the baseline partitions what is left — the same semantics as
+:func:`repro.analysis.lint.engine.run_lint`.
+
+Syntax errors are *not* re-reported here (lint owns REP901); modules
+that failed to parse simply contribute no functions to the graph.
+
+Observability: the ``analysis.flow`` span plus the
+``analysis.flow.functions`` / ``.edges_resolved`` / ``.edges_unresolved``
+/ ``.fixpoint_rounds`` / ``.findings`` counters in the process-wide
+metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.effects import FlowEffects, compute_effects
+from repro.analysis.flow.rules import FlowContext, all_rules
+from repro.analysis.lint.baseline import load_baseline, split_by_baseline
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.project import Project
+from repro.obs import get_metrics, timed_span
+
+
+@dataclass
+class FlowReport:
+    """The outcome of one interprocedural analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[tuple[str, str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+    functions: int = 0
+    edges_resolved: int = 0
+    edges_unresolved: int = 0
+    fixpoint_rounds: int = 0
+    seconds: float = 0.0
+    rules: tuple[str, ...] = ()
+    #: The underlying artifacts, for ``--graph`` export (not serialized).
+    graph: CallGraph | None = field(default=None, repr=False, compare=False)
+    effects: FlowEffects | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the analyzed tree is clean modulo the baseline."""
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "functions": self.functions,
+            "edges_resolved": self.edges_resolved,
+            "edges_unresolved": self.edges_unresolved,
+            "fixpoint_rounds": self.fixpoint_rounds,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stale_baseline": [list(key) for key in self.stale_baseline],
+        }
+
+
+def run_flow(
+    paths: list[Path | str],
+    *,
+    baseline: Path | str | None = None,
+    project: Project | None = None,
+    rules=None,
+) -> FlowReport:
+    """Analyze ``paths`` interprocedurally and return a :class:`FlowReport`.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan (ignored when ``project`` is given).
+    baseline:
+        Optional ``repro-lint-baseline/1`` JSON file; matched findings
+        report as grandfathered instead of actionable.
+    project:
+        A pre-parsed :class:`Project` to reuse (one parse feeds both
+        lint and flow).
+    rules:
+        Rule-instance override for tests; defaults to every registered
+        flow rule.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    with timed_span("analysis.flow", paths=[str(p) for p in paths]) as run_span:
+        if project is None:
+            project = Project.load([Path(p) for p in paths])
+        graph = build_call_graph(project)
+        effects = compute_effects(graph)
+        context = FlowContext(project=project, graph=graph, effects=effects)
+
+        modules_by_path = {module.relpath: module for module in project.modules}
+        findings: set[Finding] = set()
+        for rule in active_rules:
+            for finding in rule.check(context):
+                module = modules_by_path.get(finding.path)
+                if module is not None and module.is_suppressed(
+                    finding.code, finding.line
+                ):
+                    continue
+                findings.add(finding)
+        ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+        baseline_keys = (
+            load_baseline(Path(baseline)) if baseline is not None else set()
+        )
+        new, matched, stale = split_by_baseline(ordered, baseline_keys)
+        run_span.set(
+            files=len(project.modules),
+            functions=len(graph.functions),
+            findings=len(new),
+        )
+
+    metrics = get_metrics()
+    metrics.counter("analysis.flow.functions").inc(len(graph.functions))
+    metrics.counter("analysis.flow.edges_resolved").inc(len(graph.edges))
+    metrics.counter("analysis.flow.edges_unresolved").inc(len(graph.unresolved))
+    metrics.counter("analysis.flow.fixpoint_rounds").inc(effects.fixpoint_rounds)
+    metrics.counter("analysis.flow.findings").inc(len(new))
+    return FlowReport(
+        findings=new,
+        baselined=matched,
+        stale_baseline=stale,
+        files_scanned=len(project.modules),
+        functions=len(graph.functions),
+        edges_resolved=len(graph.edges),
+        edges_unresolved=len(graph.unresolved),
+        fixpoint_rounds=effects.fixpoint_rounds,
+        seconds=run_span.seconds,
+        rules=tuple(rule.code for rule in active_rules),
+        graph=graph,
+        effects=effects,
+    )

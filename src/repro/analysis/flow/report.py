@@ -1,0 +1,46 @@
+"""Text rendering for flow reports (the JSON side reuses ``Result``).
+
+Same compiler-style shape as the lint renderer — ``path:line:col CODE
+message`` plus a summary line — extended with the graph statistics that
+make an interprocedural run legible: functions analyzed, resolved and
+unresolved edge counts, and fixpoint rounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.engine import FlowReport
+
+
+def render_flow_text(report: FlowReport, *, verbose_baseline: bool = False) -> str:
+    """Human-readable flow report: findings grouped by file plus a summary."""
+    lines: list[str] = []
+    by_path: dict[str, list] = {}
+    for finding in report.findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path in sorted(by_path):
+        for finding in sorted(by_path[path]):
+            lines.append(str(finding))
+    if verbose_baseline and report.baselined:
+        lines.append("")
+        lines.append(f"baselined (grandfathered) findings: {len(report.baselined)}")
+        for finding in report.baselined:
+            lines.append(f"  {finding}")
+    for key in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry (debt already paid — remove it): "
+            f"{key[1]}: {key[0]} {key[2]}"
+        )
+    if lines:
+        lines.append("")
+    lines.append(
+        f"{len(report.findings)} finding(s) "
+        f"({len(report.baselined)} baselined) across "
+        f"{report.functions} function(s) in {report.files_scanned} file(s): "
+        f"{report.edges_resolved} edge(s) resolved, "
+        f"{report.edges_unresolved} unresolved, "
+        f"fixpoint in {report.fixpoint_rounds} round(s), "
+        f"{report.seconds:.3f}s"
+    )
+    if report.ok:
+        lines.append("analyze: clean")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""The flow analysis's deep-rule catalog (see ``docs/static-analysis.md``).
+
+Importing this package registers every built-in flow rule; the engine
+asks :func:`all_rules` for fresh instances.  Adding a rule = one new
+module here (subclass :class:`FlowRule`, decorate with
+:func:`register`) plus an import below.
+"""
+
+from repro.analysis.flow.rules.base import (
+    FlowContext,
+    FlowRule,
+    all_rules,
+    register,
+)
+from repro.analysis.flow.rules.determinism import TransitiveDeterminismRule
+from repro.analysis.flow.rules.kernels import TransitiveKernelPurityRule
+from repro.analysis.flow.rules.lockorder import LockOrderRule
+from repro.analysis.flow.rules.picklability import TransitivePicklabilityRule
+
+__all__ = [
+    "FlowContext",
+    "FlowRule",
+    "LockOrderRule",
+    "TransitiveDeterminismRule",
+    "TransitiveKernelPurityRule",
+    "TransitivePicklabilityRule",
+    "all_rules",
+    "register",
+]

@@ -1,0 +1,159 @@
+"""FlowRule protocol, registry, and shared reachability helpers.
+
+Flow rules mirror the lint rule machinery (:mod:`repro.analysis.lint.rules.base`)
+— a unique ``code``, a one-line ``contract``, declarative ``@register``
+— but live in their **own** registry so ``repro lint`` and ``repro
+analyze`` stay distinct commands: lint runs the syntactic per-file
+rules, analyze runs the interprocedural ones.  Findings, pragma
+suppression, and baseline semantics are shared (same
+:class:`~repro.analysis.lint.findings.Finding` type, same
+``(code, path, message)`` baseline key).
+
+A flow rule checks a :class:`FlowContext` — the parsed project, the
+resolved call graph, and the effect fixpoint — rather than one module
+at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.flow.callgraph import CallGraph, FunctionNode
+from repro.analysis.flow.effects import FlowEffects
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.project import Project
+
+_REGISTRY: dict[str, type["FlowRule"]] = {}
+
+
+def register(rule_cls: type["FlowRule"]) -> type["FlowRule"]:
+    """Class decorator adding ``rule_cls`` to the flow rule table."""
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate flow rule code {rule_cls.code!r}")
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list["FlowRule"]:
+    """Fresh instances of every registered flow rule, in code order."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+@dataclass
+class FlowContext:
+    """Everything a flow rule can see: project, call graph, effects."""
+
+    project: Project
+    graph: CallGraph
+    effects: FlowEffects
+
+    def function(self, qualname: str) -> FunctionNode | None:
+        return self.graph.functions.get(qualname)
+
+
+class FlowRule:
+    """Base class: set ``code``/``name``/``contract``, implement check."""
+
+    code = "REP700"
+    name = "abstract"
+    contract = ""
+
+    def check(self, context: FlowContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, fn: FunctionNode, line: int, code: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=fn.module.relpath,
+            line=line,
+            col=1,
+            code=code,
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared reachability helpers
+# ----------------------------------------------------------------------
+
+
+def public_all(module_tree) -> list[str] | None:
+    """The module's ``__all__`` as a list of strings, or ``None``."""
+    import ast
+
+    for node in module_tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    names = [
+                        element.value
+                        for element in value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    ]
+                    return names
+    return None
+
+
+def reachable_witnesses(
+    graph: CallGraph,
+    roots: Iterable[str],
+    has_witness: Callable[[str], bool],
+    *,
+    enter: Callable[[str], bool] | None = None,
+) -> dict[str, tuple[str, list[str]]]:
+    """BFS from ``roots`` over resolved edges, collecting witness sinks.
+
+    Returns ``{sink_qualname: (root, path)}`` where ``path`` is the
+    shortest call chain ``[root, ..., sink]`` from the first root (in
+    sorted order) that reaches the sink — so each sink yields exactly one
+    finding with a deterministic representative path.  ``enter`` gates
+    traversal *into* a callee (barriers like the sanctioned RNG module).
+    """
+    adjacency: dict[str, list[str]] = {}
+    for edge in graph.edges:
+        adjacency.setdefault(edge.caller, []).append(edge.callee)
+    for callees in adjacency.values():
+        callees.sort()
+
+    result: dict[str, tuple[str, list[str]]] = {}
+    for root in sorted(set(roots)):
+        if root not in graph.functions:
+            continue
+        parents: dict[str, str | None] = {root: None}
+        queue = [root]
+        while queue:
+            current = queue.pop(0)
+            if current not in result and has_witness(current):
+                path = [current]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                result[current] = (root, list(reversed(path)))
+            for callee in adjacency.get(current, ()):
+                if callee in parents or callee not in graph.functions:
+                    continue
+                if enter is not None and not enter(callee):
+                    continue
+                parents[callee] = current
+                queue.append(callee)
+    return result
+
+
+def render_path(path: list[str], graph: CallGraph) -> str:
+    """A compact ``a -> b -> c`` rendering, module prefixes trimmed."""
+    shorts = []
+    for qualname in path:
+        fn = graph.functions.get(qualname)
+        if fn is None:
+            shorts.append(qualname)
+            continue
+        shorts.append(qualname[len(fn.module_name) + 1 :] or qualname)
+    return " -> ".join(shorts)

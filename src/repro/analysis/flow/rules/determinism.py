@@ -1,0 +1,117 @@
+"""REP711 — transitive determinism: public API never reaches raw RNG/clocks.
+
+REP101/102 (lint) catch a stray ``np.random.default_rng()`` in the file
+that contains it.  This rule upgrades that to a reachability proof: a
+function exported through a module's public ``__all__`` must not reach
+— through *any* resolved call chain — unsanctioned randomness or a
+wall-clock read, unless the chain passes through the sanctioned RNG
+module (:mod:`repro.sampling.rng`), whose whole job is turning ambient
+seeds into deterministic streams.
+
+The BFS does not traverse *into* sanctioned-module functions (routing
+through them is what makes a caller deterministic), and a finding
+anchors at the witness function's first offending line, with the
+representative call path in the message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.flow.rules.base import (
+    FlowContext,
+    FlowRule,
+    public_all,
+    reachable_witnesses,
+    register,
+    render_path,
+)
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.rules.determinism import ALLOWLIST as RNG_ALLOWLIST
+
+
+def _is_sanctioned(context: FlowContext, qualname: str) -> bool:
+    fn = context.function(qualname)
+    return fn is not None and any(
+        fn.module.relpath.endswith(entry) for entry in RNG_ALLOWLIST
+    )
+
+
+def public_roots(context: FlowContext) -> set[str]:
+    """Functions exported via any module's ``__all__`` (methods included)."""
+    roots: set[str] = set()
+    for module_name, module in context.graph.modules.items():
+        if module.tree is None:
+            continue
+        exported = public_all(module.tree)
+        if not exported:
+            continue
+        for name in exported:
+            resolved = _resolve_export(context, module_name, name)
+            if resolved is None:
+                continue
+            kind, symbol = resolved
+            if kind == "function":
+                roots.add(symbol.qualname)
+            else:
+                for method_name, method in symbol.methods.items():
+                    if not method_name.startswith("_") or method_name == "__init__":
+                        roots.add(method.qualname)
+    return roots
+
+
+def _resolve_export(context: FlowContext, module_name: str, name: str):
+    return context.graph.resolve(f"{module_name}.{name}")
+
+
+@register
+class TransitiveDeterminismRule(FlowRule):
+    code = "REP711"
+    name = "transitive-determinism"
+    contract = (
+        "no function reachable from a public __all__ export reaches "
+        "raw RNG or wall clocks except through repro.sampling.rng"
+    )
+
+    def check(self, context: FlowContext) -> Iterable[Finding]:
+        effects = context.effects
+        roots = public_roots(context)
+
+        def has_witness(qualname: str) -> bool:
+            summary = effects.summary(qualname)
+            if summary is None:
+                return False
+            return summary.has_direct("uses_rng") or summary.has_direct(
+                "reads_clock"
+            )
+
+        sinks = reachable_witnesses(
+            context.graph,
+            roots,
+            has_witness,
+            enter=lambda qualname: not _is_sanctioned(context, qualname),
+        )
+        for sink in sorted(sinks):
+            if _is_sanctioned(context, sink):
+                continue
+            root, path = sinks[sink]
+            summary = effects.summary(sink)
+            witnesses = summary.witnesses.get("uses_rng") or summary.witnesses.get(
+                "reads_clock"
+            )
+            line, description = min(witnesses)
+            fn = context.function(sink)
+            effect = (
+                "unsanctioned randomness"
+                if "uses_rng" in summary.direct
+                else "a wall-clock read"
+            )
+            yield self.finding(
+                fn,
+                line,
+                "REP711",
+                f"public API {root.split('.')[-1]}() transitively reaches "
+                f"{effect} ({description}) via "
+                f"{render_path(path, context.graph)} — route through "
+                "repro.sampling.rng (or repro.obs clocks)",
+            )

@@ -1,0 +1,83 @@
+"""REP731 — transitive kernel purity: no hidden row loops behind kernels.
+
+REP501 (lint) bans Python-level loops over row-sized data *inside*
+``repro.kernels`` modules.  A kernel can still lose its vectorized
+speedup by calling an out-of-kernel helper that row-loops — the loop
+just moved one frame down.  This rule follows the call graph: a public
+kernel function (exported via ``__all__``, or any non-underscore
+top-level function of a kernels module) must not reach a function
+*outside* the kernels package whose body loops over row-sized data.
+
+In-kernel loops stay REP501's business (including its
+``# kernel: scalar-ok`` escape); a helper that legitimately row-loops
+can carry ``# kernel: scalar-ok`` or ``# flow: allow=row_scale_loop``
+on the loop line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.flow.rules.base import (
+    FlowContext,
+    FlowRule,
+    public_all,
+    reachable_witnesses,
+    register,
+    render_path,
+)
+from repro.analysis.lint.findings import Finding
+
+
+def kernel_roots(context: FlowContext) -> set[str]:
+    """Public entry points of every kernels module."""
+    roots: set[str] = set()
+    for module_name, module in context.graph.modules.items():
+        if module.tree is None or "kernels" not in module.parts:
+            continue
+        exported = public_all(module.tree)
+        for qualname, fn in context.graph.functions.items():
+            if fn.module_name != module_name or fn.class_name is not None:
+                continue
+            if exported is not None:
+                if fn.name in exported:
+                    roots.add(qualname)
+            elif not fn.name.startswith("_"):
+                roots.add(qualname)
+    return roots
+
+
+@register
+class TransitiveKernelPurityRule(FlowRule):
+    code = "REP731"
+    name = "transitive-kernel-purity"
+    contract = (
+        "public kernel functions do not reach out-of-kernel helpers "
+        "that loop over row-sized data"
+    )
+
+    def check(self, context: FlowContext) -> Iterable[Finding]:
+        effects = context.effects
+
+        def has_witness(qualname: str) -> bool:
+            fn = context.function(qualname)
+            if fn is None or "kernels" in fn.module.parts:
+                return False  # in-kernel loops are REP501's to report
+            summary = effects.summary(qualname)
+            return summary is not None and summary.has_direct("row_scale_loop")
+
+        sinks = reachable_witnesses(context.graph, kernel_roots(context), has_witness)
+        for sink in sorted(sinks):
+            root, path = sinks[sink]
+            summary = effects.summary(sink)
+            line, description = min(summary.witnesses["row_scale_loop"])
+            fn = context.function(sink)
+            yield self.finding(
+                fn,
+                line,
+                "REP731",
+                f"kernel entry {root.split('.')[-1]}() reaches a row-scale "
+                f"Python loop ({description}) via "
+                f"{render_path(path, context.graph)} — vectorize the "
+                "helper or mark the loop '# kernel: scalar-ok'",
+            )

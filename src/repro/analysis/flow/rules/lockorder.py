@@ -1,0 +1,191 @@
+"""REP70x — lock-order deadlock detection over the whole program.
+
+The obs metrics registry, the engine's summary caches, and the live
+sessions each guard their state with a lock.  One-shot CLI runs rarely
+interleave them; the planned ``repro serve`` daemon will, constantly.
+Two interprocedural hazards become findings here:
+
+* **REP701** — a cycle in the lock-acquisition order graph.  An edge
+  ``L -> M`` exists when code holding ``L`` acquires ``M`` — lexically
+  (nested ``with``) or through any resolved call chain.  Two threads
+  taking the cycle's locks in opposite orders deadlock; a self-edge on
+  a non-reentrant lock deadlocks a single thread.
+* **REP702** — an *unknown callable* (a parameter or untyped local —
+  user code, from the analysis's point of view) invoked while holding a
+  lock.  The callback can re-enter the locked component and deadlock,
+  or stall every other thread for as long as it runs.  Hoist the
+  callback out of the critical section (compute-then-publish).
+
+Lock identities come from the call graph (module + class + attribute,
+with constructor-injected aliases unified), so ``MetricsRegistry`` and
+the ``Counter`` instances it hands its own lock to count as one lock.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.flow.rules.base import (
+    FlowContext,
+    FlowRule,
+    register,
+)
+from repro.analysis.lint.findings import Finding
+
+
+def _short(identity: str) -> str:
+    """A readable lock name: last two dotted segments."""
+    parts = identity.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else identity
+
+
+@register
+class LockOrderRule(FlowRule):
+    code = "REP701"
+    name = "lock-order"
+    contract = (
+        "the whole-program lock-acquisition order graph is acyclic, and "
+        "no unknown callable runs while a lock is held"
+    )
+
+    def check(self, context: FlowContext) -> Iterable[Finding]:
+        graph = context.graph
+        effects = context.effects
+
+        # Order edges: (held, acquired) -> first witness (function, line).
+        order: dict[tuple[str, str], tuple[str, int]] = {}
+
+        def record(held: str, acquired: str, function: str, line: int) -> None:
+            key = (held, acquired)
+            if key not in order or (function, line) < order[key]:
+                order[key] = (function, line)
+
+        # Lexical nesting: a lock taken while others are held.
+        for site in graph.lock_sites:
+            acquired = graph.canonical_lock(site.identity)
+            for held in site.held:
+                held = graph.canonical_lock(held)
+                if held != acquired:
+                    record(held, acquired, site.function, site.line)
+
+        # Interprocedural: a call made under a lock reaches code that
+        # acquires other locks (directly or transitively).
+        for edge in graph.edges:
+            if not edge.locks_held:
+                continue
+            callee_summary = effects.summary(edge.callee)
+            if callee_summary is None:
+                continue
+            acquired_set = callee_summary.locks | callee_summary.transitive_locks
+            if not acquired_set:
+                continue
+            for held in edge.locks_held:
+                held = graph.canonical_lock(held)
+                for acquired in acquired_set:
+                    if held == acquired:
+                        # Re-entry: only a hazard for non-reentrant locks.
+                        if graph.canonical_lock_kind(acquired) == "RLock":
+                            continue
+                        yield from self._reentry(
+                            context, edge.caller, edge.line, edge.callee, acquired
+                        )
+                    else:
+                        record(held, acquired, edge.caller, edge.line)
+
+        yield from self._cycles(context, order)
+
+        # REP702: unknown callables invoked under a lock.
+        for call in graph.unresolved:
+            if call.kind != "callback" or not call.locks_held:
+                continue
+            fn = context.function(call.caller)
+            if fn is None:
+                continue
+            held = ", ".join(
+                sorted(_short(graph.canonical_lock(lock)) for lock in call.locks_held)
+            )
+            yield self.finding(
+                fn,
+                call.line,
+                "REP702",
+                f"unknown callable {call.target}() invoked while holding "
+                f"lock {held} — a callback can re-enter and deadlock; "
+                "call it outside the critical section",
+            )
+
+    def _reentry(
+        self, context: FlowContext, caller: str, line: int, callee: str, lock: str
+    ) -> Iterable[Finding]:
+        fn = context.function(caller)
+        if fn is None:
+            return
+        callee_short = callee.split(".")[-1]
+        yield self.finding(
+            fn,
+            line,
+            "REP701",
+            f"re-entrant acquisition: {callee_short}() re-acquires "
+            f"non-reentrant lock {_short(lock)} already held here — "
+            "single-thread deadlock",
+        )
+
+    def _cycles(
+        self, context: FlowContext, order: dict[tuple[str, str], tuple[str, int]]
+    ) -> Iterable[Finding]:
+        adjacency: dict[str, set[str]] = {}
+        for held, acquired in order:
+            adjacency.setdefault(held, set()).add(acquired)
+
+        reported: set[tuple[str, ...]] = set()
+        for start in sorted(adjacency):
+            cycle = self._find_cycle(start, adjacency)
+            if cycle is None:
+                continue
+            # Canonical rotation so each cycle is reported exactly once.
+            pivot = cycle.index(min(cycle))
+            canonical = tuple(cycle[pivot:] + cycle[:pivot])
+            if canonical in reported:
+                continue
+            reported.add(canonical)
+            witness_edge = (canonical[0], canonical[1 % len(canonical)])
+            function, line = order[witness_edge]
+            fn = context.function(function)
+            if fn is None:
+                continue
+            rendered = " -> ".join(
+                [_short(lock) for lock in canonical] + [_short(canonical[0])]
+            )
+            yield self.finding(
+                fn,
+                line,
+                "REP701",
+                f"lock-order cycle: {rendered} — two threads taking these "
+                "locks in opposite orders deadlock; pick one global order",
+            )
+
+    @staticmethod
+    def _find_cycle(
+        start: str, adjacency: dict[str, set[str]]
+    ) -> list[str] | None:
+        """The first cycle reachable from ``start`` (DFS), as a node list."""
+        path: list[str] = []
+        on_path: set[str] = set()
+        visited: set[str] = set()
+
+        def dfs(node: str) -> list[str] | None:
+            if node in on_path:
+                return path[path.index(node) :]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            on_path.add(node)
+            for neighbor in sorted(adjacency.get(node, ())):
+                found = dfs(neighbor)
+                if found is not None:
+                    return found
+            path.pop()
+            on_path.discard(node)
+            return None
+
+        return dfs(start)

@@ -1,0 +1,75 @@
+"""REP721 — transitive picklability of everything the process backend ships.
+
+``run_fit_plan``'s process backend pickles summary specs, shards, and
+the fitted summaries that come back.  REP201–203 (lint) check the spec
+classes syntactically; this rule follows the *calls*: every function
+reachable from an engine fit entry point (a method named ``fit`` or the
+``_fit_task`` worker shim, defined under ``engine/``) must not build
+objects that refuse to cross a process boundary — closures, locks,
+open file handles, or generator objects stored on instance attributes.
+
+Functions in ``obs/`` modules are exempt as witnesses: the metrics
+registry and tracer are deliberately process-global infrastructure that
+never rides in a pickled summary (each worker process builds its own).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.flow.rules.base import (
+    FlowContext,
+    FlowRule,
+    reachable_witnesses,
+    register,
+    render_path,
+)
+from repro.analysis.lint.findings import Finding
+
+
+def fit_roots(context: FlowContext) -> set[str]:
+    """Engine fit entry points: ``*.fit`` methods and ``_fit_task``."""
+    roots: set[str] = set()
+    for qualname, fn in context.graph.functions.items():
+        if "engine" not in fn.module.parts:
+            continue
+        if fn.name == "fit" or fn.name == "_fit_task":
+            roots.add(qualname)
+    return roots
+
+
+@register
+class TransitivePicklabilityRule(FlowRule):
+    code = "REP721"
+    name = "transitive-picklability"
+    contract = (
+        "nothing reachable from an engine fit entry point stores a "
+        "closure, lock, open file, or generator on an instance attribute"
+    )
+
+    def check(self, context: FlowContext) -> Iterable[Finding]:
+        effects = context.effects
+
+        def has_witness(qualname: str) -> bool:
+            fn = context.function(qualname)
+            if fn is None or "obs" in fn.module.parts:
+                return False
+            summary = effects.summary(qualname)
+            return summary is not None and summary.has_direct(
+                "captures_unpicklable"
+            )
+
+        sinks = reachable_witnesses(context.graph, fit_roots(context), has_witness)
+        for sink in sorted(sinks):
+            root, path = sinks[sink]
+            summary = effects.summary(sink)
+            line, description = min(summary.witnesses["captures_unpicklable"])
+            fn = context.function(sink)
+            yield self.finding(
+                fn,
+                line,
+                "REP721",
+                f"fit path {root.split('.')[-1]}() reaches {description} "
+                f"via {render_path(path, context.graph)} — objects built "
+                "under a fit must survive pickling to process workers",
+            )

@@ -72,6 +72,7 @@ def run_lint(
     baseline: Path | str | None = None,
     fix: bool = False,
     rules=None,
+    project: Project | None = None,
 ) -> LintReport:
     """Lint ``paths`` and return a :class:`LintReport`.
 
@@ -88,10 +89,14 @@ def run_lint(
     rules:
         Rule-instance override for tests; defaults to every registered
         rule.
+    project:
+        A pre-parsed :class:`Project` to reuse (``tools/run_analysis.py``
+        parses once and feeds both lint and the flow analysis).
     """
     active_rules = list(rules) if rules is not None else all_rules()
     with timed_span("analysis.run", paths=[str(p) for p in paths]) as run_span:
-        project = Project.load([Path(p) for p in paths])
+        if project is None:
+            project = Project.load([Path(p) for p in paths])
         findings = _scan(project, active_rules)
         fixed = 0
         if fix:

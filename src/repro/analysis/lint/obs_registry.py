@@ -21,6 +21,7 @@ from __future__ import annotations
 #: Every span name the library opens with a literal first argument.
 SPAN_NAMES = frozenset(
     {
+        "analysis.flow",
         "analysis.run",
         "api.ask",
         "core.min_key",
@@ -46,6 +47,11 @@ METRIC_NAMES = frozenset(
     {
         "analysis.files_scanned",
         "analysis.findings",
+        "analysis.flow.edges_resolved",
+        "analysis.flow.edges_unresolved",
+        "analysis.flow.findings",
+        "analysis.flow.fixpoint_rounds",
+        "analysis.flow.functions",
         "api.ask_seconds",
         "api.asks",
         "engine.fit_plans",

@@ -6,13 +6,19 @@ tree for cross-file rules.  Parsing happens once per file; every rule
 shares the same :class:`ModuleInfo` (source text, AST, pragma maps), so
 adding rules does not add parse passes.
 
-Two pragma comments are honored, matched per physical line:
+Three pragma comments are honored, matched per physical line:
 
 ``# lint: disable=REP101[,REP201...]``
-    Suppress the listed codes (or ``all``) on that line.
+    Suppress the listed codes (or ``all``) on that line.  Flow findings
+    (``REP7xx``) honor the same pragma.
 ``# kernel: scalar-ok``
     The kernel-purity rule's escape hatch: a deliberate scalar loop in
     :mod:`repro.kernels` (on the ``for`` line or the line above it).
+``# flow: allow=uses_rng[,reads_clock...]``
+    The interprocedural analysis's effect escape: the listed effects
+    (or ``all``) on that line (or the line below it) are treated as
+    sanctioned and do not enter the effect fixpoint
+    (:mod:`repro.analysis.flow`).
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from pathlib import Path
 
 _DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9*,\s]+)")
 _SCALAR_OK_RE = re.compile(r"#\s*kernel:\s*scalar-ok")
+_FLOW_ALLOW_RE = re.compile(r"#\s*flow:\s*allow=([A-Za-z0-9_*,\s]+)")
 
 
 @dataclass
@@ -37,6 +44,7 @@ class ModuleInfo:
     syntax_error: str | None = None
     disabled: dict[int, set[str]] = field(default_factory=dict)
     scalar_ok: set[int] = field(default_factory=set)
+    flow_allow: dict[int, set[str]] = field(default_factory=dict)
 
     @property
     def parts(self) -> tuple[str, ...]:
@@ -52,13 +60,28 @@ class ModuleInfo:
         codes = self.disabled.get(line)
         return codes is not None and ("all" in codes or code in codes)
 
+    def allows_effect(self, effect: str, line: int) -> bool:
+        """Whether a ``# flow: allow=`` pragma sanctions ``effect`` here.
+
+        Honored on the effect's own line or the line above it (matching
+        the ``# kernel: scalar-ok`` placement convention).
+        """
+        for candidate in (line, line - 1):
+            effects = self.flow_allow.get(candidate)
+            if effects is not None and ("all" in effects or effect in effects):
+                return True
+        return False
+
     def lines(self) -> list[str]:
         return self.source.splitlines()
 
 
-def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[int]]:
+def _parse_pragmas(
+    source: str,
+) -> tuple[dict[int, set[str]], set[int], dict[int, set[str]]]:
     disabled: dict[int, set[str]] = {}
     scalar_ok: set[int] = set()
+    flow_allow: dict[int, set[str]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
         if "#" not in text:
             continue
@@ -72,13 +95,21 @@ def _parse_pragmas(source: str) -> tuple[dict[int, set[str]], set[int]]:
             disabled.setdefault(lineno, set()).update(codes)
         if _SCALAR_OK_RE.search(text):
             scalar_ok.add(lineno)
-    return disabled, scalar_ok
+        match = _FLOW_ALLOW_RE.search(text)
+        if match:
+            effects = {
+                token.strip()
+                for token in match.group(1).replace("*", "all").split(",")
+                if token.strip()
+            }
+            flow_allow.setdefault(lineno, set()).update(effects)
+    return disabled, scalar_ok, flow_allow
 
 
 def load_module(path: Path, relpath: str) -> ModuleInfo:
     """Parse one source file into a :class:`ModuleInfo` (never raises)."""
     source = path.read_text(encoding="utf-8")
-    disabled, scalar_ok = _parse_pragmas(source)
+    disabled, scalar_ok, flow_allow = _parse_pragmas(source)
     try:
         tree = ast.parse(source, filename=str(path))
         error = None
@@ -93,6 +124,7 @@ def load_module(path: Path, relpath: str) -> ModuleInfo:
         syntax_error=error,
         disabled=disabled,
         scalar_ok=scalar_ok,
+        flow_allow=flow_allow,
     )
 
 

@@ -42,6 +42,10 @@ Commands
 ``repro lint [paths...] [--fix] [--baseline PATH] [--update-baseline]``
     Run the AST invariant linter (:mod:`repro.analysis.lint`) over the
     source tree; exit 0 only when no non-baselined findings remain.
+``repro analyze [paths...] [--graph FILE] [--baseline PATH]``
+    Run the interprocedural flow analysis (:mod:`repro.analysis.flow`):
+    call graph, effect fixpoint, and the deep REP7xx rules; ``--graph``
+    exports the call graph as DOT (or JSON for ``.json`` paths).
 
 All dataset commands share ``--dataset/--rows/--seed`` plumbing and a
 session ε default; ``--json`` and ``--trace`` are accepted by every
@@ -337,6 +341,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "tools/lint_baseline.json when it exists)",
     )
     lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from this scan's findings and exit 0",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        parents=[json_flag],
+        help="run the interprocedural flow analysis (docs/static-analysis.md)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to scan (default: the installed "
+        "repro package source)",
+    )
+    analyze.add_argument(
+        "--graph",
+        default=None,
+        metavar="FILE",
+        help="export the call graph: DOT by default, JSON when FILE "
+        "ends in .json",
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings (default: "
+        "tools/flow_baseline.json when it exists)",
+    )
+    analyze.add_argument(
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline file from this scan's findings and exit 0",
@@ -919,6 +956,59 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.flow import graph_to_json, render_flow_text, run_flow
+    from repro.analysis.lint import save_baseline
+    from repro.api.result import Result
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [Path(repro.__file__).parent]
+    baseline = args.baseline
+    if baseline is None:
+        default = Path("tools") / "flow_baseline.json"
+        if default.is_file():
+            baseline = default
+    report = run_flow(paths, baseline=baseline)
+    if args.graph:
+        target = Path(args.graph)
+        if target.suffix == ".json":
+            target.write_text(graph_to_json(report.graph), encoding="utf-8")
+        else:
+            target.write_text(report.graph.to_dot(), encoding="utf-8")
+        # stderr so --json keeps a parseable stdout.
+        print(f"call graph written: {target}", file=sys.stderr)
+    if args.update_baseline:
+        target = Path(baseline) if baseline is not None else (
+            Path("tools") / "flow_baseline.json"
+        )
+        save_baseline(target, report.findings + report.baselined)
+        print(f"baseline written: {target} "
+              f"({len(report.findings) + len(report.baselined)} entries)")
+        return 0
+    if args.json:
+        envelope = Result(
+            task="analyze",
+            dataset=",".join(str(p) for p in paths),
+            value=report.to_dict(),
+            params={
+                "paths": [str(p) for p in paths],
+                "baseline": str(baseline) if baseline is not None else None,
+            },
+            summaries=(),
+            seconds=report.seconds,
+            backend="ast",
+        )
+        _emit_json(envelope.to_dict())
+    else:
+        print(render_flow_text(report))
+    return 0 if report.ok else 1
+
+
 HANDLERS = {
     "table1": _cmd_table1,
     "minkey": _cmd_minkey,
@@ -934,6 +1024,7 @@ HANDLERS = {
     "stats": _cmd_stats,
     "datasets": _cmd_datasets,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
 }
 
 

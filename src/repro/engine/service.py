@@ -30,6 +30,7 @@ process-pool backend is *identical* to the same batch answered serially.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -153,6 +154,16 @@ class SummaryCache:
     (``<prefix>.hits`` / ``.misses`` / ``.evictions``); distinct caches keep
     distinct prefixes so ``repro stats`` can tell summary reuse apart from
     result memoization.
+
+    Thread safety: every structural operation holds the cache's own lock,
+    but *caller-supplied code never runs inside it* — ``get_or_fit``'s
+    fitter and ``evict``'s predicate are invoked outside the critical
+    section (the compute-then-publish pattern REP702 enforces), and
+    metric increments happen after the lock is released so the cache
+    lock never nests inside the metrics registry lock's critical path.
+    Two threads missing on the same key may both run the fitter; the
+    first store wins and both observe that entry — fits are
+    deterministic per key, so the values are interchangeable.
     """
 
     def __init__(
@@ -160,41 +171,48 @@ class SummaryCache:
     ) -> None:
         self.max_entries = validate_positive_int(max_entries, name="max_entries")
         self.metric_prefix = str(metric_prefix)
+        self._lock = threading.Lock()
         self._entries: OrderedDict[object, _CacheEntry] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> list:
         """Cached keys, least- to most-recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def lookup(self, key: object) -> _CacheEntry | None:
         """The entry for ``key`` (counted as a hit), or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        entry.hits += 1
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            entry.hits += 1
+            self.hits += 1
+            self._entries.move_to_end(key)
         get_metrics().counter(f"{self.metric_prefix}.hits").inc()
-        self._entries.move_to_end(key)
         return entry
 
     def store(self, key: object, value: object) -> None:
         """Remember ``value`` (counted as a miss), evicting LRU overflow."""
-        self.misses += 1
+        candidate = _CacheEntry(value=value)
+        with self._lock:
+            self.misses += 1
+            self._entries.setdefault(key, candidate)
+            self._entries.move_to_end(key)
+            evicted = 0
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                evicted += 1
         get_metrics().counter(f"{self.metric_prefix}.misses").inc()
-        self._entries[key] = _CacheEntry(value=value)
-        self._entries.move_to_end(key)
-        evicted = 0
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            evicted += 1
         if evicted:
             get_metrics().counter(f"{self.metric_prefix}.evictions").inc(evicted)
 
@@ -202,7 +220,8 @@ class SummaryCache:
         """``(value, reused, seconds)`` — fitting via ``fit()`` on a miss.
 
         ``seconds`` is the wall-clock cost actually paid now: 0.0 on a
-        reuse, the fitter's runtime on a miss.
+        reuse, the fitter's runtime on a miss.  The fitter runs outside
+        the cache lock, so a slow fit never blocks concurrent lookups.
         """
         entry = self.lookup(key)
         if entry is not None:
@@ -210,20 +229,34 @@ class SummaryCache:
         with timed_span("summary.fit") as fit_span:
             value = fit()
         self.store(key, value)
+        with self._lock:
+            entry = self._entries.get(key)
+            value = entry.value if entry is not None else value
         return value, False, fit_span.seconds
 
     def evict(self, predicate) -> int:
-        """Drop every entry whose key satisfies ``predicate``; returns count."""
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            del self._entries[key]
-        if doomed:
-            get_metrics().counter(f"{self.metric_prefix}.evictions").inc(len(doomed))
-        return len(doomed)
+        """Drop every entry whose key satisfies ``predicate``; returns count.
+
+        The predicate is evaluated on a snapshot of the keys, outside the
+        lock; keys admitted meanwhile survive, keys already gone are
+        skipped.
+        """
+        with self._lock:
+            candidates = list(self._entries)
+        doomed = [key for key in candidates if predicate(key)]
+        dropped = 0
+        with self._lock:
+            for key in doomed:
+                if self._entries.pop(key, None) is not None:
+                    dropped += 1
+        if dropped:
+            get_metrics().counter(f"{self.metric_prefix}.evictions").inc(dropped)
+        return dropped
 
     def clear(self) -> None:
         """Drop every entry (accounting is kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class ProfilingService:

@@ -245,9 +245,14 @@ class MetricsRegistry:
         name = str(name)
         with self._lock:
             instrument = self._instruments.get(name)
-            if instrument is None:
-                instrument = factory()
-                self._instruments[name] = instrument
+        if instrument is None:
+            # Construct outside the lock (the factory is caller-supplied
+            # code; running it under the registry lock risks re-entry and
+            # serializes all registrations), then publish race-free: the
+            # first setdefault wins and everyone returns that instance.
+            candidate = factory()
+            with self._lock:
+                instrument = self._instruments.setdefault(name, candidate)
         if not isinstance(instrument, kind):
             raise ValueError(
                 f"metric {name!r} is a {instrument.kind}, not a "

@@ -1,0 +1,30 @@
+"""REP711 fixture: public exports transitively reach raw RNG and clocks.
+
+``answer`` and ``now_tag`` are public (listed in ``__all__``); neither
+touches randomness or clocks *directly* — the per-file REP101/102 view
+of this module's public functions is clean — but their helpers do, and
+no sanctioned RNG module sits on the path.
+"""
+
+import time
+
+import numpy as np
+
+__all__ = ["answer", "now_tag"]
+
+
+def answer(n):
+    return _score(n)
+
+
+def now_tag():
+    return _stamp()
+
+
+def _score(n):
+    rng = np.random.default_rng()  # expect: REP711
+    return float(rng.integers(0, 10)) + float(n)
+
+
+def _stamp():
+    return time.time()  # expect: REP711

@@ -1,0 +1,32 @@
+"""REP721 fixture: the fit path builds objects that cannot be pickled.
+
+``Spec.fit`` is a fit entry point (a method named ``fit`` in an
+``engine/`` module).  It constructs a ``Summary`` whose ``__init__``
+stores a lock on the instance, and configures a ``Tracker`` that stores
+a nested-function closure — both refuse to cross a process boundary.
+"""
+
+import threading
+
+
+class Summary:
+    def __init__(self):
+        self._lock = threading.Lock()  # expect: REP721
+        self.values = []
+
+
+class Tracker:
+    def configure(self, shard):
+        def describe():
+            return len(shard)
+
+        self._describe = describe  # expect: REP721
+
+
+class Spec:
+    def fit(self, shard):
+        summary = Summary()
+        summary.values.extend(shard)
+        tracker = Tracker()
+        tracker.configure(shard)
+        return summary

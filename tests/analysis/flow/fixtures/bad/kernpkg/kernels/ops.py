@@ -1,0 +1,14 @@
+"""REP731 fixture: a public kernel delegates to a row-looping helper.
+
+``accepts`` is kernel-pure by the per-file REP501 view (no loop in this
+module) — but the helper it calls loops over the row-sized ``codes``
+one frame down, which loses the vectorized speedup just the same.
+"""
+
+from kernpkg.support import tally
+
+__all__ = ["accepts"]
+
+
+def accepts(codes):
+    return tally(codes)

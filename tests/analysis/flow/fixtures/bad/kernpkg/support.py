@@ -1,0 +1,8 @@
+"""Out-of-kernel helper with a Python-level loop over row-sized data."""
+
+
+def tally(codes):
+    total = 0
+    for row in codes:  # expect: REP731
+        total += row
+    return total

@@ -1,0 +1,40 @@
+"""REP701/REP702 fixture: a two-lock acquisition cycle plus locked callbacks.
+
+``update_a_then_b`` takes A then B (lexically); ``update_b_then_a``
+takes B and then *calls into* code that takes A — the interprocedural
+edge that closes the A -> B -> A cycle.  ``reenter`` re-acquires a
+non-reentrant lock it already holds through a call.  ``apply_under_lock``
+runs an unknown callable inside the critical section.
+"""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+STATE = {}
+
+
+def update_a_then_b(key, value):
+    with LOCK_A:
+        with LOCK_B:  # expect: REP701
+            STATE[key] = value
+
+
+def update_b_then_a(key, value):
+    with LOCK_B:
+        refresh(key, value)
+
+
+def refresh(key, value):
+    with LOCK_A:
+        STATE[key] = value
+
+
+def reenter(key, value):
+    with LOCK_A:
+        refresh(key, value)  # expect: REP701
+
+
+def apply_under_lock(fn):
+    with LOCK_A:
+        return fn()  # expect: REP702

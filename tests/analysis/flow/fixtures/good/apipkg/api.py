@@ -1,0 +1,19 @@
+"""REP711 good mirror: public exports route randomness through sampling.rng.
+
+Same call shape as the bad fixture, but the generator comes from the
+sanctioned RNG module — the path passes through the barrier, so the
+public surface is deterministic-by-contract and the rule stays silent.
+"""
+
+from apipkg.sampling.rng import ensure_rng
+
+__all__ = ["answer"]
+
+
+def answer(n, seed=0):
+    rng = ensure_rng(seed)
+    return _score(rng, n)
+
+
+def _score(rng, n):
+    return float(rng.integers(0, 10)) + float(n)

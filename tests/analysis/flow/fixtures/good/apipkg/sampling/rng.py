@@ -1,0 +1,12 @@
+"""The fixture package's sanctioned RNG module (mirrors repro.sampling.rng).
+
+Its path ends in ``sampling/rng.py``, so the flow analysis treats it as
+the determinism barrier: randomness routed through here does not
+propagate ``uses_rng`` to callers.
+"""
+
+import numpy as np
+
+
+def ensure_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,25 @@
+"""REP721 good mirror: the fit path builds only plain, picklable data.
+
+Same call shape as the bad fixture — ``fit`` constructs a summary and
+configures a tracker — but everything stored on the instances is plain
+data, so the fitted objects survive pickling to process workers.
+"""
+
+
+class Summary:
+    def __init__(self):
+        self.values = []
+
+
+class Tracker:
+    def configure(self, shard):
+        self.size = len(shard)
+
+
+class Spec:
+    def fit(self, shard):
+        summary = Summary()
+        summary.values.extend(shard)
+        tracker = Tracker()
+        tracker.configure(shard)
+        return summary

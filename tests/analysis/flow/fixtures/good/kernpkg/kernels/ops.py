@@ -1,0 +1,14 @@
+"""REP731 good mirror: the helper's scalar loop is deliberately marked.
+
+Identical call shape to the bad fixture, but the helper carries the
+``# kernel: scalar-ok`` escape — the same pragma REP501 honors — so the
+loop is sanctioned and the transitive rule stays silent.
+"""
+
+from kernpkg.support import tally
+
+__all__ = ["accepts"]
+
+
+def accepts(codes):
+    return tally(codes)

@@ -1,0 +1,35 @@
+"""REP701/REP702 good mirror: one global lock order, callbacks outside.
+
+Every path that holds both locks takes A before B — lexically and
+through calls — so the order graph is acyclic, and the unknown callable
+runs *before* the critical section (compute-then-publish).
+"""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+STATE = {}
+
+
+def update_a_then_b(key, value):
+    with LOCK_A:
+        with LOCK_B:
+            STATE[key] = value
+
+
+def update_other(key, value):
+    with LOCK_A:
+        refresh_b(key, value)
+
+
+def refresh_b(key, value):
+    with LOCK_B:
+        STATE[key] = value
+
+
+def apply_outside_lock(fn):
+    result = fn()
+    with LOCK_A:
+        STATE["last"] = result
+    return result

@@ -1,0 +1,328 @@
+"""Unit tests for the whole-program call-graph builder.
+
+Each test builds a tiny throwaway package under ``tmp_path`` and checks
+one resolution mechanism in isolation: import aliasing, re-exports
+through ``__init__``, method dispatch (including inherited methods and
+inferred receiver types), the unresolved-call taxonomy, lock identity
+unification, and the two export formats.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.flow.callgraph import (
+    build_call_graph,
+    graph_to_json,
+    module_name_for,
+    package_prefix,
+)
+from repro.analysis.lint.project import Project
+
+
+def _graph(tmp_path: Path, files: dict[str, str]):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return build_call_graph(Project.load([tmp_path]))
+
+
+def _edge_pairs(graph):
+    return {(e.caller, e.callee) for e in graph.edges}
+
+
+class TestModuleNames:
+    def test_package_prefix_walks_up_past_init_files(self, tmp_path):
+        (tmp_path / "outer" / "inner").mkdir(parents=True)
+        (tmp_path / "outer" / "__init__.py").write_text("")
+        (tmp_path / "outer" / "inner" / "__init__.py").write_text("")
+        assert package_prefix(tmp_path / "outer" / "inner") == (
+            "outer",
+            "inner",
+        )
+        assert package_prefix(tmp_path) == ()
+
+    def test_module_name_strips_init(self):
+        assert module_name_for(("repro",), "flow/__init__.py") == "repro.flow"
+        assert module_name_for((), "pkg/mod.py") == "pkg.mod"
+
+
+class TestResolution:
+    def test_same_module_call(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def f():\n    return g()\n\n\ndef g():\n    return 1\n",
+            },
+        )
+        assert ("pkg.a.f", "pkg.a.g") in _edge_pairs(graph)
+
+    def test_import_module_alias(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/a.py": (
+                    "import pkg.util as u\n\n\ndef f():\n    return u.helper()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.f", "pkg.util.helper") in _edge_pairs(graph)
+
+    def test_from_import_with_rename(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/a.py": (
+                    "from pkg.util import helper as h\n\n\n"
+                    "def f():\n    return h()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.f", "pkg.util.helper") in _edge_pairs(graph)
+
+    def test_relative_import(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/a.py": (
+                    "from .util import helper\n\n\ndef f():\n    return helper()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.f", "pkg.util.helper") in _edge_pairs(graph)
+
+    def test_reexport_through_init(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from pkg.util import helper\n",
+                "pkg/util.py": "def helper():\n    return 1\n",
+                "pkg/a.py": (
+                    "from pkg import helper\n\n\ndef f():\n    return helper()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.f", "pkg.util.helper") in _edge_pairs(graph)
+
+    def test_method_dispatch_on_local_instance(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "class Box:\n"
+                    "    def get(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "\n"
+                    "def f():\n"
+                    "    box = Box()\n"
+                    "    return box.get()\n"
+                ),
+            },
+        )
+        pairs = _edge_pairs(graph)
+        assert ("pkg.a.f", "pkg.a.Box.get") in pairs
+
+    def test_inherited_method_resolves_to_base(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/base.py": (
+                    "class Base:\n    def run(self):\n        return 1\n"
+                ),
+                "pkg/a.py": (
+                    "from pkg.base import Base\n"
+                    "\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    pass\n"
+                    "\n"
+                    "\n"
+                    "def f():\n"
+                    "    child = Child()\n"
+                    "    return child.run()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.f", "pkg.base.Base.run") in _edge_pairs(graph)
+
+    def test_self_attr_type_inference(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "class Store:\n"
+                    "    def put(self):\n"
+                    "        return 1\n"
+                    "\n"
+                    "\n"
+                    "class App:\n"
+                    "    def __init__(self):\n"
+                    "        self._store = Store()\n"
+                    "\n"
+                    "    def save(self):\n"
+                    "        return self._store.put()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.App.save", "pkg.a.Store.put") in _edge_pairs(graph)
+
+    def test_constructor_call_reaches_init(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self.value = 0\n"
+                    "\n"
+                    "\n"
+                    "def f():\n"
+                    "    return Box()\n"
+                ),
+            },
+        )
+        assert ("pkg.a.f", "pkg.a.Box.__init__") in _edge_pairs(graph)
+
+
+class TestUnresolved:
+    def test_parameter_call_is_callback_kind(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def f(fn):\n    return fn()\n",
+            },
+        )
+        kinds = {(u.target, u.kind) for u in graph.unresolved}
+        assert ("fn", "callback") in kinds
+
+    def test_stdlib_call_is_external_not_unresolved(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "import time\n\n\ndef f():\n    return time.time()\n",
+            },
+        )
+        assert any(c.path == "time.time" for c in graph.external_calls)
+        assert not any(u.target == "time.time" for u in graph.unresolved)
+
+    def test_never_crashes_on_dynamic_callee(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "def f(table, key):\n    return table[key]()\n"
+                ),
+            },
+        )
+        assert any(u.kind == "dynamic" for u in graph.unresolved)
+
+
+class TestLocks:
+    def test_module_lock_identity(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "import threading\n"
+                    "LOCK = threading.Lock()\n"
+                    "\n"
+                    "\n"
+                    "def f():\n"
+                    "    with LOCK:\n"
+                    "        return 1\n"
+                ),
+            },
+        )
+        assert [s.identity for s in graph.lock_sites] == ["pkg.a.LOCK"]
+        assert graph.canonical_lock_kind("pkg.a.LOCK") == "Lock"
+
+    def test_injected_lock_unifies_with_owner(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "import threading\n"
+                    "\n"
+                    "\n"
+                    "class Child:\n"
+                    "    def __init__(self, lock):\n"
+                    "        self._lock = lock\n"
+                    "\n"
+                    "\n"
+                    "class Owner:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._child = Child(self._lock)\n"
+                ),
+            },
+        )
+        assert graph.canonical_lock("pkg.a.Child._lock") == graph.canonical_lock(
+            "pkg.a.Owner._lock"
+        )
+
+    def test_nested_with_records_held_set(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "import threading\n"
+                    "LOCK_A = threading.Lock()\n"
+                    "LOCK_B = threading.Lock()\n"
+                    "\n"
+                    "\n"
+                    "def f():\n"
+                    "    with LOCK_A:\n"
+                    "        with LOCK_B:\n"
+                    "            return 1\n"
+                ),
+            },
+        )
+        inner = next(s for s in graph.lock_sites if s.identity == "pkg.a.LOCK_B")
+        assert inner.held == ("pkg.a.LOCK_A",)
+
+
+class TestExports:
+    def test_json_export_shape(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def f():\n    return g()\n\n\ndef g():\n    return 1\n",
+            },
+        )
+        payload = json.loads(graph_to_json(graph))
+        assert payload["schema"] == "repro-flow-graph/1"
+        names = {fn["qualname"] for fn in payload["functions"]}
+        assert {"pkg.a.f", "pkg.a.g"} <= names
+        assert {"caller", "callee", "line"} <= set(payload["edges"][0])
+
+    def test_dot_export_clusters_and_edges(self, tmp_path):
+        graph = _graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def f():\n    return g()\n\n\ndef g():\n    return 1\n",
+            },
+        )
+        dot = graph.to_dot()
+        assert dot.startswith("digraph callgraph")
+        assert "subgraph" in dot
+        assert '"pkg.a.f" -> "pkg.a.g"' in dot

@@ -1,0 +1,113 @@
+"""The ``repro analyze`` subcommand: exit codes, JSON envelope, graph
+export, --baseline handling, and the observability wiring of a run."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.flow import run_flow
+from repro.analysis.lint import save_baseline
+from repro.cli import main
+from repro.obs import get_metrics, tracing
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+
+class TestCliAnalyze:
+    def test_bad_tree_exits_nonzero(self, capsys):
+        assert main(["analyze", str(BAD)]) == 1
+        out = capsys.readouterr().out
+        assert "REP701" in out
+        assert "REP711" in out
+
+    def test_good_tree_exits_zero(self, capsys):
+        assert main(["analyze", str(GOOD)]) == 0
+        assert "analyze: clean" in capsys.readouterr().out
+
+    def test_repo_default_scan_is_clean(self, capsys):
+        # No paths: analyzes the installed repro package against the
+        # shipped (empty) baseline — the repo must keep itself clean.
+        assert main(["analyze"]) == 0
+        assert "analyze: clean" in capsys.readouterr().out
+
+    def test_json_mode_wraps_result_envelope(self, capsys):
+        assert main(["analyze", str(GOOD), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["task"] == "analyze"
+        assert payload["backend"] == "ast"
+        assert payload["value"]["ok"] is True
+        assert payload["value"]["findings"] == []
+        assert payload["value"]["functions"] > 0
+
+    def test_json_mode_reports_findings(self, capsys):
+        assert main(["analyze", str(BAD), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["value"]["ok"] is False
+        codes = {f["code"] for f in payload["value"]["findings"]}
+        assert {"REP701", "REP702", "REP711", "REP721", "REP731"} <= codes
+
+    def test_graph_export_dot(self, tmp_path, capsys):
+        dot_path = tmp_path / "graph.dot"
+        assert main(["analyze", str(GOOD), "--graph", str(dot_path)]) == 0
+        capsys.readouterr()
+        assert dot_path.read_text().startswith("digraph callgraph")
+
+    def test_graph_export_json(self, tmp_path, capsys):
+        json_path = tmp_path / "graph.json"
+        assert main(["analyze", str(GOOD), "--graph", str(json_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro-flow-graph/1"
+        assert payload["functions"]
+
+    def test_baseline_flag_grandfathers_findings(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, run_flow([BAD]).findings)
+        assert main(["analyze", str(BAD), "--baseline", str(baseline)]) == 0
+        assert "analyze: clean" in capsys.readouterr().out
+
+    def test_update_baseline_writes_and_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(BAD),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert baseline.is_file()
+        assert main(["analyze", str(BAD), "--baseline", str(baseline)]) == 0
+
+
+class TestFlowObsWiring:
+    def test_run_emits_flow_span(self):
+        with tracing("flow-test") as tracer:
+            run_flow([GOOD])
+        names = set()
+        stack = list(tracer.to_dict()["spans"])
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node.get("children", []))
+        assert "analysis.flow" in names
+
+    def test_run_increments_counters(self):
+        metrics = get_metrics()
+        functions_before = metrics.counter("analysis.flow.functions").value
+        findings_before = metrics.counter("analysis.flow.findings").value
+        report = run_flow([BAD])
+        assert (
+            metrics.counter("analysis.flow.functions").value
+            == functions_before + report.functions
+        )
+        assert (
+            metrics.counter("analysis.flow.findings").value
+            == findings_before + len(report.findings)
+        )

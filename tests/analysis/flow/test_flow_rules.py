@@ -1,0 +1,156 @@
+"""Fixture-driven flow rule tests: every known-bad package fires with
+exact codes and locations, every known-good mirror stays silent.
+
+Same contract as the lint fixture suite: expected findings are declared
+in the fixtures via ``# expect: CODE`` markers, and the analysis must
+produce exactly those ``(path, line, code)`` triples — no more, no
+fewer, nowhere else.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.flow import run_flow
+from repro.analysis.flow.rules import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9,\s]+)")
+
+#: Every flow finding code the fixture suite must exercise.
+ALL_FLOW_CODES = {"REP701", "REP702", "REP711", "REP721", "REP731"}
+
+
+def declared_expectations(root: Path) -> set[tuple[str, int, str]]:
+    expected: set[tuple[str, int, str]] = set()
+    for path in root.rglob("*.py"):
+        rel = path.relative_to(root).as_posix()
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _EXPECT_RE.search(text)
+            if match is None:
+                continue
+            for code in match.group(1).split(","):
+                if code.strip():
+                    expected.add((rel, lineno, code.strip()))
+    return expected
+
+
+class TestBadFixtures:
+    def test_findings_match_markers_exactly(self):
+        report = run_flow([BAD])
+        actual = {(f.path, f.line, f.code) for f in report.findings}
+        assert actual == declared_expectations(BAD)
+
+    def test_every_flow_code_is_exercised(self):
+        assert {
+            code for (_, _, code) in declared_expectations(BAD)
+        } == ALL_FLOW_CODES
+
+    def test_exit_semantics_not_ok(self):
+        report = run_flow([BAD])
+        assert not report.ok
+        assert report.files_scanned == len(list(BAD.rglob("*.py")))
+
+    def test_lock_cycle_names_both_locks(self):
+        report = run_flow([BAD])
+        cycle = [
+            f
+            for f in report.findings
+            if f.code == "REP701" and "cycle" in f.message
+        ]
+        assert len(cycle) == 1
+        assert "LOCK_A" in cycle[0].message and "LOCK_B" in cycle[0].message
+
+
+class TestGoodFixtures:
+    def test_good_mirrors_are_silent(self):
+        report = run_flow([GOOD])
+        assert [str(f) for f in report.findings] == []
+        assert report.ok
+
+    def test_good_mirrors_still_have_edges(self):
+        # Silence must come from correct code, not failed resolution.
+        report = run_flow([GOOD])
+        assert report.edges_resolved > 0
+        assert report.functions > 0
+
+
+class TestPragmas:
+    def test_lint_disable_pragma_suppresses_flow_code(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""pkg."""\n')
+        (pkg / "mod.py").write_text(
+            "import threading\n"
+            "LOCK = threading.Lock()\n"
+            "\n"
+            "\n"
+            "def apply(fn):\n"
+            "    with LOCK:\n"
+            "        return fn()  # lint: disable=REP702\n"
+        )
+        report = run_flow([tmp_path])
+        assert report.findings == []
+
+    def test_flow_allow_pragma_cuts_effect_at_witness(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""pkg."""\n')
+        (pkg / "mod.py").write_text(
+            "import random\n"
+            "\n"
+            "__all__ = ['roll']\n"
+            "\n"
+            "\n"
+            "def roll():\n"
+            "    return _draw()\n"
+            "\n"
+            "\n"
+            "def _draw():\n"
+            "    return random.random()  # flow: allow=uses_rng\n"
+        )
+        report = run_flow([tmp_path])
+        assert report.findings == []
+
+    def test_flow_allow_is_per_effect(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text('"""pkg."""\n')
+        (pkg / "mod.py").write_text(
+            "import random\n"
+            "\n"
+            "__all__ = ['roll']\n"
+            "\n"
+            "\n"
+            "def roll():\n"
+            "    return _draw()\n"
+            "\n"
+            "\n"
+            "def _draw():\n"
+            "    return random.random()  # flow: allow=reads_clock\n"
+        )
+        report = run_flow([tmp_path])
+        assert [f.code for f in report.findings] == ["REP711"]
+
+
+class TestRegistry:
+    def test_all_rules_cover_the_deep_invariants(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert set(codes) == {"REP701", "REP711", "REP721", "REP731"}
+
+    def test_rules_carry_contracts(self):
+        for rule in all_rules():
+            assert rule.contract, rule.code
+
+    def test_syntax_errors_do_not_crash_flow(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        report = run_flow([tmp_path])
+        # REP901 is lint's to report; flow just analyzes what parses.
+        assert report.findings == []
+        assert report.files_scanned == 1
+        assert report.functions == 0

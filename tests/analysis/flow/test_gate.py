@@ -1,0 +1,58 @@
+"""The flow gate over the repo itself: the shipped baseline stays
+empty, ``run_flow`` over ``src/repro`` is clean, and the call graph
+covers every module without an unresolved-call crash.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.flow import run_flow
+from repro.analysis.flow.callgraph import module_name_for
+from repro.analysis.lint.baseline import load_baseline
+
+REPO = Path(__file__).resolve().parents[3]
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "tools" / "flow_baseline.json"
+
+
+class TestShippedBaseline:
+    def test_baseline_file_is_empty(self):
+        # The gate ships with zero grandfathered findings: every hazard
+        # the rollout surfaced was fixed, not baselined.  Keep it that
+        # way — new findings are fixed in the PR that introduces them.
+        payload = json.loads(BASELINE.read_text())
+        assert payload["schema"] == "repro-lint-baseline/1"
+        assert payload["findings"] == []
+
+    def test_baseline_loads_through_shared_machinery(self):
+        assert load_baseline(BASELINE) == set()
+
+
+class TestRepoIsClean:
+    def test_run_flow_over_src_repro_is_clean(self):
+        report = run_flow([SRC])
+        assert [str(f) for f in report.findings] == []
+        assert report.ok
+
+    def test_call_graph_covers_every_module(self):
+        report = run_flow([SRC])
+        expected = {
+            module_name_for(("repro",), p.relative_to(SRC).as_posix())
+            for p in SRC.rglob("*.py")
+        }
+        assert set(report.graph.modules) == expected
+
+    def test_graph_has_substance(self):
+        report = run_flow([SRC])
+        assert report.functions > 500
+        assert report.edges_resolved > 500
+        assert report.fixpoint_rounds >= 1
+
+    def test_unresolved_calls_are_recorded_not_raised(self):
+        # Dynamic dispatch exists in the repo (handler tables, regex
+        # method calls); the builder must classify it, never crash.
+        report = run_flow([SRC])
+        assert all(
+            u.kind in {"callback", "dynamic", "method", "attribute", "project"}
+            for u in report.graph.unresolved
+        )

@@ -1,0 +1,117 @@
+"""Deterministic thread-interleaving probes for ``MetricsRegistry``.
+
+Each probe lines every worker up behind a :class:`threading.Barrier` so
+all threads hit the contended operation in the same instant, then joins
+them and checks exact invariants: one instrument per name no matter how
+many threads race the registration, counter totals that account for
+every increment, and snapshots that are never torn.
+"""
+
+import threading
+
+from repro.obs.metrics import Counter, MetricsRegistry
+
+N_THREADS = 8
+N_INCS = 250
+
+
+def _run_threads(n, target):
+    threads = [threading.Thread(target=target, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestRegistrationRace:
+    def test_one_instrument_per_name(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(N_THREADS)
+        winners: list[Counter] = [None] * N_THREADS
+
+        def worker(i):
+            barrier.wait()
+            winners[i] = registry.counter("race.single")
+
+        _run_threads(N_THREADS, worker)
+        assert all(c is winners[0] for c in winners)
+        assert registry.names() == ["race.single"]
+
+    def test_racing_distinct_names_registers_all(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            barrier.wait()
+            for k in range(10):
+                registry.counter(f"race.t{i}.c{k}")
+
+        _run_threads(N_THREADS, worker)
+        assert len(registry.names()) == N_THREADS * 10
+
+
+class TestIncrementRace:
+    def test_counter_totals_are_exact(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            barrier.wait()
+            # Register-then-increment from every thread at once: the
+            # losing registrants must still increment the winner.
+            counter = registry.counter("race.total")
+            for _ in range(N_INCS):
+                counter.inc()
+
+        _run_threads(N_THREADS, worker)
+        assert registry.counter("race.total").value == N_THREADS * N_INCS
+
+    def test_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            barrier.wait()
+            histogram = registry.histogram("race.hist")
+            for _ in range(N_INCS):
+                histogram.observe(0.5)
+
+        _run_threads(N_THREADS, worker)
+        assert registry.histogram("race.hist").count == N_THREADS * N_INCS
+
+
+class TestSnapshotConsistency:
+    def test_snapshot_under_concurrent_writes_is_never_torn(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("race.snap")
+        barrier = threading.Barrier(N_THREADS + 1)
+        stop = threading.Event()
+        snapshots: list[dict] = []
+
+        def writer(i):
+            barrier.wait()
+            for _ in range(N_INCS):
+                counter.inc()
+
+        def reader():
+            barrier.wait()
+            while not stop.is_set():
+                snapshots.append(registry.snapshot())
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(N_THREADS)
+        ]
+        observer = threading.Thread(target=reader)
+        observer.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        observer.join()
+
+        totals = [s["counters"]["race.snap"] for s in snapshots]
+        # Monotone, never above the final exact total.
+        assert totals == sorted(totals)
+        assert all(0 <= v <= N_THREADS * N_INCS for v in totals)
+        assert registry.snapshot()["counters"]["race.snap"] == N_THREADS * N_INCS

@@ -606,3 +606,13 @@ class TestCliSurface:
             main(["--help"])
         assert excinfo.value.code == 0
         assert "lint" in capsys.readouterr().out
+
+    def test_analyze_is_a_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--graph" in out
+        assert "--baseline" in out
+        assert "--update-baseline" in out
+        assert "--json" in out

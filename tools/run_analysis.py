@@ -1,14 +1,23 @@
 #!/usr/bin/env python
-"""Run the repro invariant linter the way CI does.
+"""Run the repro static-analysis gate the way CI does: lint + flow.
 
-Thin wrapper over :func:`repro.analysis.lint.run_lint` so the CI job (and
-anyone reproducing it locally) gets exactly the gate semantics: scan
-``src/repro`` against the checked-in baseline ``tools/lint_baseline.json``
-and exit non-zero on any non-baselined finding.  Stale baseline entries
-are reported but do not fail the gate (the lint rule catalog is in
+The tree is parsed **once** into an
+:class:`repro.analysis.lint.project.Project` and fed to both engines —
+the per-file invariant linter (:func:`repro.analysis.lint.run_lint`)
+and the interprocedural flow analysis
+(:func:`repro.analysis.flow.run_flow`) — so adding the second analysis
+did not add a second parse pass over the ~180 sources.  Each engine
+checks its own baseline (``tools/lint_baseline.json`` /
+``tools/flow_baseline.json``, both shipped empty) and the gate exits
+non-zero when either reports a non-baselined finding.  Stale baseline
+entries are reported but do not fail the gate (rule catalogs are in
 ``docs/static-analysis.md``).
 
-    python tools/run_analysis.py [--json] [PATH ...]
+    python tools/run_analysis.py [--json] [--flow-report FILE]
+                                 [--graph FILE] [PATH ...]
+
+``--flow-report`` writes the flow report JSON and ``--graph`` the call
+graph (DOT, or JSON for ``.json`` paths) — the CI artifacts.
 """
 
 from __future__ import annotations
@@ -20,22 +29,76 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.analysis.flow import graph_to_json, render_flow_text, run_flow  # noqa: E402
 from repro.analysis.lint import render_report_text, run_lint  # noqa: E402
+from repro.analysis.lint.project import Project  # noqa: E402
 
-BASELINE = ROOT / "tools" / "lint_baseline.json"
+LINT_BASELINE = ROOT / "tools" / "lint_baseline.json"
+FLOW_BASELINE = ROOT / "tools" / "flow_baseline.json"
+
+
+def _option(argv: list[str], name: str) -> str | None:
+    """The value of ``--name FILE`` or ``--name=FILE``, else ``None``."""
+    for index, arg in enumerate(argv):
+        if arg == name and index + 1 < len(argv):
+            return argv[index + 1]
+        if arg.startswith(name + "="):
+            return arg.split("=", 1)[1]
+    return None
 
 
 def main(argv: list[str]) -> int:
     as_json = "--json" in argv
-    paths = [Path(arg) for arg in argv[1:] if not arg.startswith("--")]
+    flow_report_path = _option(argv, "--flow-report")
+    graph_path = _option(argv, "--graph")
+    consumed: set[int] = set()
+    for index, arg in enumerate(argv):
+        if arg in ("--flow-report", "--graph"):
+            consumed.update((index, index + 1))
+    paths = [
+        Path(arg)
+        for index, arg in enumerate(argv[1:], start=1)
+        if not arg.startswith("--") and index not in consumed
+    ]
     if not paths:
         paths = [ROOT / "src" / "repro"]
-    report = run_lint(paths, baseline=BASELINE if BASELINE.is_file() else None)
+
+    # One parse feeds both engines.
+    project = Project.load(paths)
+    lint_report = run_lint(
+        paths,
+        baseline=LINT_BASELINE if LINT_BASELINE.is_file() else None,
+        project=project,
+    )
+    flow_report = run_flow(
+        paths,
+        baseline=FLOW_BASELINE if FLOW_BASELINE.is_file() else None,
+        project=project,
+    )
+
+    if flow_report_path:
+        Path(flow_report_path).write_text(
+            json.dumps(flow_report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+    if graph_path:
+        target = Path(graph_path)
+        if target.suffix == ".json":
+            target.write_text(graph_to_json(flow_report.graph), encoding="utf-8")
+        else:
+            target.write_text(flow_report.graph.to_dot(), encoding="utf-8")
+
     if as_json:
-        print(json.dumps(report.to_dict(), indent=2))
+        print(
+            json.dumps(
+                {"lint": lint_report.to_dict(), "flow": flow_report.to_dict()},
+                indent=2,
+            )
+        )
     else:
-        print(render_report_text(report))
-    return 0 if report.ok else 1
+        print(render_report_text(lint_report))
+        print()
+        print(render_flow_text(flow_report))
+    return 0 if (lint_report.ok and flow_report.ok) else 1
 
 
 if __name__ == "__main__":
