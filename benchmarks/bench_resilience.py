@@ -1,0 +1,120 @@
+"""E22 — resilience supervision overhead and fault-recovery cost.
+
+Fault tolerance must be close to free when nothing goes wrong: the
+resilient gather loop (per-task ``submit`` + outcome classification,
+``docs/robustness.md``) replaces the one-shot ``executor.map`` on every
+supervised plan, so its no-fault overhead is the price every user pays.
+This bench charts both sides:
+
+* wall-clock of a strict ``run_fit_plan`` vs the same plan supervised by
+  a default :class:`ResilienceConfig`, on the serial and thread
+  backends, with bit-identity asserted between the two summaries;
+* end-to-end recovery cost of each shipped chaos scenario (transient
+  errors, shard timeouts, worker crashes with pool rebuild + degrade,
+  unpicklable results) via :func:`run_chaos_suite`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import zipf_dataset
+from repro.engine.chaos import run_chaos_suite
+from repro.engine.executor import SerialBackend, ThreadPoolBackend, run_fit_plan
+from repro.engine.resilience import ResilienceConfig
+from repro.engine.shards import shard_dataset
+from repro.engine.specs import SummarySpec
+from repro.experiments.reporting import format_table
+
+N_ROWS = 8_000
+N_SHARDS = 8
+BACKENDS = {"serial": SerialBackend, "thread": ThreadPoolBackend}
+
+
+def test_supervision_overhead_report(benchmark, record_result):
+    """Strict one-shot map vs resilient gather loop, no faults injected."""
+
+    def run_all():
+        data = zipf_dataset(N_ROWS, n_columns=6, cardinality=8, seed=0)
+        sharded = shard_dataset(data, N_SHARDS, seed=0)
+        spec = SummarySpec.make("tuple_filter", epsilon=0.01, seed=1)
+        supervision = ResilienceConfig()
+        rows = []
+        for name, factory in sorted(BACKENDS.items()):
+            backend = factory()
+            try:
+                start = time.perf_counter()
+                strict = run_fit_plan(sharded, spec, backend)
+                strict_seconds = time.perf_counter() - start
+                start = time.perf_counter()
+                supervised = run_fit_plan(
+                    sharded, spec, backend, resilience=supervision
+                )
+                supervised_seconds = time.perf_counter() - start
+            finally:
+                if hasattr(backend, "close"):
+                    backend.close()
+            assert np.array_equal(
+                supervised.summary.sample.codes, strict.summary.sample.codes
+            )
+            assert supervised.resilience is not None
+            assert supervised.resilience["retries"] == 0
+            rows.append(
+                [
+                    name,
+                    f"{strict_seconds:.4f}",
+                    f"{supervised_seconds:.4f}",
+                    f"{supervised_seconds / strict_seconds:.2f}x",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_table(
+        ["backend", "strict s", "supervised s", "ratio"], rows
+    )
+    record_result("E22_resilience_overhead", text)
+
+
+@pytest.mark.parametrize(
+    "scenario", ["transient", "timeout", "crash", "unpicklable"]
+)
+def test_fault_recovery_report(benchmark, record_result, scenario):
+    """Recovery wall-clock and provenance for one chaos scenario."""
+
+    def run_one():
+        start = time.perf_counter()
+        report = run_chaos_suite([scenario], rows=2_000, n_shards=4, seed=0)
+        seconds = time.perf_counter() - start
+        return report, seconds
+
+    report, seconds = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    verdict = report["scenarios"][scenario]
+    resilience = verdict["resilience"]
+    text = format_table(
+        [
+            "scenario",
+            "recovered s",
+            "match",
+            "retries",
+            "timeouts",
+            "rebuilds",
+            "backends",
+        ],
+        [
+            [
+                scenario,
+                f"{seconds:.3f}",
+                verdict["match"],
+                resilience["retries"],
+                resilience["timeouts"],
+                resilience["pool_rebuilds"],
+                "->".join(resilience["backends"]),
+            ]
+        ],
+    )
+    record_result(f"E22_resilience_recovery_{scenario}", text)
+    assert report["ok"], report

@@ -130,6 +130,7 @@ from repro.engine.executor import (
     run_fit_plan,
 )
 from repro.engine.merge import merge_summaries
+from repro.engine.resilience import ResilienceConfig, RetryPolicy
 from repro.engine.service import BatchReport, ProfilingService, Query
 from repro.engine.shards import ShardedDataset, shard_dataset
 from repro.engine.specs import SummarySpec
@@ -172,7 +173,9 @@ __all__ = [
     "ProfilingService",
     "Query",
     "ReproError",
+    "ResilienceConfig",
     "Result",
+    "RetryPolicy",
     "SerialBackend",
     "ShardedDataset",
     "SketchAnswer",

@@ -13,6 +13,10 @@ Effects tracked
 ``reads_clock``
     Wall-clock reads (``time.time``, ``datetime.now``, ... — the REP102
     set; the monotonic ``perf_counter`` clocks are *not* effects).
+``sleeps``
+    Calls ``time.sleep`` — deliberate latency (retry backoff, fault
+    injection).  Not a determinism hazard, but a latency one: anything
+    on a hot query path inheriting ``sleeps`` deserves a look.
 ``does_io``
     ``open``, ``Path.read_text``-family methods, ``os``/``shutil`` file
     operations.
@@ -61,11 +65,14 @@ from repro.analysis.lint.rules.locked_state import (
 EFFECTS = (
     "uses_rng",
     "reads_clock",
+    "sleeps",
     "does_io",
     "mutates_module_state",
     "row_scale_loop",
     "captures_unpicklable",
 )
+
+_SLEEP_CALLS = frozenset({"time.sleep"})
 
 _IO_CALLS = frozenset(
     {
@@ -214,6 +221,9 @@ class _DirectEffects:
         elif path in _CLOCK_CALLS:
             if not self._allowed(fn, "reads_clock", line):
                 summary.add_direct("reads_clock", line, f"calls {path}()")
+        elif path in _SLEEP_CALLS:
+            if not self._allowed(fn, "sleeps", line):
+                summary.add_direct("sleeps", line, f"calls {path}()")
         elif (
             path in _IO_CALLS
             or path.split(".")[-1] in _IO_METHOD_TAILS

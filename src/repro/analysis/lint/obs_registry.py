@@ -27,6 +27,8 @@ SPAN_NAMES = frozenset(
         "core.min_key",
         "engine.fit",
         "engine.merge",
+        "engine.resilient_map",
+        "engine.retry",
         "kernels.accepts",
         "kernels.classify_sample",
         "kernels.evaluate_sets",
@@ -54,11 +56,16 @@ METRIC_NAMES = frozenset(
         "analysis.flow.functions",
         "api.ask_seconds",
         "api.asks",
+        "engine.fallback.degraded",
+        "engine.fallback.pool_rebuilds",
         "engine.fit_plans",
         "engine.fit_seconds",
         "engine.merge_seconds",
         "engine.process.bytes_pickled",
+        "engine.retry.attempts",
+        "engine.retry.exhausted",
         "engine.shard_fits",
+        "engine.task_timeouts",
         "kernels.labelcache.hits",
         "kernels.labelcache.misses",
         "kernels.labelings_saved",

@@ -9,9 +9,15 @@ single switch:
   underlying modules yourself;
 * any ``n_shards > 1`` routes fits through the sharded
   :mod:`repro.engine` map-reduce plan on the chosen backend (``serial``,
-  ``thread``, or ``process``), with per-shard seeds derived via the
-  library-wide :func:`repro.sampling.rng.derive_seed` path so serial and
-  parallel backends agree bit-for-bit with each other.
+  ``thread``, ``process``, or ``auto``), with per-shard seeds derived via
+  the library-wide :func:`repro.sampling.rng.derive_seed` path so serial
+  and parallel backends agree bit-for-bit with each other.
+
+Fault tolerance rides on the same switch: ``retry=``, ``task_timeout=``,
+``deadline=``, and ``fallback=`` turn sharded fits into
+:func:`repro.engine.resilience.resilient_map` plans that retry failed
+shards, rebuild broken pools, and degrade process→thread→serial —
+answers unchanged, recovery recorded in ``Result.resilience``.
 """
 
 from __future__ import annotations
@@ -20,6 +26,11 @@ import os
 from dataclasses import dataclass
 
 from repro.engine.executor import BACKEND_NAMES, get_backend
+from repro.engine.resilience import (
+    ResilienceConfig,
+    RetryPolicy,
+    degrade_chain,
+)
 from repro.engine.shards import SHARD_STRATEGIES
 from repro.exceptions import InvalidParameterError
 
@@ -31,8 +42,9 @@ class ExecutionConfig:
     Attributes
     ----------
     backend:
-        ``"serial"``, ``"thread"``, or ``"process"`` — only consulted when
-        ``n_shards > 1`` (direct fitting needs no pool).
+        ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` (pick
+        per the host) — only consulted when ``n_shards > 1`` (direct
+        fitting needs no pool).
     n_shards:
         1 (default) = direct in-memory fitting; > 1 = engine-sharded fits.
     workers:
@@ -47,6 +59,23 @@ class ExecutionConfig:
         span trace of its own execution and attaches it to the
         :class:`~repro.api.Result` envelope (``result.trace``).  Answers
         are unchanged; see ``docs/observability.md``.
+    retry:
+        Fault tolerance for sharded fits: an attempt count (``retry=3``),
+        a full :class:`~repro.engine.resilience.RetryPolicy`, or ``None``
+        (default) for the strict one-shot path.  Only consulted when
+        ``n_shards > 1`` — direct fitting has no workers to fail.
+    task_timeout:
+        Seconds a sharded fit may wait on any one shard before retrying
+        it (``None`` = forever).  Implies the resilient path.
+    deadline:
+        Whole-plan wall-clock budget in seconds; expiry raises
+        :class:`~repro.exceptions.PlanDeadlineError`.  Implies the
+        resilient path.
+    fallback:
+        ``True`` for the canonical process→thread→serial degradation
+        chain, a tuple of backend names for an explicit chain, or
+        ``False`` (default) to fail instead of degrading.  Implies the
+        resilient path.
     """
 
     backend: str = "serial"
@@ -55,6 +84,10 @@ class ExecutionConfig:
     strategy: str = "random"
     max_cached_summaries: int = 64
     trace: bool = False
+    retry: int | RetryPolicy | None = None
+    task_timeout: float | None = None
+    deadline: float | None = None
+    fallback: bool | tuple[str, ...] = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -70,6 +103,23 @@ class ExecutionConfig:
             raise InvalidParameterError(
                 f"n_shards must be at least 1; got {self.n_shards}"
             )
+        if isinstance(self.retry, int) and self.retry < 1:
+            raise InvalidParameterError(
+                f"retry must be at least 1 attempt; got {self.retry}"
+            )
+        if not isinstance(self.fallback, bool):
+            unknown = [
+                name
+                for name in self.fallback
+                if name not in BACKEND_NAMES or name == "auto"
+            ]
+            if unknown:
+                raise InvalidParameterError(
+                    f"unknown fallback backend(s) {unknown}; expected "
+                    "concrete names among ('serial', 'thread', 'process')"
+                )
+        # Delegate range checks for the remaining knobs.
+        self.resilience  # noqa: B018 — validates task_timeout/deadline
 
     @classmethod
     def for_backend(cls, backend: str) -> "ExecutionConfig":
@@ -90,6 +140,43 @@ class ExecutionConfig:
     def sharded(self) -> bool:
         """Whether fits route through the sharded engine plan."""
         return self.n_shards > 1
+
+    @property
+    def resilience(self) -> ResilienceConfig | None:
+        """The resilience plan implied by the fault-tolerance knobs.
+
+        ``None`` when every knob is at its default — sharded fits then
+        take the strict one-shot path, exactly as before these knobs
+        existed.
+        """
+        if (
+            self.retry is None
+            and self.task_timeout is None
+            and self.deadline is None
+            and self.fallback is False
+        ):
+            return None
+        if isinstance(self.retry, RetryPolicy):
+            retry = self.retry
+        elif isinstance(self.retry, int):
+            retry = RetryPolicy(max_attempts=self.retry)
+        else:
+            retry = RetryPolicy()
+        if self.fallback is True:
+            name = self.backend
+            if name == "auto":
+                name = "process" if (os.cpu_count() or 1) > 1 else "serial"
+            fallback = degrade_chain(name)
+        elif self.fallback is False:
+            fallback = ()
+        else:
+            fallback = tuple(self.fallback)
+        return ResilienceConfig(
+            retry=retry,
+            task_timeout=self.task_timeout,
+            deadline=self.deadline,
+            fallback=fallback,
+        )
 
     @property
     def label(self) -> str:

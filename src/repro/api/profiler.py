@@ -76,6 +76,21 @@ def _param_key(params: Mapping[str, object]) -> str:
     return ", ".join(f"{name}={params[name]!r}" for name in sorted(params))
 
 
+def _aggregate_resilience(plans: list) -> dict | None:
+    """Roll per-fit-plan resilience dicts up into one ``Result`` field."""
+    if not plans:
+        return None
+    totals = {
+        key: sum(plan[key] for plan in plans)
+        for key in ("retries", "timeouts", "pool_rebuilds", "degraded")
+    }
+    return {
+        "plans": list(plans),
+        **totals,
+        "recovered": any(plan["recovered"] for plan in plans),
+    }
+
+
 @dataclass
 class _DatasetEntry:
     data: Dataset
@@ -98,6 +113,8 @@ class TaskContext:
     entry: _DatasetEntry
     params: dict = field(default_factory=dict)
     uses: list = field(default_factory=list)
+    #: per-fit-plan resilience provenance dicts (resilient path only).
+    resilience: list = field(default_factory=list)
 
     @property
     def data(self) -> Dataset:
@@ -161,7 +178,9 @@ class TaskContext:
 
     def summary(self, kind: str, **params: object) -> object:
         """Any engine summary kind through the session cache (provenance logged)."""
-        return self.profiler._fit_summary(self.name, self.entry, kind, params, self.uses)
+        return self.profiler._fit_summary(
+            self.name, self.entry, kind, params, self.uses, self.resilience
+        )
 
 
 class Profiler:
@@ -381,13 +400,25 @@ class Profiler:
         kind: str,
         params: Mapping[str, object],
         uses: list,
+        resilience: list | None = None,
     ) -> object:
         spec = SummarySpec.make(kind, **params)
+        # get_or_fit runs `fit` outside our frame; the holder smuggles the
+        # plan's resilience provenance back out of the closure.
+        holder: dict = {}
 
         def fit() -> object:
             if self.execution.sharded:
                 assert entry.sharded is not None
-                return run_fit_plan(entry.sharded, spec, self.backend()).summary
+                report = run_fit_plan(
+                    entry.sharded,
+                    spec,
+                    self.backend(),
+                    resilience=self.execution.resilience,
+                )
+                if report.resilience is not None:
+                    holder["resilience"] = report.resilience
+                return report.summary
             fitter = _DIRECT_FITTERS.get(kind)
             if fitter is not None:
                 return fitter(entry.data, **dict(params))
@@ -399,6 +430,8 @@ class Profiler:
                 kind=kind, key=_param_key(params), reused=reused, seconds=seconds
             )
         )
+        if resilience is not None and "resilience" in holder:
+            resilience.append(holder["resilience"])
         return value
 
     def backend(self):
@@ -527,6 +560,7 @@ class Profiler:
             seconds=time.perf_counter() - started,
             backend=self.execution.label,
             kernel=self._kernel_delta(dataset, kernel_before),
+            resilience=_aggregate_resilience(ctx.resilience),
         )
 
     # ------------------------------------------------------------------

@@ -134,6 +134,13 @@ class Result:
         The span tree of this call (``repro.obs`` trace document) when the
         session ran with ``ExecutionConfig(trace=True)``; ``None``
         otherwise.  Validated by ``docs/schemas/trace.schema.json``.
+    resilience:
+        Fault-tolerance provenance when sharded fits ran through the
+        resilient path (``ExecutionConfig(retry=..., fallback=...)``):
+        per-plan attempt counts, retries, timeouts, pool rebuilds, and
+        the backends actually used, plus rollup totals.  ``None`` when
+        every fit took the strict one-shot path (or was reused from
+        cache).
     """
 
     task: str
@@ -145,6 +152,7 @@ class Result:
     backend: str = "direct"
     kernel: dict | None = None
     trace: dict | None = None
+    resilience: dict | None = None
 
     @property
     def fitted_summaries(self) -> tuple[SummaryUse, ...]:
@@ -168,6 +176,7 @@ class Result:
             "backend": self.backend,
             "kernel": jsonify(self.kernel),
             "trace": jsonify(self.trace),
+            "resilience": jsonify(self.resilience),
         }
 
     def to_json(self, *, indent: int | None = None) -> str:

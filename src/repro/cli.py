@@ -30,6 +30,13 @@ Commands
 ``repro engine profile --dataset adult [--shards 8] [--backend process]``
     The same Profiler session with a sharded/parallel ExecutionConfig:
     fit mergeable summaries per shard and answer a batched workload.
+    ``--retry/--task-timeout/--deadline/--fallback`` switch the fits onto
+    the fault-tolerant path (see ``docs/robustness.md``).
+``repro chaos [--scenario crash] [--rows 800] [--shards 4]``
+    Fault-injection smoke: run the :mod:`repro.engine.chaos` scenarios
+    (worker crash, transient error, timeout, unpicklable result) and
+    verify every recovered answer is bit-identical to an undisturbed
+    serial fit; exits non-zero on any mismatch.
 ``repro live --dataset adult [--batches 8] [--watch age,sex] [--min-key]``
     Stream a registry data set into a LiveProfiler in batches and print
     each snapshot's watched answers with incremental/refit provenance.
@@ -220,12 +227,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     engine_profile.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "auto"],
         default="process",
-        help="execution backend for per-shard fits",
+        help="execution backend for per-shard fits (auto picks per host)",
     )
     engine_profile.add_argument(
         "--workers", type=int, default=None, help="pool size override"
+    )
+    engine_profile.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault tolerance: retry failed shards up to N attempts",
+    )
+    engine_profile.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard fit timeout (timed-out shards are retried)",
+    )
+    engine_profile.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-plan deadline (expiry fails the plan, never retried past)",
+    )
+    engine_profile.add_argument(
+        "--fallback",
+        action="store_true",
+        help="degrade process->thread->serial on repeated backend failure",
     )
     engine_profile.add_argument(
         "--strategy",
@@ -284,10 +317,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     live.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "auto"],
         default="serial",
-        help="execution backend for sharded refits",
+        help="execution backend for sharded refits (auto picks per host)",
     )
+
+    chaos = commands.add_parser(
+        "chaos",
+        parents=[json_flag],
+        help="fault-injection smoke: inject faults, verify bit-identical "
+        "recovery (docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        choices=["transient", "timeout", "crash", "unpicklable"],
+        help="scenario to run (repeatable; default: all of them)",
+    )
+    chaos.add_argument("--rows", type=int, default=800, help="synthetic rows")
+    chaos.add_argument("--shards", type=int, default=4, help="shard count")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--epsilon", type=float, default=0.05)
 
     stats = commands.add_parser(
         "stats",
@@ -676,6 +727,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         n_shards=args.shards,
         workers=args.workers,
         strategy=args.strategy,
+        retry=args.retry,
+        task_timeout=args.task_timeout,
+        deadline=args.deadline,
+        fallback=bool(args.fallback),
     )
     with _session(args, execution, epsilon=args.epsilon) as profiler:
         return _run_engine_profile(args, profiler)
@@ -851,6 +906,35 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.engine.chaos import run_chaos_suite
+
+    report = run_chaos_suite(
+        args.scenario,
+        rows=args.rows,
+        n_shards=args.shards,
+        seed=args.seed,
+        epsilon=args.epsilon,
+    )
+    if args.json:
+        _emit_json({"task": "chaos", **report})
+        return 0 if report["ok"] else 1
+    print(f"chaos suite    : rows={args.rows} shards={args.shards} "
+          f"seed={args.seed}")
+    for name, entry in report["scenarios"].items():
+        resilience = entry["resilience"] or {}
+        verdict = "bit-identical" if entry["match"] else "MISMATCH"
+        recovery = (
+            f"retries={resilience.get('retries', 0)} "
+            f"timeouts={resilience.get('timeouts', 0)} "
+            f"rebuilds={resilience.get('pool_rebuilds', 0)} "
+            f"backends={'->'.join(resilience.get('backends', []))}"
+        )
+        print(f"  {name:<12}: {verdict} ({recovery})")
+    print(f"verdict        : {'ok' if report['ok'] else 'FAILED'}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.obs import get_metrics, render_metrics_text
 
@@ -1021,6 +1105,7 @@ HANDLERS = {
     "dedup": _cmd_dedup,
     "engine": _cmd_engine,
     "live": _cmd_live,
+    "chaos": _cmd_chaos,
     "stats": _cmd_stats,
     "datasets": _cmd_datasets,
     "lint": _cmd_lint,

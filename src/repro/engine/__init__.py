@@ -13,6 +13,12 @@ filters and sketches are *small, mergeable summaries*.  The pipeline is
 4. **query** — answer batches of profiling questions from cached merged
    summaries (:mod:`repro.engine.service`).
 
+Fits can run fault-tolerantly: :mod:`repro.engine.resilience` retries
+failed or timed-out shards, rebuilds broken pools, and degrades
+process→thread→serial without changing answers (fits are deterministic
+given a seed), and :mod:`repro.engine.chaos` injects faults on purpose
+to prove it.
+
 Quickstart
 ----------
 >>> from repro.data.synthetic import zipf_dataset
@@ -42,6 +48,17 @@ from repro.engine.executor import (
     per_shard_specs,
     run_fit_plan,
 )
+from repro.engine.chaos import (
+    CHAOS_SCENARIOS,
+    FaultPolicy,
+    SlowTask,
+    TransientError,
+    UnpicklableResult,
+    WorkerCrash,
+    inject_faults,
+    reset_chaos,
+    run_chaos_suite,
+)
 from repro.engine.merge import (
     merge_motwani_xu_filters,
     merge_non_separation_sketches,
@@ -59,6 +76,13 @@ from repro.engine.service import (
     as_query,
 )
 from repro.engine.append import AppendableShardedDataset
+from repro.engine.resilience import (
+    ResilienceConfig,
+    ResilienceReport,
+    RetryPolicy,
+    degrade_chain,
+    resilient_map,
+)
 from repro.engine.shards import (
     SHARD_STRATEGIES,
     ShardedDataset,
@@ -75,30 +99,44 @@ __all__ = [
     "AppendableShardedDataset",
     "BACKEND_NAMES",
     "BatchReport",
+    "CHAOS_SCENARIOS",
+    "FaultPolicy",
     "FitReport",
     "ProcessPoolBackend",
     "ProfilingService",
     "QUERY_OPS",
     "Query",
     "QueryResult",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "RetryPolicy",
     "SHARD_STRATEGIES",
     "SUMMARY_KINDS",
     "SerialBackend",
     "ShardedDataset",
+    "SlowTask",
     "SummaryCache",
     "SummarySpec",
     "ThreadPoolBackend",
+    "TransientError",
+    "UnpicklableResult",
+    "WorkerCrash",
     "as_query",
     "default_backend",
+    "degrade_chain",
     "derive_shard_seed",
     "fit_shards",
     "get_backend",
+    "inject_faults",
     "merge_motwani_xu_filters",
     "merge_non_separation_sketches",
     "merge_pair",
     "merge_summaries",
     "merge_tuple_sample_filters",
     "per_shard_specs",
+    "reset_chaos",
+    "resilient_map",
+    "run_chaos_suite",
     "run_fit_plan",
     "shard_dataset",
     "shard_row_indices",

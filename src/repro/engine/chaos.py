@@ -1,0 +1,319 @@
+"""Fault injection for the engine: break fits on purpose, verify recovery.
+
+A :class:`FaultPolicy` wraps the per-shard fit task (via
+:func:`inject_faults`, threaded through ``run_fit_plan(fit_task=...)``)
+and misbehaves on chosen calls: crash the worker process, raise a
+transient exception, sleep past a timeout, or return something that
+cannot be pickled back.  Policies are frozen dataclasses, so they cross
+process boundaries intact; their call counters live in module state,
+which means counts are exact on the serial and thread backends and
+*per worker process* on the process backend (each spawned worker starts
+from zero — which is exactly what makes :class:`WorkerCrash` keep
+firing on a rebuilt pool until the plan degrades to threads).
+
+:func:`run_chaos_suite` is the shared smoke harness behind the
+``repro chaos`` CLI, the CI chaos step, and the resilience bench: each
+scenario runs a sharded fit under injected faults with a
+:class:`~repro.engine.resilience.ResilienceConfig` and asserts the
+merged summary is bit-identical to an undisturbed serial fit with the
+same seed — faults may change *provenance*, never *answers*.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.synthetic import zipf_dataset
+from repro.engine.executor import (
+    SerialBackend,
+    _fit_task,
+    get_backend,
+    run_fit_plan,
+)
+from repro.engine.resilience import ResilienceConfig, RetryPolicy
+from repro.engine.shards import shard_dataset
+from repro.engine.specs import SummarySpec
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "FaultPolicy",
+    "SlowTask",
+    "TransientError",
+    "UnpicklableResult",
+    "WorkerCrash",
+    "inject_faults",
+    "reset_chaos",
+    "run_chaos_suite",
+]
+
+# Per-(policy token, shard) call counters.  Module state is per-process:
+# exact for serial/thread backends, per-worker for process pools.
+_STATE_LOCK = threading.Lock()
+_CALL_COUNTS: dict[tuple[int, int | None], int] = {}
+_TOKENS = itertools.count(1)
+
+
+def _next_token() -> int:
+    with _STATE_LOCK:
+        return next(_TOKENS)
+
+
+def reset_chaos() -> None:
+    """Forget all call counts (start the next injected run from zero)."""
+    with _STATE_LOCK:
+        _CALL_COUNTS.clear()
+
+
+def _in_worker_process() -> bool:
+    """Whether we are inside a spawned/forked worker, not the main process."""
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Base fault: decides *when* to fire; subclasses decide *what* happens.
+
+    Attributes
+    ----------
+    shard:
+        Only fire for this shard index (``None`` = every shard).
+    calls:
+        Which matching call numbers fire, 1-based and counted per
+        ``(policy, shard)`` — the default ``(1,)`` means "the first
+        attempt fails, the retry succeeds".
+    """
+
+    shard: int | None = None
+    calls: tuple[int, ...] = (1,)
+    token: int = field(default_factory=_next_token)
+
+    def fires(self, shard_index: int | None) -> bool:
+        """Count this call and report whether the fault should trigger."""
+        if self.shard is not None and shard_index != self.shard:
+            return False
+        key = (self.token, shard_index)
+        with _STATE_LOCK:
+            count = _CALL_COUNTS.get(key, 0) + 1
+            _CALL_COUNTS[key] = count
+        return count in self.calls
+
+    def on_call(self, task: object) -> None:
+        """Misbehave before the fit runs (default: no-op)."""
+
+    def on_result(self, value: object) -> object:
+        """Tamper with the fit's result (default: pass through)."""
+        return value
+
+
+@dataclass(frozen=True)
+class TransientError(FaultPolicy):
+    """Raise an infrastructure-flavored exception (retryable)."""
+
+    message: str = "injected transient fault"
+
+    def on_call(self, task: object) -> None:
+        raise RuntimeError(self.message)
+
+
+@dataclass(frozen=True)
+class WorkerCrash(FaultPolicy):
+    """Kill the worker process outright (``os._exit``) — breaks the pool.
+
+    Only fires inside a spawned worker process: on the thread and serial
+    backends the policy is inert, so a plan that degrades away from the
+    process pool recovers.  Because call counts are per worker process,
+    a rebuilt pool's fresh workers crash again — forcing the degradation
+    path rather than being healed by the rebuild.
+    """
+
+    exit_code: int = 13
+
+    def on_call(self, task: object) -> None:
+        if _in_worker_process():
+            os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class SlowTask(FaultPolicy):
+    """Sleep before fitting, long enough to trip a per-task timeout."""
+
+    seconds: float = 1.0
+
+    def on_call(self, task: object) -> None:
+        time.sleep(self.seconds)
+
+
+class _Unpicklable:
+    """A result wrapper that refuses to pickle (closure attribute)."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+        # Deliberately unpicklable — the whole point of this fault.
+        self._poison = lambda: value  # flow: allow=captures_unpicklable
+
+
+@dataclass(frozen=True)
+class UnpicklableResult(FaultPolicy):
+    """Make the fit's result fail to pickle on the way back to the parent.
+
+    Only fires inside a worker process (thread and serial results never
+    cross a pickle boundary, so wrapping there would corrupt the answer
+    instead of exercising the transport failure).
+    """
+
+    def on_result(self, value: object) -> object:
+        if _in_worker_process():
+            return _Unpicklable(value)
+        return value
+
+
+@dataclass(frozen=True)
+class _Faulted:
+    """Picklable fit-task wrapper applying a tuple of fault policies."""
+
+    fn: object
+    policies: tuple
+
+    def __call__(self, task: object) -> object:
+        shard_index = (
+            task[1] if isinstance(task, tuple) and len(task) >= 2 else None
+        )
+        fired = [
+            policy for policy in self.policies if policy.fires(shard_index)
+        ]
+        for policy in fired:
+            policy.on_call(task)
+        value = self.fn(task)
+        for policy in fired:
+            value = policy.on_result(value)
+        return value
+
+
+def inject_faults(fn, policies) -> _Faulted:
+    """Wrap a fit task so ``policies`` misbehave on their chosen calls."""
+    return _Faulted(fn=fn, policies=tuple(policies))
+
+
+# ----------------------------------------------------------------------
+# The chaos smoke suite (CLI `repro chaos`, CI step, resilience bench)
+# ----------------------------------------------------------------------
+
+
+def _scenario_transient() -> dict:
+    return {
+        "backend": ("thread", 2),
+        "faults": [TransientError()],
+        "config": ResilienceConfig(retry=_FAST_RETRY),
+    }
+
+
+def _scenario_timeout() -> dict:
+    return {
+        "backend": ("thread", 2),
+        "faults": [SlowTask(seconds=2.0, shard=0)],
+        "config": ResilienceConfig(retry=_FAST_RETRY, task_timeout=0.25),
+    }
+
+
+def _scenario_crash() -> dict:
+    return {
+        "backend": ("process", 2),
+        "faults": [WorkerCrash()],
+        "config": ResilienceConfig(
+            retry=_FAST_RETRY,
+            fallback=("thread", "serial"),
+            max_pool_rebuilds=1,
+        ),
+    }
+
+
+def _scenario_unpicklable() -> dict:
+    return {
+        "backend": ("process", 1),
+        "faults": [UnpicklableResult()],
+        "config": ResilienceConfig(retry=_FAST_RETRY),
+    }
+
+
+_FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05)
+
+#: Scenario name -> builder; each exercises one recovery path.
+CHAOS_SCENARIOS = {
+    "transient": _scenario_transient,
+    "timeout": _scenario_timeout,
+    "crash": _scenario_crash,
+    "unpicklable": _scenario_unpicklable,
+}
+
+
+def run_chaos_suite(
+    scenarios=None,
+    *,
+    rows: int = 800,
+    n_shards: int = 4,
+    seed: int = 0,
+    epsilon: float = 0.05,
+) -> dict:
+    """Run fault-injection scenarios; verify answers never change.
+
+    Returns a JSON-ready report: per scenario the resilience provenance,
+    the backend that finally answered, and ``match`` — whether the
+    merged summary was bit-identical to an undisturbed serial fit with
+    the same seed.  ``ok`` is the conjunction of every ``match``.
+    """
+    names = list(scenarios) if scenarios else list(CHAOS_SCENARIOS)
+    unknown = [name for name in names if name not in CHAOS_SCENARIOS]
+    if unknown:
+        from repro.exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"unknown chaos scenario(s) {unknown}; "
+            f"expected among {sorted(CHAOS_SCENARIOS)}"
+        )
+
+    data = zipf_dataset(rows, n_columns=6, cardinality=8, seed=seed)
+    sharded = shard_dataset(data, n_shards, seed=seed)
+    spec = SummarySpec.make("tuple_filter", epsilon=epsilon, seed=seed)
+    reference = run_fit_plan(sharded, spec, SerialBackend()).summary
+
+    results: dict = {}
+    for name in names:
+        scenario = CHAOS_SCENARIOS[name]()
+        backend_name, workers = scenario["backend"]
+        reset_chaos()
+        backend = get_backend(backend_name, max_workers=workers)
+        try:
+            report = run_fit_plan(
+                sharded,
+                spec,
+                backend,
+                resilience=scenario["config"],
+                fit_task=inject_faults(_fit_task, scenario["faults"]),
+            )
+        finally:
+            if hasattr(backend, "close"):
+                backend.close()
+        match = bool(
+            np.array_equal(
+                report.summary.sample.codes, reference.sample.codes
+            )
+        )
+        results[name] = {
+            "match": match,
+            "backend": report.backend,
+            "resilience": report.resilience,
+        }
+    return {
+        "ok": all(entry["match"] for entry in results.values()),
+        "rows": rows,
+        "shards": n_shards,
+        "seed": seed,
+        "scenarios": results,
+    }

@@ -16,12 +16,21 @@ provided:
 :func:`run_fit_plan` is the canonical plan: fit one summary per shard
 (map), combine with :func:`repro.engine.merge.merge_summaries` (reduce),
 and report wall-clock timings for both stages.
+
+Every backend also exposes :meth:`map_outcomes` — a per-task
+``submit()``-and-gather loop that never raises on a task failure but
+returns one :class:`TaskOutcome` per item, with per-task timeout and
+whole-plan deadline enforcement.  That is the substrate the
+fault-tolerant driver (:func:`repro.engine.resilience.resilient_map`)
+retries and degrades over; the plain :meth:`map` remains the strict
+one-shot path.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
@@ -35,6 +44,61 @@ from repro.obs.metrics import get_metrics
 from repro.obs.trace import timed_span
 
 
+#: Outcome kinds :meth:`map_outcomes` can report for one task.
+#:
+#: ``ok``      — the task returned a value.
+#: ``fatal``   — the task raised a :class:`ReproError` (bad input is
+#:               deterministic; retrying cannot help).
+#: ``error``   — the task raised an infrastructure exception (retryable).
+#: ``timeout`` — the task did not finish within its per-task timeout or
+#:               the plan deadline (retryable while budget remains).
+#: ``broken``  — the worker pool itself broke (``BrokenExecutor``); the
+#:               pool is dropped so the next map starts fresh.
+OUTCOME_KINDS = ("ok", "fatal", "error", "timeout", "broken")
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """What happened to one submitted task in a gather loop.
+
+    ``submitted`` distinguishes tasks that actually reached the executor
+    (and therefore paid their pickling cost on process backends) from
+    tasks abandoned because the pool broke before ``submit()``.
+    """
+
+    kind: str
+    value: object = None
+    error: BaseException | None = None
+    submitted: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """Whether the task produced a value."""
+        return self.kind == "ok"
+
+
+def _classify_failure(exc: BaseException) -> str:
+    """Map a raised exception onto a :data:`OUTCOME_KINDS` entry."""
+    from concurrent.futures import BrokenExecutor
+
+    if isinstance(exc, ReproError):
+        return "fatal"
+    if isinstance(exc, BrokenExecutor):
+        return "broken"
+    return "error"
+
+
+def _gather_budget(
+    task_timeout: float | None, deadline_at: float | None
+) -> float | None:
+    """Seconds the gather may block on the next future (``None`` = forever)."""
+    budget = task_timeout
+    if deadline_at is not None:
+        remaining = max(0.0, deadline_at - time.monotonic())
+        budget = remaining if budget is None else min(budget, remaining)
+    return budget
+
+
 class SerialBackend:
     """Run every task in the calling process, in order."""
 
@@ -43,6 +107,34 @@ class SerialBackend:
     def map(self, fn: Callable, items: Iterable) -> list:
         """Apply ``fn`` to each item, preserving order."""
         return [fn(item) for item in items]
+
+    def map_outcomes(
+        self,
+        fn: Callable,
+        items: Iterable,
+        *,
+        task_timeout: float | None = None,
+        deadline_at: float | None = None,
+    ) -> list[TaskOutcome]:
+        """Per-task outcomes, never raising on a task failure.
+
+        A serial task cannot be interrupted mid-flight, so
+        ``task_timeout`` is not enforced *within* a task; the plan
+        deadline is checked *between* tasks and unstarted tasks report
+        ``timeout`` once it has passed.
+        """
+        outcomes: list[TaskOutcome] = []
+        for item in items:
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                outcomes.append(TaskOutcome(kind="timeout", submitted=False))
+                continue
+            try:
+                outcomes.append(TaskOutcome(kind="ok", value=fn(item)))
+            except Exception as exc:
+                outcomes.append(
+                    TaskOutcome(kind=_classify_failure(exc), error=exc)
+                )
+        return outcomes
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -91,26 +183,98 @@ class _PoolBackend:
     def map(self, fn: Callable, items: Iterable) -> list:
         """Apply ``fn`` across the pool; results come back in input order.
 
-        Library errors raised inside workers (:class:`ReproError`
-        subclasses, e.g. invalid fit parameters) propagate unchanged so
-        every backend raises the same exception for the same bad input;
-        only infrastructure failures are wrapped in :class:`BackendError`.
+        Built on the same per-task ``submit()``-and-gather loop as
+        :meth:`map_outcomes`, but strict: the first failed task (in item
+        order) raises.  Library errors raised inside workers
+        (:class:`ReproError` subclasses, e.g. invalid fit parameters)
+        propagate unchanged so every backend raises the same exception
+        for the same bad input; only infrastructure failures are wrapped
+        in :class:`BackendError`.
         """
         materialized = list(items)
         if not materialized:
             return []
-        try:
-            return list(self._executor().map(fn, materialized))
-        except (ReproError, BackendError):
-            raise
-        except Exception as exc:
+        outcomes = self.map_outcomes(fn, materialized)
+        results = []
+        for outcome in outcomes:
+            if outcome.ok:
+                results.append(outcome.value)
+                continue
+            if outcome.kind == "fatal":
+                raise outcome.error
             # An infrastructure failure may have broken the pool; drop it
             # so the next map starts from a fresh one.
             self.close()
             raise BackendError(
                 f"{self.name} backend failed while mapping "
-                f"{getattr(fn, '__name__', fn)!r}: {exc}"
-            ) from exc
+                f"{getattr(fn, '__name__', fn)!r}: {outcome.error}"
+            ) from outcome.error
+        return results
+
+    def map_outcomes(
+        self,
+        fn: Callable,
+        items: Iterable,
+        *,
+        task_timeout: float | None = None,
+        deadline_at: float | None = None,
+    ) -> list[TaskOutcome]:
+        """Submit each item individually and gather per-task outcomes.
+
+        Never raises on a task failure: each item reports its own
+        :class:`TaskOutcome`.  The gather walks futures in submission
+        order; a future that has not produced its result within
+        ``task_timeout`` seconds of the gather reaching it (or by the
+        ``deadline_at`` monotonic instant, whichever is sooner) counts as
+        ``timeout`` and is cancelled if still queued — an already-running
+        thread task keeps running harmlessly (fits are deterministic and
+        side-effect-free), and a hung process worker is reclaimed when
+        the pool is rebuilt or degraded away.  When the pool itself broke
+        (``BrokenExecutor``), the pool is dropped so the next map starts
+        from a fresh one, and unfinished tasks report ``broken``.
+        """
+        from concurrent.futures import CancelledError
+        from concurrent.futures import TimeoutError as _FuturesTimeout
+
+        materialized = list(items)
+        outcomes: list[TaskOutcome | None] = [None] * len(materialized)
+        pool_broken = False
+
+        futures = []
+        for index, item in enumerate(materialized):
+            if pool_broken:
+                outcomes[index] = TaskOutcome(kind="broken", submitted=False)
+                continue
+            try:
+                futures.append((index, self._executor().submit(fn, item)))
+            except Exception as exc:
+                pool_broken = True
+                outcomes[index] = TaskOutcome(
+                    kind="broken", error=exc, submitted=False
+                )
+
+        for index, future in futures:
+            budget = _gather_budget(task_timeout, deadline_at)
+            try:
+                value = future.result(timeout=budget)
+            except _FuturesTimeout:
+                future.cancel()
+                outcomes[index] = TaskOutcome(kind="timeout")
+                continue
+            except CancelledError as exc:
+                pool_broken = True
+                outcomes[index] = TaskOutcome(kind="broken", error=exc)
+                continue
+            except Exception as exc:
+                kind = _classify_failure(exc)
+                pool_broken = pool_broken or kind == "broken"
+                outcomes[index] = TaskOutcome(kind=kind, error=exc)
+                continue
+            outcomes[index] = TaskOutcome(kind="ok", value=value)
+
+        if pool_broken:
+            self.close()
+        return outcomes
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(max_workers={self.max_workers})"
@@ -137,45 +301,67 @@ class ProcessPoolBackend(_PoolBackend):
 
         return ProcessPoolExecutor(max_workers=self.max_workers)
 
-    def map(self, fn: Callable, items: Iterable) -> list:
+    def map_outcomes(
+        self,
+        fn: Callable,
+        items: Iterable,
+        *,
+        task_timeout: float | None = None,
+        deadline_at: float | None = None,
+    ) -> list[TaskOutcome]:
         materialized = list(items)
+        outcomes = super().map_outcomes(
+            fn,
+            materialized,
+            task_timeout=task_timeout,
+            deadline_at=deadline_at,
+        )
         # Account the dominant pickling cost of shipping tasks to workers:
-        # the shard code matrices.  An estimate from ndarray footprints, not
-        # a re-pickle — measuring real pickle bytes would double the cost
-        # this counter exists to expose.
+        # the shard code matrices.  Counted per *submitted* task, after the
+        # gather, so a plan the pool rejected wholesale inflates nothing.
+        # An estimate from ndarray footprints, not a re-pickle — measuring
+        # real pickle bytes would double the cost this counter exists to
+        # expose.
         shipped = sum(
             payload.codes.nbytes
-            for task in materialized
-            if isinstance(task, tuple)
+            for task, outcome in zip(materialized, outcomes)
+            if outcome.submitted and isinstance(task, tuple)
             for payload in task
             if isinstance(payload, Dataset)
         )
         if shipped:
             get_metrics().counter("engine.process.bytes_pickled").inc(shipped)
-        return super().map(fn, materialized)
+        return outcomes
 
 
-#: Names accepted by :func:`get_backend`.
-BACKEND_NAMES = ("serial", "thread", "process")
+#: Names accepted by :func:`get_backend` (``auto`` picks per the host).
+BACKEND_NAMES = ("serial", "thread", "process", "auto")
 
 
 def get_backend(name: str, *, max_workers: int | None = None):
-    """Build a backend from its CLI name (``serial``/``thread``/``process``)."""
+    """Build a backend from its CLI name.
+
+    ``serial``/``thread``/``process`` name a concrete backend; ``auto``
+    delegates to :func:`default_backend` (process pool when the host has
+    spare cores, serial otherwise).
+    """
     if name == "serial":
         return SerialBackend()
     if name == "thread":
         return ThreadPoolBackend(max_workers)
     if name == "process":
         return ProcessPoolBackend(max_workers)
+    if name == "auto":
+        return default_backend(max_workers=max_workers)
     raise InvalidParameterError(
         f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
     )
 
 
-def default_backend():
+def default_backend(*, max_workers: int | None = None):
     """Process pool when the host has spare cores, serial otherwise."""
     cores = os.cpu_count() or 1
-    return ProcessPoolBackend() if cores > 1 else SerialBackend()
+    return ProcessPoolBackend(max_workers) if cores > 1 else SerialBackend()
 
 
 # ----------------------------------------------------------------------
@@ -261,6 +447,11 @@ class FitReport:
         Plan provenance.
     fit_seconds, merge_seconds:
         Wall-clock time of the map stage and the reduce stage.
+    resilience:
+        Fault-tolerance provenance when the plan ran through
+        :func:`repro.engine.resilience.resilient_map` (attempts per
+        shard, retries, timeouts, pool rebuilds, backends tried);
+        ``None`` for the strict one-shot path.
     """
 
     summary: object
@@ -269,6 +460,7 @@ class FitReport:
     backend: str
     fit_seconds: float
     merge_seconds: float
+    resilience: dict | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -294,8 +486,26 @@ def run_fit_plan(
     sharded: ShardedDataset,
     spec: SummarySpec,
     backend=None,
+    *,
+    resilience=None,
+    fit_task: Callable | None = None,
 ) -> FitReport:
     """Fit per shard, merge, and time both stages.
+
+    Parameters
+    ----------
+    resilience:
+        A :class:`~repro.engine.resilience.ResilienceConfig`; when given,
+        the map stage runs through the fault-tolerant
+        :func:`~repro.engine.resilience.resilient_map` gather (per-task
+        retries, timeouts, deadline, backend fallback) and the report's
+        ``resilience`` field records what actually happened.  Answers
+        are unchanged either way — per-shard specs and seeds are fixed
+        before execution, so a retried or degraded fit is bit-identical.
+    fit_task:
+        Per-shard task function override (default :func:`_fit_task`).
+        This is the fault-injection hook: :mod:`repro.engine.chaos`
+        passes a wrapped task here for tests and smokes.
 
     Examples
     --------
@@ -312,13 +522,33 @@ def run_fit_plan(
     """
     backend = backend or SerialBackend()
     backend_name = getattr(backend, "name", type(backend).__name__)
+    task = fit_task if fit_task is not None else _fit_task
+    resilience_record: dict | None = None
     with timed_span(
         "engine.fit",
         kind=spec.kind,
         shards=sharded.n_shards,
         backend=backend_name,
     ) as fit_span:
-        summaries: Sequence = fit_shards(sharded, spec, backend)
+        shard_specs = per_shard_specs(spec, sharded)
+        tasks = [
+            (shard_specs[i], i, sharded.shard(i))
+            for i in range(sharded.n_shards)
+        ]
+        if resilience is None:
+            summaries: Sequence = backend.map(task, tasks)
+        else:
+            from repro.engine.resilience import resilient_map
+
+            summaries, report = resilient_map(
+                task,
+                tasks,
+                backend,
+                resilience,
+                seed=spec.as_dict().get("seed"),
+            )
+            resilience_record = report.to_dict()
+            backend_name = report.backends[-1]
         fit_span.add("shard_fits", sharded.n_shards)
     with timed_span("engine.merge", shards=sharded.n_shards) as merge_span:
         merged = merge_summaries(summaries)
@@ -334,4 +564,5 @@ def run_fit_plan(
         backend=backend_name,
         fit_seconds=fit_span.seconds,
         merge_seconds=merge_span.seconds,
+        resilience=resilience_record,
     )

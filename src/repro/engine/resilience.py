@@ -1,0 +1,350 @@
+"""Fault-tolerant execution: retries, deadlines, and backend degradation.
+
+The strict ``backend.map`` path aborts a whole fit plan on the first
+failed shard.  :func:`resilient_map` is the forgiving driver built on
+the same per-task :meth:`~repro.engine.executor.TaskOutcome` substrate:
+it retries failed and timed-out shards under a :class:`RetryPolicy`,
+enforces a per-task timeout and a whole-plan deadline, rebuilds broken
+worker pools, and — after repeated infrastructure failure — degrades
+process→thread→serial and keeps answering.
+
+Why retries cannot change answers
+---------------------------------
+Every shard task is a pure function of ``(spec, shard_index, shard)``:
+per-shard specs and seeds are fixed *before* execution (see
+:func:`repro.engine.executor.per_shard_specs` and the seed tree in
+:mod:`repro.sampling.rng`), so running a shard twice — or on a different
+backend — produces the same bytes.  Resilience therefore only changes
+*where and how often* work ran, which is exactly what the
+:class:`ResilienceReport` provenance records.  Backoff jitter is drawn
+through :mod:`repro.sampling.rng` from a seed derived off the plan seed,
+so even the retry *schedule* is reproducible for a seeded plan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.engine.executor import SerialBackend, get_backend
+from repro.exceptions import (
+    BackendError,
+    InvalidParameterError,
+    PlanDeadlineError,
+)
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span, timed_span
+from repro.sampling.rng import derive_seed, ensure_rng
+
+__all__ = [
+    "ResilienceConfig",
+    "ResilienceReport",
+    "RetryPolicy",
+    "degrade_chain",
+    "resilient_map",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-run a failed shard, and how long to wait.
+
+    Delays grow geometrically (``base_delay * multiplier**(round-1)``,
+    capped at ``max_delay``) with multiplicative jitter in
+    ``[1, 1+jitter]`` to de-synchronize retry storms.  Jitter is drawn
+    via :mod:`repro.sampling.rng` from a seed derived off the plan seed,
+    so a seeded plan has a reproducible retry schedule (REP101 holds all
+    the way down).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1; got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise InvalidParameterError(
+                "delays must be non-negative; got "
+                f"base_delay={self.base_delay}, max_delay={self.max_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise InvalidParameterError(
+                f"multiplier must be >= 1; got {self.multiplier}"
+            )
+        if self.jitter < 0:
+            raise InvalidParameterError(
+                f"jitter must be non-negative; got {self.jitter}"
+            )
+
+    def delay(self, round_index: int, *, seed: int | None = None) -> float:
+        """Seconds to wait before retry round ``round_index`` (1-based)."""
+        base = min(
+            self.max_delay, self.base_delay * self.multiplier ** (round_index - 1)
+        )
+        if base <= 0 or self.jitter == 0:
+            return base
+        rng = ensure_rng(derive_seed(seed, round_index))
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+
+#: Fallback order when a backend keeps failing: each name maps to the
+#: chain of strictly-less-parallel backends to degrade through.
+_DEGRADE = {
+    "process": ("thread", "serial"),
+    "thread": ("serial",),
+    "serial": (),
+}
+
+
+def degrade_chain(backend_name: str) -> tuple[str, ...]:
+    """The default process→thread→serial fallback chain for a backend."""
+    return _DEGRADE.get(backend_name, ("serial",))
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for one fault-tolerant map.
+
+    Attributes
+    ----------
+    retry:
+        Per-backend attempt budget and backoff schedule.
+    task_timeout:
+        Seconds the gather may wait on any one shard before counting it
+        timed out and retrying it (``None`` = wait forever).
+    deadline:
+        Whole-plan wall-clock budget in seconds; when it expires with
+        shards unfinished, :class:`~repro.exceptions.PlanDeadlineError`
+        is raised — a deadline is never retried past.
+    fallback:
+        Backend names to degrade through once the current backend
+        exhausts its attempts (or its pool keeps breaking).  Empty means
+        fail instead of degrading; see :func:`degrade_chain` for the
+        canonical chain.
+    max_pool_rebuilds:
+        How many times a broken pool may be rebuilt *per backend* before
+        degrading to the next fallback.
+    """
+
+    retry: RetryPolicy = RetryPolicy()
+    task_timeout: float | None = None
+    deadline: float | None = None
+    fallback: tuple[str, ...] = ()
+    max_pool_rebuilds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise InvalidParameterError(
+                f"task_timeout must be positive; got {self.task_timeout}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise InvalidParameterError(
+                f"deadline must be positive; got {self.deadline}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise InvalidParameterError(
+                "max_pool_rebuilds must be non-negative; got "
+                f"{self.max_pool_rebuilds}"
+            )
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """What one :func:`resilient_map` actually did.
+
+    ``attempts`` has one entry per task (in item order); ``backends``
+    lists every backend tried, first to last — its final entry is the
+    backend that produced the surviving results.
+    """
+
+    attempts: tuple[int, ...]
+    retries: int
+    timeouts: int
+    pool_rebuilds: int
+    degraded: int
+    backends: tuple[str, ...]
+
+    @property
+    def recovered(self) -> bool:
+        """Whether any fault was absorbed (retry, rebuild, or fallback)."""
+        return bool(self.retries or self.pool_rebuilds or self.degraded)
+
+    def to_dict(self) -> dict:
+        """JSON-ready provenance dict (embedded in ``FitReport``/``Result``)."""
+        return {
+            "attempts": list(self.attempts),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
+            "backends": list(self.backends),
+            "recovered": self.recovered,
+        }
+
+
+def _backend_name(backend) -> str:
+    return getattr(backend, "name", type(backend).__name__)
+
+
+def resilient_map(
+    fn,
+    items,
+    backend=None,
+    config: ResilienceConfig | None = None,
+    *,
+    seed: int | None = None,
+) -> tuple[list, ResilienceReport]:
+    """Map ``fn`` over ``items`` with retries, deadlines, and fallback.
+
+    Returns ``(results, report)`` with results in item order.  Raises
+    the task's own :class:`~repro.exceptions.ReproError` on a fatal
+    (deterministic) failure, :class:`~repro.exceptions.PlanDeadlineError`
+    when the whole-plan deadline expires, and
+    :class:`~repro.exceptions.BackendError` when every backend in the
+    fallback chain exhausted its attempts.
+
+    ``seed`` only shapes backoff jitter (the retry *schedule*); results
+    are a pure function of ``items`` regardless.
+    """
+    config = config or ResilienceConfig()
+    current = backend if backend is not None else SerialBackend()
+    owned = False  # whether *we* built `current` (and must close it)
+    materialized = list(items)
+    n = len(materialized)
+    results: list = [None] * n
+    attempts = [0] * n
+    pending = list(range(n))
+    retries = timeouts = rebuilds = degraded = 0
+    backends_tried = [_backend_name(current)]
+    fallback = list(config.fallback)
+    rebuilds_left = config.max_pool_rebuilds
+    rounds_on_backend = 0
+    total_rounds = 0
+    last_error: BaseException | None = None
+    deadline_at = (
+        time.monotonic() + config.deadline
+        if config.deadline is not None
+        else None
+    )
+    metrics = get_metrics()
+    jitter_seed = derive_seed(seed, 0x5E11) if seed is not None else None
+
+    def check_deadline() -> None:
+        if deadline_at is not None and time.monotonic() >= deadline_at:
+            raise PlanDeadlineError(
+                f"plan deadline of {config.deadline}s expired with "
+                f"{len(pending)} of {n} tasks unfinished "
+                f"(backends tried: {', '.join(backends_tried)})"
+            ) from last_error
+
+    with timed_span(
+        "engine.resilient_map", tasks=n, backend=backends_tried[0]
+    ) as outer:
+        try:
+            while pending:
+                check_deadline()
+                total_rounds += 1
+                rounds_on_backend += 1
+                if total_rounds > 1:
+                    retries += len(pending)
+                    metrics.counter("engine.retry.attempts").inc(len(pending))
+                    wait = config.retry.delay(total_rounds - 1, seed=jitter_seed)
+                    if wait:
+                        time.sleep(wait)
+                for index in pending:
+                    attempts[index] += 1
+                with span(
+                    "engine.retry",
+                    round=total_rounds,
+                    pending=len(pending),
+                    backend=backends_tried[-1],
+                ):
+                    outcomes = current.map_outcomes(
+                        fn,
+                        [materialized[index] for index in pending],
+                        task_timeout=config.task_timeout,
+                        deadline_at=deadline_at,
+                    )
+                still_pending: list[int] = []
+                saw_broken = False
+                for index, outcome in zip(pending, outcomes):
+                    if outcome.ok:
+                        results[index] = outcome.value
+                        continue
+                    if outcome.kind == "fatal":
+                        raise outcome.error
+                    still_pending.append(index)
+                    if outcome.error is not None:
+                        last_error = outcome.error
+                    if outcome.kind == "timeout":
+                        timeouts += 1
+                        metrics.counter("engine.task_timeouts").inc()
+                    elif outcome.kind == "broken":
+                        saw_broken = True
+                pending = still_pending
+                if not pending:
+                    break
+                check_deadline()
+                if saw_broken and rebuilds_left > 0:
+                    # map_outcomes already dropped the broken pool; the
+                    # next round lazily starts a fresh one.  A rebuild is
+                    # free: it does not consume the retry budget.
+                    rebuilds_left -= 1
+                    rebuilds += 1
+                    rounds_on_backend -= 1
+                    metrics.counter("engine.fallback.pool_rebuilds").inc()
+                    continue
+                exhausted = rounds_on_backend >= config.retry.max_attempts
+                if not exhausted and not saw_broken:
+                    continue
+                if not exhausted and saw_broken and rebuilds_left == 0:
+                    exhausted = True  # pool keeps breaking; stop rebuilding
+                if not exhausted:
+                    continue
+                next_name = next(
+                    (
+                        name
+                        for name in fallback
+                        if name != backends_tried[-1]
+                    ),
+                    None,
+                )
+                if next_name is None:
+                    metrics.counter("engine.retry.exhausted").inc()
+                    raise BackendError(
+                        f"{backends_tried[-1]} backend exhausted "
+                        f"{config.retry.max_attempts} attempts with "
+                        f"{len(pending)} of {n} tasks unfinished and no "
+                        f"fallback left (tried: {', '.join(backends_tried)})"
+                    ) from last_error
+                fallback = fallback[fallback.index(next_name) + 1 :]
+                if owned and hasattr(current, "close"):
+                    current.close()
+                current = get_backend(next_name)
+                owned = True
+                degraded += 1
+                metrics.counter("engine.fallback.degraded").inc()
+                backends_tried.append(_backend_name(current))
+                rounds_on_backend = 0
+                rebuilds_left = config.max_pool_rebuilds
+        finally:
+            if owned and hasattr(current, "close"):
+                current.close()
+            outer.add("retries", retries)
+            outer.add("degraded", degraded)
+
+    report = ResilienceReport(
+        attempts=tuple(attempts),
+        retries=retries,
+        timeouts=timeouts,
+        pool_rebuilds=rebuilds,
+        degraded=degraded,
+        backends=tuple(backends_tried),
+    )
+    return results, report

@@ -39,7 +39,12 @@ from repro.core.filters import Classification, TupleSampleFilter, classify
 from repro.core.minkey import MinKeyResult, approximate_min_key
 from repro.core.sketch import NonSeparationSketch
 from repro.data.dataset import Dataset
-from repro.engine.executor import FitReport, SerialBackend, run_fit_plan
+from repro.engine.executor import (
+    FitReport,
+    SerialBackend,
+    get_backend,
+    run_fit_plan,
+)
 from repro.engine.shards import ShardedDataset, shard_dataset
 from repro.engine.specs import SummarySpec
 from repro.exceptions import InvalidParameterError
@@ -265,11 +270,18 @@ class ProfilingService:
     Parameters
     ----------
     backend:
-        Execution backend for per-shard fits (default
-        :class:`~repro.engine.executor.SerialBackend`; pass a
-        :class:`~repro.engine.executor.ProcessPoolBackend` to parallelize).
+        Execution backend for per-shard fits: a backend object, a name
+        (``"serial"``/``"thread"``/``"process"``/``"auto"``), or ``None``
+        for :class:`~repro.engine.executor.SerialBackend`.  A backend the
+        service constructs from a name is *owned* — :meth:`close` (or
+        leaving a ``with`` block) shuts its worker pool down; a backend
+        object passed in stays the caller's to close.
     max_cached_summaries:
         LRU capacity across all registered data sets.
+    resilience:
+        A :class:`~repro.engine.resilience.ResilienceConfig`; when given,
+        every fit plan runs through the fault-tolerant path (retries,
+        timeouts, backend fallback) instead of the strict one-shot map.
 
     Examples
     --------
@@ -292,13 +304,35 @@ class ProfilingService:
         backend=None,
         *,
         max_cached_summaries: int = 32,
+        resilience=None,
     ) -> None:
-        self.backend = backend or SerialBackend()
+        if isinstance(backend, str):
+            self.backend = get_backend(backend)
+            self._owns_backend = True
+        else:
+            self.backend = backend or SerialBackend()
+            self._owns_backend = backend is None
+        self.resilience = resilience
         self.max_cached_summaries = validate_positive_int(
             max_cached_summaries, name="max_cached_summaries"
         )
         self._datasets: dict[str, ShardedDataset] = {}
         self._cache = SummaryCache(max_entries=max_cached_summaries)
+
+    def close(self) -> None:
+        """Shut down the worker pool *if this service owns it* (see above).
+
+        Caches and registrations survive; a later fit on an owned pooled
+        backend lazily starts a fresh pool.
+        """
+        if self._owns_backend and hasattr(self.backend, "close"):
+            self.backend.close()
+
+    def __enter__(self) -> "ProfilingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def cache_hits(self) -> int:
@@ -375,7 +409,10 @@ class ProfilingService:
         """Like :meth:`summary` but returns the full :class:`FitReport`."""
         sharded = self._require(name)
         report, _, _ = self._cache.get_or_fit(
-            (name, spec), lambda: run_fit_plan(sharded, spec, self.backend)
+            (name, spec),
+            lambda: run_fit_plan(
+                sharded, spec, self.backend, resilience=self.resilience
+            ),
         )
         return report
 

@@ -54,6 +54,16 @@ class BackendError(ReproError, RuntimeError):
     """
 
 
+class PlanDeadlineError(BackendError):
+    """A fit plan's whole-plan deadline expired before every shard finished.
+
+    Raised by :func:`repro.engine.resilience.resilient_map` when
+    ``ResilienceConfig.deadline`` elapses with shards still unfinished.
+    Distinct from a per-task timeout, which is retried; a deadline is the
+    caller's hard latency budget and is never retried past.
+    """
+
+
 class InfeasibleInstanceError(ReproError, ValueError):
     """A set cover / minimum key instance admits no feasible solution.
 

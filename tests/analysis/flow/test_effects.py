@@ -182,3 +182,48 @@ class TestSummaryShape:
             assert not summary.has(effect)
         # A pure function serializes to the empty dict — keys are elided.
         assert summary.to_dict() == {}
+
+
+class TestSleepsEffect:
+    def test_time_sleep_witnessed_directly(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def nap():\n"
+                    "    time.sleep(0.1)\n"
+                    "\n"
+                    "\n"
+                    "def instant():\n"
+                    "    return 1\n"
+                ),
+            },
+        )
+        assert "sleeps" in EFFECTS
+        assert effects.summary("pkg.a.nap").has_direct("sleeps")
+        assert not effects.summary("pkg.a.instant").has("sleeps")
+
+    def test_sleeps_propagates_to_callers(self, tmp_path):
+        effects = _effects(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "import time\n"
+                    "\n"
+                    "\n"
+                    "def nap():\n"
+                    "    time.sleep(0.1)\n"
+                    "\n"
+                    "\n"
+                    "def outer():\n"
+                    "    nap()\n"
+                ),
+            },
+        )
+        assert effects.summary("pkg.a.outer").has("sleeps")
+        assert not effects.summary("pkg.a.outer").has_direct("sleeps")

@@ -42,3 +42,56 @@ class TestBackendFactory:
         config = ExecutionConfig(backend="thread", n_shards=4)
         assert config.sharded
         assert config.label == "thread x4"
+
+
+class TestResilienceKnobs:
+    def test_defaults_imply_strict_path(self):
+        assert ExecutionConfig().resilience is None
+
+    def test_int_retry_becomes_policy(self):
+        resilience = ExecutionConfig(retry=5).resilience
+        assert resilience is not None
+        assert resilience.retry.max_attempts == 5
+        assert resilience.fallback == ()
+
+    def test_full_policy_passes_through(self):
+        from repro.engine.resilience import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=2, base_delay=0.5)
+        resilience = ExecutionConfig(retry=policy).resilience
+        assert resilience.retry is policy
+
+    def test_fallback_true_uses_degrade_chain(self):
+        config = ExecutionConfig(backend="process", n_shards=4, fallback=True)
+        assert config.resilience.fallback == ("thread", "serial")
+
+    def test_fallback_tuple_is_explicit(self):
+        config = ExecutionConfig(fallback=("serial",))
+        assert config.resilience.fallback == ("serial",)
+
+    def test_fallback_auto_resolved_to_concrete_chain(self):
+        config = ExecutionConfig(backend="auto", n_shards=2, fallback=True)
+        assert "auto" not in config.resilience.fallback
+
+    def test_timeout_and_deadline_carried(self):
+        config = ExecutionConfig(task_timeout=1.5, deadline=30.0)
+        assert config.resilience.task_timeout == 1.5
+        assert config.resilience.deadline == 30.0
+
+    def test_invalid_retry_rejected(self):
+        with pytest.raises(InvalidParameterError, match="retry"):
+            ExecutionConfig(retry=0)
+
+    def test_invalid_fallback_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="fallback"):
+            ExecutionConfig(fallback=("gpu",))
+        with pytest.raises(InvalidParameterError, match="fallback"):
+            ExecutionConfig(fallback=("auto",))
+
+    def test_invalid_timeout_rejected_at_construction(self):
+        with pytest.raises(InvalidParameterError, match="task_timeout"):
+            ExecutionConfig(task_timeout=-1.0)
+
+    def test_auto_backend_accepted(self):
+        config = ExecutionConfig(backend="auto", n_shards=2)
+        assert config.make_backend().map(abs, [-1]) == [1]

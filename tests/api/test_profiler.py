@@ -206,3 +206,117 @@ class TestSessionBasics:
         assert len(ranked.value) == data.n_columns
         masked = profiler.mask("t", max_key_size=1)
         assert hasattr(masked.value, "suppressed")
+
+
+class TestResilientExecution:
+    def test_clean_supervised_run_records_provenance(self, data):
+        profiler = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4, retry=2),
+            epsilon=EPSILON,
+            seed=SEED,
+        )
+        profiler.add("t", data)
+        result = profiler.is_key("t", [0, 1])
+        assert result.resilience is not None
+        assert result.resilience["recovered"] is False
+        assert result.resilience["retries"] == 0
+        assert result.resilience["plans"]
+        assert "resilience" in result.to_dict()
+
+    def test_unsupervised_run_has_no_provenance(self, data):
+        profiler = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4),
+            epsilon=EPSILON,
+            seed=SEED,
+        )
+        profiler.add("t", data)
+        assert profiler.is_key("t", [0, 1]).resilience is None
+
+    def test_answers_bit_identical_under_injected_faults(
+        self, data, monkeypatch
+    ):
+        import repro.api.profiler as profiler_module
+        from repro.engine.chaos import TransientError, inject_faults, reset_chaos
+        from repro.engine.executor import run_fit_plan
+
+        reference = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4),
+            epsilon=EPSILON,
+            seed=SEED,
+        )
+        reference.add("t", data)
+
+        reset_chaos()
+        faults = [TransientError()]
+
+        def faulted_run_fit_plan(sharded, spec, backend=None, **kwargs):
+            from repro.engine.executor import _fit_task
+
+            return run_fit_plan(
+                sharded,
+                spec,
+                backend,
+                fit_task=inject_faults(_fit_task, faults),
+                **kwargs,
+            )
+
+        monkeypatch.setattr(
+            profiler_module, "run_fit_plan", faulted_run_fit_plan
+        )
+        chaotic = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4, retry=3),
+            epsilon=EPSILON,
+            seed=SEED,
+        )
+        chaotic.add("t", data)
+        try:
+            for attrs in ([0, 1], [2]):
+                assert (
+                    chaotic.is_key("t", attrs).value
+                    == reference.is_key("t", attrs).value
+                )
+            result = chaotic.min_key("t")
+            assert result.value == reference.min_key("t").value
+            assert result.resilience is None or isinstance(
+                result.resilience, dict
+            )
+            # A reused summary runs no new fit plan: no provenance.
+            assert chaotic.ask("is_key", "t", attributes=[0, 1]).resilience is None
+        finally:
+            reset_chaos()
+
+    def test_recovery_recorded_in_result(self, data, monkeypatch):
+        import repro.api.profiler as profiler_module
+        from repro.engine.chaos import TransientError, inject_faults, reset_chaos
+        from repro.engine.executor import run_fit_plan
+
+        reset_chaos()
+        faults = [TransientError()]
+
+        def faulted_run_fit_plan(sharded, spec, backend=None, **kwargs):
+            from repro.engine.executor import _fit_task
+
+            return run_fit_plan(
+                sharded,
+                spec,
+                backend,
+                fit_task=inject_faults(_fit_task, faults),
+                **kwargs,
+            )
+
+        monkeypatch.setattr(
+            profiler_module, "run_fit_plan", faulted_run_fit_plan
+        )
+        chaotic = Profiler(
+            ExecutionConfig(backend="serial", n_shards=4, retry=3),
+            epsilon=EPSILON,
+            seed=SEED,
+        )
+        chaotic.add("t", data)
+        try:
+            result = chaotic.is_key("t", [0, 1])
+            assert result.resilience is not None
+            assert result.resilience["recovered"] is True
+            assert result.resilience["retries"] > 0
+        finally:
+            reset_chaos()

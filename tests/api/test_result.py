@@ -102,3 +102,19 @@ class TestResult:
         fitted, reused = _result().summaries
         assert "fitted" in str(fitted)
         assert "reused" in str(reused)
+
+
+class TestResilienceField:
+    def test_defaults_to_none_in_dict(self):
+        assert _result().to_dict()["resilience"] is None
+
+    def test_resilience_dict_rendered(self):
+        provenance = {
+            "plans": [{"retries": 2, "recovered": True}],
+            "retries": 2,
+            "recovered": True,
+        }
+        out = _result(resilience=provenance).to_dict()
+        assert out["resilience"]["retries"] == 2
+        assert out["resilience"]["recovered"] is True
+        json.loads(_result(resilience=provenance).to_json())

@@ -1,0 +1,160 @@
+"""Tests for the fault-injection harness and its recovery guarantees."""
+
+import pickle
+
+import pytest
+
+from repro.engine.chaos import (
+    CHAOS_SCENARIOS,
+    FaultPolicy,
+    SlowTask,
+    TransientError,
+    UnpicklableResult,
+    WorkerCrash,
+    _Unpicklable,
+    inject_faults,
+    reset_chaos,
+    run_chaos_suite,
+)
+from repro.engine.executor import _fit_task
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(autouse=True)
+def fresh_counters():
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+class TestFaultPolicy:
+    def test_fires_on_chosen_calls_only(self):
+        policy = FaultPolicy(calls=(1, 3))
+        assert policy.fires(0) is True
+        assert policy.fires(0) is False
+        assert policy.fires(0) is True
+        assert policy.fires(0) is False
+
+    def test_counts_are_per_shard(self):
+        policy = FaultPolicy(calls=(1,))
+        assert policy.fires(0) is True
+        assert policy.fires(1) is True  # shard 1 has its own counter
+        assert policy.fires(0) is False
+
+    def test_shard_targeting(self):
+        policy = FaultPolicy(shard=2, calls=(1,))
+        assert policy.fires(0) is False
+        assert policy.fires(2) is True
+
+    def test_policies_have_distinct_counters(self):
+        first = FaultPolicy(calls=(1,))
+        second = FaultPolicy(calls=(1,))
+        assert first.token != second.token
+        assert first.fires(0) is True
+        assert second.fires(0) is True
+
+    def test_reset_chaos_restarts_counting(self):
+        policy = FaultPolicy(calls=(1,))
+        assert policy.fires(0) is True
+        assert policy.fires(0) is False
+        reset_chaos()
+        assert policy.fires(0) is True
+
+    def test_policies_survive_pickling(self):
+        policy = TransientError(shard=1, calls=(1, 2))
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+        assert clone.token == policy.token
+
+    def test_transient_error_raises(self):
+        with pytest.raises(RuntimeError, match="injected transient fault"):
+            TransientError().on_call(None)
+
+    def test_worker_crash_inert_in_parent_process(self):
+        WorkerCrash().on_call(None)  # would os._exit in a worker
+
+    def test_unpicklable_result_inert_in_parent_process(self):
+        assert UnpicklableResult().on_result("value") == "value"
+
+    def test_unpicklable_wrapper_refuses_to_pickle(self):
+        with pytest.raises(Exception):
+            pickle.dumps(_Unpicklable("payload"))
+
+    def test_slow_task_sleeps(self):
+        SlowTask(seconds=0.0).on_call(None)  # no-op at zero
+
+
+class TestInjectFaults:
+    def test_wrapped_task_is_picklable(self):
+        wrapped = inject_faults(_fit_task, [TransientError(), SlowTask()])
+        clone = pickle.loads(pickle.dumps(wrapped))
+        assert clone.policies == wrapped.policies
+
+    def test_faults_fire_then_task_succeeds(self):
+        wrapped = inject_faults(
+            lambda task: task[0] * 2, [TransientError(shard=0)]
+        )
+        with pytest.raises(RuntimeError):
+            wrapped((21, 0))
+        assert wrapped((21, 0)) == 42  # second call: policy spent
+
+    def test_non_tuple_tasks_count_as_shardless(self):
+        wrapped = inject_faults(abs, [TransientError()])
+        with pytest.raises(RuntimeError):
+            wrapped(-3)
+        assert wrapped(-3) == 3
+
+    def test_on_result_applied_after_fit(self):
+        class Tag(FaultPolicy):
+            def on_result(self, value):
+                return ("tagged", value)
+
+        wrapped = inject_faults(lambda task: task, [Tag()])
+        assert wrapped("x") == ("tagged", "x")
+        assert wrapped("x") == "x"
+
+
+class TestChaosSuite:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_chaos_suite(["meteor"])
+
+    def test_all_scenarios_registered(self):
+        assert sorted(CHAOS_SCENARIOS) == [
+            "crash",
+            "timeout",
+            "transient",
+            "unpicklable",
+        ]
+
+    def test_transient_scenario_recovers_bit_identical(self):
+        report = run_chaos_suite(["transient"], rows=400, n_shards=4, seed=0)
+        assert report["ok"] is True
+        verdict = report["scenarios"]["transient"]
+        assert verdict["match"] is True
+        assert verdict["resilience"]["retries"] > 0
+        assert verdict["resilience"]["recovered"] is True
+
+    def test_timeout_scenario_recovers_bit_identical(self):
+        report = run_chaos_suite(["timeout"], rows=400, n_shards=4, seed=0)
+        verdict = report["scenarios"]["timeout"]
+        assert verdict["match"] is True
+        assert verdict["resilience"]["timeouts"] >= 1
+
+    def test_crash_scenario_degrades_and_recovers(self):
+        report = run_chaos_suite(["crash"], rows=400, n_shards=4, seed=0)
+        verdict = report["scenarios"]["crash"]
+        assert verdict["match"] is True
+        resilience = verdict["resilience"]
+        assert resilience["pool_rebuilds"] >= 1
+        assert resilience["degraded"] >= 1
+        assert resilience["backends"][0] == "process"
+        assert resilience["backends"][-1] in ("thread", "serial")
+
+    def test_unpicklable_scenario_recovers(self):
+        report = run_chaos_suite(
+            ["unpicklable"], rows=400, n_shards=4, seed=0
+        )
+        verdict = report["scenarios"]["unpicklable"]
+        assert verdict["match"] is True
+        assert verdict["resilience"]["retries"] > 0

@@ -1,5 +1,8 @@
 """Tests for execution backends, specs, and the map-reduce fit plan."""
 
+import time
+from concurrent.futures import BrokenExecutor
+
 import numpy as np
 import pytest
 
@@ -8,6 +11,7 @@ from repro.engine.executor import (
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
+    _fit_task,
     default_backend,
     fit_shards,
     get_backend,
@@ -129,6 +133,133 @@ class TestBackends:
         with ThreadPoolBackend(2) as backend:
             assert backend.map(len, ["ab"]) == [2]
         assert backend._pool is None
+
+    def test_get_backend_auto_delegates_to_default(self):
+        backend = get_backend("auto")
+        assert type(backend) is type(default_backend())
+        assert backend.map(abs, [-1, -2]) == [1, 2]
+        if hasattr(backend, "close"):
+            backend.close()
+
+    def test_pool_breaking_failure_wrapped_and_pool_dropped(self):
+        # Satellite: an infrastructure exception that breaks the pool is
+        # wrapped in BackendError, the pool is dropped, and the next map
+        # starts from a fresh one.
+        def breaks_pool(_):
+            raise BrokenExecutor("worker vanished")
+
+        backend = ThreadPoolBackend(2)
+        backend.map(abs, [-1])
+        first = backend._pool
+        with pytest.raises(BackendError) as excinfo:
+            backend.map(breaks_pool, [1, 2])
+        assert isinstance(excinfo.value.__cause__, BrokenExecutor)
+        assert backend._pool is None
+        assert backend.map(abs, [-2]) == [2]
+        assert backend._pool is not first
+        backend.close()
+
+
+class _RejectingPool:
+    """Executor stub whose ``submit`` always fails (pool-level rejection)."""
+
+    def submit(self, fn, item):
+        raise RuntimeError("pool rejected the task")
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestMapOutcomes:
+    def test_serial_classifies_ok_error_fatal(self):
+        def mixed(x):
+            if x == 1:
+                raise RuntimeError("infra")
+            if x == 2:
+                raise InvalidParameterError("bad input")
+            return x
+
+        outcomes = SerialBackend().map_outcomes(mixed, [0, 1, 2])
+        assert [o.kind for o in outcomes] == ["ok", "error", "fatal"]
+        assert outcomes[0].ok and outcomes[0].value == 0
+        assert isinstance(outcomes[1].error, RuntimeError)
+        assert isinstance(outcomes[2].error, InvalidParameterError)
+
+    def test_serial_deadline_times_out_unstarted_tasks(self):
+        def slow(x):
+            time.sleep(0.05)
+            return x
+
+        deadline_at = time.monotonic() + 0.06
+        outcomes = SerialBackend().map_outcomes(
+            slow, range(4), deadline_at=deadline_at
+        )
+        kinds = [o.kind for o in outcomes]
+        assert kinds[0] == "ok"
+        assert "timeout" in kinds
+        timed_out = [o for o in outcomes if o.kind == "timeout"]
+        assert all(not o.submitted for o in timed_out)
+
+    def test_pool_never_raises_per_task_failures(self):
+        def flaky(x):
+            if x % 2:
+                raise RuntimeError("odd")
+            return x
+
+        with ThreadPoolBackend(2) as backend:
+            outcomes = backend.map_outcomes(flaky, range(4))
+        assert [o.kind for o in outcomes] == ["ok", "error", "ok", "error"]
+
+    def test_pool_task_timeout_reports_timeout(self):
+        def slow(x):
+            if x == 0:
+                time.sleep(0.5)
+            return x
+
+        with ThreadPoolBackend(1) as backend:
+            outcomes = backend.map_outcomes(slow, [0, 1], task_timeout=0.1)
+        assert outcomes[0].kind == "timeout"
+        assert outcomes[0].submitted
+
+    def test_broken_pool_marks_rest_broken_and_closes(self):
+        def breaks_pool(_):
+            raise BrokenExecutor("worker vanished")
+
+        backend = ThreadPoolBackend(2)
+        outcomes = backend.map_outcomes(breaks_pool, [1, 2])
+        assert all(o.kind == "broken" for o in outcomes)
+        assert backend._pool is None
+
+    def test_submit_failure_marks_unsubmitted(self):
+        backend = ThreadPoolBackend(2)
+        backend._pool = _RejectingPool()
+        outcomes = backend.map_outcomes(abs, [-1, -2])
+        assert all(o.kind == "broken" for o in outcomes)
+        assert all(not o.submitted for o in outcomes)
+        assert backend._pool is None
+
+    def test_bytes_pickled_counts_only_submitted_tasks(self, sharded):
+        from repro.obs.metrics import get_metrics
+
+        spec = SummarySpec.make("kmv", k=16, seed=0)
+        tasks = [
+            (spec, i, sharded.shard(i)) for i in range(sharded.n_shards)
+        ]
+        counter = get_metrics().counter("engine.process.bytes_pickled")
+        rejecting = ProcessPoolBackend(2)
+        rejecting._pool = _RejectingPool()
+        before = counter.value
+        rejecting.map_outcomes(_fit_task, tasks)
+        assert counter.value == before  # nothing shipped, nothing counted
+
+        with ProcessPoolBackend(2) as backend:
+            before = counter.value
+            outcomes = backend.map_outcomes(_fit_task, tasks)
+        shipped = sum(
+            sharded.shard(i).codes.nbytes for i in range(sharded.n_shards)
+        )
+        assert all(o.ok for o in outcomes)
+        assert counter.value == before + shipped
 
 
 class TestPerShardSpecs:

@@ -1,0 +1,254 @@
+"""Tests for the fault-tolerant map: retries, deadlines, degradation."""
+
+import time
+
+import pytest
+
+from repro.engine.executor import SerialBackend, ThreadPoolBackend
+from repro.engine.resilience import (
+    ResilienceConfig,
+    ResilienceReport,
+    RetryPolicy,
+    degrade_chain,
+    resilient_map,
+)
+from repro.exceptions import (
+    BackendError,
+    InvalidParameterError,
+    PlanDeadlineError,
+)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_is_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        assert policy.delay(1, seed=7) == policy.delay(1, seed=7)
+        assert policy.delay(1, seed=7) != policy.delay(1, seed=8)
+        base = RetryPolicy(base_delay=0.1, jitter=0.0).delay(1)
+        jittered = policy.delay(1, seed=7)
+        assert base <= jittered <= base * 1.5
+
+
+class TestResilienceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout": 0.0},
+            {"task_timeout": -1.0},
+            {"deadline": 0.0},
+            {"max_pool_rebuilds": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            ResilienceConfig(**kwargs)
+
+    def test_degrade_chain(self):
+        assert degrade_chain("process") == ("thread", "serial")
+        assert degrade_chain("thread") == ("serial",)
+        assert degrade_chain("serial") == ()
+        assert degrade_chain("exotic") == ("serial",)
+
+
+class TestResilienceReport:
+    def test_recovered_flag(self):
+        clean = ResilienceReport(
+            attempts=(1, 1),
+            retries=0,
+            timeouts=0,
+            pool_rebuilds=0,
+            degraded=0,
+            backends=("serial",),
+        )
+        assert not clean.recovered
+        retried = ResilienceReport(
+            attempts=(2, 1),
+            retries=1,
+            timeouts=0,
+            pool_rebuilds=0,
+            degraded=0,
+            backends=("thread",),
+        )
+        assert retried.recovered
+
+    def test_to_dict_round_trips(self):
+        report = ResilienceReport(
+            attempts=(2, 1),
+            retries=1,
+            timeouts=1,
+            pool_rebuilds=0,
+            degraded=0,
+            backends=("thread",),
+        )
+        as_dict = report.to_dict()
+        assert as_dict["attempts"] == [2, 1]
+        assert as_dict["backends"] == ["thread"]
+        assert as_dict["recovered"] is True
+
+
+_FAST = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.002)
+
+
+class TestResilientMap:
+    def test_clean_run_reports_no_recovery(self):
+        results, report = resilient_map(
+            lambda x: x * x, range(4), SerialBackend(), ResilienceConfig()
+        )
+        assert results == [0, 1, 4, 9]
+        assert report.attempts == (1, 1, 1, 1)
+        assert not report.recovered
+        assert report.backends == ("serial",)
+
+    def test_transient_failure_retried_in_order(self):
+        failures = {}
+
+        def flaky(x):
+            if failures.setdefault(x, 0) == 0:
+                failures[x] += 1
+                raise RuntimeError("transient")
+            return x * 10
+
+        results, report = resilient_map(
+            flaky,
+            [1, 2, 3],
+            SerialBackend(),
+            ResilienceConfig(retry=_FAST),
+        )
+        assert results == [10, 20, 30]
+        assert report.retries == 3
+        assert report.attempts == (2, 2, 2)
+        assert report.recovered
+
+    def test_fatal_error_never_retried(self):
+        calls = []
+
+        def invalid(x):
+            calls.append(x)
+            raise InvalidParameterError("bad input")
+
+        with pytest.raises(InvalidParameterError):
+            resilient_map(
+                invalid,
+                [1],
+                SerialBackend(),
+                ResilienceConfig(retry=_FAST),
+            )
+        assert calls == [1]
+
+    def test_exhausted_attempts_raise_backend_error(self):
+        def always_broken(_):
+            raise RuntimeError("down for good")
+
+        with pytest.raises(BackendError) as excinfo:
+            resilient_map(
+                always_broken,
+                [1, 2],
+                SerialBackend(),
+                ResilienceConfig(retry=_FAST),
+            )
+        assert "exhausted" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_deadline_raises_plan_deadline_error(self):
+        def slow(x):
+            time.sleep(0.05)
+            return x
+
+        with pytest.raises(PlanDeadlineError):
+            resilient_map(
+                slow,
+                range(8),
+                SerialBackend(),
+                ResilienceConfig(retry=_FAST, deadline=0.08),
+            )
+
+    def test_task_timeout_retried_on_thread_pool(self):
+        slow_once = {}
+
+        def sometimes_slow(x):
+            if x == 0 and slow_once.setdefault(x, 0) == 0:
+                slow_once[x] += 1
+                time.sleep(1.0)
+            return x + 100
+
+        with ThreadPoolBackend(2) as backend:
+            results, report = resilient_map(
+                sometimes_slow,
+                range(3),
+                backend,
+                ResilienceConfig(retry=_FAST, task_timeout=0.2),
+            )
+        assert results == [100, 101, 102]
+        assert report.timeouts >= 1
+        assert report.recovered
+
+    def test_degrades_to_fallback_backend(self):
+        failures = {"count": 0}
+
+        def fails_twice(x):
+            if failures["count"] < 2:
+                failures["count"] += 1
+                raise RuntimeError("backend-local trouble")
+            return x
+
+        with ThreadPoolBackend(1) as backend:
+            results, report = resilient_map(
+                fails_twice,
+                [5],
+                backend,
+                ResilienceConfig(
+                    retry=RetryPolicy(
+                        max_attempts=2, base_delay=0.001, max_delay=0.002
+                    ),
+                    fallback=("serial",),
+                ),
+            )
+        assert results == [5]
+        assert report.degraded == 1
+        assert report.backends == ("thread", "serial")
+
+    def test_no_fallback_left_lists_backends_tried(self):
+        def doomed(_):
+            raise RuntimeError("everywhere")
+
+        with pytest.raises(BackendError) as excinfo:
+            resilient_map(
+                doomed,
+                [1],
+                ThreadPoolBackend(1),
+                ResilienceConfig(
+                    retry=RetryPolicy(
+                        max_attempts=1, base_delay=0.001, max_delay=0.002
+                    ),
+                    fallback=("serial",),
+                ),
+            )
+        assert "thread, serial" in str(excinfo.value)
+
+    def test_default_backend_is_serial(self):
+        results, report = resilient_map(abs, [-1, -2])
+        assert results == [1, 2]
+        assert report.backends == ("serial",)

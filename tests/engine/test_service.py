@@ -185,3 +185,53 @@ class TestAcceptanceBatch:
         assert reports["process"].backend == "process"
         assert reports["process"].n_shards == 8
         assert reports["process"].n_queries == 100
+
+
+class TestBackendOwnership:
+    """A pool must never outlive its owner (satellite of the robustness PR)."""
+
+    def test_string_backend_is_owned_and_closed(self, data):
+        service = ProfilingService("thread")
+        assert service.backend.name == "thread"
+        service.register("zipf", data, n_shards=2, seed=0)
+        service.query_batch("zipf", [("is_key", (0, 1))], epsilon=0.05, seed=0)
+        assert service.backend._pool is not None
+        service.close()
+        assert service.backend._pool is None
+
+    def test_passed_in_backend_is_not_closed(self, data):
+        from repro.engine.executor import ThreadPoolBackend
+
+        backend = ThreadPoolBackend(2)
+        backend.map(abs, [-1])  # warm the pool
+        service = ProfilingService(backend)
+        service.close()
+        assert backend._pool is not None  # caller still owns it
+        backend.close()
+
+    def test_context_manager_closes_owned_pool(self, data):
+        with ProfilingService("thread") as service:
+            service.register("zipf", data, n_shards=2, seed=0)
+            service.query_batch(
+                "zipf", [("is_key", (0, 1))], epsilon=0.05, seed=0
+            )
+            assert service.backend._pool is not None
+        assert service.backend._pool is None
+
+    def test_default_serial_backend_close_is_noop(self):
+        service = ProfilingService()
+        service.close()  # SerialBackend has no pool; must not raise
+
+
+class TestServiceResilience:
+    def test_resilient_fits_match_strict_fits(self, data):
+        from repro.engine.resilience import ResilienceConfig
+
+        strict = ProfilingService()
+        strict.register("zipf", data, n_shards=4, seed=1)
+        supervised = ProfilingService(resilience=ResilienceConfig())
+        supervised.register("zipf", data, n_shards=4, seed=1)
+        queries = [("is_key", (0, 1)), ("min_key", ())]
+        left = strict.query_batch("zipf", queries, epsilon=0.05, seed=1)
+        right = supervised.query_batch("zipf", queries, epsilon=0.05, seed=1)
+        assert left.values() == right.values()

@@ -37,7 +37,9 @@ ALL_SNAPSHOT = [
     "ProfilingService",
     "Query",
     "ReproError",
+    "ResilienceConfig",
     "Result",
+    "RetryPolicy",
     "SerialBackend",
     "ShardedDataset",
     "SketchAnswer",

@@ -616,3 +616,83 @@ class TestCliSurface:
         assert "--baseline" in out
         assert "--update-baseline" in out
         assert "--json" in out
+
+
+class TestCliChaos:
+    def test_chaos_json_transient(self, capsys):
+        out = _run_json(
+            capsys,
+            [
+                "chaos",
+                "--scenario",
+                "transient",
+                "--rows",
+                "400",
+                "--shards",
+                "4",
+                "--json",
+            ],
+        )
+        assert out["task"] == "chaos"
+        assert out["ok"] is True
+        assert out["scenarios"]["transient"]["match"] is True
+        assert out["scenarios"]["transient"]["resilience"]["retries"] > 0
+
+    def test_chaos_text_output(self, capsys):
+        code = main(
+            ["chaos", "--scenario", "transient", "--rows", "400"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "verdict        : ok" in out
+
+    def test_chaos_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--scenario", "meteor"])
+
+    def test_engine_profile_accepts_resilience_flags(self, capsys):
+        code = main(
+            [
+                "engine",
+                "profile",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "600",
+                "--shards",
+                "4",
+                "--backend",
+                "serial",
+                "--queries",
+                "4",
+                "--retry",
+                "2",
+                "--fallback",
+                "--json",
+            ]
+        )
+        assert code == 0
+        out = json.loads(capsys.readouterr().out)
+        results = out["results"] if isinstance(out, dict) else out
+        assert results
+
+    def test_engine_profile_backend_auto(self, capsys):
+        code = main(
+            [
+                "engine",
+                "profile",
+                "--dataset",
+                "zipf-small",
+                "--rows",
+                "600",
+                "--shards",
+                "2",
+                "--backend",
+                "auto",
+                "--queries",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "min key" in capsys.readouterr().out
