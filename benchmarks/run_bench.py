@@ -34,11 +34,13 @@ import json
 import platform
 import statistics
 import sys
+import threading
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.api import Profiler
 from repro.core.filters import TupleSampleFilter, classify_from_gamma
 from repro.core.separation import unseparated_pairs
 from repro.data.appendable import AppendableDataset
@@ -51,6 +53,7 @@ from repro.kernels import (
     evaluate_sets,
     refinement_pair_counts,
 )
+from repro.serve import ProfilingServer, ServeClient, ServerConfig
 from repro.setcover.partition_greedy import PartitionState, greedy_separation_cover
 
 SCHEMA = "repro-bench/1"
@@ -453,12 +456,108 @@ def bench_live_append(quick: bool, repeats: int) -> dict:
     )
 
 
+def bench_serve_concurrent_clients(quick: bool, repeats: int) -> dict:
+    """N clients each answering the same question battery: cold vs daemon.
+
+    The serve value proposition is *shared warmth*: the baseline gives
+    every client its own cold :class:`Profiler` — ``n_clients``
+    independent fits of the same table per battery — while the optimized
+    path is a long-lived :class:`ProfilingServer` whose single warm
+    session serves every client over TCP: the one fit and the one
+    registration happen at daemon startup (outside the timed loop, as
+    they amortize across batteries in deployment), so a battery costs
+    warm coalesced kernel passes plus a socket round trip per question.
+    Answers are asserted identical.
+    """
+    n_rows = 60_000 if quick else 150_000
+    n_columns = 8
+    n_clients = 4 if quick else 8
+    n_sets = 6 if quick else 10
+    epsilon, seed = 0.01, 0
+    codes = zipf_dataset(n_rows, n_columns=n_columns, cardinality=5, seed=11).codes
+    family = shared_prefix_family(n_columns, n_sets, seed=13, prefix_len=2)
+    questions = [("classify", list(attrs)) for attrs in family] + [
+        ("is_key", list(attrs)) for attrs in family
+    ]
+
+    def cold_path():
+        answers = []
+        for _ in range(n_clients):
+            profiler = Profiler(epsilon=epsilon, seed=seed)
+            profiler.add("s", Dataset(codes))
+            answers.append(
+                [
+                    profiler.ask(task, "s", attrs).to_dict()["value"]
+                    for task, attrs in questions
+                ]
+            )
+        return answers
+
+    server = ProfilingServer(
+        ServerConfig(port=0, epsilon=epsilon, seed=seed)
+    ).start()
+    host, port = server.address
+    with ServeClient(host, port) as owner:
+        owner.register("s", codes=codes)
+
+    def warm_path():
+        answers: list = [None] * n_clients
+        errors: list[BaseException] = []
+
+        def drive(i: int) -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    answers[i] = [
+                        client.ask(task, "s", attrs)["value"]
+                        for task, attrs in questions
+                    ]
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(i,)) for i in range(n_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        return answers
+
+    try:
+        expected = cold_path()
+        assert warm_path() == expected, "daemon answers diverged from cold profilers"
+
+        paths = {
+            "cold": path_stats(timed(cold_path, repeats)),
+            "warm": path_stats(timed(warm_path, repeats)),
+        }
+    finally:
+        server.shutdown(drain=False)
+    return scenario_record(
+        "serve_concurrent_clients",
+        "The same classify/is_key battery answered for every client: one "
+        "cold Profiler per client (independent fits per battery) vs "
+        "concurrent ServeClients sharing one long-lived warm "
+        "ProfilingServer session over TCP (identical answers asserted)",
+        {
+            "n_rows": n_rows,
+            "n_columns": n_columns,
+            "n_clients": n_clients,
+            "n_questions": len(questions),
+        },
+        paths,
+        baseline="cold",
+    )
+
+
 SCENARIOS = [
     bench_shared_prefix_batch,
     bench_minkey_greedy,
     bench_engine_query_batch,
     bench_refinement_kernel,
     bench_live_append,
+    bench_serve_concurrent_clients,
 ]
 
 

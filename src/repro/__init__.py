@@ -148,6 +148,7 @@ from repro.obs import get_metrics, span, tracing
 from repro.privacy.cost import cheapest_quasi_identifier
 from repro.privacy.linkage import simulate_linking_attack
 from repro.privacy.risk import assess_risk
+from repro.serve import ProfilingServer, ServeClient, ServeError, ServerConfig
 
 __all__ = [
     "AppendableDataset",
@@ -170,6 +171,7 @@ __all__ = [
     "NonSeparationSketch",
     "ProcessPoolBackend",
     "Profiler",
+    "ProfilingServer",
     "ProfilingService",
     "Query",
     "ReproError",
@@ -177,6 +179,9 @@ __all__ = [
     "Result",
     "RetryPolicy",
     "SerialBackend",
+    "ServeClient",
+    "ServeError",
+    "ServerConfig",
     "ShardedDataset",
     "SketchAnswer",
     "SummarySpec",

@@ -37,6 +37,8 @@ SPAN_NAMES = frozenset(
         "live.snapshot",
         "service.answer",
         "service.fit",
+        "serve.batch",
+        "serve.request",
         "service.kernel_pass",
         "service.query",
         "service.query_batch",
@@ -73,6 +75,14 @@ METRIC_NAMES = frozenset(
         "kernels.sets_evaluated",
         "live.appends",
         "live.rows_appended",
+        "serve.batched_questions",
+        "serve.batches",
+        "serve.connections",
+        "serve.errors",
+        "serve.evictions",
+        "serve.request_seconds",
+        "serve.requests",
+        "serve.sessions",
         "service.batches",
         "service.fit_seconds",
         "service.queries",

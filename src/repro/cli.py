@@ -40,6 +40,14 @@ Commands
 ``repro live --dataset adult [--batches 8] [--watch age,sex] [--min-key]``
     Stream a registry data set into a LiveProfiler in batches and print
     each snapshot's watched answers with incremental/refit provenance.
+``repro serve [--port 7411] [--shards 4] [--manifest state.json]``
+    Run the multi-client profiling daemon: warm sessions behind the
+    ``repro-serve/1`` socket protocol, with per-client namespaces, LRU
+    eviction, coalesced kernel passes, and graceful drain/restart
+    (see ``docs/serve.md``).
+``repro ask --connect HOST:PORT --dataset adult --task classify --attributes age,sex``
+    Ask one question of a running daemon and print the Result envelope;
+    ``--register`` registers the registry dataset first when missing.
 ``repro stats [--dataset adult]``
     Dump the process-wide :mod:`repro.obs` metrics snapshot; with
     ``--dataset`` a shared-prefix warm-up batch runs first so the kernel
@@ -320,6 +328,137 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread", "process", "auto"],
         default="serial",
         help="execution backend for sharded refits (auto picks per host)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        parents=[json_flag],
+        help="run the multi-client profiling daemon (docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7411,
+        help="bind port (0 picks an ephemeral port; see --port-file)",
+    )
+    serve.add_argument("--epsilon", type=float, default=0.01)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count; > 1 routes session fits through the engine "
+        "(round-robin appends)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process", "auto"],
+        default="serial",
+        help="execution backend for sharded session fits",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="pool size override"
+    )
+    serve.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fault tolerance: retry failed shard fits up to N attempts",
+    )
+    serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard fit timeout (timed-out shards are retried)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-fit-plan deadline (see also --request-deadline)",
+    )
+    serve.add_argument(
+        "--fallback",
+        action="store_true",
+        help="degrade process->thread->serial on repeated backend failure",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="LRU ceiling on warm sessions across all namespaces",
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request queue+execute deadline (expired requests get "
+        "a deadline_exceeded error)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long a graceful shutdown waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="session manifest: restored on startup when present, "
+        "written on graceful shutdown (warm restart)",
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="FILE",
+        help="write 'host port' here once bound (for scripts using --port 0)",
+    )
+
+    ask = commands.add_parser(
+        "ask",
+        parents=[json_flag],
+        help="ask a question of a running repro serve daemon",
+    )
+    ask.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="daemon address, e.g. 127.0.0.1:7411",
+    )
+    ask.add_argument("--task", default="classify", help="registered task name")
+    ask.add_argument("--dataset", required=True, help="session name on the daemon")
+    ask.add_argument(
+        "--attributes",
+        default=None,
+        metavar="ATTRS",
+        help="comma-separated attribute set the question is about",
+    )
+    ask.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help="extra task parameters as a JSON object",
+    )
+    ask.add_argument("--epsilon", type=float, default=None)
+    ask.add_argument("--seed", type=int, default=None)
+    ask.add_argument(
+        "--namespace", default=None, help="session namespace (default: public)"
+    )
+    ask.add_argument(
+        "--register",
+        action="store_true",
+        help="register the registry dataset on the daemon first if the "
+        "session does not exist yet",
+    )
+    ask.add_argument(
+        "--rows", type=int, default=None, help="row-count for --register"
     )
 
     chaos = commands.add_parser(
@@ -906,6 +1045,143 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_execution(args: argparse.Namespace):
+    """The session ExecutionConfig a ``repro serve`` daemon runs under."""
+    from repro.api import ExecutionConfig
+
+    if args.shards <= 1:
+        execution = None
+    else:
+        execution = ExecutionConfig(
+            backend=args.backend,
+            n_shards=args.shards,
+            workers=args.workers,
+            strategy="round_robin",
+            retry=args.retry,
+            task_timeout=args.task_timeout,
+            deadline=args.deadline,
+            fallback=args.fallback,
+        )
+    if getattr(args, "trace", False):
+        import dataclasses
+
+        execution = (
+            ExecutionConfig(trace=True)
+            if execution is None
+            else dataclasses.replace(execution, trace=True)
+        )
+    return execution
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import ProfilingServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        execution=_serve_execution(args),
+        epsilon=args.epsilon,
+        seed=args.seed,
+        max_sessions=args.max_sessions,
+        request_deadline=args.request_deadline,
+        drain_timeout=args.drain_timeout,
+        manifest_path=args.manifest,
+    )
+    server = ProfilingServer(config)
+    server.start()
+    host, port = server.address
+
+    def _on_signal(signum, frame):  # noqa: ARG001 — signal handler shape
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    if args.port_file is not None:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{host} {port}\n")
+    banner = {
+        "task": "serve",
+        "host": host,
+        "port": port,
+        "epsilon": args.epsilon,
+        "seed": args.seed,
+        "max_sessions": args.max_sessions,
+        "sessions_restored": server.manager.session_count(),
+    }
+    if args.json:
+        _emit_json(banner)
+    else:
+        print(
+            f"repro serve listening on {host}:{port} "
+            f"(epsilon={args.epsilon}, seed={args.seed}, "
+            f"restored {banner['sessions_restored']} sessions)"
+        )
+    sys.stdout.flush()
+    server._stop_requested.wait()
+    server.shutdown(drain=True)
+    if not args.json:
+        print("repro serve: drained and stopped")
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"--connect must be HOST:PORT; got {args.connect!r}", file=sys.stderr)
+        return 2
+    params: dict = {}
+    if args.params is not None:
+        try:
+            parsed = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(parsed, dict):
+            print("--params must be a JSON object", file=sys.stderr)
+            return 2
+        params.update(parsed)
+    if args.epsilon is not None:
+        params["epsilon"] = args.epsilon
+    if args.seed is not None:
+        params["seed"] = args.seed
+    task_args = []
+    if args.attributes is not None:
+        task_args.append(_parse_attributes(args.attributes))
+    with ServeClient(host, int(port_text), namespace=args.namespace) as client:
+        try:
+            result = client.ask(args.task, args.dataset, *task_args, **params)
+        except ServeError as exc:
+            if exc.error_type != "unknown_session" or not args.register:
+                print(f"repro ask: {exc}", file=sys.stderr)
+                return 1
+            from repro.data.registry import build_dataset
+
+            data = build_dataset(args.dataset, args.rows, seed=0)
+            client.register(
+                args.dataset,
+                codes=data.codes,
+                column_names=list(data.column_names),
+            )
+            result = client.ask(args.task, args.dataset, *task_args, **params)
+    if args.json:
+        _emit_json(result)
+    else:
+        target = f"{args.task}({args.dataset}"
+        if task_args:
+            target += f", {task_args[0]}"
+        target += ")"
+        print(f"{target} = {json.dumps(result['value'], sort_keys=True)}")
+        print(
+            f"  backend={result['backend']}  seconds={result['seconds']:.4f}  "
+            f"params={json.dumps(result['params'], sort_keys=True)}"
+        )
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.engine.chaos import run_chaos_suite
 
@@ -1105,6 +1381,8 @@ HANDLERS = {
     "dedup": _cmd_dedup,
     "engine": _cmd_engine,
     "live": _cmd_live,
+    "serve": _cmd_serve,
+    "ask": _cmd_ask,
     "chaos": _cmd_chaos,
     "stats": _cmd_stats,
     "datasets": _cmd_datasets,

@@ -1,0 +1,46 @@
+"""repro.serve — the multi-client profiling daemon.
+
+Long-running :class:`~repro.live.LiveProfiler` sessions behind a TCP
+socket, speaking the ``repro-serve/1`` length-prefixed JSON-lines
+protocol:
+
+* :mod:`repro.serve.protocol` — frames, request/response envelopes, and
+  the versioned schema (``docs/schemas/serve.schema.json``).
+* :mod:`repro.serve.server` — :class:`ProfilingServer` /
+  :class:`SessionManager`: namespaced sessions, LRU eviction, coalesced
+  kernel passes, per-request deadlines, drain + manifest restart.
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking client
+  the ``repro serve`` / ``repro ask --connect`` CLI rides on.
+
+See ``docs/serve.md`` for the lifecycle, the wire format, and the
+when-to-use-vs-in-process discussion.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    PROTOCOL,
+    ProtocolError,
+    Request,
+    Response,
+    encode_frame,
+    read_frame,
+)
+from repro.serve.server import (
+    ProfilingServer,
+    ServerConfig,
+    SessionManager,
+)
+
+__all__ = [
+    "PROTOCOL",
+    "ProfilingServer",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "ServeClient",
+    "ServeError",
+    "ServerConfig",
+    "SessionManager",
+    "encode_frame",
+    "read_frame",
+]

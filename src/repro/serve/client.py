@@ -1,0 +1,238 @@
+"""A thin blocking client for the ``repro-serve/1`` daemon.
+
+:class:`ServeClient` is the library face of :mod:`repro.serve`: it speaks
+the length-prefixed frame protocol over one TCP connection, numbers its
+requests, and unwraps response envelopes — raising :class:`ServeError`
+for error envelopes so callers handle daemon failures like any other
+library exception.  The CLI subcommands ``repro serve`` and
+``repro ask --connect`` are built on it.
+
+>>> from repro.serve import ProfilingServer, ServeClient, ServerConfig
+>>> server = ProfilingServer(ServerConfig(port=0)).start()
+>>> host, port = server.address
+>>> with ServeClient(host, port) as client:
+...     _ = client.register("people", columns={
+...         "zip": [92101, 92102, 92101, 92103],
+...         "age": [34, 34, 41, 34],
+...     })
+...     client.is_key("people", ["zip", "age"])["value"]
+True
+>>> server.shutdown()
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.serve import protocol
+from repro.serve.protocol import ProtocolError, Request, Response
+
+
+class ServeError(ReproError):
+    """An error envelope from the daemon, surfaced as an exception.
+
+    Attributes
+    ----------
+    error_type:
+        The protocol error type (one of
+        :data:`repro.serve.protocol.ERROR_TYPES`).
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+
+
+class ServeClient:
+    """One blocking connection to a :class:`~repro.serve.ProfilingServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The daemon's address (``ProfilingServer.address``).
+    namespace:
+        Session namespace announced in the ``hello`` handshake.  Clients
+        sharing a namespace share sessions; distinct namespaces are
+        fully isolated.
+    timeout:
+        Socket timeout in seconds (``None`` blocks indefinitely).
+    max_frame_bytes:
+        Frame size limit applied to reads and writes.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        namespace: str | None = None,
+        timeout: float | None = 30.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._max_frame_bytes = max_frame_bytes
+        self._next_id = 1
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._writer = self._sock.makefile("wb")
+        payload = {} if namespace is None else {"namespace": namespace}
+        self.server_info = self._call("hello", payload=payload)
+        self.namespace: str = self.server_info["namespace"]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Hang up (idempotent)."""
+        for closer in (self._reader.close, self._writer.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(
+        self, kind: str, *, session: str | None = None, payload: dict | None = None
+    ) -> dict:
+        """Send one request, await its response, unwrap the payload."""
+        request = Request(
+            kind=kind,
+            id=self._next_id,
+            session=session,
+            payload=payload if payload is not None else {},
+        )
+        self._next_id += 1
+        self._writer.write(
+            protocol.encode_frame(
+                request.to_wire(), max_bytes=self._max_frame_bytes
+            )
+        )
+        self._writer.flush()
+        document = protocol.read_frame(
+            self._reader, max_bytes=self._max_frame_bytes
+        )
+        if document is None:
+            raise ProtocolError("server hung up before responding")
+        response = Response.from_wire(document)
+        if not response.ok:
+            assert response.error is not None
+            raise ServeError(response.error["type"], response.error["message"])
+        if response.id != request.id:
+            raise ProtocolError(
+                f"response id {response.id} does not match request {request.id}"
+            )
+        return response.payload
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        dataset: str,
+        *,
+        columns: dict | None = None,
+        codes: object | None = None,
+        column_names: list | None = None,
+    ) -> dict:
+        """Register a session: raw ``columns`` or a pre-encoded ``codes`` matrix."""
+        payload: dict = {}
+        if columns is not None:
+            payload["columns"] = {
+                str(name): _listify(values) for name, values in columns.items()
+            }
+        if codes is not None:
+            payload["codes"] = _listify(codes)
+        if column_names is not None:
+            payload["column_names"] = [str(name) for name in column_names]
+        return self._call("register", session=dataset, payload=payload)
+
+    def append(
+        self,
+        dataset: str,
+        rows: object | None = None,
+        *,
+        codes: object | None = None,
+    ) -> dict:
+        """Append a batch of raw ``rows`` or pre-encoded ``codes``."""
+        payload: dict = {}
+        if rows is not None:
+            payload["rows"] = _listify(rows)
+        if codes is not None:
+            payload["codes"] = _listify(codes)
+        return self._call("append", session=dataset, payload=payload)
+
+    def evict(self, dataset: str) -> bool:
+        """Drop a warm session; ``True`` when one existed."""
+        return bool(self._call("evict", session=dataset)["evicted"])
+
+    # ------------------------------------------------------------------
+    # Questions
+    # ------------------------------------------------------------------
+
+    def ask(self, task: str, dataset: str, /, *args, **params) -> dict:
+        """Answer any registered task; returns the ``Result`` envelope dict.
+
+        The envelope is exactly ``Result.to_dict()`` as the server's warm
+        session produced it — ``value``, resolved ``params``, summary
+        provenance, timing, and (when the server traces) the span tree.
+        """
+        payload = {
+            "task": task,
+            "args": [_listify(arg) for arg in args],
+            "params": {key: _listify(value) for key, value in params.items()},
+        }
+        return self._call("ask", session=dataset, payload=payload)["result"]
+
+    def is_key(self, dataset: str, attributes, **params) -> dict:
+        """Theorem 1 filter verdict for one attribute set."""
+        return self.ask("is_key", dataset, attributes, **params)
+
+    def classify(self, dataset: str, attributes, **params) -> dict:
+        """Exact ε-classification of one attribute set."""
+        return self.ask("classify", dataset, attributes, **params)
+
+    def min_key(self, dataset: str, **params) -> dict:
+        """Approximate minimum ε-separation key."""
+        return self.ask("min_key", dataset, **params)
+
+    # ------------------------------------------------------------------
+    # Server introspection and control
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self._call("ping")["pong"])
+
+    def sessions(self) -> list[dict]:
+        """Descriptors of every warm session on the server."""
+        return self._call("sessions")["sessions"]
+
+    def stats(self) -> dict:
+        """The server's request/session/connection counters."""
+        return self._call("stats")
+
+    def shutdown(self, *, drain: bool = True) -> dict:
+        """Ask the server to shut down (draining in-flight work by default)."""
+        return self._call("shutdown", payload={"drain": drain})
+
+
+def _listify(value: object) -> object:
+    """Recursively convert arrays/tuples to JSON-ready lists."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_listify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _listify(item) for key, item in value.items()}
+    return value

@@ -1,0 +1,274 @@
+"""The ``repro-serve/1`` wire protocol: length-prefixed JSON-lines frames.
+
+A connection is a sequence of *frames* in each direction.  One frame is::
+
+    <decimal byte length of body>\\n
+    <body: UTF-8 JSON document>\\n
+
+The length line counts the body bytes *including* the trailing newline,
+so a frame can be read with exactly two bounded reads and no scanning —
+and a human can still drive a server from ``nc`` by typing the length by
+hand.  The body is rendered with sorted keys, making every frame
+byte-deterministic for a given payload (the golden-file tests in
+``tests/serve/test_protocol.py`` pin this).
+
+Envelopes
+---------
+Every request body is::
+
+    {"proto": "repro-serve/1", "id": <int>, "kind": <kind>,
+     "session": <dataset name or null>, "payload": {...}}
+
+and every response::
+
+    {"proto": "repro-serve/1", "id": <int>, "ok": <bool>, "kind": <kind>,
+     "payload": {...}, "error": null | {"type": ..., "message": ...}}
+
+``ask`` responses carry the existing :class:`repro.api.result.Result`
+envelope verbatim under ``payload["result"]`` — the serve protocol wraps
+the library's JSON surface, it does not invent a second one.  The
+payload shapes are pinned by ``docs/schemas/serve.schema.json`` and
+validated with the :func:`repro.obs.export.validate_trace` JSON-Schema
+subset validator.
+
+Framing errors raise :class:`ProtocolError`; a clean end-of-stream at a
+frame boundary is reported as ``None`` from :func:`read_frame` so servers
+and clients can distinguish an orderly hangup from a truncated frame.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.exceptions import ReproError
+
+#: Protocol version tag carried by every frame.
+PROTOCOL = "repro-serve/1"
+
+#: Default ceiling on one frame's body size (bytes).  Register frames
+#: carry whole code matrices, so the default is generous; servers and
+#: clients may lower it independently.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Longest accepted length-line, newline excluded (fits MAX_FRAME_BYTES
+#: with room to spare; anything longer is garbage, not a bigger frame).
+_MAX_LENGTH_DIGITS = 12
+
+#: Request kinds a ``repro-serve/1`` server understands, sorted.
+REQUEST_KINDS = (
+    "append",
+    "ask",
+    "evict",
+    "hello",
+    "ping",
+    "register",
+    "sessions",
+    "shutdown",
+    "stats",
+)
+
+#: Error types a response envelope may carry, sorted.
+ERROR_TYPES = (
+    "deadline_exceeded",
+    "internal",
+    "invalid_request",
+    "protocol_error",
+    "shutting_down",
+    "unknown_session",
+)
+
+
+class ProtocolError(ReproError):
+    """A malformed frame or envelope (framing is unrecoverable after it)."""
+
+
+def encode_frame(obj: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Render one JSON document as a length-prefixed frame."""
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    body += b"\n"
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_bytes}-byte frame limit"
+        )
+    return str(len(body)).encode("ascii") + b"\n" + body
+
+
+def read_frame(stream: IO[bytes], *, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one frame from a buffered binary stream.
+
+    Returns the decoded JSON document, or ``None`` on a clean end of
+    stream (EOF before any header byte).  Every other irregularity —
+    a non-numeric header, an oversized length, a body cut short, a body
+    that is not a JSON object — raises :class:`ProtocolError`.
+    """
+    header = stream.readline(_MAX_LENGTH_DIGITS + 1)
+    if header == b"":
+        return None
+    if not header.endswith(b"\n"):
+        raise ProtocolError(
+            f"frame header not newline-terminated within "
+            f"{_MAX_LENGTH_DIGITS} digits: {header[:32]!r}"
+        )
+    digits = header[:-1]
+    if not digits.isdigit():
+        raise ProtocolError(f"frame header is not a decimal length: {digits[:32]!r}")
+    length = int(digits)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"announced frame body of {length} bytes exceeds the "
+            f"{max_bytes}-byte frame limit"
+        )
+    if length == 0:
+        raise ProtocolError("frame body cannot be empty")
+    body = _read_exactly(stream, length)
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object; got {type(document).__name__}"
+        )
+    return document
+
+
+def _read_exactly(stream: IO[bytes], length: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"stream ended {remaining} bytes short of a {length}-byte body"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: a kind, a target session, and a payload."""
+
+    kind: str
+    id: int = 0
+    session: str | None = None
+    payload: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ProtocolError(
+                f"unknown request kind {self.kind!r}; expected one of "
+                f"{REQUEST_KINDS}"
+            )
+        if not isinstance(self.id, int) or isinstance(self.id, bool) or self.id < 0:
+            raise ProtocolError(f"request id must be a non-negative int; got {self.id!r}")
+
+    def to_wire(self) -> dict:
+        """The request as a ``repro-serve/1`` envelope document."""
+        return {
+            "proto": PROTOCOL,
+            "id": self.id,
+            "kind": self.kind,
+            "session": self.session,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_wire(cls, document: dict) -> "Request":
+        """Parse and validate an envelope document."""
+        _check_proto(document)
+        payload = document.get("payload", {})
+        if not isinstance(payload, dict):
+            raise ProtocolError("request payload must be a JSON object")
+        session = document.get("session")
+        if session is not None and not isinstance(session, str):
+            raise ProtocolError("request session must be a string or null")
+        return cls(
+            kind=_require_str(document, "kind"),
+            id=document.get("id", 0),
+            session=session,
+            payload=payload,
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """One server response, mirroring the request's ``id`` and ``kind``."""
+
+    kind: str
+    id: int = 0
+    ok: bool = True
+    payload: dict = field(default_factory=dict)
+    error: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.ok and self.error is not None:
+            raise ProtocolError("an ok response cannot carry an error")
+        if not self.ok:
+            if not isinstance(self.error, dict):
+                raise ProtocolError("an error response needs an error object")
+            if self.error.get("type") not in ERROR_TYPES:
+                raise ProtocolError(
+                    f"unknown error type {self.error.get('type')!r}; "
+                    f"expected one of {ERROR_TYPES}"
+                )
+            if not isinstance(self.error.get("message"), str):
+                raise ProtocolError("error.message must be a string")
+
+    def to_wire(self) -> dict:
+        """The response as a ``repro-serve/1`` envelope document."""
+        return {
+            "proto": PROTOCOL,
+            "id": self.id,
+            "ok": self.ok,
+            "kind": self.kind,
+            "payload": self.payload,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_wire(cls, document: dict) -> "Response":
+        """Parse and validate an envelope document."""
+        _check_proto(document)
+        ok = document.get("ok")
+        if not isinstance(ok, bool):
+            raise ProtocolError("response ok must be a boolean")
+        payload = document.get("payload", {})
+        if not isinstance(payload, dict):
+            raise ProtocolError("response payload must be a JSON object")
+        return cls(
+            kind=_require_str(document, "kind"),
+            id=document.get("id", 0),
+            ok=ok,
+            payload=payload,
+            error=document.get("error"),
+        )
+
+
+def error_response(
+    request_id: int, kind: str, error_type: str, message: str
+) -> Response:
+    """Build the uniform error envelope."""
+    return Response(
+        kind=kind,
+        id=request_id,
+        ok=False,
+        error={"type": error_type, "message": message},
+    )
+
+
+def _check_proto(document: dict) -> None:
+    proto = document.get("proto")
+    if proto != PROTOCOL:
+        raise ProtocolError(f"unsupported protocol {proto!r}; this is {PROTOCOL}")
+
+
+def _require_str(document: dict, key: str) -> str:
+    value = document.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(f"envelope field {key!r} must be a string")
+    return value

@@ -1,0 +1,946 @@
+"""The ``repro serve`` daemon: warm profiling sessions behind a socket.
+
+One :class:`ProfilingServer` owns a set of named *sessions* — each a
+:class:`~repro.live.LiveProfiler` holding one growing table with its warm
+summary caches — and answers ``repro-serve/1`` requests from any number
+of concurrent clients (see :mod:`repro.serve.protocol` for the frame
+format and :mod:`repro.serve.client` for the blocking client).
+
+Guarantees, in the order the tests enforce them:
+
+* **Equivalence.**  Every ``ask`` is answered through the session's own
+  :meth:`LiveProfiler.ask` path, so each response's ``Result`` is the one
+  a cold in-process :class:`~repro.api.Profiler` would produce for the
+  same prefix and seed — the PR 5 bar, now over a socket
+  (``tests/serve/test_equivalence.py``).
+* **Coalesced kernel passes.**  Concurrent ``is_key``/``classify``
+  questions against one session are drained by whichever request thread
+  holds the session lock and warmed in a single
+  :func:`repro.kernels.evaluate_sets` pass (the filter's sample cache for
+  ``is_key``, the session label kernel for ``classify``) before each is
+  answered individually — shared prefixes across clients are labeled
+  once, and the per-question answers are bit-identical to the
+  uncoalesced path by :func:`evaluate_sets`' own contract.
+* **Isolation.**  Sessions are namespaced per client (``hello`` sets the
+  namespace; cooperating clients may share one), LRU-evicted beyond
+  ``max_sessions``, and serialized per session — different sessions
+  proceed concurrently.
+* **Fault tolerance.**  Per-request deadlines reject stale queued work;
+  sharded sessions inherit the full :mod:`repro.engine.resilience`
+  retry/degradation path from their :class:`ExecutionConfig`; a client
+  disconnecting mid-request never takes the daemon down
+  (``tests/serve/test_faults.py``).
+* **Graceful restart.**  Shutdown drains in-flight requests, then
+  :meth:`SessionManager.manifest` serializes every session's accumulated
+  prefix for warm re-registration via :meth:`SessionManager.restore`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.api.config import ExecutionConfig
+from repro.api.result import Result
+from repro.exceptions import InvalidParameterError, PlanDeadlineError, ReproError
+from repro.live.session import LiveProfiler
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    error_response,
+)
+
+#: Namespace used by connections that never sent a ``hello``.
+DEFAULT_NAMESPACE = "public"
+
+#: ``ask`` tasks eligible for cross-request kernel coalescing.
+BATCHABLE_TASKS = ("classify", "is_key")
+
+#: Manifest document version tag.
+MANIFEST_KIND = "repro-serve/1-manifest"
+
+
+class RequestDeadlineError(ReproError):
+    """A request exceeded the server's per-request deadline."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a :class:`ProfilingServer` needs to run.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read it back
+        from :attr:`ProfilingServer.address`.
+    execution:
+        Session :class:`~repro.api.config.ExecutionConfig` (or backend
+        name, or ``None`` for direct mode) applied to every session.
+        Sharded configs must use ``strategy="round_robin"`` (the live
+        append requirement) and may carry the full resilience knobs
+        (``retry`` / ``task_timeout`` / ``deadline`` / ``fallback``).
+    epsilon / seed:
+        Session defaults, as for :class:`~repro.api.Profiler`.
+    max_sessions:
+        LRU ceiling on concurrently warm sessions across all namespaces.
+    max_frame_bytes:
+        Per-frame size limit enforced on reads and writes.
+    request_deadline:
+        Seconds a request may spend queued + executing before it is
+        rejected with ``deadline_exceeded`` (``None`` = no deadline).
+    drain_timeout:
+        Seconds a graceful shutdown waits for in-flight requests.
+    manifest_path:
+        When set, a graceful shutdown writes the session manifest here
+        and a fresh server restores it on startup (warm restart).
+    monitor:
+        Maintain the streaming reservoir tier per session (off by
+        default: serve sessions answer exact/refit questions only, and
+        the per-row reservoir cost is pure overhead).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    execution: ExecutionConfig | str | None = None
+    epsilon: float = 0.01
+    seed: int | None = 0
+    max_sessions: int = 64
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    request_deadline: float | None = None
+    drain_timeout: float = 10.0
+    manifest_path: str | None = None
+    monitor: bool = False
+
+
+class _PendingQuestion:
+    """One batchable ``ask`` waiting for a session-lock holder to answer it."""
+
+    def __init__(self, task: str, attributes: list, params: dict) -> None:
+        self.task = task
+        self.attributes = attributes
+        self.params = params
+        self.event = threading.Event()
+        self.done = False
+        self.result: Result | None = None
+        self.error: BaseException | None = None
+
+
+class _Session:
+    """One warm live session plus its serialization and batching state."""
+
+    def __init__(self, namespace: str, dataset: str, live: LiveProfiler) -> None:
+        self.namespace = namespace
+        self.dataset = dataset
+        self.live = live
+        self.evicted = False
+        # Serializes all kernel access to the session.  Reentrant so a
+        # lock-holder may answer its own enqueued question.
+        self.lock = threading.RLock()
+        # Guards only the pending-question list (never held during work).
+        self.queue_lock = threading.Lock()
+        self.pending: list[_PendingQuestion] = []
+
+
+class SessionManager:
+    """Named warm sessions with per-client namespacing and LRU eviction.
+
+    The socket-free core of the daemon: every protocol verb maps to one
+    method here, so the full lifecycle is unit-testable without a
+    connection (``tests/serve/test_server.py`` does both).
+    """
+
+    def __init__(
+        self,
+        *,
+        execution: ExecutionConfig | str | None = None,
+        epsilon: float = 0.01,
+        seed: int | None = 0,
+        max_sessions: int = 64,
+        monitor: bool = False,
+    ) -> None:
+        if max_sessions < 1:
+            raise InvalidParameterError(
+                f"max_sessions must be at least 1; got {max_sessions}"
+            )
+        self._execution = execution
+        self._epsilon = epsilon
+        self._seed = seed
+        self._max_sessions = max_sessions
+        self._monitor = monitor
+        if execution is None:
+            resolved = ExecutionConfig()
+        elif isinstance(execution, str):
+            resolved = ExecutionConfig.for_backend(execution)
+        else:
+            resolved = execution
+        self._execution_label = resolved.label
+        # LRU order: oldest-used first.  Guarded by _registry_lock, which
+        # is never held while session kernels run.
+        self._sessions: "OrderedDict[tuple[str, str], _Session]" = OrderedDict()
+        self._registry_lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def execution_label(self) -> str:
+        """The label of the execution config sessions run under."""
+        return self._execution_label
+
+    def session_count(self) -> int:
+        """Number of currently warm sessions."""
+        with self._registry_lock:
+            return len(self._sessions)
+
+    def sessions(self) -> list[dict]:
+        """One descriptor per warm session, LRU-oldest first."""
+        with self._registry_lock:
+            items = list(self._sessions.values())
+        descriptors = []
+        for session in items:
+            with session.lock:
+                if session.evicted:
+                    continue
+                descriptors.append(
+                    {
+                        "namespace": session.namespace,
+                        "dataset": session.dataset,
+                        "rows": session.live.rows_seen(session.dataset),
+                        "columns": list(
+                            session.live.current(session.dataset).column_names
+                        ),
+                    }
+                )
+        return descriptors
+
+    # ------------------------------------------------------------------
+    # Lifecycle: register / append / evict
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        namespace: str,
+        dataset: str,
+        *,
+        columns: dict | None = None,
+        codes: list | None = None,
+        column_names: list | None = None,
+    ) -> dict:
+        """Create a warm session for ``(namespace, dataset)``.
+
+        Exactly one of ``columns`` (raw values, encoded incrementally
+        from then on) or ``codes`` (a pre-encoded integer matrix, with
+        optional ``column_names``) must be given.  Registering beyond
+        ``max_sessions`` evicts the least-recently-used session.
+        """
+        if (columns is None) == (codes is None):
+            raise InvalidParameterError(
+                "register needs exactly one of columns= or codes="
+            )
+        live = LiveProfiler(
+            self._execution,
+            epsilon=self._epsilon,
+            seed=self._seed,
+            monitor=self._monitor,
+        )
+        try:
+            if columns is not None:
+                live.add(dataset, columns)
+            else:
+                from repro.data.appendable import AppendableDataset
+
+                live.add(
+                    dataset,
+                    AppendableDataset.from_codes(codes, column_names=column_names),
+                )
+        except BaseException:
+            live.close()
+            raise
+        session = _Session(namespace, dataset, live)
+        key = (namespace, dataset)
+        overflow: list[_Session] = []
+        with self._registry_lock:
+            if key in self._sessions:
+                live.close()
+                raise InvalidParameterError(
+                    f"session {dataset!r} already registered in namespace "
+                    f"{namespace!r}; evict it first"
+                )
+            self._sessions[key] = session
+            while len(self._sessions) > self._max_sessions:
+                _, oldest = self._sessions.popitem(last=False)
+                overflow.append(oldest)
+            get_metrics().gauge("serve.sessions").set(len(self._sessions))
+        for evictee in overflow:
+            self._close_session(evictee)
+            get_metrics().counter("serve.evictions").inc()
+        return {
+            "namespace": namespace,
+            "dataset": dataset,
+            "rows": live.rows_seen(dataset),
+            "columns": list(live.current(dataset).column_names),
+            "evicted": [
+                {"namespace": e.namespace, "dataset": e.dataset} for e in overflow
+            ],
+        }
+
+    def append(
+        self,
+        namespace: str,
+        dataset: str,
+        *,
+        rows: list | None = None,
+        codes: list | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Append a batch to a session's stream (rows xor codes)."""
+        session = self._touch(namespace, dataset)
+        with session.lock:
+            self._check_session(session, namespace, dataset, deadline)
+            before = session.live.rows_seen(dataset)
+            rows_arg = [tuple(row) for row in rows] if rows is not None else None
+            session.live.append(dataset, rows_arg, codes=codes, snapshot=False)
+            rows_seen = session.live.rows_seen(dataset)
+            return {
+                "dataset": dataset,
+                "rows_seen": rows_seen,
+                "appended": rows_seen - before,
+            }
+
+    def evict(self, namespace: str, dataset: str) -> bool:
+        """Drop a session (idempotent); returns whether one existed."""
+        with self._registry_lock:
+            session = self._sessions.pop((namespace, dataset), None)
+            get_metrics().gauge("serve.sessions").set(len(self._sessions))
+        if session is None:
+            return False
+        self._close_session(session)
+        get_metrics().counter("serve.evictions").inc()
+        return True
+
+    def close_all(self) -> None:
+        """Evict every session (server shutdown)."""
+        with self._registry_lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            get_metrics().gauge("serve.sessions").set(0)
+        for session in sessions:
+            self._close_session(session)
+
+    def _close_session(self, session: _Session) -> None:
+        with session.lock:
+            session.evicted = True
+            session.live.close()
+        self._fail_pending(session)
+
+    def _fail_pending(self, session: _Session) -> None:
+        with session.queue_lock:
+            orphans, session.pending = session.pending, []
+        for waiter in orphans:
+            if not waiter.done:
+                waiter.error = InvalidParameterError(
+                    f"session {session.dataset!r} was evicted"
+                )
+                waiter.done = True
+                waiter.event.set()
+
+    # ------------------------------------------------------------------
+    # Asking
+    # ------------------------------------------------------------------
+
+    def ask(
+        self,
+        namespace: str,
+        dataset: str,
+        task: str,
+        args: list,
+        params: dict,
+        *,
+        deadline: float | None = None,
+    ) -> Result:
+        """Answer one task through the session's warm profiler.
+
+        Concurrent ``is_key``/``classify`` questions with a single
+        attribute-set argument ride the coalescing path; everything else
+        is answered directly under the session lock.
+        """
+        session = self._touch(namespace, dataset)
+        if task in BATCHABLE_TASKS and len(args) == 1 and isinstance(args[0], list):
+            return self._ask_batched(
+                session, namespace, dataset, task, args[0], params, deadline
+            )
+        with session.lock:
+            self._check_session(session, namespace, dataset, deadline)
+            return session.live.ask(task, dataset, *args, **params)
+
+    def _ask_batched(
+        self,
+        session: _Session,
+        namespace: str,
+        dataset: str,
+        task: str,
+        attributes: list,
+        params: dict,
+        deadline: float | None,
+    ) -> Result:
+        waiter = _PendingQuestion(task, attributes, params)
+        with session.queue_lock:
+            session.pending.append(waiter)
+        with session.lock:
+            if not waiter.done:
+                # We hold the kernel; answer everything that queued up
+                # (always including our own question) in one drained batch.
+                with session.queue_lock:
+                    batch, session.pending = session.pending, []
+                self._check_session(session, namespace, dataset, deadline)
+                self._answer_batch(session, dataset, batch)
+        if waiter.error is not None:
+            raise waiter.error
+        assert waiter.result is not None
+        return waiter.result
+
+    def _answer_batch(
+        self, session: _Session, dataset: str, batch: list
+    ) -> None:
+        """Warm one kernel pass for the batch, then answer each question."""
+        metrics = get_metrics()
+        if len(batch) > 1:
+            with span("serve.batch", dataset=dataset, questions=len(batch)):
+                self._warm_batch(session, dataset, batch)
+            metrics.counter("serve.batches").inc()
+            metrics.counter("serve.batched_questions").inc(len(batch))
+        for waiter in batch:
+            try:
+                waiter.result = session.live.ask(
+                    waiter.task, dataset, waiter.attributes, **waiter.params
+                )
+            except BaseException as exc:
+                waiter.error = exc
+            waiter.done = True
+            waiter.event.set()
+
+    def _warm_batch(self, session: _Session, dataset: str, batch: list) -> None:
+        """One :func:`evaluate_sets` pass per kernel the batch will touch.
+
+        Warming only primes caches — the per-question answers below go
+        through the ordinary ``ask`` path, so coalescing can never change
+        a response (it only changes where the label folds are paid).
+        """
+        from repro.kernels import evaluate_sets
+
+        profiler = session.live.profiler
+        direct = not profiler.execution.sharded
+        classify_sets = [
+            w.attributes for w in batch if w.task == "classify" and direct
+        ]
+        if len(classify_sets) > 1:
+            data = profiler.dataset(dataset)
+            try:
+                resolved = [data.resolve_attributes(attrs) for attrs in classify_sets]
+            except ReproError:
+                return  # a bad set: let the per-question path report it
+            evaluate_sets(data, resolved, cache=profiler.label_cache(dataset))
+        by_filter: dict[tuple, list] = {}
+        for waiter in batch:
+            if waiter.task != "is_key":
+                continue
+            key = (waiter.params.get("epsilon"), waiter.params.get("seed"))
+            by_filter.setdefault(key, []).append(waiter.attributes)
+        for (epsilon, seed), sets in by_filter.items():
+            if len(sets) < 2:
+                continue
+            try:
+                tuple_filter = profiler.summary(
+                    dataset,
+                    "tuple_filter",
+                    epsilon=self._epsilon if epsilon is None else epsilon,
+                    seed=self._seed if seed is None else seed,
+                )
+                tuple_filter.accepts_batch(sets)
+            except ReproError:
+                return
+
+    # ------------------------------------------------------------------
+    # Manifest: drain-to-disk and warm restart
+    # ------------------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """Serialize every session's accumulated prefix for warm restart.
+
+        Answers depend only on the accumulated codes, the column names,
+        and the session (ε, seed, execution) — the PR 5 equivalence bar —
+        so re-registering from this document reproduces every response
+        bit-identically.  Sessions registered from raw values resume as
+        code-fed streams (the incremental value encoders are not carried
+        across restarts).
+        """
+        sessions = []
+        with self._registry_lock:
+            items = list(self._sessions.values())
+        for session in items:
+            with session.lock:
+                if session.evicted:
+                    continue
+                current = session.live.current(session.dataset)
+                sessions.append(
+                    {
+                        "namespace": session.namespace,
+                        "dataset": session.dataset,
+                        "column_names": list(current.column_names),
+                        "codes": current.codes.tolist(),
+                    }
+                )
+        return {
+            "kind": MANIFEST_KIND,
+            "epsilon": self._epsilon,
+            "seed": self._seed,
+            "execution": self.execution_label,
+            "sessions": sessions,
+        }
+
+    def restore(self, manifest: dict) -> int:
+        """Warm-register every session from a :meth:`manifest` document."""
+        if manifest.get("kind") != MANIFEST_KIND:
+            raise InvalidParameterError(
+                f"not a serve manifest: kind={manifest.get('kind')!r}"
+            )
+        restored = 0
+        for entry in manifest.get("sessions", ()):
+            self.register(
+                entry["namespace"],
+                entry["dataset"],
+                codes=entry["codes"],
+                column_names=entry["column_names"],
+            )
+            restored += 1
+        return restored
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _touch(self, namespace: str, dataset: str) -> _Session:
+        with self._registry_lock:
+            key = (namespace, dataset)
+            session = self._sessions.get(key)
+            if session is None:
+                raise KeyError(
+                    f"unknown session {dataset!r} in namespace {namespace!r}"
+                )
+            self._sessions.move_to_end(key)
+            return session
+
+    @staticmethod
+    def _check_session(
+        session: _Session,
+        namespace: str,
+        dataset: str,
+        deadline: float | None,
+    ) -> None:
+        """Post-lock checks: the session is live and the request on time."""
+        if session.evicted:
+            raise KeyError(
+                f"unknown session {dataset!r} in namespace {namespace!r}"
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise RequestDeadlineError(
+                "request exceeded the server's per-request deadline "
+                "while queued"
+            )
+
+
+class ProfilingServer:
+    """The TCP front of a :class:`SessionManager`; see the module docs."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.manager = SessionManager(
+            execution=self.config.execution,
+            epsilon=self.config.epsilon,
+            seed=self.config.seed,
+            max_sessions=self.config.max_sessions,
+            monitor=self.config.monitor,
+        )
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        self._state_lock = threading.RLock()
+        self._active_requests = 0
+        self._requests_served = 0
+        self._errors = 0
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._stop_requested = threading.Event()
+        if self.config.manifest_path is not None:
+            self._restore_manifest(self.config.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise InvalidParameterError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "ProfilingServer":
+        """Bind, listen, and serve in background threads."""
+        if self._listener is not None:
+            raise InvalidParameterError("server is already started")
+        self._listener = socket.create_server(
+            (self.config.host, self.config.port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`request_shutdown` (e.g. from a signal handler)."""
+        self.start()
+        self._stop_requested.wait()
+        self.shutdown(drain=True)
+
+    def request_shutdown(self) -> None:
+        """Ask a :meth:`serve_forever` loop to shut down gracefully."""
+        self._stop_requested.set()
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight work, and close.
+
+        With ``drain=True`` the server waits (bounded by
+        ``config.drain_timeout``) for active requests to finish and —
+        when ``config.manifest_path`` is set — writes the session
+        manifest for a warm restart.
+        """
+        with self._state_lock:
+            if self._stopping:
+                self._stopped.wait()
+                return
+            self._stopping = True
+        self._stop_requested.set()
+        if self._listener is not None:
+            self._listener.close()
+        if drain:
+            self._wait_for_drain()
+            if self.config.manifest_path is not None:
+                self.write_manifest(self.config.manifest_path)
+        with self._state_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for conn in connections:
+            _close_quietly(conn)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        self.manager.close_all()
+        self._stopped.set()
+
+    def _wait_for_drain(self) -> None:
+        deadline = time.monotonic() + self.config.drain_timeout
+        while time.monotonic() < deadline:
+            with self._state_lock:
+                if self._active_requests == 0:
+                    return
+            time.sleep(0.01)
+
+    def write_manifest(self, path: str) -> None:
+        """Serialize the session manifest document to ``path``."""
+        document = self.manager.manifest()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+
+    def _restore_manifest(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return
+        self.manager.restore(document)
+
+    def __enter__(self) -> "ProfilingServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=True)
+
+    # ------------------------------------------------------------------
+    # Accept / connection loops
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop_requested.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by shutdown
+            with self._state_lock:
+                if self._stopping:
+                    _close_quietly(conn)
+                    return
+                self._connections.add(conn)
+            get_metrics().counter("serve.connections").inc()
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        namespace = DEFAULT_NAMESPACE
+        try:
+            reader = conn.makefile("rb")
+            writer = conn.makefile("wb")
+            while True:
+                try:
+                    document = protocol.read_frame(
+                        reader, max_bytes=self.config.max_frame_bytes
+                    )
+                except ProtocolError as exc:
+                    # Framing is unrecoverable: report and hang up.
+                    self._count_error()
+                    self._send(
+                        writer,
+                        error_response(0, "protocol", "protocol_error", str(exc)),
+                    )
+                    return
+                if document is None:
+                    return  # clean hangup
+                try:
+                    request = Request.from_wire(document)
+                except ProtocolError as exc:
+                    self._count_error()
+                    self._send(
+                        writer,
+                        error_response(0, "protocol", "protocol_error", str(exc)),
+                    )
+                    return
+                response, namespace = self._handle(request, namespace)
+                self._send(writer, response)
+        except (OSError, ValueError):
+            return  # client went away; nothing to report to
+        finally:
+            with self._state_lock:
+                self._connections.discard(conn)
+            _close_quietly(conn)
+
+    def _send(self, writer, response: Response) -> None:
+        writer.write(
+            protocol.encode_frame(
+                response.to_wire(), max_bytes=self.config.max_frame_bytes
+            )
+        )
+        writer.flush()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def _handle(self, request: Request, namespace: str) -> tuple[Response, str]:
+        """Answer one request; returns (response, connection namespace)."""
+        metrics = get_metrics()
+        metrics.counter("serve.requests").inc()
+        with self._state_lock:
+            if self._stopping:
+                return (
+                    error_response(
+                        request.id,
+                        request.kind,
+                        "shutting_down",
+                        "server is draining; reconnect after restart",
+                    ),
+                    namespace,
+                )
+            self._active_requests += 1
+            self._requests_served += 1
+        started = time.perf_counter()
+        try:
+            with span("serve.request", kind=request.kind, dataset=request.session):
+                response, namespace = self._dispatch(request, namespace)
+        except KeyError as exc:
+            self._count_error()
+            response = error_response(
+                request.id, request.kind, "unknown_session", _message(exc)
+            )
+        except RequestDeadlineError as exc:
+            self._count_error()
+            response = error_response(
+                request.id, request.kind, "deadline_exceeded", _message(exc)
+            )
+        except PlanDeadlineError as exc:
+            self._count_error()
+            response = error_response(
+                request.id, request.kind, "deadline_exceeded", _message(exc)
+            )
+        except (ReproError, TypeError, ValueError) as exc:
+            self._count_error()
+            response = error_response(
+                request.id, request.kind, "invalid_request", _message(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 — the daemon must stay up
+            self._count_error()
+            response = error_response(
+                request.id, request.kind, "internal", _message(exc)
+            )
+        finally:
+            with self._state_lock:
+                self._active_requests -= 1
+        metrics.histogram("serve.request_seconds").observe(
+            time.perf_counter() - started
+        )
+        return response, namespace
+
+    def _dispatch(self, request: Request, namespace: str) -> tuple[Response, str]:
+        payload = request.payload
+        deadline = (
+            time.monotonic() + self.config.request_deadline
+            if self.config.request_deadline is not None
+            else None
+        )
+        if request.kind == "hello":
+            wanted = payload.get("namespace")
+            if wanted is not None:
+                if not isinstance(wanted, str) or not wanted:
+                    raise InvalidParameterError(
+                        "hello namespace must be a non-empty string"
+                    )
+                namespace = wanted
+            return (
+                Response(
+                    kind="hello",
+                    id=request.id,
+                    payload={
+                        "server": protocol.PROTOCOL,
+                        "namespace": namespace,
+                        "epsilon": self.config.epsilon,
+                        "seed": self.config.seed,
+                        "execution": self.manager.execution_label,
+                        "max_frame_bytes": self.config.max_frame_bytes,
+                    },
+                ),
+                namespace,
+            )
+        if request.kind == "ping":
+            return Response(kind="ping", id=request.id, payload={"pong": True}), namespace
+        if request.kind == "sessions":
+            return (
+                Response(
+                    kind="sessions",
+                    id=request.id,
+                    payload={"sessions": self.manager.sessions()},
+                ),
+                namespace,
+            )
+        if request.kind == "stats":
+            with self._state_lock:
+                stats = {
+                    "sessions": self.manager.session_count(),
+                    "connections": len(self._connections),
+                    "requests": self._requests_served,
+                    "errors": self._errors,
+                    "active_requests": self._active_requests,
+                }
+            return Response(kind="stats", id=request.id, payload=stats), namespace
+        if request.kind == "shutdown":
+            drain = bool(payload.get("drain", True))
+            thread = threading.Thread(
+                target=self.shutdown,
+                kwargs={"drain": drain},
+                name="repro-serve-shutdown",
+                daemon=True,
+            )
+            thread.start()
+            self._stop_requested.set()
+            return (
+                Response(
+                    kind="shutdown", id=request.id, payload={"stopping": True}
+                ),
+                namespace,
+            )
+        dataset = request.session
+        if not isinstance(dataset, str) or not dataset:
+            raise InvalidParameterError(
+                f"{request.kind} requests need a session name"
+            )
+        if request.kind == "register":
+            answer = self.manager.register(
+                namespace,
+                dataset,
+                columns=payload.get("columns"),
+                codes=payload.get("codes"),
+                column_names=payload.get("column_names"),
+            )
+            return Response(kind="register", id=request.id, payload=answer), namespace
+        if request.kind == "append":
+            answer = self.manager.append(
+                namespace,
+                dataset,
+                rows=payload.get("rows"),
+                codes=payload.get("codes"),
+                deadline=deadline,
+            )
+            return Response(kind="append", id=request.id, payload=answer), namespace
+        if request.kind == "evict":
+            evicted = self.manager.evict(namespace, dataset)
+            return (
+                Response(kind="evict", id=request.id, payload={"evicted": evicted}),
+                namespace,
+            )
+        assert request.kind == "ask"  # from_wire validated the kind
+        task = payload.get("task")
+        if not isinstance(task, str):
+            raise InvalidParameterError("ask payload needs a task name")
+        args = payload.get("args", [])
+        params = payload.get("params", {})
+        if not isinstance(args, list) or not isinstance(params, dict):
+            raise InvalidParameterError(
+                "ask args must be a list and params an object"
+            )
+        result = self.manager.ask(
+            namespace, dataset, task, args, params, deadline=deadline
+        )
+        return (
+            Response(
+                kind="ask", id=request.id, payload={"result": result.to_dict()}
+            ),
+            namespace,
+        )
+
+    def _count_error(self) -> None:
+        get_metrics().counter("serve.errors").inc()
+        with self._state_lock:
+            self._errors += 1
+
+
+def _message(exc: BaseException) -> str:
+    text = str(exc)
+    return text if text else type(exc).__name__
+
+
+def _close_quietly(conn: socket.socket) -> None:
+    try:
+        conn.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        conn.close()
+    except OSError:
+        pass

@@ -34,6 +34,7 @@ ALL_SNAPSHOT = [
     "NonSeparationSketch",
     "ProcessPoolBackend",
     "Profiler",
+    "ProfilingServer",
     "ProfilingService",
     "Query",
     "ReproError",
@@ -41,6 +42,9 @@ ALL_SNAPSHOT = [
     "Result",
     "RetryPolicy",
     "SerialBackend",
+    "ServeClient",
+    "ServeError",
+    "ServerConfig",
     "ShardedDataset",
     "SketchAnswer",
     "SummarySpec",
@@ -148,6 +152,7 @@ class TestTopLevelSurface:
         "repro.kernels",
         "repro.live",
         "repro.obs",
+        "repro.serve",
         "repro.streaming",
         "repro.ucc",
     ],

@@ -1,0 +1,4 @@
+"""The serve suite is a package so its module names (``test_cli``,
+``test_equivalence``) cannot collide with same-named files elsewhere in
+the un-packaged test tree, and so tests can import shared helpers via
+``from .conftest import ...``."""

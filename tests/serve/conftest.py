@@ -1,0 +1,74 @@
+"""Shared helpers for the serve suite: servers, clients, cold comparisons."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import Profiler
+from repro.data.dataset import Dataset
+from repro.serve import ProfilingServer, ServeClient, ServerConfig
+
+#: The envelope fields a warm daemon must reproduce bit-identically.
+#: ``seconds``, ``summaries`` (reuse flags), ``kernel`` (cache
+#: accounting), ``trace``, and ``resilience`` legitimately differ between
+#: a warm session and a cold profiler; everything *semantic* may not.
+SEMANTIC_FIELDS = ("task", "dataset", "value", "params", "backend")
+
+
+def semantic(envelope: dict) -> str:
+    """A ``Result`` envelope's semantic fields as canonical JSON."""
+    return json.dumps(
+        {field: envelope[field] for field in SEMANTIC_FIELDS}, sort_keys=True
+    )
+
+
+def cold_ask(
+    codes,
+    task: str,
+    *args,
+    dataset: str = "s",
+    column_names=None,
+    epsilon: float = 0.05,
+    seed: int = 0,
+    execution=None,
+    **params,
+) -> dict:
+    """What a cold in-process Profiler answers for the same prefix."""
+    cold = Profiler(execution, epsilon=epsilon, seed=seed)
+    cold.add(dataset, Dataset(np.asarray(codes), column_names=column_names))
+    return cold.ask(task, dataset, *args, **params).to_dict()
+
+
+@pytest.fixture
+def serve_factory():
+    """Start ``ProfilingServer``s that are always shut down afterwards."""
+    servers: list[ProfilingServer] = []
+
+    def start(**config_kwargs) -> ProfilingServer:
+        config_kwargs.setdefault("port", 0)
+        server = ProfilingServer(ServerConfig(**config_kwargs))
+        servers.append(server)
+        return server.start()
+
+    yield start
+    for server in servers:
+        server.shutdown(drain=False)
+
+
+@pytest.fixture
+def client_factory():
+    """Open ``ServeClient``s that are always closed afterwards."""
+    clients: list[ServeClient] = []
+
+    def connect(server: ProfilingServer, **kwargs) -> ServeClient:
+        host, port = server.address
+        client = ServeClient(host, port, **kwargs)
+        clients.append(client)
+        return client
+
+    yield connect
+    for client in clients:
+        client.close()

@@ -1,0 +1,257 @@
+"""The ``repro serve`` / ``repro ask`` command-line surface.
+
+``repro serve`` itself is exercised as a real subprocess in
+``test_faults.py`` (signal handlers only install in a main thread);
+here we cover argument wiring, the ``repro ask`` client command
+end-to-end against an in-process daemon, and its error paths.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Profiler
+from repro.cli import HANDLERS, _build_parser, _serve_execution, main
+from repro.data.registry import build_dataset
+from repro.data.synthetic import zipf_dataset
+
+from .conftest import cold_ask, semantic
+
+EPSILON = 0.05
+SEED = 0
+
+
+@pytest.fixture
+def parser():
+    return _build_parser()
+
+
+class TestArgumentWiring:
+    def test_handlers_cover_serve_and_ask(self):
+        assert "serve" in HANDLERS
+        assert "ask" in HANDLERS
+
+    def test_serve_defaults(self, parser):
+        args = parser.parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 7411)
+        assert args.epsilon == 0.01
+        assert args.shards == 1
+        assert args.max_sessions == 64
+        assert args.manifest is None
+
+    def test_serve_direct_mode_has_no_execution_config(self, parser):
+        assert _serve_execution(parser.parse_args(["serve"])) is None
+
+    def test_serve_sharded_execution_is_round_robin(self, parser):
+        args = parser.parse_args(
+            [
+                "serve",
+                "--shards",
+                "3",
+                "--backend",
+                "thread",
+                "--retry",
+                "2",
+                "--fallback",
+            ]
+        )
+        execution = _serve_execution(args)
+        assert execution.backend == "thread"
+        assert execution.n_shards == 3
+        assert execution.strategy == "round_robin"
+        assert execution.retry == 2
+        assert execution.fallback is True
+
+    def test_ask_requires_connect_and_dataset(self, parser):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["ask", "--dataset", "s"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["ask", "--connect", "h:1"])
+
+
+class TestAskCommand:
+    @pytest.fixture
+    def server(self, serve_factory):
+        return serve_factory(epsilon=EPSILON, seed=SEED)
+
+    def connect_arg(self, server) -> str:
+        host, port = server.address
+        return f"{host}:{port}"
+
+    def register_stream(self, server, client_factory, name="s", rows=300):
+        codes = zipf_dataset(rows, n_columns=5, cardinality=6, seed=7).codes
+        client_factory(server).register(name, codes=codes)
+        return codes
+
+    def test_ask_json_output_is_the_result_envelope(
+        self, server, client_factory, capsys
+    ):
+        codes = self.register_stream(server, client_factory)
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "s",
+                "--task",
+                "classify",
+                "--attributes",
+                "0,1",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert semantic(envelope) == semantic(cold_ask(codes, "classify", [0, 1]))
+
+    def test_ask_text_output_names_the_question(
+        self, server, client_factory, capsys
+    ):
+        self.register_stream(server, client_factory)
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "s",
+                "--task",
+                "is_key",
+                "--attributes",
+                "0,1,2,3,4",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "is_key(s, [0, 1, 2, 3, 4])" in out
+        assert "backend=direct" in out
+
+    def test_ask_epsilon_and_seed_become_params(
+        self, server, client_factory, capsys
+    ):
+        codes = self.register_stream(server, client_factory)
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "s",
+                "--task",
+                "is_key",
+                "--attributes",
+                "0,1,2,3,4",
+                "--epsilon",
+                "0.2",
+                "--seed",
+                "5",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert semantic(envelope) == semantic(
+            cold_ask(codes, "is_key", [0, 1, 2, 3, 4], epsilon=0.2, seed=5)
+        )
+
+    def test_ask_register_bootstraps_a_registry_dataset(self, server, capsys):
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "zipf-small",
+                "--task",
+                "min_key",
+                "--register",
+                "--rows",
+                "400",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        cold = Profiler(epsilon=EPSILON, seed=SEED)
+        cold.add("zipf-small", build_dataset("zipf-small", 400, seed=0))
+        assert semantic(envelope) == semantic(
+            cold.ask("min_key", "zipf-small").to_dict()
+        )
+
+    def test_ask_unknown_session_without_register_fails(self, server, capsys):
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "nope",
+                "--task",
+                "min_key",
+            ]
+        )
+        assert exit_code == 1
+        assert "unknown_session" in capsys.readouterr().err
+
+    def test_ask_bad_connect_is_a_usage_error(self, capsys):
+        exit_code = main(
+            ["ask", "--connect", "no-port-here", "--dataset", "s"]
+        )
+        assert exit_code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_ask_bad_params_json_is_a_usage_error(self, server, capsys):
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "s",
+                "--params",
+                "{not json",
+            ]
+        )
+        assert exit_code == 2
+        assert "--params" in capsys.readouterr().err
+
+    def test_ask_params_object_required(self, server, capsys):
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "s",
+                "--params",
+                "[1,2]",
+            ]
+        )
+        assert exit_code == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_ask_namespace_reaches_the_right_session(
+        self, server, client_factory, capsys
+    ):
+        codes = zipf_dataset(120, n_columns=4, cardinality=5, seed=3).codes
+        client_factory(server, namespace="team").register("s", codes=codes)
+        exit_code = main(
+            [
+                "ask",
+                "--connect",
+                self.connect_arg(server),
+                "--dataset",
+                "s",
+                "--task",
+                "classify",
+                "--attributes",
+                "0,1",
+                "--namespace",
+                "team",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert semantic(envelope) == semantic(cold_ask(codes, "classify", [0, 1]))

@@ -1,0 +1,251 @@
+"""The tentpole guarantee: the daemon is a bit-exact warm front-end.
+
+Many clients hammer one :class:`ProfilingServer` concurrently —
+interleaving ``register`` / ``append`` / ``ask`` — and every single
+response's semantic fields (``task``, ``dataset``, ``value``, ``params``,
+``backend``) are bit-identical to a cold in-process
+:class:`repro.api.Profiler` given the same prefix and seed.  This is the
+PR 5 live-session bar, re-proven over a socket, under thread
+interleaving, in direct *and* sharded engine mode, and across a
+drain/restart cycle.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.data.synthetic import zipf_dataset
+from repro.serve import ServeClient
+
+from .conftest import cold_ask, semantic
+
+EPSILON = 0.05
+SEED = 0
+N_CLIENTS = 8
+
+ASKS = [
+    ("classify", ([0, 1],)),
+    ("classify", ([0, 1, 2],)),
+    ("is_key", ([0, 1, 2, 3, 4],)),
+    ("is_key", ([2, 3],)),
+    ("min_key", ()),
+]
+
+
+def client_codes(i: int, rows: int = 440):
+    return zipf_dataset(rows, n_columns=5, cardinality=5, seed=100 + i).codes
+
+
+def run_interleaved_clients(server, n_clients: int, *, blocks: int = 2):
+    """Each client drives its own session; returns every recorded answer.
+
+    A record is ``(codes_prefix_length, client_index, task, args,
+    envelope)`` — enough to replay the exact question against a cold
+    profiler afterwards.
+    """
+    host, port = server.address
+    records: list[tuple] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients)
+
+    def drive(i: int) -> None:
+        try:
+            codes = client_codes(i)
+            blocks_arr = np.array_split(codes[200:], blocks)
+            with ServeClient(host, port) as client:
+                barrier.wait(timeout=30)
+                client.register(f"d{i}", codes=codes[:200])
+                rows = 200
+                local: list[tuple] = []
+                for block in blocks_arr:
+                    for task, args in ASKS:
+                        local.append((rows, i, task, args, client.ask(task, f"d{i}", *args)))
+                    client.append(f"d{i}", codes=block)
+                    rows += len(block)
+                for task, args in ASKS:
+                    local.append((rows, i, task, args, client.ask(task, f"d{i}", *args)))
+            with lock:
+                records.extend(local)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(i,), name=f"serve-client-{i}")
+        for i in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert errors == [], errors
+    return records
+
+
+def assert_records_match_cold(records, *, execution=None):
+    for rows, i, task, args, envelope in records:
+        cold = cold_ask(
+            client_codes(i)[:rows],
+            task,
+            *args,
+            dataset=f"d{i}",
+            epsilon=EPSILON,
+            seed=SEED,
+            execution=execution,
+        )
+        assert semantic(envelope) == semantic(cold), (
+            f"client {i} rows={rows} task={task} args={args}"
+        )
+
+
+class TestDirectModeEquivalence:
+    def test_eight_interleaved_clients_all_bit_identical(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        records = run_interleaved_clients(server, N_CLIENTS)
+        assert len(records) == N_CLIENTS * 3 * len(ASKS)
+        assert_records_match_cold(records)
+
+    def test_shared_session_under_concurrent_readers(self, serve_factory):
+        """8 clients ask overlapping questions of ONE session concurrently.
+
+        This is the coalescing hot path: whichever request thread holds
+        the session lock drains and warm-batches the others — and no
+        answer may move a bit for it.
+        """
+        codes = client_codes(0, rows=700)
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        host, port = server.address
+        with ServeClient(host, port) as owner:
+            owner.register("shared", codes=codes)
+        question_sets = [
+            [0, 1], [0, 1, 2], [0, 1, 2, 3], [2, 3], [1, 4], [0, 4], [3, 4], [0, 2],
+        ]
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(N_CLIENTS)
+
+        def reader(i: int) -> None:
+            try:
+                with ServeClient(host, port) as client:
+                    barrier.wait(timeout=30)
+                    mine = []
+                    for shift in range(len(question_sets)):
+                        attrs = question_sets[(i + shift) % len(question_sets)]
+                        mine.append((attrs, client.classify("shared", attrs)))
+                        mine.append((attrs, client.is_key("shared", attrs)))
+                    results[i] = mine
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,)) for i in range(N_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == [], errors
+        assert len(results) == N_CLIENTS
+        expected = {}
+        for attrs in question_sets:
+            expected[("classify", tuple(attrs))] = cold_ask(
+                codes, "classify", attrs, dataset="shared"
+            )
+            expected[("is_key", tuple(attrs))] = cold_ask(
+                codes, "is_key", attrs, dataset="shared"
+            )
+        for mine in results.values():
+            for attrs, envelope in mine:
+                task = envelope["task"]
+                assert semantic(envelope) == semantic(expected[(task, tuple(attrs))])
+
+    def test_unicode_dataset_names(self, serve_factory, client_factory):
+        codes = client_codes(3)
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server, namespace="équipe-β")
+        client.register("données-✓", codes=codes[:300])
+        warm = client.classify("données-✓", [0, 1])
+        assert semantic(warm) == semantic(
+            cold_ask(codes[:300], "classify", [0, 1], dataset="données-✓")
+        )
+
+
+class TestShardedModeEquivalence:
+    def execution(self):
+        return ExecutionConfig(backend="thread", n_shards=3, strategy="round_robin")
+
+    def test_interleaved_clients_sharded_sessions(self, serve_factory):
+        server = serve_factory(
+            epsilon=EPSILON, seed=SEED, execution=self.execution()
+        )
+        records = run_interleaved_clients(server, 4)
+        assert_records_match_cold(records, execution=self.execution())
+
+    def test_sharded_hello_reports_engine_label(self, serve_factory, client_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED, execution=self.execution())
+        client = client_factory(server)
+        assert client.server_info["execution"] == "thread x3"
+        codes = client_codes(1)
+        client.register("s", codes=codes[:300])
+        warm = client.is_key("s", [0, 1, 2, 3, 4])
+        assert warm["backend"] == "thread x3"
+        assert semantic(warm) == semantic(
+            cold_ask(
+                codes[:300],
+                "is_key",
+                [0, 1, 2, 3, 4],
+                execution=self.execution(),
+            )
+        )
+
+    def test_non_round_robin_execution_rejected_at_register(
+        self, serve_factory, client_factory
+    ):
+        from repro.serve import ServeError
+
+        server = serve_factory(
+            epsilon=EPSILON,
+            seed=SEED,
+            execution=ExecutionConfig(backend="serial", n_shards=2, strategy="random"),
+        )
+        client = client_factory(server)
+        with pytest.raises(ServeError) as excinfo:
+            client.register("s", codes=client_codes(0)[:100])
+        assert excinfo.value.error_type == "invalid_request"
+
+
+class TestRestartEquivalence:
+    def test_drain_restart_preserves_every_answer(
+        self, tmp_path, serve_factory, client_factory
+    ):
+        manifest = str(tmp_path / "manifest.json")
+        first = serve_factory(epsilon=EPSILON, seed=SEED, manifest_path=manifest)
+        before: dict[tuple, dict] = {}
+        host, port = first.address
+        for i in range(3):
+            codes = client_codes(i)
+            with ServeClient(host, port, namespace=f"ns{i}") as client:
+                client.register(f"d{i}", codes=codes[:250])
+                client.append(f"d{i}", codes=codes[250:400])
+                for task, args in ASKS:
+                    before[(i, task, str(args))] = client.ask(task, f"d{i}", *args)
+        first.shutdown(drain=True)
+
+        second = serve_factory(epsilon=EPSILON, seed=SEED, manifest_path=manifest)
+        assert second.manager.session_count() == 3
+        for i in range(3):
+            client = client_factory(second, namespace=f"ns{i}")
+            for task, args in ASKS:
+                warm = client.ask(task, f"d{i}", *args)
+                assert semantic(warm) == semantic(before[(i, task, str(args))])
+                assert semantic(warm) == semantic(
+                    cold_ask(
+                        client_codes(i)[:400],
+                        task,
+                        *args,
+                        dataset=f"d{i}",
+                        epsilon=EPSILON,
+                        seed=SEED,
+                    )
+                )

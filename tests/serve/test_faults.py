@@ -1,0 +1,349 @@
+"""The daemon under abuse: bad clients, bad frames, evictions, chaos.
+
+Nothing a client does — disconnecting mid-frame, sending garbage or
+oversized frames, racing evictions — may take the server down or corrupt
+another session's answers.  Injected engine faults (``repro.engine.chaos``)
+behind the daemon must recover exactly as they do in-process: retried
+and degraded fits stay bit-identical.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.data.synthetic import zipf_dataset
+from repro.engine.chaos import TransientError, WorkerCrash, inject_faults, reset_chaos
+from repro.serve import ServeClient, ServeError
+from repro.serve.protocol import PROTOCOL, ProtocolError, encode_frame, read_frame
+
+from .conftest import cold_ask, semantic
+
+EPSILON = 0.05
+SEED = 0
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def stream_codes(rows: int = 400, seed: int = 7):
+    return zipf_dataset(rows, n_columns=5, cardinality=6, seed=seed).codes
+
+
+def raw_connection(server) -> socket.socket:
+    host, port = server.address
+    return socket.create_connection((host, port), timeout=10)
+
+
+def assert_server_still_answers(server, codes=None):
+    """The daemon is up, and a fresh session answers bit-exactly."""
+    codes = stream_codes() if codes is None else codes
+    host, port = server.address
+    with ServeClient(host, port, namespace="prober") as client:
+        assert client.ping() is True
+        client.register("probe", codes=codes[:150])
+        warm = client.classify("probe", [0, 1])
+        assert semantic(warm) == semantic(
+            cold_ask(codes[:150], "classify", [0, 1], dataset="probe")
+        )
+        client.evict("probe")
+
+
+class TestBadFrames:
+    def test_client_vanishes_mid_frame(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        sock = raw_connection(server)
+        sock.sendall(b"100\n" + b'{"partial":')  # promised 100 bytes, sent 11
+        sock.close()
+        assert_server_still_answers(server)
+
+    def test_connect_and_immediately_hang_up(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        for _ in range(3):
+            raw_connection(server).close()
+        assert_server_still_answers(server)
+
+    def test_garbage_frame_answered_with_protocol_error(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        sock = raw_connection(server)
+        sock.sendall(b"this is not a frame\n")
+        reader = sock.makefile("rb")
+        document = read_frame(reader)
+        assert document["ok"] is False
+        assert document["kind"] == "protocol"
+        assert document["error"]["type"] == "protocol_error"
+        assert read_frame(reader) is None  # server hung up after the report
+        sock.close()
+        assert_server_still_answers(server)
+
+    def test_wrong_protocol_version_rejected(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        sock = raw_connection(server)
+        sock.sendall(encode_frame({"proto": "bogus/9", "kind": "ping", "id": 1}))
+        document = read_frame(sock.makefile("rb"))
+        assert document["error"]["type"] == "protocol_error"
+        assert "unsupported protocol" in document["error"]["message"]
+        sock.close()
+        assert_server_still_answers(server)
+
+    def test_unknown_request_kind_rejected(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        sock = raw_connection(server)
+        sock.sendall(encode_frame({"proto": PROTOCOL, "kind": "explode", "id": 1}))
+        document = read_frame(sock.makefile("rb"))
+        assert document["error"]["type"] == "protocol_error"
+        sock.close()
+        assert_server_still_answers(server)
+
+    def test_oversized_frame_rejected_by_server_limit(self, serve_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED, max_frame_bytes=4096)
+        sock = raw_connection(server)
+        sock.sendall(b"999999\n")
+        document = read_frame(sock.makefile("rb"))
+        assert document["error"]["type"] == "protocol_error"
+        assert "frame limit" in document["error"]["message"]
+        sock.close()
+        assert_server_still_answers(server)
+
+    def test_client_side_frame_limit_fails_before_sending(
+        self, serve_factory, client_factory
+    ):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server, max_frame_bytes=512)
+        with pytest.raises(ProtocolError, match="frame limit"):
+            client.register("big", codes=stream_codes(400).tolist())
+        assert client.ping() is True  # nothing went over the wire
+
+    def test_disconnect_without_reading_response(self, serve_factory):
+        codes = stream_codes()
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        host, port = server.address
+        with ServeClient(host, port) as owner:
+            owner.register("s", codes=codes[:200])
+        sock = raw_connection(server)
+        ask = {
+            "proto": PROTOCOL,
+            "id": 1,
+            "kind": "ask",
+            "session": "s",
+            "payload": {"task": "classify", "args": [[0, 1]], "params": {}},
+        }
+        sock.sendall(encode_frame(ask))
+        sock.close()  # gone before the server can reply
+        time.sleep(0.05)
+        with ServeClient(host, port) as client:
+            warm = client.classify("s", [0, 1])
+            assert semantic(warm) == semantic(
+                cold_ask(codes[:200], "classify", [0, 1])
+            )
+
+
+class TestEvictionUnderLoad:
+    def test_churning_registrations_never_corrupt_answers(self, serve_factory):
+        """4 clients churn sessions through a 2-slot LRU; every answer
+        that comes back is exact, every failure is ``unknown_session``."""
+        server = serve_factory(epsilon=EPSILON, seed=SEED, max_sessions=2)
+        host, port = server.address
+        per_client = {i: stream_codes(200, seed=50 + i) for i in range(4)}
+        expected = {
+            i: cold_ask(per_client[i], "classify", [0, 1], dataset=f"churn-{i}")
+            for i in range(4)
+        }
+        successes: list[int] = []
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+
+        def churn(i: int) -> None:
+            with ServeClient(host, port) as client:
+                for round_no in range(6):
+                    try:
+                        client.register(f"churn-{i}", codes=per_client[i])
+                        warm = client.classify(f"churn-{i}", [0, 1])
+                        assert semantic(warm) == semantic(expected[i])
+                        client.evict(f"churn-{i}")
+                        with lock:
+                            successes.append(i)
+                    except ServeError as exc:
+                        if exc.error_type != "unknown_session":
+                            with lock:
+                                failures.append(exc)
+                    except BaseException as exc:  # noqa: BLE001
+                        with lock:
+                            failures.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert failures == [], failures
+        assert successes  # the churn made progress
+        assert_server_still_answers(server)
+
+
+class TestChaosBehindTheDaemon:
+    """Engine faults injected under the daemon recover bit-identically."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_chaos(self):
+        reset_chaos()
+        yield
+        reset_chaos()
+
+    def _patch_fit_faults(self, monkeypatch, policies_factory):
+        from repro.engine import executor
+
+        real = executor.run_fit_plan
+
+        def chaotic(sharded, spec, backend=None, *, resilience=None, fit_task=None):
+            wrapped = inject_faults(fit_task or executor._fit_task, policies_factory())
+            return real(
+                sharded, spec, backend, resilience=resilience, fit_task=wrapped
+            )
+
+        monkeypatch.setattr("repro.api.profiler.run_fit_plan", chaotic)
+
+    def test_transient_faults_are_retried_away(
+        self, monkeypatch, serve_factory, client_factory
+    ):
+        codes = stream_codes(300)
+        execution = ExecutionConfig(
+            backend="thread", n_shards=2, strategy="round_robin", retry=3
+        )
+        expected = cold_ask(
+            codes, "is_key", [0, 1, 2, 3, 4], execution=execution
+        )  # computed before faults are armed
+        self._patch_fit_faults(monkeypatch, lambda: [TransientError()])
+        server = serve_factory(epsilon=EPSILON, seed=SEED, execution=execution)
+        client = client_factory(server)
+        client.register("s", codes=codes)
+        warm = client.is_key("s", [0, 1, 2, 3, 4])
+        assert semantic(warm) == semantic(expected)
+        assert warm["resilience"]["retries"] >= 1
+        assert warm["resilience"]["recovered"] is True
+
+    def test_worker_crashes_degrade_the_pool_not_the_answer(
+        self, monkeypatch, serve_factory, client_factory
+    ):
+        codes = stream_codes(240)
+        execution = ExecutionConfig(
+            backend="process",
+            n_shards=2,
+            strategy="round_robin",
+            retry=2,
+            fallback=("thread", "serial"),
+        )
+        expected = cold_ask(codes, "is_key", [0, 1, 2, 3], execution=execution)
+        self._patch_fit_faults(monkeypatch, lambda: [WorkerCrash()])
+        server = serve_factory(epsilon=EPSILON, seed=SEED, execution=execution)
+        client = client_factory(server)
+        client.register("s", codes=codes)
+        warm = client.is_key("s", [0, 1, 2, 3])
+        assert semantic(warm) == semantic(expected)
+        resilience = warm["resilience"]
+        assert resilience["degraded"] >= 1
+        backends = resilience["plans"][0]["backends"]
+        assert backends[0] == "process"
+        assert backends[-1] in ("thread", "serial")
+        # The session keeps answering after the chaos (policies re-arm per
+        # fit plan, degrade again, and stay exact).
+        follow_up = client.classify("s", [0, 1])
+        assert semantic(follow_up) == semantic(
+            cold_ask(codes, "classify", [0, 1], execution=execution)
+        )
+
+
+class TestSigtermDrain:
+    """The real CLI daemon, a real process, a real SIGTERM."""
+
+    @staticmethod
+    def _read_json_banner(stdout) -> dict:
+        """The ``--json`` banner is pretty-printed across several lines."""
+        lines: list[str] = []
+        depth = 0
+        while True:
+            line = stdout.readline()
+            if not line:
+                raise AssertionError("serve banner truncated")
+            lines.append(line)
+            depth += line.count("{") - line.count("}")
+            if depth == 0:
+                return json.loads("".join(lines))
+
+    def _spawn(self, tmp_path, *extra_args):
+        port_file = tmp_path / "port"
+        port_file.unlink(missing_ok=True)  # a prior daemon's stale address
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--port-file",
+                str(port_file),
+                "--json",
+                *extra_args,
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"serve exited early: {proc.communicate()[1]}"
+                )
+            if port_file.exists() and port_file.read_text().strip():
+                host, port = port_file.read_text().split()
+                return proc, host, int(port)
+            time.sleep(0.05)
+        proc.kill()
+        raise AssertionError("repro serve never wrote its port file")
+
+    def test_sigterm_drains_writes_manifest_and_exits_zero(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        codes = stream_codes(200)
+        proc, host, port = self._spawn(tmp_path, "--manifest", str(manifest))
+        try:
+            with ServeClient(host, port) as client:
+                client.register("s", codes=codes)
+                warm = client.classify("s", [0, 1])
+                assert semantic(warm) == semantic(
+                    cold_ask(codes, "classify", [0, 1], epsilon=0.01)
+                )
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        document = json.loads(manifest.read_text())
+        assert document["kind"] == "repro-serve/1-manifest"
+        assert [s["dataset"] for s in document["sessions"]] == ["s"]
+
+        # A second daemon warm-restarts from the manifest and answers
+        # the same question bit-identically.
+        proc2, host2, port2 = self._spawn(tmp_path, "--manifest", str(manifest))
+        try:
+            banner = self._read_json_banner(proc2.stdout)
+            assert banner["sessions_restored"] == 1
+            with ServeClient(host2, port2) as client:
+                again = client.classify("s", [0, 1])
+            assert semantic(again) == semantic(warm)
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=30) == 0
+        finally:
+            if proc2.poll() is None:
+                proc2.kill()

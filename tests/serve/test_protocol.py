@@ -1,0 +1,281 @@
+"""The ``repro-serve/1`` wire format, pinned.
+
+Three layers of guarantees:
+
+* **frames** — the length-prefixed encoding round-trips any JSON object
+  (unicode included), rejects every malformed header/body, and is
+  byte-deterministic (golden-bytes tests);
+* **envelopes** — every request/response kind round-trips through
+  ``to_wire``/``from_wire`` and every invalid envelope is rejected at
+  construction, not at dispatch;
+* **schema** — the envelopes validate against
+  ``docs/schemas/serve.schema.json`` via the same built-in JSON-Schema
+  subset validator CI uses for trace documents.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import validate_trace
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    MAX_FRAME_BYTES,
+    PROTOCOL,
+    REQUEST_KINDS,
+    ProtocolError,
+    Request,
+    Response,
+    encode_frame,
+    error_response,
+    read_frame,
+)
+
+SCHEMA_PATH = Path(__file__).resolve().parents[2] / "docs" / "schemas" / "serve.schema.json"
+
+
+def roundtrip(obj: dict) -> dict:
+    return read_frame(io.BytesIO(encode_frame(obj)))
+
+
+class TestFrames:
+    def test_roundtrip_simple_object(self):
+        doc = {"kind": "ping", "id": 7, "payload": {"x": [1, 2, 3]}}
+        assert roundtrip(doc) == doc
+
+    def test_roundtrip_unicode(self):
+        doc = {"session": "données-✓", "payload": {"café": "naïve"}}
+        assert roundtrip(doc) == doc
+
+    def test_golden_bytes(self):
+        """The frame encoding is pinned byte for byte (sorted keys, no spaces)."""
+        frame = encode_frame({"b": 1, "a": [1, 2]})
+        assert frame == b'18\n{"a":[1,2],"b":1}\n'
+
+    def test_length_counts_trailing_newline(self):
+        frame = encode_frame({})
+        assert frame == b"3\n{}\n"
+
+    def test_hand_built_frame_reads(self):
+        stream = io.BytesIO(b'15\n{"ok": true  }\n')
+        assert read_frame(stream) == {"ok": True}
+
+    def test_clean_eof_returns_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_sequential_frames(self):
+        stream = io.BytesIO(encode_frame({"id": 1}) + encode_frame({"id": 2}))
+        assert read_frame(stream) == {"id": 1}
+        assert read_frame(stream) == {"id": 2}
+        assert read_frame(stream) is None
+
+    def test_truncated_body_raises(self):
+        frame = encode_frame({"id": 1})
+        with pytest.raises(ProtocolError, match="short"):
+            read_frame(io.BytesIO(frame[:-3]))
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="header"):
+            read_frame(io.BytesIO(b"12"))
+
+    def test_non_numeric_header_raises(self):
+        with pytest.raises(ProtocolError, match="decimal"):
+            read_frame(io.BytesIO(b'hello\n{"a":1}\n'))
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ProtocolError, match="decimal"):
+            read_frame(io.BytesIO(b"-5\nabcde\n"))
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            read_frame(io.BytesIO(b"0\n"))
+
+    def test_unterminated_giant_header_raises(self):
+        with pytest.raises(ProtocolError, match="header"):
+            read_frame(io.BytesIO(b"9" * 64 + b"\n"))
+
+    def test_announced_length_over_limit_raises(self):
+        with pytest.raises(ProtocolError, match="frame limit"):
+            read_frame(io.BytesIO(b"999\nxxx\n"), max_bytes=100)
+
+    def test_default_limit_is_enforced(self):
+        header = str(MAX_FRAME_BYTES + 1).encode() + b"\n"
+        with pytest.raises(ProtocolError, match="frame limit"):
+            read_frame(io.BytesIO(header))
+
+    def test_encode_over_limit_raises(self):
+        with pytest.raises(ProtocolError, match="frame limit"):
+            encode_frame({"blob": "x" * 200}, max_bytes=100)
+
+    def test_non_object_body_raises(self):
+        body = b"[1,2,3]\n"
+        frame = str(len(body)).encode() + b"\n" + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_frame(io.BytesIO(frame))
+
+    def test_invalid_json_body_raises(self):
+        body = b"{not json}\n"
+        frame = str(len(body)).encode() + b"\n" + body
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            read_frame(io.BytesIO(frame))
+
+    def test_invalid_utf8_body_raises(self):
+        body = b'{"a": "\xff\xfe"}\n'
+        frame = str(len(body)).encode() + b"\n" + body
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            read_frame(io.BytesIO(frame))
+
+
+class TestRequestEnvelope:
+    @pytest.mark.parametrize("kind", REQUEST_KINDS)
+    def test_roundtrip_every_kind(self, kind):
+        request = Request(kind=kind, id=3, session="café-✓", payload={"k": [1]})
+        parsed = Request.from_wire(roundtrip(request.to_wire()))
+        assert parsed == request
+
+    def test_defaults(self):
+        parsed = Request.from_wire({"proto": PROTOCOL, "kind": "ping"})
+        assert parsed == Request(kind="ping", id=0, session=None, payload={})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request kind"):
+            Request(kind="explode")
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ProtocolError, match="non-negative"):
+            Request(kind="ping", id=-1)
+
+    def test_bool_id_rejected(self):
+        with pytest.raises(ProtocolError, match="non-negative"):
+            Request(kind="ping", id=True)
+
+    def test_wrong_proto_rejected(self):
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            Request.from_wire({"proto": "repro-serve/99", "kind": "ping"})
+
+    def test_missing_proto_rejected(self):
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            Request.from_wire({"kind": "ping"})
+
+    def test_non_dict_payload_rejected(self):
+        doc = {"proto": PROTOCOL, "kind": "ping", "payload": [1]}
+        with pytest.raises(ProtocolError, match="payload"):
+            Request.from_wire(doc)
+
+    def test_non_string_session_rejected(self):
+        doc = {"proto": PROTOCOL, "kind": "ask", "session": 7}
+        with pytest.raises(ProtocolError, match="session"):
+            Request.from_wire(doc)
+
+
+class TestResponseEnvelope:
+    def test_ok_roundtrip(self):
+        response = Response(kind="ask", id=9, payload={"result": {"value": True}})
+        parsed = Response.from_wire(roundtrip(response.to_wire()))
+        assert parsed == response
+
+    @pytest.mark.parametrize("error_type", ERROR_TYPES)
+    def test_error_roundtrip_every_type(self, error_type):
+        response = error_response(4, "ask", error_type, "nope — café")
+        parsed = Response.from_wire(roundtrip(response.to_wire()))
+        assert parsed == response
+        assert not parsed.ok
+        assert parsed.error == {"type": error_type, "message": "nope — café"}
+
+    def test_ok_with_error_rejected(self):
+        with pytest.raises(ProtocolError, match="cannot carry"):
+            Response(kind="ping", error={"type": "internal", "message": "x"})
+
+    def test_error_without_object_rejected(self):
+        with pytest.raises(ProtocolError, match="error object"):
+            Response(kind="ping", ok=False, error=None)
+
+    def test_unknown_error_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown error type"):
+            Response(kind="ping", ok=False, error={"type": "meh", "message": "x"})
+
+    def test_non_string_error_message_rejected(self):
+        with pytest.raises(ProtocolError, match="message"):
+            Response(
+                kind="ping", ok=False, error={"type": "internal", "message": 3}
+            )
+
+    def test_non_bool_ok_rejected(self):
+        doc = {"proto": PROTOCOL, "kind": "ping", "ok": 1}
+        with pytest.raises(ProtocolError, match="boolean"):
+            Response.from_wire(doc)
+
+    def test_wrong_proto_rejected(self):
+        with pytest.raises(ProtocolError, match="unsupported protocol"):
+            Response.from_wire({"proto": "trace/1", "kind": "ping", "ok": True})
+
+
+class TestSchema:
+    """``docs/schemas/serve.schema.json`` pins the wire envelopes."""
+
+    @pytest.fixture(scope="class")
+    def schema(self) -> dict:
+        return json.loads(SCHEMA_PATH.read_text(encoding="utf-8"))
+
+    def request_schema(self, schema: dict) -> dict:
+        return {"$defs": schema["$defs"], "$ref": "#/$defs/request"}
+
+    @pytest.mark.parametrize("kind", REQUEST_KINDS)
+    def test_request_envelopes_validate(self, schema, kind):
+        doc = Request(kind=kind, id=1, session="s", payload={}).to_wire()
+        assert validate_trace(doc, self.request_schema(schema)) == []
+
+    def test_ok_response_validates(self, schema):
+        doc = Response(kind="ask", id=2, payload={"result": {}}).to_wire()
+        assert validate_trace(doc, schema) == []
+
+    @pytest.mark.parametrize("error_type", ERROR_TYPES)
+    def test_error_responses_validate(self, schema, error_type):
+        doc = error_response(1, "append", error_type, "boom").to_wire()
+        assert validate_trace(doc, schema) == []
+
+    def test_framing_error_response_validates(self, schema):
+        """The server's kind='protocol' hangup envelope is schema-legal."""
+        doc = error_response(0, "protocol", "protocol_error", "bad frame").to_wire()
+        assert validate_trace(doc, schema) == []
+
+    def test_schema_rejects_missing_field(self, schema):
+        doc = Response(kind="ping").to_wire()
+        del doc["error"]
+        assert any("error" in e for e in validate_trace(doc, schema))
+
+    def test_schema_rejects_unknown_error_type(self, schema):
+        doc = Response(kind="ping").to_wire()
+        doc["ok"] = False
+        doc["error"] = {"type": "meh", "message": "x"}
+        assert validate_trace(doc, schema) != []
+
+    def test_schema_rejects_extra_property(self, schema):
+        doc = Response(kind="ping").to_wire()
+        doc["extra"] = 1
+        assert any("extra" in e for e in validate_trace(doc, schema))
+
+    def test_schema_enums_match_protocol_constants(self, schema):
+        request_kinds = schema["$defs"]["request"]["properties"]["kind"]["enum"]
+        assert tuple(request_kinds) == REQUEST_KINDS
+        response_kinds = schema["properties"]["kind"]["enum"]
+        assert tuple(response_kinds) == tuple(
+            sorted(REQUEST_KINDS + ("protocol",))
+        )
+        error_types = schema["$defs"]["error"]["properties"]["type"]["enum"]
+        assert tuple(error_types) == ERROR_TYPES
+
+    def test_protocol_constants_sorted(self, schema):
+        assert list(REQUEST_KINDS) == sorted(REQUEST_KINDS)
+        assert list(ERROR_TYPES) == sorted(ERROR_TYPES)
+
+    def test_golden_response_frame(self, schema):
+        """One full response frame, pinned byte for byte."""
+        frame = encode_frame(error_response(0, "ping", "internal", "x").to_wire())
+        assert frame == (
+            b"113\n"
+            b'{"error":{"message":"x","type":"internal"},"id":0,"kind":"ping",'
+            b'"ok":false,"payload":{},"proto":"repro-serve/1"}\n'
+        )

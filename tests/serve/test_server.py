@@ -1,0 +1,505 @@
+"""The daemon's lifecycle: sessions, namespaces, batching, shutdown.
+
+``SessionManager`` is exercised directly (the socket-free core) and
+through real TCP connections (``ProfilingServer`` + ``ServeClient``).
+Every answer is held to the equivalence bar: semantic envelope fields
+bit-identical to a cold in-process :class:`repro.api.Profiler`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import ExecutionConfig
+from repro.data.synthetic import zipf_dataset
+from repro.exceptions import InvalidParameterError
+from repro.obs import get_metrics
+from repro.serve import ProfilingServer, ServeError, ServerConfig
+from repro.serve.server import (
+    DEFAULT_NAMESPACE,
+    RequestDeadlineError,
+    SessionManager,
+)
+
+from .conftest import cold_ask, semantic
+
+EPSILON = 0.05
+SEED = 0
+NS = DEFAULT_NAMESPACE
+
+
+def stream_codes():
+    return zipf_dataset(600, n_columns=5, cardinality=6, seed=7).codes
+
+
+def make_manager(**kwargs) -> SessionManager:
+    kwargs.setdefault("epsilon", EPSILON)
+    kwargs.setdefault("seed", SEED)
+    return SessionManager(**kwargs)
+
+
+def counter_value(name: str) -> float:
+    return get_metrics().snapshot()["counters"].get(name, 0)
+
+
+def wait_until(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestSessionManagerLifecycle:
+    def test_register_from_codes_and_ask_matches_cold(self):
+        codes = stream_codes()
+        manager = make_manager()
+        answer = manager.register(NS, "s", codes=codes[:400].tolist())
+        assert answer["rows"] == 400
+        assert answer["evicted"] == []
+        for task, args in [("classify", [[0, 1]]), ("is_key", [[0, 1, 2, 3, 4]])]:
+            warm = manager.ask(NS, "s", task, args, {})
+            assert semantic(warm.to_dict()) == semantic(
+                cold_ask(codes[:400], task, *args)
+            )
+
+    def test_register_from_raw_columns_matches_cold(self, tiny_dataset):
+        columns = {
+            "zip": [92101, 92102, 92101, 92103],
+            "age": [34, 34, 41, 34],
+            "sex": ["F", "M", "F", "F"],
+        }
+        manager = make_manager(epsilon=0.25)
+        manager.register(NS, "people", columns=columns)
+        warm = manager.ask(NS, "people", "is_key", [["zip", "age"]], {})
+        assert semantic(warm.to_dict()) == semantic(
+            cold_ask(
+                tiny_dataset.codes,
+                "is_key",
+                ["zip", "age"],
+                dataset="people",
+                column_names=list(tiny_dataset.column_names),
+                epsilon=0.25,
+            )
+        )
+
+    def test_register_needs_exactly_one_source(self):
+        manager = make_manager()
+        with pytest.raises(InvalidParameterError, match="exactly one"):
+            manager.register(NS, "s")
+        with pytest.raises(InvalidParameterError, match="exactly one"):
+            manager.register(NS, "s", columns={"a": [1]}, codes=[[1]])
+
+    def test_duplicate_register_rejected_until_evicted(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes[:100].tolist())
+        with pytest.raises(InvalidParameterError, match="evict it first"):
+            manager.register(NS, "s", codes=codes[:100].tolist())
+        assert manager.evict(NS, "s") is True
+        manager.register(NS, "s", codes=codes[:100].tolist())
+        assert manager.session_count() == 1
+
+    def test_same_name_in_two_namespaces_is_two_sessions(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register("alpha", "s", codes=codes[:100].tolist())
+        manager.register("beta", "s", codes=codes[:200].tolist())
+        alpha = manager.ask("alpha", "s", "classify", [[0, 1]], {})
+        beta = manager.ask("beta", "s", "classify", [[0, 1]], {})
+        assert semantic(alpha.to_dict()) == semantic(
+            cold_ask(codes[:100], "classify", [0, 1])
+        )
+        assert semantic(beta.to_dict()) == semantic(
+            cold_ask(codes[:200], "classify", [0, 1])
+        )
+
+    def test_unknown_session_raises_keyerror(self):
+        manager = make_manager()
+        with pytest.raises(KeyError, match="unknown session"):
+            manager.ask(NS, "nope", "classify", [[0]], {})
+        with pytest.raises(KeyError, match="unknown session"):
+            manager.append(NS, "nope", codes=[[0]])
+
+    def test_append_then_ask_matches_cold_full_prefix(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes[:300].tolist())
+        answer = manager.append(NS, "s", codes=codes[300:500].tolist())
+        assert answer == {"dataset": "s", "rows_seen": 500, "appended": 200}
+        warm = manager.ask(NS, "s", "min_key", [], {})
+        assert semantic(warm.to_dict()) == semantic(cold_ask(codes[:500], "min_key"))
+
+    def test_evict_is_idempotent(self):
+        manager = make_manager()
+        manager.register(NS, "s", codes=stream_codes()[:50].tolist())
+        assert manager.evict(NS, "s") is True
+        assert manager.evict(NS, "s") is False
+        assert manager.session_count() == 0
+
+    def test_lru_eviction_respects_recent_use(self):
+        codes = stream_codes()
+        manager = make_manager(max_sessions=2)
+        manager.register(NS, "a", codes=codes[:50].tolist())
+        manager.register(NS, "b", codes=codes[:50].tolist())
+        manager.ask(NS, "a", "classify", [[0]], {})  # a is now most recent
+        answer = manager.register(NS, "c", codes=codes[:50].tolist())
+        assert answer["evicted"] == [{"namespace": NS, "dataset": "b"}]
+        assert manager.session_count() == 2
+        with pytest.raises(KeyError, match="unknown session"):
+            manager.ask(NS, "b", "classify", [[0]], {})
+        manager.ask(NS, "a", "classify", [[0]], {})  # survivors still answer
+        manager.ask(NS, "c", "classify", [[0]], {})
+
+    def test_max_sessions_must_be_positive(self):
+        with pytest.raises(InvalidParameterError, match="max_sessions"):
+            make_manager(max_sessions=0)
+
+    def test_sessions_descriptors(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register("team", "café", codes=codes[:120].tolist())
+        assert manager.sessions() == [
+            {
+                "namespace": "team",
+                "dataset": "café",
+                "rows": 120,
+                "columns": ["c0", "c1", "c2", "c3", "c4"],
+            }
+        ]
+
+    def test_execution_label(self):
+        assert make_manager().execution_label == "direct"
+        sharded = make_manager(
+            execution=ExecutionConfig(
+                backend="thread", n_shards=2, strategy="round_robin"
+            )
+        )
+        assert sharded.execution_label == "thread x2"
+
+    def test_expired_deadline_rejects_ask_and_append(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes[:100].tolist())
+        past = time.monotonic() - 1.0
+        with pytest.raises(RequestDeadlineError):
+            manager.ask(NS, "s", "classify", [[0, 1]], {}, deadline=past)
+        with pytest.raises(RequestDeadlineError):
+            manager.append(NS, "s", codes=codes[100:110].tolist(), deadline=past)
+        # The session survives rejected requests.
+        manager.ask(NS, "s", "classify", [[0, 1]], {})
+
+
+class TestManifest:
+    def test_roundtrip_reproduces_answers(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register("team", "s", codes=codes[:250].tolist())
+        manager.append("team", "s", codes=codes[250:400].tolist())
+        document = manager.manifest()
+        assert document["kind"] == "repro-serve/1-manifest"
+        assert document["epsilon"] == EPSILON
+        assert document["execution"] == "direct"
+
+        restored = make_manager()
+        assert restored.restore(document) == 1
+        for task, args in [("classify", [[0, 1]]), ("min_key", [])]:
+            assert semantic(restored.ask("team", "s", task, args, {}).to_dict()) == (
+                semantic(manager.ask("team", "s", task, args, {}).to_dict())
+            )
+
+    def test_restore_rejects_foreign_documents(self):
+        with pytest.raises(InvalidParameterError, match="not a serve manifest"):
+            make_manager().restore({"kind": "something-else"})
+
+    def test_manifest_skips_evicted_sessions(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "keep", codes=codes[:50].tolist())
+        manager.register(NS, "drop", codes=codes[:50].tolist())
+        manager.evict(NS, "drop")
+        names = [entry["dataset"] for entry in manager.manifest()["sessions"]]
+        assert names == ["keep"]
+
+
+class TestBatching:
+    def _queue_asks(self, manager, session, questions):
+        """Block the session kernel, queue asks from threads, release."""
+        results: dict[tuple, object] = {}
+        errors: list[BaseException] = []
+
+        def worker(task, attrs):
+            try:
+                results[(task, tuple(attrs))] = manager.ask(
+                    NS, "s", task, [list(attrs)], {}
+                )
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=question)
+            for question in questions
+        ]
+        session.lock.acquire()
+        try:
+            for thread in threads:
+                thread.start()
+            assert wait_until(lambda: len(session.pending) == len(questions))
+        finally:
+            session.lock.release()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        return results
+
+    def test_concurrent_classify_coalesces_into_one_batch(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes.tolist())
+        session = manager._sessions[(NS, "s")]
+        questions = [("classify", (0, 1)), ("classify", (0, 1, 2)), ("classify", (2, 3))]
+        before_batches = counter_value("serve.batches")
+        before_questions = counter_value("serve.batched_questions")
+        results = self._queue_asks(manager, session, questions)
+        assert counter_value("serve.batches") == before_batches + 1
+        assert counter_value("serve.batched_questions") == before_questions + 3
+        for task, attrs in questions:
+            assert semantic(results[(task, attrs)].to_dict()) == semantic(
+                cold_ask(codes, task, list(attrs))
+            )
+
+    def test_concurrent_is_key_coalesces_and_stays_exact(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes.tolist())
+        session = manager._sessions[(NS, "s")]
+        questions = [("is_key", (0, 1, 2, 3, 4)), ("is_key", (0, 1)), ("is_key", (2,))]
+        results = self._queue_asks(manager, session, questions)
+        for task, attrs in questions:
+            batched = results[(task, attrs)]
+            assert semantic(batched.to_dict()) == semantic(
+                cold_ask(codes, task, list(attrs))
+            )
+            # Asking again, unbatched, gives the same verdict.
+            again = manager.ask(NS, "s", task, [list(attrs)], {})
+            assert again.value == batched.value
+
+    def test_mixed_task_batch_answers_each_exactly(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes.tolist())
+        session = manager._sessions[(NS, "s")]
+        questions = [
+            ("classify", (0, 1)),
+            ("is_key", (0, 1, 2, 3, 4)),
+            ("classify", (1, 4)),
+            ("is_key", (0, 2)),
+        ]
+        results = self._queue_asks(manager, session, questions)
+        for task, attrs in questions:
+            assert semantic(results[(task, attrs)].to_dict()) == semantic(
+                cold_ask(codes, task, list(attrs))
+            )
+
+    def test_evicting_a_session_fails_queued_waiters(self):
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes[:100].tolist())
+        session = manager._sessions[(NS, "s")]
+        failures: list[BaseException] = []
+
+        def worker():
+            try:
+                manager.ask(NS, "s", "classify", [[0, 1]], {})
+            except BaseException as exc:  # noqa: BLE001 — asserted below
+                failures.append(exc)
+
+        thread = threading.Thread(target=worker)
+        session.lock.acquire()
+        try:
+            thread.start()
+            assert wait_until(lambda: len(session.pending) == 1)
+            manager.evict(NS, "s")  # reentrant: we hold the session lock
+        finally:
+            session.lock.release()
+        thread.join(timeout=30)
+        assert len(failures) == 1
+        assert isinstance(failures[0], InvalidParameterError)
+        assert "evicted" in str(failures[0])
+
+
+class TestOverSocket:
+    def test_hello_reports_server_configuration(self, serve_factory, client_factory):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server)
+        assert client.namespace == DEFAULT_NAMESPACE
+        assert client.server_info["server"] == "repro-serve/1"
+        assert client.server_info["epsilon"] == EPSILON
+        assert client.server_info["execution"] == "direct"
+        assert client.ping() is True
+
+    def test_full_lifecycle_matches_cold(self, serve_factory, client_factory):
+        codes = stream_codes()
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server)
+        client.register("s", codes=codes[:300])
+        client.append("s", codes=codes[300:450])
+        for task, args in [
+            ("classify", ([0, 1],)),
+            ("is_key", ([0, 1, 2, 3, 4],)),
+            ("min_key", ()),
+        ]:
+            warm = client.ask(task, "s", *args)
+            assert semantic(warm) == semantic(cold_ask(codes[:450], task, *args))
+
+    def test_namespaces_isolate_and_share(self, serve_factory, client_factory):
+        codes = stream_codes()
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        owner = client_factory(server, namespace="team")
+        owner.register("s", codes=codes[:100])
+
+        stranger = client_factory(server)  # default namespace
+        with pytest.raises(ServeError) as excinfo:
+            stranger.classify("s", [0, 1])
+        assert excinfo.value.error_type == "unknown_session"
+
+        teammate = client_factory(server, namespace="team")
+        assert (
+            teammate.classify("s", [0, 1])["value"]
+            == owner.classify("s", [0, 1])["value"]
+        )
+
+    def test_sessions_and_stats_payloads(self, serve_factory, client_factory):
+        codes = stream_codes()
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server)
+        client.register("s", codes=codes[:80])
+        assert client.sessions() == [
+            {
+                "namespace": DEFAULT_NAMESPACE,
+                "dataset": "s",
+                "rows": 80,
+                "columns": ["c0", "c1", "c2", "c3", "c4"],
+            }
+        ]
+        stats = client.stats()
+        assert stats["sessions"] == 1
+        assert stats["connections"] >= 1
+        assert stats["requests"] >= 2
+
+    def test_evict_over_socket(self, serve_factory, client_factory):
+        codes = stream_codes()
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server)
+        client.register("s", codes=codes[:80])
+        assert client.evict("s") is True
+        assert client.evict("s") is False
+        with pytest.raises(ServeError) as excinfo:
+            client.classify("s", [0, 1])
+        assert excinfo.value.error_type == "unknown_session"
+
+    def test_invalid_requests_are_survivable(self, serve_factory, client_factory):
+        codes = stream_codes()
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        client = client_factory(server)
+        client.register("s", codes=codes[:80])
+        with pytest.raises(ServeError) as excinfo:
+            client.ask("no_such_task", "s", [0, 1])
+        assert excinfo.value.error_type == "invalid_request"
+        with pytest.raises(ServeError) as excinfo:
+            client._call("ask", session="s", payload={"args": []})  # no task
+        assert excinfo.value.error_type == "invalid_request"
+        # The connection and the session both survived.
+        assert client.classify("s", [0, 1])["value"] == cold_ask(
+            codes[:80], "classify", [0, 1]
+        )["value"]
+
+    def test_expired_request_deadline_over_socket(
+        self, serve_factory, client_factory
+    ):
+        codes = stream_codes()
+        server = serve_factory(
+            epsilon=EPSILON, seed=SEED, request_deadline=-1.0
+        )
+        client = client_factory(server)
+        client.register("s", codes=codes[:80])  # register takes no deadline
+        with pytest.raises(ServeError) as excinfo:
+            client.classify("s", [0, 1])
+        assert excinfo.value.error_type == "deadline_exceeded"
+        assert client.ping() is True
+
+    def test_shutting_down_requests_are_refused(
+        self, serve_factory, client_factory
+    ):
+        server = serve_factory()
+        client = client_factory(server)
+        with server._state_lock:
+            server._stopping = True
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                client.ping()
+            assert excinfo.value.error_type == "shutting_down"
+        finally:
+            with server._state_lock:
+                server._stopping = False
+        assert client.ping() is True
+
+    def test_request_counters_accumulate(self, serve_factory, client_factory):
+        before = counter_value("serve.requests")
+        server = serve_factory()
+        client = client_factory(server)
+        client.ping()
+        client.ping()
+        assert counter_value("serve.requests") >= before + 3  # hello + 2 pings
+
+
+class TestShutdown:
+    def test_context_manager_serves_then_closes(self):
+        codes = stream_codes()
+        with ProfilingServer(ServerConfig(port=0, epsilon=EPSILON, seed=SEED)) as server:
+            host, port = server.address
+            from repro.serve import ServeClient
+
+            with ServeClient(host, port) as client:
+                client.register("s", codes=codes[:60])
+                assert client.classify("s", [0, 1])["value"] == cold_ask(
+                    codes[:60], "classify", [0, 1]
+                )["value"]
+        with pytest.raises(OSError):
+            ServeClient(host, port, timeout=0.5)
+
+    def test_shutdown_is_idempotent(self, serve_factory):
+        server = serve_factory()
+        server.shutdown(drain=True)
+        server.shutdown(drain=True)
+        server.shutdown(drain=False)
+
+    def test_client_shutdown_request_stops_the_server(
+        self, serve_factory, client_factory
+    ):
+        server = serve_factory()
+        client = client_factory(server)
+        assert client.shutdown() == {"stopping": True}
+        assert server._stopped.wait(timeout=10)
+
+    def test_manifest_written_on_drain_and_restored_on_start(
+        self, tmp_path, serve_factory, client_factory
+    ):
+        codes = stream_codes()
+        manifest = str(tmp_path / "serve-manifest.json")
+        first = serve_factory(
+            epsilon=EPSILON, seed=SEED, manifest_path=manifest
+        )
+        client = client_factory(first)
+        client.register("s", codes=codes[:200])
+        client.append("s", codes=codes[200:350])
+        first.shutdown(drain=True)
+
+        second = serve_factory(
+            epsilon=EPSILON, seed=SEED, manifest_path=manifest
+        )
+        assert second.manager.session_count() == 1
+        warm = client_factory(second).classify("s", [0, 1])
+        assert semantic(warm) == semantic(cold_ask(codes[:350], "classify", [0, 1]))

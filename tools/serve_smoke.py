@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro serve`` daemon.
+
+Used by CI's daemon smoke step (and runnable locally).  Spawns a real
+``repro serve`` subprocess, then checks the full operational story:
+
+1. several concurrent clients register / append / ask against their own
+   sessions, and every answer's semantic fields are bit-identical to a
+   cold in-process :class:`repro.api.Profiler` on the same prefix;
+2. a raw-socket round trip's response envelope validates against
+   ``docs/schemas/serve.schema.json``;
+3. SIGTERM drains the daemon (exit code 0) and writes the session
+   manifest; a second daemon restores the sessions and answers
+   identically; a second SIGTERM shuts that one down too.
+
+Exits 0 on success, 1 on any failure.
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import Profiler  # noqa: E402
+from repro.data import Dataset  # noqa: E402
+from repro.data.synthetic import zipf_dataset  # noqa: E402
+from repro.obs import validate_trace  # noqa: E402
+from repro.serve import ServeClient, encode_frame, read_frame  # noqa: E402
+
+SCHEMA_PATH = REPO_ROOT / "docs" / "schemas" / "serve.schema.json"
+EPSILON = 0.05
+SEED = 0
+N_CLIENTS = 3
+SEMANTIC_FIELDS = ("task", "dataset", "value", "params", "backend")
+
+
+def semantic(envelope: dict) -> str:
+    return json.dumps(
+        {field: envelope.get(field) for field in SEMANTIC_FIELDS}, sort_keys=True
+    )
+
+
+def client_codes(i: int):
+    return zipf_dataset(360, n_columns=4, cardinality=5, seed=40 + i).codes
+
+
+def cold_ask(codes, task, *args, dataset="s"):
+    cold = Profiler(epsilon=EPSILON, seed=SEED)
+    cold.add(dataset, Dataset(codes))
+    return cold.ask(task, dataset, *args).to_dict()
+
+
+def spawn_daemon(
+    port_file: Path, manifest: Path
+) -> tuple[subprocess.Popen, str, int]:
+    port_file.unlink(missing_ok=True)
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--manifest",
+            str(manifest),
+            "--epsilon",
+            str(EPSILON),
+            "--seed",
+            str(SEED),
+            "--json",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early ({proc.returncode}): {proc.stderr.read()}"
+            )
+        if port_file.exists() and port_file.read_text().strip():
+            host, port = port_file.read_text().split()
+            return proc, host, int(port)
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon never wrote its port file")
+
+
+def drive_client(host: str, port: int, i: int, records: list, lock) -> None:
+    codes = client_codes(i)
+    asks = [("classify", ([0, 1],)), ("is_key", ([0, 1, 2, 3],)), ("min_key", ())]
+    with ServeClient(host, port) as client:
+        client.register(f"d{i}", codes=codes[:200])
+        local = [(200, task, args, client.ask(task, f"d{i}", *args)) for task, args in asks]
+        client.append(f"d{i}", codes=codes[200:])
+        local += [(len(codes), task, args, client.ask(task, f"d{i}", *args)) for task, args in asks]
+    with lock:
+        records.append((i, local))
+
+
+def check_equivalence(host: str, port: int) -> int:
+    records: list = []
+    errors: list = []
+    lock = threading.Lock()
+
+    def run(i: int) -> None:
+        try:
+            drive_client(host, port, i, records, lock)
+        except BaseException as exc:  # noqa: BLE001 — surfaced in the verdict
+            with lock:
+                errors.append((i, exc))
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(N_CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    if errors:
+        for i, exc in errors:
+            print(f"serve_smoke: client {i} failed: {exc!r}", file=sys.stderr)
+        return 1
+    checked = 0
+    for i, local in records:
+        for rows, task, args, envelope in local:
+            cold = cold_ask(client_codes(i)[:rows], task, *args, dataset=f"d{i}")
+            if semantic(envelope) != semantic(cold):
+                print(
+                    f"serve_smoke: MISMATCH client {i} rows={rows} "
+                    f"task={task}: {semantic(envelope)} != {semantic(cold)}",
+                    file=sys.stderr,
+                )
+                return 1
+            checked += 1
+    print(f"serve_smoke: {checked} warm answers bit-identical to cold profiler")
+    return 0
+
+
+def check_schema(host: str, port: int) -> int:
+    """One raw round trip; the response envelope must validate."""
+    schema = json.loads(SCHEMA_PATH.read_text())
+    with socket.create_connection((host, port), timeout=30) as sock:
+        reader = sock.makefile("rb")
+        writer = sock.makefile("wb")
+        for request in (
+            {"proto": "repro-serve/1", "id": 1, "kind": "hello", "session": None, "payload": {}},
+            {"proto": "repro-serve/1", "id": 2, "kind": "ping", "session": None, "payload": {}},
+        ):
+            writer.write(encode_frame(request))
+            writer.flush()
+            response = read_frame(reader)
+            for error in validate_trace(response, schema):
+                print(f"serve_smoke: schema violation: {error}", file=sys.stderr)
+                return 1
+    print("serve_smoke: response envelopes validate against serve.schema.json")
+    return 0
+
+
+def terminate(proc: subprocess.Popen, label: str) -> int:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        print(f"serve_smoke: {label} daemon did not drain on SIGTERM", file=sys.stderr)
+        return 1
+    if proc.returncode != 0:
+        print(
+            f"serve_smoke: {label} daemon exited {proc.returncode}: "
+            f"{proc.stderr.read()}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"serve_smoke: {label} daemon drained cleanly on SIGTERM")
+    return 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        port_file = tmp_path / "port"
+        manifest = tmp_path / "manifest.json"
+
+        proc, host, port = spawn_daemon(port_file, manifest)
+        try:
+            if check_equivalence(host, port) or check_schema(host, port):
+                return 1
+        except BaseException:
+            proc.kill()
+            raise
+        if terminate(proc, "first"):
+            return 1
+        if not manifest.exists():
+            print("serve_smoke: drain did not write the manifest", file=sys.stderr)
+            return 1
+
+        proc, host, port = spawn_daemon(port_file, manifest)
+        try:
+            with ServeClient(host, port) as client:
+                restored = {s["dataset"] for s in client.sessions()}
+                expected = {f"d{i}" for i in range(N_CLIENTS)}
+                if restored != expected:
+                    print(
+                        f"serve_smoke: restart restored {sorted(restored)}, "
+                        f"wanted {sorted(expected)}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                warm = client.ask("min_key", "d0")
+                cold = cold_ask(client_codes(0), "min_key", dataset="d0")
+                if semantic(warm) != semantic(cold):
+                    print("serve_smoke: restored answer moved", file=sys.stderr)
+                    return 1
+            print("serve_smoke: warm restart restored every session, answers identical")
+        except BaseException:
+            proc.kill()
+            raise
+        if terminate(proc, "restarted"):
+            return 1
+    print("serve_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
