@@ -77,9 +77,14 @@ class ServeClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
         self._writer = self._sock.makefile("wb")
-        payload = {} if namespace is None else {"namespace": namespace}
-        self.server_info = self._call("hello", payload=payload)
-        self.namespace: str = self.server_info["namespace"]
+        try:
+            payload = {} if namespace is None else {"namespace": namespace}
+            self.server_info = self._call("hello", payload=payload)
+            self.namespace: str = self.server_info["namespace"]
+        except BaseException:
+            # A failed handshake must not leak the half-built connection.
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -122,13 +127,16 @@ class ServeClient:
         if document is None:
             raise ProtocolError("server hung up before responding")
         response = Response.from_wire(document)
-        if not response.ok:
-            assert response.error is not None
-            raise ServeError(response.error["type"], response.error["message"])
-        if response.id != request.id:
+        # Validate the id first so a stray envelope from another request is
+        # never attributed to this one; id 0 is the server's marker for
+        # connection-level protocol errors, which have no matching request.
+        if response.id != request.id and not (response.id == 0 and not response.ok):
             raise ProtocolError(
                 f"response id {response.id} does not match request {request.id}"
             )
+        if not response.ok:
+            assert response.error is not None
+            raise ServeError(response.error["type"], response.error["message"])
         return response.payload
 
     # ------------------------------------------------------------------

@@ -397,12 +397,31 @@ class SessionManager:
             session.pending.append(waiter)
         with session.lock:
             if not waiter.done:
+                # Check *our* request before draining: an expired deadline
+                # (or evicted session) must not take queued co-waiters down
+                # with us — the next lock holder answers them instead.
+                try:
+                    self._check_session(session, namespace, dataset, deadline)
+                except BaseException:
+                    with session.queue_lock:
+                        if waiter in session.pending:
+                            session.pending.remove(waiter)
+                    raise
                 # We hold the kernel; answer everything that queued up
                 # (always including our own question) in one drained batch.
                 with session.queue_lock:
                     batch, session.pending = session.pending, []
-                self._check_session(session, namespace, dataset, deadline)
-                self._answer_batch(session, dataset, batch)
+                try:
+                    self._answer_batch(session, dataset, batch)
+                except BaseException as exc:
+                    # Once drained, the co-waiters can only be answered
+                    # here: fail them all rather than strand their threads.
+                    for drained in batch:
+                        if not drained.done:
+                            drained.error = exc
+                            drained.done = True
+                            drained.event.set()
+                    raise
         if waiter.error is not None:
             raise waiter.error
         assert waiter.result is not None
@@ -733,8 +752,17 @@ class ProfilingServer:
                         error_response(0, "protocol", "protocol_error", str(exc)),
                     )
                     return
-                response, namespace = self._handle(request, namespace)
-                self._send(writer, response)
+                # Count the request as active until its response is flushed,
+                # so shutdown(drain=True) cannot close the connection
+                # between dispatch and _send.
+                with self._state_lock:
+                    self._active_requests += 1
+                try:
+                    response, namespace = self._handle(request, namespace)
+                    self._send(writer, response)
+                finally:
+                    with self._state_lock:
+                        self._active_requests -= 1
         except (OSError, ValueError):
             return  # client went away; nothing to report to
         finally:
@@ -769,7 +797,6 @@ class ProfilingServer:
                     ),
                     namespace,
                 )
-            self._active_requests += 1
             self._requests_served += 1
         started = time.perf_counter()
         try:
@@ -800,9 +827,6 @@ class ProfilingServer:
             response = error_response(
                 request.id, request.kind, "internal", _message(exc)
             )
-        finally:
-            with self._state_lock:
-                self._active_requests -= 1
         metrics.histogram("serve.request_seconds").observe(
             time.perf_counter() - started
         )

@@ -144,6 +144,134 @@ class TestBadFrames:
             )
 
 
+class TestClientEnvelopeDiscipline:
+    """The client never attributes a stray envelope to the wrong request,
+    and never leaks its socket when the handshake itself fails."""
+
+    @staticmethod
+    def _canned_server(replies):
+        """Accept one connection and answer each request via ``replies``."""
+        listener = socket.create_server(("127.0.0.1", 0))
+
+        def serve():
+            conn, _ = listener.accept()
+            reader = conn.makefile("rb")
+            writer = conn.makefile("wb")
+            for build in replies:
+                request = read_frame(reader)
+                writer.write(encode_frame(build(request)))
+                writer.flush()
+            conn.close()
+
+        threading.Thread(target=serve, daemon=True).start()
+        return listener
+
+    @staticmethod
+    def _hello(request):
+        return {
+            "proto": PROTOCOL,
+            "id": request["id"],
+            "ok": True,
+            "kind": "hello",
+            "payload": {"namespace": "public"},
+            "error": None,
+        }
+
+    @staticmethod
+    def _error(error_type, message, *, envelope_id):
+        return {
+            "proto": PROTOCOL,
+            "id": envelope_id,
+            "ok": False,
+            "kind": "ping",
+            "payload": {},
+            "error": {"type": error_type, "message": message},
+        }
+
+    def test_stray_ok_envelope_is_a_protocol_error(self):
+        listener = self._canned_server(
+            [
+                self._hello,
+                lambda req: {
+                    "proto": PROTOCOL,
+                    "id": req["id"] + 7,
+                    "ok": True,
+                    "kind": "ping",
+                    "payload": {"pong": True},
+                    "error": None,
+                },
+            ]
+        )
+        host, port = listener.getsockname()[:2]
+        try:
+            with ServeClient(host, port) as client:
+                with pytest.raises(ProtocolError, match="does not match"):
+                    client.ping()
+        finally:
+            listener.close()
+
+    def test_stray_error_envelope_is_a_protocol_error(self):
+        """An error belonging to a *different* request must surface as a
+        protocol violation, not as this request's ServeError."""
+        listener = self._canned_server(
+            [
+                self._hello,
+                lambda req: self._error(
+                    "invalid_request",
+                    "someone else's failure",
+                    envelope_id=req["id"] + 7,
+                ),
+            ]
+        )
+        host, port = listener.getsockname()[:2]
+        try:
+            with ServeClient(host, port) as client:
+                with pytest.raises(ProtocolError, match="does not match"):
+                    client.ping()
+        finally:
+            listener.close()
+
+    def test_connection_level_error_with_id_zero_is_surfaced(self):
+        """id 0 marks connection-level protocol errors; those are the one
+        kind of envelope a request may adopt without an id match."""
+        listener = self._canned_server(
+            [
+                self._hello,
+                lambda req: self._error(
+                    "protocol_error", "bad frame", envelope_id=0
+                ),
+            ]
+        )
+        host, port = listener.getsockname()[:2]
+        try:
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    client.ping()
+            assert excinfo.value.error_type == "protocol_error"
+        finally:
+            listener.close()
+
+    def test_failed_handshake_does_not_leak_the_socket(
+        self, serve_factory, monkeypatch
+    ):
+        server = serve_factory(epsilon=EPSILON, seed=SEED)
+        host, port = server.address
+        opened: list[socket.socket] = []
+        real_create = socket.create_connection
+
+        def tracked(*args, **kwargs):
+            sock = real_create(*args, **kwargs)
+            opened.append(sock)
+            return sock
+
+        monkeypatch.setattr(socket, "create_connection", tracked)
+        with pytest.raises(ServeError, match="non-empty"):
+            ServeClient(host, port, namespace="")  # hello is rejected
+        assert len(opened) == 1
+        assert opened[0].fileno() == -1  # closed, not leaked
+        assert_server_still_answers(server)
+
+
 class TestEvictionUnderLoad:
     def test_churning_registrations_never_corrupt_answers(self, serve_factory):
         """4 clients churn sessions through a 2-slot LRU; every answer

@@ -303,6 +303,93 @@ class TestBatching:
                 cold_ask(codes, task, list(attrs))
             )
 
+    def test_drainer_deadline_spares_queued_co_waiters(self):
+        """A drainer rejected by its own expired deadline must leave the
+        queued co-waiters for the next lock holder, not strand them."""
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes.tolist())
+        session = manager._sessions[(NS, "s")]
+        results: list[object] = []
+        errors: list[BaseException] = []
+
+        def co_waiter():
+            try:
+                results.append(manager.ask(NS, "s", "classify", [[0, 1]], {}))
+            except BaseException as exc:  # noqa: BLE001 — asserted below
+                errors.append(exc)
+
+        thread = threading.Thread(target=co_waiter)
+        session.lock.acquire()
+        try:
+            thread.start()
+            assert wait_until(lambda: len(session.pending) == 1)
+            # Reentrant: we hold the kernel, so we are the drainer — and
+            # our expired deadline must fail only our own question.
+            with pytest.raises(RequestDeadlineError):
+                manager.ask(
+                    NS,
+                    "s",
+                    "classify",
+                    [[0, 2]],
+                    {},
+                    deadline=time.monotonic() - 1.0,
+                )
+            assert len(session.pending) == 1  # the co-waiter is still queued
+        finally:
+            session.lock.release()
+        thread.join(timeout=30)
+        assert errors == []
+        assert len(results) == 1
+        assert semantic(results[0].to_dict()) == semantic(
+            cold_ask(codes, "classify", [0, 1])
+        )
+
+    def test_warm_batch_failure_fails_every_drained_waiter(self, monkeypatch):
+        """An exception escaping the warm pass (e.g. a TypeError from
+        malformed attributes) must answer every drained waiter with the
+        failure instead of stranding their threads."""
+        codes = stream_codes()
+        manager = make_manager()
+        manager.register(NS, "s", codes=codes.tolist())
+        session = manager._sessions[(NS, "s")]
+
+        def explode(self, session, dataset, batch):
+            raise TypeError("malformed attributes reached the warm pass")
+
+        monkeypatch.setattr(SessionManager, "_warm_batch", explode)
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def worker(attrs):
+            try:
+                manager.ask(NS, "s", "classify", [attrs], {})
+            except BaseException as exc:  # noqa: BLE001 — asserted below
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(attrs,))
+            for attrs in ([0, 1], [0, 2])
+        ]
+        session.lock.acquire()
+        try:
+            for thread in threads:
+                thread.start()
+            assert wait_until(lambda: len(session.pending) == 2)
+        finally:
+            session.lock.release()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(errors) == 2
+        assert all(isinstance(exc, TypeError) for exc in errors)
+        # The session answers again once the bad batch is gone.
+        monkeypatch.undo()
+        follow_up = manager.ask(NS, "s", "classify", [[0, 1]], {})
+        assert semantic(follow_up.to_dict()) == semantic(
+            cold_ask(codes, "classify", [0, 1])
+        )
+
     def test_evicting_a_session_fails_queued_waiters(self):
         codes = stream_codes()
         manager = make_manager()
@@ -482,6 +569,24 @@ class TestShutdown:
         server = serve_factory()
         client = client_factory(server)
         assert client.shutdown() == {"stopping": True}
+        assert server._stopped.wait(timeout=10)
+
+    def test_drained_shutdown_delivers_the_final_response(
+        self, serve_factory, client_factory, monkeypatch
+    ):
+        """A request stays active until its response is flushed, so a
+        draining shutdown cannot close the connection between dispatch
+        and send — the ack always reaches the client."""
+        server = serve_factory()
+        client = client_factory(server)
+        real_send = ProfilingServer._send
+
+        def slow_send(self, writer, response):
+            time.sleep(0.25)  # shutdown's drain check runs during this
+            real_send(self, writer, response)
+
+        monkeypatch.setattr(ProfilingServer, "_send", slow_send)
+        assert client.shutdown(drain=True) == {"stopping": True}
         assert server._stopped.wait(timeout=10)
 
     def test_manifest_written_on_drain_and_restored_on_start(
